@@ -1,0 +1,58 @@
+"""Ablation — the SimHash LSH similarity threshold.
+
+The paper fixes the threshold at 0.7 without a sweep; DESIGN.md marks it for
+ablation.  Expectation: lowering the threshold trades precision for recall
+(more below-threshold candidates survive re-ranking), raising it does the
+opposite, and 0.7 sits near the knee.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import WarpGateConfig
+from repro.core.warpgate import WarpGate
+from repro.eval.report import render_table
+from repro.eval.runner import evaluate_system
+
+THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.9)
+QUERY_CAP = 50
+
+
+def run_sweep(corpus):
+    return {
+        threshold: evaluate_system(
+            WarpGate(WarpGateConfig(threshold=threshold)),
+            corpus,
+            max_queries=QUERY_CAP,
+        )
+        for threshold in THRESHOLDS
+    }
+
+
+def test_lsh_threshold_sweep(benchmark, testbed_s):
+    results = benchmark.pedantic(run_sweep, args=(testbed_s,), rounds=1, iterations=1)
+    rows = [
+        (
+            threshold,
+            evaluation.precision_at(2),
+            evaluation.precision_at(10),
+            evaluation.recall_at(10),
+            evaluation.timing.mean_lookup_s * 1e3,
+        )
+        for threshold, evaluation in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["threshold", "P@2", "P@10", "R@10", "lookup ms/q"],
+            rows,
+            title="Ablation: LSH cosine threshold on testbedS (paper fixes 0.7)",
+        )
+    )
+
+    # Recall@10 decreases (weakly) as the threshold rises.
+    recalls = [results[t].recall_at(10) for t in THRESHOLDS]
+    assert all(a >= b - 0.02 for a, b in zip(recalls, recalls[1:]))
+    # A prohibitive threshold visibly costs recall vs the paper's 0.7.
+    assert results[0.9].recall_at(10) < results[0.7].recall_at(10)
+    # The paper's 0.7 keeps nearly all the recall of the loosest setting.
+    assert results[0.7].recall_at(10) > 0.9 * results[0.5].recall_at(10)

@@ -1,0 +1,46 @@
+"""Figure 4(a) — top-k precision and recall on NextiaJD testbedS.
+
+Paper shape: WarpGate consistently above D3L and far above Aurum; Aurum's
+recall is flat (its thresholded graph caps what it can ever return).
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import render_pr_figure
+
+# Approximate values read off the published Figure 4(a), for side-by-side
+# context in the printed report (shape comparison, not exact targets).
+PAPER_CURVE_NOTE = (
+    "paper (approx): warpgate P@2=0.50 R@10=0.70 | d3l P@2=0.42 R@10=0.55 "
+    "| aurum P@2=0.20 R@10=0.35"
+)
+
+
+def test_fig4a_precision_recall_testbed_s(benchmark, evaluations_s):
+    curves = benchmark.pedantic(
+        lambda: {name: ev.curve for name, ev in evaluations_s.items()},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_pr_figure(curves, title="Figure 4(a): testbedS top-k P/R"))
+    print(PAPER_CURVE_NOTE)
+
+    warpgate = evaluations_s["warpgate"]
+    d3l = evaluations_s["d3l"]
+    aurum = evaluations_s["aurum"]
+
+    # WarpGate leads both baselines at small k on precision and recall.
+    for k in (2, 3):
+        assert warpgate.precision_at(k) > d3l.precision_at(k)
+        assert warpgate.precision_at(k) > aurum.precision_at(k)
+        assert warpgate.recall_at(k) > d3l.recall_at(k)
+        assert warpgate.recall_at(k) > aurum.recall_at(k)
+    # Aurum trails by a large margin everywhere.
+    for k in (2, 3, 5, 10):
+        assert warpgate.precision_at(k) > 1.5 * aurum.precision_at(k)
+        assert warpgate.recall_at(k) > 1.5 * aurum.recall_at(k)
+    # Aurum's recall curve is nearly flat: thresholded edges cap it.
+    assert aurum.recall_at(10) - aurum.recall_at(3) < 0.1
+    # WarpGate's recall climbs with k, as in the figure.
+    assert warpgate.recall_at(10) > warpgate.recall_at(2)

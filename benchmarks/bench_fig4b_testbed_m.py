@@ -1,0 +1,38 @@
+"""Figure 4(b) — top-k precision and recall on NextiaJD testbedM.
+
+Same comparison as 4(a) on the larger testbed; the paper reports the same
+ordering with lower absolute numbers (testbedM plants more answers per
+query, so per-k precision spreads thinner).
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import render_pr_figure
+
+PAPER_CURVE_NOTE = (
+    "paper (approx): warpgate P@2=0.35 R@10=0.40 | d3l P@2=0.25 R@10=0.35 "
+    "| aurum P@2=0.10 R@10=0.10"
+)
+
+
+def test_fig4b_precision_recall_testbed_m(benchmark, evaluations_m):
+    curves = benchmark.pedantic(
+        lambda: {name: ev.curve for name, ev in evaluations_m.items()},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_pr_figure(curves, title="Figure 4(b): testbedM top-k P/R"))
+    print(PAPER_CURVE_NOTE)
+
+    warpgate = evaluations_m["warpgate"]
+    d3l = evaluations_m["d3l"]
+    aurum = evaluations_m["aurum"]
+
+    for k in (2, 3):
+        assert warpgate.precision_at(k) > aurum.precision_at(k)
+        assert warpgate.recall_at(k) > aurum.recall_at(k)
+        assert warpgate.recall_at(k) >= d3l.recall_at(k) - 0.05
+    for k in (2, 3, 5, 10):
+        assert warpgate.recall_at(k) > 1.5 * aurum.recall_at(k)
+    assert warpgate.recall_at(10) > warpgate.recall_at(2)

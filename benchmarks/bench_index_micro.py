@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the index substrate primitives.
+
+Not a paper table — these pin down the per-operation costs that the
+system-level numbers (Table 2, §4.4) are built from: signature computation,
+index insertion, probes, and MinHash sketching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.index.lsh import SimHashLSHIndex
+from repro.index.minhash import MinHashSignature
+from repro.index.simhash import SimHashFamily
+
+DIM = 64
+
+
+def unit_cloud(n: int, key: str) -> np.ndarray:
+    matrix = rng_for("micro", key).standard_normal((n, DIM))
+    return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+
+def test_simhash_signature_cost(benchmark):
+    family = SimHashFamily(DIM, 128)
+    vector = unit_cloud(1, "sig")[0]
+    signature = benchmark(family.signature, vector)
+    assert signature.shape == (128,)
+
+
+def test_simhash_batch_signatures_cost(benchmark):
+    family = SimHashFamily(DIM, 128)
+    matrix = unit_cloud(1_000, "batch")
+    signatures = benchmark(family.signatures, matrix)
+    assert signatures.shape == (1_000, 128)
+
+
+def test_lsh_insert_cost(benchmark):
+    vectors = unit_cloud(1_000, "insert")
+
+    def build():
+        index = SimHashLSHIndex(DIM)
+        for position in range(len(vectors)):
+            index.add(position, vectors[position])
+        return index
+
+    index = benchmark(build)
+    assert len(index) == 1_000
+
+
+def test_lsh_query_cost_at_5k(benchmark):
+    index = SimHashLSHIndex(DIM, threshold=0.7)
+    vectors = unit_cloud(5_000, "query")
+    for position in range(len(vectors)):
+        index.add(position, vectors[position])
+    query = vectors[42]
+    results = benchmark(index.query, query, 10)
+    assert results[0][0] == 42
+
+
+def test_minhash_sketch_cost(benchmark):
+    values = [f"value-{i}" for i in range(1_000)]
+    signature = benchmark(MinHashSignature.of, values)
+    assert not signature.is_empty
+
+
+def test_minhash_estimate_cost(benchmark):
+    left = MinHashSignature.of([f"v{i}" for i in range(500)])
+    right = MinHashSignature.of([f"v{i}" for i in range(250, 750)])
+    estimate = benchmark(left.jaccard_estimate, right)
+    assert 0.0 <= estimate <= 1.0
+
+
+def test_column_encode_cost(benchmark, ):
+    """Cost of embedding one 1k-value column with the trained model."""
+    from repro.embedding.encoder import ColumnEncoder
+    from repro.embedding.registry import get_model
+    from repro.datasets.domains import domain
+    from repro.storage.column import Column
+
+    encoder = ColumnEncoder(get_model("webtable"))
+    pool = domain("company").pool
+    column = Column("company", [pool[i % len(pool)].title() for i in range(1_000)])
+    encoder.encode(column)  # warm caches
+    vector = benchmark(encoder.encode, column)
+    assert float(np.linalg.norm(vector)) > 0.99

@@ -1,0 +1,79 @@
+"""§4.3.3 — ad-hoc discovery in the Sigma Sample Database (Joey's story).
+
+The paper walks a business user's flow: query ACCOUNT.Name, get LEAD.Company
+(same database) and INDUSTRIES."Company Name" (cross-database, differently
+formatted) among the top recommendations, then chain INDUSTRIES.Ticker to
+the STOCKS price tables.  This benchmark regenerates the corpus, replays the
+flow, and measures per-query latency on the ~100-table warehouse.
+"""
+
+from __future__ import annotations
+
+from repro.core.lookup import LookupService
+from repro.core.warpgate import WarpGate
+from repro.datasets.sigma import JOEY_QUERY
+from repro.eval.report import render_table
+from repro.storage.schema import ColumnRef
+
+INDUSTRIES_NAME = ColumnRef("STOCKS", "INDUSTRIES", "Company_Name")
+LEAD_COMPANY = ColumnRef("SALESFORCE", "LEAD", "Company")
+INDUSTRIES_TICKER = ColumnRef("STOCKS", "INDUSTRIES", "Ticker")
+PRICES_TICKER = ColumnRef("STOCKS", "PRICES", "Ticker")
+
+
+def test_sigma_joey_discovery(benchmark, sigma):
+    """Latency on the full ~100-table warehouse (with snapshot copies)."""
+    system = WarpGate()
+    system.index_corpus(sigma.connector())
+    query = ColumnRef(*JOEY_QUERY)
+
+    result = benchmark(system.search, query, 10)
+
+    # On the snapshot-padded warehouse, copies of ACCOUNT/CONTACT dominate
+    # the very top (they are the best joins!); the cross-database INDUSTRIES
+    # candidate must still surface within a browsable window.
+    wide = system.search(query, 25)
+    assert INDUSTRIES_NAME in wide.refs
+    assert all(candidate.score >= 0.7 for candidate in result.candidates)
+
+
+def test_sigma_joey_recommendations(benchmark):
+    """The Figure 3 walkthrough on the de-duplicated corpus."""
+    from repro.datasets.sigma import generate_sigma_sample_database
+
+    corpus = generate_sigma_sample_database(with_snapshots=False)
+    system = WarpGate()
+    system.index_corpus(corpus.connector())
+    query = ColumnRef(*JOEY_QUERY)
+    service = LookupService(system)
+
+    recommendations = benchmark.pedantic(
+        service.recommend, args=(query,), kwargs={"k": 5}, rounds=1, iterations=1
+    )
+    rows = [
+        (rec.rank, str(rec.candidate), rec.score, service.match_rate(query, rec.candidate))
+        for rec in recommendations
+    ]
+    print()
+    print(
+        render_table(
+            ["rank", "candidate", "similarity", "match rate"],
+            rows,
+            title="§4.3.3 Joey's query: SALESFORCE.ACCOUNT.Name (top-5)",
+        )
+    )
+
+    refs = [rec.candidate for rec in recommendations]
+    # The paper's two headline recommendations both surface in the top-5.
+    assert INDUSTRIES_NAME in refs
+    assert LEAD_COMPANY in refs
+    # The cross-database candidate is joinable after normalization.
+    assert service.match_rate(query, INDUSTRIES_NAME) > 0.9
+
+    # The enrichment chain: add sector info, then tickers join PRICES.
+    enriched = service.add_column_via_lookup(
+        query, INDUSTRIES_NAME, ["Industry_Group", "Ticker"]
+    )
+    assert "Industry_Group" in enriched.column_names
+    ticker_hop = system.search(INDUSTRIES_TICKER, 5)
+    assert PRICES_TICKER in ticker_hop.refs

@@ -1,0 +1,68 @@
+"""Table 1 — basic statistics of the evaluation datasets.
+
+Regenerates every corpus and prints its statistics next to the published
+row.  Table and column counts reproduce the paper; row counts are scaled
+down by the documented per-profile factors (the paper's testbedM averages
+3.2M rows per table — see ``TestbedProfile.row_scale_note``).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.nextiajd import TESTBED_PROFILES, generate_testbed, paper_summary_rows
+from repro.datasets.sigma import generate_sigma_sample_database
+from repro.datasets.spider import generate_spider_corpus
+from repro.eval.report import render_comparison
+
+PAPER_ROWS = list(paper_summary_rows()) + [
+    {
+        "corpus": "spider",
+        "tables": 70,
+        "columns": 429,
+        "avg_rows": 7_632,
+        "queries": 60,
+        "avg_answers": 1.1,
+    },
+    {
+        "corpus": "sigma",
+        "tables": 98,
+        "columns": 1_343,
+        "avg_rows": 2_243_932,
+        "queries": None,
+        "avg_answers": None,
+    },
+]
+
+
+def regenerate_all_corpora():
+    """Build every corpus of Table 1 and collect its summary row."""
+    corpora = [generate_testbed(key) for key in TESTBED_PROFILES]
+    corpora.append(generate_spider_corpus())
+    corpora.append(generate_sigma_sample_database())
+    return corpora
+
+
+def test_table1_dataset_statistics(benchmark):
+    corpora = benchmark.pedantic(regenerate_all_corpora, rounds=1, iterations=1)
+    measured = [corpus.summary_row() for corpus in corpora]
+    print()
+    print(
+        render_comparison(
+            PAPER_ROWS,
+            measured,
+            key="corpus",
+            title="Table 1: dataset statistics (paper vs regenerated)",
+        )
+    )
+
+    by_name = {row["corpus"]: row for row in measured}
+    # Table counts reproduce the paper exactly for the NextiaJD testbeds.
+    for profile in TESTBED_PROFILES.values():
+        assert by_name[profile.name]["tables"] == profile.paper_tables
+    # Spider and Sigma land within the published ballpark.
+    assert 50 <= by_name["spider"]["tables"] <= 95
+    assert 60 <= by_name["sigma"]["tables"] <= 130
+    # Queries exist with small answer sets, as in the paper.
+    for key in ("testbedXS", "testbedS", "testbedM", "testbedL"):
+        assert by_name[key]["queries"] > 10
+        assert 1.0 < by_name[key]["avg_answers"] < 8.0
+    assert 1.0 <= by_name["spider"]["avg_answers"] < 2.0

@@ -1,0 +1,83 @@
+"""Shared benchmark fixtures.
+
+Corpora and full-system evaluations are session-scoped: Figure 4(a) and
+Table 2 read the *same* evaluation runs, exactly as the paper derives both
+from one experiment.  Everything is deterministic, so sharing loses nothing.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.aurum import Aurum
+from repro.baselines.d3l import D3L
+from repro.core.warpgate import WarpGate
+from repro.datasets.nextiajd import generate_testbed
+from repro.datasets.sigma import generate_sigma_sample_database
+from repro.datasets.spider import generate_spider_corpus
+from repro.eval.runner import evaluate_system
+
+# Query caps keep the full benchmark suite in the tens of minutes while
+# preserving per-k averages (queries are truncated deterministically).
+QUERY_CAP_S = 60
+QUERY_CAP_M = 40
+
+
+def make_systems():
+    """Fresh instances of the three compared systems."""
+    return (Aurum(), D3L(), WarpGate())
+
+
+@pytest.fixture(scope="session")
+def testbed_s():
+    """NextiaJD testbedS at repository-default scale."""
+    return generate_testbed("S")
+
+
+@pytest.fixture(scope="session")
+def testbed_m():
+    """NextiaJD testbedM at repository-default scale (~4x testbedS rows)."""
+    return generate_testbed("M")
+
+
+@pytest.fixture(scope="session")
+def spider():
+    """Spider-style PK/FK corpus."""
+    return generate_spider_corpus()
+
+
+@pytest.fixture(scope="session")
+def sigma():
+    """Sigma Sample Database (with snapshot copies, as deployed)."""
+    return generate_sigma_sample_database()
+
+
+@pytest.fixture(scope="session")
+def evaluations_s(testbed_s):
+    """All three systems evaluated on testbedS (shared by 4a and Table 2)."""
+    return {
+        system.name: evaluate_system(system, testbed_s, max_queries=QUERY_CAP_S)
+        for system in make_systems()
+    }
+
+
+@pytest.fixture(scope="session")
+def evaluations_m(testbed_m):
+    """All three systems evaluated on testbedM (shared by 4b and Table 2)."""
+    return {
+        system.name: evaluate_system(system, testbed_m, max_queries=QUERY_CAP_M)
+        for system in make_systems()
+    }
+
+
+@pytest.fixture(scope="session")
+def evaluations_spider(spider):
+    """All three systems evaluated on Spider (Figure 4c)."""
+    return {
+        system.name: evaluate_system(system, spider)
+        for system in make_systems()
+    }

@@ -1,0 +1,72 @@
+"""Sample-efficiency and scan-cost study (§3.1.3, §4.4, §5.1).
+
+Cloud warehouses bill per byte scanned, so a full profiling pass over every
+table is slow *and* expensive.  This script sweeps WarpGate's sample size on
+one testbed and reports, for each setting:
+
+* effectiveness (P@2, R@10) against the full-scan configuration,
+* metered bytes and the dollar charge under usage-based pricing,
+* end-to-end query response time.
+
+The paper's finding: embeddings are robust down to very small samples while
+cost and latency drop by orders of magnitude.
+
+Run::
+
+    python examples/sampling_cost_study.py [XS|S|M|L]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import WarpGate, WarpGateConfig, evaluate_system, generate_testbed
+from repro._util import format_bytes
+from repro.eval.report import render_table
+
+SAMPLE_SIZES = (10, 100, 1000)
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "XS"
+    corpus = generate_testbed(key)
+    print(f"{corpus.name}: {corpus.column_count} columns, avg {corpus.average_rows:.0f} rows/table")
+
+    configs = {"full scan": WarpGateConfig()}
+    for size in SAMPLE_SIZES:
+        configs[f"sample {size}"] = WarpGateConfig(sample_size=size)
+
+    rows = []
+    baseline = None
+    for name, config in configs.items():
+        evaluation = evaluate_system(WarpGate(config), corpus, max_queries=40)
+        if baseline is None:
+            baseline = evaluation
+        rows.append(
+            (
+                name,
+                f"{evaluation.precision_at(2):.3f}",
+                f"{evaluation.recall_at(10):.3f}",
+                format_bytes(evaluation.index_report.scanned_bytes),
+                f"${evaluation.index_report.charged_dollars:.4f}",
+                f"{evaluation.timing.mean_response_s * 1e3:.1f} ms",
+            )
+        )
+
+    print()
+    print(
+        render_table(
+            ["config", "P@2", "R@10", "bytes scanned", "billed", "e2e/query"],
+            rows,
+            title="Sampling sweep (paper: effectiveness within ±1-2%, "
+            "lookup time -100x)",
+        )
+    )
+    print(
+        "\nReading: effectiveness barely moves while scanned bytes, billing, "
+        "and response time collapse — the paper's case for passive sampling."
+    )
+
+
+if __name__ == "__main__":
+    main()

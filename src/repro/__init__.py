@@ -1,0 +1,56 @@
+"""WarpGate reproduction: semantic join discovery for cloud data warehouses.
+
+Reproduces Cong et al., *WarpGate: A Semantic Join Discovery System for
+Cloud Data Warehouses* (CIDR 2023) as a self-contained Python library:
+
+* :class:`repro.core.WarpGate` — the embedding + SimHash-LSH discovery
+  system, over a simulated, scan-metered cloud data warehouse;
+* :class:`repro.baselines.Aurum` / :class:`repro.baselines.D3L` — the two
+  comparison systems;
+* :mod:`repro.datasets` — deterministic regenerations of the NextiaJD
+  testbeds, Spider, the Sigma Sample Database, and the web-table
+  pretraining corpus;
+* :mod:`repro.eval` — the paper's metrics and experiment runner.
+
+Quickstart::
+
+    from repro import WarpGate, generate_testbed
+
+    corpus = generate_testbed("XS")
+    system = WarpGate()
+    system.index_corpus(corpus.connector())
+    result = system.search(corpus.queries[0].ref, k=5)
+    print(result.describe())
+"""
+
+from repro.baselines import Aurum, D3L
+from repro.core import (
+    DiscoveryResult,
+    JoinCandidate,
+    LookupService,
+    WarpGate,
+    WarpGateConfig,
+)
+from repro.datasets import (
+    generate_sigma_sample_database,
+    generate_spider_corpus,
+    generate_testbed,
+)
+from repro.eval import evaluate_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aurum",
+    "D3L",
+    "DiscoveryResult",
+    "JoinCandidate",
+    "LookupService",
+    "WarpGate",
+    "WarpGateConfig",
+    "evaluate_system",
+    "generate_sigma_sample_database",
+    "generate_spider_corpus",
+    "generate_testbed",
+    "__version__",
+]

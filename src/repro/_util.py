@@ -1,0 +1,187 @@
+"""Shared internal utilities: stable hashing, seeded RNGs, timing.
+
+Everything in this module is deterministic given its inputs.  Python's
+builtin ``hash`` is salted per process, so all content hashing here goes
+through :mod:`hashlib` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import time
+from collections.abc import Iterable, Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "stable_hash64",
+    "stable_hash_bytes",
+    "stable_uint64",
+    "rng_for",
+    "Stopwatch",
+    "Timer",
+    "chunked",
+    "format_bytes",
+    "format_seconds",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash_bytes(data: bytes, *, salt: str = "") -> bytes:
+    """Return a 16-byte BLAKE2b digest of ``data`` (optionally salted).
+
+    BLAKE2b is used because it is fast, in the stdlib, and supports keyed
+    hashing, which gives us cheap independent hash families for LSH.
+    """
+    salt_bytes = salt.encode("utf-8")[:16]
+    return hashlib.blake2b(data, digest_size=16, salt=salt_bytes.ljust(16, b"\0")).digest()
+
+
+def stable_hash64(value: str | bytes, *, salt: str = "") -> int:
+    """Return a signed 64-bit stable hash of a string or bytes value."""
+    data = value.encode("utf-8") if isinstance(value, str) else value
+    digest = stable_hash_bytes(data, salt=salt)
+    (unsigned,) = struct.unpack_from("<Q", digest)
+    return unsigned - (1 << 63)
+
+
+def stable_uint64(value: str | bytes, *, salt: str = "") -> int:
+    """Return an unsigned 64-bit stable hash of a string or bytes value."""
+    data = value.encode("utf-8") if isinstance(value, str) else value
+    digest = stable_hash_bytes(data, salt=salt)
+    (unsigned,) = struct.unpack_from("<Q", digest)
+    return unsigned & _MASK64
+
+
+def rng_for(*parts: object, base_seed: int = 0) -> np.random.Generator:
+    """Return a numpy Generator deterministically derived from ``parts``.
+
+    Independent subsystems derive their own generators from readable string
+    keys (e.g. ``rng_for("nextiajd", "testbedS", 3)``) so that changing one
+    generator's consumption pattern never perturbs another subsystem.
+    """
+    key = "\x1f".join(str(part) for part in parts)
+    seed = (stable_uint64(key) ^ (base_seed & _MASK64)) & _MASK64
+    return np.random.default_rng(seed)
+
+
+class Stopwatch:
+    """Accumulating wall-clock stopwatch with named splits.
+
+    Used by the evaluation harness to decompose end-to-end query response
+    time into load / embed / lookup components, as the paper does.
+    """
+
+    def __init__(self) -> None:
+        self._splits: dict[str, float] = {}
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager accumulating elapsed seconds under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._splits[name] = self._splits.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the named split directly."""
+        self._splits[name] = self._splits.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        """Return accumulated seconds for ``name`` (0.0 if never measured)."""
+        return self._splits.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of all splits."""
+        return sum(self._splits.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a copy of the split table."""
+        return dict(self._splits)
+
+    def reset(self) -> None:
+        """Clear all splits."""
+        self._splits.clear()
+
+
+@dataclass
+class Timer:
+    """Single-shot timer usable as a context manager.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def chunked(items: Sequence, size: int) -> Iterator[Sequence]:
+    """Yield successive slices of ``items`` with at most ``size`` elements.
+
+    >>> list(chunked([1, 2, 3, 4, 5], 2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def format_bytes(count: int | float) -> str:
+    """Render a byte count with a binary-ish human unit.
+
+    >>> format_bytes(2048)
+    '2.0 KB'
+    """
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration at a precision that suits its magnitude.
+
+    >>> format_seconds(0.0042)
+    '4.2 ms'
+    """
+    if seconds < 0:
+        return f"-{format_seconds(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def mean_or_zero(values: Iterable[float]) -> float:
+    """Arithmetic mean of ``values``; 0.0 for an empty iterable."""
+    total = 0.0
+    count = 0
+    for value in values:
+        total += value
+        count += 1
+    return total / count if count else 0.0

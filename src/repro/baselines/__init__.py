@@ -1,0 +1,17 @@
+"""Baseline join-discovery systems the paper compares against.
+
+* :class:`Aurum` — syntactic MinHash profiles linked in a relationship
+  graph (Fernandez et al., ICDE 2018);
+* :class:`D3L` — five-evidence ensemble: column names, value extents,
+  word embeddings, format patterns, numeric distributions (Bogatu et al.,
+  ICDE 2020).
+
+Both implement the same :class:`JoinDiscoverySystem` interface as WarpGate,
+so the evaluation harness treats all three uniformly.
+"""
+
+from repro.baselines.aurum import Aurum
+from repro.baselines.base import IndexReport, JoinDiscoverySystem
+from repro.baselines.d3l import D3L
+
+__all__ = ["Aurum", "D3L", "IndexReport", "JoinDiscoverySystem"]

@@ -1,0 +1,10 @@
+"""Compatibility alias: the system interface lives in :mod:`repro.core.system`.
+
+Both the baselines and WarpGate implement the same contract; keeping the
+definition in core avoids an import cycle while this module preserves the
+``repro.baselines.base`` import path used throughout the tests and docs.
+"""
+
+from repro.core.system import IndexReport, JoinDiscoverySystem
+
+__all__ = ["IndexReport", "JoinDiscoverySystem"]

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``discover``
+    Load a directory of CSV files as one warehouse, index it, and print the
+    top-k joinable columns for a query column (``table.column``).
+``demo``
+    Run the Joey walkthrough end to end on the Sigma Sample Database.
+``corpus-stats``
+    Print the Table-1-style statistics of the built-in corpora.
+``index`` / ``query``
+    Build a persistent index artifact from a CSV directory, then query it
+    later without re-scanning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import WarpGateConfig
+from repro.core.lookup import LookupService
+from repro.core.persistence import load_index, save_index
+from repro.core.warpgate import WarpGate
+from repro.errors import ReproError
+from repro.storage.csv_codec import read_csv_file
+from repro.storage.schema import ColumnRef
+from repro.warehouse.catalog import Warehouse
+from repro.warehouse.connector import WarehouseConnector
+
+__all__ = ["main", "build_parser"]
+
+
+def _warehouse_from_csv_dir(directory: Path, database: str = "lake") -> Warehouse:
+    """Load every ``*.csv`` under ``directory`` into one warehouse."""
+    paths = sorted(directory.glob("*.csv"))
+    if not paths:
+        raise ReproError(f"no CSV files found in {directory}")
+    warehouse = Warehouse(directory.name or "csv-lake")
+    for path in paths:
+        warehouse.add_table(database, read_csv_file(path))
+    return warehouse
+
+
+def _parse_query_ref(text: str, database: str = "lake") -> ColumnRef:
+    ref = ColumnRef.parse(text)
+    if not ref.database:
+        ref = ColumnRef(database, ref.table, ref.column)
+    return ref
+
+
+def _config_from_args(args: argparse.Namespace) -> WarpGateConfig:
+    return WarpGateConfig(
+        threshold=args.threshold,
+        sample_size=args.sample_size,
+        model_name=args.model,
+    )
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    warehouse = _warehouse_from_csv_dir(Path(args.directory))
+    system = WarpGate(_config_from_args(args))
+    report = system.index_corpus(WarehouseConnector(warehouse))
+    print(f"indexed {report.columns_indexed} columns from {args.directory}")
+    query = _parse_query_ref(args.query)
+    result = system.search(query, args.k)
+    if not result.candidates:
+        print(f"no joinable columns found for {query} (threshold {args.threshold})")
+        return 1
+    print(result.describe())
+    if args.lookup:
+        service = LookupService(system)
+        for recommendation in service.recommend(query, k=min(args.k, 3)):
+            rate = service.match_rate(query, recommendation.candidate)
+            print(f"  verified match rate vs {recommendation.candidate}: {rate:.0%}")
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    warehouse = _warehouse_from_csv_dir(Path(args.directory))
+    system = WarpGate(_config_from_args(args))
+    report = system.index_corpus(WarehouseConnector(warehouse))
+    artifact = save_index(system, args.output)
+    print(
+        f"indexed {report.columns_indexed} columns; artifact written to {artifact}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    system = load_index(args.artifact)
+    # Re-attach the CSV lake so the query column can be scanned and embedded.
+    warehouse = _warehouse_from_csv_dir(Path(args.directory))
+    system.attach_connector(WarehouseConnector(warehouse))
+    query = _parse_query_ref(args.query)
+    result = system.search(query, args.k)
+    if not result.candidates:
+        print(f"no joinable columns found for {query}")
+        return 1
+    print(result.describe())
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.datasets.sigma import JOEY_QUERY, generate_sigma_sample_database
+
+    corpus = generate_sigma_sample_database(with_snapshots=False)
+    system = WarpGate()
+    system.index_corpus(corpus.connector())
+    service = LookupService(system)
+    query = ColumnRef(*JOEY_QUERY)
+    print(f"query: {query}")
+    for recommendation in service.recommend(query, k=args.k):
+        print(f"  {recommendation}")
+    return 0
+
+
+def cmd_corpus_stats(args: argparse.Namespace) -> int:
+    from repro.datasets.nextiajd import TESTBED_PROFILES, generate_testbed
+    from repro.datasets.sigma import generate_sigma_sample_database
+    from repro.datasets.spider import generate_spider_corpus
+    from repro.eval.report import render_table
+
+    rows = []
+    keys = args.corpora.split(",") if args.corpora else [*TESTBED_PROFILES, "spider", "sigma"]
+    for key in keys:
+        if key in TESTBED_PROFILES:
+            corpus = generate_testbed(key)
+        elif key == "spider":
+            corpus = generate_spider_corpus()
+        elif key == "sigma":
+            corpus = generate_sigma_sample_database()
+        else:
+            raise ReproError(f"unknown corpus {key!r}")
+        summary = corpus.summary_row()
+        rows.append([summary[k] for k in ("corpus", "tables", "columns", "avg_rows", "queries", "avg_answers")])
+    print(
+        render_table(
+            ["corpus", "tables", "columns", "avg rows", "queries", "avg answers"],
+            rows,
+            title="Corpus statistics (cf. Table 1)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WarpGate semantic join discovery (CIDR 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("-k", type=int, default=5, help="results per query")
+        sub.add_argument(
+            "--threshold", type=float, default=0.7, help="cosine similarity floor"
+        )
+        sub.add_argument(
+            "--sample-size", type=int, default=None, help="rows sampled per column"
+        )
+        sub.add_argument(
+            "--model",
+            default="webtable",
+            choices=("webtable", "hashing", "bertlike"),
+            help="embedding model",
+        )
+
+    discover = subparsers.add_parser(
+        "discover", help="find joinable columns in a directory of CSV files"
+    )
+    discover.add_argument("directory", help="directory containing *.csv files")
+    discover.add_argument("query", help="query column as table.column")
+    discover.add_argument(
+        "--lookup", action="store_true", help="verify match rates of the top hits"
+    )
+    add_model_args(discover)
+    discover.set_defaults(handler=cmd_discover)
+
+    index = subparsers.add_parser("index", help="build a persistent index artifact")
+    index.add_argument("directory", help="directory containing *.csv files")
+    index.add_argument("output", help="artifact path (.npz)")
+    add_model_args(index)
+    index.set_defaults(handler=cmd_index)
+
+    query = subparsers.add_parser("query", help="query a saved index artifact")
+    query.add_argument("artifact", help="artifact path (.npz)")
+    query.add_argument("directory", help="the CSV directory the artifact indexed")
+    query.add_argument("query", help="query column as table.column")
+    add_model_args(query)
+    query.set_defaults(handler=cmd_query)
+
+    demo = subparsers.add_parser("demo", help="run the Joey walkthrough")
+    demo.add_argument("-k", type=int, default=4)
+    demo.set_defaults(handler=cmd_demo)
+
+    stats = subparsers.add_parser("corpus-stats", help="print corpus statistics")
+    stats.add_argument(
+        "--corpora", default="", help="comma-separated subset (default: all)"
+    )
+    stats.set_defaults(handler=cmd_corpus_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

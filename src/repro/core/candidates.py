@@ -1,0 +1,113 @@
+"""Discovery result types shared by WarpGate and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.schema import ColumnRef
+
+__all__ = ["JoinCandidate", "TimingBreakdown", "DiscoveryResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinCandidate:
+    """One ranked candidate: a column plus its similarity score."""
+
+    ref: ColumnRef
+    score: float
+
+    def __str__(self) -> str:
+        return f"{self.ref} ({self.score:.3f})"
+
+
+@dataclass
+class TimingBreakdown:
+    """Decomposition of one query's response time.
+
+    ``load_simulated_s`` is the connector's modelled warehouse unload
+    latency (the component an EC2-to-Snowflake deployment would actually
+    pay); the other fields are measured wall-clock on this machine.  The
+    paper's end-to-end query response time is their sum.
+    """
+
+    load_measured_s: float = 0.0
+    load_simulated_s: float = 0.0
+    embed_s: float = 0.0
+    lookup_s: float = 0.0
+    other_s: float = 0.0
+
+    @property
+    def response_time_s(self) -> float:
+        """End-to-end query response time."""
+        return (
+            self.load_measured_s
+            + self.load_simulated_s
+            + self.embed_s
+            + self.lookup_s
+            + self.other_s
+        )
+
+    @property
+    def load_s(self) -> float:
+        """Total data-loading time (measured + simulated)."""
+        return self.load_measured_s + self.load_simulated_s
+
+    @property
+    def lookup_fraction(self) -> float:
+        """Share of response time spent in the index lookup."""
+        total = self.response_time_s
+        return self.lookup_s / total if total > 0 else 0.0
+
+    def __add__(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        return TimingBreakdown(
+            load_measured_s=self.load_measured_s + other.load_measured_s,
+            load_simulated_s=self.load_simulated_s + other.load_simulated_s,
+            embed_s=self.embed_s + other.embed_s,
+            lookup_s=self.lookup_s + other.lookup_s,
+            other_s=self.other_s + other.other_s,
+        )
+
+    def scaled(self, factor: float) -> "TimingBreakdown":
+        """Breakdown with every component multiplied by ``factor``."""
+        return TimingBreakdown(
+            load_measured_s=self.load_measured_s * factor,
+            load_simulated_s=self.load_simulated_s * factor,
+            embed_s=self.embed_s * factor,
+            lookup_s=self.lookup_s * factor,
+            other_s=self.other_s * factor,
+        )
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of one top-k join-discovery query."""
+
+    query: ColumnRef
+    candidates: list[JoinCandidate] = field(default_factory=list)
+    timing: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+    @property
+    def refs(self) -> list[ColumnRef]:
+        """Candidate refs in rank order."""
+        return [candidate.ref for candidate in self.candidates]
+
+    def top(self, k: int) -> list[JoinCandidate]:
+        """First ``k`` candidates."""
+        return self.candidates[:k]
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (used by examples)."""
+        lines = [f"query: {self.query}"]
+        for rank, candidate in enumerate(self.candidates, start=1):
+            lines.append(f"  {rank:2d}. {candidate}")
+        lines.append(
+            f"  response time: {self.timing.response_time_s * 1e3:.1f} ms "
+            f"(lookup {self.timing.lookup_s * 1e3:.1f} ms)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""WarpGate configuration.
+
+One frozen dataclass gathers every knob the paper describes or that
+DESIGN.md marks for ablation, with the paper's defaults: Web Table
+Embeddings, SimHash LSH at similarity threshold 0.7, full-pass indexing
+(``sample_size=None``) unless the sample-efficiency experiments say
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["WarpGateConfig"]
+
+_SEARCH_BACKENDS = ("lsh", "exact", "pivot")
+_AGGREGATIONS = ("mean", "tfidf")
+_SAMPLING_STRATEGIES = ("head", "uniform", "reservoir", "distinct")
+
+
+@dataclass(frozen=True)
+class WarpGateConfig:
+    """All WarpGate knobs in one immutable value.
+
+    Parameters
+    ----------
+    model_name:
+        Embedding model from the registry: ``webtable`` (paper default),
+        ``bertlike`` (§4.4 comparison), or ``hashing`` (syntactic ablation).
+    dim:
+        Embedding dimensionality.
+    n_bits / n_bands:
+        SimHash signature size and banding layout.
+    threshold:
+        Cosine similarity floor of the LSH index (paper: 0.7).
+    aggregation:
+        Column aggregation: ``mean`` or ``tfidf``.
+    sampling_strategy / sample_size:
+        How columns are sampled out of the warehouse during indexing and
+        query embedding; ``sample_size=None`` scans full columns.
+    search_backend:
+        ``lsh`` (paper), ``exact`` (brute force), or ``pivot``
+        (block-and-verify, §5.2.3).
+    include_column_name / dedupe_values / numeric_profile_weight:
+        Encoder options (see :class:`repro.embedding.ColumnEncoder`).
+    default_k:
+        Result-list size when the caller does not pass one.
+    """
+
+    model_name: str = "webtable"
+    dim: int = 64
+    n_bits: int = 128
+    n_bands: int = 16
+    threshold: float = 0.7
+    aggregation: str = "mean"
+    sampling_strategy: str = "head"
+    sample_size: int | None = None
+    search_backend: str = "lsh"
+    include_column_name: bool = False
+    dedupe_values: bool = False
+    numeric_profile_weight: float = 0.3
+    default_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.search_backend not in _SEARCH_BACKENDS:
+            raise ValueError(
+                f"unknown search_backend {self.search_backend!r}; "
+                f"choose from {_SEARCH_BACKENDS}"
+            )
+        if self.aggregation not in _AGGREGATIONS:
+            raise ValueError(
+                f"unknown aggregation {self.aggregation!r}; choose from {_AGGREGATIONS}"
+            )
+        if self.sampling_strategy not in _SAMPLING_STRATEGIES:
+            raise ValueError(
+                f"unknown sampling_strategy {self.sampling_strategy!r}; "
+                f"choose from {_SAMPLING_STRATEGIES}"
+            )
+        if self.sample_size is not None and self.sample_size <= 0:
+            raise ValueError(
+                f"sample_size must be positive or None, got {self.sample_size}"
+            )
+        if not -1.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [-1, 1], got {self.threshold}")
+        if self.default_k <= 0:
+            raise ValueError(f"default_k must be positive, got {self.default_k}")
+
+    def with_sampling(self, sample_size: int | None, strategy: str | None = None) -> "WarpGateConfig":
+        """Copy of this config with a different sampling setup."""
+        return replace(
+            self,
+            sample_size=sample_size,
+            sampling_strategy=strategy if strategy is not None else self.sampling_strategy,
+        )
+
+    def with_model(self, model_name: str) -> "WarpGateConfig":
+        """Copy of this config with a different embedding model."""
+        return replace(self, model_name=model_name)
+
+    def with_backend(self, search_backend: str) -> "WarpGateConfig":
+        """Copy of this config with a different search backend."""
+        return replace(self, search_backend=search_backend)
+
+    def with_threshold(self, threshold: float) -> "WarpGateConfig":
+        """Copy of this config with a different LSH threshold."""
+        return replace(self, threshold=threshold)

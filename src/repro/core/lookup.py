@@ -1,0 +1,146 @@
+"""Sigma Workbooks "Add column via lookup" (Figure 3).
+
+The paper integrates WarpGate into Workbooks: a user right-clicks a column,
+sees the top-k join-path recommendations (candidate column + table +
+database + similarity score), picks one, browses the candidate table's
+columns, and adds selected columns next to the query column through a
+*cardinality-preserving* join — the query table keeps exactly its rows; each
+row gains the looked-up value (or null when no match).
+
+Matching is case- and whitespace-insensitive (``normalize_value``): the
+"semantically joinable after transformation" cases WarpGate surfaces are
+exactly the ones an exact-match join would lose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.candidates import DiscoveryResult
+from repro.core.warpgate import WarpGate
+from repro.errors import InvalidQueryError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+from repro.text.tokenize import normalize_value
+
+__all__ = ["LookupRecommendation", "LookupService"]
+
+
+@dataclass(frozen=True)
+class LookupRecommendation:
+    """One row of the recommendation window in Figure 3."""
+
+    rank: int
+    candidate: ColumnRef
+    score: float
+    table_columns: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.rank}: column {self.candidate.column!r} of table "
+            f"{self.candidate.table!r} in database {self.candidate.database!r} "
+            f"(similarity {self.score:.3f})"
+        )
+
+
+class LookupService:
+    """Drives the Add-column-via-lookup flow over an indexed WarpGate."""
+
+    def __init__(self, warpgate: WarpGate) -> None:
+        self.warpgate = warpgate
+
+    # -- step 1-2: recommendations ---------------------------------------------------
+
+    def recommend(self, query: ColumnRef, k: int = 3) -> list[LookupRecommendation]:
+        """Top-k join-path recommendations with candidate-table metadata."""
+        result: DiscoveryResult = self.warpgate.search(query, k)
+        recommendations = []
+        for rank, candidate in enumerate(result.candidates, start=1):
+            table = self.warpgate.connector.warehouse.resolve(candidate.ref)
+            recommendations.append(
+                LookupRecommendation(
+                    rank=rank,
+                    candidate=candidate.ref,
+                    score=candidate.score,
+                    table_columns=table.column_names,
+                )
+            )
+        return recommendations
+
+    # -- step 3: add the chosen columns ------------------------------------------------
+
+    def add_column_via_lookup(
+        self,
+        query: ColumnRef,
+        candidate: ColumnRef,
+        value_columns: list[str],
+    ) -> Table:
+        """Cardinality-preserving join adding ``value_columns`` to the query table.
+
+        For every query-table row, the candidate table is probed on
+        normalized equality between the query column and the candidate
+        column; the first match supplies the values (Workbooks' Lookup
+        semantics), otherwise the cell is null.
+        """
+        warehouse = self.warpgate.connector.warehouse
+        query_table = warehouse.resolve(query)
+        candidate_table = warehouse.resolve(candidate)
+        for value_column in value_columns:
+            if value_column not in candidate_table:
+                raise InvalidQueryError(
+                    f"candidate table {candidate.table!r} has no column "
+                    f"{value_column!r}"
+                )
+        if query.column not in query_table:
+            raise InvalidQueryError(
+                f"query table {query.table!r} has no column {query.column!r}"
+            )
+
+        # Build the probe map once: normalized join key -> first-match row.
+        join_column = candidate_table.column(candidate.column)
+        first_match: dict[str, int] = {}
+        for row_index, value in enumerate(join_column.values):
+            if value is None:
+                continue
+            key = normalize_value(value)
+            if key and key not in first_match:
+                first_match[key] = row_index
+
+        result = query_table
+        query_values = query_table.column(query.column).values
+        for value_column in value_columns:
+            source = candidate_table.column(value_column)
+            looked_up = []
+            for value in query_values:
+                match_row = (
+                    first_match.get(normalize_value(value)) if value is not None else None
+                )
+                looked_up.append(source[match_row] if match_row is not None else None)
+            new_name = value_column
+            suffix = 2
+            while new_name in result:
+                new_name = f"{value_column}_{suffix}"
+                suffix += 1
+            result = result.with_column(Column(new_name, looked_up, source.dtype))
+        return result
+
+    def match_rate(self, query: ColumnRef, candidate: ColumnRef) -> float:
+        """Fraction of query rows that find a lookup partner.
+
+        A direct quality check on a recommendation: semantic similarity
+        promises joinability, this verifies it on the actual data.
+        """
+        warehouse = self.warpgate.connector.warehouse
+        query_values = warehouse.resolve(query).column(query.column).values
+        candidate_values = warehouse.resolve(candidate).column(candidate.column).values
+        candidate_keys = {
+            normalize_value(value) for value in candidate_values if value is not None
+        }
+        non_null = [value for value in query_values if value is not None]
+        if not non_null:
+            return 0.0
+        matched = sum(
+            1 for value in non_null if normalize_value(value) in candidate_keys
+        )
+        return matched / len(non_null)

@@ -1,0 +1,90 @@
+"""Index persistence: save and restore a WarpGate deployment artifact.
+
+§5.2.2 of the paper discusses provisioning WarpGate in production; the
+operational unit there is the *profiled index* — column embeddings plus
+their addresses — which is much cheaper to ship than to recompute (every
+recompute is a metered warehouse scan).
+
+The artifact is a single ``.npz`` file holding the embedding matrix, the
+serialized column refs, and the config fields needed to rebuild the search
+backend identically.  Loading never touches the warehouse.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import WarpGateConfig
+from repro.core.warpgate import WarpGate
+from repro.errors import DiscoveryError
+from repro.storage.schema import ColumnRef
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def save_index(system: WarpGate, path: str | Path) -> Path:
+    """Write an indexed WarpGate's vectors + config to ``path`` (.npz).
+
+    Raises :class:`DiscoveryError` if the system has not indexed a corpus.
+    """
+    if not system.is_indexed:
+        raise DiscoveryError("cannot save an unindexed WarpGate")
+    path = Path(path)
+    refs = []
+    vectors = []
+    for ref, vector in sorted(
+        ((ref, system.vector_of(ref)) for ref in system._vectors),
+        key=lambda pair: str(pair[0]),
+    ):
+        refs.append([ref.database, ref.table, ref.column])
+        vectors.append(vector)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(system.config),
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        refs=np.array(refs, dtype=object),
+        vectors=np.stack(vectors) if vectors else np.zeros((0, system.config.dim)),
+    )
+    # np.savez appends .npz when absent; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_index(path: str | Path) -> WarpGate:
+    """Rebuild a searchable WarpGate from a saved artifact.
+
+    The restored system answers :meth:`~repro.core.warpgate.WarpGate.search`
+    only through pre-embedded queries (no connector is attached); use
+    :meth:`attach` semantics by calling ``index_corpus`` if live scanning is
+    needed again.  Practically: call ``system.search_vector(...)`` or attach
+    the original warehouse connector.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DiscoveryError(f"no index artifact at {path}")
+    with np.load(path, allow_pickle=True) as payload:
+        header = json.loads(bytes(payload["header"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise DiscoveryError(
+                f"unsupported index format {header.get('format_version')!r}"
+            )
+        config = WarpGateConfig(**header["config"])
+        refs = payload["refs"]
+        vectors = payload["vectors"]
+    system = WarpGate(config)
+    for position in range(len(refs)):
+        database, table, column = (str(part) for part in refs[position])
+        ref = ColumnRef(database, table, column)
+        vector = np.asarray(vectors[position], dtype=np.float64)
+        system._index.add(ref, vector)
+        system._vectors[ref] = vector
+    system._indexed = True
+    return system

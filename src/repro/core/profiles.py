@@ -1,0 +1,61 @@
+"""Embedding cache: amortize column profiling across queries.
+
+§5.1 of the paper notes that actively sampling a 12,000-table warehouse is
+expensive and that samples (and profiles) should be shared across
+applications.  :class:`EmbeddingCache` is that sharing layer: WarpGate
+records every column embedding it computes, so a query over an
+already-indexed column skips the load + embed steps entirely — the "passive
+sampling of user queries" optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.schema import ColumnRef
+
+__all__ = ["EmbeddingCache"]
+
+
+class EmbeddingCache:
+    """ColumnRef → embedding vector, with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._vectors: dict[ColumnRef, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, ref: ColumnRef) -> bool:
+        return ref in self._vectors
+
+    def get(self, ref: ColumnRef) -> np.ndarray | None:
+        """Cached vector for ``ref``, counting the hit or miss."""
+        vector = self._vectors.get(ref)
+        if vector is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return vector
+
+    def put(self, ref: ColumnRef, vector: np.ndarray) -> None:
+        """Store a vector (copies are not taken; callers must not mutate)."""
+        self._vectors[ref] = vector
+
+    def invalidate(self, ref: ColumnRef) -> None:
+        """Drop one entry (e.g. after a table refresh)."""
+        self._vectors.pop(ref, None)
+
+    def clear(self) -> None:
+        """Drop everything and reset counters."""
+        self._vectors.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / (hits + misses); 0.0 before any access."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

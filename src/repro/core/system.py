@@ -1,0 +1,128 @@
+"""Common interface and helpers for join-discovery systems.
+
+Every system (WarpGate and both baselines) indexes a corpus through a
+metered :class:`~repro.warehouse.connector.WarehouseConnector` and answers
+top-k queries with a :class:`~repro.core.candidates.DiscoveryResult`, so
+effectiveness and efficiency are measured identically across systems.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.candidates import DiscoveryResult
+from repro.errors import NotIndexedError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.types import DataType
+from repro.warehouse.connector import WarehouseConnector
+from repro.warehouse.sampling import Sampler
+
+__all__ = ["IndexReport", "JoinDiscoverySystem"]
+
+# Column types worth indexing for join discovery.  Dates and booleans join
+# trivially (tiny shared domains) and are excluded by every system equally.
+_ELIGIBLE_TYPES = (DataType.STRING, DataType.INTEGER, DataType.FLOAT)
+
+
+@dataclass
+class IndexReport:
+    """What indexing a corpus cost."""
+
+    system: str
+    columns_indexed: int = 0
+    columns_skipped: int = 0
+    wall_seconds: float = 0.0
+    simulated_load_seconds: float = 0.0
+    scanned_bytes: int = 0
+    charged_dollars: float = 0.0
+    notes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time plus simulated warehouse unload time."""
+        return self.wall_seconds + self.simulated_load_seconds
+
+
+class JoinDiscoverySystem(ABC):
+    """Abstract join-discovery system: index once, search many times."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._connector: WarehouseConnector | None = None
+        self._indexed = False
+
+    # -- shared plumbing -----------------------------------------------------------
+
+    @property
+    def connector(self) -> WarehouseConnector:
+        """The connector captured at indexing time."""
+        if self._connector is None:
+            raise NotIndexedError(f"{self.name} has not indexed a corpus yet")
+        return self._connector
+
+    @property
+    def is_indexed(self) -> bool:
+        """True once :meth:`index_corpus` has completed."""
+        return self._indexed
+
+    def eligible_refs(self, connector: WarehouseConnector) -> list[ColumnRef]:
+        """Refs of all columns any system should index (metadata only)."""
+        refs = []
+        for database_name, table in connector.warehouse.table_refs():
+            for column in table.columns:
+                if column.dtype in _ELIGIBLE_TYPES:
+                    refs.append(ColumnRef(database_name, table.name, column.name))
+        return refs
+
+    def load_column(
+        self, ref: ColumnRef, sampler: Sampler | None
+    ) -> tuple[Column, float, float]:
+        """Scan one column; returns (column, measured_s, simulated_s)."""
+        start = time.perf_counter()
+        column, receipt = self.connector.scan_column(ref, sampler=sampler)
+        measured = time.perf_counter() - start
+        return column, measured, receipt.simulated_seconds
+
+    def _require_indexed(self) -> None:
+        if not self._indexed:
+            raise NotIndexedError(
+                f"{self.name}.search() called before index_corpus()"
+            )
+
+    # -- system contract --------------------------------------------------------------
+
+    @abstractmethod
+    def index_corpus(
+        self, connector: WarehouseConnector, *, sampler: Sampler | None = None
+    ) -> IndexReport:
+        """Profile and index every eligible column reachable via ``connector``."""
+
+    @abstractmethod
+    def search(self, query: ColumnRef, k: int = 10) -> DiscoveryResult:
+        """Top-``k`` columns judged joinable with ``query``."""
+
+    # -- common post-processing ----------------------------------------------------------
+
+    @staticmethod
+    def drop_same_table(
+        scored: list[tuple[ColumnRef, float]], query: ColumnRef, k: int
+    ) -> list[tuple[ColumnRef, float]]:
+        """Remove the query column and its table-mates, then trim to ``k``.
+
+        Join discovery looks for *other* tables to join with; every system
+        applies the same filter so rankings stay comparable.
+        """
+        filtered = [
+            (ref, score)
+            for ref, score in scored
+            if not ref.same_table(query)
+        ]
+        return filtered[:k]
+
+    def __repr__(self) -> str:
+        state = "indexed" if self._indexed else "empty"
+        return f"{type(self).__name__}({state})"

@@ -1,0 +1,255 @@
+"""WarpGate: embedding-based semantic join discovery (Figure 2).
+
+Indexing pipeline: for every eligible column in the warehouse, scan a
+(possibly sampled) slice through the metered connector, encode it into a
+unit vector with the configured embedding model, and insert it into the
+configured similarity index (SimHash LSH by default).
+
+Search pipeline: scan + encode the query column the same way, probe the
+index, and return candidates ranked by cosine similarity above the
+threshold, excluding the query's own table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.system import IndexReport, JoinDiscoverySystem
+from repro.core.candidates import DiscoveryResult, JoinCandidate, TimingBreakdown
+from repro.core.config import WarpGateConfig
+from repro.core.profiles import EmbeddingCache
+from repro.embedding.encoder import ColumnEncoder
+from repro.embedding.registry import get_model
+from repro.index.exact import ExactCosineIndex
+from repro.index.lsh import SimHashLSHIndex
+from repro.index.pivot import PivotFilterIndex
+from repro.storage.schema import ColumnRef
+from repro.warehouse.connector import WarehouseConnector
+from repro.warehouse.sampling import Sampler, make_sampler
+
+__all__ = ["WarpGate"]
+
+
+class WarpGate(JoinDiscoverySystem):
+    """The paper's system: semantic join discovery over a CDW.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.WarpGateConfig`; defaults to the
+        paper's configuration (Web Table Embeddings, SimHash LSH, cosine
+        threshold 0.7, full-pass indexing).
+    cache:
+        Optional shared :class:`~repro.core.profiles.EmbeddingCache`; when
+        given, queries over already-profiled columns skip load + embed.
+    """
+
+    name = "warpgate"
+
+    def __init__(
+        self,
+        config: WarpGateConfig | None = None,
+        *,
+        cache: EmbeddingCache | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config if config is not None else WarpGateConfig()
+        self.cache = cache
+        self._model = get_model(self.config.model_name, dim=self.config.dim)
+        self.encoder = ColumnEncoder(
+            self._model,
+            aggregation=self.config.aggregation,
+            include_column_name=self.config.include_column_name,
+            dedupe_values=self.config.dedupe_values,
+            numeric_profile_weight=self.config.numeric_profile_weight,
+        )
+        self._index = self._build_index()
+        self._vectors: dict[ColumnRef, np.ndarray] = {}
+
+    def _build_index(self):
+        """Instantiate the configured search backend."""
+        if self.config.search_backend == "lsh":
+            return SimHashLSHIndex(
+                self.config.dim,
+                n_bits=self.config.n_bits,
+                n_bands=self.config.n_bands,
+                threshold=self.config.threshold,
+            )
+        if self.config.search_backend == "exact":
+            return ExactCosineIndex(self.config.dim)
+        return PivotFilterIndex(self.config.dim, threshold=self.config.threshold)
+
+    def _default_sampler(self) -> Sampler | None:
+        if self.config.sample_size is None:
+            return None
+        return make_sampler(self.config.sampling_strategy, self.config.sample_size)
+
+    # -- indexing pipeline ------------------------------------------------------------
+
+    def index_corpus(
+        self, connector: WarehouseConnector, *, sampler: Sampler | None = None
+    ) -> IndexReport:
+        """Embed and index every eligible column (Figure 2, left half)."""
+        self._connector = connector
+        sampler = sampler if sampler is not None else self._default_sampler()
+        report = IndexReport(system=self.name)
+        start = time.perf_counter()
+        meter_before = connector.meter.charged_dollars
+        bytes_before = connector.stats.scanned_bytes
+        simulated_before = connector.stats.simulated_seconds
+
+        for ref in self.eligible_refs(connector):
+            column, _measured, _simulated = self.load_column(ref, sampler)
+            vector = self.encoder.encode(column)
+            if not np.any(vector):
+                report.columns_skipped += 1
+                continue
+            self._index.add(ref, vector)
+            self._vectors[ref] = vector
+            if self.cache is not None:
+                self.cache.put(ref, vector)
+            report.columns_indexed += 1
+
+        report.wall_seconds = time.perf_counter() - start
+        report.simulated_load_seconds = (
+            connector.stats.simulated_seconds - simulated_before
+        )
+        # Wall time already contains the measured scan cost; subtracting the
+        # simulated component from it would double-count nothing because the
+        # connector never sleeps — the two are disjoint by construction.
+        report.scanned_bytes = connector.stats.scanned_bytes - bytes_before
+        report.charged_dollars = connector.meter.charged_dollars - meter_before
+        report.notes["sampler"] = repr(sampler) if sampler else "full-scan"
+        report.notes["backend"] = self.config.search_backend
+        self._indexed = True
+        return report
+
+    # -- search pipeline ----------------------------------------------------------------
+
+    def embed_query(self, query: ColumnRef) -> tuple[np.ndarray, TimingBreakdown]:
+        """Load (or recall from cache) and encode the query column."""
+        timing = TimingBreakdown()
+        if self.cache is not None:
+            cached = self.cache.get(query)
+            if cached is not None:
+                return cached, timing
+        sampler = self._default_sampler()
+        column, measured, simulated = self.load_column(query, sampler)
+        timing.load_measured_s = measured
+        timing.load_simulated_s = simulated
+        embed_start = time.perf_counter()
+        vector = self.encoder.encode(column)
+        timing.embed_s = time.perf_counter() - embed_start
+        if self.cache is not None and np.any(vector):
+            self.cache.put(query, vector)
+        return vector, timing
+
+    def search(
+        self,
+        query: ColumnRef,
+        k: int | None = None,
+        *,
+        threshold: float | None = None,
+    ) -> DiscoveryResult:
+        """Top-k semantic join discovery (Figure 2, right half)."""
+        self._require_indexed()
+        k = k if k is not None else self.config.default_k
+        vector, timing = self.embed_query(query)
+        if not np.any(vector):
+            return DiscoveryResult(query=query, candidates=[], timing=timing)
+        lookup_start = time.perf_counter()
+        # Over-fetch so the same-table filter cannot starve the result list.
+        raw = self._index.query(
+            vector,
+            k + 16,
+            threshold=self.config.threshold if threshold is None else threshold,
+            exclude=query,
+        )
+        kept = self.drop_same_table(raw, query, k)
+        timing.lookup_s = time.perf_counter() - lookup_start
+        return DiscoveryResult(
+            query=query,
+            candidates=[JoinCandidate(ref, score) for ref, score in kept],
+            timing=timing,
+        )
+
+    def search_vector(
+        self,
+        vector: np.ndarray,
+        k: int | None = None,
+        *,
+        threshold: float | None = None,
+        exclude: ColumnRef | None = None,
+    ) -> DiscoveryResult:
+        """Search with a pre-computed embedding (no warehouse access).
+
+        This is the query path of a restored index artifact (see
+        :mod:`repro.core.persistence`) and of cached-profile queries.
+        """
+        self._require_indexed()
+        k = k if k is not None else self.config.default_k
+        timing = TimingBreakdown()
+        if not np.any(vector):
+            return DiscoveryResult(
+                query=exclude if exclude is not None else ColumnRef("", "", ""),
+                candidates=[],
+                timing=timing,
+            )
+        lookup_start = time.perf_counter()
+        raw = self._index.query(
+            np.asarray(vector, dtype=np.float64),
+            k + 16,
+            threshold=self.config.threshold if threshold is None else threshold,
+            exclude=exclude,
+        )
+        if exclude is not None:
+            raw = self.drop_same_table(raw, exclude, k)
+        else:
+            raw = raw[:k]
+        timing.lookup_s = time.perf_counter() - lookup_start
+        return DiscoveryResult(
+            query=exclude if exclude is not None else ColumnRef("", "", ""),
+            candidates=[JoinCandidate(ref, score) for ref, score in raw],
+            timing=timing,
+        )
+
+    def attach_connector(self, connector: WarehouseConnector) -> None:
+        """Attach a live connector to a restored index (re-enables search()).
+
+        The index itself is not rebuilt — only query-time column loading
+        starts working again.
+        """
+        self._connector = connector
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def vector_of(self, ref: ColumnRef) -> np.ndarray:
+        """Indexed embedding of ``ref`` (raises KeyError if not indexed)."""
+        return self._vectors[ref]
+
+    def similarity(self, left: ColumnRef, right: ColumnRef) -> float:
+        """Cosine similarity between two indexed columns."""
+        a, b = self._vectors[left], self._vectors[right]
+        return float(a @ b)
+
+    @property
+    def indexed_count(self) -> int:
+        """Number of columns in the index."""
+        return len(self._vectors)
+
+    def explain(self, query: ColumnRef, candidate: ColumnRef) -> dict[str, object]:
+        """Why a candidate matched: similarity plus LSH collision odds."""
+        cosine = self.similarity(query, candidate)
+        explanation: dict[str, object] = {
+            "query": str(query),
+            "candidate": str(candidate),
+            "cosine": round(cosine, 4),
+            "above_threshold": cosine >= self.config.threshold,
+        }
+        if isinstance(self._index, SimHashLSHIndex):
+            explanation["lsh_candidate_probability"] = round(
+                self._index.expected_candidate_rate(cosine), 4
+            )
+        return explanation

@@ -1,0 +1,31 @@
+"""Dataset substrate: deterministic synthetic corpora mirroring the paper.
+
+The paper evaluates on three repositories (Table 1): the NextiaJD testbeds
+(XS/S/M/L), Spider, and the Sigma Sample Database, plus it assumes a large
+web-table corpus behind its pretrained embeddings.  None are redistributable
+here, so each is regenerated synthetically with the same *shape*: table /
+column / row-count profiles, join-quality ground-truth labelling rule
+(NextiaJD), PK/FK join paths (Spider), and the cross-database Joey scenario
+(Sigma).  All generation is seeded and deterministic.
+"""
+
+from repro.datasets.base import GroundTruth, JoinQuery, TableCorpus
+from repro.datasets.nextiajd import TESTBED_PROFILES, generate_testbed
+from repro.datasets.quality import JoinQuality, label_quality
+from repro.datasets.sigma import generate_sigma_sample_database
+from repro.datasets.spider import generate_spider_corpus
+from repro.datasets.webcorpus import WebTableCorpus, default_training_corpus
+
+__all__ = [
+    "GroundTruth",
+    "JoinQuality",
+    "JoinQuery",
+    "TableCorpus",
+    "TESTBED_PROFILES",
+    "WebTableCorpus",
+    "default_training_corpus",
+    "generate_sigma_sample_database",
+    "generate_spider_corpus",
+    "generate_testbed",
+    "label_quality",
+]

@@ -1,0 +1,154 @@
+"""Corpus containers: tables + queries + ground truth.
+
+A :class:`TableCorpus` bundles a simulated warehouse, the benchmark query
+columns, and (when available) the ground-truth answer sets.  Everything the
+evaluation harness consumes is here; generators in this package produce it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import MissingGroundTruthError
+from repro.storage.schema import ColumnRef
+from repro.storage.store import ColumnStore
+from repro.warehouse.catalog import Warehouse
+from repro.warehouse.connector import WarehouseConnector
+
+__all__ = ["JoinQuery", "GroundTruth", "TableCorpus"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinQuery:
+    """One benchmark query: find columns joinable with ``ref``."""
+
+    ref: ColumnRef
+
+    def __str__(self) -> str:
+        return f"JoinQuery({self.ref})"
+
+
+class GroundTruth:
+    """Query column → set of correct answer columns."""
+
+    def __init__(self, answers: Mapping[ColumnRef, Iterable[ColumnRef]] | None = None) -> None:
+        self._answers: dict[ColumnRef, frozenset[ColumnRef]] = {}
+        if answers:
+            for query, candidates in answers.items():
+                self._answers[query] = frozenset(candidates)
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def __contains__(self, query: ColumnRef) -> bool:
+        return query in self._answers
+
+    def add(self, query: ColumnRef, answer: ColumnRef) -> None:
+        """Record one (query, answer) pair."""
+        current = self._answers.get(query, frozenset())
+        self._answers[query] = current | {answer}
+
+    def answers(self, query: ColumnRef) -> frozenset[ColumnRef]:
+        """Answer set for ``query`` (empty set if none recorded)."""
+        return self._answers.get(query, frozenset())
+
+    def is_answer(self, query: ColumnRef, candidate: ColumnRef) -> bool:
+        """True when ``candidate`` is a correct answer for ``query``."""
+        return candidate in self._answers.get(query, frozenset())
+
+    def queries_with_answers(self) -> Iterator[ColumnRef]:
+        """Query refs that have at least one answer."""
+        for query, answers in self._answers.items():
+            if answers:
+                yield query
+
+    @property
+    def total_answers(self) -> int:
+        """Total number of (query, answer) pairs."""
+        return sum(len(answers) for answers in self._answers.values())
+
+    @property
+    def average_answers(self) -> float:
+        """Mean answer-set size over queries with answers."""
+        sizes = [len(answers) for answers in self._answers.values() if answers]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+@dataclass
+class TableCorpus:
+    """A named evaluation corpus over a simulated warehouse."""
+
+    name: str
+    warehouse: Warehouse
+    queries: list[JoinQuery] = field(default_factory=list)
+    ground_truth: GroundTruth | None = None
+
+    def connector(self, **kwargs) -> WarehouseConnector:
+        """Fresh metered connector to this corpus's warehouse."""
+        return WarehouseConnector(self.warehouse, **kwargs)
+
+    def to_store(self) -> ColumnStore:
+        """Materialize every table into an in-memory column store.
+
+        Bypasses metering — intended for ground-truth computation and tests,
+        not for the discovery systems (they must use a connector).
+        """
+        store = ColumnStore()
+        for database_name, table in self.warehouse.table_refs():
+            store.add_table(table, database=database_name)
+        return store
+
+    def require_ground_truth(self) -> GroundTruth:
+        """Ground truth or a loud :class:`MissingGroundTruthError`."""
+        if self.ground_truth is None:
+            raise MissingGroundTruthError(
+                f"corpus {self.name!r} has no ground truth (the paper's Sigma "
+                "corpus is evaluated qualitatively only)"
+            )
+        return self.ground_truth
+
+    # -- summary statistics (Table 1) ------------------------------------------
+
+    @property
+    def table_count(self) -> int:
+        """Number of tables."""
+        return self.warehouse.table_count
+
+    @property
+    def column_count(self) -> int:
+        """Number of columns."""
+        return self.warehouse.column_count
+
+    @property
+    def average_rows(self) -> float:
+        """Mean rows per table."""
+        tables = [table for _db, table in self.warehouse.table_refs()]
+        if not tables:
+            return 0.0
+        return sum(table.row_count for table in tables) / len(tables)
+
+    @property
+    def query_count(self) -> int:
+        """Number of benchmark queries."""
+        return len(self.queries)
+
+    @property
+    def average_answers(self) -> float:
+        """Mean ground-truth answers per query (0.0 without ground truth)."""
+        if self.ground_truth is None:
+            return 0.0
+        sizes = [len(self.ground_truth.answers(query.ref)) for query in self.queries]
+        positive = [size for size in sizes if size > 0]
+        return sum(positive) / len(positive) if positive else 0.0
+
+    def summary_row(self) -> dict[str, object]:
+        """One Table-1-style summary row."""
+        return {
+            "corpus": self.name,
+            "tables": self.table_count,
+            "columns": self.column_count,
+            "avg_rows": round(self.average_rows, 1),
+            "queries": self.query_count,
+            "avg_answers": round(self.average_answers, 1) if self.ground_truth else None,
+        }

@@ -1,0 +1,292 @@
+"""Value domains: the generative backbone of every synthetic corpus.
+
+A :class:`ValueDomain` is a named universe of entity values (companies,
+people, cities, …) with *rendering styles*.  Two columns drawn from the same
+domain are semantically related; whether they are *joinable* depends on how
+much of the domain subset they share (containment) — and whether that
+joinability is visible syntactically depends on the styles ("ACME DYNAMICS
+CORP" vs "Acme Dynamics Corp" vs "acme dynamics").  This is exactly the
+semantic-vs-syntactic axis the paper's evaluation probes.
+
+Numeric / date / code helpers live here too so all generators share one
+vocabulary of data shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+import numpy as np
+
+from repro.datasets import vocabularies as vocab
+from repro.storage.types import DataType
+
+__all__ = [
+    "ValueDomain",
+    "DOMAINS",
+    "PERSON_NAMES",
+    "domain",
+    "render_value",
+    "draw_subset",
+    "materialize_values",
+    "code_pool",
+    "sequential_ids",
+    "random_dates",
+    "lognormal_amounts",
+    "uniform_ints",
+    "uniform_floats",
+]
+
+
+def _striped_person_names(limit: int = 3000) -> tuple[str, ...]:
+    """A diverse subset of first+last combinations, deterministic order."""
+    names = []
+    firsts, lasts = vocab.FIRST_NAMES, vocab.LAST_NAMES
+    for index in range(limit):
+        first = firsts[index % len(firsts)]
+        last = lasts[(index * 7 + index // len(firsts)) % len(lasts)]
+        names.append(f"{first} {last}")
+    # The stripe can collide; keep first occurrences, preserving order.
+    return tuple(dict.fromkeys(names))
+
+
+PERSON_NAMES: tuple[str, ...] = _striped_person_names()
+
+
+def _email_pool() -> tuple[str, ...]:
+    domains = vocab.EMAIL_DOMAINS
+    return tuple(
+        f"{name.replace(' ', '.')}@{domains[index % len(domains)]}"
+        for index, name in enumerate(PERSON_NAMES)
+    )
+
+
+def _street_pool(limit: int = 1200) -> tuple[str, ...]:
+    street_types = ("st", "ave", "blvd", "rd", "ln", "dr", "ct", "way")
+    streets = []
+    for index in range(limit):
+        number = 100 + (index * 37) % 9900
+        name = vocab.STREET_NAMES[index % len(vocab.STREET_NAMES)]
+        stype = street_types[(index // len(vocab.STREET_NAMES)) % len(street_types)]
+        streets.append(f"{number} {name} {stype}")
+    return tuple(dict.fromkeys(streets))
+
+
+@dataclass(frozen=True)
+class ValueDomain:
+    """A named entity universe with rendering styles.
+
+    ``pool`` holds canonical (lowercase) values; ``styles`` lists the
+    rendering variants :func:`render_value` accepts for this domain.
+    """
+
+    name: str
+    dtype: DataType
+    pool: tuple[str, ...]
+    styles: tuple[str, ...] = ("title",)
+
+    def __post_init__(self) -> None:
+        if not self.pool:
+            raise ValueError(f"domain {self.name!r} has an empty pool")
+
+
+DOMAINS: dict[str, ValueDomain] = {
+    d.name: d
+    for d in (
+        ValueDomain(
+            "company",
+            DataType.STRING,
+            vocab.COMPANY_NAMES,
+            styles=("title", "upper", "lower", "no_suffix"),
+        ),
+        ValueDomain(
+            "person",
+            DataType.STRING,
+            PERSON_NAMES,
+            styles=("title", "upper", "last_first"),
+        ),
+        ValueDomain("city", DataType.STRING, vocab.CITIES, styles=("title", "upper")),
+        ValueDomain("country", DataType.STRING, vocab.COUNTRIES, styles=("title", "upper")),
+        ValueDomain("state", DataType.STRING, vocab.US_STATES, styles=("title", "upper")),
+        ValueDomain("sector", DataType.STRING, vocab.SECTORS, styles=("title",)),
+        ValueDomain(
+            "industry_group", DataType.STRING, vocab.INDUSTRY_GROUPS, styles=("title",)
+        ),
+        ValueDomain("product", DataType.STRING, vocab.PRODUCT_NAMES, styles=("title", "lower")),
+        ValueDomain(
+            "category", DataType.STRING, vocab.PRODUCT_CATEGORIES, styles=("title", "lower")
+        ),
+        ValueDomain("job_title", DataType.STRING, vocab.JOB_TITLES, styles=("title",)),
+        ValueDomain(
+            "ticker",
+            DataType.STRING,
+            tuple(vocab.TICKER_OF_COMPANY.values()),
+            styles=("upper",),
+        ),
+        ValueDomain("cuisine", DataType.STRING, vocab.CUISINES, styles=("title", "lower")),
+        ValueDomain("color", DataType.STRING, vocab.COLORS, styles=("title", "lower")),
+        ValueDomain("email", DataType.STRING, _email_pool(), styles=("lower",)),
+        ValueDomain("street", DataType.STRING, _street_pool(), styles=("title",)),
+        ValueDomain("endpoint", DataType.STRING, vocab.ENDPOINTS, styles=("lower",)),
+        ValueDomain("currency", DataType.STRING, vocab.CURRENCIES, styles=("upper", "lower")),
+    )
+}
+
+
+def domain(name: str) -> ValueDomain:
+    """Look up a domain by name."""
+    try:
+        return DOMAINS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown domain {name!r}; available: {', '.join(sorted(DOMAINS))}"
+        ) from None
+
+
+def render_value(domain_name: str, value: str, style: str) -> str:
+    """Render a canonical pool value in one of the domain's styles."""
+    styles = domain(domain_name).styles
+    if style not in styles:
+        raise ValueError(
+            f"domain {domain_name!r} does not support style {style!r}; "
+            f"supported: {styles}"
+        )
+    if style == "title":
+        return value.title()
+    if style == "upper":
+        return value.upper()
+    if style == "lower":
+        return value
+    if style == "no_suffix":
+        words = value.split()
+        return " ".join(words[:-1]).title() if len(words) > 1 else value.title()
+    if style == "last_first":
+        words = value.split()
+        if len(words) >= 2:
+            return f"{words[-1].title()}, {' '.join(words[:-1]).title()}"
+        return value.title()
+    raise AssertionError(f"style {style!r} declared but not implemented")
+
+
+def draw_subset(
+    domain_name: str, rng: np.random.Generator, size: int, *, anchor: int | None = None
+) -> tuple[str, ...]:
+    """Draw ``size`` distinct canonical values from a domain pool.
+
+    With ``anchor`` set, the subset is a contiguous slice starting at that
+    pool offset — useful for carving deliberately disjoint subsets (hard
+    negatives) out of one domain.
+    """
+    pool = domain(domain_name).pool
+    size = min(size, len(pool))
+    if anchor is not None:
+        start = anchor % len(pool)
+        doubled = pool + pool
+        return tuple(doubled[start : start + size])
+    indices = rng.choice(len(pool), size=size, replace=False)
+    return tuple(pool[int(index)] for index in indices)
+
+
+def materialize_values(
+    subset: tuple[str, ...],
+    n_rows: int,
+    rng: np.random.Generator,
+    *,
+    domain_name: str,
+    style: str = "title",
+    null_fraction: float = 0.0,
+    skew: float = 1.2,
+) -> list[str | None]:
+    """Expand a distinct-value subset into a realistic column payload.
+
+    Values repeat with a Zipf-like skew (join columns are rarely uniform),
+    rows are shuffled, and ``null_fraction`` of cells are nulled.  Every
+    subset value appears at least once when ``n_rows >= len(subset)``, so the
+    column's distinct set equals the subset — the property the ground-truth
+    labelling relies on.
+    """
+    if not subset:
+        raise ValueError("cannot materialize from an empty subset")
+    if not 0.0 <= null_fraction < 1.0:
+        raise ValueError(f"null_fraction must be in [0, 1), got {null_fraction}")
+    size = len(subset)
+    if n_rows >= size:
+        base = list(range(size))
+        weights = 1.0 / np.arange(1, size + 1, dtype=np.float64) ** skew
+        weights /= weights.sum()
+        extra = rng.choice(size, size=n_rows - size, p=weights)
+        indices = np.concatenate([np.asarray(base), extra])
+    else:
+        indices = rng.choice(size, size=n_rows, replace=False)
+    rng.shuffle(indices)
+    rendered = [render_value(domain_name, subset[int(i)], style) for i in indices]
+    if null_fraction > 0.0:
+        null_mask = rng.random(n_rows) < null_fraction
+        rendered = [
+            None if null_mask[row] else value for row, value in enumerate(rendered)
+        ]
+    return rendered
+
+
+# -- non-entity data shapes ----------------------------------------------------
+
+
+def code_pool(prefix: str, size: int, *, width: int = 5, start: int = 1) -> tuple[str, ...]:
+    """Codes like ``CUST-00042``: one shared prefix, zero-padded counters."""
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    return tuple(f"{prefix}-{number:0{width}d}" for number in range(start, start + size))
+
+
+def sequential_ids(start: int, n_rows: int) -> list[int]:
+    """Unique integer ids ``start .. start + n_rows - 1``."""
+    return list(range(start, start + n_rows))
+
+
+def random_dates(
+    rng: np.random.Generator,
+    n_rows: int,
+    *,
+    start: str = "2015-01-01",
+    end: str = "2023-12-31",
+) -> list[str]:
+    """ISO dates drawn uniformly from [start, end]."""
+    start_date = date.fromisoformat(start)
+    end_date = date.fromisoformat(end)
+    span = (end_date - start_date).days
+    if span < 0:
+        raise ValueError(f"start {start} is after end {end}")
+    offsets = rng.integers(0, span + 1, size=n_rows)
+    return [(start_date + timedelta(days=int(offset))).isoformat() for offset in offsets]
+
+
+def lognormal_amounts(
+    rng: np.random.Generator,
+    n_rows: int,
+    *,
+    mean: float = 4.0,
+    sigma: float = 1.0,
+    decimals: int = 2,
+) -> list[float]:
+    """Positive skewed amounts (prices, revenues)."""
+    return [round(float(x), decimals) for x in rng.lognormal(mean, sigma, size=n_rows)]
+
+
+def uniform_ints(
+    rng: np.random.Generator, n_rows: int, low: int, high: int
+) -> list[int]:
+    """Uniform integers in [low, high]."""
+    return [int(x) for x in rng.integers(low, high + 1, size=n_rows)]
+
+
+def uniform_floats(
+    rng: np.random.Generator,
+    n_rows: int,
+    low: float,
+    high: float,
+    *,
+    decimals: int = 4,
+) -> list[float]:
+    """Uniform floats in [low, high]."""
+    return [round(float(x), decimals) for x in rng.uniform(low, high, size=n_rows)]

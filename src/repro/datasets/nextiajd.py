@@ -1,0 +1,563 @@
+"""NextiaJD testbed generators (testbedXS / S / M / L).
+
+Flores et al. compose four testbeds of open CSV datasets binned by file
+size; the paper evaluates on them with ground truth = attribute pairs whose
+NextiaJD join quality is Good or High.  We regenerate testbeds with the same
+*structure*:
+
+* the published table/column counts per testbed, with row counts scaled
+  down by default so experiments run on one machine (the paper's M testbed
+  averages 3.2M rows; scale factors are recorded in the profile and
+  reported by the Table 1 benchmark);
+* planted **join groups**: columns across tables drawing nested subsets of
+  one value domain.  Nesting produces the full spectrum of containment /
+  cardinality-proportion combinations — including the high-containment /
+  low-Jaccard pairs on which embedding search beats thresholded MinHash;
+* **hard negatives**: same-domain columns with disjoint value subsets
+  (semantically similar, not joinable) and cross-style variants (joinable
+  only after transformation, hence *not* labelled by the syntactic rule);
+* numeric / date / id noise columns filling each table to its column quota.
+
+Ground truth is then computed *post hoc* from the generated data with the
+NextiaJD quality rule (:mod:`repro.datasets.quality`), so labels reflect
+actual value overlap, never generator intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.datasets import domains as dom
+from repro.datasets.base import TableCorpus
+from repro.datasets.quality import compute_ground_truth
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.storage.types import DataType
+from repro.warehouse.catalog import Warehouse
+
+__all__ = ["TestbedProfile", "TESTBED_PROFILES", "generate_testbed"]
+
+
+@dataclass(frozen=True)
+class TestbedProfile:
+    """Shape of one testbed, with the paper's published statistics attached."""
+
+    key: str
+    n_tables: int
+    columns_per_table: int
+    rows_low: int
+    rows_high: int
+    n_groups: int
+    paper_tables: int
+    paper_columns: int
+    paper_avg_rows: int
+    paper_queries: int
+    paper_avg_answers: float
+
+    @property
+    def name(self) -> str:
+        """Corpus name, e.g. ``testbedS``."""
+        return f"testbed{self.key}"
+
+    @property
+    def row_scale_note(self) -> float:
+        """Default-rows / paper-rows ratio (documentation aid)."""
+        default_avg = (self.rows_low + self.rows_high) / 2
+        return default_avg / self.paper_avg_rows
+
+
+TESTBED_PROFILES: dict[str, TestbedProfile] = {
+    profile.key: profile
+    for profile in (
+        TestbedProfile(
+            key="XS",
+            n_tables=28,
+            columns_per_table=9,
+            rows_low=600,
+            rows_high=3400,
+            n_groups=9,
+            paper_tables=28,
+            paper_columns=257,
+            paper_avg_rows=1_938,
+            paper_queries=35,
+            paper_avg_answers=2.8,
+        ),
+        TestbedProfile(
+            key="S",
+            n_tables=46,
+            columns_per_table=18,
+            rows_low=300,
+            rows_high=1_200,
+            n_groups=42,
+            paper_tables=46,
+            paper_columns=2_553,
+            paper_avg_rows=209_646,
+            paper_queries=177,
+            paper_avg_answers=3.6,
+        ),
+        TestbedProfile(
+            key="M",
+            n_tables=46,
+            columns_per_table=23,
+            rows_low=1_200,
+            rows_high=4_800,
+            n_groups=46,
+            paper_tables=46,
+            paper_columns=1_067,
+            paper_avg_rows=3_175_904,
+            paper_queries=188,
+            paper_avg_answers=4.4,
+        ),
+        TestbedProfile(
+            key="L",
+            n_tables=19,
+            columns_per_table=28,
+            rows_low=2_500,
+            rows_high=9_500,
+            n_groups=22,
+            paper_tables=19,
+            paper_columns=541,
+            paper_avg_rows=12_288_165,
+            paper_queries=92,
+            paper_avg_answers=3.6,
+        ),
+    )
+}
+
+# Entity domains used for join groups, with column-name synonyms.  The
+# rotation order interleaves big and small pools.
+_GROUP_CONCEPTS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("company", ("company", "company_name", "vendor", "organization", "supplier")),
+    ("person", ("name", "full_name", "contact_name", "customer_name", "employee")),
+    ("city", ("city", "town", "location_city", "municipality")),
+    ("product", ("product", "product_name", "item", "item_name")),
+    ("country", ("country", "nation", "country_name")),
+    ("email", ("email", "email_address", "contact_email")),
+    ("category", ("category", "product_category", "dept")),
+    ("state", ("state", "province", "region")),
+    ("street", ("address", "street_address", "billing_address")),
+    ("job_title", ("title", "job_title", "position", "role")),
+    ("ticker", ("ticker", "symbol", "stock_symbol")),
+)
+
+# Code-style key groups: (prefix, name synonyms).
+_CODE_CONCEPTS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("cust", ("customer_id", "cust_id", "client_id")),
+    ("ord", ("order_id", "order_no", "order_ref")),
+    ("sku", ("sku", "product_code", "item_code")),
+    ("emp", ("employee_id", "emp_id", "staff_id")),
+    ("inv", ("invoice_id", "invoice_no", "bill_id")),
+)
+
+# Unhelpful names given to dirty (contaminated) member columns.
+_GENERIC_NAMES: tuple[str, ...] = (
+    "data", "value", "field", "entry", "label", "text", "info", "misc",
+)
+
+_NOISE_SHAPES: tuple[tuple[str, str], ...] = (
+    ("amount", "amount"),
+    ("quantity", "int:1:500"),
+    ("rating", "float:1:5"),
+    ("created_at", "date"),
+    ("price", "amount"),
+    ("year", "int:1990:2023"),
+    ("score", "float:0:100"),
+    ("updated_at", "date"),
+    ("discount_pct", "float:0:60"),
+    ("total", "amount"),
+    ("stock_level", "int:0:10000"),
+    ("weight_kg", "float:0:80"),
+)
+
+
+@dataclass
+class _MemberPlan:
+    """One planted column: which table slot, values, name, style.
+
+    ``contamination`` optionally mixes in values from a *different* domain:
+    the column stays labelled joinable (its base subset keeps containment
+    high) but its embedding drifts away from the group centroid — the
+    realistic dirty-data case that caps every system's recall in Figure 4.
+    """
+
+    group_id: int
+    column_name: str
+    values_kind: str  # "entity" | "code" | "int"
+    domain_name: str | None
+    subset: tuple
+    style: str
+    contamination_domain: str | None = None
+    contamination: tuple = ()
+
+
+def _nested_subset_sizes(
+    base_size: int, n_members: int, rng: np.random.Generator
+) -> list[int]:
+    """Sizes for nested member subsets: the hub plus shrinking fractions.
+
+    Fractions span [0.12, 1.0], deliberately crossing the NextiaJD GOOD
+    containment boundary (0.5) in both directions so the label structure is
+    rich: small/large ratio < 0.5 labels only the small→large direction.
+    """
+    sizes = [base_size]
+    for _ in range(n_members - 1):
+        # Log-spread fractions: half the member pairs end up with a size
+        # ratio (= Jaccard of nested sets) below 0.35 even though the
+        # small→large containment is total — the regime where thresholded
+        # MinHash misses joins that embeddings keep.
+        fraction = float(10.0 ** rng.uniform(-0.95, 0.0))
+        sizes.append(max(3, int(round(fraction * base_size))))
+    return sizes
+
+
+def _plan_groups(
+    profile: TestbedProfile, rng: np.random.Generator
+) -> list[list[_MemberPlan]]:
+    """Plan every join group and its hard negatives.
+
+    Returns a list of member lists; hard negatives are appended as
+    singleton groups (group_id -1) so assembly treats them uniformly.
+    """
+    groups: list[list[_MemberPlan]] = []
+    negatives: list[list[_MemberPlan]] = []
+    max_base = max(12, int(profile.rows_low * 0.8))
+    n_entity = len(_GROUP_CONCEPTS)
+    for group_id in range(profile.n_groups):
+        kind_draw = rng.random()
+        members: list[_MemberPlan] = []
+        n_members = int(rng.integers(2, 5))
+        base_size = int(rng.integers(12, max_base + 1))
+        sizes = _nested_subset_sizes(base_size, n_members, rng)
+        if kind_draw < 0.62:
+            # Entity-domain group.
+            domain_name, synonyms = _GROUP_CONCEPTS[group_id % n_entity]
+            pool_size = len(dom.domain(domain_name).pool)
+            base_size = min(base_size, pool_size)
+            sizes = [min(size, base_size) for size in sizes]
+            anchor = (group_id * 311) % pool_size
+            base = dom.draw_subset(domain_name, rng, base_size, anchor=anchor)
+            default_style = dom.domain(domain_name).styles[0]
+            for member_index, size in enumerate(sizes):
+                style = default_style
+                # ~15% of non-hub members render in an alternate style:
+                # semantically joinable, not syntactically labelled.
+                alt_styles = [
+                    s for s in dom.domain(domain_name).styles if s != default_style
+                ]
+                if member_index > 0 and alt_styles and rng.random() < 0.15:
+                    style = alt_styles[int(rng.integers(0, len(alt_styles)))]
+                contamination_domain = None
+                contamination: tuple = ()
+                column_name = synonyms[member_index % len(synonyms)]
+                if member_index > 0 and rng.random() < 0.3:
+                    # Dirty member: mix in a disjoint slice of another
+                    # domain.  Dirty columns also tend to carry unhelpful
+                    # names, so no evidence type gets them for free.
+                    other_name, _ = _GROUP_CONCEPTS[
+                        (group_id + member_index + 1) % n_entity
+                    ]
+                    if other_name != domain_name:
+                        contamination_domain = other_name
+                        other_pool = len(dom.domain(other_name).pool)
+                        contamination = dom.draw_subset(
+                            other_name,
+                            rng,
+                            min(other_pool, max(3, int(size * rng.uniform(0.4, 0.9)))),
+                            anchor=(group_id * 197) % other_pool,
+                        )
+                        column_name = _GENERIC_NAMES[
+                            int(rng.integers(0, len(_GENERIC_NAMES)))
+                        ]
+                members.append(
+                    _MemberPlan(
+                        group_id=group_id,
+                        column_name=column_name,
+                        values_kind="entity",
+                        domain_name=domain_name,
+                        subset=base[:size],
+                        style=style,
+                        contamination_domain=contamination_domain,
+                        contamination=contamination,
+                    )
+                )
+            # Hard negatives: same domain, disjoint pool slices.  They share
+            # the group's semantics (and often its column names) without
+            # sharing values, so they crowd the top-k of every system —
+            # the main reason the paper's precision tops out near 0.5.
+            if rng.random() < 0.85 and pool_size > 2 * base_size:
+                n_negatives = int(rng.integers(1, 4))
+                for negative_index in range(n_negatives):
+                    negative_anchor = (
+                        anchor
+                        + (negative_index + 1) * pool_size // (n_negatives + 1)
+                    ) % pool_size
+                    negative = dom.draw_subset(
+                        domain_name, rng, base_size, anchor=negative_anchor
+                    )
+                    style = default_style
+                    alt_styles = [
+                        s for s in dom.domain(domain_name).styles if s != default_style
+                    ]
+                    if alt_styles and rng.random() < 0.25:
+                        style = alt_styles[int(rng.integers(0, len(alt_styles)))]
+                    negatives.append(
+                        [
+                            _MemberPlan(
+                                group_id=-1,
+                                column_name=synonyms[int(rng.integers(0, len(synonyms)))],
+                                values_kind="entity",
+                                domain_name=domain_name,
+                                subset=negative,
+                                style=style,
+                            )
+                        ]
+                    )
+        elif kind_draw < 0.85:
+            # Code-key group: shared prefix, nested ranges.
+            prefix, synonyms = _CODE_CONCEPTS[group_id % len(_CODE_CONCEPTS)]
+            start = 1 + group_id * 20_000
+            base = dom.code_pool(prefix, base_size, start=start)
+            for member_index, size in enumerate(sizes):
+                members.append(
+                    _MemberPlan(
+                        group_id=group_id,
+                        column_name=synonyms[member_index % len(synonyms)],
+                        values_kind="code",
+                        domain_name=None,
+                        subset=base[:size],
+                        style="",
+                    )
+                )
+            # Hard negatives: same prefix and format, distant ranges.
+            if rng.random() < 0.8:
+                for negative_index in range(int(rng.integers(1, 3))):
+                    negative = dom.code_pool(
+                        prefix, base_size, start=start + 10_000 * (negative_index + 1)
+                    )
+                    negatives.append(
+                        [
+                            _MemberPlan(
+                                group_id=-1,
+                                column_name=synonyms[int(rng.integers(0, len(synonyms)))],
+                                values_kind="code",
+                                domain_name=None,
+                                subset=negative,
+                                style="",
+                            )
+                        ]
+                    )
+        else:
+            # Integer-key group: nested integer ranges with a shared offset.
+            start = 1 + group_id * 50_000
+            base = tuple(range(start, start + base_size))
+            for member_index, size in enumerate(sizes):
+                members.append(
+                    _MemberPlan(
+                        group_id=group_id,
+                        column_name=("ref_id", "fk_id", "link_id", "key_id")[
+                            member_index % 4
+                        ],
+                        values_kind="int",
+                        domain_name=None,
+                        subset=base[:size],
+                        style="",
+                    )
+                )
+        groups.append(members)
+    groups.extend(negatives)
+    return groups
+
+
+def _expand_plain(
+    subset: tuple, n_rows: int, rng: np.random.Generator
+) -> list:
+    """Expand a code/int subset into ``n_rows`` values with Zipf-ish skew.
+
+    Mirrors :func:`repro.datasets.domains.materialize_values` minus style
+    rendering: full coverage when ``n_rows >= len(subset)``.
+    """
+    size = len(subset)
+    if n_rows >= size:
+        weights = 1.0 / np.arange(1, size + 1, dtype=np.float64) ** 1.2
+        weights /= weights.sum()
+        extra = rng.choice(size, size=n_rows - size, p=weights)
+        indices = np.concatenate([np.arange(size), extra])
+    else:
+        indices = rng.choice(size, size=n_rows, replace=False)
+    rng.shuffle(indices)
+    return [subset[int(index)] for index in indices]
+
+
+def _noise_column(
+    name: str, shape: str, n_rows: int, rng: np.random.Generator
+) -> Column:
+    """Build one numeric / date noise column from a shape spec."""
+    if shape == "amount":
+        return Column(name, dom.lognormal_amounts(rng, n_rows), DataType.FLOAT)
+    if shape == "date":
+        return Column(name, dom.random_dates(rng, n_rows), DataType.DATE, coerce=True)
+    kind, low, high = shape.split(":")
+    if kind == "int":
+        return Column(name, dom.uniform_ints(rng, n_rows, int(low), int(high)), DataType.INTEGER)
+    return Column(
+        name, dom.uniform_floats(rng, n_rows, float(low), float(high)), DataType.FLOAT
+    )
+
+
+def _member_column(plan: _MemberPlan, name: str, n_rows: int, rng: np.random.Generator) -> Column:
+    """Materialize one planted member column."""
+    if plan.values_kind == "entity":
+        assert plan.domain_name is not None
+        null_fraction = float(rng.uniform(0.0, 0.04))
+        main_rows = n_rows
+        contaminated: list[str | None] = []
+        if plan.contamination:
+            # Split rows proportionally to the two subsets' sizes so both
+            # keep full distinct coverage where row counts allow.
+            share = len(plan.subset) / (len(plan.subset) + len(plan.contamination))
+            main_rows = max(len(plan.subset), int(n_rows * share))
+            main_rows = min(main_rows, n_rows - 1)
+            assert plan.contamination_domain is not None
+            contaminated = dom.materialize_values(
+                plan.contamination,
+                n_rows - main_rows,
+                rng,
+                domain_name=plan.contamination_domain,
+                style=dom.domain(plan.contamination_domain).styles[0],
+            )
+        values = dom.materialize_values(
+            plan.subset,
+            main_rows,
+            rng,
+            domain_name=plan.domain_name,
+            style=plan.style,
+            null_fraction=null_fraction,
+        )
+        values = values + contaminated
+        indices = rng.permutation(len(values))
+        values = [values[int(index)] for index in indices]
+        return Column(name, values, DataType.STRING)
+    values = _expand_plain(plan.subset, n_rows, rng)
+    dtype = DataType.INTEGER if plan.values_kind == "int" else DataType.STRING
+    return Column(name, values, dtype)
+
+
+def generate_testbed(
+    key: str,
+    *,
+    seed: int = 11,
+    rows_scale: float = 1.0,
+    max_queries: int | None = None,
+) -> TableCorpus:
+    """Generate one NextiaJD-style testbed corpus.
+
+    ``rows_scale`` multiplies the profile's row range (1.0 = repository
+    default, already scaled down from paper sizes); ``max_queries``
+    optionally truncates the benchmark query set deterministically.
+    """
+    try:
+        profile = TESTBED_PROFILES[key.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown testbed {key!r}; available: {', '.join(TESTBED_PROFILES)}"
+        ) from None
+    if rows_scale <= 0:
+        raise ValueError(f"rows_scale must be positive, got {rows_scale}")
+
+    rng = rng_for("nextiajd", profile.key, seed)
+    groups = _plan_groups(profile, rng)
+
+    # Decide table sizes up front.
+    rows_low = max(10, int(profile.rows_low * rows_scale))
+    rows_high = max(rows_low + 1, int(profile.rows_high * rows_scale))
+    table_rows = [int(rng.integers(rows_low, rows_high)) for _ in range(profile.n_tables)]
+    table_columns: list[list[Column]] = [[] for _ in range(profile.n_tables)]
+    used_names: list[set[str]] = [set() for _ in range(profile.n_tables)]
+
+    def _place(plan: _MemberPlan, table_index: int) -> None:
+        base_name = plan.column_name
+        name = base_name
+        suffix = 2
+        while name in used_names[table_index]:
+            name = f"{base_name}_{suffix}"
+            suffix += 1
+        used_names[table_index].add(name)
+        column_rng = rng_for(
+            "nextiajd-member", profile.key, seed, table_index, name
+        )
+        table_columns[table_index].append(
+            _member_column(plan, name, table_rows[table_index], column_rng)
+        )
+
+    # Spread each group's members over distinct tables.
+    table_cursor = 0
+    for members in groups:
+        chosen = rng.permutation(profile.n_tables)[: len(members)]
+        if len(chosen) < len(members):  # more members than tables (tiny profiles)
+            chosen = np.arange(len(members)) % profile.n_tables
+        for plan, table_index in zip(members, chosen):
+            _place(plan, int(table_index))
+        table_cursor += 1
+
+    # Fill every table up to its column quota with noise.
+    for table_index in range(profile.n_tables):
+        noise_rng = rng_for("nextiajd-noise", profile.key, seed, table_index)
+        shape_offset = int(noise_rng.integers(0, len(_NOISE_SHAPES)))
+        # Leading sequential id with a per-table offset: realistic, and the
+        # offsets keep unrelated id columns from colliding.
+        id_column = Column(
+            "id",
+            dom.sequential_ids(1 + table_index * 1_000_000, table_rows[table_index]),
+            DataType.INTEGER,
+        )
+        if "id" not in used_names[table_index]:
+            table_columns[table_index].insert(0, id_column)
+            used_names[table_index].add("id")
+        position = 0
+        while len(table_columns[table_index]) < profile.columns_per_table:
+            shape_name, shape = _NOISE_SHAPES[
+                (shape_offset + position) % len(_NOISE_SHAPES)
+            ]
+            position += 1
+            name = shape_name
+            suffix = 2
+            while name in used_names[table_index]:
+                name = f"{shape_name}_{suffix}"
+                suffix += 1
+            used_names[table_index].add(name)
+            table_columns[table_index].append(
+                _noise_column(name, shape, table_rows[table_index], noise_rng)
+            )
+
+    warehouse = Warehouse(profile.name)
+    database_name = profile.name.lower()
+    for table_index in range(profile.n_tables):
+        table = Table(f"dataset_{table_index:03d}", table_columns[table_index])
+        warehouse.add_table(database_name, table)
+
+    corpus = TableCorpus(profile.name, warehouse)
+    truth, queries = compute_ground_truth(corpus.to_store())
+    if max_queries is not None and len(queries) > max_queries:
+        picker = rng_for("nextiajd-queries", profile.key, seed)
+        chosen_indices = picker.choice(len(queries), size=max_queries, replace=False)
+        queries = [queries[int(i)] for i in sorted(chosen_indices)]
+    corpus.ground_truth = truth
+    corpus.queries = queries
+    return corpus
+
+
+def paper_summary_rows() -> Iterable[dict[str, object]]:
+    """The published Table 1 rows for the four testbeds."""
+    for profile in TESTBED_PROFILES.values():
+        yield {
+            "corpus": profile.name,
+            "tables": profile.paper_tables,
+            "columns": profile.paper_columns,
+            "avg_rows": profile.paper_avg_rows,
+            "queries": profile.paper_queries,
+            "avg_answers": profile.paper_avg_answers,
+        }

@@ -1,0 +1,127 @@
+"""NextiaJD join-quality labelling.
+
+Flores, Nadal & Romero (EDBT 2021) label attribute pairs by a *join quality*
+derived from two measurable proxies over distinct value sets:
+
+* containment ``C(A, B) = |A ∩ B| / |A|`` — how much of the query column
+  finds a join partner;
+* cardinality proportion ``K(A, B) = min(|A|, |B|) / max(|A|, |B|)`` — how
+  balanced the two sides are.
+
+with empirically determined thresholds mapping (C, K) to a discrete quality
+level.  The paper's evaluation uses pairs labelled **Good** or **High** as
+ground truth; we implement the same rule and apply it to the *generated*
+data, so labels reflect actual value overlap rather than generator intent.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from enum import IntEnum
+
+from repro.datasets.base import GroundTruth, JoinQuery
+from repro.storage.schema import ColumnRef
+from repro.storage.store import ColumnStore
+from repro.storage.types import DataType
+
+__all__ = ["JoinQuality", "label_quality", "compute_ground_truth"]
+
+
+class JoinQuality(IntEnum):
+    """Discrete join-quality levels, ordered."""
+
+    NONE = 0
+    POOR = 1
+    MODERATE = 2
+    GOOD = 3
+    HIGH = 4
+
+
+# (containment floor, cardinality-proportion floor) per level, best first.
+_QUALITY_RULES: tuple[tuple[JoinQuality, float, float], ...] = (
+    (JoinQuality.HIGH, 0.75, 0.25),
+    (JoinQuality.GOOD, 0.50, 0.10),
+    (JoinQuality.MODERATE, 0.25, 0.05),
+    (JoinQuality.POOR, 0.10, 0.0),
+)
+
+
+def label_quality(containment: float, cardinality_proportion: float) -> JoinQuality:
+    """Map (C, K) to a :class:`JoinQuality` with the NextiaJD thresholds.
+
+    >>> label_quality(0.9, 0.5)
+    <JoinQuality.HIGH: 4>
+    >>> label_quality(0.6, 0.2)
+    <JoinQuality.GOOD: 3>
+    """
+    for level, containment_floor, proportion_floor in _QUALITY_RULES:
+        if containment >= containment_floor and cardinality_proportion >= proportion_floor:
+            return level
+    return JoinQuality.NONE
+
+
+# NextiaJD labels *textual* attributes; unconstrained numeric columns
+# (quantities, years, ratings) would otherwise all appear mutually joinable.
+_LABELABLE_TYPES = (DataType.STRING,)
+
+
+def compute_ground_truth(
+    store: ColumnStore,
+    *,
+    minimum_quality: JoinQuality = JoinQuality.GOOD,
+    min_distinct: int = 3,
+) -> tuple[GroundTruth, list[JoinQuery]]:
+    """Label every cross-table column pair of the corpus by join quality.
+
+    Pairs at or above ``minimum_quality`` become ground truth; every column
+    with at least one answer becomes a benchmark query.  An inverted
+    value→columns index restricts containment computation to pairs that
+    share at least one value (pairs sharing nothing are NONE by definition),
+    keeping labelling near-linear in total distinct values.
+    """
+    refs: list[ColumnRef] = []
+    distinct_sets: dict[ColumnRef, frozenset[str]] = {}
+    for ref in store.column_refs():
+        column = store.column(ref)
+        if column.dtype not in _LABELABLE_TYPES:
+            continue
+        distinct = frozenset(str(value) for value in column.distinct_values)
+        if len(distinct) < min_distinct:
+            continue
+        refs.append(ref)
+        distinct_sets[ref] = distinct
+
+    # Inverted index: value -> column ids holding it.
+    ref_ids = {ref: index for index, ref in enumerate(refs)}
+    holders: dict[str, list[int]] = defaultdict(list)
+    for ref in refs:
+        rid = ref_ids[ref]
+        for value in distinct_sets[ref]:
+            holders[value].append(rid)
+
+    # Pairwise intersection sizes, only for co-occurring pairs.
+    intersections: Counter[tuple[int, int]] = Counter()
+    for holder_ids in holders.values():
+        if len(holder_ids) < 2:
+            continue
+        for position, left in enumerate(holder_ids):
+            for right in holder_ids[position + 1 :]:
+                key = (left, right) if left < right else (right, left)
+                intersections[key] += 1
+
+    truth = GroundTruth()
+    for (left_id, right_id), shared in intersections.items():
+        left_ref, right_ref = refs[left_id], refs[right_id]
+        if left_ref.same_table(right_ref):
+            continue
+        size_left = len(distinct_sets[left_ref])
+        size_right = len(distinct_sets[right_ref])
+        proportion = min(size_left, size_right) / max(size_left, size_right)
+        # Quality is directional: label both directions independently.
+        if label_quality(shared / size_left, proportion) >= minimum_quality:
+            truth.add(left_ref, right_ref)
+        if label_quality(shared / size_right, proportion) >= minimum_quality:
+            truth.add(right_ref, left_ref)
+
+    queries = [JoinQuery(ref) for ref in refs if truth.answers(ref)]
+    return truth, queries

@@ -1,0 +1,494 @@
+"""Sigma Sample Database: the paper's qualitative, cross-database corpus.
+
+The real corpus is a Snowflake database available to Sigma accounts, mixing
+retail, financial, demographic, and usage data; the paper reports 98 tables
+and 1,343 columns with no ground truth (§4.3.3 evaluates it with an ad-hoc
+user study).  We rebuild its published structure:
+
+* a **SALESFORCE** database whose ``ACCOUNT.Name`` column is the running
+  example's query;
+* a **STOCKS** database whose ``INDUSTRIES`` table carries
+  ``Company Name`` / ``Industry Group`` / ``Ticker`` — the discovery chain
+  Joey walks in the paper (Name → Company Name → Ticker → PRICES);
+* retail, census, restaurant, bike-share, usage, and finance databases;
+* snapshot/copy tables (``ACCOUNT_2021`` and friends) padding the corpus to
+  the published ~98-table scale — faithfully to life, since enterprise
+  warehouses are full of such copies.
+
+Company subsets are arranged so the Joey scenario reproduces: LEAD.Company
+overlaps ACCOUNT.Name heavily (same database, same rendering), while
+INDUSTRIES."Company Name" covers nearly the whole company universe but
+renders UPPERCASE — joinable only semantically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.datasets import domains as dom
+from repro.datasets.base import TableCorpus
+from repro.datasets.vocabularies import TICKER_OF_COMPANY
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.storage.types import DataType
+from repro.warehouse.catalog import Warehouse
+
+__all__ = ["generate_sigma_sample_database", "JOEY_QUERY"]
+
+# The running example's query column, importable by examples and benches.
+JOEY_QUERY = ("SALESFORCE", "ACCOUNT", "Name")
+
+
+def _entity(
+    name: str,
+    domain_name: str,
+    subset: tuple,
+    n_rows: int,
+    rng: np.random.Generator,
+    *,
+    style: str | None = None,
+    null_fraction: float = 0.0,
+) -> Column:
+    values = dom.materialize_values(
+        subset,
+        n_rows,
+        rng,
+        domain_name=domain_name,
+        style=style or dom.domain(domain_name).styles[0],
+        null_fraction=null_fraction,
+    )
+    return Column(name, values, DataType.STRING)
+
+
+def _dates(name: str, n_rows: int, rng: np.random.Generator) -> Column:
+    return Column(name, dom.random_dates(rng, n_rows), DataType.DATE, coerce=True)
+
+
+def _amounts(name: str, n_rows: int, rng: np.random.Generator, **kwargs) -> Column:
+    return Column(name, dom.lognormal_amounts(rng, n_rows, **kwargs), DataType.FLOAT)
+
+
+def _ints(name: str, n_rows: int, rng, low: int, high: int) -> Column:
+    return Column(name, dom.uniform_ints(rng, n_rows, low, high), DataType.INTEGER)
+
+
+def _floats(name: str, n_rows: int, rng, low: float, high: float) -> Column:
+    return Column(name, dom.uniform_floats(rng, n_rows, low, high), DataType.FLOAT)
+
+
+def _snapshot(table: Table, suffix: str, rng: np.random.Generator) -> Table:
+    """A snapshot copy: subset of rows under a year-stamped name."""
+    keep = max(10, int(table.row_count * float(rng.uniform(0.4, 0.9))))
+    indices = np.sort(rng.choice(table.row_count, size=keep, replace=False))
+    return table.take([int(i) for i in indices]).rename(f"{table.name}_{suffix}")
+
+
+def generate_sigma_sample_database(
+    *,
+    seed: int = 17,
+    rows_scale: float = 1.0,
+    with_snapshots: bool = True,
+) -> TableCorpus:
+    """Generate the Sigma Sample Database corpus (no ground truth)."""
+    if rows_scale <= 0:
+        raise ValueError(f"rows_scale must be positive, got {rows_scale}")
+    rng = rng_for("sigma", seed)
+    rows = lambda base: max(12, int(base * rows_scale))  # noqa: E731
+
+    warehouse = Warehouse("sigma_sample_database")
+    company_pool = dom.domain("company").pool
+
+    # Company universes: INDUSTRIES covers a wide slice of the public-company
+    # world; ACCOUNT holds the slice of companies that are customers; LEAD
+    # overlaps ACCOUNT heavily plus prospects ACCOUNT lacks.
+    industries_universe = company_pool[:1200]
+    account_universe = company_pool[100:500]
+    lead_universe = company_pool[250:700]
+
+    # -- SALESFORCE ------------------------------------------------------------
+    n_accounts = rows(2_000)
+    account = Table(
+        "ACCOUNT",
+        [
+            Column(
+                "Account_Id",
+                list(dom.code_pool("acct", n_accounts)),
+                DataType.STRING,
+            ),
+            _entity("Name", "company", account_universe, n_accounts, rng),
+            _entity("Billing_City", "city", dom.domain("city").pool[:80], n_accounts, rng),
+            _entity("Billing_State", "state", dom.domain("state").pool, n_accounts, rng),
+            _amounts("Annual_Revenue", n_accounts, rng, mean=13.0, sigma=1.2),
+            _ints("Employee_Count", n_accounts, rng, 10, 250_000),
+            _dates("Created_Date", n_accounts, rng),
+        ],
+        primary_key="Account_Id",
+    )
+    n_leads = rows(3_000)
+    lead = Table(
+        "LEAD",
+        [
+            Column("Lead_Id", list(dom.code_pool("lead", n_leads)), DataType.STRING),
+            _entity("Company", "company", lead_universe, n_leads, rng),
+            _entity("Contact_Name", "person", dom.PERSON_NAMES[:900], n_leads, rng),
+            _entity("Title", "job_title", dom.domain("job_title").pool, n_leads, rng),
+            _entity("Email", "email", dom.domain("email").pool[:900], n_leads, rng),
+            _entity("City", "city", dom.domain("city").pool[:80], n_leads, rng),
+            _dates("Created_Date", n_leads, rng),
+        ],
+        primary_key="Lead_Id",
+    )
+    n_contacts = rows(2_500)
+    contact = Table(
+        "CONTACT",
+        [
+            Column("Contact_Id", list(dom.code_pool("cont", n_contacts)), DataType.STRING),
+            _entity("Name", "person", dom.PERSON_NAMES[:1200], n_contacts, rng),
+            _entity("Account_Name", "company", account_universe, n_contacts, rng),
+            _entity("Email", "email", dom.domain("email").pool[:1200], n_contacts, rng),
+            _entity("Mailing_City", "city", dom.domain("city").pool[:80], n_contacts, rng),
+            _dates("Last_Activity", n_contacts, rng),
+        ],
+        primary_key="Contact_Id",
+    )
+    n_opps = rows(1_500)
+    opportunity = Table(
+        "OPPORTUNITY",
+        [
+            Column("Opportunity_Id", list(dom.code_pool("opp", n_opps)), DataType.STRING),
+            Column(
+                "Account_Id",
+                [
+                    f"acct-{int(i):05d}"
+                    for i in rng.integers(1, max(2, int(n_accounts * 0.8)), size=n_opps)
+                ],
+                DataType.STRING,
+            ),
+            _amounts("Amount", n_opps, rng, mean=10.0, sigma=1.0),
+            _entity(
+                "Stage",
+                "category",
+                ("prospecting", "qualification", "proposal", "negotiation", "closed won", "closed lost"),
+                n_opps,
+                rng,
+                style="title",
+            ),
+            _dates("Close_Date", n_opps, rng),
+        ],
+        primary_key="Opportunity_Id",
+    )
+    for table in (account, lead, contact, opportunity):
+        warehouse.add_table("SALESFORCE", table)
+
+    # -- STOCKS -----------------------------------------------------------------
+    n_industries = len(industries_universe)
+    industry_rng = rng_for("sigma-industries", seed)
+    tickers = tuple(TICKER_OF_COMPANY[company] for company in industries_universe)
+    industries = Table(
+        "INDUSTRIES",
+        [
+            Column(
+                "Company_Name",
+                [value.upper() for value in industries_universe],
+                DataType.STRING,
+            ),
+            Column("Ticker", list(tickers), DataType.STRING),
+            _entity(
+                "Industry_Group",
+                "industry_group",
+                dom.domain("industry_group").pool,
+                n_industries,
+                industry_rng,
+            ),
+            _entity("Sector", "sector", dom.domain("sector").pool, n_industries, industry_rng),
+        ],
+        primary_key="Ticker",
+    )
+    n_prices = rows(5_000)
+    price_tickers = [tickers[int(i)] for i in rng.integers(0, len(tickers), size=n_prices)]
+    prices = Table(
+        "PRICES",
+        [
+            Column("Ticker", price_tickers, DataType.STRING),
+            _dates("Trade_Date", n_prices, rng),
+            _floats("Open", n_prices, rng, 5, 900),
+            _floats("Close", n_prices, rng, 5, 900),
+            _ints("Volume", n_prices, rng, 1_000, 40_000_000),
+        ],
+    )
+    n_securities = rows(1_000)
+    securities = Table(
+        "SECURITIES",
+        [
+            Column(
+                "Ticker",
+                [tickers[int(i)] for i in rng.integers(0, len(tickers), size=n_securities)],
+                DataType.STRING,
+            ),
+            _entity(
+                "Exchange",
+                "category",
+                ("nyse", "nasdaq", "amex", "lse", "tse"),
+                n_securities,
+                rng,
+                style="title",
+            ),
+            _entity("Currency", "currency", dom.domain("currency").pool, n_securities, rng),
+            _floats("Beta", n_securities, rng, 0.2, 3.0),
+        ],
+    )
+    for table in (industries, prices, securities):
+        warehouse.add_table("STOCKS", table)
+
+    # -- RETAIL -----------------------------------------------------------------
+    n_products = rows(1_200)
+    sku_pool = dom.code_pool("sku", n_products)
+    products = Table(
+        "PRODUCTS",
+        [
+            Column("Sku", list(sku_pool), DataType.STRING),
+            _entity("Product_Name", "product", dom.domain("product").pool[:700], n_products, rng),
+            _entity("Category", "category", dom.domain("category").pool, n_products, rng),
+            _entity(
+                "Brand",
+                "company",
+                company_pool[400:900],
+                n_products,
+                rng,
+                style="no_suffix",
+            ),
+            _amounts("Price", n_products, rng, mean=3.2, sigma=0.9),
+        ],
+        primary_key="Sku",
+    )
+    n_stores = rows(150)
+    stores = Table(
+        "STORES",
+        [
+            Column("Store_Id", list(dom.code_pool("st", n_stores, width=4)), DataType.STRING),
+            _entity("City", "city", dom.domain("city").pool[:100], n_stores, rng),
+            _entity("State", "state", dom.domain("state").pool, n_stores, rng),
+            _ints("Square_Feet", n_stores, rng, 2_000, 120_000),
+        ],
+        primary_key="Store_Id",
+    )
+    n_transactions = rows(8_000)
+    transactions = Table(
+        "TRANSACTIONS",
+        [
+            Column(
+                "Transaction_Id",
+                dom.sequential_ids(1, n_transactions),
+                DataType.INTEGER,
+            ),
+            Column(
+                "Sku",
+                [sku_pool[int(i)] for i in rng.integers(0, int(len(sku_pool) * 0.85), size=n_transactions)],
+                DataType.STRING,
+            ),
+            Column(
+                "Store_Id",
+                [
+                    f"st-{int(i):04d}"
+                    for i in rng.integers(1, max(2, int(n_stores * 0.9)), size=n_transactions)
+                ],
+                DataType.STRING,
+            ),
+            _ints("Quantity", n_transactions, rng, 1, 12),
+            _amounts("Amount", n_transactions, rng, mean=3.5, sigma=1.0),
+            _dates("Sold_At", n_transactions, rng),
+        ],
+    )
+    n_customers = rows(2_000)
+    customers = Table(
+        "CUSTOMERS",
+        [
+            Column("Loyalty_Id", list(dom.code_pool("loy", n_customers)), DataType.STRING),
+            _entity("Customer_Name", "person", dom.PERSON_NAMES[:1500], n_customers, rng),
+            _entity("Email", "email", dom.domain("email").pool[:1500], n_customers, rng),
+            _entity("City", "city", dom.domain("city").pool[:100], n_customers, rng),
+        ],
+        primary_key="Loyalty_Id",
+    )
+    for table in (products, stores, transactions, customers):
+        warehouse.add_table("RETAIL", table)
+
+    # -- CENSUS -------------------------------------------------------------------
+    n_cities = min(len(dom.domain("city").pool), rows(120))
+    census_rng = rng_for("sigma-census", seed)
+    demographics = Table(
+        "DEMOGRAPHICS",
+        [
+            _entity("City", "city", dom.domain("city").pool[:n_cities], n_cities, census_rng),
+            _entity("State", "state", dom.domain("state").pool, n_cities, census_rng),
+            _ints("Population", n_cities, census_rng, 5_000, 9_000_000),
+            _ints("Median_Income", n_cities, census_rng, 28_000, 160_000),
+            _floats("Median_Age", n_cities, census_rng, 22, 55),
+        ],
+    )
+    housing = Table(
+        "HOUSING",
+        [
+            _entity("City", "city", dom.domain("city").pool[:n_cities], n_cities, census_rng),
+            _ints("Median_Home_Price", n_cities, census_rng, 90_000, 2_500_000),
+            _ints("Housing_Units", n_cities, census_rng, 2_000, 3_500_000),
+        ],
+    )
+    for table in (demographics, housing):
+        warehouse.add_table("CENSUS", table)
+
+    # -- RESTAURANTS ---------------------------------------------------------------
+    n_venues = rows(600)
+    venues = Table(
+        "VENUES",
+        [
+            Column("Venue_Id", list(dom.code_pool("ven", n_venues)), DataType.STRING),
+            _entity("Owner", "person", dom.PERSON_NAMES[:400], n_venues, rng),
+            _entity("Cuisine", "cuisine", dom.domain("cuisine").pool, n_venues, rng),
+            _entity("City", "city", dom.domain("city").pool[:100], n_venues, rng),
+            _floats("Rating", n_venues, rng, 1.0, 5.0),
+        ],
+        primary_key="Venue_Id",
+    )
+    n_inspections = rows(1_800)
+    inspections = Table(
+        "INSPECTIONS",
+        [
+            Column(
+                "Venue_Id",
+                [
+                    f"ven-{int(i):05d}"
+                    for i in rng.integers(1, max(2, int(n_venues * 0.8)), size=n_inspections)
+                ],
+                DataType.STRING,
+            ),
+            _dates("Inspected_On", n_inspections, rng),
+            _ints("Score", n_inspections, rng, 55, 100),
+        ],
+    )
+    for table in (venues, inspections):
+        warehouse.add_table("RESTAURANTS", table)
+
+    # -- BIKES ------------------------------------------------------------------------
+    n_stations = rows(200)
+    bikes_rng = rng_for("sigma-bikes", seed)
+    stations = Table(
+        "STATIONS",
+        [
+            Column("Station_Id", dom.sequential_ids(1, n_stations), DataType.INTEGER),
+            _entity("City", "city", dom.domain("city").pool[:40], n_stations, bikes_rng),
+            _ints("Docks", n_stations, bikes_rng, 8, 60),
+            _floats("Lat", n_stations, bikes_rng, 25.0, 48.0),
+            _floats("Lon", n_stations, bikes_rng, -123.0, -71.0),
+        ],
+        primary_key="Station_Id",
+    )
+    n_trips = rows(6_000)
+    trips = Table(
+        "TRIPS",
+        [
+            Column("Trip_Id", dom.sequential_ids(1, n_trips), DataType.INTEGER),
+            _ints("Start_Station", n_trips, bikes_rng, 1, n_stations),
+            _ints("End_Station", n_trips, bikes_rng, 1, n_stations),
+            _ints("Duration_Sec", n_trips, bikes_rng, 60, 7_200),
+            _dates("Started_At", n_trips, bikes_rng),
+        ],
+    )
+    for table in (stations, trips):
+        warehouse.add_table("BIKES", table)
+
+    # -- USAGE -------------------------------------------------------------------------
+    usage_rng = rng_for("sigma-usage", seed)
+    n_logs = rows(9_000)
+    server_logs = Table(
+        "SERVER_LOGS",
+        [
+            _dates("Logged_At", n_logs, usage_rng),
+            _entity("Endpoint", "endpoint", dom.domain("endpoint").pool, n_logs, usage_rng),
+            _ints("Status", n_logs, usage_rng, 200, 599),
+            _ints("Latency_Ms", n_logs, usage_rng, 1, 4_000),
+        ],
+    )
+    n_app = rows(2_500)
+    app_usage = Table(
+        "APP_USAGE",
+        [
+            _entity("User_Email", "email", dom.domain("email").pool[:1000], n_app, usage_rng),
+            _entity(
+                "Feature",
+                "category",
+                ("workbooks", "lookup", "dashboards", "alerts", "exports", "api"),
+                n_app,
+                usage_rng,
+                style="title",
+            ),
+            _ints("Sessions", n_app, usage_rng, 1, 120),
+            _dates("Used_On", n_app, usage_rng),
+        ],
+    )
+    n_meter = rows(1_200)
+    metering = Table(
+        "METERING",
+        [
+            Column(
+                "Account_Id",
+                [
+                    f"acct-{int(i):05d}"
+                    for i in usage_rng.integers(1, max(2, n_accounts), size=n_meter)
+                ],
+                DataType.STRING,
+            ),
+            _ints("Bytes_Scanned", n_meter, usage_rng, 10_000, 2_000_000_000),
+            _ints("Query_Count", n_meter, usage_rng, 1, 50_000),
+            _dates("Metered_On", n_meter, usage_rng),
+        ],
+    )
+    for table in (server_logs, app_usage, metering):
+        warehouse.add_table("USAGE", table)
+
+    # -- FINANCE -----------------------------------------------------------------------
+    finance_rng = rng_for("sigma-finance", seed)
+    n_daily = rows(4_000)
+    daily = Table(
+        "DAILY_ATTRIBUTES",
+        [
+            Column(
+                "Ticker",
+                [tickers[int(i)] for i in finance_rng.integers(0, len(tickers), size=n_daily)],
+                DataType.STRING,
+            ),
+            _dates("As_Of", n_daily, finance_rng),
+            _floats("Pe_Ratio", n_daily, finance_rng, 3.0, 80.0),
+            _floats("Dividend_Yield", n_daily, finance_rng, 0.0, 8.0),
+            _floats("Beta", n_daily, finance_rng, 0.2, 3.0),
+        ],
+    )
+    n_portfolio = rows(800)
+    portfolios = Table(
+        "PORTFOLIOS",
+        [
+            Column("Portfolio_Id", list(dom.code_pool("pf", n_portfolio, width=4)), DataType.STRING),
+            Column(
+                "Ticker",
+                [tickers[int(i)] for i in finance_rng.integers(0, len(tickers), size=n_portfolio)],
+                DataType.STRING,
+            ),
+            _floats("Weight", n_portfolio, finance_rng, 0.001, 0.2),
+        ],
+    )
+    for table in (daily, portfolios):
+        warehouse.add_table("FINANCE", table)
+
+    # -- snapshot copies pad the corpus to the published ~98-table scale --------
+    if with_snapshots:
+        snapshot_rng = rng_for("sigma-snapshots", seed)
+        originals = list(warehouse.table_refs())
+        years = ("2019", "2020", "2021", "2022")
+        for database_name, table in originals:
+            n_copies = int(snapshot_rng.integers(2, 5))
+            for copy_index in range(n_copies):
+                snapshot = _snapshot(table, years[copy_index % len(years)], snapshot_rng)
+                warehouse.add_table(database_name, snapshot)
+
+    return TableCorpus("sigma", warehouse)

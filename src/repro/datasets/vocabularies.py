@@ -1,0 +1,299 @@
+"""Deterministic domain lexicons.
+
+These pools are the shared "world knowledge" linking the synthetic web-table
+training corpus to the evaluation corpora: a pretrained embedding model is
+useful precisely because the entities in an enterprise warehouse also occur
+on the web.  Pools are plain tuples built at import time — no RNG — so every
+run of every generator sees the identical universe.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "CITIES",
+    "COUNTRIES",
+    "US_STATES",
+    "SECTORS",
+    "INDUSTRY_GROUPS",
+    "COMPANY_NAMES",
+    "TICKER_OF_COMPANY",
+    "PRODUCT_NAMES",
+    "PRODUCT_CATEGORIES",
+    "JOB_TITLES",
+    "STREET_NAMES",
+    "EMAIL_DOMAINS",
+    "CURRENCIES",
+    "COLORS",
+    "CUISINES",
+    "ENDPOINTS",
+    "USER_AGENT_TOKENS",
+]
+
+FIRST_NAMES: tuple[str, ...] = (
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+    "lisa", "daniel", "nancy", "matthew", "betty", "anthony", "sandra",
+    "mark", "margaret", "donald", "ashley", "steven", "kimberly", "andrew",
+    "emily", "paul", "donna", "joshua", "michelle", "kenneth", "carol",
+    "kevin", "amanda", "brian", "melissa", "george", "deborah", "timothy",
+    "stephanie", "ronald", "rebecca", "jason", "sharon", "edward", "laura",
+    "jeffrey", "cynthia", "ryan", "kathleen", "jacob", "amy", "gary",
+    "angela", "nicholas", "shirley", "eric", "anna", "jonathan", "brenda",
+    "stephen", "pamela", "larry", "emma", "justin", "nicole", "scott",
+    "helen", "brandon", "samantha", "benjamin", "katherine", "samuel",
+    "christine", "gregory", "debra", "alexander", "rachel", "patrick",
+    "carolyn", "frank", "janet", "raymond", "maria", "jack", "olivia",
+    "dennis", "heather", "jerry", "diane", "tyler", "julie", "aaron",
+    "joyce", "jose", "victoria", "adam", "ruth", "nathan", "virginia",
+    "henry", "lauren", "zachary", "kelly", "douglas", "christina", "peter",
+    "joan", "kyle", "evelyn", "noah", "judith", "ethan", "andrea",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+    "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+    "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+    "kim", "cox", "ward", "richardson", "watson", "brooks", "chavez",
+    "wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+    "price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+    "ross", "foster", "jimenez", "powell", "jenkins", "perry", "russell",
+    "sullivan", "bell", "coleman", "butler", "henderson", "barnes",
+    "fisher", "vasquez", "simmons", "romero", "jordan", "patterson",
+    "alexander", "hamilton", "graham", "reynolds", "griffin", "wallace",
+)
+
+CITIES: tuple[str, ...] = (
+    "new york", "los angeles", "chicago", "houston", "phoenix",
+    "philadelphia", "san antonio", "san diego", "dallas", "san jose",
+    "austin", "jacksonville", "fort worth", "columbus", "charlotte",
+    "san francisco", "indianapolis", "seattle", "denver", "boston",
+    "el paso", "nashville", "detroit", "oklahoma city", "portland",
+    "las vegas", "memphis", "louisville", "baltimore", "milwaukee",
+    "albuquerque", "tucson", "fresno", "sacramento", "kansas city",
+    "mesa", "atlanta", "omaha", "colorado springs", "raleigh", "miami",
+    "virginia beach", "oakland", "minneapolis", "tulsa", "arlington",
+    "tampa", "new orleans", "wichita", "cleveland", "bakersfield",
+    "aurora", "anaheim", "honolulu", "santa ana", "riverside",
+    "corpus christi", "lexington", "stockton", "henderson", "saint paul",
+    "st louis", "cincinnati", "pittsburgh", "greensboro", "anchorage",
+    "plano", "lincoln", "orlando", "irvine", "newark", "toledo", "durham",
+    "chula vista", "fort wayne", "jersey city", "st petersburg", "laredo",
+    "madison", "chandler", "buffalo", "lubbock", "scottsdale", "reno",
+    "glendale", "gilbert", "winston salem", "north las vegas", "norfolk",
+    "chesapeake", "garland", "irving", "hialeah", "fremont", "boise",
+    "richmond", "baton rouge", "spokane", "des moines", "tacoma",
+    "london", "paris", "berlin", "madrid", "rome", "amsterdam", "vienna",
+    "dublin", "lisbon", "prague", "tokyo", "osaka", "seoul", "singapore",
+    "sydney", "melbourne", "toronto", "vancouver", "montreal", "mexico city",
+)
+
+COUNTRIES: tuple[str, ...] = (
+    "united states", "canada", "mexico", "brazil", "argentina", "chile",
+    "colombia", "peru", "united kingdom", "france", "germany", "spain",
+    "italy", "portugal", "netherlands", "belgium", "switzerland", "austria",
+    "sweden", "norway", "denmark", "finland", "ireland", "poland",
+    "czech republic", "hungary", "greece", "turkey", "russia", "ukraine",
+    "china", "japan", "south korea", "india", "indonesia", "thailand",
+    "vietnam", "philippines", "malaysia", "singapore", "australia",
+    "new zealand", "south africa", "nigeria", "egypt", "kenya", "morocco",
+    "israel", "saudi arabia", "united arab emirates", "qatar", "pakistan",
+    "bangladesh", "sri lanka", "nepal", "taiwan", "hong kong", "iceland",
+    "luxembourg", "estonia",
+)
+
+US_STATES: tuple[str, ...] = (
+    "alabama", "alaska", "arizona", "arkansas", "california", "colorado",
+    "connecticut", "delaware", "florida", "georgia", "hawaii", "idaho",
+    "illinois", "indiana", "iowa", "kansas", "kentucky", "louisiana",
+    "maine", "maryland", "massachusetts", "michigan", "minnesota",
+    "mississippi", "missouri", "montana", "nebraska", "nevada",
+    "new hampshire", "new jersey", "new mexico", "new york",
+    "north carolina", "north dakota", "ohio", "oklahoma", "oregon",
+    "pennsylvania", "rhode island", "south carolina", "south dakota",
+    "tennessee", "texas", "utah", "vermont", "virginia", "washington",
+    "west virginia", "wisconsin", "wyoming",
+)
+
+SECTORS: tuple[str, ...] = (
+    "energy", "materials", "industrials", "consumer discretionary",
+    "consumer staples", "health care", "financials",
+    "information technology", "communication services", "utilities",
+    "real estate",
+)
+
+INDUSTRY_GROUPS: tuple[str, ...] = (
+    "automobiles", "banks", "capital goods", "commercial services",
+    "consumer durables", "consumer services", "diversified financials",
+    "energy equipment", "food and beverage", "food retailing",
+    "health care equipment", "household products", "insurance",
+    "materials", "media and entertainment", "pharmaceuticals",
+    "real estate management", "retailing", "semiconductors",
+    "software and services", "technology hardware", "telecommunication",
+    "transportation", "utilities",
+)
+
+_COMPANY_PREFIXES: tuple[str, ...] = (
+    "acme", "global", "north", "south", "east", "west", "pacific",
+    "atlantic", "summit", "pinnacle", "apex", "vertex", "nova", "stellar",
+    "quantum", "fusion", "synergy", "united", "allied", "premier", "prime",
+    "omega", "alpha", "delta", "sigma", "vector", "matrix", "nexus",
+    "orbit", "terra", "aqua", "solar", "lunar", "arctic", "cascade",
+    "granite", "ironwood", "silverlake", "bluepeak", "redstone", "coastal",
+    "heartland", "frontier", "liberty", "sterling", "crescent", "beacon",
+    "harbor", "meridian", "zenith",
+)
+
+_COMPANY_CORES: tuple[str, ...] = (
+    "dynamics", "logistics", "analytics", "robotics", "biotech", "pharma",
+    "energy", "motors", "airlines", "foods", "beverages", "retail",
+    "media", "telecom", "networks", "software", "hardware", "semiconductor",
+    "materials", "mining", "chemical", "textile", "apparel", "finance",
+    "capital", "insurance", "realty", "shipping", "rail", "freight",
+    "agro", "dairy", "paper", "packaging", "plastics", "steel", "aero",
+    "marine", "medical", "dental",
+)
+
+_COMPANY_SUFFIXES: tuple[str, ...] = (
+    "corp", "inc", "llc", "ltd", "group", "holdings", "partners",
+    "industries", "international", "technologies", "systems", "labs",
+    "solutions", "enterprises", "ventures", "co",
+)
+
+
+def _build_company_names() -> tuple[str, ...]:
+    """~2000 distinct two- or three-part company names, deterministic order.
+
+    The cartesian product is striped (prefix-core pairs cycle through
+    suffixes) so adjacent pool entries don't share a suffix — subsets drawn
+    from a pool slice still look diverse.
+    """
+    names = []
+    pairs = list(product(_COMPANY_PREFIXES, _COMPANY_CORES))
+    for index, (prefix, core) in enumerate(pairs):
+        suffix = _COMPANY_SUFFIXES[index % len(_COMPANY_SUFFIXES)]
+        names.append(f"{prefix} {core} {suffix}")
+    return tuple(names)
+
+
+COMPANY_NAMES: tuple[str, ...] = _build_company_names()
+
+
+def _ticker_of(company: str, used: set[str]) -> str:
+    """Derive a distinct uppercase ticker from a company name."""
+    words = company.split()
+    base = (words[0][:2] + words[1][:2]).upper()
+    ticker = base
+    attempt = 1
+    while ticker in used:
+        ticker = f"{base}{attempt}"
+        attempt += 1
+    used.add(ticker)
+    return ticker
+
+
+def _build_tickers() -> dict[str, str]:
+    used: set[str] = set()
+    return {company: _ticker_of(company, used) for company in COMPANY_NAMES}
+
+
+TICKER_OF_COMPANY: dict[str, str] = _build_tickers()
+
+_PRODUCT_ADJECTIVES: tuple[str, ...] = (
+    "classic", "premium", "deluxe", "compact", "portable", "wireless",
+    "organic", "vintage", "modern", "ergonomic", "ultra", "smart", "eco",
+    "pro", "mini", "max", "turbo", "heavy duty", "lightweight", "foldable",
+)
+
+_PRODUCT_NOUNS: tuple[str, ...] = (
+    "backpack", "headphones", "keyboard", "monitor", "desk lamp",
+    "water bottle", "notebook", "sneakers", "jacket", "umbrella", "mug",
+    "blender", "toaster", "vacuum", "drill", "hammer", "wrench", "tent",
+    "sleeping bag", "bicycle", "scooter", "camera", "tripod", "speaker",
+    "charger", "router", "printer", "scanner", "projector", "microphone",
+    "guitar", "keyboard stand", "yoga mat", "dumbbell", "treadmill",
+    "sofa", "bookshelf", "mattress", "pillow", "curtain",
+)
+
+PRODUCT_NAMES: tuple[str, ...] = tuple(
+    f"{adjective} {noun}"
+    for adjective, noun in product(_PRODUCT_ADJECTIVES, _PRODUCT_NOUNS)
+)
+
+PRODUCT_CATEGORIES: tuple[str, ...] = (
+    "electronics", "home and kitchen", "sports and outdoors", "clothing",
+    "office supplies", "tools and hardware", "furniture", "music",
+    "fitness", "travel gear", "toys and games", "garden", "automotive",
+    "pet supplies", "beauty", "grocery",
+)
+
+JOB_TITLES: tuple[str, ...] = (
+    "software engineer", "data analyst", "product manager",
+    "account executive", "sales director", "marketing manager",
+    "financial analyst", "operations manager", "hr specialist",
+    "customer success manager", "data scientist", "devops engineer",
+    "business analyst", "controller", "treasurer", "chief executive",
+    "chief financial officer", "chief technology officer",
+    "regional manager", "support engineer", "solutions architect",
+    "technical writer", "recruiter", "office manager", "legal counsel",
+    "procurement specialist", "quality engineer", "research scientist",
+    "ux designer", "project coordinator",
+)
+
+STREET_NAMES: tuple[str, ...] = (
+    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake",
+    "hill", "park", "sunset", "ridge", "river", "spring", "church",
+    "franklin", "highland", "forest", "jackson", "lincoln", "madison",
+    "jefferson", "adams", "monroe", "chestnut", "walnut", "willow",
+    "birch", "spruce", "magnolia", "dogwood", "juniper", "sycamore",
+    "laurel", "hawthorn", "poplar", "aspen", "cherry", "peach", "orchard",
+)
+
+EMAIL_DOMAINS: tuple[str, ...] = (
+    "gmail.com", "yahoo.com", "outlook.com", "hotmail.com", "aol.com",
+    "icloud.com", "proton.me", "fastmail.com", "zoho.com", "mail.com",
+)
+
+CURRENCIES: tuple[str, ...] = (
+    "usd", "eur", "gbp", "jpy", "cad", "aud", "chf", "cny", "inr", "brl",
+    "mxn", "krw", "sek", "nok", "dkk", "sgd",
+)
+
+COLORS: tuple[str, ...] = (
+    "black", "white", "red", "blue", "green", "yellow", "orange", "purple",
+    "pink", "brown", "gray", "navy", "teal", "maroon", "olive", "silver",
+    "gold", "beige", "turquoise", "charcoal",
+)
+
+CUISINES: tuple[str, ...] = (
+    "italian", "mexican", "chinese", "japanese", "thai", "indian",
+    "french", "greek", "spanish", "korean", "vietnamese", "american",
+    "mediterranean", "ethiopian", "lebanese", "turkish", "brazilian",
+    "peruvian", "moroccan", "german",
+)
+
+ENDPOINTS: tuple[str, ...] = (
+    "/api/v1/users", "/api/v1/orders", "/api/v1/products", "/api/v1/carts",
+    "/api/v1/payments", "/api/v1/sessions", "/api/v1/search",
+    "/api/v1/recommendations", "/api/v1/inventory", "/api/v1/shipping",
+    "/api/v2/users", "/api/v2/orders", "/api/v2/metrics", "/api/v2/events",
+    "/health", "/metrics", "/login", "/logout", "/signup", "/checkout",
+)
+
+USER_AGENT_TOKENS: tuple[str, ...] = (
+    "mozilla", "chrome", "safari", "firefox", "edge", "opera", "webkit",
+    "gecko", "mobile", "android", "iphone", "ipad", "macintosh", "windows",
+    "linux", "curl", "python-requests", "okhttp", "bot", "crawler",
+)

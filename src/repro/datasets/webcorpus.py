@@ -1,0 +1,233 @@
+"""Synthetic web-table corpus: training data for the embedding model.
+
+Stands in for the Common Crawl web-table corpora (WDC, Dresden) behind the
+paper's pretrained Web Table Embeddings.  Tables are generated per *topic*
+(companies, people, stocks, geography, retail, restaurants, web logs) with
+columns drawn from the shared value domains, then serialized two ways:
+
+* **column sequences** — header tokens followed by cell tokens of one
+  column: the strong signal that values of one semantic domain co-occur;
+* **row sequences** — tokens across one row: the weak cross-attribute
+  signal (a company co-occurs with its sector and ticker).
+
+The same domain pools feed the evaluation corpora, which is the whole
+point: pretrained embeddings transfer because web entities and warehouse
+entities overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.datasets import domains as dom
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.storage.types import DataType
+from repro.text.tokenize import split_identifier, tokenize_value
+
+__all__ = ["WebTableCorpus", "generate_web_tables", "default_training_corpus"]
+
+
+@dataclass
+class WebTableCorpus:
+    """Generated web tables plus their serialized training sequences."""
+
+    tables: list[Table] = field(default_factory=list)
+    column_sequences: list[list[str]] = field(default_factory=list)
+    row_sequences: list[list[str]] = field(default_factory=list)
+
+    @property
+    def table_count(self) -> int:
+        """Number of web tables."""
+        return len(self.tables)
+
+    @property
+    def token_count(self) -> int:
+        """Total tokens across column sequences."""
+        return sum(len(sequence) for sequence in self.column_sequences)
+
+
+# Topic blueprints: (topic weight, [(header, domain or shape, style), ...]).
+# Shapes starting with "#" are numeric/date columns (excluded from column
+# serialization but present in the tables for realism).
+_TOPICS: tuple[tuple[str, float, tuple[tuple[str, str, str], ...]], ...] = (
+    (
+        "companies",
+        1.6,
+        (
+            ("company_name", "company", "title"),
+            ("sector", "sector", "title"),
+            ("headquarters_city", "city", "title"),
+            ("country", "country", "title"),
+            ("employees", "#int:50:200000", ""),
+            ("founded", "#int:1900:2022", ""),
+        ),
+    ),
+    (
+        "people",
+        1.2,
+        (
+            ("full_name", "person", "title"),
+            ("job_title", "job_title", "title"),
+            ("city", "city", "title"),
+            ("email", "email", "lower"),
+            ("employer", "company", "title"),
+        ),
+    ),
+    (
+        "stocks",
+        1.4,
+        (
+            ("company", "company", "upper"),
+            ("ticker", "ticker", "upper"),
+            ("sector", "sector", "title"),
+            ("industry_group", "industry_group", "title"),
+            ("close_price", "#amount", ""),
+        ),
+    ),
+    (
+        "geography",
+        0.8,
+        (
+            ("city", "city", "title"),
+            ("state", "state", "title"),
+            ("country", "country", "title"),
+            ("population", "#int:5000:9000000", ""),
+        ),
+    ),
+    (
+        "retail",
+        1.2,
+        (
+            ("product_name", "product", "title"),
+            ("category", "category", "title"),
+            ("color", "color", "title"),
+            ("brand", "company", "no_suffix"),
+            ("price", "#amount", ""),
+        ),
+    ),
+    (
+        "restaurants",
+        0.6,
+        (
+            ("owner", "person", "title"),
+            ("cuisine", "cuisine", "title"),
+            ("city", "city", "title"),
+            ("street_address", "street", "title"),
+            ("rating", "#float:1:5", ""),
+        ),
+    ),
+    (
+        "web_logs",
+        0.6,
+        (
+            ("endpoint", "endpoint", "lower"),
+            ("currency", "currency", "upper"),
+            ("status", "#int:200:599", ""),
+            ("latency_ms", "#int:1:2000", ""),
+        ),
+    ),
+)
+
+
+def _numeric_column(name: str, shape: str, n_rows: int, rng: np.random.Generator) -> Column:
+    """Build a numeric column from a ``#kind:...`` shape spec."""
+    if shape == "#amount":
+        return Column(name, dom.lognormal_amounts(rng, n_rows), DataType.FLOAT)
+    kind, *bounds = shape.lstrip("#").split(":")
+    low, high = int(bounds[0]), int(bounds[1])
+    if kind == "int":
+        return Column(name, dom.uniform_ints(rng, n_rows, low, high), DataType.INTEGER)
+    if kind == "float":
+        return Column(
+            name, dom.uniform_floats(rng, n_rows, float(low), float(high)), DataType.FLOAT
+        )
+    raise ValueError(f"unknown numeric shape {shape!r}")
+
+
+def _entity_column(
+    name: str,
+    domain_name: str,
+    style: str,
+    n_rows: int,
+    table_index: int,
+    rng: np.random.Generator,
+) -> Column:
+    """Build an entity column whose subset strides the pool for coverage.
+
+    Anchored slices rotate through the pool across tables, so every pool
+    value appears in the corpus with near-uniform frequency — which keeps
+    vocabulary coverage high at a small corpus size.
+    """
+    pool_size = len(dom.domain(domain_name).pool)
+    subset_size = min(max(n_rows // 2, 8), pool_size)
+    anchor = (table_index * 61) % pool_size
+    subset = dom.draw_subset(domain_name, rng, subset_size, anchor=anchor)
+    values = dom.materialize_values(
+        subset, n_rows, rng, domain_name=domain_name, style=style, skew=0.6
+    )
+    return Column(name, values, DataType.STRING)
+
+
+def generate_web_tables(
+    n_tables: int = 320,
+    *,
+    rows_low: int = 40,
+    rows_high: int = 90,
+    seed: int = 7,
+) -> WebTableCorpus:
+    """Generate the web-table training corpus (deterministic in ``seed``)."""
+    if n_tables <= 0:
+        raise ValueError(f"n_tables must be positive, got {n_tables}")
+    corpus = WebTableCorpus()
+    weights = np.array([weight for _name, weight, _cols in _TOPICS])
+    weights = weights / weights.sum()
+    topic_rng = rng_for("webcorpus-topics", seed)
+    topic_choices = topic_rng.choice(len(_TOPICS), size=n_tables, p=weights)
+    for table_index in range(n_tables):
+        topic_name, _weight, column_specs = _TOPICS[int(topic_choices[table_index])]
+        rng = rng_for("webcorpus-table", seed, table_index)
+        n_rows = int(rng.integers(rows_low, rows_high + 1))
+        columns: list[Column] = []
+        for header, shape, style in column_specs:
+            if shape.startswith("#"):
+                columns.append(_numeric_column(header, shape, n_rows, rng))
+            else:
+                columns.append(
+                    _entity_column(header, shape, style, n_rows, table_index, rng)
+                )
+        table = Table(f"web_{topic_name}_{table_index:04d}", columns)
+        corpus.tables.append(table)
+        _serialize_table(table, corpus)
+    return corpus
+
+
+def _serialize_table(table: Table, corpus: WebTableCorpus) -> None:
+    """Append the table's column and row sequences to the corpus."""
+    string_columns = [
+        column for column in table.columns if column.dtype is DataType.STRING
+    ]
+    for column in string_columns:
+        sequence = list(split_identifier(column.name))
+        for value in column.non_null_values():
+            sequence.extend(tokenize_value(value))
+        if len(sequence) > 1:
+            corpus.column_sequences.append(sequence)
+    for row_index in range(table.row_count):
+        row_tokens: list[str] = []
+        for column in string_columns:
+            value = column[row_index]
+            if value is not None:
+                row_tokens.extend(tokenize_value(value))
+        if len(row_tokens) > 1:
+            corpus.row_sequences.append(row_tokens)
+
+
+@lru_cache(maxsize=1)
+def default_training_corpus() -> WebTableCorpus:
+    """The canonical pretraining corpus (cached per process)."""
+    return generate_web_tables()

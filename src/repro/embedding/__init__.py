@@ -1,0 +1,44 @@
+"""Embedding substrate: token vectors, column encoders, model registry.
+
+The paper uses Web Table Embeddings (Günther et al., 2021) pre-trained on
+Common Crawl web tables.  Offline, we train the equivalent in-repo:
+:class:`WebTableEmbeddingModel` learns word vectors with PPMI co-occurrence
+factorization over a synthetic web-table corpus, and falls back to
+deterministic character-n-gram hashing vectors for out-of-vocabulary tokens.
+:class:`BertLikeEmbeddingModel` reproduces the §4.4 comparison arm: a deeper
+contextual encoder that is deliberately ~10x more expensive per token while
+no more effective for join discovery.
+
+:class:`ColumnEncoder` turns a (possibly sampled) column into one unit
+vector: serialize → tokenize → embed tokens → aggregate → L2-normalize.
+"""
+
+from repro.embedding.bertlike import BertLikeEmbeddingModel
+from repro.embedding.contextual import ContextualColumnEncoder
+from repro.embedding.encoder import ColumnEncoder
+from repro.embedding.finetune import (
+    ContrastiveFineTuner,
+    FineTunedEncoder,
+    FineTuneReport,
+)
+from repro.embedding.hashing import HashingEmbeddingModel, hashed_token_vector
+from repro.embedding.numeric import numeric_profile_vector
+from repro.embedding.registry import available_models, get_model
+from repro.embedding.vocab import Vocabulary
+from repro.embedding.webtable import WebTableEmbeddingModel
+
+__all__ = [
+    "BertLikeEmbeddingModel",
+    "ColumnEncoder",
+    "ContextualColumnEncoder",
+    "ContrastiveFineTuner",
+    "FineTunedEncoder",
+    "FineTuneReport",
+    "HashingEmbeddingModel",
+    "Vocabulary",
+    "WebTableEmbeddingModel",
+    "available_models",
+    "get_model",
+    "hashed_token_vector",
+    "numeric_profile_vector",
+]

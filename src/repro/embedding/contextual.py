@@ -1,0 +1,114 @@
+"""Contextual column embeddings (§5.2.1).
+
+The paper's first optimization direction: *"context (e.g., other columns in
+the same table, user activities, query logs) can potentially provide
+auxiliary information that is critical to find semantically related
+candidates. We plan to explore the option of incorporating context
+information into the underlying embedding model."*
+
+:class:`ContextualColumnEncoder` implements the "other columns in the same
+table" variant: a column's embedding is blended with a *table-context
+vector* built from the names (and optionally sampled values) of its sibling
+columns.  Two columns whose own values are ambiguous — say, short code
+columns — become distinguishable when one lives among ``order_date,
+ship_city, carrier`` and the other among ``ticker, close_price, volume``.
+
+The encoder is a drop-in replacement for
+:class:`~repro.embedding.encoder.ColumnEncoder` with one extra requirement:
+``encode_in_table(column, table)`` needs the owning table.  ``encode`` alone
+falls back to the context-free embedding, so existing pipelines keep
+working.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.encoder import ColumnEncoder
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.text.tokenize import split_identifier, tokenize_value
+
+__all__ = ["ContextualColumnEncoder"]
+
+
+class ContextualColumnEncoder:
+    """Blends sibling-column context into column embeddings.
+
+    Parameters
+    ----------
+    base:
+        The context-free column encoder.
+    context_weight:
+        Blend weight of the table-context vector (0 reproduces ``base``).
+    context_value_sample:
+        How many values of each sibling column contribute tokens to the
+        context vector (0 = names only).
+    """
+
+    def __init__(
+        self,
+        base: ColumnEncoder,
+        *,
+        context_weight: float = 0.2,
+        context_value_sample: int = 5,
+    ) -> None:
+        if not 0.0 <= context_weight < 1.0:
+            raise ValueError(
+                f"context_weight must be in [0, 1), got {context_weight}"
+            )
+        if context_value_sample < 0:
+            raise ValueError(
+                f"context_value_sample must be >= 0, got {context_value_sample}"
+            )
+        self.base = base
+        self.context_weight = context_weight
+        self.context_value_sample = context_value_sample
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality (delegates to the base encoder)."""
+        return self.base.dim
+
+    def encode(self, column: Column) -> np.ndarray:
+        """Context-free fallback: identical to the base encoder."""
+        return self.base.encode(column)
+
+    def context_vector(self, table: Table, *, exclude: str | None = None) -> np.ndarray:
+        """Embed the table's context: sibling names plus a few values."""
+        tokens: list[str] = []
+        for sibling in table.columns:
+            if exclude is not None and sibling.name == exclude:
+                continue
+            tokens.extend(split_identifier(sibling.name))
+            if self.context_value_sample > 0:
+                for value in sibling.head(self.context_value_sample):
+                    if value is not None:
+                        tokens.extend(tokenize_value(value))
+        if not tokens:
+            return np.zeros(self.dim)
+        vectors = self.base.model.embed_tokens(tokens)
+        aggregate = vectors.mean(axis=0)
+        norm = np.linalg.norm(aggregate)
+        return aggregate / norm if norm > 0 else aggregate
+
+    def encode_in_table(self, column: Column, table: Table) -> np.ndarray:
+        """Column embedding blended with its table's context vector."""
+        own = self.base.encode(column)
+        if not np.any(own):
+            return own
+        context = self.context_vector(table, exclude=column.name)
+        blended = (1.0 - self.context_weight) * own + self.context_weight * context
+        norm = np.linalg.norm(blended)
+        return blended / norm if norm > 0 else blended
+
+    def encode_many_in_table(self, table: Table) -> dict[str, np.ndarray]:
+        """All columns of a table, each with the shared context blended in.
+
+        The context vector is computed once per sibling-exclusion, so this
+        is the efficient path for indexing whole tables.
+        """
+        return {
+            column.name: self.encode_in_table(column, table)
+            for column in table.columns
+        }

@@ -1,0 +1,108 @@
+"""Co-occurrence accumulation and PPMI weighting.
+
+The Web-table embedding model counts token co-occurrences within a sliding
+window over serialized table sequences, re-weights the counts with positive
+pointwise mutual information (PPMI), and factorizes the result with a
+truncated SVD.  PPMI+SVD is the classic count-based route to word vectors
+(Levy & Goldberg, 2014) and is fully deterministic — the right property for
+a reproduction that must behave identically on every run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.embedding.vocab import Vocabulary
+
+__all__ = ["CooccurrenceBuilder", "ppmi_matrix"]
+
+
+class CooccurrenceBuilder:
+    """Accumulates symmetric windowed co-occurrence counts over sequences."""
+
+    def __init__(self, vocabulary: Vocabulary, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not vocabulary.is_frozen:
+            raise RuntimeError("vocabulary must be frozen before counting")
+        self.vocabulary = vocabulary
+        self.window = window
+        self._counts: Counter[tuple[int, int]] = Counter()
+
+    def add_sequence(self, tokens: Sequence[str], *, weight: float = 1.0) -> None:
+        """Count co-occurrences within ``window`` positions in one sequence.
+
+        Pairs are stored with the smaller id first; the matrix is
+        symmetrized at build time.  ``weight`` scales the contribution —
+        row-serialized sequences use a smaller weight than column-serialized
+        ones because cross-attribute affinity is a weaker signal.
+        """
+        ids = [self.vocabulary.token_id(token) for token in tokens]
+        known = [(pos, tid) for pos, tid in enumerate(ids) if tid is not None]
+        for left_index, (left_pos, left_id) in enumerate(known):
+            for right_index in range(left_index + 1, len(known)):
+                right_pos, right_id = known[right_index]
+                if right_pos - left_pos > self.window:
+                    break
+                if left_id == right_id:
+                    continue
+                key = (left_id, right_id) if left_id < right_id else (right_id, left_id)
+                self._counts[key] += weight
+
+    def add_sequences(
+        self, sequences: Iterable[Sequence[str]], *, weight: float = 1.0
+    ) -> None:
+        """Count many sequences."""
+        for tokens in sequences:
+            self.add_sequence(tokens, weight=weight)
+
+    def build_matrix(self) -> sparse.csr_matrix:
+        """Symmetric co-occurrence matrix of shape (V, V)."""
+        size = len(self.vocabulary)
+        if not self._counts:
+            return sparse.csr_matrix((size, size))
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for (left, right), count in self._counts.items():
+            rows.extend((left, right))
+            cols.extend((right, left))
+            data.extend((count, count))
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(size, size), dtype=np.float64
+        )
+
+    @property
+    def pair_count(self) -> int:
+        """Number of distinct co-occurring pairs recorded."""
+        return len(self._counts)
+
+
+def ppmi_matrix(counts: sparse.csr_matrix, *, shift: float = 0.0) -> sparse.csr_matrix:
+    """Positive PMI re-weighting of a co-occurrence count matrix.
+
+    ``PMI(i, j) = log(p(i, j) / (p(i) p(j)))`` computed over nonzero cells
+    only; negative values (and values below ``shift``) are clipped to zero,
+    preserving sparsity.
+    """
+    total = counts.sum()
+    if total == 0:
+        return counts.copy()
+    coo = counts.tocoo()
+    row_sums = np.asarray(counts.sum(axis=1)).ravel()
+    col_sums = np.asarray(counts.sum(axis=0)).ravel()
+    # p(i,j) / (p(i) p(j)) = count * total / (row_sum * col_sum)
+    denominator = row_sums[coo.row] * col_sums[coo.col]
+    with np.errstate(divide="ignore"):
+        pmi = np.log((coo.data * total) / denominator)
+    pmi -= shift
+    keep = pmi > 0
+    return sparse.csr_matrix(
+        (pmi[keep], (coo.row[keep], coo.col[keep])),
+        shape=counts.shape,
+        dtype=np.float64,
+    )

@@ -1,0 +1,164 @@
+"""Column encoder: column → one unit vector.
+
+Implements the embedding step shared by the indexing and search pipelines
+(Figure 2): serialize the (sampled) column's values to tokens, embed every
+token with the underlying model, aggregate, and L2-normalize.  Aggregation
+is either an unweighted mean or an idf-weighted mean (ablation §5 of
+DESIGN.md); numeric columns optionally blend in a distribution profile.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.embedding.numeric import numeric_profile_vector, project_profile
+from repro.storage.column import Column
+from repro.text.tokenize import split_identifier, tokenize_value
+
+__all__ = ["ColumnEncoder"]
+
+_AGGREGATIONS = ("mean", "tfidf")
+
+
+class ColumnEncoder:
+    """Turns columns into embedding vectors using a token-embedding model.
+
+    Parameters
+    ----------
+    model:
+        Any object with ``dim``, ``embed_tokens(list[str]) -> ndarray`` and
+        ``idf(str) -> float`` (see :mod:`repro.embedding`).
+    aggregation:
+        ``"mean"`` or ``"tfidf"`` (idf-weighted mean).
+    max_tokens:
+        Hard cap on tokens per column; protects against long-text columns.
+    include_column_name:
+        Whether the column's name tokens join the serialization.  Off by
+        default: WarpGate embeds values, name evidence belongs to D3L.
+    dedupe_values:
+        Encode each distinct value once, weighted by its frequency.  An
+        optimization ablation — identical output direction for mean
+        aggregation, much cheaper on low-cardinality columns.
+    numeric_profile_weight:
+        Blend weight of the numeric distribution profile for numeric
+        columns (0 disables).
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        aggregation: str = "mean",
+        max_tokens: int = 10_000,
+        include_column_name: bool = False,
+        dedupe_values: bool = False,
+        numeric_profile_weight: float = 0.3,
+    ) -> None:
+        if aggregation not in _AGGREGATIONS:
+            raise ValueError(
+                f"unknown aggregation {aggregation!r}; choose from {_AGGREGATIONS}"
+            )
+        if max_tokens <= 0:
+            raise ValueError(f"max_tokens must be positive, got {max_tokens}")
+        if not 0.0 <= numeric_profile_weight <= 1.0:
+            raise ValueError(
+                f"numeric_profile_weight must be in [0, 1], got {numeric_profile_weight}"
+            )
+        self.model = model
+        self.aggregation = aggregation
+        self.max_tokens = max_tokens
+        self.include_column_name = include_column_name
+        self.dedupe_values = dedupe_values
+        self.numeric_profile_weight = numeric_profile_weight
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality (delegates to the model)."""
+        return self.model.dim
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnEncoder(model={type(self.model).__name__}, "
+            f"aggregation={self.aggregation!r})"
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def serialize(self, column: Column) -> tuple[list[str], list[float]]:
+        """Tokenize a column into (tokens, weights).
+
+        Weights are all 1.0 unless ``dedupe_values`` folds duplicate values
+        into a single weighted occurrence.
+        """
+        tokens: list[str] = []
+        weights: list[float] = []
+        if self.include_column_name:
+            for token in split_identifier(column.name):
+                tokens.append(token)
+                weights.append(1.0)
+        if self.dedupe_values:
+            counts: dict[object, int] = {}
+            for value in column.non_null_values():
+                counts[value] = counts.get(value, 0) + 1
+            for value, count in counts.items():
+                for token in tokenize_value(value):
+                    tokens.append(token)
+                    weights.append(float(count))
+                if len(tokens) >= self.max_tokens:
+                    break
+        else:
+            for value in column.non_null_values():
+                for token in tokenize_value(value):
+                    tokens.append(token)
+                    weights.append(1.0)
+                if len(tokens) >= self.max_tokens:
+                    break
+        return tokens[: self.max_tokens], weights[: self.max_tokens]
+
+    # -- encoding -----------------------------------------------------------------
+
+    def encode(self, column: Column) -> np.ndarray:
+        """Encode one column into a unit vector of shape (dim,).
+
+        All-null or all-unembeddable columns yield the zero vector, which
+        indexes treat as unindexable.
+        """
+        tokens, weights = self.serialize(column)
+        if tokens:
+            vectors = self.model.embed_tokens(tokens)
+            weight_array = np.asarray(weights, dtype=np.float64)
+            if self.aggregation == "tfidf":
+                idf = np.asarray([self.model.idf(token) for token in tokens])
+                weight_array = weight_array * idf
+            total_weight = weight_array.sum()
+            if total_weight > 0:
+                aggregate = (weight_array[:, None] * vectors).sum(axis=0) / total_weight
+            else:
+                aggregate = np.zeros(self.dim)
+        else:
+            aggregate = np.zeros(self.dim)
+
+        if self.numeric_profile_weight > 0 and column.dtype.is_numeric:
+            profile = numeric_profile_vector(column)
+            projected = project_profile(profile, self.dim)
+            aggregate = (
+                (1.0 - self.numeric_profile_weight) * aggregate
+                + self.numeric_profile_weight * projected
+            )
+
+        norm = np.linalg.norm(aggregate)
+        if norm > 0:
+            aggregate = aggregate / norm
+        return aggregate
+
+    def encode_many(self, columns: Sequence[Column]) -> np.ndarray:
+        """Encode several columns; shape (len(columns), dim)."""
+        if not columns:
+            return np.zeros((0, self.dim))
+        return np.stack([self.encode(column) for column in columns])
+
+    def encode_values(self, name: str, values: Sequence[object]) -> np.ndarray:
+        """Convenience: encode raw values as an anonymous column."""
+        return self.encode(Column.from_raw(name, list(values)))

@@ -1,0 +1,88 @@
+"""Numeric column featurization.
+
+Embedding tokens of stringified numbers captures value overlap but not
+distribution shape.  This module computes a compact, scale-robust profile
+vector of a numeric column (log-magnitudes, spread, integrality, quantile
+shape) that the column encoder can blend into the embedding and that D3L's
+distribution evidence compares directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.storage.column import Column
+
+__all__ = ["numeric_profile_vector", "project_profile", "NUMERIC_PROFILE_DIM"]
+
+NUMERIC_PROFILE_DIM = 16
+
+_QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def _signed_log(values: np.ndarray) -> np.ndarray:
+    """log1p that preserves sign, mapping any magnitude to a small range."""
+    return np.sign(values) * np.log1p(np.abs(values))
+
+
+def numeric_profile_vector(column: Column) -> np.ndarray:
+    """Fixed-length (``NUMERIC_PROFILE_DIM``) profile of a numeric column.
+
+    All features are bounded or log-compressed so columns with wildly
+    different scales remain comparable; the vector is L2-normalized.
+    Returns the zero vector for non-numeric or empty columns.
+    """
+    if not column.dtype.is_numeric:
+        return np.zeros(NUMERIC_PROFILE_DIM)
+    values = column.numeric_array()
+    if values.size == 0:
+        return np.zeros(NUMERIC_PROFILE_DIM)
+    stats = column.stats
+    quantiles = np.quantile(values, _QUANTILES)
+    spread = float(quantiles[-1] - quantiles[0])
+    integral_fraction = float(np.mean(values == np.round(values)))
+    negative_fraction = float(np.mean(values < 0))
+    zero_fraction = float(np.mean(values == 0))
+    features = np.array(
+        [
+            float(_signed_log(np.array([values.mean()]))[0]),
+            float(np.log1p(values.std())),
+            float(_signed_log(np.array([quantiles[2]]))[0]),  # median
+            float(np.log1p(spread)),
+            integral_fraction,
+            negative_fraction,
+            zero_fraction,
+            float(stats.uniqueness),
+            float(np.log1p(stats.distinct_count)),
+            float(_signed_log(np.array([values.min()]))[0]),
+            float(_signed_log(np.array([values.max()]))[0]),
+            # quantile shape: log-gaps between consecutive quantiles
+            float(np.log1p(max(quantiles[1] - quantiles[0], 0.0))),
+            float(np.log1p(max(quantiles[2] - quantiles[1], 0.0))),
+            float(np.log1p(max(quantiles[3] - quantiles[2], 0.0))),
+            float(np.log1p(max(quantiles[4] - quantiles[3], 0.0))),
+            1.0,  # bias feature keeps all-zero columns from vanishing
+        ]
+    )
+    norm = np.linalg.norm(features)
+    return features / norm if norm > 0 else features
+
+
+_PROJECTION_CACHE: dict[int, np.ndarray] = {}
+
+
+def project_profile(profile: np.ndarray, dim: int) -> np.ndarray:
+    """Project a profile vector into the embedding space (deterministic).
+
+    Uses a fixed random Gaussian projection per target ``dim`` so profile
+    geometry (cosine structure) is approximately preserved.
+    """
+    if dim not in _PROJECTION_CACHE:
+        rng = rng_for("numeric-profile-projection", dim)
+        matrix = rng.standard_normal((NUMERIC_PROFILE_DIM, dim))
+        matrix /= np.sqrt(NUMERIC_PROFILE_DIM)
+        _PROJECTION_CACHE[dim] = matrix
+    projected = profile @ _PROJECTION_CACHE[dim]
+    norm = np.linalg.norm(projected)
+    return projected / norm if norm > 0 else projected

@@ -1,0 +1,61 @@
+"""Model registry: resolve model names to (possibly pretrained) instances.
+
+``get_model("webtable")`` returns the process-wide "pretrained" Web Table
+Embedding model: trained once per (dim, corpus-version) on the default
+synthetic web-table corpus, then cached — mirroring how the paper downloads
+one pretrained artifact and reuses it everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.embedding.bertlike import BertLikeEmbeddingModel
+from repro.embedding.hashing import HashingEmbeddingModel
+from repro.embedding.webtable import WebTableEmbeddingModel
+from repro.errors import UnknownModelError
+
+__all__ = ["get_model", "available_models", "clear_model_cache"]
+
+_MODEL_NAMES = ("webtable", "hashing", "bertlike")
+
+_PRETRAINED_CACHE: dict[tuple[str, int], object] = {}
+
+
+def available_models() -> tuple[str, ...]:
+    """Names accepted by :func:`get_model`."""
+    return _MODEL_NAMES
+
+
+def clear_model_cache() -> None:
+    """Drop all cached pretrained models (mainly for tests)."""
+    _PRETRAINED_CACHE.clear()
+
+
+def _pretrained_webtable(dim: int) -> WebTableEmbeddingModel:
+    """Train (once) the default Web Table Embedding model."""
+    key = ("webtable", dim)
+    if key not in _PRETRAINED_CACHE:
+        # Imported lazily: datasets generate the corpus, and importing them at
+        # module load would create a package cycle.
+        from repro.datasets.webcorpus import default_training_corpus
+
+        corpus = default_training_corpus()
+        model = WebTableEmbeddingModel(dim=dim)
+        model.fit(corpus.column_sequences, corpus.row_sequences)
+        _PRETRAINED_CACHE[key] = model
+    return _PRETRAINED_CACHE[key]  # type: ignore[return-value]
+
+
+def get_model(name: str, *, dim: int = 64):
+    """Resolve a model name to a ready-to-use (trained) instance.
+
+    ``webtable`` and ``bertlike`` share the same trained token vectors (the
+    BERT-like encoder wraps them), so their effectiveness is comparable and
+    only their inference costs differ — exactly the §4.4 setup.
+    """
+    if name == "webtable":
+        return _pretrained_webtable(dim)
+    if name == "hashing":
+        return HashingEmbeddingModel(dim=dim)
+    if name == "bertlike":
+        return BertLikeEmbeddingModel(base_model=_pretrained_webtable(dim))
+    raise UnknownModelError(name, _MODEL_NAMES)

@@ -1,0 +1,118 @@
+"""Vocabulary: token ids, frequencies, and document frequencies.
+
+Document frequency here counts *columns* containing a token, which is the
+natural notion of "document" for tabular corpora; the tf-idf aggregation in
+the column encoder uses it to damp boilerplate tokens ("inc", "llc", "the").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Frequency-filtered token vocabulary built from token sequences."""
+
+    def __init__(self, min_count: int = 1) -> None:
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        self.min_count = min_count
+        self._token_to_id: dict[str, int] = {}
+        self._tokens: list[str] = []
+        self._counts: Counter[str] = Counter()
+        self._doc_freq: Counter[str] = Counter()
+        self._n_documents = 0
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({len(self)} tokens, {self._n_documents} documents)"
+
+    def add_document(self, tokens: Sequence[str]) -> None:
+        """Count one document (= one serialized column) of tokens."""
+        if self._frozen:
+            raise RuntimeError("vocabulary is frozen; cannot add documents")
+        self._n_documents += 1
+        self._counts.update(tokens)
+        self._doc_freq.update(set(tokens))
+
+    def build(self, documents: Iterable[Sequence[str]]) -> "Vocabulary":
+        """Count many documents, then freeze; returns self for chaining."""
+        for tokens in documents:
+            self.add_document(tokens)
+        self.freeze()
+        return self
+
+    def freeze(self) -> None:
+        """Assign stable ids to all tokens meeting ``min_count``.
+
+        Ids are assigned in (count desc, token asc) order, so the layout is
+        deterministic regardless of insertion order.
+        """
+        if self._frozen:
+            return
+        kept = [
+            token
+            for token, count in self._counts.items()
+            if count >= self.min_count
+        ]
+        kept.sort(key=lambda token: (-self._counts[token], token))
+        self._tokens = kept
+        self._token_to_id = {token: index for index, token in enumerate(kept)}
+        self._frozen = True
+
+    @property
+    def is_frozen(self) -> bool:
+        """True after :meth:`freeze` has run."""
+        return self._frozen
+
+    @property
+    def tokens(self) -> Sequence[str]:
+        """Tokens in id order (frozen vocabularies only)."""
+        self._require_frozen()
+        return tuple(self._tokens)
+
+    @property
+    def n_documents(self) -> int:
+        """Number of documents counted."""
+        return self._n_documents
+
+    def token_id(self, token: str) -> int | None:
+        """Id of ``token`` or None when out of vocabulary."""
+        self._require_frozen()
+        return self._token_to_id.get(token)
+
+    def token_of(self, token_id: int) -> str:
+        """Inverse of :meth:`token_id`."""
+        self._require_frozen()
+        return self._tokens[token_id]
+
+    def count(self, token: str) -> int:
+        """Corpus frequency of ``token`` (0 when unseen)."""
+        return self._counts.get(token, 0)
+
+    def document_frequency(self, token: str) -> int:
+        """Number of documents containing ``token``."""
+        return self._doc_freq.get(token, 0)
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency.
+
+        Uses ``log((1 + N) / (1 + df)) + 1`` so unseen tokens get the
+        maximum weight rather than a division by zero.
+        """
+        df = self._doc_freq.get(token, 0)
+        return math.log((1 + self._n_documents) / (1 + df)) + 1.0
+
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise RuntimeError("vocabulary must be frozen first; call freeze()")

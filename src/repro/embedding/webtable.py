@@ -1,0 +1,180 @@
+"""Web Table Embedding model: PPMI + truncated SVD over a web-table corpus.
+
+Stands in for the pretrained Web Table Embeddings of Günther et al. (2021)
+that the paper selects (§4.3).  Training input is a stream of serialized
+table sequences (column-major, optionally row-major); the model learns one
+vector per vocabulary token.  OOV tokens fall back to hashing-trick vectors
+scaled by ``oov_scale`` so learned semantics dominate when available.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+from scipy.sparse.linalg import svds
+
+from repro.embedding.cooccur import CooccurrenceBuilder, ppmi_matrix
+from repro.embedding.hashing import hashed_token_vector
+from repro.embedding.vocab import Vocabulary
+from repro.errors import ModelNotTrainedError
+
+__all__ = ["WebTableEmbeddingModel"]
+
+
+class WebTableEmbeddingModel:
+    """Count-based distributional word vectors for tabular tokens.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (also the SVD rank).
+    window:
+        Co-occurrence window within a serialized sequence.
+    min_count:
+        Vocabulary frequency floor; rarer tokens are handled by the OOV
+        fallback.
+    oov_scale:
+        Norm given to hashing-fallback vectors relative to trained vectors
+        (trained vectors are unit length).  Values ``< 1`` keep unseen
+        tokens from dominating a column's aggregate.
+    """
+
+    name = "webtable"
+
+    def __init__(
+        self,
+        dim: int = 64,
+        *,
+        window: int = 8,
+        min_count: int = 2,
+        oov_scale: float = 0.4,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if not 0.0 <= oov_scale <= 1.0:
+            raise ValueError(f"oov_scale must be in [0, 1], got {oov_scale}")
+        self.dim = dim
+        self.window = window
+        self.min_count = min_count
+        self.oov_scale = oov_scale
+        self._vocabulary: Vocabulary | None = None
+        self._vectors: np.ndarray | None = None
+
+    def __repr__(self) -> str:
+        state = f"{len(self._vocabulary)} tokens" if self.is_trained else "untrained"
+        return f"WebTableEmbeddingModel(dim={self.dim}, {state})"
+
+    # -- training --------------------------------------------------------------
+
+    def fit(
+        self,
+        column_sequences: Iterable[Sequence[str]],
+        row_sequences: Iterable[Sequence[str]] = (),
+        *,
+        row_weight: float = 0.25,
+    ) -> "WebTableEmbeddingModel":
+        """Train token vectors from serialized table sequences.
+
+        ``column_sequences`` carry the strong signal (values of one column
+        share a domain); ``row_sequences`` add weak cross-attribute affinity
+        at ``row_weight`` strength.
+        """
+        column_sequences = [list(seq) for seq in column_sequences]
+        row_sequences = [list(seq) for seq in row_sequences]
+        if not column_sequences:
+            raise ValueError("cannot fit on an empty corpus")
+        vocabulary = Vocabulary(min_count=self.min_count)
+        vocabulary.build(column_sequences)
+        if len(vocabulary) == 0:
+            raise ValueError(
+                f"no token met min_count={self.min_count}; corpus too small"
+            )
+        builder = CooccurrenceBuilder(vocabulary, window=self.window)
+        builder.add_sequences(column_sequences, weight=1.0)
+        if row_sequences:
+            builder.add_sequences(row_sequences, weight=row_weight)
+        matrix = ppmi_matrix(builder.build_matrix())
+        self._vectors = self._factorize(matrix, len(vocabulary))
+        self._vocabulary = vocabulary
+        return self
+
+    def _factorize(self, matrix, vocab_size: int) -> np.ndarray:
+        """Rank-``dim`` factorization; rows L2-normalized."""
+        rank = min(self.dim, vocab_size - 1)
+        if rank < 1 or matrix.nnz == 0:
+            # Degenerate corpus: fall back to hashing vectors for all tokens.
+            return np.zeros((vocab_size, self.dim))
+        # svds needs a deterministic starting vector for reproducibility.
+        v0 = np.linspace(1.0, 2.0, matrix.shape[0])
+        u, s, _vt = svds(matrix.astype(np.float64), k=rank, v0=v0)
+        order = np.argsort(-s)
+        u, s = u[:, order], s[order]
+        vectors = u * np.sqrt(s)
+        if rank < self.dim:
+            vectors = np.pad(vectors, ((0, 0), (0, self.dim - rank)))
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        np.divide(vectors, norms, out=vectors, where=norms > 0)
+        # Sign convention: make each vector's largest-magnitude coordinate
+        # positive so retraining yields bit-identical embeddings.
+        flip = np.sign(vectors[np.arange(len(vectors)), np.argmax(np.abs(vectors), axis=1)])
+        flip[flip == 0] = 1.0
+        return vectors * flip[:, None]
+
+    # -- inference ---------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`fit` has completed."""
+        return self._vectors is not None
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The trained vocabulary."""
+        self._require_trained()
+        assert self._vocabulary is not None
+        return self._vocabulary
+
+    def embed_token(self, token: str) -> np.ndarray:
+        """Vector for one token: trained if in vocabulary, hashed otherwise."""
+        self._require_trained()
+        assert self._vocabulary is not None and self._vectors is not None
+        token_id = self._vocabulary.token_id(token)
+        if token_id is not None:
+            return self._vectors[token_id]
+        return hashed_token_vector(token, self.dim) * self.oov_scale
+
+    def embed_tokens(self, tokens: list[str]) -> np.ndarray:
+        """Matrix of shape (len(tokens), dim)."""
+        self._require_trained()
+        if not tokens:
+            return np.zeros((0, self.dim))
+        return np.stack([self.embed_token(token) for token in tokens])
+
+    def idf(self, token: str) -> float:
+        """Inverse document frequency from the training vocabulary."""
+        self._require_trained()
+        assert self._vocabulary is not None
+        return self._vocabulary.idf(token)
+
+    def in_vocabulary(self, token: str) -> bool:
+        """True when ``token`` has a trained vector."""
+        self._require_trained()
+        assert self._vocabulary is not None
+        return token in self._vocabulary
+
+    def similarity(self, left: str, right: str) -> float:
+        """Cosine similarity between two token vectors."""
+        a = self.embed_token(left)
+        b = self.embed_token(right)
+        denominator = np.linalg.norm(a) * np.linalg.norm(b)
+        if denominator == 0:
+            return 0.0
+        return float(a @ b / denominator)
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise ModelNotTrainedError(
+                "WebTableEmbeddingModel used before fit(); train it or use "
+                "repro.embedding.get_model('webtable') for the pretrained one"
+            )

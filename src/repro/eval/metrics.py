@@ -1,0 +1,101 @@
+"""Ranking metrics: precision@k, recall@k, MAP, MRR.
+
+The paper reports top-k precision and recall averaged over all queries at
+each k ∈ {2, 3, 5, 10} (Figure 4).  Definitions follow the standard IR
+convention: precision@k divides by k (not by the number of returned
+results), so a system that returns fewer than k candidates is penalized —
+matching how sparse answer sets cap the achievable precision in the paper's
+plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence, Set
+from dataclasses import dataclass
+
+from repro.storage.schema import ColumnRef
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "mean_average_precision",
+    "PRPoint",
+    "pr_curve",
+]
+
+
+def precision_at_k(ranked: Sequence[ColumnRef], answers: Set, k: int) -> float:
+    """|relevant ∩ top-k| / k."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not answers:
+        return 0.0
+    hits = sum(1 for ref in ranked[:k] if ref in answers)
+    return hits / k
+
+
+def recall_at_k(ranked: Sequence[ColumnRef], answers: Set, k: int) -> float:
+    """|relevant ∩ top-k| / |relevant|."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not answers:
+        return 0.0
+    hits = sum(1 for ref in ranked[:k] if ref in answers)
+    return hits / len(answers)
+
+
+def reciprocal_rank(ranked: Sequence[ColumnRef], answers: Set) -> float:
+    """1 / rank of the first relevant result (0.0 when none appears)."""
+    for position, ref in enumerate(ranked, start=1):
+        if ref in answers:
+            return 1.0 / position
+    return 0.0
+
+
+def average_precision(ranked: Sequence[ColumnRef], answers: Set) -> float:
+    """Average of precision@rank over the ranks of relevant results."""
+    if not answers:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, ref in enumerate(ranked, start=1):
+        if ref in answers:
+            hits += 1
+            precision_sum += hits / position
+    return precision_sum / len(answers)
+
+
+def mean_average_precision(
+    runs: Iterable[tuple[Sequence[ColumnRef], Set]]
+) -> float:
+    """MAP over (ranked, answers) pairs."""
+    values = [average_precision(ranked, answers) for ranked, answers in runs]
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class PRPoint:
+    """One point of a Figure-4 curve: (k, avg precision, avg recall)."""
+
+    k: int
+    precision: float
+    recall: float
+
+    def __str__(self) -> str:
+        return f"k={self.k}: P={self.precision:.3f} R={self.recall:.3f}"
+
+
+def pr_curve(
+    runs: Sequence[tuple[Sequence[ColumnRef], Set]],
+    ks: Sequence[int] = (2, 3, 5, 10),
+) -> list[PRPoint]:
+    """Average precision/recall over queries at each k (Figure 4 series)."""
+    if not runs:
+        return [PRPoint(k, 0.0, 0.0) for k in ks]
+    points = []
+    for k in ks:
+        precision = sum(precision_at_k(ranked, answers, k) for ranked, answers in runs)
+        recall = sum(recall_at_k(ranked, answers, k) for ranked, answers in runs)
+        points.append(PRPoint(k, precision / len(runs), recall / len(runs)))
+    return points

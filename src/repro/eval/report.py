@@ -1,0 +1,114 @@
+"""ASCII report renderers mirroring the paper's tables and figures.
+
+Benchmarks print these so a reader can compare the regenerated rows against
+the published ones side by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.eval.metrics import PRPoint
+
+__all__ = ["render_table", "render_pr_figure", "render_comparison"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Monospace table with per-column width fitting."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_pr_figure(
+    curves: Mapping[str, Sequence[PRPoint]],
+    *,
+    title: str,
+) -> str:
+    """Figure-4-style table: one row per k, P and R columns per system.
+
+    >>> from repro.eval.metrics import PRPoint
+    >>> print(render_pr_figure(
+    ...     {"warpgate": [PRPoint(2, 0.5, 0.3)]}, title="demo"
+    ... ))  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    k   warpgate P  warpgate R
+    --  ----------  ----------
+    2   0.500       0.300
+    """
+    systems = list(curves)
+    headers = ["k"]
+    for system in systems:
+        headers.extend([f"{system} P", f"{system} R"])
+    ks = sorted({point.k for curve in curves.values() for point in curve})
+    rows = []
+    for k in ks:
+        row: list[object] = [k]
+        for system in systems:
+            point = next((p for p in curves[system] if p.k == k), None)
+            row.extend(
+                [point.precision, point.recall] if point else [None, None]
+            )
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_comparison(
+    paper_rows: Sequence[Mapping[str, object]],
+    measured_rows: Sequence[Mapping[str, object]],
+    *,
+    key: str,
+    title: str,
+) -> str:
+    """Side-by-side paper-vs-measured table joined on ``key``."""
+    measured_by_key = {str(row[key]): row for row in measured_rows}
+    columns: list[str] = []
+    for row in paper_rows:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    headers = [key]
+    for column in columns:
+        if column == key:
+            continue
+        headers.extend([f"{column} (paper)", f"{column} (ours)"])
+    rows = []
+    for paper_row in paper_rows:
+        identifier = str(paper_row[key])
+        measured = measured_by_key.get(identifier, {})
+        row: list[object] = [identifier]
+        for column in columns:
+            if column == key:
+                continue
+            row.append(paper_row.get(column))
+            row.append(measured.get(column))
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,112 @@
+"""Experiment runner: one system x one corpus -> curves and timings.
+
+:func:`evaluate_system` is the workhorse behind every Figure-4 and Table-2
+benchmark: it indexes the corpus through a fresh metered connector, replays
+the corpus's query set, and aggregates effectiveness (PR curves) and
+efficiency (timing summaries).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.system import IndexReport, JoinDiscoverySystem
+from repro.core.candidates import DiscoveryResult, TimingBreakdown
+from repro.datasets.base import TableCorpus
+from repro.eval.metrics import PRPoint, pr_curve
+from repro.eval.timing import TimingSummary, summarize_timings
+from repro.storage.schema import ColumnRef
+from repro.warehouse.sampling import Sampler
+
+__all__ = ["QueryRun", "SystemEvaluation", "evaluate_system"]
+
+
+@dataclass
+class QueryRun:
+    """One executed query with its ranked refs and ground-truth answers."""
+
+    query: ColumnRef
+    ranked: list[ColumnRef]
+    answers: frozenset[ColumnRef]
+    timing: TimingBreakdown
+
+    @property
+    def hit_any(self) -> bool:
+        """True when at least one answer appears in the ranking."""
+        return any(ref in self.answers for ref in self.ranked)
+
+
+@dataclass
+class SystemEvaluation:
+    """Everything measured for one system on one corpus."""
+
+    system: str
+    corpus: str
+    index_report: IndexReport
+    runs: list[QueryRun] = field(default_factory=list)
+    ks: tuple[int, ...] = (2, 3, 5, 10)
+
+    @property
+    def curve(self) -> list[PRPoint]:
+        """Figure-4 precision/recall curve."""
+        return pr_curve(
+            [(run.ranked, run.answers) for run in self.runs], self.ks
+        )
+
+    @property
+    def timing(self) -> TimingSummary:
+        """Table-2 timing summary."""
+        return summarize_timings([run.timing for run in self.runs])
+
+    def precision_at(self, k: int) -> float:
+        """Average precision at one k."""
+        for point in self.curve:
+            if point.k == k:
+                return point.precision
+        raise KeyError(f"k={k} not in evaluated ks {self.ks}")
+
+    def recall_at(self, k: int) -> float:
+        """Average recall at one k."""
+        for point in self.curve:
+            if point.k == k:
+                return point.recall
+        raise KeyError(f"k={k} not in evaluated ks {self.ks}")
+
+
+def evaluate_system(
+    system: JoinDiscoverySystem,
+    corpus: TableCorpus,
+    *,
+    ks: Sequence[int] = (2, 3, 5, 10),
+    index_sampler: Sampler | None = None,
+    max_queries: int | None = None,
+) -> SystemEvaluation:
+    """Index ``corpus`` with ``system`` and replay its benchmark queries.
+
+    ``max_queries`` truncates the query set (deterministically, by order)
+    for quick runs; ``index_sampler`` overrides the system's own sampling
+    during indexing (used by the sample-efficiency sweep).
+    """
+    truth = corpus.require_ground_truth()
+    connector = corpus.connector()
+    index_report = system.index_corpus(connector, sampler=index_sampler)
+    evaluation = SystemEvaluation(
+        system=system.name,
+        corpus=corpus.name,
+        index_report=index_report,
+        ks=tuple(ks),
+    )
+    k_max = max(ks)
+    queries = corpus.queries[:max_queries] if max_queries else corpus.queries
+    for query in queries:
+        result: DiscoveryResult = system.search(query.ref, k_max)
+        evaluation.runs.append(
+            QueryRun(
+                query=query.ref,
+                ranked=result.refs,
+                answers=truth.answers(query.ref),
+                timing=result.timing,
+            )
+        )
+    return evaluation

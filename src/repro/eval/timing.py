@@ -1,0 +1,55 @@
+"""Timing aggregation across queries.
+
+Table 2 reports seconds/query for end-to-end response time with index
+lookup time in parentheses; :func:`summarize_timings` produces exactly that
+decomposition from per-query :class:`TimingBreakdown` records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.candidates import TimingBreakdown
+
+__all__ = ["TimingSummary", "summarize_timings"]
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Per-query timing averages for one system on one corpus."""
+
+    query_count: int
+    mean_response_s: float
+    mean_load_s: float
+    mean_embed_s: float
+    mean_lookup_s: float
+
+    @property
+    def lookup_fraction(self) -> float:
+        """Share of the mean response time spent in index lookup."""
+        if self.mean_response_s <= 0:
+            return 0.0
+        return self.mean_lookup_s / self.mean_response_s
+
+    def table2_cell(self) -> str:
+        """Render the Table 2 cell format: ``e2e (lookup)`` seconds/query."""
+        return f"{self.mean_response_s:.4f} ({self.mean_lookup_s:.4f})"
+
+
+def summarize_timings(timings: Sequence[TimingBreakdown]) -> TimingSummary:
+    """Average a sequence of per-query timing breakdowns."""
+    count = len(timings)
+    if count == 0:
+        return TimingSummary(0, 0.0, 0.0, 0.0, 0.0)
+    total = TimingBreakdown()
+    for timing in timings:
+        total = total + timing
+    mean = total.scaled(1.0 / count)
+    return TimingSummary(
+        query_count=count,
+        mean_response_s=mean.response_time_s,
+        mean_load_s=mean.load_s,
+        mean_embed_s=mean.embed_s,
+        mean_lookup_s=mean.lookup_s,
+    )

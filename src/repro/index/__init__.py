@@ -1,0 +1,31 @@
+"""Similarity-index substrate.
+
+WarpGate's search step (§3.1.2) hashes column embeddings into a SimHash
+(random hyperplane) LSH index approximating cosine similarity.  This package
+provides that index plus the alternatives the paper discusses:
+
+* :class:`SimHashLSHIndex` — the production index (banded SimHash, exact
+  cosine re-ranking of candidates);
+* :class:`ExactCosineIndex` — brute-force verification arm;
+* :class:`PivotFilterIndex` — §5.2.3's block-and-verify direction
+  (pivot-based metric filtering, after PEXESO);
+* :class:`MinHashIndex` / :class:`MinHashSignature` — Jaccard machinery
+  used by the Aurum and D3L baselines.
+"""
+
+from repro.index.exact import ExactCosineIndex
+from repro.index.lsh import SimHashLSHIndex
+from repro.index.minhash import MinHashIndex, MinHashSignature
+from repro.index.pivot import PivotFilterIndex
+from repro.index.simhash import SimHashFamily, hamming_distance, signature_cosine
+
+__all__ = [
+    "ExactCosineIndex",
+    "MinHashIndex",
+    "MinHashSignature",
+    "PivotFilterIndex",
+    "SimHashFamily",
+    "SimHashLSHIndex",
+    "hamming_distance",
+    "signature_cosine",
+]

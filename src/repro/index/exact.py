@@ -1,0 +1,83 @@
+"""Brute-force exact cosine top-k index.
+
+The verification arm for LSH correctness tests and the baseline for the
+block-and-verify comparison: always correct, O(n·dim) per query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, EmptyIndexError
+
+__all__ = ["ExactCosineIndex"]
+
+
+class ExactCosineIndex:
+    """Exact cosine top-k over named unit vectors."""
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self._keys: list[object] = []
+        self._rows: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __repr__(self) -> str:
+        return f"ExactCosineIndex(n={len(self)}, dim={self.dim})"
+
+    def add(self, key: object, vector: np.ndarray) -> None:
+        """Insert one named vector (unit-normalized internally)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
+        norm = np.linalg.norm(vector)
+        if norm == 0:
+            raise ValueError(f"cannot index zero vector under key {key!r}")
+        self._keys.append(key)
+        self._rows.append(vector / norm)
+        self._matrix = None  # invalidate the cached stack
+
+    def _materialize(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = np.stack(self._rows)
+        return self._matrix
+
+    def query(
+        self,
+        vector: np.ndarray,
+        k: int,
+        *,
+        threshold: float = -1.0,
+        exclude: object = None,
+    ) -> list[tuple[object, float]]:
+        """Exact top-``k`` by cosine, optionally thresholded."""
+        if not self._keys:
+            raise EmptyIndexError("query on empty ExactCosineIndex")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
+        norm = np.linalg.norm(vector)
+        if norm == 0:
+            return []
+        unit = vector / norm
+        cosines = self._materialize() @ unit
+        order = np.argsort(-cosines)
+        results: list[tuple[object, float]] = []
+        for position in order:
+            key = self._keys[int(position)]
+            score = float(cosines[int(position)])
+            if score < threshold:
+                break
+            if exclude is not None and key == exclude:
+                continue
+            results.append((key, score))
+            if len(results) == k:
+                break
+        return results

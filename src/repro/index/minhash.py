@@ -1,0 +1,199 @@
+"""MinHash signatures and Jaccard LSH.
+
+The syntactic machinery of the baselines: Aurum profiles columns with
+MinHash and links profiles whose estimated Jaccard clears a threshold; D3L's
+value-extent evidence is a MinHash LSH lookup.  Signatures use the standard
+universal-hashing construction ``h_i(x) = (a_i * h(x) + b_i) mod p`` over a
+stable 64-bit base hash, so estimates are unbiased and fully deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro._util import rng_for, stable_uint64
+from repro.errors import EmptyIndexError
+
+__all__ = ["MinHashSignature", "MinHashIndex"]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 61) - 2
+
+
+class _PermutationFamily:
+    """Shared (a, b) parameter draws for a given signature size."""
+
+    _cache: dict[tuple[int, str], tuple[np.ndarray, np.ndarray]] = {}
+
+    @classmethod
+    def parameters(cls, n_perm: int, seed_key: str) -> tuple[np.ndarray, np.ndarray]:
+        key = (n_perm, seed_key)
+        if key not in cls._cache:
+            rng = rng_for("minhash-permutations", seed_key, n_perm)
+            a = rng.integers(1, _MERSENNE_PRIME, size=n_perm, dtype=np.uint64)
+            b = rng.integers(0, _MERSENNE_PRIME, size=n_perm, dtype=np.uint64)
+            cls._cache[key] = (a, b)
+        return cls._cache[key]
+
+
+class MinHashSignature:
+    """MinHash sketch of a set of string values."""
+
+    __slots__ = ("n_perm", "seed_key", "values")
+
+    def __init__(
+        self,
+        n_perm: int = 128,
+        *,
+        seed_key: str = "minhash-v1",
+        values: np.ndarray | None = None,
+    ) -> None:
+        if n_perm <= 0:
+            raise ValueError(f"n_perm must be positive, got {n_perm}")
+        self.n_perm = n_perm
+        self.seed_key = seed_key
+        self.values = (
+            values
+            if values is not None
+            else np.full(n_perm, _MAX_HASH, dtype=np.uint64)
+        )
+
+    @classmethod
+    def of(
+        cls,
+        items: Iterable[object],
+        n_perm: int = 128,
+        *,
+        seed_key: str = "minhash-v1",
+    ) -> "MinHashSignature":
+        """Sketch the distinct string forms of ``items``."""
+        signature = cls(n_perm, seed_key=seed_key)
+        signature.update(items)
+        return signature
+
+    def update(self, items: Iterable[object]) -> None:
+        """Fold more items into the sketch (duplicates are harmless)."""
+        a, b = _PermutationFamily.parameters(self.n_perm, self.seed_key)
+        base_hashes = np.array(
+            [
+                stable_uint64(str(item)) % _MERSENNE_PRIME
+                for item in items
+                if item is not None
+            ],
+            dtype=np.uint64,
+        )
+        if base_hashes.size == 0:
+            return
+        # (n_items, n_perm) permuted hashes, reduced by min per permutation.
+        permuted = (
+            base_hashes[:, None] * a[None, :] + b[None, :]
+        ) % _MERSENNE_PRIME
+        self.values = np.minimum(self.values, permuted.min(axis=0))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing has been folded in."""
+        return bool(np.all(self.values == _MAX_HASH))
+
+    def jaccard_estimate(self, other: "MinHashSignature") -> float:
+        """Unbiased Jaccard estimate: fraction of matching slots."""
+        if self.n_perm != other.n_perm or self.seed_key != other.seed_key:
+            raise ValueError("signatures are from different permutation families")
+        if self.is_empty and other.is_empty:
+            return 1.0
+        return float(np.mean(self.values == other.values))
+
+    def band_keys(self, n_bands: int) -> list[bytes]:
+        """Split the signature into hashable band keys."""
+        if self.n_perm % n_bands != 0:
+            raise ValueError(
+                f"n_perm ({self.n_perm}) must be divisible by n_bands ({n_bands})"
+            )
+        rows = self.n_perm // n_bands
+        return [
+            self.values[band * rows : (band + 1) * rows].tobytes()
+            for band in range(n_bands)
+        ]
+
+
+class MinHashIndex:
+    """Banded LSH index over MinHash signatures (Jaccard similarity)."""
+
+    def __init__(
+        self,
+        *,
+        n_perm: int = 128,
+        n_bands: int = 32,
+        threshold: float = 0.7,
+        seed_key: str = "minhash-v1",
+    ) -> None:
+        if n_perm % n_bands != 0:
+            raise ValueError(
+                f"n_perm ({n_perm}) must be divisible by n_bands ({n_bands})"
+            )
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.n_perm = n_perm
+        self.n_bands = n_bands
+        self.threshold = threshold
+        self.seed_key = seed_key
+        self._signatures: dict[object, MinHashSignature] = {}
+        self._buckets: list[dict[bytes, list[object]]] = [
+            {} for _ in range(n_bands)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __repr__(self) -> str:
+        return (
+            f"MinHashIndex(n={len(self)}, n_perm={self.n_perm}, "
+            f"bands={self.n_bands}, threshold={self.threshold})"
+        )
+
+    def add(self, key: object, signature: MinHashSignature) -> None:
+        """Insert a sketched set under ``key``."""
+        if signature.n_perm != self.n_perm or signature.seed_key != self.seed_key:
+            raise ValueError("signature does not match this index's family")
+        self._signatures[key] = signature
+        for band, band_key in enumerate(signature.band_keys(self.n_bands)):
+            self._buckets[band].setdefault(band_key, []).append(key)
+
+    def signature_of(self, key: object) -> MinHashSignature:
+        """Stored signature for ``key``."""
+        return self._signatures[key]
+
+    def query(
+        self,
+        signature: MinHashSignature,
+        k: int | None = None,
+        *,
+        threshold: float | None = None,
+        exclude: object = None,
+    ) -> list[tuple[object, float]]:
+        """Keys whose estimated Jaccard clears the threshold, ranked.
+
+        ``k=None`` returns all matches (Aurum-style edge enumeration).
+        """
+        if not self._signatures:
+            raise EmptyIndexError("query on empty MinHashIndex")
+        floor = self.threshold if threshold is None else threshold
+        seen: set[object] = set()
+        for band, band_key in enumerate(signature.band_keys(self.n_bands)):
+            seen.update(self._buckets[band].get(band_key, ()))
+        scored = []
+        for key in seen:
+            if exclude is not None and key == exclude:
+                continue
+            estimate = signature.jaccard_estimate(self._signatures[key])
+            if estimate >= floor:
+                scored.append((key, estimate))
+        scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        return scored if k is None else scored[:k]
+
+    def expected_candidate_rate(self, jaccard: float) -> float:
+        """Banding S-curve ``1 - (1 - s^r)^b`` for a true Jaccard ``s``."""
+        rows = self.n_perm // self.n_bands
+        return 1.0 - (1.0 - jaccard**rows) ** self.n_bands

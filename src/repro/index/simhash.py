@@ -1,0 +1,71 @@
+"""SimHash: random-hyperplane signatures for cosine similarity.
+
+Charikar (2002): draw random hyperplanes; each bit of a vector's signature
+records which side of one hyperplane the vector falls on.  Two vectors
+disagree on a bit with probability θ/π (θ = angle between them), so Hamming
+similarity of signatures estimates cosine similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.errors import DimensionMismatchError
+
+__all__ = ["SimHashFamily", "hamming_distance", "signature_cosine"]
+
+
+class SimHashFamily:
+    """A fixed draw of ``n_bits`` random hyperplanes in ``dim`` dimensions."""
+
+    def __init__(self, dim: int, n_bits: int = 128, *, seed_key: str = "simhash-v1") -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if n_bits <= 0:
+            raise ValueError(f"n_bits must be positive, got {n_bits}")
+        self.dim = dim
+        self.n_bits = n_bits
+        rng = rng_for("simhash-family", seed_key, dim, n_bits)
+        self._hyperplanes = rng.standard_normal((n_bits, dim))
+
+    def __repr__(self) -> str:
+        return f"SimHashFamily(dim={self.dim}, n_bits={self.n_bits})"
+
+    def signature(self, vector: np.ndarray) -> np.ndarray:
+        """Bit signature of one vector: shape (n_bits,), dtype uint8."""
+        if vector.shape != (self.dim,):
+            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
+        return (self._hyperplanes @ vector >= 0).astype(np.uint8)
+
+    def signatures(self, matrix: np.ndarray) -> np.ndarray:
+        """Signatures of many vectors at once: shape (n, n_bits)."""
+        if matrix.ndim != 2 or matrix.shape[1] != self.dim:
+            raise DimensionMismatchError(self.dim, matrix.shape[-1] if matrix.ndim else 0)
+        return (matrix @ self._hyperplanes.T >= 0).astype(np.uint8)
+
+    @staticmethod
+    def collision_probability(cosine: float) -> float:
+        """Per-bit agreement probability for a given cosine similarity.
+
+        ``p = 1 - arccos(cos) / π`` — monotonically increasing in cosine.
+        """
+        clipped = min(1.0, max(-1.0, cosine))
+        return 1.0 - np.arccos(clipped) / np.pi
+
+
+def hamming_distance(left: np.ndarray, right: np.ndarray) -> int:
+    """Number of differing bits between two uint8 bit signatures."""
+    if left.shape != right.shape:
+        raise DimensionMismatchError(left.shape[0], right.shape[0])
+    return int(np.count_nonzero(left != right))
+
+
+def signature_cosine(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity estimated from two signatures.
+
+    Inverts the collision probability: ``cos(π * hamming_fraction)``.
+    """
+    n_bits = left.shape[0]
+    fraction = hamming_distance(left, right) / n_bits
+    return float(np.cos(np.pi * fraction))

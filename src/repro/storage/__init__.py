@@ -1,0 +1,33 @@
+"""Storage substrate: typed columns, tables, CSV codec, in-memory column store.
+
+The paper (§5.2.2) argues that join discovery is column-oriented and that an
+in-memory column store is the right representation for data pulled out of a
+CDW.  This package is that representation: a :class:`Table` is a named
+collection of typed :class:`Column` objects, and :class:`ColumnStore` holds
+many tables with per-column access and summary statistics.
+"""
+
+from repro.storage.column import Column
+from repro.storage.csv_codec import read_csv, read_csv_file, write_csv, write_csv_file
+from repro.storage.inference import coerce_value, infer_type, infer_types
+from repro.storage.schema import ColumnRef, ColumnSchema, TableSchema
+from repro.storage.store import ColumnStore
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+__all__ = [
+    "Column",
+    "ColumnRef",
+    "ColumnSchema",
+    "ColumnStore",
+    "DataType",
+    "Table",
+    "TableSchema",
+    "coerce_value",
+    "infer_type",
+    "infer_types",
+    "read_csv",
+    "read_csv_file",
+    "write_csv",
+    "write_csv_file",
+]

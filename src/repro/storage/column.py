@@ -1,0 +1,192 @@
+"""Typed column: the unit of storage, profiling, and embedding.
+
+A :class:`Column` owns its values (Python scalars, None for null), its
+:class:`DataType`, and lazily computed summary statistics.  The statistics
+cover everything the discovery systems profile: distinct counts, null
+fraction, numeric moments, and value-length moments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import TypeInferenceError
+from repro.storage.inference import coerce_value, infer_type
+from repro.storage.types import DataType
+
+__all__ = ["Column", "ColumnStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnStats:
+    """Summary statistics of a column.
+
+    ``minimum``/``maximum``/``mean``/``std`` are None for non-numeric
+    columns; length moments are computed over the string form of non-null
+    values.
+    """
+
+    row_count: int
+    null_count: int
+    distinct_count: int
+    minimum: float | None
+    maximum: float | None
+    mean: float | None
+    std: float | None
+    mean_length: float
+    max_length: int
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of null values; 0.0 for an empty column."""
+        return self.null_count / self.row_count if self.row_count else 0.0
+
+    @property
+    def uniqueness(self) -> float:
+        """Distinct values per non-null row — 1.0 marks a key-like column."""
+        non_null = self.row_count - self.null_count
+        return self.distinct_count / non_null if non_null else 0.0
+
+
+class Column:
+    """A named, typed sequence of values with lazy statistics."""
+
+    __slots__ = ("name", "dtype", "_values", "__dict__")
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence[object],
+        dtype: DataType | None = None,
+        *,
+        coerce: bool = False,
+    ) -> None:
+        if not name:
+            raise ValueError("column name must be non-empty")
+        self.name = name
+        resolved = dtype if dtype is not None else infer_type(values)
+        if coerce:
+            values = [coerce_value(value, resolved) for value in values]
+        self.dtype = resolved
+        self._values: tuple[object, ...] = tuple(values)
+
+    @classmethod
+    def from_raw(cls, name: str, raw_values: Sequence[object]) -> "Column":
+        """Build a column from raw strings: infer the type, then coerce.
+
+        Falls back to STRING wholesale if any value resists coercion, which
+        matches the forgiving behaviour of warehouse CSV loaders.
+        """
+        dtype = infer_type(raw_values)
+        try:
+            return cls(name, raw_values, dtype, coerce=True)
+        except TypeInferenceError:
+            return cls(name, raw_values, DataType.STRING, coerce=True)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int | slice) -> object:
+        return self._values[index]
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.dtype.value}, n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.dtype == other.dtype
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype, self._values))
+
+    @property
+    def values(self) -> tuple[object, ...]:
+        """The immutable value tuple (None encodes null)."""
+        return self._values
+
+    def non_null_values(self) -> Iterator[object]:
+        """Iterate over non-null values in storage order."""
+        return (value for value in self._values if value is not None)
+
+    def head(self, n: int) -> tuple[object, ...]:
+        """First ``n`` values."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return self._values[:n]
+
+    @cached_property
+    def distinct_values(self) -> frozenset[object]:
+        """The set of distinct non-null values."""
+        return frozenset(self.non_null_values())
+
+    @cached_property
+    def string_values(self) -> tuple[str, ...]:
+        """Non-null values rendered as strings (profiling currency)."""
+        return tuple(str(value) for value in self.non_null_values())
+
+    @cached_property
+    def stats(self) -> ColumnStats:
+        """Compute (once) the summary statistics of this column."""
+        row_count = len(self._values)
+        non_null = [value for value in self._values if value is not None]
+        null_count = row_count - len(non_null)
+        distinct_count = len(self.distinct_values)
+        minimum = maximum = mean = std = None
+        if self.dtype.is_numeric and non_null:
+            array = np.asarray(non_null, dtype=np.float64)
+            minimum = float(array.min())
+            maximum = float(array.max())
+            mean = float(array.mean())
+            std = float(array.std())
+        lengths = [len(str(value)) for value in non_null]
+        mean_length = float(np.mean(lengths)) if lengths else 0.0
+        max_length = max(lengths) if lengths else 0
+        return ColumnStats(
+            row_count=row_count,
+            null_count=null_count,
+            distinct_count=distinct_count,
+            minimum=minimum,
+            maximum=maximum,
+            mean=mean,
+            std=std,
+            mean_length=mean_length,
+            max_length=max_length,
+        )
+
+    def numeric_array(self) -> np.ndarray:
+        """Non-null values as a float64 array (numeric columns only)."""
+        if not self.dtype.is_numeric:
+            raise TypeInferenceError(
+                f"column {self.name!r} has dtype {self.dtype.value}, not numeric"
+            )
+        return np.asarray(list(self.non_null_values()), dtype=np.float64)
+
+    def sample(self, indices: Iterable[int]) -> "Column":
+        """New column restricted to ``indices`` (in the given order)."""
+        picked = [self._values[index] for index in indices]
+        return Column(self.name, picked, self.dtype)
+
+    def rename(self, name: str) -> "Column":
+        """Copy of this column under a new name."""
+        return Column(name, self._values, self.dtype)
+
+    def estimated_bytes(self) -> int:
+        """Rough serialized size, used by the warehouse scan cost model."""
+        # 8 bytes per numeric/bool/date cell, string length otherwise; +1
+        # overhead per cell for delimiters/null bitmap.
+        total = len(self._values)
+        if self.dtype in (DataType.INTEGER, DataType.FLOAT, DataType.BOOLEAN, DataType.DATE):
+            return total * 9
+        return total + sum(len(str(v)) for v in self.non_null_values())

@@ -1,0 +1,89 @@
+"""CSV encode/decode for tables.
+
+The paper (§5.2.2) notes CSV is the lingua franca of open table repositories
+but a poor storage format; this codec is the ingestion edge that turns CSV
+payloads into typed, column-oriented :class:`Table` objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.errors import CsvFormatError
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+__all__ = ["read_csv", "write_csv", "read_csv_file", "write_csv_file"]
+
+
+def read_csv(
+    payload: str,
+    name: str,
+    *,
+    delimiter: str = ",",
+    infer_types: bool = True,
+) -> Table:
+    """Parse a CSV string (with header row) into a typed :class:`Table`.
+
+    Type inference runs per column unless ``infer_types=False``, which
+    loads every column as STRING (exact round-trips, staging loads).
+    Unparseable payloads raise :class:`CsvFormatError`.
+    """
+    if not payload.strip():
+        raise CsvFormatError(f"empty CSV payload for table {name!r}")
+    reader = csv.reader(io.StringIO(payload), delimiter=delimiter)
+    try:
+        rows = list(reader)
+    except csv.Error as exc:
+        raise CsvFormatError(f"malformed CSV for table {name!r}: {exc}") from exc
+    if not rows:
+        raise CsvFormatError(f"no rows in CSV payload for table {name!r}")
+    header, *data = rows
+    if not header or any(not cell.strip() for cell in header):
+        raise CsvFormatError(f"blank header cell in CSV for table {name!r}")
+    width = len(header)
+    for line_number, row in enumerate(data, start=2):
+        if len(row) != width:
+            raise CsvFormatError(
+                f"table {name!r} line {line_number}: expected {width} cells, "
+                f"got {len(row)}"
+            )
+    try:
+        dtypes = None if infer_types else [DataType.STRING] * width
+        return Table.from_rows(
+            name, [cell.strip() for cell in header], data, dtypes=dtypes
+        )
+    except Exception as exc:  # schema errors become CSV format errors here
+        raise CsvFormatError(f"cannot build table {name!r}: {exc}") from exc
+
+
+def write_csv(table: Table, *, delimiter: str = ",") -> str:
+    """Serialize a table to a CSV string with a header row.
+
+    Nulls serialize to empty cells; round-trips through :func:`read_csv`
+    preserve values up to type-faithful string rendering.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(table.column_names)
+    for row in table.rows():
+        writer.writerow(["" if value is None else str(value) for value in row])
+    return buffer.getvalue()
+
+
+def read_csv_file(path: str | Path, *, name: str | None = None) -> Table:
+    """Load a CSV file; the table name defaults to the file stem."""
+    path = Path(path)
+    table_name = name if name is not None else path.stem
+    try:
+        payload = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CsvFormatError(f"cannot read CSV file {path}: {exc}") from exc
+    return read_csv(payload, table_name)
+
+
+def write_csv_file(table: Table, path: str | Path) -> None:
+    """Write a table to a CSV file."""
+    Path(path).write_text(write_csv(table), encoding="utf-8")

@@ -1,0 +1,146 @@
+"""Type inference over raw (string) column values.
+
+CSV payloads and warehouse scans deliver strings; the inference here decides
+one :class:`DataType` per column by majority vote with a fallback to STRING,
+mirroring the defensive sniffing real loaders do.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from datetime import date
+
+from repro.errors import TypeInferenceError
+from repro.storage.types import (
+    DataType,
+    looks_like_bool,
+    looks_like_date,
+    looks_like_float,
+    looks_like_int,
+    parse_bool,
+    parse_date,
+)
+
+__all__ = ["infer_type", "infer_types", "coerce_value", "NULL_LITERALS"]
+
+NULL_LITERALS = frozenset({"", "null", "none", "na", "n/a", "nan", "\\n"})
+
+# Upper bound on values examined per column during inference; beyond this the
+# verdict is already stable and scanning more rows only costs time.
+_INFERENCE_CAP = 1000
+
+
+def is_null_literal(value: object) -> bool:
+    """True when ``value`` is None or a conventional null spelling."""
+    if value is None:
+        return True
+    if isinstance(value, str):
+        return value.strip().lower() in NULL_LITERALS
+    return False
+
+
+def infer_type(values: Iterable[object], *, cap: int = _INFERENCE_CAP) -> DataType:
+    """Infer the :class:`DataType` of a column from its raw values.
+
+    Every non-null value must satisfy the candidate type's syntax; candidates
+    are tried narrowest-first (BOOLEAN before INTEGER before FLOAT before
+    DATE), and STRING is the universal fallback.  An all-null column infers
+    as STRING.
+    """
+    could_be_bool = True
+    could_be_int = True
+    could_be_float = True
+    could_be_date = True
+    saw_value = False
+
+    for index, value in enumerate(values):
+        if index >= cap:
+            break
+        if is_null_literal(value):
+            continue
+        saw_value = True
+        if isinstance(value, bool):
+            could_be_int = could_be_float = could_be_date = False
+            continue
+        if isinstance(value, int):
+            could_be_bool = could_be_date = False
+            continue
+        if isinstance(value, float):
+            could_be_bool = could_be_int = could_be_date = False
+            continue
+        if isinstance(value, date):
+            could_be_bool = could_be_int = could_be_float = False
+            continue
+        text = str(value)
+        if could_be_bool and not looks_like_bool(text):
+            could_be_bool = False
+        if could_be_int and not looks_like_int(text):
+            could_be_int = False
+        if could_be_float and not looks_like_float(text):
+            could_be_float = False
+        if could_be_date and not looks_like_date(text):
+            could_be_date = False
+        if not (could_be_bool or could_be_int or could_be_float or could_be_date):
+            return DataType.STRING
+
+    if not saw_value:
+        return DataType.STRING
+    if could_be_bool:
+        return DataType.BOOLEAN
+    if could_be_int:
+        return DataType.INTEGER
+    if could_be_float:
+        return DataType.FLOAT
+    if could_be_date:
+        return DataType.DATE
+    return DataType.STRING
+
+
+def infer_types(
+    rows: Sequence[Sequence[object]], n_columns: int, *, cap: int = _INFERENCE_CAP
+) -> list[DataType]:
+    """Infer one type per column from row-major data."""
+    return [
+        infer_type((row[col] for row in rows if col < len(row)), cap=cap)
+        for col in range(n_columns)
+    ]
+
+
+def coerce_value(value: object, dtype: DataType) -> object:
+    """Coerce one raw value to ``dtype``; nulls pass through as None.
+
+    Raises :class:`TypeInferenceError` when coercion is impossible, so bad
+    data fails loudly at load time instead of corrupting profiles later.
+    """
+    if is_null_literal(value):
+        return None
+    if dtype is DataType.STRING:
+        return value if isinstance(value, str) else str(value)
+    if dtype is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        return parse_bool(str(value))
+    if dtype is DataType.INTEGER:
+        if isinstance(value, bool):
+            raise TypeInferenceError(f"boolean {value!r} is not an integer")
+        if isinstance(value, int):
+            return value
+        text = str(value).strip()
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise TypeInferenceError(f"not an integer: {value!r}") from exc
+    if dtype is DataType.FLOAT:
+        if isinstance(value, bool):
+            raise TypeInferenceError(f"boolean {value!r} is not a float")
+        if isinstance(value, (int, float)):
+            return float(value)
+        try:
+            return float(str(value).strip())
+        except ValueError as exc:
+            raise TypeInferenceError(f"not a float: {value!r}") from exc
+    if dtype is DataType.DATE:
+        if isinstance(value, date):
+            return value
+        return parse_date(str(value))
+    raise TypeInferenceError(f"unsupported dtype {dtype!r}")

@@ -1,0 +1,145 @@
+"""Schema descriptors: column references, column schemas, table schemas.
+
+A :class:`ColumnRef` is the global address of a column —
+``database.table.column`` — and is the identifier currency of the whole
+discovery pipeline: indexes store refs, ground truth maps refs to refs, and
+results rank refs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.storage.types import DataType
+
+__all__ = ["ColumnRef", "ColumnSchema", "TableSchema", "ForeignKey"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ColumnRef:
+    """Fully qualified column address ``database.table.column``.
+
+    ``database`` may be empty for corpora without a database level (e.g.
+    flat CSV repositories like the NextiaJD testbeds).
+    """
+
+    database: str
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        if self.database:
+            return f"{self.database}.{self.table}.{self.column}"
+        return f"{self.table}.{self.column}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ColumnRef":
+        """Parse ``db.table.column`` or ``table.column``.
+
+        >>> ColumnRef.parse("sales.account.name")
+        ColumnRef(database='sales', table='account', column='name')
+        """
+        parts = text.split(".")
+        if len(parts) == 3:
+            return cls(*parts)
+        if len(parts) == 2:
+            return cls("", parts[0], parts[1])
+        raise SchemaError(f"cannot parse column ref {text!r}")
+
+    @property
+    def table_key(self) -> tuple[str, str]:
+        """(database, table) pair identifying the owning table."""
+        return (self.database, self.table)
+
+    def same_table(self, other: "ColumnRef") -> bool:
+        """True when both refs address columns of the same table."""
+        return self.table_key == other.table_key
+
+    def same_database(self, other: "ColumnRef") -> bool:
+        """True when both refs live in the same database."""
+        return self.database == other.database
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnSchema:
+    """Declared name and type of one column, with key markers."""
+
+    name: str
+    dtype: DataType
+    is_primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """A declared FK: ``column`` of this table references ``target``."""
+
+    column: str
+    target: ColumnRef
+
+    def __str__(self) -> str:
+        return f"{self.column} -> {self.target}"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Declared schema of a table: ordered columns plus key constraints."""
+
+    name: str
+    columns: tuple[ColumnSchema, ...]
+    foreign_keys: tuple[ForeignKey, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+        names = [column.name for column in self.columns]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(
+                f"table {self.name!r} declares duplicate columns: {sorted(duplicates)}"
+            )
+        declared = set(names)
+        for foreign_key in self.foreign_keys:
+            if foreign_key.column not in declared:
+                raise SchemaError(
+                    f"table {self.name!r} declares FK on unknown column "
+                    f"{foreign_key.column!r}"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Ordered column names."""
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def primary_key_columns(self) -> tuple[str, ...]:
+        """Names of columns flagged as primary keys."""
+        return tuple(col.name for col in self.columns if col.is_primary_key)
+
+    def column(self, name: str) -> ColumnSchema:
+        """Look up one column schema by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """True when the schema declares ``name``."""
+        return any(column.name == name for column in self.columns)
+
+
+def validate_unique_names(names: Iterable[str], *, kind: str) -> None:
+    """Raise :class:`SchemaError` if ``names`` contains duplicates."""
+    seen: set[str] = set()
+    duplicates: set[str] = set()
+    for name in names:
+        if name in seen:
+            duplicates.add(name)
+        seen.add(name)
+    if duplicates:
+        raise SchemaError(f"duplicate {kind} names: {sorted(duplicates)}")

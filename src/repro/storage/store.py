@@ -1,0 +1,95 @@
+"""In-memory column store over many tables.
+
+§5.2.2 of the paper motivates holding warehouse extracts in an in-memory
+column store: join-discovery access patterns are column-oriented.  The store
+provides per-column access by :class:`ColumnRef`, registration/eviction, and
+aggregate memory accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import ColumnNotFoundError, TableNotFoundError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+
+__all__ = ["ColumnStore"]
+
+
+class ColumnStore:
+    """A registry of tables with column-granular access.
+
+    Tables are keyed by ``(database, table_name)``; an empty database name is
+    valid for flat corpora.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[tuple[str, str], Table] = {}
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._tables
+
+    def add_table(self, table: Table, *, database: str = "") -> None:
+        """Register (or replace) a table under ``database``."""
+        self._tables[(database, table.name)] = table
+
+    def remove_table(self, name: str, *, database: str = "") -> None:
+        """Evict a table; raises :class:`TableNotFoundError` if absent."""
+        try:
+            del self._tables[(database, name)]
+        except KeyError:
+            raise TableNotFoundError(name, database or None) from None
+
+    def table(self, name: str, *, database: str = "") -> Table:
+        """Look up a table; raises :class:`TableNotFoundError` if absent."""
+        try:
+            return self._tables[(database, name)]
+        except KeyError:
+            raise TableNotFoundError(name, database or None) from None
+
+    def column(self, ref: ColumnRef) -> Column:
+        """Resolve a :class:`ColumnRef` to its concrete column."""
+        table = self.table(ref.table, database=ref.database)
+        try:
+            return table.column(ref.column)
+        except ColumnNotFoundError:
+            raise ColumnNotFoundError(ref.column, str(ref.table_key)) from None
+
+    def tables(self) -> Iterator[tuple[str, Table]]:
+        """Iterate ``(database, table)`` pairs in insertion order."""
+        for (database, _name), table in self._tables.items():
+            yield database, table
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        """Iterate refs of every column in the store."""
+        for (database, _name), table in self._tables.items():
+            for column in table.columns:
+                yield ColumnRef(database, table.name, column.name)
+
+    @property
+    def table_count(self) -> int:
+        """Number of registered tables."""
+        return len(self._tables)
+
+    @property
+    def column_count(self) -> int:
+        """Total number of columns across all tables."""
+        return sum(table.column_count for table in self._tables.values())
+
+    @property
+    def row_count(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(table.row_count for table in self._tables.values())
+
+    def estimated_bytes(self) -> int:
+        """Aggregate estimated memory footprint."""
+        return sum(table.estimated_bytes() for table in self._tables.values())
+
+    def clear(self) -> None:
+        """Evict everything."""
+        self._tables.clear()

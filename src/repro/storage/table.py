@@ -1,0 +1,212 @@
+"""Table: a named, ordered collection of equally long typed columns."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from functools import cached_property
+
+from repro.errors import ColumnNotFoundError, SchemaError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnSchema, ForeignKey, TableSchema
+from repro.storage.types import DataType
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An in-memory, column-oriented relational table.
+
+    Immutable after construction: transformation methods return new tables.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        *,
+        foreign_keys: Iterable[ForeignKey] = (),
+        primary_key: str | None = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise SchemaError(
+                f"table {name!r} has ragged columns: lengths {sorted(lengths)}"
+            )
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"table {name!r} has duplicate columns: {duplicates}")
+        if primary_key is not None and primary_key not in names:
+            raise SchemaError(
+                f"table {name!r} declares primary key on unknown column {primary_key!r}"
+            )
+        self.name = name
+        self._columns: tuple[Column, ...] = tuple(columns)
+        self._by_name: dict[str, Column] = {column.name: column for column in columns}
+        self.primary_key = primary_key
+        self.foreign_keys: tuple[ForeignKey, ...] = tuple(foreign_keys)
+        for foreign_key in self.foreign_keys:
+            if foreign_key.column not in self._by_name:
+                raise SchemaError(
+                    f"table {name!r} declares FK on unknown column "
+                    f"{foreign_key.column!r}"
+                )
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        header: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        *,
+        dtypes: Sequence[DataType] | None = None,
+    ) -> "Table":
+        """Build a table from row-major data, inferring types when absent."""
+        if not header:
+            raise SchemaError(f"table {name!r} needs a non-empty header")
+        column_values: list[list[object]] = [[] for _ in header]
+        for row in rows:
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"table {name!r}: row width {len(row)} != header width {len(header)}"
+                )
+            for index, value in enumerate(row):
+                column_values[index].append(value)
+        columns = []
+        for index, column_name in enumerate(header):
+            if dtypes is not None:
+                columns.append(
+                    Column(column_name, column_values[index], dtypes[index], coerce=True)
+                )
+            else:
+                columns.append(Column.from_raw(column_name, column_values[index]))
+        return cls(name, columns)
+
+    @classmethod
+    def from_mapping(cls, name: str, data: Mapping[str, Sequence[object]]) -> "Table":
+        """Build a table from a column-name → values mapping."""
+        columns = [Column.from_raw(col_name, values) for col_name, values in data.items()]
+        return cls(name, columns)
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self.column_count} cols x {self.row_count} rows)"
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._by_name
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows."""
+        return len(self._columns[0])
+
+    @property
+    def column_count(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        """Ordered column tuple."""
+        return self._columns
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Ordered column names."""
+        return tuple(column.name for column in self._columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name; raises :class:`ColumnNotFoundError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ColumnNotFoundError(name, self.name) from None
+
+    def row(self, index: int) -> tuple[object, ...]:
+        """Materialize one row by position."""
+        return tuple(column[index] for column in self._columns)
+
+    def rows(self) -> Iterator[tuple[object, ...]]:
+        """Iterate rows (materializing tuples lazily)."""
+        for index in range(self.row_count):
+            yield self.row(index)
+
+    @cached_property
+    def schema(self) -> TableSchema:
+        """Declared schema derived from the concrete columns."""
+        return TableSchema(
+            name=self.name,
+            columns=tuple(
+                ColumnSchema(
+                    name=column.name,
+                    dtype=column.dtype,
+                    is_primary_key=(column.name == self.primary_key),
+                )
+                for column in self._columns
+            ),
+            foreign_keys=self.foreign_keys,
+        )
+
+    # -- transformations --------------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Projection: new table with only the named columns, in order."""
+        picked = [self.column(name) for name in names]
+        return Table(self.name, picked)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Row selection by positional indices (preserving given order)."""
+        return Table(
+            self.name,
+            [column.sample(indices) for column in self._columns],
+            foreign_keys=self.foreign_keys,
+            primary_key=self.primary_key,
+        )
+
+    def head(self, n: int) -> "Table":
+        """First ``n`` rows."""
+        return self.take(range(min(n, self.row_count)))
+
+    def rename(self, name: str) -> "Table":
+        """Copy of this table under a new name."""
+        return Table(
+            name,
+            self._columns,
+            foreign_keys=self.foreign_keys,
+            primary_key=self.primary_key,
+        )
+
+    def with_column(self, column: Column) -> "Table":
+        """New table with ``column`` appended (lengths must match)."""
+        if len(column) != self.row_count:
+            raise SchemaError(
+                f"cannot append column of length {len(column)} to table "
+                f"{self.name!r} with {self.row_count} rows"
+            )
+        if column.name in self._by_name:
+            raise SchemaError(
+                f"table {self.name!r} already has a column {column.name!r}"
+            )
+        return Table(
+            self.name,
+            [*self._columns, column],
+            foreign_keys=self.foreign_keys,
+            primary_key=self.primary_key,
+        )
+
+    def estimated_bytes(self) -> int:
+        """Rough serialized size of the whole table."""
+        return sum(column.estimated_bytes() for column in self._columns)

@@ -1,0 +1,118 @@
+"""Column data types and scalar coercion rules.
+
+The type lattice is deliberately small — the discovery pipeline only needs
+to distinguish textual, integral, floating, boolean, and date-like columns
+(D3L routes numeric columns to a distribution evidence and everything else
+to value-based evidences).
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import date, datetime
+from enum import Enum
+
+from repro.errors import TypeInferenceError
+
+__all__ = ["DataType", "parse_date", "DATE_FORMATS"]
+
+
+class DataType(Enum):
+    """Logical type of a column."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    DATE = "date"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for INTEGER and FLOAT columns."""
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    @property
+    def is_textual(self) -> bool:
+        """True for STRING columns (the embedding-friendly kind)."""
+        return self is DataType.STRING
+
+    def python_type(self) -> type:
+        """The Python scalar type used to represent values of this type."""
+        return {
+            DataType.STRING: str,
+            DataType.INTEGER: int,
+            DataType.FLOAT: float,
+            DataType.BOOLEAN: bool,
+            DataType.DATE: date,
+        }[self]
+
+
+DATE_FORMATS: tuple[str, ...] = (
+    "%Y-%m-%d",
+    "%Y/%m/%d",
+    "%m/%d/%Y",
+    "%d-%m-%Y",
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d %H:%M:%S",
+)
+
+_DATE_HINT_RE = re.compile(r"^\s*\d{1,4}[-/]\d{1,2}[-/]\d{1,4}")
+
+_TRUE_LITERALS = frozenset({"true", "t", "yes", "y", "1"})
+_FALSE_LITERALS = frozenset({"false", "f", "no", "n", "0"})
+_BOOL_LITERALS = _TRUE_LITERALS | _FALSE_LITERALS
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+def parse_date(text: str) -> date:
+    """Parse a date string in any supported format.
+
+    Raises :class:`TypeInferenceError` when no format matches.
+    """
+    candidate = text.strip()
+    if not _DATE_HINT_RE.match(candidate):
+        raise TypeInferenceError(f"not a date: {text!r}")
+    for fmt in DATE_FORMATS:
+        try:
+            return datetime.strptime(candidate, fmt).date()
+        except ValueError:
+            continue
+    raise TypeInferenceError(f"unparseable date: {text!r}")
+
+
+def looks_like_int(text: str) -> bool:
+    """Cheap syntactic check for integer literals."""
+    return bool(_INT_RE.match(text.strip()))
+
+
+def looks_like_float(text: str) -> bool:
+    """Cheap syntactic check for float literals (includes integers)."""
+    return bool(_FLOAT_RE.match(text.strip()))
+
+
+def looks_like_bool(text: str) -> bool:
+    """Cheap syntactic check for boolean literals."""
+    return text.strip().lower() in _BOOL_LITERALS
+
+
+def parse_bool(text: str) -> bool:
+    """Parse a boolean literal; raises :class:`TypeInferenceError` otherwise."""
+    lowered = text.strip().lower()
+    if lowered in _TRUE_LITERALS:
+        return True
+    if lowered in _FALSE_LITERALS:
+        return False
+    raise TypeInferenceError(f"not a boolean: {text!r}")
+
+
+def looks_like_date(text: str) -> bool:
+    """Cheap syntactic check before attempting full date parsing."""
+    if not _DATE_HINT_RE.match(text.strip()):
+        return False
+    try:
+        parse_date(text)
+    except TypeInferenceError:
+        return False
+    return True

@@ -1,0 +1,43 @@
+"""String substrate: tokenization, q-grams, similarities, format patterns.
+
+These utilities back both the WarpGate embedding pipeline (tokenizing cell
+values before embedding) and the Aurum/D3L baselines (q-gram name
+similarity, Jaccard extent overlap, format-pattern evidence).
+"""
+
+from repro.text.formats import FormatPattern, format_histogram, infer_format
+from repro.text.qgrams import qgram_multiset, qgram_set
+from repro.text.similarity import (
+    containment,
+    cosine_of_counts,
+    jaccard,
+    jaro_winkler,
+    levenshtein,
+    normalized_levenshtein,
+)
+from repro.text.tokenize import (
+    normalize_identifier,
+    normalize_value,
+    split_identifier,
+    tokenize_value,
+    tokenize_values,
+)
+
+__all__ = [
+    "FormatPattern",
+    "format_histogram",
+    "infer_format",
+    "qgram_multiset",
+    "qgram_set",
+    "containment",
+    "cosine_of_counts",
+    "jaccard",
+    "jaro_winkler",
+    "levenshtein",
+    "normalized_levenshtein",
+    "normalize_identifier",
+    "normalize_value",
+    "split_identifier",
+    "tokenize_value",
+    "tokenize_values",
+]

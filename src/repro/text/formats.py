@@ -1,0 +1,81 @@
+"""Format-pattern abstraction of string values.
+
+D3L's fourth evidence type compares columns by the *shape* of their values
+rather than their content: "AB-1234" abstracts to "UU-DDDD".  Two columns of
+phone numbers match on format even when their extents are disjoint.
+
+We abstract each character into a class and run-length compress the result,
+giving compact patterns such as ``U+l+ d+`` for "Main 42".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = ["FormatPattern", "infer_format", "format_histogram"]
+
+
+def _char_class(char: str) -> str:
+    """Map a character to its class symbol."""
+    if char.isdigit():
+        return "d"
+    if char.isalpha():
+        return "U" if char.isupper() else "l"
+    if char.isspace():
+        return "s"
+    return char  # punctuation is kept verbatim: '-' differs from '/'
+
+
+@dataclass(frozen=True, slots=True)
+class FormatPattern:
+    """A run-length-compressed character-class pattern.
+
+    ``signature`` is the compressed pattern string; ``raw_length`` records
+    the length of the originating value (used by distribution comparisons).
+    """
+
+    signature: str
+    raw_length: int
+
+    def __str__(self) -> str:
+        return self.signature
+
+
+def infer_format(value: object) -> FormatPattern:
+    """Abstract a single value to its :class:`FormatPattern`.
+
+    >>> infer_format("AB-1234").signature
+    'U+-d+'
+    >>> infer_format("2021-03-05").signature
+    'd+-d+-d+'
+    """
+    text = "" if value is None else str(value)
+    classes = [_char_class(char) for char in text]
+    compressed: list[str] = []
+    previous = None
+    for symbol in classes:
+        if symbol == previous and symbol in ("d", "U", "l", "s"):
+            if not compressed[-1].endswith("+"):
+                compressed[-1] = symbol + "+"
+            continue
+        compressed.append(symbol)
+        previous = symbol
+    return FormatPattern("".join(compressed), len(text))
+
+
+def format_histogram(values: Iterable[object], *, limit: int | None = None) -> Counter[str]:
+    """Histogram of format signatures over ``values``.
+
+    ``limit`` optionally caps the number of values inspected, mirroring
+    sampled profiling.
+    """
+    histogram: Counter[str] = Counter()
+    for index, value in enumerate(values):
+        if limit is not None and index >= limit:
+            break
+        if value is None or value == "":
+            continue
+        histogram[infer_format(value).signature] += 1
+    return histogram

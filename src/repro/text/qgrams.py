@@ -1,0 +1,45 @@
+"""Character q-gram shingles.
+
+D3L's column-name evidence and Aurum's content signatures both operate on
+q-gram sets.  We pad with sentinel characters so short strings still produce
+a usable shingle set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["qgram_set", "qgram_multiset"]
+
+_PAD = "\x00"
+
+
+def qgram_set(text: str, q: int = 3, *, pad: bool = True) -> frozenset[str]:
+    """Return the set of character q-grams of ``text``.
+
+    With ``pad=True`` the string is wrapped in ``q - 1`` sentinel characters
+    on each side, so prefixes and suffixes are represented distinctly.
+
+    >>> sorted(qgram_set("ab", q=2, pad=False))
+    ['ab']
+    """
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    if not text:
+        return frozenset()
+    padded = (_PAD * (q - 1) + text + _PAD * (q - 1)) if pad else text
+    if len(padded) < q:
+        return frozenset({padded})
+    return frozenset(padded[i : i + q] for i in range(len(padded) - q + 1))
+
+
+def qgram_multiset(text: str, q: int = 3, *, pad: bool = True) -> Counter[str]:
+    """Return the multiset (Counter) of character q-grams of ``text``."""
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    if not text:
+        return Counter()
+    padded = (_PAD * (q - 1) + text + _PAD * (q - 1)) if pad else text
+    if len(padded) < q:
+        return Counter({padded: 1})
+    return Counter(padded[i : i + q] for i in range(len(padded) - q + 1))

@@ -1,0 +1,162 @@
+"""Set and string similarity measures used across the discovery systems.
+
+Jaccard and containment back the syntactic joinability notions (Aurum, D3L,
+NextiaJD ground-truth labelling); Levenshtein and Jaro-Winkler back
+column-name evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Collection, Set
+
+__all__ = [
+    "jaccard",
+    "containment",
+    "cosine_of_counts",
+    "levenshtein",
+    "normalized_levenshtein",
+    "jaro_winkler",
+]
+
+
+def jaccard(left: Set, right: Set) -> float:
+    """Jaccard similarity |L ∩ R| / |L ∪ R|; 1.0 when both sets are empty."""
+    if not left and not right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    intersection = len(left & right)
+    union = len(left) + len(right) - intersection
+    return intersection / union
+
+
+def containment(query: Set, candidate: Set) -> float:
+    """Containment of ``query`` in ``candidate``: |Q ∩ C| / |Q|.
+
+    This is the directional measure used by NextiaJD-style join-quality
+    labelling: a high value means most query values find a join partner.
+    Returns 0.0 when the query set is empty.
+    """
+    if not query:
+        return 0.0
+    return len(query & candidate) / len(query)
+
+
+def cosine_of_counts(left: Counter, right: Counter) -> float:
+    """Cosine similarity between two sparse count vectors.
+
+    >>> cosine_of_counts(Counter("aa"), Counter("aa"))
+    1.0
+    """
+    if not left or not right:
+        return 0.0
+    # Iterate over the smaller counter for the dot product.
+    small, large = (left, right) if len(left) <= len(right) else (right, left)
+    dot = sum(count * large.get(key, 0) for key, count in small.items())
+    if dot == 0:
+        return 0.0
+    norm_left = math.sqrt(sum(count * count for count in left.values()))
+    norm_right = math.sqrt(sum(count * count for count in right.values()))
+    return dot / (norm_left * norm_right)
+
+
+def levenshtein(left: str, right: str) -> int:
+    """Edit distance with unit insert/delete/substitute costs.
+
+    Uses the classic two-row dynamic program: O(len(left) * len(right)) time,
+    O(min(len)) memory.
+    """
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if len(left) > len(right):
+        left, right = right, left
+    previous = list(range(len(left) + 1))
+    for row, char_right in enumerate(right, start=1):
+        current = [row] + [0] * len(left)
+        for col, char_left in enumerate(left, start=1):
+            substitution = previous[col - 1] + (char_left != char_right)
+            current[col] = min(previous[col] + 1, current[col - 1] + 1, substitution)
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein(left: str, right: str) -> float:
+    """Levenshtein similarity scaled to [0, 1]; 1.0 for two empty strings."""
+    if not left and not right:
+        return 1.0
+    longest = max(len(left), len(right))
+    return 1.0 - levenshtein(left, right) / longest
+
+
+def _jaro(left: str, right: str) -> float:
+    """Jaro similarity (helper for Jaro-Winkler)."""
+    if left == right:
+        return 1.0
+    len_left, len_right = len(left), len(right)
+    if not len_left or not len_right:
+        return 0.0
+    window = max(len_left, len_right) // 2 - 1
+    window = max(window, 0)
+    left_matches = [False] * len_left
+    right_matches = [False] * len_right
+    matches = 0
+    for i, char in enumerate(left):
+        start = max(0, i - window)
+        end = min(i + window + 1, len_right)
+        for j in range(start, end):
+            if right_matches[j] or right[j] != char:
+                continue
+            left_matches[i] = True
+            right_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_left):
+        if not left_matches[i]:
+            continue
+        while not right_matches[j]:
+            j += 1
+        if left[i] != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len_left
+        + matches / len_right
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(left: str, right: str, *, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler similarity, boosting shared prefixes up to 4 chars.
+
+    >>> jaro_winkler("customer", "customer") == 1.0
+    True
+    """
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError(f"prefix_weight must be in [0, 0.25], got {prefix_weight}")
+    jaro = _jaro(left, right)
+    prefix = 0
+    for char_left, char_right in zip(left, right):
+        if char_left != char_right or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def overlap_coefficient(left: Collection, right: Collection) -> float:
+    """Szymkiewicz-Simpson overlap: |L ∩ R| / min(|L|, |R|)."""
+    left_set = left if isinstance(left, (set, frozenset)) else set(left)
+    right_set = right if isinstance(right, (set, frozenset)) else set(right)
+    if not left_set or not right_set:
+        return 0.0
+    return len(left_set & right_set) / min(len(left_set), len(right_set))

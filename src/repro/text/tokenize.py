@@ -1,0 +1,89 @@
+"""Tokenization and normalization for cell values and identifiers.
+
+The embedding pipeline serializes a column into a token sequence; these
+functions define that serialization.  Identifier splitting handles the
+``camelCase`` / ``snake_case`` / ``kebab-case`` column names common in
+warehouse schemas.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "normalize_value",
+    "tokenize_value",
+    "tokenize_values",
+    "split_identifier",
+    "normalize_identifier",
+]
+
+_WORD_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+_CAMEL_RE = re.compile(
+    r"[A-Z]+(?=[A-Z][a-z0-9])|[A-Z]?[a-z0-9]+|[A-Z]+|[0-9]+"
+)
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_value(value: object) -> str:
+    """Normalize a raw cell value to a canonical lowercase string.
+
+    ``None`` maps to the empty string; everything else is stringified,
+    lowercased, and whitespace-collapsed.
+    """
+    if value is None:
+        return ""
+    text = value if isinstance(value, str) else str(value)
+    return _WS_RE.sub(" ", text.strip().lower())
+
+
+def tokenize_value(value: object) -> list[str]:
+    """Split a cell value into lowercase word tokens.
+
+    Punctuation is dropped; apostrophes inside words are preserved so
+    "O'Brien" stays one token.
+
+    >>> tokenize_value("Acme Corp. (US-West)")
+    ['acme', 'corp', 'us', 'west']
+    """
+    normalized = normalize_value(value)
+    if not normalized:
+        return []
+    return _WORD_RE.findall(normalized)
+
+
+def tokenize_values(values: Iterable[object]) -> Iterator[str]:
+    """Tokenize an iterable of cell values into one flat token stream."""
+    for value in values:
+        yield from tokenize_value(value)
+
+
+def split_identifier(identifier: str) -> list[str]:
+    """Split a schema identifier into lowercase word parts.
+
+    Handles snake_case, kebab-case, camelCase, PascalCase, and embedded
+    digits.
+
+    >>> split_identifier("customerAccountID")
+    ['customer', 'account', 'id']
+    >>> split_identifier("BILLING_ADDRESS_2")
+    ['billing', 'address', '2']
+    """
+    if not identifier:
+        return []
+    parts: list[str] = []
+    for chunk in re.split(r"[\s_\-./]+", identifier):
+        if not chunk:
+            continue
+        parts.extend(match.lower() for match in _CAMEL_RE.findall(chunk))
+    return parts
+
+
+def normalize_identifier(identifier: str) -> str:
+    """Canonical space-joined lowercase form of an identifier.
+
+    >>> normalize_identifier("Company-Name")
+    'company name'
+    """
+    return " ".join(split_identifier(identifier))

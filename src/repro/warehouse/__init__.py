@@ -1,0 +1,42 @@
+"""Simulated cloud data warehouse (CDW) substrate.
+
+The paper's system pulls data out of Snowflake-style warehouses where scans
+are billed per byte and full passes over billion-row tables are infeasible.
+This package simulates that environment faithfully enough to exercise the
+same code paths:
+
+* :class:`Warehouse` / :class:`Database` — catalog hierarchy;
+* :class:`WarehouseConnector` — the only sanctioned data access path, with
+  bytes-scanned metering, a latency model, and optional scan budgets;
+* sampling strategies (head / uniform / reservoir / distinct) that trade
+  scan cost against profile fidelity;
+* :class:`PricingModel` — usage-based pricing, used by the §5.1 scale study.
+"""
+
+from repro.warehouse.catalog import Database, Warehouse
+from repro.warehouse.connector import ScanReceipt, ScanStats, WarehouseConnector
+from repro.warehouse.cost import PricingModel, UsageMeter
+from repro.warehouse.sampling import (
+    DistinctSampler,
+    HeadSampler,
+    ReservoirSampler,
+    Sampler,
+    UniformSampler,
+    make_sampler,
+)
+
+__all__ = [
+    "Database",
+    "Warehouse",
+    "WarehouseConnector",
+    "ScanReceipt",
+    "ScanStats",
+    "PricingModel",
+    "UsageMeter",
+    "Sampler",
+    "HeadSampler",
+    "UniformSampler",
+    "ReservoirSampler",
+    "DistinctSampler",
+    "make_sampler",
+]

@@ -1,0 +1,140 @@
+"""Warehouse catalog: a hierarchy of databases and tables.
+
+Mirrors the structure a Sigma user sees when connecting to a CDW: one
+warehouse holds many databases, each holding many tables (Figure 1 of the
+paper).  Only metadata operations live here — data access goes through the
+:class:`~repro.warehouse.connector.WarehouseConnector` so that every byte
+read is metered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import DatabaseNotFoundError, TableNotFoundError
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+
+__all__ = ["Database", "Warehouse"]
+
+
+class Database:
+    """A named collection of tables inside a warehouse."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("database name must be non-empty")
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, {len(self._tables)} tables)"
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def add_table(self, table: Table) -> None:
+        """Register (or replace) a table."""
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table; raises :class:`TableNotFoundError` if absent."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name, self.name) from None
+
+    def tables(self) -> Iterator[Table]:
+        """Iterate tables in insertion order."""
+        return iter(self._tables.values())
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all registered tables."""
+        return tuple(self._tables)
+
+
+class Warehouse:
+    """A simulated cloud data warehouse: the root of the catalog."""
+
+    def __init__(self, name: str = "warehouse") -> None:
+        self.name = name
+        self._databases: dict[str, Database] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"Warehouse({self.name!r}, {len(self._databases)} databases, "
+            f"{self.table_count} tables)"
+        )
+
+    def __contains__(self, database_name: str) -> bool:
+        return database_name in self._databases
+
+    def create_database(self, name: str) -> Database:
+        """Create (or return the existing) database ``name``."""
+        if name not in self._databases:
+            self._databases[name] = Database(name)
+        return self._databases[name]
+
+    def database(self, name: str) -> Database:
+        """Look up a database; raises :class:`DatabaseNotFoundError`."""
+        try:
+            return self._databases[name]
+        except KeyError:
+            raise DatabaseNotFoundError(name) from None
+
+    def databases(self) -> Iterator[Database]:
+        """Iterate databases in creation order."""
+        return iter(self._databases.values())
+
+    @property
+    def database_names(self) -> tuple[str, ...]:
+        """Names of all databases."""
+        return tuple(self._databases)
+
+    @property
+    def table_count(self) -> int:
+        """Total number of tables across databases."""
+        return sum(len(database) for database in self._databases.values())
+
+    @property
+    def column_count(self) -> int:
+        """Total number of columns across all tables."""
+        return sum(
+            table.column_count
+            for database in self._databases.values()
+            for table in database.tables()
+        )
+
+    @property
+    def row_count(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(
+            table.row_count
+            for database in self._databases.values()
+            for table in database.tables()
+        )
+
+    def add_table(self, database_name: str, table: Table) -> None:
+        """Convenience: create the database if needed and add the table."""
+        self.create_database(database_name).add_table(table)
+
+    def resolve(self, ref: ColumnRef) -> Table:
+        """Return the table owning ``ref`` (metadata-level resolution)."""
+        return self.database(ref.database).table(ref.table)
+
+    def column_refs(self) -> Iterator[ColumnRef]:
+        """Iterate refs of every column in the warehouse."""
+        for database in self._databases.values():
+            for table in database.tables():
+                for column in table.columns:
+                    yield ColumnRef(database.name, table.name, column.name)
+
+    def table_refs(self) -> Iterator[tuple[str, Table]]:
+        """Iterate ``(database_name, table)`` pairs."""
+        for database in self._databases.values():
+            for table in database.tables():
+                yield database.name, table

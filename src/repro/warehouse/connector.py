@@ -1,0 +1,195 @@
+"""Warehouse connector: the metered data-access path.
+
+All data leaving the simulated CDW flows through here.  Each scan:
+
+* counts the bytes of the cells actually fetched (sampling fetches fewer
+  rows and therefore meters fewer bytes),
+* charges the configured :class:`~repro.warehouse.cost.UsageMeter`,
+* models scan latency as ``base + bytes / bandwidth`` and *accrues it as
+  simulated seconds* in the receipt (never sleeps — benchmarks read the
+  simulated component separately from measured wall-clock),
+* optionally enforces a byte budget, raising
+  :class:`~repro.errors.ScanBudgetExceededError` when a scan would blow it.
+
+This reproduces the paper's central operational constraint: loading data out
+of a CDW dominates end-to-end discovery time, and sampling is the lever that
+removes that bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScanBudgetExceededError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+from repro.warehouse.catalog import Warehouse
+from repro.warehouse.cost import UsageMeter
+from repro.warehouse.sampling import Sampler
+
+__all__ = ["WarehouseConnector", "ScanReceipt", "ScanStats"]
+
+# Latency model defaults: per-scan setup (network round trip + query
+# compilation) and effective unload bandwidth.  These are only used to
+# *simulate* load time and are surfaced separately from real wall-clock.
+# The base latency is scaled down with the corpora (generators shrink row
+# counts ~100-1000x from the paper's testbeds), keeping the paper's
+# proportions: load time dominates lookup, and response time grows roughly
+# linearly with table size.
+_DEFAULT_BASE_LATENCY_S = 0.008
+_DEFAULT_BANDWIDTH_BYTES_PER_S = 200 * 1024**2
+
+
+@dataclass(frozen=True, slots=True)
+class ScanReceipt:
+    """Outcome of one scan: what was fetched and what it cost."""
+
+    ref: str
+    rows_fetched: int
+    rows_total: int
+    scanned_bytes: int
+    simulated_seconds: float
+    charged_dollars: float
+
+    @property
+    def sampled(self) -> bool:
+        """True when the scan fetched fewer rows than the table holds."""
+        return self.rows_fetched < self.rows_total
+
+
+@dataclass
+class ScanStats:
+    """Aggregate scan counters for a connector."""
+
+    scan_count: int = 0
+    rows_fetched: int = 0
+    scanned_bytes: int = 0
+    simulated_seconds: float = 0.0
+
+    def record(self, receipt: ScanReceipt) -> None:
+        """Fold one receipt into the aggregate."""
+        self.scan_count += 1
+        self.rows_fetched += receipt.rows_fetched
+        self.scanned_bytes += receipt.scanned_bytes
+        self.simulated_seconds += receipt.simulated_seconds
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.scan_count = 0
+        self.rows_fetched = 0
+        self.scanned_bytes = 0
+        self.simulated_seconds = 0.0
+
+
+class WarehouseConnector:
+    """Metered access to a :class:`Warehouse`."""
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        *,
+        meter: UsageMeter | None = None,
+        scan_budget_bytes: int | None = None,
+        base_latency_s: float = _DEFAULT_BASE_LATENCY_S,
+        bandwidth_bytes_per_s: float = _DEFAULT_BANDWIDTH_BYTES_PER_S,
+    ) -> None:
+        if scan_budget_bytes is not None and scan_budget_bytes < 0:
+            raise ValueError("scan_budget_bytes must be non-negative or None")
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.warehouse = warehouse
+        self.meter = meter if meter is not None else UsageMeter()
+        self.scan_budget_bytes = scan_budget_bytes
+        self.base_latency_s = base_latency_s
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self.stats = ScanStats()
+        self._receipts: list[ScanReceipt] = []
+
+    # -- internal ----------------------------------------------------------------
+
+    def _charge(self, ref: str, column_bytes: int, rows_fetched: int, rows_total: int) -> ScanReceipt:
+        if self.scan_budget_bytes is not None:
+            remaining = self.scan_budget_bytes - self.stats.scanned_bytes
+            if column_bytes > remaining:
+                raise ScanBudgetExceededError(column_bytes, max(remaining, 0))
+        simulated = self.base_latency_s + column_bytes / self.bandwidth_bytes_per_s
+        dollars = self.meter.record_scan(column_bytes)
+        receipt = ScanReceipt(
+            ref=ref,
+            rows_fetched=rows_fetched,
+            rows_total=rows_total,
+            scanned_bytes=column_bytes,
+            simulated_seconds=simulated,
+            charged_dollars=dollars,
+        )
+        self.stats.record(receipt)
+        self._receipts.append(receipt)
+        return receipt
+
+    # -- public API -----------------------------------------------------------------
+
+    def scan_column(
+        self,
+        ref: ColumnRef,
+        *,
+        sampler: Sampler | None = None,
+    ) -> tuple[Column, ScanReceipt]:
+        """Fetch one column (optionally sampled) and meter the scan.
+
+        Returns the fetched column and the :class:`ScanReceipt`.
+        """
+        table = self.warehouse.resolve(ref)
+        column = table.column(ref.column)
+        total_rows = len(column)
+        fetched = (
+            sampler.sample_column(column, seed_key=str(ref)) if sampler else column
+        )
+        receipt = self._charge(str(ref), fetched.estimated_bytes(), len(fetched), total_rows)
+        return fetched, receipt
+
+    def scan_table(
+        self,
+        database: str,
+        table_name: str,
+        *,
+        sampler: Sampler | None = None,
+    ) -> tuple[Table, ScanReceipt]:
+        """Fetch a whole table (optionally row-sampled) and meter the scan.
+
+        Sampling picks one shared set of row indices so the fetched table
+        stays rectangular, matching how ``TABLESAMPLE`` behaves.
+        """
+        table = self.warehouse.database(database).table(table_name)
+        total_rows = table.row_count
+        if sampler is not None and sampler.sample_size is not None and (
+            total_rows > sampler.sample_size
+        ):
+            indices = sampler.select_indices(
+                total_rows, seed_key=f"{database}.{table_name}"
+            )
+            fetched = table.take(indices)
+        else:
+            fetched = table
+        receipt = self._charge(
+            f"{database}.{table_name}.*",
+            fetched.estimated_bytes(),
+            fetched.row_count,
+            total_rows,
+        )
+        return fetched, receipt
+
+    def peek_schema(self, database: str, table_name: str) -> tuple[str, ...]:
+        """Metadata read (free): column names of a table."""
+        return self.warehouse.database(database).table(table_name).column_names
+
+    @property
+    def receipts(self) -> tuple[ScanReceipt, ...]:
+        """All receipts issued by this connector, in scan order."""
+        return tuple(self._receipts)
+
+    def reset_metering(self) -> None:
+        """Zero stats, receipts, and the usage meter."""
+        self.stats.reset()
+        self.meter.reset()
+        self._receipts.clear()

@@ -1,0 +1,59 @@
+"""Usage-based pricing for warehouse scans.
+
+CDW vendors with pay-as-you-go pricing charge per byte scanned (the paper
+cites this as the reason full-corpus profiling is monetarily expensive).
+:class:`PricingModel` converts scanned bytes to dollars and
+:class:`UsageMeter` accumulates charges across an indexing run, which the
+§5.1 scale benchmark uses to compare full-scan vs sampled indexing cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PricingModel", "UsageMeter"]
+
+_GB = 1024**3
+
+
+@dataclass(frozen=True, slots=True)
+class PricingModel:
+    """Per-GB-scanned pricing with a per-query minimum, BigQuery-style.
+
+    ``dollars_per_gb`` defaults to the common on-demand rate of $5/TB =
+    ~$0.005/GB scanned; ``minimum_bytes`` models the 10 MB per-query floor.
+    """
+
+    dollars_per_gb: float = 5.0 / 1024.0
+    minimum_bytes: int = 10 * 1024**2
+
+    def cost_of_scan(self, scanned_bytes: int) -> float:
+        """Dollar cost of a single scan of ``scanned_bytes``."""
+        if scanned_bytes < 0:
+            raise ValueError(f"scanned_bytes must be non-negative, got {scanned_bytes}")
+        billed = max(scanned_bytes, self.minimum_bytes) if scanned_bytes > 0 else 0
+        return billed / _GB * self.dollars_per_gb
+
+
+@dataclass
+class UsageMeter:
+    """Accumulates scan counts, bytes, and dollar charges."""
+
+    pricing: PricingModel = field(default_factory=PricingModel)
+    scan_count: int = 0
+    scanned_bytes: int = 0
+    charged_dollars: float = 0.0
+
+    def record_scan(self, scanned_bytes: int) -> float:
+        """Record one scan; returns the dollar charge for it."""
+        charge = self.pricing.cost_of_scan(scanned_bytes)
+        self.scan_count += 1
+        self.scanned_bytes += scanned_bytes
+        self.charged_dollars += charge
+        return charge
+
+    def reset(self) -> None:
+        """Zero all counters (pricing model is kept)."""
+        self.scan_count = 0
+        self.scanned_bytes = 0
+        self.charged_dollars = 0.0

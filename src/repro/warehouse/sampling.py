@@ -1,0 +1,174 @@
+"""Column sampling strategies.
+
+§3.1.3 and §4.4 of the paper study how sample size affects embedding-based
+discovery.  A :class:`Sampler` maps a column's row count to the row indices
+to fetch; the connector then scans only those rows, so sampling directly
+reduces metered bytes.
+
+Strategies:
+
+* :class:`HeadSampler` — first ``n`` rows (the cheapest scan pattern; models
+  a ``LIMIT n`` query).
+* :class:`UniformSampler` — ``n`` indices uniformly without replacement
+  (models ``TABLESAMPLE``).
+* :class:`ReservoirSampler` — classic Algorithm R; statistically identical
+  to uniform but implementable over a stream, included because profiling
+  literature (and the MinHash sensitivity result the paper cites) uses it.
+* :class:`DistinctSampler` — greedily prefers previously unseen values, a
+  cheap stand-in for distinct-aware sampling in warehouses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.storage.column import Column
+
+__all__ = [
+    "Sampler",
+    "HeadSampler",
+    "UniformSampler",
+    "ReservoirSampler",
+    "DistinctSampler",
+    "make_sampler",
+]
+
+
+class Sampler(ABC):
+    """Strategy interface: pick row indices to scan for one column."""
+
+    def __init__(self, sample_size: int | None) -> None:
+        if sample_size is not None and sample_size <= 0:
+            raise ValueError(f"sample_size must be positive or None, got {sample_size}")
+        self.sample_size = sample_size
+
+    @property
+    def name(self) -> str:
+        """Short strategy name used in configs and reports."""
+        return type(self).__name__.removesuffix("Sampler").lower()
+
+    def effective_size(self, row_count: int) -> int:
+        """Number of rows that will actually be fetched."""
+        if self.sample_size is None:
+            return row_count
+        return min(self.sample_size, row_count)
+
+    @abstractmethod
+    def select_indices(self, row_count: int, *, seed_key: str = "") -> Sequence[int]:
+        """Return the row indices to fetch from a column of ``row_count`` rows.
+
+        ``seed_key`` keys the per-column RNG so different columns draw
+        independent samples deterministically.
+        """
+
+    def sample_column(self, column: Column, *, seed_key: str = "") -> Column:
+        """Apply the strategy to a concrete column."""
+        if self.sample_size is None or len(column) <= self.sample_size:
+            return column
+        indices = self.select_indices(len(column), seed_key=seed_key)
+        return column.sample(indices)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(sample_size={self.sample_size})"
+
+
+class HeadSampler(Sampler):
+    """First-n sampling — models ``SELECT ... LIMIT n``."""
+
+    def select_indices(self, row_count: int, *, seed_key: str = "") -> Sequence[int]:
+        return range(self.effective_size(row_count))
+
+
+class UniformSampler(Sampler):
+    """Uniform sampling without replacement — models ``TABLESAMPLE (n ROWS)``."""
+
+    def select_indices(self, row_count: int, *, seed_key: str = "") -> Sequence[int]:
+        size = self.effective_size(row_count)
+        if size >= row_count:
+            return range(row_count)
+        rng = rng_for("uniform-sampler", seed_key, row_count)
+        indices = rng.choice(row_count, size=size, replace=False)
+        indices.sort()
+        return indices.tolist()
+
+
+class ReservoirSampler(Sampler):
+    """Algorithm R reservoir sampling over a simulated stream of rows."""
+
+    def select_indices(self, row_count: int, *, seed_key: str = "") -> Sequence[int]:
+        size = self.effective_size(row_count)
+        if size >= row_count:
+            return range(row_count)
+        rng = rng_for("reservoir-sampler", seed_key, row_count)
+        reservoir = list(range(size))
+        for index in range(size, row_count):
+            slot = int(rng.integers(0, index + 1))
+            if slot < size:
+                reservoir[slot] = index
+        reservoir.sort()
+        return reservoir
+
+
+class DistinctSampler(Sampler):
+    """Prefers rows with values not yet seen, then fills uniformly.
+
+    Needs the column contents, so :meth:`select_indices` falls back to
+    uniform; the value-aware path lives in :meth:`sample_column`.
+    """
+
+    def select_indices(self, row_count: int, *, seed_key: str = "") -> Sequence[int]:
+        return UniformSampler(self.sample_size).select_indices(
+            row_count, seed_key=seed_key
+        )
+
+    def sample_column(self, column: Column, *, seed_key: str = "") -> Column:
+        if self.sample_size is None or len(column) <= self.sample_size:
+            return column
+        size = self.effective_size(len(column))
+        seen: set[object] = set()
+        fresh: list[int] = []
+        repeats: list[int] = []
+        for index, value in enumerate(column.values):
+            if value is None:
+                repeats.append(index)
+            elif value not in seen:
+                seen.add(value)
+                fresh.append(index)
+            else:
+                repeats.append(index)
+        picked = fresh[:size]
+        if len(picked) < size:
+            rng = rng_for("distinct-sampler", seed_key, len(column))
+            need = size - len(picked)
+            filler = rng.choice(len(repeats), size=min(need, len(repeats)), replace=False)
+            picked.extend(repeats[int(i)] for i in filler)
+        picked.sort()
+        return column.sample(picked)
+
+
+_STRATEGIES: dict[str, type[Sampler]] = {
+    "head": HeadSampler,
+    "uniform": UniformSampler,
+    "reservoir": ReservoirSampler,
+    "distinct": DistinctSampler,
+}
+
+
+def make_sampler(strategy: str, sample_size: int | None) -> Sampler:
+    """Factory: build a sampler from a strategy name.
+
+    >>> make_sampler("head", 100).name
+    'head'
+    """
+    try:
+        cls = _STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampling strategy {strategy!r}; "
+            f"available: {', '.join(sorted(_STRATEGIES))}"
+        ) from None
+    return cls(sample_size)

@@ -1,0 +1,99 @@
+"""Shared fixtures.
+
+Heavy artifacts (the pretrained embedding model, generated corpora) are
+session-scoped: they are deterministic, so sharing them across tests loses
+nothing and saves minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.warpgate import WarpGate
+from repro.datasets.nextiajd import generate_testbed
+from repro.datasets.sigma import generate_sigma_sample_database
+from repro.datasets.spider import generate_spider_corpus
+from repro.embedding.registry import get_model
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.warehouse.catalog import Warehouse
+from repro.warehouse.connector import WarehouseConnector
+
+
+@pytest.fixture(scope="session")
+def webtable_model():
+    """The shared pretrained Web Table Embedding model."""
+    return get_model("webtable")
+
+
+@pytest.fixture(scope="session")
+def testbed_xs():
+    """The smallest NextiaJD testbed (deterministic)."""
+    return generate_testbed("XS")
+
+
+@pytest.fixture(scope="session")
+def spider_corpus():
+    """A reduced Spider corpus: fewer databases for fast tests."""
+    return generate_spider_corpus(n_databases=6, max_queries=25)
+
+
+@pytest.fixture(scope="session")
+def sigma_corpus():
+    """Sigma Sample Database at reduced scale, without snapshot copies."""
+    return generate_sigma_sample_database(rows_scale=0.25, with_snapshots=False)
+
+
+@pytest.fixture(scope="session")
+def indexed_warpgate(testbed_xs):
+    """A WarpGate instance indexed over testbedXS (shared, read-only)."""
+    system = WarpGate()
+    system.index_corpus(testbed_xs.connector())
+    return system
+
+
+def make_toy_warehouse() -> Warehouse:
+    """Three tiny tables with one obvious join pair (module-level helper)."""
+    warehouse = Warehouse("toy")
+    companies = [
+        "Acme Dynamics Corp", "Global Logistics Inc", "Nova Analytics Llc",
+        "Summit Robotics Ltd", "Vertex Energy Group",
+    ]
+    left = Table(
+        "customers",
+        [
+            Column("id", [1, 2, 3, 4, 5]),
+            Column("company", companies),
+            Column("amount", [10.5, 20.25, 30.0, 40.75, 55.5]),
+        ],
+    )
+    right = Table(
+        "vendors",
+        [
+            Column("vendor_id", [10, 11, 12, 13, 14]),
+            Column("vendor_name", companies),
+            Column("city", ["Boston", "Chicago", "Denver", "Austin", "Seattle"]),
+        ],
+    )
+    unrelated = Table(
+        "colors",
+        [
+            Column("color", ["red", "green", "blue", "cyan", "mauve"]),
+            Column("hex_len", [3, 5, 4, 4, 5]),
+        ],
+    )
+    for table in (left, right, unrelated):
+        warehouse.add_table("db", table)
+    return warehouse
+
+
+@pytest.fixture()
+def toy_warehouse() -> Warehouse:
+    """Fresh toy warehouse per test (mutation-safe)."""
+    return make_toy_warehouse()
+
+
+@pytest.fixture()
+def toy_connector(toy_warehouse) -> WarehouseConnector:
+    """Metered connector over the toy warehouse."""
+    return WarehouseConnector(toy_warehouse)

@@ -1,0 +1,118 @@
+"""Tests for repro.baselines.aurum."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.aurum import Aurum
+from repro.errors import NotIndexedError
+from repro.storage.schema import ColumnRef
+
+
+def company_ref() -> ColumnRef:
+    return ColumnRef("db", "customers", "company")
+
+
+def vendor_ref() -> ColumnRef:
+    return ColumnRef("db", "vendors", "vendor_name")
+
+
+@pytest.fixture()
+def indexed_aurum(toy_connector) -> Aurum:
+    system = Aurum(edge_threshold=0.5)
+    system.index_corpus(toy_connector)
+    return system
+
+
+class TestConstruction:
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            Aurum(edge_threshold=1.5)
+
+    def test_search_before_index_raises(self):
+        with pytest.raises(NotIndexedError):
+            Aurum().search(company_ref())
+
+
+class TestIndexing:
+    def test_graph_built(self, indexed_aurum):
+        report_nodes = indexed_aurum.graph.number_of_nodes()
+        assert report_nodes == 8
+        # The identical company/vendor_name extents must be linked.
+        assert indexed_aurum.graph.has_edge(company_ref(), vendor_ref())
+
+    def test_index_report(self, toy_connector):
+        system = Aurum(edge_threshold=0.5)
+        report = system.index_corpus(toy_connector)
+        assert report.columns_indexed == 8
+        assert report.notes["edges"] == system.edge_count
+        assert report.scanned_bytes > 0
+
+    def test_edges_thresholded(self, indexed_aurum):
+        for _, _, data in indexed_aurum.graph.edges(data=True):
+            assert data["weight"] >= 0.5
+
+
+class TestSearch:
+    def test_finds_identical_extent(self, indexed_aurum):
+        result = indexed_aurum.search(company_ref(), 5)
+        assert vendor_ref() in result.refs
+
+    def test_no_data_loading_at_query_time(self, indexed_aurum):
+        scans_before = indexed_aurum.connector.stats.scan_count
+        indexed_aurum.search(company_ref(), 5)
+        assert indexed_aurum.connector.stats.scan_count == scans_before
+
+    def test_query_latency_is_lookup_only(self, indexed_aurum):
+        timing = indexed_aurum.search(company_ref(), 5).timing
+        assert timing.load_s == 0.0
+        assert timing.embed_s == 0.0
+        assert timing.lookup_s > 0.0
+
+    def test_unknown_query_returns_empty(self, indexed_aurum):
+        result = indexed_aurum.search(ColumnRef("db", "zzz", "zzz"), 5)
+        assert result.candidates == []
+
+    def test_same_table_excluded(self, indexed_aurum):
+        result = indexed_aurum.search(company_ref(), 10)
+        assert all(not ref.same_table(company_ref()) for ref in result.refs)
+
+    def test_misses_low_jaccard_pairs(self, toy_connector):
+        """High threshold removes edges - the paper's recall ceiling."""
+        system = Aurum(edge_threshold=0.99)
+        # Perturb: vendors share only 2 of 5 companies.
+        warehouse = toy_connector.warehouse
+        from repro.storage.column import Column
+        from repro.storage.table import Table
+
+        partial = Table(
+            "vendors",
+            [
+                Column("vendor_id", [10, 11, 12, 13, 14]),
+                Column(
+                    "vendor_name",
+                    [
+                        "Acme Dynamics Corp",
+                        "Global Logistics Inc",
+                        "Different One",
+                        "Different Two",
+                        "Different Three",
+                    ],
+                ),
+                Column("city", ["a", "b", "c", "d", "e"]),
+            ],
+        )
+        warehouse.database("db").add_table(partial)
+        system.index_corpus(toy_connector)
+        result = system.search(company_ref(), 5)
+        assert vendor_ref() not in result.refs
+
+
+class TestHowSimilar:
+    def test_identical_extents(self, indexed_aurum):
+        assert indexed_aurum.how_similar(company_ref(), vendor_ref()) == pytest.approx(
+            1.0
+        )
+
+    def test_unprofiled_is_zero(self, indexed_aurum):
+        assert indexed_aurum.how_similar(company_ref(), ColumnRef("x", "y", "z")) == 0.0

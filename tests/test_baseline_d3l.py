@@ -1,0 +1,102 @@
+"""Tests for repro.baselines.d3l."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.d3l import D3L
+from repro.errors import NotIndexedError
+from repro.storage.schema import ColumnRef
+
+
+def company_ref() -> ColumnRef:
+    return ColumnRef("db", "customers", "company")
+
+
+def vendor_ref() -> ColumnRef:
+    return ColumnRef("db", "vendors", "vendor_name")
+
+
+@pytest.fixture()
+def indexed_d3l(toy_connector) -> D3L:
+    system = D3L()
+    system.index_corpus(toy_connector)
+    return system
+
+
+class TestIndexing:
+    def test_profiles_built(self, indexed_d3l):
+        assert indexed_d3l.profile_count == 8
+
+    def test_search_before_index_raises(self):
+        with pytest.raises(NotIndexedError):
+            D3L().search(company_ref())
+
+    def test_index_report(self, toy_connector):
+        report = D3L().index_corpus(toy_connector)
+        assert report.columns_indexed == 8
+        assert report.scanned_bytes > 0
+
+
+class TestEvidences:
+    def test_identical_extents_score_high(self, indexed_d3l):
+        score = indexed_d3l.score_pair(company_ref(), vendor_ref())
+        assert score > 0.3
+
+    def test_unrelated_columns_score_low(self, indexed_d3l):
+        score = indexed_d3l.score_pair(
+            company_ref(), ColumnRef("db", "colors", "color")
+        )
+        assert score < indexed_d3l.score_pair(company_ref(), vendor_ref())
+
+    def test_unprofiled_pair_is_zero(self, indexed_d3l):
+        assert indexed_d3l.score_pair(company_ref(), ColumnRef("x", "y", "z")) == 0.0
+
+    def test_numeric_pairs_use_distribution_evidence(self, indexed_d3l):
+        amount = ColumnRef("db", "customers", "amount")
+        hex_len = ColumnRef("db", "colors", "hex_len")
+        assert indexed_d3l.score_pair(amount, hex_len) >= 0.0
+
+    def test_name_evidence_contributes(self, toy_connector):
+        """Same-named columns get a boost even with moderate extents."""
+        system = D3L()
+        system.index_corpus(toy_connector)
+        id_a = ColumnRef("db", "customers", "id")
+        id_b = ColumnRef("db", "vendors", "vendor_id")
+        color = ColumnRef("db", "colors", "color")
+        assert system.score_pair(id_a, id_b) > system.score_pair(id_a, color)
+
+
+class TestSearch:
+    def test_finds_joinable(self, indexed_d3l):
+        result = indexed_d3l.search(company_ref(), 5)
+        assert vendor_ref() in result.refs
+
+    def test_search_loads_and_profiles_query(self, indexed_d3l):
+        scans_before = indexed_d3l.connector.stats.scan_count
+        timing = indexed_d3l.search(company_ref(), 5).timing
+        assert indexed_d3l.connector.stats.scan_count == scans_before + 1
+        assert timing.load_s > 0
+        assert timing.embed_s > 0
+        assert timing.lookup_s > 0
+
+    def test_same_table_excluded(self, indexed_d3l):
+        result = indexed_d3l.search(company_ref(), 10)
+        assert all(not ref.same_table(company_ref()) for ref in result.refs)
+
+    def test_scores_descending(self, indexed_d3l):
+        result = indexed_d3l.search(company_ref(), 10)
+        scores = [candidate.score for candidate in result.candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_thresholds_gate_candidates(self, toy_connector):
+        """With prohibitive thresholds nothing qualifies."""
+        system = D3L(
+            name_threshold=1.01,
+            extent_threshold=1.01,
+            embedding_threshold=1.01,
+            format_threshold=1.01,
+            distribution_threshold=1.01,
+        )
+        system.index_corpus(toy_connector)
+        assert system.search(company_ref(), 5).candidates == []

@@ -1,0 +1,75 @@
+"""Tests for repro.core.candidates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import DiscoveryResult, JoinCandidate, TimingBreakdown
+from repro.storage.schema import ColumnRef
+
+
+def ref(column: str) -> ColumnRef:
+    return ColumnRef("db", "t", column)
+
+
+class TestJoinCandidate:
+    def test_str(self):
+        assert "0.750" in str(JoinCandidate(ref("a"), 0.75))
+
+
+class TestTimingBreakdown:
+    def test_response_time_sums_components(self):
+        timing = TimingBreakdown(
+            load_measured_s=1.0,
+            load_simulated_s=2.0,
+            embed_s=3.0,
+            lookup_s=4.0,
+            other_s=0.5,
+        )
+        assert timing.response_time_s == pytest.approx(10.5)
+        assert timing.load_s == pytest.approx(3.0)
+
+    def test_lookup_fraction(self):
+        timing = TimingBreakdown(embed_s=3.0, lookup_s=1.0)
+        assert timing.lookup_fraction == pytest.approx(0.25)
+
+    def test_lookup_fraction_zero_total(self):
+        assert TimingBreakdown().lookup_fraction == 0.0
+
+    def test_add(self):
+        total = TimingBreakdown(embed_s=1.0) + TimingBreakdown(embed_s=2.0, lookup_s=1.0)
+        assert total.embed_s == pytest.approx(3.0)
+        assert total.lookup_s == pytest.approx(1.0)
+
+    def test_scaled(self):
+        scaled = TimingBreakdown(embed_s=4.0).scaled(0.25)
+        assert scaled.embed_s == pytest.approx(1.0)
+
+
+class TestDiscoveryResult:
+    def _result(self) -> DiscoveryResult:
+        return DiscoveryResult(
+            query=ref("q"),
+            candidates=[
+                JoinCandidate(ref("a"), 0.9),
+                JoinCandidate(ref("b"), 0.8),
+                JoinCandidate(ref("c"), 0.7),
+            ],
+        )
+
+    def test_len_and_iter(self):
+        result = self._result()
+        assert len(result) == 3
+        assert [c.score for c in result] == [0.9, 0.8, 0.7]
+
+    def test_refs(self):
+        assert self._result().refs == [ref("a"), ref("b"), ref("c")]
+
+    def test_top(self):
+        assert [c.ref for c in self._result().top(2)] == [ref("a"), ref("b")]
+
+    def test_describe_mentions_all(self):
+        text = self._result().describe()
+        assert "db.t.q" in text
+        assert "db.t.a" in text
+        assert "response time" in text

@@ -1,0 +1,102 @@
+"""Tests for repro.core.lookup: the Add-column-via-lookup flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WarpGateConfig
+from repro.core.lookup import LookupService
+from repro.core.warpgate import WarpGate
+from repro.errors import InvalidQueryError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+from repro.warehouse.catalog import Warehouse
+from repro.warehouse.connector import WarehouseConnector
+
+
+@pytest.fixture()
+def service() -> LookupService:
+    """Two joinable tables with a case-mismatched join key."""
+    warehouse = Warehouse("lookup-test")
+    accounts = Table(
+        "accounts",
+        [
+            Column("name", ["Acme Dynamics Corp", "Nova Analytics Llc", "Missing Co"]),
+            Column("region", ["east", "west", "north"]),
+        ],
+    )
+    industries = Table(
+        "industries",
+        [
+            Column(
+                "company_name",
+                ["ACME DYNAMICS CORP", "NOVA ANALYTICS LLC", "OTHER CORP"],
+            ),
+            Column("sector", ["tech", "finance", "energy"]),
+            Column("ticker", ["ACDY", "NOAN", "OTHE"]),
+        ],
+    )
+    warehouse.add_table("crm", accounts)
+    warehouse.add_table("stocks", industries)
+    system = WarpGate(WarpGateConfig(threshold=0.3))
+    system.index_corpus(WarehouseConnector(warehouse))
+    return LookupService(system)
+
+
+QUERY = ColumnRef("crm", "accounts", "name")
+CANDIDATE = ColumnRef("stocks", "industries", "company_name")
+
+
+class TestRecommend:
+    def test_candidate_table_metadata_included(self, service):
+        recommendations = service.recommend(QUERY, k=3)
+        assert recommendations
+        top = recommendations[0]
+        assert top.candidate == CANDIDATE
+        assert "sector" in top.table_columns
+        assert top.rank == 1
+        assert "industries" in str(top)
+
+
+class TestAddColumnViaLookup:
+    def test_cardinality_preserved(self, service):
+        result = service.add_column_via_lookup(QUERY, CANDIDATE, ["sector"])
+        assert result.row_count == 3  # exactly the query table's rows
+
+    def test_values_joined_case_insensitively(self, service):
+        result = service.add_column_via_lookup(QUERY, CANDIDATE, ["sector"])
+        assert result.column("sector").values == ("tech", "finance", None)
+
+    def test_multiple_value_columns(self, service):
+        result = service.add_column_via_lookup(QUERY, CANDIDATE, ["sector", "ticker"])
+        assert result.column("ticker").values == ("ACDY", "NOAN", None)
+
+    def test_name_collision_suffixed(self, service):
+        # Requesting the same source column twice suffixes the second copy.
+        result = service.add_column_via_lookup(QUERY, CANDIDATE, ["sector", "sector"])
+        assert "sector" in result.column_names
+        assert "sector_2" in result.column_names
+
+    def test_unknown_value_column_rejected(self, service):
+        with pytest.raises(InvalidQueryError):
+            service.add_column_via_lookup(QUERY, CANDIDATE, ["nope"])
+
+    def test_unknown_query_column_rejected(self, service):
+        bad_query = ColumnRef("crm", "accounts", "nope")
+        with pytest.raises(InvalidQueryError):
+            service.add_column_via_lookup(bad_query, CANDIDATE, ["sector"])
+
+    def test_original_table_unchanged(self, service):
+        warehouse = service.warpgate.connector.warehouse
+        before = warehouse.resolve(QUERY).column_names
+        service.add_column_via_lookup(QUERY, CANDIDATE, ["sector"])
+        assert warehouse.resolve(QUERY).column_names == before
+
+
+class TestMatchRate:
+    def test_partial_match(self, service):
+        assert service.match_rate(QUERY, CANDIDATE) == pytest.approx(2 / 3)
+
+    def test_self_match_is_one(self, service):
+        assert service.match_rate(QUERY, QUERY) == 1.0

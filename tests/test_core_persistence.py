@@ -1,0 +1,91 @@
+"""Tests for repro.core.persistence: index artifact save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import WarpGateConfig
+from repro.core.persistence import load_index, save_index
+from repro.core.warpgate import WarpGate
+from repro.errors import DiscoveryError
+from repro.storage.schema import ColumnRef
+from repro.warehouse.connector import WarehouseConnector
+
+
+@pytest.fixture()
+def indexed_system(toy_connector) -> WarpGate:
+    system = WarpGate(WarpGateConfig(threshold=0.3))
+    system.index_corpus(toy_connector)
+    return system
+
+
+class TestSave:
+    def test_unindexed_rejected(self, tmp_path):
+        with pytest.raises(DiscoveryError):
+            save_index(WarpGate(), tmp_path / "x.npz")
+
+    def test_artifact_written(self, indexed_system, tmp_path):
+        artifact = save_index(indexed_system, tmp_path / "index.npz")
+        assert artifact.exists()
+        assert artifact.suffix == ".npz"
+
+    def test_suffix_normalized(self, indexed_system, tmp_path):
+        artifact = save_index(indexed_system, tmp_path / "index")
+        assert artifact.suffix == ".npz"
+        assert artifact.exists()
+
+
+class TestLoad:
+    def test_missing_artifact(self, tmp_path):
+        with pytest.raises(DiscoveryError):
+            load_index(tmp_path / "absent.npz")
+
+    def test_roundtrip_preserves_vectors(self, indexed_system, tmp_path):
+        artifact = save_index(indexed_system, tmp_path / "index.npz")
+        restored = load_index(artifact)
+        assert restored.indexed_count == indexed_system.indexed_count
+        ref = ColumnRef("db", "customers", "company")
+        assert np.allclose(restored.vector_of(ref), indexed_system.vector_of(ref))
+
+    def test_roundtrip_preserves_config(self, indexed_system, tmp_path):
+        artifact = save_index(indexed_system, tmp_path / "index.npz")
+        restored = load_index(artifact)
+        assert restored.config == indexed_system.config
+
+    def test_restored_index_answers_vector_queries(self, indexed_system, tmp_path):
+        artifact = save_index(indexed_system, tmp_path / "index.npz")
+        restored = load_index(artifact)
+        query_ref = ColumnRef("db", "customers", "company")
+        vector = indexed_system.vector_of(query_ref)
+        result = restored.search_vector(vector, 3, exclude=query_ref)
+        assert result.refs[0] == ColumnRef("db", "vendors", "vendor_name")
+
+    def test_restored_index_with_connector_answers_search(
+        self, indexed_system, tmp_path, toy_warehouse
+    ):
+        artifact = save_index(indexed_system, tmp_path / "index.npz")
+        restored = load_index(artifact)
+        restored.attach_connector(WarehouseConnector(toy_warehouse))
+        query_ref = ColumnRef("db", "customers", "company")
+        original = indexed_system.search(query_ref, 3).refs
+        assert restored.search(query_ref, 3).refs == original
+
+
+class TestSearchVector:
+    def test_zero_vector_empty(self, indexed_system):
+        result = indexed_system.search_vector(np.zeros(64), 3)
+        assert result.candidates == []
+
+    def test_without_exclude_returns_self(self, indexed_system):
+        query_ref = ColumnRef("db", "customers", "company")
+        vector = indexed_system.vector_of(query_ref)
+        result = indexed_system.search_vector(vector, 3)
+        assert query_ref in result.refs
+
+    def test_timing_is_lookup_only(self, indexed_system):
+        vector = indexed_system.vector_of(ColumnRef("db", "customers", "company"))
+        timing = indexed_system.search_vector(vector, 3).timing
+        assert timing.load_s == 0.0
+        assert timing.embed_s == 0.0
+        assert timing.lookup_s > 0.0

@@ -1,0 +1,56 @@
+"""Tests for repro.core.profiles (EmbeddingCache)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.profiles import EmbeddingCache
+from repro.storage.schema import ColumnRef
+
+
+def ref(name: str) -> ColumnRef:
+    return ColumnRef("db", "t", name)
+
+
+class TestEmbeddingCache:
+    def test_miss_then_hit(self):
+        cache = EmbeddingCache()
+        assert cache.get(ref("a")) is None
+        cache.put(ref("a"), np.ones(4))
+        assert cache.get(ref("a")) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_hit_rate(self):
+        cache = EmbeddingCache()
+        cache.put(ref("a"), np.ones(4))
+        cache.get(ref("a"))
+        cache.get(ref("b"))
+        assert cache.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert EmbeddingCache().hit_rate == 0.0
+
+    def test_contains_and_len(self):
+        cache = EmbeddingCache()
+        cache.put(ref("a"), np.ones(4))
+        assert ref("a") in cache
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = EmbeddingCache()
+        cache.put(ref("a"), np.ones(4))
+        cache.invalidate(ref("a"))
+        assert ref("a") not in cache
+
+    def test_invalidate_missing_is_noop(self):
+        EmbeddingCache().invalidate(ref("zzz"))
+
+    def test_clear_resets_counters(self):
+        cache = EmbeddingCache()
+        cache.put(ref("a"), np.ones(4))
+        cache.get(ref("a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.misses == 0

@@ -1,0 +1,113 @@
+"""Tests for repro.core.system: the shared discovery-system contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import DiscoveryResult
+from repro.core.system import IndexReport, JoinDiscoverySystem
+from repro.errors import NotIndexedError
+from repro.storage.schema import ColumnRef
+from repro.storage.types import DataType
+
+
+class _StubSystem(JoinDiscoverySystem):
+    """Minimal concrete system for contract tests."""
+
+    name = "stub"
+
+    def index_corpus(self, connector, *, sampler=None):
+        self._connector = connector
+        self._indexed = True
+        return IndexReport(system=self.name)
+
+    def search(self, query, k=10):
+        self._require_indexed()
+        return DiscoveryResult(query=query)
+
+
+class TestEligibleRefs:
+    def test_dates_and_booleans_excluded(self, toy_connector):
+        from repro.storage.column import Column
+        from repro.storage.table import Table
+
+        warehouse = toy_connector.warehouse
+        warehouse.add_table(
+            "db",
+            Table(
+                "extras",
+                [
+                    Column("flag", [True, False]),
+                    Column("when", ["2020-01-01", "2021-01-01"], coerce=True),
+                    Column("note", ["a", "b"]),
+                ],
+            ),
+        )
+        refs = _StubSystem().eligible_refs(toy_connector)
+        names = {ref.column for ref in refs if ref.table == "extras"}
+        assert names == {"note"}
+
+    def test_all_base_types_included(self, toy_connector):
+        refs = _StubSystem().eligible_refs(toy_connector)
+        dtypes = set()
+        for ref in refs:
+            dtypes.add(toy_connector.warehouse.resolve(ref).column(ref.column).dtype)
+        assert dtypes == {DataType.STRING, DataType.INTEGER, DataType.FLOAT}
+
+
+class TestContract:
+    def test_connector_before_index_raises(self):
+        with pytest.raises(NotIndexedError):
+            _ = _StubSystem().connector
+
+    def test_is_indexed_lifecycle(self, toy_connector):
+        system = _StubSystem()
+        assert not system.is_indexed
+        system.index_corpus(toy_connector)
+        assert system.is_indexed
+        assert system.connector is toy_connector
+
+    def test_load_column_times_and_meters(self, toy_connector):
+        system = _StubSystem()
+        system.index_corpus(toy_connector)
+        column, measured, simulated = system.load_column(
+            ColumnRef("db", "customers", "company"), None
+        )
+        assert len(column) == 5
+        assert measured >= 0.0
+        assert simulated > 0.0
+
+    def test_repr_mentions_state(self, toy_connector):
+        system = _StubSystem()
+        assert "empty" in repr(system)
+        system.index_corpus(toy_connector)
+        assert "indexed" in repr(system)
+
+
+class TestDropSameTable:
+    def test_filters_and_trims(self):
+        query = ColumnRef("db", "t", "q")
+        scored = [
+            (ColumnRef("db", "t", "sibling"), 0.99),
+            (ColumnRef("db", "u", "a"), 0.9),
+            (ColumnRef("db", "v", "b"), 0.8),
+            (ColumnRef("db", "w", "c"), 0.7),
+        ]
+        kept = JoinDiscoverySystem.drop_same_table(scored, query, 2)
+        assert kept == [(ColumnRef("db", "u", "a"), 0.9), (ColumnRef("db", "v", "b"), 0.8)]
+
+    def test_same_name_other_database_kept(self):
+        query = ColumnRef("db1", "t", "q")
+        scored = [(ColumnRef("db2", "t", "q"), 0.9)]
+        assert JoinDiscoverySystem.drop_same_table(scored, query, 5) == scored
+
+
+class TestIndexReport:
+    def test_total_seconds(self):
+        report = IndexReport(system="x", wall_seconds=2.0, simulated_load_seconds=3.0)
+        assert report.total_seconds == pytest.approx(5.0)
+
+    def test_notes_mutable(self):
+        report = IndexReport(system="x")
+        report.notes["key"] = "value"
+        assert report.notes["key"] == "value"

@@ -1,0 +1,159 @@
+"""Tests for repro.core.warpgate: the system itself."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import WarpGateConfig
+from repro.core.profiles import EmbeddingCache
+from repro.core.warpgate import WarpGate
+from repro.errors import NotIndexedError
+from repro.storage.schema import ColumnRef
+from repro.warehouse.connector import WarehouseConnector
+
+
+def company_ref() -> ColumnRef:
+    return ColumnRef("db", "customers", "company")
+
+
+def vendor_ref() -> ColumnRef:
+    return ColumnRef("db", "vendors", "vendor_name")
+
+
+@pytest.fixture()
+def toy_warpgate(toy_connector) -> WarpGate:
+    system = WarpGate(WarpGateConfig(threshold=0.3))
+    system.index_corpus(toy_connector)
+    return system
+
+
+class TestIndexing:
+    def test_index_report_counts(self, toy_connector):
+        system = WarpGate()
+        report = system.index_corpus(toy_connector)
+        # toy warehouse: 8 eligible columns (strings, ints, floats).
+        assert report.columns_indexed == 8
+        assert report.columns_skipped == 0
+        assert report.scanned_bytes > 0
+        assert report.charged_dollars > 0
+        assert report.simulated_load_seconds > 0
+        assert report.notes["backend"] == "lsh"
+
+    def test_search_before_index_raises(self):
+        with pytest.raises(NotIndexedError):
+            WarpGate().search(company_ref(), 3)
+
+    def test_connector_property_before_index_raises(self):
+        with pytest.raises(NotIndexedError):
+            _ = WarpGate().connector
+
+    def test_sampling_config_reduces_scan(self, toy_warehouse):
+        full = WarpGate()
+        full.index_corpus(WarehouseConnector(toy_warehouse))
+        sampled = WarpGate(WarpGateConfig(sample_size=2))
+        report = sampled.index_corpus(WarehouseConnector(toy_warehouse))
+        full_report_bytes = full.connector.stats.scanned_bytes
+        assert report.scanned_bytes < full_report_bytes
+
+    def test_indexed_count(self, toy_warpgate):
+        assert toy_warpgate.indexed_count == 8
+
+
+class TestSearch:
+    def test_finds_joinable_column(self, toy_warpgate):
+        result = toy_warpgate.search(company_ref(), 3)
+        assert result.refs[0] == vendor_ref()
+        assert result.candidates[0].score > 0.9
+
+    def test_excludes_own_table(self, toy_warpgate):
+        result = toy_warpgate.search(company_ref(), 10)
+        assert all(ref.table_key != ("db", "customers") for ref in result.refs)
+
+    def test_k_respected(self, toy_warpgate):
+        result = toy_warpgate.search(company_ref(), 1)
+        assert len(result) <= 1
+
+    def test_default_k_from_config(self, toy_connector):
+        system = WarpGate(WarpGateConfig(default_k=2, threshold=-1.0))
+        system.index_corpus(toy_connector)
+        assert len(system.search(company_ref())) <= 2
+
+    def test_timing_populated(self, toy_warpgate):
+        timing = toy_warpgate.search(company_ref(), 3).timing
+        assert timing.load_simulated_s > 0
+        assert timing.embed_s > 0
+        assert timing.lookup_s > 0
+
+    def test_threshold_override(self, toy_warpgate):
+        strict = toy_warpgate.search(company_ref(), 10, threshold=0.999)
+        loose = toy_warpgate.search(company_ref(), 10, threshold=-1.0)
+        assert len(strict) <= len(loose)
+
+    def test_deterministic_results(self, toy_warpgate):
+        first = toy_warpgate.search(company_ref(), 5).refs
+        second = toy_warpgate.search(company_ref(), 5).refs
+        assert first == second
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["lsh", "exact", "pivot"])
+    def test_all_backends_find_the_join(self, toy_connector, backend):
+        system = WarpGate(WarpGateConfig(search_backend=backend, threshold=0.3))
+        system.index_corpus(toy_connector)
+        result = system.search(company_ref(), 3)
+        assert vendor_ref() in result.refs
+
+    def test_lsh_and_exact_agree_on_toy(self, toy_warehouse):
+        lsh = WarpGate(WarpGateConfig(search_backend="lsh", threshold=0.3))
+        lsh.index_corpus(WarehouseConnector(toy_warehouse))
+        exact = WarpGate(WarpGateConfig(search_backend="exact", threshold=0.3))
+        exact.index_corpus(WarehouseConnector(toy_warehouse))
+        assert lsh.search(company_ref(), 3).refs == exact.search(company_ref(), 3).refs
+
+
+class TestCache:
+    def test_cache_skips_load(self, toy_warehouse):
+        cache = EmbeddingCache()
+        system = WarpGate(WarpGateConfig(threshold=0.3), cache=cache)
+        system.index_corpus(WarehouseConnector(toy_warehouse))
+        scans_after_index = system.connector.stats.scan_count
+        result = system.search(company_ref(), 3)
+        # Query column was cached at indexing time: no extra scan.
+        assert system.connector.stats.scan_count == scans_after_index
+        assert result.timing.load_s == 0.0
+        assert cache.hits >= 1
+
+
+class TestIntrospection:
+    def test_vector_of(self, toy_warpgate):
+        vector = toy_warpgate.vector_of(company_ref())
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_similarity_symmetric(self, toy_warpgate):
+        left = toy_warpgate.similarity(company_ref(), vendor_ref())
+        right = toy_warpgate.similarity(vendor_ref(), company_ref())
+        assert left == pytest.approx(right)
+
+    def test_explain(self, toy_warpgate):
+        explanation = toy_warpgate.explain(company_ref(), vendor_ref())
+        assert explanation["above_threshold"] is True
+        assert 0.0 <= explanation["lsh_candidate_probability"] <= 1.0
+
+
+class TestOnTestbed:
+    """Smoke checks against the shared indexed testbedXS system."""
+
+    def test_answers_retrievable(self, indexed_warpgate, testbed_xs):
+        truth = testbed_xs.ground_truth
+        hits = 0
+        for query in testbed_xs.queries:
+            result = indexed_warpgate.search(query.ref, 10)
+            if any(truth.is_answer(query.ref, ref) for ref in result.refs):
+                hits += 1
+        assert hits / len(testbed_xs.queries) > 0.6
+
+    def test_scores_descending(self, indexed_warpgate, testbed_xs):
+        result = indexed_warpgate.search(testbed_xs.queries[0].ref, 10)
+        scores = [candidate.score for candidate in result.candidates]
+        assert scores == sorted(scores, reverse=True)

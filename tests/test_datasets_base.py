@@ -1,0 +1,92 @@
+"""Tests for repro.datasets.base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.base import GroundTruth, JoinQuery, TableCorpus
+from repro.errors import MissingGroundTruthError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+from repro.warehouse.catalog import Warehouse
+
+
+def ref(name: str) -> ColumnRef:
+    return ColumnRef("db", "t", name)
+
+
+class TestGroundTruth:
+    def test_add_and_answers(self):
+        truth = GroundTruth()
+        truth.add(ref("q"), ref("a"))
+        truth.add(ref("q"), ref("b"))
+        assert truth.answers(ref("q")) == {ref("a"), ref("b")}
+
+    def test_constructor_mapping(self):
+        truth = GroundTruth({ref("q"): [ref("a")]})
+        assert truth.is_answer(ref("q"), ref("a"))
+
+    def test_unknown_query_empty(self):
+        assert GroundTruth().answers(ref("zzz")) == frozenset()
+
+    def test_contains_and_len(self):
+        truth = GroundTruth({ref("q"): [ref("a")]})
+        assert ref("q") in truth
+        assert len(truth) == 1
+
+    def test_total_and_average(self):
+        truth = GroundTruth({ref("q1"): [ref("a"), ref("b")], ref("q2"): [ref("c")]})
+        assert truth.total_answers == 3
+        assert truth.average_answers == pytest.approx(1.5)
+
+    def test_queries_with_answers(self):
+        truth = GroundTruth({ref("q"): [ref("a")]})
+        assert list(truth.queries_with_answers()) == [ref("q")]
+
+
+class TestTableCorpus:
+    def _corpus(self, with_truth: bool = True) -> TableCorpus:
+        warehouse = Warehouse("w")
+        warehouse.add_table(
+            "db", Table("t", [Column("a", [1, 2]), Column("b", ["x", "y"])])
+        )
+        corpus = TableCorpus("demo", warehouse)
+        if with_truth:
+            truth = GroundTruth({ref("a"): [ref("b")]})
+            corpus.ground_truth = truth
+            corpus.queries = [JoinQuery(ref("a"))]
+        return corpus
+
+    def test_summary_statistics(self):
+        corpus = self._corpus()
+        assert corpus.table_count == 1
+        assert corpus.column_count == 2
+        assert corpus.average_rows == 2.0
+        assert corpus.query_count == 1
+        assert corpus.average_answers == 1.0
+
+    def test_summary_row(self):
+        row = self._corpus().summary_row()
+        assert row["corpus"] == "demo"
+        assert row["tables"] == 1
+
+    def test_summary_row_without_truth(self):
+        row = self._corpus(with_truth=False).summary_row()
+        assert row["avg_answers"] is None
+
+    def test_require_ground_truth(self):
+        with pytest.raises(MissingGroundTruthError):
+            self._corpus(with_truth=False).require_ground_truth()
+
+    def test_connector_is_fresh(self):
+        corpus = self._corpus()
+        first = corpus.connector()
+        second = corpus.connector()
+        assert first is not second
+        assert first.warehouse is corpus.warehouse
+
+    def test_to_store_materializes(self):
+        store = self._corpus().to_store()
+        assert store.table_count == 1
+        assert store.column(ref("a")).values == (1, 2)

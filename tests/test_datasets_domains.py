@@ -1,0 +1,190 @@
+"""Tests for repro.datasets.domains and vocabularies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import rng_for
+from repro.datasets import domains as dom
+from repro.datasets import vocabularies as vocab
+
+
+class TestVocabularies:
+    def test_pools_non_empty_and_unique(self):
+        for pool in (
+            vocab.FIRST_NAMES,
+            vocab.LAST_NAMES,
+            vocab.CITIES,
+            vocab.COUNTRIES,
+            vocab.US_STATES,
+            vocab.SECTORS,
+            vocab.COMPANY_NAMES,
+            vocab.PRODUCT_NAMES,
+        ):
+            assert len(pool) > 0
+            assert len(set(pool)) == len(pool)
+
+    def test_company_pool_large(self):
+        assert len(vocab.COMPANY_NAMES) >= 1500
+
+    def test_tickers_unique_per_company(self):
+        tickers = list(vocab.TICKER_OF_COMPANY.values())
+        assert len(tickers) == len(set(tickers))
+        assert len(tickers) == len(vocab.COMPANY_NAMES)
+
+    def test_import_is_deterministic(self):
+        # Pools are built at import time with no RNG: rebuilding the module
+        # helper must give the identical sequence.
+        assert vocab.COMPANY_NAMES[:3] == vocab._build_company_names()[:3]
+
+
+class TestDomainRegistry:
+    def test_lookup(self):
+        assert dom.domain("company").name == "company"
+
+    def test_unknown_domain(self):
+        with pytest.raises(KeyError):
+            dom.domain("unicorns")
+
+    def test_all_domains_have_valid_styles(self):
+        for value_domain in dom.DOMAINS.values():
+            for style in value_domain.styles:
+                rendered = dom.render_value(
+                    value_domain.name, value_domain.pool[0], style
+                )
+                assert isinstance(rendered, str)
+                assert rendered
+
+
+class TestRenderValue:
+    def test_title(self):
+        assert dom.render_value("company", "acme dynamics corp", "title") == (
+            "Acme Dynamics Corp"
+        )
+
+    def test_upper(self):
+        assert dom.render_value("company", "acme dynamics corp", "upper") == (
+            "ACME DYNAMICS CORP"
+        )
+
+    def test_no_suffix_drops_last_word(self):
+        assert dom.render_value("company", "acme dynamics corp", "no_suffix") == (
+            "Acme Dynamics"
+        )
+
+    def test_last_first(self):
+        assert dom.render_value("person", "james smith", "last_first") == "Smith, James"
+
+    def test_unsupported_style_rejected(self):
+        with pytest.raises(ValueError):
+            dom.render_value("company", "acme dynamics corp", "last_first")
+
+
+class TestDrawSubset:
+    def test_distinct_and_from_pool(self):
+        rng = rng_for("test-draw")
+        subset = dom.draw_subset("company", rng, 30)
+        assert len(set(subset)) == 30
+        assert set(subset) <= set(dom.domain("company").pool)
+
+    def test_anchor_slices_deterministic(self):
+        rng = rng_for("test-draw")
+        a = dom.draw_subset("company", rng, 10, anchor=100)
+        b = dom.draw_subset("company", rng, 10, anchor=100)
+        assert a == b
+
+    def test_anchor_wraps_pool(self):
+        rng = rng_for("test-draw")
+        pool_size = len(dom.domain("city").pool)
+        subset = dom.draw_subset("city", rng, 5, anchor=pool_size - 2)
+        assert len(subset) == 5
+
+    def test_size_capped_by_pool(self):
+        rng = rng_for("test-draw")
+        assert len(dom.draw_subset("sector", rng, 10_000)) == len(
+            dom.domain("sector").pool
+        )
+
+
+class TestMaterializeValues:
+    def test_full_coverage_when_rows_allow(self):
+        rng = rng_for("test-mat")
+        subset = dom.draw_subset("company", rng, 20)
+        values = dom.materialize_values(subset, 100, rng, domain_name="company")
+        rendered_subset = {dom.render_value("company", v, "title") for v in subset}
+        assert set(values) == rendered_subset
+
+    def test_undersampled_rows_draw_without_replacement(self):
+        rng = rng_for("test-mat")
+        subset = dom.draw_subset("company", rng, 50)
+        values = dom.materialize_values(subset, 10, rng, domain_name="company")
+        assert len(values) == 10
+        assert len(set(values)) == 10
+
+    def test_null_fraction(self):
+        rng = rng_for("test-mat-null")
+        subset = dom.draw_subset("company", rng, 10)
+        values = dom.materialize_values(
+            subset, 500, rng, domain_name="company", null_fraction=0.3
+        )
+        null_count = sum(1 for value in values if value is None)
+        assert 0.15 < null_count / 500 < 0.45
+
+    def test_bad_null_fraction(self):
+        rng = rng_for("x")
+        with pytest.raises(ValueError):
+            dom.materialize_values(("a",), 5, rng, domain_name="company", null_fraction=1.0)
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ValueError):
+            dom.materialize_values((), 5, rng_for("x"), domain_name="company")
+
+    def test_skew_repeats_head_values(self):
+        rng = rng_for("test-skew")
+        subset = tuple(dom.domain("company").pool[:10])
+        values = dom.materialize_values(
+            subset, 1000, rng, domain_name="company", skew=1.5
+        )
+        from collections import Counter
+
+        counts = Counter(values)
+        # Zipf-ish: the most common value should dominate the least common.
+        assert counts.most_common(1)[0][1] > 5 * min(counts.values())
+
+
+class TestDataShapes:
+    def test_code_pool_format(self):
+        codes = dom.code_pool("cust", 3, start=41)
+        assert codes == ("cust-00041", "cust-00042", "cust-00043")
+
+    def test_code_pool_validation(self):
+        with pytest.raises(ValueError):
+            dom.code_pool("x", 0)
+
+    def test_sequential_ids(self):
+        assert dom.sequential_ids(5, 3) == [5, 6, 7]
+
+    def test_random_dates_in_range(self):
+        rng = rng_for("dates")
+        dates = dom.random_dates(rng, 50, start="2020-01-01", end="2020-12-31")
+        assert all(d.startswith("2020-") for d in dates)
+
+    def test_random_dates_bad_range(self):
+        with pytest.raises(ValueError):
+            dom.random_dates(rng_for("x"), 5, start="2021-01-01", end="2020-01-01")
+
+    def test_lognormal_amounts_positive(self):
+        amounts = dom.lognormal_amounts(rng_for("a"), 100)
+        assert all(a > 0 for a in amounts)
+
+    def test_uniform_ints_bounds(self):
+        values = dom.uniform_ints(rng_for("i"), 200, 5, 9)
+        assert set(values) <= {5, 6, 7, 8, 9}
+
+    def test_uniform_floats_bounds(self):
+        values = dom.uniform_floats(rng_for("f"), 100, 1.0, 2.0)
+        assert all(1.0 <= v <= 2.0 for v in values)
+
+    def test_person_names_two_part(self):
+        assert all(len(name.split()) >= 2 for name in dom.PERSON_NAMES[:100])

@@ -1,0 +1,181 @@
+"""Tests for the corpus generators: webcorpus, nextiajd, spider, sigma."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.nextiajd import TESTBED_PROFILES, generate_testbed
+from repro.datasets.sigma import JOEY_QUERY, generate_sigma_sample_database
+from repro.datasets.spider import generate_spider_corpus
+from repro.datasets.webcorpus import default_training_corpus, generate_web_tables
+from repro.storage.schema import ColumnRef
+from repro.storage.types import DataType
+
+
+class TestWebCorpus:
+    def test_default_cached(self):
+        assert default_training_corpus() is default_training_corpus()
+
+    def test_shape(self):
+        corpus = generate_web_tables(n_tables=20, seed=1)
+        assert corpus.table_count == 20
+        assert len(corpus.column_sequences) > 20
+        assert len(corpus.row_sequences) > 100
+        assert corpus.token_count > 1000
+
+    def test_deterministic(self):
+        a = generate_web_tables(n_tables=5, seed=3)
+        b = generate_web_tables(n_tables=5, seed=3)
+        assert a.column_sequences == b.column_sequences
+
+    def test_seed_changes_output(self):
+        a = generate_web_tables(n_tables=5, seed=3)
+        b = generate_web_tables(n_tables=5, seed=4)
+        assert a.column_sequences != b.column_sequences
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_web_tables(n_tables=0)
+
+    def test_sequences_contain_headers(self):
+        corpus = generate_web_tables(n_tables=10, seed=1)
+        flattened = {token for seq in corpus.column_sequences for token in seq[:2]}
+        # Header tokens like 'company', 'city', 'sector' must appear.
+        assert flattened & {"company", "city", "sector", "name", "product"}
+
+
+class TestNextiaJD:
+    def test_profiles_exist(self):
+        assert set(TESTBED_PROFILES) == {"XS", "S", "M", "L"}
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            generate_testbed("XXL")
+
+    def test_xs_shape(self, testbed_xs):
+        profile = TESTBED_PROFILES["XS"]
+        assert testbed_xs.table_count == profile.n_tables
+        # Column quota per table is exact.
+        assert testbed_xs.column_count == pytest.approx(
+            profile.n_tables * profile.columns_per_table, abs=profile.n_tables
+        )
+        assert testbed_xs.query_count > 10
+        assert 1.0 < testbed_xs.average_answers < 8.0
+
+    def test_deterministic(self, testbed_xs):
+        again = generate_testbed("XS")
+        assert [t.name for _, t in again.warehouse.table_refs()] == [
+            t.name for _, t in testbed_xs.warehouse.table_refs()
+        ]
+        assert {q.ref for q in again.queries} == {q.ref for q in testbed_xs.queries}
+
+    def test_rows_scale(self):
+        small = generate_testbed("XS", rows_scale=0.05)
+        assert small.average_rows < 200
+
+    def test_invalid_rows_scale(self):
+        with pytest.raises(ValueError):
+            generate_testbed("XS", rows_scale=0)
+
+    def test_max_queries_truncates(self):
+        corpus = generate_testbed("XS", max_queries=5)
+        assert corpus.query_count == 5
+
+    def test_ground_truth_cross_table_only(self, testbed_xs):
+        truth = testbed_xs.ground_truth
+        for query in testbed_xs.queries:
+            for answer in truth.answers(query.ref):
+                assert not answer.same_table(query.ref)
+
+    def test_queries_are_string_columns(self, testbed_xs):
+        store = testbed_xs.to_store()
+        for query in testbed_xs.queries:
+            assert store.column(query.ref).dtype is DataType.STRING
+
+
+class TestSpider:
+    def test_shape(self, spider_corpus):
+        assert spider_corpus.table_count > 10
+        assert spider_corpus.query_count <= 25
+        assert 1.0 <= spider_corpus.average_answers < 2.0
+
+    def test_fk_values_subset_of_pk(self, spider_corpus):
+        """Declared FK columns must be value-contained in their PK."""
+        store = spider_corpus.to_store()
+        checked = 0
+        for database_name, table in spider_corpus.warehouse.table_refs():
+            for foreign_key in table.foreign_keys:
+                fk_values = set(
+                    store.column(
+                        ColumnRef(database_name, table.name, foreign_key.column)
+                    ).distinct_values
+                )
+                pk_values = set(store.column(foreign_key.target).distinct_values)
+                assert fk_values <= pk_values
+                checked += 1
+        assert checked > 5
+
+    def test_ground_truth_matches_declared_keys(self, spider_corpus):
+        truth = spider_corpus.ground_truth
+        assert truth.total_answers > 0
+        for query in spider_corpus.queries:
+            assert truth.answers(query.ref)
+
+    def test_deterministic(self, spider_corpus):
+        again = generate_spider_corpus(n_databases=6, max_queries=25)
+        assert {q.ref for q in again.queries} == {q.ref for q in spider_corpus.queries}
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            generate_spider_corpus(n_databases=0)
+        with pytest.raises(ValueError):
+            generate_spider_corpus(rows_scale=-1)
+
+    def test_queries_within_database(self, spider_corpus):
+        """Spider join paths never cross databases."""
+        truth = spider_corpus.ground_truth
+        for query in spider_corpus.queries:
+            for answer in truth.answers(query.ref):
+                assert answer.database == query.ref.database
+
+
+class TestSigma:
+    def test_no_ground_truth(self, sigma_corpus):
+        assert sigma_corpus.ground_truth is None
+        assert sigma_corpus.queries == []
+
+    def test_joey_tables_present(self, sigma_corpus):
+        warehouse = sigma_corpus.warehouse
+        account = warehouse.database("SALESFORCE").table("ACCOUNT")
+        assert "Name" in account
+        industries = warehouse.database("STOCKS").table("INDUSTRIES")
+        assert "Company_Name" in industries
+        assert "Industry_Group" in industries
+        assert "Ticker" in industries
+
+    def test_joey_query_constant(self, sigma_corpus):
+        database, table, column = JOEY_QUERY
+        assert column in sigma_corpus.warehouse.database(database).table(table)
+
+    def test_industries_is_uppercase(self, sigma_corpus):
+        industries = sigma_corpus.warehouse.database("STOCKS").table("INDUSTRIES")
+        values = industries.column("Company_Name").values[:10]
+        assert all(value == value.upper() for value in values)
+
+    def test_snapshots_inflate_table_count(self):
+        with_snapshots = generate_sigma_sample_database(rows_scale=0.1)
+        without = generate_sigma_sample_database(rows_scale=0.1, with_snapshots=False)
+        assert with_snapshots.table_count > 2 * without.table_count
+        assert with_snapshots.table_count > 60
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate_sigma_sample_database(rows_scale=0)
+
+    def test_tickers_consistent_with_companies(self, sigma_corpus):
+        """INDUSTRIES.Ticker values come from the global ticker map."""
+        from repro.datasets.vocabularies import TICKER_OF_COMPANY
+
+        industries = sigma_corpus.warehouse.database("STOCKS").table("INDUSTRIES")
+        tickers = set(industries.column("Ticker").values)
+        assert tickers <= set(TICKER_OF_COMPANY.values())

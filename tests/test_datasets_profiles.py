@@ -1,0 +1,52 @@
+"""Tests for testbed profile metadata and paper-row helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.nextiajd import TESTBED_PROFILES, paper_summary_rows
+
+
+class TestProfiles:
+    def test_names(self):
+        assert TESTBED_PROFILES["S"].name == "testbedS"
+
+    def test_row_scale_note(self):
+        """XS stays at paper scale; S/M/L are scaled down substantially."""
+        assert TESTBED_PROFILES["XS"].row_scale_note == pytest.approx(1.0, abs=0.1)
+        for key in ("S", "M", "L"):
+            assert 0.0 < TESTBED_PROFILES[key].row_scale_note < 0.05
+
+    def test_published_ordering_preserved(self):
+        """Paper row counts grow XS < S < M < L; our defaults track that."""
+        keys = ["XS", "S", "M", "L"]
+        paper = [TESTBED_PROFILES[k].paper_avg_rows for k in keys]
+        assert paper == sorted(paper)
+        ours = [
+            (TESTBED_PROFILES[k].rows_low + TESTBED_PROFILES[k].rows_high) / 2
+            for k in ["S", "M", "L"]  # XS is deliberately kept at paper scale
+        ]
+        assert ours == sorted(ours)
+
+    def test_m_keeps_paper_column_count(self):
+        profile = TESTBED_PROFILES["M"]
+        generated_columns = profile.n_tables * profile.columns_per_table
+        assert generated_columns == pytest.approx(profile.paper_columns, rel=0.02)
+
+
+class TestPaperSummaryRows:
+    def test_one_row_per_testbed(self):
+        rows = list(paper_summary_rows())
+        assert len(rows) == 4
+        assert {row["corpus"] for row in rows} == {
+            "testbedXS",
+            "testbedS",
+            "testbedM",
+            "testbedL",
+        }
+
+    def test_published_values_carried(self):
+        rows = {row["corpus"]: row for row in paper_summary_rows()}
+        assert rows["testbedS"]["columns"] == 2_553
+        assert rows["testbedM"]["avg_rows"] == 3_175_904
+        assert rows["testbedL"]["queries"] == 92

@@ -1,0 +1,108 @@
+"""Tests for repro.datasets.quality: the NextiaJD labelling rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.quality import JoinQuality, compute_ground_truth, label_quality
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.store import ColumnStore
+from repro.storage.table import Table
+
+
+class TestLabelQuality:
+    def test_high(self):
+        assert label_quality(0.9, 0.5) is JoinQuality.HIGH
+
+    def test_good(self):
+        assert label_quality(0.6, 0.15) is JoinQuality.GOOD
+
+    def test_high_requires_proportion(self):
+        # C >= 0.75 but K < 0.25 degrades to GOOD.
+        assert label_quality(0.9, 0.12) is JoinQuality.GOOD
+
+    def test_moderate(self):
+        assert label_quality(0.3, 0.5) is JoinQuality.MODERATE
+
+    def test_poor(self):
+        assert label_quality(0.15, 0.01) is JoinQuality.POOR
+
+    def test_none(self):
+        assert label_quality(0.05, 0.9) is JoinQuality.NONE
+
+    def test_ordering(self):
+        assert JoinQuality.HIGH > JoinQuality.GOOD > JoinQuality.MODERATE
+
+    def test_boundaries_inclusive(self):
+        assert label_quality(0.75, 0.25) is JoinQuality.HIGH
+        assert label_quality(0.5, 0.1) is JoinQuality.GOOD
+
+
+def store_with(pairs: dict[str, list[str]]) -> ColumnStore:
+    store = ColumnStore()
+    for table_name, values in pairs.items():
+        store.add_table(
+            Table(table_name, [Column("col", values)]), database="db"
+        )
+    return store
+
+
+class TestComputeGroundTruth:
+    def test_identical_columns_labelled_both_ways(self):
+        values = [f"v{i}" for i in range(20)]
+        store = store_with({"a": values, "b": list(values)})
+        truth, queries = compute_ground_truth(store)
+        a = ColumnRef("db", "a", "col")
+        b = ColumnRef("db", "b", "col")
+        assert truth.is_answer(a, b)
+        assert truth.is_answer(b, a)
+        assert {q.ref for q in queries} == {a, b}
+
+    def test_nested_subsets_directional(self):
+        big = [f"v{i}" for i in range(100)]
+        small = big[:10]  # contained, but K = 0.1 and C(big->small) = 0.1
+        store = store_with({"big": big, "small": small})
+        truth, _ = compute_ground_truth(store)
+        big_ref = ColumnRef("db", "big", "col")
+        small_ref = ColumnRef("db", "small", "col")
+        assert truth.is_answer(small_ref, big_ref)  # C=1.0, K=0.1 -> GOOD
+        assert not truth.is_answer(big_ref, small_ref)  # C=0.1 -> POOR
+
+    def test_disjoint_columns_not_labelled(self):
+        store = store_with(
+            {"a": [f"a{i}" for i in range(20)], "b": [f"b{i}" for i in range(20)]}
+        )
+        truth, queries = compute_ground_truth(store)
+        assert len(truth) == 0
+        assert queries == []
+
+    def test_same_table_pairs_skipped(self):
+        values = [f"v{i}" for i in range(20)]
+        store = ColumnStore()
+        store.add_table(
+            Table("t", [Column("x", values), Column("y", list(values))]),
+            database="db",
+        )
+        truth, _ = compute_ground_truth(store)
+        assert len(truth) == 0
+
+    def test_numeric_columns_excluded(self):
+        store = ColumnStore()
+        store.add_table(Table("a", [Column("n", list(range(50)))]), database="db")
+        store.add_table(Table("b", [Column("n", list(range(50)))]), database="db")
+        truth, _ = compute_ground_truth(store)
+        assert len(truth) == 0
+
+    def test_min_distinct_filters_tiny_columns(self):
+        store = store_with({"a": ["x", "y"], "b": ["x", "y"]})
+        truth, _ = compute_ground_truth(store, min_distinct=3)
+        assert len(truth) == 0
+
+    def test_minimum_quality_high_stricter(self):
+        big = [f"v{i}" for i in range(100)]
+        small = big[:10]
+        store = store_with({"big": big, "small": small})
+        good_truth, _ = compute_ground_truth(store, minimum_quality=JoinQuality.GOOD)
+        high_truth, _ = compute_ground_truth(store, minimum_quality=JoinQuality.HIGH)
+        assert good_truth.total_answers > high_truth.total_answers

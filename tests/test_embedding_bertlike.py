@@ -1,0 +1,94 @@
+"""Tests for repro.embedding.bertlike: parity and the earned slowdown."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.embedding.bertlike import BertLikeEmbeddingModel
+from repro.embedding.hashing import HashingEmbeddingModel
+
+
+class TestConstruction:
+    def test_defaults(self):
+        model = BertLikeEmbeddingModel()
+        assert model.dim == 64
+        assert model.is_trained
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            BertLikeEmbeddingModel(n_layers=0)
+
+    def test_invalid_seq_len(self):
+        with pytest.raises(ValueError):
+            BertLikeEmbeddingModel(max_seq_len=1)
+
+    def test_invalid_residual(self):
+        with pytest.raises(ValueError):
+            BertLikeEmbeddingModel(residual_weight=1.5)
+
+
+class TestInference:
+    def test_shape(self):
+        model = BertLikeEmbeddingModel(n_layers=1)
+        assert model.embed_tokens(["a", "b", "c"]).shape == (3, model.dim)
+
+    def test_empty(self):
+        model = BertLikeEmbeddingModel(n_layers=1)
+        assert model.embed_tokens([]).shape == (0, model.dim)
+
+    def test_deterministic(self):
+        model = BertLikeEmbeddingModel(n_layers=2)
+        a = model.embed_tokens(["acme", "corp"])
+        b = model.embed_tokens(["acme", "corp"])
+        assert np.allclose(a, b)
+
+    def test_contextual_same_token_differs_by_context(self):
+        model = BertLikeEmbeddingModel(n_layers=2, residual_weight=0.0)
+        in_context_a = model.embed_tokens(["bank", "river"])[0]
+        in_context_b = model.embed_tokens(["bank", "money"])[0]
+        assert not np.allclose(in_context_a, in_context_b)
+
+    def test_windows_cover_long_sequences(self):
+        model = BertLikeEmbeddingModel(n_layers=1, max_seq_len=8)
+        out = model.embed_tokens([f"tok{i}" for i in range(30)])
+        assert out.shape[0] == 30
+        assert np.isfinite(out).all()
+
+    def test_residual_preserves_base_direction(self):
+        base = HashingEmbeddingModel()
+        model = BertLikeEmbeddingModel(base_model=base, residual_weight=0.9)
+        tokens = ["acme", "globex", "initech"]
+        mixed = model.embed_tokens(tokens)
+        raw = base.embed_tokens(tokens)
+        # High residual weight keeps aggregate direction close to the base.
+        mixed_mean = mixed.mean(axis=0)
+        raw_mean = raw.mean(axis=0)
+        cosine = float(
+            mixed_mean @ raw_mean / (np.linalg.norm(mixed_mean) * np.linalg.norm(raw_mean))
+        )
+        assert cosine > 0.8
+
+    def test_idf_delegates(self):
+        model = BertLikeEmbeddingModel()
+        assert model.idf("anything") == 1.0
+
+
+class TestCost:
+    def test_slower_than_base_model(self):
+        """The §4.4 claim: contextual inference costs real extra compute."""
+        base = HashingEmbeddingModel()
+        heavy = BertLikeEmbeddingModel(base_model=base, n_layers=4)
+        tokens = [f"token{i % 40}" for i in range(256)]
+        base.embed_tokens(tokens)  # warm the n-gram cache
+        start = time.perf_counter()
+        for _ in range(3):
+            base.embed_tokens(tokens)
+        base_time = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(3):
+            heavy.embed_tokens(tokens)
+        heavy_time = time.perf_counter() - start
+        assert heavy_time > 2.0 * base_time

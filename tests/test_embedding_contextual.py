@@ -1,0 +1,140 @@
+"""Tests for repro.embedding.contextual (§5.2.1 contextual embeddings)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding.contextual import ContextualColumnEncoder
+from repro.embedding.encoder import ColumnEncoder
+from repro.embedding.hashing import HashingEmbeddingModel
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def contextual() -> ContextualColumnEncoder:
+    base = ColumnEncoder(HashingEmbeddingModel(dim=32))
+    return ContextualColumnEncoder(base, context_weight=0.3)
+
+
+def orders_table() -> Table:
+    codes = [f"x-{i:03d}" for i in range(20)]
+    return Table(
+        "orders",
+        [
+            Column("code", codes),
+            Column("ship_city", ["boston"] * 20),
+            Column("carrier", ["fedex"] * 20),
+        ],
+    )
+
+
+def stocks_table() -> Table:
+    codes = [f"x-{i:03d}" for i in range(20)]  # identical ambiguous codes
+    return Table(
+        "stocks",
+        [
+            Column("code", codes),
+            Column("ticker_name", ["acme corp"] * 20),
+            Column("close_price", [1.5] * 20),
+        ],
+    )
+
+
+class TestValidation:
+    def test_bad_weight(self):
+        base = ColumnEncoder(HashingEmbeddingModel(dim=8))
+        with pytest.raises(ValueError):
+            ContextualColumnEncoder(base, context_weight=1.0)
+
+    def test_bad_sample(self):
+        base = ColumnEncoder(HashingEmbeddingModel(dim=8))
+        with pytest.raises(ValueError):
+            ContextualColumnEncoder(base, context_value_sample=-1)
+
+    def test_dim_delegates(self, contextual):
+        assert contextual.dim == 32
+
+
+class TestEncoding:
+    def test_plain_encode_matches_base(self, contextual):
+        column = Column("x", ["a", "b"])
+        assert np.allclose(contextual.encode(column), contextual.base.encode(column))
+
+    def test_zero_weight_reproduces_base(self):
+        base = ColumnEncoder(HashingEmbeddingModel(dim=32))
+        encoder = ContextualColumnEncoder(base, context_weight=0.0)
+        table = orders_table()
+        blended = encoder.encode_in_table(table.column("code"), table)
+        assert np.allclose(blended, base.encode(table.column("code")))
+
+    def test_context_vector_unit_norm(self, contextual):
+        vector = contextual.context_vector(orders_table())
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_context_excludes_own_column(self, contextual):
+        with_exclusion = contextual.context_vector(orders_table(), exclude="code")
+        without = contextual.context_vector(orders_table())
+        assert not np.allclose(with_exclusion, without)
+
+    def test_output_unit_norm(self, contextual):
+        table = orders_table()
+        vector = contextual.encode_in_table(table.column("code"), table)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_all_null_column_stays_zero(self, contextual):
+        from repro.storage.types import DataType
+
+        table = Table(
+            "t",
+            [
+                Column("empty", [None, None], DataType.STRING),
+                Column("other", ["a", "b"]),
+            ],
+        )
+        vector = contextual.encode_in_table(table.column("empty"), table)
+        assert not np.any(vector)
+
+    def test_encode_many_in_table(self, contextual):
+        table = orders_table()
+        vectors = contextual.encode_many_in_table(table)
+        assert set(vectors) == {"code", "ship_city", "carrier"}
+        for column in table.columns:
+            assert np.allclose(
+                vectors[column.name], contextual.encode_in_table(column, table)
+            )
+
+
+class TestDisambiguation:
+    def test_context_separates_ambiguous_columns(self, contextual):
+        """Identical code columns in different tables drift apart."""
+        orders = orders_table()
+        stocks = stocks_table()
+        base = contextual.base
+        plain_similarity = float(
+            base.encode(orders.column("code")) @ base.encode(stocks.column("code"))
+        )
+        contextual_similarity = float(
+            contextual.encode_in_table(orders.column("code"), orders)
+            @ contextual.encode_in_table(stocks.column("code"), stocks)
+        )
+        assert plain_similarity == pytest.approx(1.0)
+        assert contextual_similarity < plain_similarity - 0.05
+
+    def test_same_context_preserves_similarity(self, contextual):
+        """Columns in near-identical tables stay close."""
+        first = orders_table()
+        second = Table(
+            "orders_2",
+            [
+                Column("code", [f"x-{i:03d}" for i in range(20)]),
+                Column("ship_city", ["boston"] * 20),
+                Column("carrier", ["fedex"] * 20),
+            ],
+        )
+        similarity = float(
+            contextual.encode_in_table(first.column("code"), first)
+            @ contextual.encode_in_table(second.column("code"), second)
+        )
+        assert similarity > 0.95

@@ -1,0 +1,113 @@
+"""Tests for repro.embedding.cooccur."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.embedding.cooccur import CooccurrenceBuilder, ppmi_matrix
+from repro.embedding.vocab import Vocabulary
+
+
+def vocab_abc() -> Vocabulary:
+    return Vocabulary().build([["a", "b", "c"]] * 2)
+
+
+class TestCooccurrenceBuilder:
+    def test_window_pairs_counted(self):
+        builder = CooccurrenceBuilder(vocab_abc(), window=1)
+        builder.add_sequence(["a", "b", "c"])
+        matrix = builder.build_matrix()
+        vocab = builder.vocabulary
+        a, b, c = vocab.token_id("a"), vocab.token_id("b"), vocab.token_id("c")
+        assert matrix[a, b] == 1
+        assert matrix[b, c] == 1
+        assert matrix[a, c] == 0  # distance 2 > window 1
+
+    def test_wide_window_reaches_further(self):
+        builder = CooccurrenceBuilder(vocab_abc(), window=2)
+        builder.add_sequence(["a", "b", "c"])
+        vocab = builder.vocabulary
+        assert builder.build_matrix()[vocab.token_id("a"), vocab.token_id("c")] == 1
+
+    def test_matrix_symmetric(self):
+        builder = CooccurrenceBuilder(vocab_abc(), window=2)
+        builder.add_sequence(["a", "b", "a", "c"])
+        matrix = builder.build_matrix().toarray()
+        assert np.allclose(matrix, matrix.T)
+
+    def test_oov_tokens_skipped(self):
+        builder = CooccurrenceBuilder(vocab_abc(), window=1)
+        builder.add_sequence(["a", "zzz", "b"])  # zzz occupies a position
+        vocab = builder.vocabulary
+        # a and b are 2 positions apart -> outside window 1.
+        assert builder.build_matrix()[vocab.token_id("a"), vocab.token_id("b")] == 0
+
+    def test_self_pairs_ignored(self):
+        builder = CooccurrenceBuilder(vocab_abc(), window=1)
+        builder.add_sequence(["a", "a"])
+        vocab = builder.vocabulary
+        assert builder.build_matrix()[vocab.token_id("a"), vocab.token_id("a")] == 0
+
+    def test_weight_scales_counts(self):
+        builder = CooccurrenceBuilder(vocab_abc(), window=1)
+        builder.add_sequence(["a", "b"], weight=0.5)
+        vocab = builder.vocabulary
+        assert builder.build_matrix()[vocab.token_id("a"), vocab.token_id("b")] == 0.5
+
+    def test_empty_builder_matrix(self):
+        builder = CooccurrenceBuilder(vocab_abc())
+        matrix = builder.build_matrix()
+        assert matrix.shape == (3, 3)
+        assert matrix.nnz == 0
+
+    def test_unfrozen_vocab_rejected(self):
+        vocab = Vocabulary()
+        vocab.add_document(["a"])
+        with pytest.raises(RuntimeError):
+            CooccurrenceBuilder(vocab)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            CooccurrenceBuilder(vocab_abc(), window=0)
+
+    def test_pair_count(self):
+        builder = CooccurrenceBuilder(vocab_abc(), window=2)
+        builder.add_sequences([["a", "b"], ["b", "c"]])
+        assert builder.pair_count == 2
+
+
+class TestPpmi:
+    def test_uniform_matrix_has_zero_pmi(self):
+        # Fully uniform joint distribution -> PMI = 0 everywhere -> clipped
+        # to an empty matrix.  (A zero diagonal would *create* association.)
+        counts = sparse.csr_matrix(np.ones((3, 3)))
+        assert ppmi_matrix(counts).nnz == 0
+
+    def test_associated_pair_positive(self):
+        counts = sparse.csr_matrix(
+            np.array([[0.0, 10.0, 0.0], [10.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        )
+        ppmi = ppmi_matrix(counts).toarray()
+        assert ppmi[0, 1] > 0
+
+    def test_shift_reduces_mass(self):
+        counts = sparse.csr_matrix(
+            np.array([[0.0, 10.0, 0.0], [10.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        )
+        plain = ppmi_matrix(counts).sum()
+        shifted = ppmi_matrix(counts, shift=0.5).sum()
+        assert shifted < plain
+
+    def test_empty_matrix_passthrough(self):
+        counts = sparse.csr_matrix((3, 3))
+        assert ppmi_matrix(counts).nnz == 0
+
+    def test_values_non_negative(self):
+        rng = np.random.default_rng(0)
+        dense = rng.integers(0, 5, size=(6, 6)).astype(float)
+        dense = dense + dense.T
+        np.fill_diagonal(dense, 0)
+        ppmi = ppmi_matrix(sparse.csr_matrix(dense))
+        assert (ppmi.data >= 0).all() if ppmi.nnz else True

@@ -1,0 +1,155 @@
+"""Tests for repro.embedding.encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding.encoder import ColumnEncoder
+from repro.embedding.hashing import HashingEmbeddingModel
+from repro.storage.column import Column
+from repro.storage.types import DataType
+
+
+def encoder(**kwargs) -> ColumnEncoder:
+    return ColumnEncoder(HashingEmbeddingModel(dim=32), **kwargs)
+
+
+class TestValidation:
+    def test_unknown_aggregation(self):
+        with pytest.raises(ValueError):
+            encoder(aggregation="median")
+
+    def test_bad_max_tokens(self):
+        with pytest.raises(ValueError):
+            encoder(max_tokens=0)
+
+    def test_bad_profile_weight(self):
+        with pytest.raises(ValueError):
+            encoder(numeric_profile_weight=1.5)
+
+    def test_dim_property(self):
+        assert encoder().dim == 32
+
+
+class TestSerialize:
+    def test_tokens_from_values(self):
+        tokens, weights = encoder().serialize(Column("x", ["Acme Corp", "Globex"]))
+        assert tokens == ["acme", "corp", "globex"]
+        assert weights == [1.0, 1.0, 1.0]
+
+    def test_nulls_skipped(self):
+        tokens, _ = encoder().serialize(Column("x", ["a", None], DataType.STRING))
+        assert tokens == ["a"]
+
+    def test_column_name_included_when_asked(self):
+        tokens, _ = encoder(include_column_name=True).serialize(
+            Column("company_name", ["acme"])
+        )
+        assert tokens[:2] == ["company", "name"]
+
+    def test_max_tokens_cap(self):
+        column = Column("x", ["word"] * 100)
+        tokens, weights = encoder(max_tokens=10).serialize(column)
+        assert len(tokens) == 10
+        assert len(weights) == 10
+
+    def test_dedupe_weights_by_frequency(self):
+        column = Column("x", ["acme", "acme", "acme", "globex"])
+        tokens, weights = encoder(dedupe_values=True).serialize(column)
+        weight_of = dict(zip(tokens, weights))
+        assert weight_of["acme"] == 3.0
+        assert weight_of["globex"] == 1.0
+
+
+class TestEncode:
+    def test_unit_norm(self):
+        vector = encoder().encode(Column("x", ["acme", "globex"]))
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_all_null_is_zero_vector(self):
+        vector = encoder().encode(Column("x", [None, None], DataType.STRING))
+        assert not np.any(vector)
+
+    def test_deterministic(self):
+        column = Column("x", ["acme", "globex"])
+        assert np.allclose(encoder().encode(column), encoder().encode(column))
+
+    def test_same_values_same_vector(self):
+        a = encoder().encode(Column("x", ["acme", "globex"]))
+        b = encoder().encode(Column("y", ["globex", "acme"]))
+        assert float(a @ b) == pytest.approx(1.0)
+
+    def test_dedupe_equals_plain_for_mean(self):
+        """Dedupe is a pure optimization under mean aggregation."""
+        column = Column("x", ["acme"] * 5 + ["globex"] * 3)
+        plain = encoder().encode(column)
+        deduped = encoder(dedupe_values=True).encode(column)
+        assert float(plain @ deduped) == pytest.approx(1.0, abs=1e-9)
+
+    def test_overlapping_columns_similar(self):
+        shared = [f"value{i}" for i in range(30)]
+        a = encoder().encode(Column("x", shared + ["extra1"]))
+        b = encoder().encode(Column("y", shared + ["other2"]))
+        assert float(a @ b) > 0.9
+
+    def test_disjoint_columns_dissimilar(self):
+        a = encoder().encode(Column("x", [f"alpha{i}" for i in range(20)]))
+        b = encoder().encode(Column("y", [f"beta{i}" for i in range(20)]))
+        assert float(a @ b) < 0.7
+
+    def test_tfidf_changes_weighting(self):
+        model = HashingEmbeddingModel(dim=32)
+
+        class BiasedIdf(HashingEmbeddingModel):
+            def idf(self, token: str) -> float:
+                return 0.01 if token == "corp" else 5.0
+
+        column = Column("x", ["acme corp", "globex corp"])
+        mean_vec = ColumnEncoder(model).encode(column)
+        tfidf_vec = ColumnEncoder(BiasedIdf(dim=32), aggregation="tfidf").encode(column)
+        assert not np.allclose(mean_vec, tfidf_vec)
+
+    def test_numeric_profile_blended(self):
+        ints = Column("x", list(range(100)))
+        with_profile = encoder(numeric_profile_weight=0.5).encode(ints)
+        without = encoder(numeric_profile_weight=0.0).encode(ints)
+        assert not np.allclose(with_profile, without)
+
+    def test_numeric_profile_ignored_for_strings(self):
+        column = Column("x", ["a", "b"])
+        with_profile = encoder(numeric_profile_weight=0.5).encode(column)
+        without = encoder(numeric_profile_weight=0.0).encode(column)
+        assert np.allclose(with_profile, without)
+
+    def test_encode_many(self):
+        columns = [Column("a", ["x"]), Column("b", ["y"])]
+        matrix = encoder().encode_many(columns)
+        assert matrix.shape == (2, 32)
+
+    def test_encode_many_empty(self):
+        assert encoder().encode_many([]).shape == (0, 32)
+
+    def test_encode_values_convenience(self):
+        vector = encoder().encode_values("anon", ["acme", "globex"])
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+
+class TestSemanticTransfer:
+    """With the trained model, same-domain columns align across styles."""
+
+    def test_case_variants_align(self, webtable_model):
+        enc = ColumnEncoder(webtable_model)
+        lower = enc.encode(Column("x", ["acme dynamics corp", "global logistics inc"]))
+        upper = enc.encode(Column("y", ["ACME DYNAMICS CORP", "GLOBAL LOGISTICS INC"]))
+        assert float(lower @ upper) == pytest.approx(1.0)
+
+    def test_same_domain_disjoint_values_still_similar(self, webtable_model):
+        from repro.datasets.domains import domain
+
+        pool = domain("company").pool
+        enc = ColumnEncoder(webtable_model)
+        a = enc.encode(Column("x", list(pool[:30])))
+        b = enc.encode(Column("y", list(pool[500:530])))
+        c = enc.encode(Column("z", [f"log line {i}" for i in range(30)]))
+        assert float(a @ b) > float(a @ c)

@@ -1,0 +1,122 @@
+"""Tests for repro.embedding.finetune (§5.2.3 self-supervised fine-tuning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding.encoder import ColumnEncoder
+from repro.embedding.finetune import ContrastiveFineTuner, FineTunedEncoder
+from repro.embedding.hashing import HashingEmbeddingModel
+from repro.storage.column import Column
+
+
+def training_columns() -> list[Column]:
+    """Six columns from three value families (codes, words, numbers)."""
+    columns = []
+    for family in range(3):
+        for variant in range(2):
+            values = [
+                f"fam{family}-{(variant * 37 + i) % 120:04d}" for i in range(200)
+            ]
+            columns.append(Column(f"col_{family}_{variant}", values))
+    return columns
+
+
+@pytest.fixture()
+def encoder() -> ColumnEncoder:
+    return ColumnEncoder(HashingEmbeddingModel(dim=32))
+
+
+class TestValidation:
+    def test_bad_positive_target(self, encoder):
+        with pytest.raises(ValueError):
+            ContrastiveFineTuner(encoder, positive_target=0.0)
+
+    def test_negative_above_positive(self, encoder):
+        with pytest.raises(ValueError):
+            ContrastiveFineTuner(encoder, positive_target=0.5, negative_target=0.6)
+
+    def test_negative_steps(self, encoder):
+        tuner = ContrastiveFineTuner(encoder)
+        with pytest.raises(ValueError):
+            tuner.fit(training_columns(), steps=-1)
+
+    def test_too_few_columns(self, encoder):
+        tuner = ContrastiveFineTuner(encoder)
+        with pytest.raises(ValueError):
+            tuner.build_pairs([Column("only", ["a"])])
+
+    def test_transform_shape_validated(self, encoder):
+        with pytest.raises(ValueError):
+            FineTunedEncoder(encoder, np.eye(3))
+
+
+class TestBuildPairs:
+    def test_shapes(self, encoder):
+        tuner = ContrastiveFineTuner(encoder, sample_size=50)
+        a, b, positives, negatives = tuner.build_pairs(training_columns())
+        assert a.shape == (6, 32)
+        assert b.shape == (6, 32)
+        assert positives.shape == (6, 2)
+        assert negatives.shape == (6, 2)
+
+    def test_positive_pairs_are_diagonal(self, encoder):
+        tuner = ContrastiveFineTuner(encoder)
+        _, _, positives, _ = tuner.build_pairs(training_columns())
+        assert all(i == j for i, j in positives)
+
+    def test_negative_pairs_are_off_diagonal(self, encoder):
+        tuner = ContrastiveFineTuner(encoder)
+        _, _, _, negatives = tuner.build_pairs(training_columns())
+        assert all(i != j for i, j in negatives)
+
+    def test_deterministic(self, encoder):
+        tuner = ContrastiveFineTuner(encoder)
+        a1, b1, _, n1 = tuner.build_pairs(training_columns())
+        a2, b2, _, n2 = tuner.build_pairs(training_columns())
+        assert np.allclose(a1, a2)
+        assert np.allclose(b1, b2)
+        assert np.array_equal(n1, n2)
+
+
+class TestFit:
+    def test_zero_steps_is_identity(self, encoder):
+        tuner = ContrastiveFineTuner(encoder)
+        tuned, report = tuner.fit(training_columns(), steps=0)
+        assert np.allclose(tuned.transform, np.eye(32))
+        assert report.losses == []
+        column = training_columns()[0]
+        assert np.allclose(tuned.encode(column), encoder.encode(column))
+
+    def test_training_improves_margin(self, encoder):
+        tuner = ContrastiveFineTuner(encoder, sample_size=50)
+        _tuned, report = tuner.fit(training_columns(), steps=100)
+        assert report.margin_after > report.margin_before
+
+    def test_positive_cosines_stay_high(self, encoder):
+        # The margin gain comes mostly from pushing negatives down;
+        # positives may dip slightly but must remain near 1.
+        tuner = ContrastiveFineTuner(encoder, sample_size=50)
+        _tuned, report = tuner.fit(training_columns(), steps=100)
+        assert report.positive_cosine_after >= report.positive_cosine_before - 0.05
+        assert report.positive_cosine_after > 0.9
+
+    def test_outputs_stay_unit_norm(self, encoder):
+        tuner = ContrastiveFineTuner(encoder, sample_size=50)
+        tuned, _ = tuner.fit(training_columns(), steps=50)
+        vector = tuned.encode(training_columns()[0])
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_loss_trajectory_recorded(self, encoder):
+        tuner = ContrastiveFineTuner(encoder)
+        _, report = tuner.fit(training_columns(), steps=20)
+        assert len(report.losses) == 20
+        assert all(loss >= 0.0 for loss in report.losses)
+
+    def test_encode_many(self, encoder):
+        tuner = ContrastiveFineTuner(encoder)
+        tuned, _ = tuner.fit(training_columns(), steps=5)
+        matrix = tuned.encode_many(training_columns()[:3])
+        assert matrix.shape == (3, 32)
+        assert tuned.encode_many([]).shape == (0, 32)

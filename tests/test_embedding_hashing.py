@@ -1,0 +1,80 @@
+"""Tests for repro.embedding.hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding.hashing import HashingEmbeddingModel, hashed_token_vector
+
+tokens = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=15
+)
+
+
+class TestHashedTokenVector:
+    def test_deterministic(self):
+        assert np.allclose(hashed_token_vector("acme"), hashed_token_vector("acme"))
+
+    def test_unit_norm(self):
+        assert np.linalg.norm(hashed_token_vector("acme")) == pytest.approx(1.0)
+
+    def test_empty_token_zero(self):
+        assert not np.any(hashed_token_vector(""))
+
+    def test_different_tokens_differ(self):
+        a = hashed_token_vector("acme")
+        b = hashed_token_vector("zenith")
+        assert float(a @ b) < 0.9
+
+    def test_morphological_similarity(self):
+        """Tokens sharing most n-grams land closer than unrelated tokens."""
+        near = float(hashed_token_vector("cust_001") @ hashed_token_vector("cust_002"))
+        far = float(hashed_token_vector("cust_001") @ hashed_token_vector("zebra"))
+        assert near > far
+        assert near > 0.5
+
+    def test_dim_respected(self):
+        assert hashed_token_vector("x", 32).shape == (32,)
+
+    def test_salt_changes_vector(self):
+        a = hashed_token_vector("x", salt="one")
+        b = hashed_token_vector("x", salt="two")
+        assert not np.allclose(a, b)
+
+    def test_returned_vector_readonly(self):
+        vector = hashed_token_vector("acme")
+        with pytest.raises(ValueError):
+            vector[0] = 1.0
+
+    @settings(max_examples=30)
+    @given(tokens)
+    def test_always_unit_or_zero(self, token):
+        norm = np.linalg.norm(hashed_token_vector(token))
+        assert norm == pytest.approx(1.0) or norm == 0.0
+
+
+class TestHashingEmbeddingModel:
+    def test_is_trained_always(self):
+        assert HashingEmbeddingModel().is_trained
+
+    def test_embed_tokens_shape(self):
+        model = HashingEmbeddingModel(dim=16)
+        matrix = model.embed_tokens(["a", "b", "c"])
+        assert matrix.shape == (3, 16)
+
+    def test_embed_tokens_empty(self):
+        assert HashingEmbeddingModel(dim=16).embed_tokens([]).shape == (0, 16)
+
+    def test_idf_uniform(self):
+        assert HashingEmbeddingModel().idf("anything") == 1.0
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            HashingEmbeddingModel(dim=0)
+
+    def test_embed_token_matches_function(self):
+        model = HashingEmbeddingModel(dim=64)
+        assert np.allclose(model.embed_token("x"), hashed_token_vector("x", 64))

@@ -1,0 +1,69 @@
+"""Tests for repro.embedding.numeric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding.numeric import (
+    NUMERIC_PROFILE_DIM,
+    numeric_profile_vector,
+    project_profile,
+)
+from repro.storage.column import Column
+from repro.storage.types import DataType
+
+
+class TestNumericProfileVector:
+    def test_shape_and_norm(self):
+        profile = numeric_profile_vector(Column("x", [1.0, 2.0, 3.0]))
+        assert profile.shape == (NUMERIC_PROFILE_DIM,)
+        assert np.linalg.norm(profile) == pytest.approx(1.0)
+
+    def test_non_numeric_zero(self):
+        assert not np.any(numeric_profile_vector(Column("x", ["a"])))
+
+    def test_empty_numeric_zero(self):
+        column = Column("x", [], DataType.FLOAT)
+        assert not np.any(numeric_profile_vector(column))
+
+    def test_deterministic(self):
+        column = Column("x", [5, 1, 3])
+        assert np.allclose(numeric_profile_vector(column), numeric_profile_vector(column))
+
+    def test_similar_distributions_close(self):
+        a = numeric_profile_vector(Column("x", list(range(100))))
+        b = numeric_profile_vector(Column("y", list(range(2, 102))))
+        c = numeric_profile_vector(Column("z", [x * 1e6 for x in range(100)]))
+        assert float(a @ b) > float(a @ c)
+
+    def test_scale_robust(self):
+        """Log compression keeps huge-scale columns finite and comparable."""
+        profile = numeric_profile_vector(Column("x", [1e12, 2e12, -5e11]))
+        assert np.isfinite(profile).all()
+
+    def test_integrality_feature_differs(self):
+        ints = numeric_profile_vector(Column("x", [1, 2, 3, 4]))
+        floats = numeric_profile_vector(Column("y", [1.5, 2.25, 3.75, 4.125]))
+        assert not np.allclose(ints, floats)
+
+
+class TestProjectProfile:
+    def test_shape(self):
+        profile = numeric_profile_vector(Column("x", [1, 2, 3]))
+        assert project_profile(profile, 64).shape == (64,)
+
+    def test_unit_norm(self):
+        profile = numeric_profile_vector(Column("x", [1, 2, 3]))
+        assert np.linalg.norm(project_profile(profile, 64)) == pytest.approx(1.0)
+
+    def test_deterministic_per_dim(self):
+        profile = numeric_profile_vector(Column("x", [1, 2, 3]))
+        assert np.allclose(project_profile(profile, 32), project_profile(profile, 32))
+
+    def test_cosine_roughly_preserved(self):
+        a = numeric_profile_vector(Column("x", list(range(50))))
+        b = numeric_profile_vector(Column("y", list(range(5, 55))))
+        original = float(a @ b)
+        projected = float(project_profile(a, 64) @ project_profile(b, 64))
+        assert abs(original - projected) < 0.35

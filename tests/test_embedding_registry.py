@@ -1,0 +1,49 @@
+"""Tests for repro.embedding.registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embedding.bertlike import BertLikeEmbeddingModel
+from repro.embedding.hashing import HashingEmbeddingModel
+from repro.embedding.registry import available_models, clear_model_cache, get_model
+from repro.embedding.webtable import WebTableEmbeddingModel
+from repro.errors import UnknownModelError
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == {"webtable", "hashing", "bertlike"}
+
+    def test_unknown_model_raises_with_hint(self):
+        with pytest.raises(UnknownModelError) as excinfo:
+            get_model("gpt")
+        assert "webtable" in str(excinfo.value)
+
+    def test_hashing_model(self):
+        model = get_model("hashing", dim=32)
+        assert isinstance(model, HashingEmbeddingModel)
+        assert model.dim == 32
+
+    def test_webtable_pretrained_and_cached(self):
+        first = get_model("webtable")
+        second = get_model("webtable")
+        assert isinstance(first, WebTableEmbeddingModel)
+        assert first.is_trained
+        assert first is second  # cached artifact, one training per process
+
+    def test_bertlike_wraps_webtable(self):
+        model = get_model("bertlike")
+        assert isinstance(model, BertLikeEmbeddingModel)
+        assert isinstance(model.base_model, WebTableEmbeddingModel)
+        assert model.base_model is get_model("webtable")
+
+    def test_clear_cache_forces_retrain_identity_change(self):
+        first = get_model("webtable")
+        clear_model_cache()
+        try:
+            second = get_model("webtable")
+            assert first is not second
+        finally:
+            # Leave the shared cache holding a trained model for other tests.
+            pass

@@ -1,0 +1,89 @@
+"""Tests for repro.embedding.vocab."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.embedding.vocab import Vocabulary
+
+
+def build_vocab() -> Vocabulary:
+    vocab = Vocabulary(min_count=2)
+    vocab.build([["a", "b", "a"], ["a", "c"], ["b", "d"]])
+    return vocab
+
+
+class TestBuild:
+    def test_min_count_filters(self):
+        vocab = build_vocab()
+        assert "a" in vocab  # count 3
+        assert "b" in vocab  # count 2
+        assert "c" not in vocab  # count 1
+        assert "d" not in vocab
+
+    def test_len(self):
+        assert len(build_vocab()) == 2
+
+    def test_ids_ordered_by_count_then_token(self):
+        vocab = build_vocab()
+        assert vocab.token_id("a") == 0
+        assert vocab.token_id("b") == 1
+        assert vocab.token_of(0) == "a"
+
+    def test_oov_id_is_none(self):
+        assert build_vocab().token_id("zzz") is None
+
+    def test_counts(self):
+        vocab = build_vocab()
+        assert vocab.count("a") == 3
+        assert vocab.count("zzz") == 0
+
+    def test_n_documents(self):
+        assert build_vocab().n_documents == 3
+
+    def test_min_count_validation(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)
+
+    def test_freeze_idempotent(self):
+        vocab = build_vocab()
+        tokens = vocab.tokens
+        vocab.freeze()
+        assert vocab.tokens == tokens
+
+    def test_add_after_freeze_rejected(self):
+        vocab = build_vocab()
+        with pytest.raises(RuntimeError):
+            vocab.add_document(["x"])
+
+    def test_unfrozen_access_rejected(self):
+        vocab = Vocabulary()
+        vocab.add_document(["a"])
+        with pytest.raises(RuntimeError):
+            vocab.token_id("a")
+
+    def test_deterministic_layout(self):
+        """Identical corpora in different insertion orders agree on ids."""
+        first = Vocabulary().build([["b", "a"], ["a", "b"]])
+        second = Vocabulary().build([["a", "b"], ["b", "a"]])
+        assert list(first.tokens) == list(second.tokens)
+
+
+class TestDocumentFrequency:
+    def test_df_counts_documents_not_occurrences(self):
+        vocab = build_vocab()
+        assert vocab.document_frequency("a") == 2  # appears twice in doc 1
+
+    def test_idf_monotone(self):
+        vocab = build_vocab()
+        # 'b' appears in 2 documents, 'a' also in 2 -> equal idf.
+        assert vocab.idf("a") == pytest.approx(vocab.idf("b"))
+        # Unseen token gets maximum idf.
+        assert vocab.idf("zzz") > vocab.idf("a")
+
+    def test_idf_formula(self):
+        vocab = build_vocab()
+        expected = math.log((1 + 3) / (1 + 2)) + 1.0
+        assert vocab.idf("a") == pytest.approx(expected)

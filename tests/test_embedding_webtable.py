@@ -1,0 +1,137 @@
+"""Tests for repro.embedding.webtable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding.webtable import WebTableEmbeddingModel
+from repro.errors import ModelNotTrainedError
+
+
+def tiny_model() -> WebTableEmbeddingModel:
+    """Train on a corpus with two clear topics: companies and colors.
+
+    Sequences vary pair composition (not just one repeated sequence) so the
+    PPMI matrix is not a degenerate equal-count block design.
+    """
+    companies = ["acme", "globex", "initech", "umbrella", "corp"]
+    colors = ["red", "green", "blue", "teal", "shade"]
+    sequences = []
+    for index in range(8):
+        sequences.append([companies[index % 5], companies[(index + 1) % 5], "corp"])
+        sequences.append([colors[index % 5], colors[(index + 2) % 5], "shade"])
+    model = WebTableEmbeddingModel(dim=8, min_count=1)
+    model.fit(sequences)
+    return model
+
+
+class TestTraining:
+    def test_is_trained_after_fit(self):
+        assert tiny_model().is_trained
+
+    def test_untrained_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            WebTableEmbeddingModel().embed_token("x")
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            WebTableEmbeddingModel().fit([])
+
+    def test_min_count_too_high_rejected(self):
+        with pytest.raises(ValueError):
+            WebTableEmbeddingModel(min_count=100).fit([["a", "b"]])
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            WebTableEmbeddingModel(dim=0)
+
+    def test_invalid_oov_scale(self):
+        with pytest.raises(ValueError):
+            WebTableEmbeddingModel(oov_scale=2.0)
+
+    def test_deterministic_retraining(self):
+        a = tiny_model().embed_token("acme")
+        b = tiny_model().embed_token("acme")
+        assert np.allclose(a, b)
+
+
+class TestGeometry:
+    def test_same_topic_closer_than_cross_topic(self):
+        model = tiny_model()
+        same = model.similarity("acme", "globex")
+        cross = model.similarity("acme", "red")
+        assert same > cross + 0.2
+
+    def test_self_similarity_is_one(self):
+        model = tiny_model()
+        assert model.similarity("acme", "acme") == pytest.approx(1.0)
+
+    def test_trained_vectors_unit_norm(self):
+        model = tiny_model()
+        assert np.linalg.norm(model.embed_token("acme")) == pytest.approx(1.0)
+
+
+class TestOov:
+    def test_oov_uses_hashing_fallback(self):
+        model = tiny_model()
+        vector = model.embed_token("neverseen")
+        assert np.linalg.norm(vector) == pytest.approx(model.oov_scale)
+
+    def test_in_vocabulary(self):
+        model = tiny_model()
+        assert model.in_vocabulary("acme")
+        assert not model.in_vocabulary("neverseen")
+
+    def test_oov_deterministic(self):
+        model = tiny_model()
+        assert np.allclose(model.embed_token("xy"), model.embed_token("xy"))
+
+
+class TestInference:
+    def test_embed_tokens_shape(self):
+        model = tiny_model()
+        assert model.embed_tokens(["acme", "red"]).shape == (2, model.dim)
+
+    def test_embed_tokens_empty(self):
+        model = tiny_model()
+        assert model.embed_tokens([]).shape == (0, model.dim)
+
+    def test_idf_available(self):
+        assert tiny_model().idf("acme") > 0
+
+    def test_vocabulary_exposed(self):
+        assert "acme" in tiny_model().vocabulary
+
+    def test_row_sequences_add_affinity(self):
+        """Row serialization pulls cross-topic tokens together."""
+        columns = []
+        for index in range(6):
+            columns.append(["acme", "globex", ("corp", "inc")[index % 2]])
+            columns.append(["energy", "utilities", ("power", "grid")[index % 2]])
+        rows = [["acme", "energy"]] * 8
+        without = WebTableEmbeddingModel(dim=4, min_count=1).fit(columns)
+        with_rows = WebTableEmbeddingModel(dim=4, min_count=1).fit(
+            columns, rows, row_weight=1.0
+        )
+        assert with_rows.similarity("acme", "energy") > without.similarity(
+            "acme", "energy"
+        )
+
+
+class TestPretrainedModel:
+    """Checks against the shared session model (trained on the web corpus)."""
+
+    def test_company_tokens_cluster(self, webtable_model):
+        same = webtable_model.similarity("acme", "globex" if webtable_model.in_vocabulary("globex") else "zenith")
+        cross = webtable_model.similarity("acme", "chicago")
+        assert same > cross
+
+    def test_city_tokens_cluster(self, webtable_model):
+        same = webtable_model.similarity("chicago", "boston")
+        cross = webtable_model.similarity("chicago", "acme")
+        assert same > cross
+
+    def test_common_tokens_in_vocabulary(self, webtable_model):
+        for token in ("acme", "corp", "chicago", "energy"):
+            assert webtable_model.in_vocabulary(token), token

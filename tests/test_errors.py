@@ -1,0 +1,88 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            errors.StorageError,
+            errors.WarehouseError,
+            errors.EmbeddingError,
+            errors.IndexError_,
+            errors.DiscoveryError,
+            errors.EvaluationError,
+        ],
+    )
+    def test_subsystem_bases_derive_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "exception_class,base",
+        [
+            (errors.TypeInferenceError, errors.StorageError),
+            (errors.SchemaError, errors.StorageError),
+            (errors.CsvFormatError, errors.StorageError),
+            (errors.ColumnNotFoundError, errors.StorageError),
+            (errors.TableNotFoundError, errors.StorageError),
+            (errors.DatabaseNotFoundError, errors.WarehouseError),
+            (errors.ScanBudgetExceededError, errors.WarehouseError),
+            (errors.ModelNotTrainedError, errors.EmbeddingError),
+            (errors.UnknownModelError, errors.EmbeddingError),
+            (errors.EmptyIndexError, errors.IndexError_),
+            (errors.DimensionMismatchError, errors.IndexError_),
+            (errors.NotIndexedError, errors.DiscoveryError),
+            (errors.InvalidQueryError, errors.DiscoveryError),
+            (errors.MissingGroundTruthError, errors.EvaluationError),
+        ],
+    )
+    def test_leaf_classes(self, exception_class, base):
+        assert issubclass(exception_class, base)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert errors.IndexError_ is not IndexError
+        assert not issubclass(errors.IndexError_, IndexError)
+
+
+class TestMessages:
+    def test_column_not_found_mentions_location(self):
+        error = errors.ColumnNotFoundError("col", "tbl")
+        assert "col" in str(error)
+        assert "tbl" in str(error)
+        assert error.column == "col"
+
+    def test_column_not_found_without_table(self):
+        assert "not found" in str(errors.ColumnNotFoundError("col"))
+
+    def test_table_not_found(self):
+        error = errors.TableNotFoundError("t", "db")
+        assert error.table == "t"
+        assert "db" in str(error)
+
+    def test_database_not_found(self):
+        assert "sales" in str(errors.DatabaseNotFoundError("sales"))
+
+    def test_scan_budget_carries_numbers(self):
+        error = errors.ScanBudgetExceededError(100, 10)
+        assert error.requested == 100
+        assert error.remaining == 10
+        assert "100" in str(error)
+
+    def test_unknown_model_lists_available(self):
+        error = errors.UnknownModelError("gpt", ("a", "b"))
+        assert "a, b" in str(error)
+
+    def test_dimension_mismatch_carries_dims(self):
+        error = errors.DimensionMismatchError(64, 32)
+        assert error.expected == 64
+        assert error.actual == 32
+
+    def test_catch_all_at_boundary(self):
+        """API users can catch every library error with one except clause."""
+        with pytest.raises(errors.ReproError):
+            raise errors.EmptyIndexError("boom")

@@ -1,0 +1,118 @@
+"""Tests for repro.eval.metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    PRPoint,
+    average_precision,
+    mean_average_precision,
+    pr_curve,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.storage.schema import ColumnRef
+
+
+def refs(*names: str) -> list[ColumnRef]:
+    return [ColumnRef("db", "t", name) for name in names]
+
+
+ANSWERS = frozenset(refs("a", "b"))
+
+
+class TestPrecisionAtK:
+    def test_perfect_top2(self):
+        assert precision_at_k(refs("a", "b", "x"), ANSWERS, 2) == 1.0
+
+    def test_half(self):
+        assert precision_at_k(refs("a", "x"), ANSWERS, 2) == 0.5
+
+    def test_divides_by_k_not_returned(self):
+        # Only one result returned, k=2: penalized.
+        assert precision_at_k(refs("a"), ANSWERS, 2) == 0.5
+
+    def test_no_answers_zero(self):
+        assert precision_at_k(refs("a"), frozenset(), 1) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(refs("a"), ANSWERS, 0)
+
+
+class TestRecallAtK:
+    def test_full(self):
+        assert recall_at_k(refs("a", "b"), ANSWERS, 2) == 1.0
+
+    def test_half(self):
+        assert recall_at_k(refs("a", "x"), ANSWERS, 2) == 0.5
+
+    def test_grows_with_k(self):
+        ranked = refs("x", "a", "y", "b")
+        values = [recall_at_k(ranked, ANSWERS, k) for k in (1, 2, 3, 4)]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            recall_at_k(refs("a"), ANSWERS, -1)
+
+
+class TestReciprocalRank:
+    def test_first(self):
+        assert reciprocal_rank(refs("a", "x"), ANSWERS) == 1.0
+
+    def test_third(self):
+        assert reciprocal_rank(refs("x", "y", "b"), ANSWERS) == pytest.approx(1 / 3)
+
+    def test_absent(self):
+        assert reciprocal_rank(refs("x", "y"), ANSWERS) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(refs("a", "b"), ANSWERS) == 1.0
+
+    def test_interleaved(self):
+        # Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        ap = average_precision(refs("a", "x", "b"), ANSWERS)
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_map(self):
+        runs = [(refs("a", "b"), ANSWERS), (refs("x"), ANSWERS)]
+        assert mean_average_precision(runs) == pytest.approx(0.5)
+
+    def test_map_empty(self):
+        assert mean_average_precision([]) == 0.0
+
+
+class TestPrCurve:
+    def test_points_per_k(self):
+        curve = pr_curve([(refs("a", "x", "b"), ANSWERS)], ks=(1, 2, 3))
+        assert [point.k for point in curve] == [1, 2, 3]
+        assert curve[0] == PRPoint(1, 1.0, 0.5)
+
+    def test_averages_over_queries(self):
+        runs = [(refs("a"), ANSWERS), (refs("x"), ANSWERS)]
+        curve = pr_curve(runs, ks=(1,))
+        assert curve[0].precision == pytest.approx(0.5)
+
+    def test_empty_runs(self):
+        curve = pr_curve([], ks=(2,))
+        assert curve == [PRPoint(2, 0.0, 0.0)]
+
+    def test_str(self):
+        assert "k=2" in str(PRPoint(2, 0.1, 0.2))
+
+    @given(
+        st.lists(st.sampled_from(["a", "b", "x", "y", "z"]), unique=True, max_size=5)
+    )
+    def test_bounds_property(self, names):
+        ranked = refs(*names)
+        for k in (1, 3, 5):
+            assert 0.0 <= precision_at_k(ranked, ANSWERS, k) <= 1.0
+            assert 0.0 <= recall_at_k(ranked, ANSWERS, k) <= 1.0

@@ -1,0 +1,128 @@
+"""Tests for repro.eval.runner, timing and report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.aurum import Aurum
+from repro.core.candidates import TimingBreakdown
+from repro.core.config import WarpGateConfig
+from repro.core.warpgate import WarpGate
+from repro.errors import MissingGroundTruthError
+from repro.eval.metrics import PRPoint
+from repro.eval.report import render_comparison, render_pr_figure, render_table
+from repro.eval.runner import evaluate_system
+from repro.eval.timing import summarize_timings
+
+
+class TestEvaluateSystem:
+    def test_full_run_on_xs(self, testbed_xs):
+        evaluation = evaluate_system(
+            WarpGate(), testbed_xs, ks=(2, 5), max_queries=10
+        )
+        assert evaluation.system == "warpgate"
+        assert evaluation.corpus == "testbedXS"
+        assert len(evaluation.runs) == 10
+        assert evaluation.index_report.columns_indexed > 100
+        curve = evaluation.curve
+        assert [point.k for point in curve] == [2, 5]
+        assert 0.0 <= evaluation.precision_at(2) <= 1.0
+        assert 0.0 <= evaluation.recall_at(5) <= 1.0
+
+    def test_unknown_k_raises(self, testbed_xs):
+        evaluation = evaluate_system(Aurum(), testbed_xs, ks=(2,), max_queries=3)
+        with pytest.raises(KeyError):
+            evaluation.precision_at(7)
+
+    def test_missing_ground_truth(self, sigma_corpus):
+        with pytest.raises(MissingGroundTruthError):
+            evaluate_system(Aurum(), sigma_corpus)
+
+    def test_index_sampler_override(self, testbed_xs):
+        from repro.warehouse.sampling import HeadSampler
+
+        evaluation = evaluate_system(
+            WarpGate(WarpGateConfig(sample_size=50)),
+            testbed_xs,
+            ks=(2,),
+            max_queries=3,
+            index_sampler=HeadSampler(50),
+        )
+        full = evaluate_system(
+            WarpGate(), testbed_xs, ks=(2,), max_queries=3
+        )
+        assert (
+            evaluation.index_report.scanned_bytes < full.index_report.scanned_bytes
+        )
+
+    def test_timing_summary(self, testbed_xs):
+        evaluation = evaluate_system(Aurum(), testbed_xs, ks=(2,), max_queries=5)
+        timing = evaluation.timing
+        assert timing.query_count == 5
+        assert timing.mean_response_s >= 0.0
+
+    def test_run_records_answers(self, testbed_xs):
+        evaluation = evaluate_system(Aurum(), testbed_xs, ks=(2,), max_queries=5)
+        truth = testbed_xs.ground_truth
+        for run in evaluation.runs:
+            assert run.answers == truth.answers(run.query)
+
+
+class TestSummarizeTimings:
+    def test_empty(self):
+        summary = summarize_timings([])
+        assert summary.query_count == 0
+        assert summary.mean_response_s == 0.0
+        assert summary.lookup_fraction == 0.0
+
+    def test_averaging(self):
+        timings = [
+            TimingBreakdown(embed_s=1.0, lookup_s=1.0),
+            TimingBreakdown(embed_s=3.0, lookup_s=1.0),
+        ]
+        summary = summarize_timings(timings)
+        assert summary.mean_embed_s == pytest.approx(2.0)
+        assert summary.mean_lookup_s == pytest.approx(1.0)
+        assert summary.mean_response_s == pytest.approx(3.0)
+        assert summary.lookup_fraction == pytest.approx(1.0 / 3.0)
+
+    def test_table2_cell_format(self):
+        summary = summarize_timings([TimingBreakdown(embed_s=1.0, lookup_s=0.25)])
+        assert summary.table2_cell() == "1.2500 (0.2500)"
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "2.500" in lines[-1]
+
+    def test_render_table_none_as_dash(self):
+        text = render_table(["x"], [[None]])
+        assert "-" in text
+
+    def test_render_pr_figure(self):
+        text = render_pr_figure(
+            {
+                "warpgate": [PRPoint(2, 0.5, 0.3)],
+                "aurum": [PRPoint(2, 0.2, 0.1)],
+            },
+            title="figure",
+        )
+        assert "warpgate P" in text
+        assert "aurum R" in text
+        assert "0.500" in text
+
+    def test_render_comparison(self):
+        paper = [{"corpus": "S", "tables": 46}]
+        ours = [{"corpus": "S", "tables": 46}]
+        text = render_comparison(paper, ours, key="corpus", title="cmp")
+        assert "tables (paper)" in text
+        assert "tables (ours)" in text
+
+    def test_render_comparison_missing_measured(self):
+        paper = [{"corpus": "S", "tables": 46}]
+        text = render_comparison(paper, [], key="corpus", title="cmp")
+        assert "-" in text

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script imports and the fast ones run."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    """Import an example module without executing its __main__ block."""
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        assert len(ALL_EXAMPLES) >= 3
+
+    def test_quickstart_present(self):
+        assert EXAMPLES_DIR / "quickstart.py" in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_example_has_docstring_and_main(self, path):
+        source = path.read_text(encoding="utf-8")
+        assert source.lstrip().startswith('"""')
+        assert "def main()" in source
+        assert '__name__ == "__main__"' in source
+
+
+class TestExamplesImport:
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_importable(self, path):
+        module = load_example(path)
+        assert callable(module.main)
+
+
+class TestFastExamplesRun:
+    def test_csv_data_lake_runs(self, capsys):
+        module = load_example(EXAMPLES_DIR / "csv_data_lake.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "vendor_ratings.vendor" in output
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "indexed" in output
+        assert "ground-truth answers" in output

@@ -1,0 +1,123 @@
+"""Failure-injection tests: the system degrades loudly, not silently."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WarpGateConfig
+from repro.core.warpgate import WarpGate
+from repro.errors import (
+    CsvFormatError,
+    InvalidQueryError,
+    ReproError,
+    ScanBudgetExceededError,
+)
+from repro.storage.column import Column
+from repro.storage.csv_codec import read_csv
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+from repro.storage.types import DataType
+from repro.warehouse.catalog import Warehouse
+from repro.warehouse.connector import WarehouseConnector
+
+
+class TestMalformedCsv:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "",
+            "   \n  ",
+            "a,b\n1\n",  # ragged
+            "a,,c\n1,2,3\n",  # blank header
+        ],
+    )
+    def test_rejected_with_csv_error(self, payload):
+        with pytest.raises(CsvFormatError):
+            read_csv(payload, "bad")
+
+    def test_error_names_the_table(self):
+        with pytest.raises(CsvFormatError) as excinfo:
+            read_csv("a,b\n1\n", "orders")
+        assert "orders" in str(excinfo.value)
+
+
+class TestScanBudgetMidIndexing:
+    def test_budget_exhaustion_surfaces(self, toy_warehouse):
+        """A byte budget that dies mid-indexing raises, never truncates."""
+        connector = WarehouseConnector(toy_warehouse, scan_budget_bytes=100)
+        system = WarpGate()
+        with pytest.raises(ScanBudgetExceededError):
+            system.index_corpus(connector)
+
+    def test_partial_state_not_searchable(self, toy_warehouse):
+        connector = WarehouseConnector(toy_warehouse, scan_budget_bytes=100)
+        system = WarpGate()
+        with pytest.raises(ScanBudgetExceededError):
+            system.index_corpus(connector)
+        from repro.errors import NotIndexedError
+
+        with pytest.raises(NotIndexedError):
+            system.search(ColumnRef("db", "customers", "company"), 3)
+
+
+class TestDegenerateColumns:
+    def _index(self, *columns: Column) -> WarpGate:
+        warehouse = Warehouse("degenerate")
+        warehouse.add_table("db", Table("weird", list(columns)))
+        warehouse.add_table(
+            "db",
+            Table("normal", [Column("name", ["Acme Corp", "Globex Inc", "Umbrella"])]),
+        )
+        system = WarpGate(WarpGateConfig(threshold=0.0))
+        system.index_corpus(WarehouseConnector(warehouse))
+        return system
+
+    def test_all_null_column_skipped_not_crashed(self):
+        system = self._index(
+            Column("empty", [None, None, None], DataType.STRING),
+            Column("ok", ["x", "y", "z"]),
+        )
+        # The all-null column embeds to zero and is not indexed.
+        assert ColumnRef("db", "weird", "empty") not in system._vectors
+        assert ColumnRef("db", "weird", "ok") in system._vectors
+
+    def test_all_null_query_returns_empty(self):
+        system = self._index(
+            Column("empty", [None, None, None], DataType.STRING),
+            Column("ok", ["x", "y", "z"]),
+        )
+        result = system.search(ColumnRef("db", "weird", "empty"), 5)
+        assert result.candidates == []
+
+    def test_punctuation_only_column_handled(self):
+        system = self._index(Column("punct", ["!!!", "---", "..."]))
+        result = system.search(ColumnRef("db", "weird", "punct"), 5)
+        assert isinstance(result.candidates, list)
+
+    def test_single_row_column_indexable(self):
+        system = self._index(Column("one", ["acme"]), Column("pad", ["x"]))
+        assert ColumnRef("db", "weird", "one") in system._vectors
+
+
+class TestLookupMisuse:
+    def test_unknown_refs_raise_invalid_query(self, toy_connector):
+        from repro.core.lookup import LookupService
+
+        system = WarpGate(WarpGateConfig(threshold=0.3))
+        system.index_corpus(toy_connector)
+        service = LookupService(system)
+        with pytest.raises(InvalidQueryError):
+            service.add_column_via_lookup(
+                ColumnRef("db", "customers", "company"),
+                ColumnRef("db", "vendors", "vendor_name"),
+                ["no_such_column"],
+            )
+
+    def test_everything_is_catchable_as_repro_error(self, toy_connector):
+        system = WarpGate()
+        try:
+            system.search(ColumnRef("db", "customers", "company"), 3)
+        except ReproError:
+            pass  # NotIndexedError is a ReproError: one catch at boundaries
+        else:
+            pytest.fail("expected a ReproError")

@@ -1,0 +1,152 @@
+"""Tests for repro.index.exact and repro.index.pivot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import rng_for
+from repro.errors import DimensionMismatchError, EmptyIndexError
+from repro.index.exact import ExactCosineIndex
+from repro.index.pivot import PivotFilterIndex, cosine_to_radius
+
+
+def cloud(n: int, dim: int, key: str) -> np.ndarray:
+    matrix = rng_for("pivot-test", key).standard_normal((n, dim))
+    return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+
+class TestExactCosineIndex:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyIndexError):
+            ExactCosineIndex(8).query(np.ones(8), 1)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            ExactCosineIndex(8).add("z", np.zeros(8))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            ExactCosineIndex(8).add("a", np.ones(4))
+
+    def test_bad_k(self):
+        index = ExactCosineIndex(8)
+        index.add("a", np.ones(8))
+        with pytest.raises(ValueError):
+            index.query(np.ones(8), -1)
+
+    def test_topk_order(self):
+        index = ExactCosineIndex(4)
+        index.add("same", np.array([1.0, 0, 0, 0]))
+        index.add("orthogonal", np.array([0, 1.0, 0, 0]))
+        index.add("opposite", np.array([-1.0, 0, 0, 0]))
+        results = index.query(np.array([1.0, 0, 0, 0]), 3)
+        assert [key for key, _ in results] == ["same", "orthogonal", "opposite"]
+
+    def test_threshold(self):
+        index = ExactCosineIndex(4)
+        index.add("orthogonal", np.array([0, 1.0, 0, 0]))
+        assert index.query(np.array([1.0, 0, 0, 0]), 3, threshold=0.5) == []
+
+    def test_exclude(self):
+        index = ExactCosineIndex(4)
+        vector = np.array([1.0, 0, 0, 0])
+        index.add("self", vector)
+        assert index.query(vector, 3, exclude="self") == []
+
+    def test_k_truncates(self):
+        index = ExactCosineIndex(4)
+        for i in range(10):
+            vector = np.ones(4) + 0.01 * i
+            index.add(i, vector)
+        assert len(index.query(np.ones(4), 3)) == 3
+
+    def test_incremental_add_invalidates_cache(self):
+        index = ExactCosineIndex(4)
+        index.add("a", np.array([1.0, 0, 0, 0]))
+        index.query(np.ones(4), 1)
+        index.add("b", np.array([0.9, 0.1, 0, 0]))
+        assert len(index.query(np.ones(4), 5)) == 2
+
+
+class TestCosineToRadius:
+    def test_threshold_one_is_zero(self):
+        assert cosine_to_radius(1.0) == pytest.approx(0.0)
+
+    def test_threshold_zero_is_sqrt2(self):
+        assert cosine_to_radius(0.0) == pytest.approx(np.sqrt(2.0))
+
+    def test_monotone_decreasing(self):
+        radii = [cosine_to_radius(c) for c in (-1.0, 0.0, 0.5, 0.9, 1.0)]
+        assert radii == sorted(radii, reverse=True)
+
+
+class TestPivotFilterIndex:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyIndexError):
+            PivotFilterIndex(8).query(np.ones(8), 1)
+
+    def test_build_empty_raises(self):
+        with pytest.raises(EmptyIndexError):
+            PivotFilterIndex(8).build()
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            PivotFilterIndex(8).add("z", np.zeros(8))
+
+    def test_agrees_with_exact_search(self):
+        """The pivot filter is lossless: same results as brute force."""
+        dim, n_points = 16, 200
+        points = cloud(n_points, dim, "agree")
+        pivot = PivotFilterIndex(dim, n_pivots=6, threshold=0.3)
+        exact = ExactCosineIndex(dim)
+        for index, vector in enumerate(points):
+            pivot.add(index, vector)
+            exact.add(index, vector)
+        queries = cloud(10, dim, "queries")
+        for query in queries:
+            expected = exact.query(query, 10, threshold=0.3)
+            got = pivot.query(query, 10)
+            assert [key for key, _ in got] == [key for key, _ in expected]
+            for (_, a), (_, b) in zip(got, expected):
+                assert a == pytest.approx(b)
+
+    def test_pruning_happens(self):
+        """On clustered data most points should be filtered, not verified."""
+        dim = 16
+        index = PivotFilterIndex(dim, n_pivots=8, threshold=0.9)
+        rng = rng_for("pivot-prune")
+        # Two tight, far-apart clusters.
+        center_a = rng.standard_normal(dim)
+        center_a /= np.linalg.norm(center_a)
+        center_b = -center_a
+        for i in range(100):
+            for name, center in (("a", center_a), ("b", center_b)):
+                vector = center + 0.05 * rng.standard_normal(dim)
+                index.add(f"{name}{i}", vector / np.linalg.norm(vector))
+        index.build()
+        index.query(center_a, 5)
+        assert index.last_verified_count < 150
+        assert index.prune_rate > 0.2
+
+    def test_auto_build_on_query(self):
+        index = PivotFilterIndex(8, n_pivots=2)
+        index.add("a", np.ones(8))
+        results = index.query(np.ones(8), 1)
+        assert results[0][0] == "a"
+
+    def test_add_after_build_rebuilds(self):
+        index = PivotFilterIndex(8, n_pivots=2)
+        index.add("a", np.ones(8))
+        index.build()
+        vector = np.ones(8)
+        vector[0] = -1
+        index.add("b", vector)
+        keys = {key for key, _ in index.query(np.ones(8), 5, threshold=-1.0)}
+        assert keys == {"a", "b"}
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PivotFilterIndex(0)
+        with pytest.raises(ValueError):
+            PivotFilterIndex(8, n_pivots=0)

@@ -1,0 +1,149 @@
+"""Tests for repro.index.minhash."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyIndexError
+from repro.index.minhash import MinHashIndex, MinHashSignature
+from repro.text.similarity import jaccard
+
+value_sets = st.frozensets(st.text(min_size=1, max_size=8), min_size=1, max_size=40)
+
+
+class TestSignature:
+    def test_identical_sets_estimate_one(self):
+        a = MinHashSignature.of(["x", "y", "z"])
+        b = MinHashSignature.of(["x", "y", "z"])
+        assert a.jaccard_estimate(b) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        a = MinHashSignature.of([f"a{i}" for i in range(50)])
+        b = MinHashSignature.of([f"b{i}" for i in range(50)])
+        assert a.jaccard_estimate(b) < 0.1
+
+    def test_empty_signatures_similar(self):
+        a = MinHashSignature()
+        b = MinHashSignature()
+        assert a.is_empty
+        assert a.jaccard_estimate(b) == 1.0
+
+    def test_none_values_skipped(self):
+        a = MinHashSignature.of(["x", None])
+        b = MinHashSignature.of(["x"])
+        assert a.jaccard_estimate(b) == 1.0
+
+    def test_update_is_union(self):
+        incremental = MinHashSignature()
+        incremental.update(["a", "b"])
+        incremental.update(["c"])
+        oneshot = MinHashSignature.of(["a", "b", "c"])
+        assert incremental.jaccard_estimate(oneshot) == 1.0
+
+    def test_duplicates_harmless(self):
+        a = MinHashSignature.of(["x"] * 100 + ["y"])
+        b = MinHashSignature.of(["x", "y"])
+        assert a.jaccard_estimate(b) == 1.0
+
+    def test_different_families_rejected(self):
+        a = MinHashSignature.of(["x"], seed_key="one")
+        b = MinHashSignature.of(["x"], seed_key="two")
+        with pytest.raises(ValueError):
+            a.jaccard_estimate(b)
+
+    def test_different_sizes_rejected(self):
+        a = MinHashSignature.of(["x"], n_perm=64)
+        b = MinHashSignature.of(["x"], n_perm=128)
+        with pytest.raises(ValueError):
+            a.jaccard_estimate(b)
+
+    def test_invalid_n_perm(self):
+        with pytest.raises(ValueError):
+            MinHashSignature(n_perm=0)
+
+    def test_band_keys_split(self):
+        signature = MinHashSignature.of(["x"], n_perm=64)
+        keys = signature.band_keys(8)
+        assert len(keys) == 8
+        assert len(set(keys)) >= 1
+
+    def test_band_keys_divisibility(self):
+        with pytest.raises(ValueError):
+            MinHashSignature.of(["x"], n_perm=64).band_keys(7)
+
+    @settings(max_examples=25, deadline=None)
+    @given(value_sets, value_sets)
+    def test_estimate_tracks_true_jaccard(self, left, right):
+        """With 256 permutations the estimate is within ~0.2 of truth."""
+        a = MinHashSignature.of(left, n_perm=256)
+        b = MinHashSignature.of(right, n_perm=256)
+        truth = jaccard(left, right)
+        assert abs(a.jaccard_estimate(b) - truth) < 0.2
+
+
+class TestIndex:
+    def test_add_and_query(self):
+        index = MinHashIndex(threshold=0.5)
+        index.add("a", MinHashSignature.of(["x", "y", "z"]))
+        results = index.query(MinHashSignature.of(["x", "y", "z"]))
+        assert results[0][0] == "a"
+
+    def test_empty_query_raises(self):
+        with pytest.raises(EmptyIndexError):
+            MinHashIndex().query(MinHashSignature.of(["x"]))
+
+    def test_threshold_filters(self):
+        index = MinHashIndex(threshold=0.9)
+        index.add("a", MinHashSignature.of([f"v{i}" for i in range(20)]))
+        probe = MinHashSignature.of([f"v{i}" for i in range(10)])  # j = 0.5
+        assert index.query(probe) == []
+
+    def test_exclude(self):
+        index = MinHashIndex(threshold=0.5)
+        signature = MinHashSignature.of(["x"])
+        index.add("self", signature)
+        assert index.query(signature, exclude="self") == []
+
+    def test_k_truncates(self):
+        index = MinHashIndex(threshold=0.0)
+        for name in ("a", "b", "c"):
+            index.add(name, MinHashSignature.of(["shared", name]))
+        probe = MinHashSignature.of(["shared"])
+        assert len(index.query(probe, 2)) <= 2
+
+    def test_results_ranked(self):
+        index = MinHashIndex(threshold=0.0)
+        base = [f"v{i}" for i in range(20)]
+        index.add("close", MinHashSignature.of(base[:18] + ["q1", "q2"]))
+        index.add("far", MinHashSignature.of(base[:5] + [f"w{i}" for i in range(15)]))
+        probe = MinHashSignature.of(base)
+        results = index.query(probe)
+        keys = [key for key, _ in results]
+        if "close" in keys and "far" in keys:
+            assert keys.index("close") < keys.index("far")
+
+    def test_family_mismatch_rejected(self):
+        index = MinHashIndex()
+        with pytest.raises(ValueError):
+            index.add("a", MinHashSignature.of(["x"], seed_key="other"))
+
+    def test_signature_of(self):
+        index = MinHashIndex()
+        signature = MinHashSignature.of(["x"])
+        index.add("a", signature)
+        assert index.signature_of("a") is signature
+
+    def test_bad_banding_rejected(self):
+        with pytest.raises(ValueError):
+            MinHashIndex(n_perm=100, n_bands=32)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            MinHashIndex(threshold=1.5)
+
+    def test_candidate_rate_monotone(self):
+        index = MinHashIndex()
+        rates = [index.expected_candidate_rate(s) for s in (0.1, 0.5, 0.9)]
+        assert rates == sorted(rates)

@@ -1,0 +1,110 @@
+"""Tests for repro.index.simhash."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import rng_for
+from repro.errors import DimensionMismatchError
+from repro.index.simhash import SimHashFamily, hamming_distance, signature_cosine
+
+
+class TestSimHashFamily:
+    def test_signature_shape(self):
+        family = SimHashFamily(dim=8, n_bits=32)
+        signature = family.signature(np.ones(8))
+        assert signature.shape == (32,)
+        assert set(np.unique(signature)) <= {0, 1}
+
+    def test_deterministic(self):
+        a = SimHashFamily(dim=8, n_bits=32).signature(np.ones(8))
+        b = SimHashFamily(dim=8, n_bits=32).signature(np.ones(8))
+        assert np.array_equal(a, b)
+
+    def test_seed_key_changes_planes(self):
+        a = SimHashFamily(8, 32, seed_key="x").signature(np.ones(8))
+        b = SimHashFamily(8, 32, seed_key="y").signature(np.ones(8))
+        assert not np.array_equal(a, b)
+
+    def test_batch_agrees_with_single(self):
+        family = SimHashFamily(dim=8, n_bits=32)
+        rng = rng_for("simhash-test", 1)
+        matrix = rng.standard_normal((5, 8))
+        batch = family.signatures(matrix)
+        for row in range(5):
+            assert np.array_equal(batch[row], family.signature(matrix[row]))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            SimHashFamily(dim=8).signature(np.ones(9))
+
+    def test_batch_dim_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            SimHashFamily(dim=8).signatures(np.ones((2, 9)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SimHashFamily(dim=0)
+        with pytest.raises(ValueError):
+            SimHashFamily(dim=8, n_bits=0)
+
+    def test_opposite_vectors_opposite_signatures(self):
+        family = SimHashFamily(dim=8, n_bits=64)
+        vector = rng_for("simhash-test", 2).standard_normal(8)
+        a = family.signature(vector)
+        b = family.signature(-vector)
+        assert hamming_distance(a, b) == 64
+
+
+class TestCollisionProbability:
+    def test_identical_is_one(self):
+        assert SimHashFamily.collision_probability(1.0) == pytest.approx(1.0)
+
+    def test_orthogonal_is_half(self):
+        assert SimHashFamily.collision_probability(0.0) == pytest.approx(0.5)
+
+    def test_opposite_is_zero(self):
+        assert SimHashFamily.collision_probability(-1.0) == pytest.approx(0.0)
+
+    def test_monotone(self):
+        values = [SimHashFamily.collision_probability(c) for c in (-0.5, 0.0, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_empirical_matches_theory(self):
+        """Bit agreement rate over random pairs tracks 1 - theta/pi."""
+        family = SimHashFamily(dim=16, n_bits=2048)
+        rng = rng_for("simhash-empirical")
+        base = rng.standard_normal(16)
+        base /= np.linalg.norm(base)
+        for target in (0.9, 0.5, 0.0):
+            other = rng.standard_normal(16)
+            other -= (other @ base) * base
+            other /= np.linalg.norm(other)
+            vector = target * base + np.sqrt(1 - target**2) * other
+            agreement = 1 - hamming_distance(
+                family.signature(base), family.signature(vector)
+            ) / family.n_bits
+            assert agreement == pytest.approx(
+                SimHashFamily.collision_probability(target), abs=0.05
+            )
+
+
+class TestSignatureCosine:
+    def test_identical(self):
+        signature = np.ones(64, dtype=np.uint8)
+        assert signature_cosine(signature, signature) == pytest.approx(1.0)
+
+    def test_estimates_cosine(self):
+        family = SimHashFamily(dim=16, n_bits=4096)
+        rng = rng_for("sig-cosine")
+        a = rng.standard_normal(16)
+        b = a + 0.3 * rng.standard_normal(16)
+        a /= np.linalg.norm(a)
+        b /= np.linalg.norm(b)
+        estimate = signature_cosine(family.signature(a), family.signature(b))
+        assert estimate == pytest.approx(float(a @ b), abs=0.08)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            hamming_distance(np.ones(8, dtype=np.uint8), np.ones(16, dtype=np.uint8))

@@ -1,0 +1,147 @@
+"""Integration tests: the paper's claims at test scale.
+
+These run the full pipeline (generate → index → search → evaluate) on the
+smallest corpora and assert the *shape* results the benchmarks reproduce at
+full scale: system ordering, timing ordering, sampling robustness, the Joey
+scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.aurum import Aurum
+from repro.baselines.d3l import D3L
+from repro.core.config import WarpGateConfig
+from repro.core.lookup import LookupService
+from repro.core.warpgate import WarpGate
+from repro.datasets.sigma import JOEY_QUERY
+from repro.eval.runner import evaluate_system
+from repro.storage.schema import ColumnRef
+
+
+@pytest.fixture(scope="module")
+def evaluations(testbed_xs):
+    """All three systems evaluated on testbedXS (computed once)."""
+    return {
+        system.name: evaluate_system(system, testbed_xs, max_queries=20)
+        for system in (Aurum(), D3L(), WarpGate())
+    }
+
+
+class TestSystemOrdering:
+    def test_warpgate_beats_aurum_on_recall(self, evaluations):
+        assert (
+            evaluations["warpgate"].recall_at(10)
+            > evaluations["aurum"].recall_at(10)
+        )
+
+    def test_warpgate_beats_aurum_on_precision(self, evaluations):
+        assert (
+            evaluations["warpgate"].precision_at(2)
+            > evaluations["aurum"].precision_at(2)
+        )
+
+    def test_d3l_beats_aurum_on_recall(self, evaluations):
+        assert evaluations["d3l"].recall_at(10) > evaluations["aurum"].recall_at(10)
+
+    def test_embedding_system_recall_is_high(self, evaluations):
+        assert evaluations["warpgate"].recall_at(10) > 0.6
+
+
+class TestTimingOrdering:
+    def test_aurum_fastest_per_query(self, evaluations):
+        aurum = evaluations["aurum"].timing.mean_response_s
+        warpgate = evaluations["warpgate"].timing.mean_response_s
+        d3l = evaluations["d3l"].timing.mean_response_s
+        assert aurum < warpgate
+        assert aurum < d3l
+
+    def test_d3l_slower_than_warpgate(self, evaluations):
+        assert (
+            evaluations["d3l"].timing.mean_response_s
+            > evaluations["warpgate"].timing.mean_response_s
+        )
+
+    def test_warpgate_lookup_is_minority_share(self, evaluations):
+        """Table 2's point: index lookup is not the bottleneck."""
+        timing = evaluations["warpgate"].timing
+        assert timing.lookup_fraction < 0.5
+
+
+class TestSamplingRobustness:
+    def test_sampled_effectiveness_close_to_full(self, testbed_xs):
+        """§4.4: sampling preserves precision/recall within a few points."""
+        full = evaluate_system(WarpGate(), testbed_xs, max_queries=20)
+        sampled = evaluate_system(
+            WarpGate(WarpGateConfig(sample_size=100)), testbed_xs, max_queries=20
+        )
+        assert abs(full.recall_at(10) - sampled.recall_at(10)) < 0.15
+        assert abs(full.precision_at(2) - sampled.precision_at(2)) < 0.15
+
+    def test_sampling_reduces_cost_and_time(self, testbed_xs):
+        full = evaluate_system(WarpGate(), testbed_xs, max_queries=10)
+        sampled = evaluate_system(
+            WarpGate(WarpGateConfig(sample_size=10)), testbed_xs, max_queries=10
+        )
+        assert (
+            sampled.index_report.scanned_bytes < full.index_report.scanned_bytes
+        )
+        assert (
+            sampled.timing.mean_response_s <= full.timing.mean_response_s * 1.5
+        )
+
+
+class TestBertArm:
+    def test_bertlike_on_par_but_slower(self, testbed_xs):
+        """§4.4: heavier contextual model, same effectiveness, slower."""
+        base = evaluate_system(
+            WarpGate(WarpGateConfig(sample_size=50)), testbed_xs, max_queries=10
+        )
+        bert = evaluate_system(
+            WarpGate(WarpGateConfig(model_name="bertlike", sample_size=50)),
+            testbed_xs,
+            max_queries=10,
+        )
+        assert abs(base.recall_at(10) - bert.recall_at(10)) < 0.25
+        assert bert.timing.mean_embed_s > 2.0 * base.timing.mean_embed_s
+
+
+class TestJoeyScenario:
+    def test_cross_database_discovery(self, sigma_corpus):
+        system = WarpGate()
+        system.index_corpus(sigma_corpus.connector())
+        query = ColumnRef(*JOEY_QUERY)
+        result = system.search(query, 5)
+        refs = result.refs
+        assert ColumnRef("STOCKS", "INDUSTRIES", "Company_Name") in refs
+        assert ColumnRef("SALESFORCE", "LEAD", "Company") in refs
+
+    def test_lookup_chain(self, sigma_corpus):
+        """Name -> INDUSTRIES adds sector info; Ticker chains to PRICES."""
+        system = WarpGate()
+        system.index_corpus(sigma_corpus.connector())
+        service = LookupService(system)
+        query = ColumnRef(*JOEY_QUERY)
+        industries = ColumnRef("STOCKS", "INDUSTRIES", "Company_Name")
+        enriched = service.add_column_via_lookup(
+            query, industries, ["Industry_Group", "Ticker"]
+        )
+        assert "Industry_Group" in enriched.column_names
+        assert "Ticker" in enriched.column_names
+        # Cross-style (title vs UPPER) join works through normalization.
+        added = [v for v in enriched.column("Ticker").values if v is not None]
+        assert len(added) > 0.9 * enriched.row_count
+        # Follow the chain: Ticker joins PRICES.
+        ticker_result = system.search(ColumnRef("STOCKS", "INDUSTRIES", "Ticker"), 5)
+        assert ColumnRef("STOCKS", "PRICES", "Ticker") in ticker_result.refs
+
+
+class TestDeterminism:
+    def test_full_pipeline_deterministic(self, testbed_xs):
+        first = WarpGate()
+        first.index_corpus(testbed_xs.connector())
+        second = WarpGate()
+        second.index_corpus(testbed_xs.connector())
+        query = testbed_xs.queries[0].ref
+        assert first.search(query, 10).refs == second.search(query, 10).refs

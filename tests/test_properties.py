@@ -1,0 +1,159 @@
+"""Cross-cutting property-based tests on system invariants.
+
+These hypothesis suites pin the relationships *between* components: LSH
+against exact search, MinHash against true Jaccard, sampling against
+statistics, the encoder against its own symmetries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import rng_for
+from repro.embedding.encoder import ColumnEncoder
+from repro.embedding.hashing import HashingEmbeddingModel
+from repro.index.exact import ExactCosineIndex
+from repro.index.lsh import SimHashLSHIndex
+from repro.index.minhash import MinHashSignature
+from repro.index.pivot import PivotFilterIndex
+from repro.index.simhash import SimHashFamily
+from repro.storage.column import Column
+from repro.text.similarity import containment, jaccard
+
+value_lists = st.lists(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+        min_size=1,
+        max_size=10,
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestLshVsExact:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_pivot_filter_equals_exact(self, seed):
+        """The pivot filter never changes thresholded search results."""
+        dim = 16
+        rng = rng_for("prop-pivot", seed)
+        matrix = rng.standard_normal((50, dim))
+        matrix /= np.linalg.norm(matrix, axis=1, keepdims=True)
+        exact = ExactCosineIndex(dim)
+        pivot = PivotFilterIndex(dim, n_pivots=5, threshold=0.2)
+        for position in range(50):
+            exact.add(position, matrix[position])
+            pivot.add(position, matrix[position])
+        query = matrix[0]
+        assert pivot.query(query, 10) == [
+            (key, pytest.approx(score))
+            for key, score in exact.query(query, 10, threshold=0.2)
+        ]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_lsh_results_are_subset_of_exact(self, seed):
+        """LSH may miss candidates but never invents or rescores them."""
+        dim = 16
+        rng = rng_for("prop-lsh", seed)
+        matrix = rng.standard_normal((40, dim))
+        matrix /= np.linalg.norm(matrix, axis=1, keepdims=True)
+        exact = ExactCosineIndex(dim)
+        lsh = SimHashLSHIndex(dim, threshold=0.5)
+        for position in range(40):
+            exact.add(position, matrix[position])
+            lsh.add(position, matrix[position])
+        query = matrix[0]
+        exact_scores = dict(exact.query(query, 40, threshold=0.5))
+        for key, score in lsh.query(query, 40):
+            assert key in exact_scores
+            assert score == pytest.approx(exact_scores[key])
+
+
+class TestMinHashProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(value_lists, value_lists)
+    def test_estimate_symmetry(self, left, right):
+        a = MinHashSignature.of(left)
+        b = MinHashSignature.of(right)
+        assert a.jaccard_estimate(b) == b.jaccard_estimate(a)
+
+    @settings(max_examples=25, deadline=None)
+    @given(value_lists)
+    def test_self_similarity(self, values):
+        a = MinHashSignature.of(values)
+        b = MinHashSignature.of(list(values))
+        assert a.jaccard_estimate(b) == 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(value_lists, value_lists)
+    def test_estimate_in_unit_interval(self, left, right):
+        estimate = MinHashSignature.of(left).jaccard_estimate(
+            MinHashSignature.of(right)
+        )
+        assert 0.0 <= estimate <= 1.0
+
+
+class TestSimHashProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_signature_invariant_to_positive_scaling(self, seed):
+        family = SimHashFamily(8, 64)
+        vector = rng_for("prop-scale", seed).standard_normal(8)
+        assert np.array_equal(family.signature(vector), family.signature(3.7 * vector))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_closer_vectors_fewer_differing_bits(self, seed):
+        from repro.index.simhash import hamming_distance
+
+        family = SimHashFamily(16, 512)
+        rng = rng_for("prop-closer", seed)
+        base = rng.standard_normal(16)
+        near = base + 0.1 * rng.standard_normal(16)
+        far = rng.standard_normal(16)
+        base_sig = family.signature(base)
+        assert hamming_distance(base_sig, family.signature(near)) <= hamming_distance(
+            base_sig, family.signature(far)
+        ) + 32  # slack: one draw of planes, probabilistic ordering
+
+
+class TestEncoderProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(value_lists)
+    def test_order_invariance(self, values):
+        """Mean aggregation ignores row order."""
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=16))
+        forward = encoder.encode(Column("x", list(values)))
+        backward = encoder.encode(Column("x", list(reversed(values))))
+        assert np.allclose(forward, backward)
+
+    @settings(max_examples=20, deadline=None)
+    @given(value_lists)
+    def test_output_norm_is_unit_or_zero(self, values):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=16))
+        norm = float(np.linalg.norm(encoder.encode(Column("x", list(values)))))
+        assert norm == pytest.approx(1.0) or norm == 0.0
+
+
+class TestSetSimilarityRelations:
+    sets = st.frozensets(st.integers(0, 40), min_size=1, max_size=20)
+
+    @settings(max_examples=50)
+    @given(sets, sets)
+    def test_jaccard_le_min_containment(self, a, b):
+        """J(A,B) <= min(C(A,B), C(B,A)) — the reason Aurum misses skewed joins."""
+        j = jaccard(a, b)
+        assert j <= containment(a, b) + 1e-12
+        assert j <= containment(b, a) + 1e-12
+
+    @settings(max_examples=50)
+    @given(sets, sets)
+    def test_nested_sets_have_total_containment(self, a, b):
+        union = a | b
+        assert containment(a, union) == 1.0
+        assert containment(b, union) == 1.0

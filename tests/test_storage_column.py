@@ -1,0 +1,168 @@
+"""Tests for repro.storage.column."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TypeInferenceError
+from repro.storage.column import Column
+from repro.storage.types import DataType
+
+
+class TestConstruction:
+    def test_infers_type(self):
+        assert Column("x", ["1", "2"]).dtype is DataType.INTEGER
+
+    def test_explicit_type(self):
+        column = Column("x", ["1", "2"], DataType.STRING)
+        assert column.dtype is DataType.STRING
+
+    def test_coerce_converts(self):
+        column = Column("x", ["1", "2"], DataType.INTEGER, coerce=True)
+        assert column.values == (1, 2)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("", [1])
+
+    def test_from_raw_coerces(self):
+        column = Column.from_raw("x", ["1", "2", ""])
+        assert column.dtype is DataType.INTEGER
+        assert column.values == (1, 2, None)
+
+    def test_from_raw_falls_back_to_string(self):
+        column = Column.from_raw("x", ["1", "2", "x"])
+        assert column.dtype is DataType.STRING
+
+
+class TestProtocol:
+    def test_len_iter_getitem(self):
+        column = Column("x", [1, 2, 3])
+        assert len(column) == 3
+        assert list(column) == [1, 2, 3]
+        assert column[1] == 2
+        assert column[0:2] == (1, 2)
+
+    def test_equality_and_hash(self):
+        a = Column("x", [1, 2])
+        b = Column("x", [1, 2])
+        c = Column("y", [1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_name(self):
+        assert "x" in repr(Column("x", [1]))
+
+
+class TestAccessors:
+    def test_non_null_values(self):
+        column = Column("x", [1, None, 2])
+        assert list(column.non_null_values()) == [1, 2]
+
+    def test_head(self):
+        assert Column("x", [1, 2, 3]).head(2) == (1, 2)
+
+    def test_head_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Column("x", [1]).head(-1)
+
+    def test_distinct_values(self):
+        column = Column("x", [1, 1, 2, None])
+        assert column.distinct_values == {1, 2}
+
+    def test_string_values(self):
+        column = Column("x", [1, None, 2])
+        assert column.string_values == ("1", "2")
+
+    def test_sample(self):
+        column = Column("x", [10, 20, 30, 40])
+        assert Column("x", [10, 20, 30, 40]).sample([0, 2]).values == (10, 30)
+        assert column.sample([3, 0]).values == (40, 10)
+
+    def test_rename(self):
+        renamed = Column("x", [1]).rename("y")
+        assert renamed.name == "y"
+        assert renamed.values == (1,)
+
+
+class TestStats:
+    def test_counts(self):
+        stats = Column("x", [1, 1, None, 3]).stats
+        assert stats.row_count == 4
+        assert stats.null_count == 1
+        assert stats.distinct_count == 2
+
+    def test_null_fraction(self):
+        assert Column("x", [1, None]).stats.null_fraction == 0.5
+
+    def test_uniqueness_key_like(self):
+        assert Column("x", [1, 2, 3]).stats.uniqueness == 1.0
+
+    def test_uniqueness_repeated(self):
+        assert Column("x", [1, 1, 1, 1]).stats.uniqueness == 0.25
+
+    def test_numeric_moments(self):
+        stats = Column("x", [1.0, 3.0]).stats
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.mean == 2.0
+
+    def test_non_numeric_moments_are_none(self):
+        stats = Column("x", ["a", "b"]).stats
+        assert stats.minimum is None
+        assert stats.mean is None
+
+    def test_length_moments(self):
+        stats = Column("x", ["a", "bbb"]).stats
+        assert stats.mean_length == 2.0
+        assert stats.max_length == 3
+
+    def test_empty_column_stats(self):
+        stats = Column("x", [], DataType.STRING).stats
+        assert stats.row_count == 0
+        assert stats.null_fraction == 0.0
+        assert stats.uniqueness == 0.0
+
+
+class TestNumericArray:
+    def test_values(self):
+        array = Column("x", [1, None, 3]).numeric_array()
+        assert array.tolist() == [1.0, 3.0]
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeInferenceError):
+            Column("x", ["a"]).numeric_array()
+
+
+class TestEstimatedBytes:
+    def test_numeric_fixed_width(self):
+        assert Column("x", [1, 2, 3]).estimated_bytes() == 27
+
+    def test_string_length_based(self):
+        column = Column("x", ["ab", "cdef"], DataType.STRING)
+        assert column.estimated_bytes() == 2 + 6
+
+    def test_more_rows_more_bytes(self):
+        small = Column("x", ["abc"] * 10, DataType.STRING)
+        large = Column("x", ["abc"] * 100, DataType.STRING)
+        assert large.estimated_bytes() > small.estimated_bytes()
+
+
+class TestProperties:
+    @given(st.lists(st.one_of(st.none(), st.integers(-100, 100)), max_size=50))
+    def test_stats_consistency(self, values):
+        column = Column("x", values, DataType.INTEGER)
+        stats = column.stats
+        assert stats.null_count + len(list(column.non_null_values())) == stats.row_count
+        assert stats.distinct_count <= stats.row_count - stats.null_count or (
+            stats.row_count == stats.null_count and stats.distinct_count == 0
+        )
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=30))
+    def test_sample_preserves_values(self, values):
+        column = Column("x", values)
+        sampled = column.sample(range(0, len(values), 2))
+        assert set(sampled.values) <= set(column.values)

@@ -1,0 +1,127 @@
+"""Tests for repro.storage.csv_codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CsvFormatError
+from repro.storage.column import Column
+from repro.storage.csv_codec import read_csv, read_csv_file, write_csv, write_csv_file
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+class TestReadCsv:
+    def test_basic(self):
+        table = read_csv("a,b\n1,x\n2,y\n", "t")
+        assert table.column("a").dtype is DataType.INTEGER
+        assert table.column("b").values == ("x", "y")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(CsvFormatError):
+            read_csv("   ", "t")
+
+    def test_blank_header_rejected(self):
+        with pytest.raises(CsvFormatError):
+            read_csv("a,,c\n1,2,3\n", "t")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(CsvFormatError):
+            read_csv("a,b\n1\n", "t")
+
+    def test_header_only(self):
+        table = read_csv("a,b\n", "t")
+        assert table.row_count == 0
+
+    def test_quoted_commas(self):
+        table = read_csv('a,b\n"x,y",1\n', "t")
+        assert table.column("a").values == ("x,y",)
+
+    def test_custom_delimiter(self):
+        table = read_csv("a;b\n1;2\n", "t", delimiter=";")
+        assert table.column_names == ("a", "b")
+
+    def test_empty_cells_become_null(self):
+        table = read_csv("a,b\n1,\n", "t")
+        assert table.column("b").values == (None,)
+
+    def test_header_whitespace_stripped(self):
+        table = read_csv(" a , b \n1,2\n", "t")
+        assert table.column_names == ("a", "b")
+
+
+class TestWriteCsv:
+    def test_roundtrip(self):
+        original = Table(
+            "t",
+            [
+                Column("id", [1, 2]),
+                Column("name", ["Acme Corp", "Globex"]),
+                Column("price", [1.5, 2.25]),
+            ],
+        )
+        recovered = read_csv(write_csv(original), "t")
+        assert recovered.column("id").values == (1, 2)
+        assert recovered.column("name").values == ("Acme Corp", "Globex")
+        assert recovered.column("price").values == (1.5, 2.25)
+
+    def test_null_serialized_as_empty(self):
+        # csv.writer quotes a lone empty field to keep the row non-blank.
+        table = Table("t", [Column("x", ["a", None], DataType.STRING)])
+        assert write_csv(table) == 'x\na\n""\n'
+        recovered = read_csv(write_csv(table), "t")
+        assert recovered.column("x").values == ("a", None)
+
+    def test_header_always_present(self):
+        table = Table("t", [Column("only", [1])])
+        assert write_csv(table).splitlines()[0] == "only"
+
+
+class TestFiles:
+    def test_file_roundtrip(self, tmp_path):
+        table = Table("demo", [Column("a", [1, 2]), Column("b", ["x", "y"])])
+        path = tmp_path / "demo.csv"
+        write_csv_file(table, path)
+        recovered = read_csv_file(path)
+        assert recovered.name == "demo"
+        assert recovered.column("a").values == (1, 2)
+
+    def test_explicit_name_overrides_stem(self, tmp_path):
+        table = Table("demo", [Column("a", [1])])
+        path = tmp_path / "file.csv"
+        write_csv_file(table, path)
+        assert read_csv_file(path, name="other").name == "other"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CsvFormatError):
+            read_csv_file(tmp_path / "absent.csv")
+
+
+simple_cell = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestRoundtripProperty:
+    @given(
+        st.lists(
+            st.tuples(simple_cell, simple_cell),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_string_table_roundtrip(self, rows):
+        table = Table.from_rows(
+            "t",
+            ["left", "right"],
+            rows,
+            dtypes=[DataType.STRING, DataType.STRING],
+        )
+        recovered = read_csv(write_csv(table), "t", infer_types=False)
+        assert recovered.row_count == table.row_count
+        for name in ("left", "right"):
+            assert recovered.column(name).values == table.column(name).values

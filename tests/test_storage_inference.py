@@ -1,0 +1,147 @@
+"""Tests for repro.storage.inference."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TypeInferenceError
+from repro.storage.inference import coerce_value, infer_type, infer_types, is_null_literal
+from repro.storage.types import DataType
+
+
+class TestIsNullLiteral:
+    @pytest.mark.parametrize("value", [None, "", "null", "NULL", "na", "N/A", " nan "])
+    def test_nulls(self, value):
+        assert is_null_literal(value)
+
+    @pytest.mark.parametrize("value", ["0", "none?", 0, False, "x"])
+    def test_non_nulls(self, value):
+        assert not is_null_literal(value)
+
+
+class TestInferType:
+    def test_integers(self):
+        assert infer_type(["1", "2", "-3"]) is DataType.INTEGER
+
+    def test_floats(self):
+        assert infer_type(["1.5", "2", "3e2"]) is DataType.FLOAT
+
+    def test_int_overrides_float_when_all_ints(self):
+        assert infer_type(["1", "2"]) is DataType.INTEGER
+
+    def test_booleans(self):
+        assert infer_type(["true", "false", "yes"]) is DataType.BOOLEAN
+
+    def test_dates(self):
+        assert infer_type(["2020-01-01", "2021-12-31"]) is DataType.DATE
+
+    def test_strings(self):
+        assert infer_type(["abc", "def"]) is DataType.STRING
+
+    def test_mixed_falls_to_string(self):
+        assert infer_type(["1", "abc"]) is DataType.STRING
+
+    def test_nulls_ignored(self):
+        assert infer_type([None, "", "5"]) is DataType.INTEGER
+
+    def test_all_null_is_string(self):
+        assert infer_type([None, "", "na"]) is DataType.STRING
+
+    def test_native_python_values(self):
+        assert infer_type([1, 2]) is DataType.INTEGER
+        assert infer_type([1.5]) is DataType.FLOAT
+        assert infer_type([True, False]) is DataType.BOOLEAN
+        assert infer_type([date(2020, 1, 1)]) is DataType.DATE
+
+    def test_cap_limits_scan(self):
+        # First 3 look like ints; the string afterwards is past the cap.
+        values = ["1", "2", "3", "oops"]
+        assert infer_type(values, cap=3) is DataType.INTEGER
+
+    def test_zero_one_is_boolean(self):
+        # '0'/'1' literals satisfy the (narrower) boolean syntax first.
+        assert infer_type(["0", "1", "0"]) is DataType.BOOLEAN
+
+
+class TestInferTypes:
+    def test_per_column(self):
+        rows = [["1", "a", "2020-01-01"], ["2", "b", "2021-01-01"]]
+        assert infer_types(rows, 3) == [
+            DataType.INTEGER,
+            DataType.STRING,
+            DataType.DATE,
+        ]
+
+    def test_ragged_rows_tolerated(self):
+        rows = [["1"], ["2", "x"]]
+        types = infer_types(rows, 2)
+        assert types[0] is DataType.INTEGER
+        assert types[1] is DataType.STRING
+
+
+class TestCoerceValue:
+    def test_null_passthrough(self):
+        assert coerce_value("", DataType.INTEGER) is None
+        assert coerce_value(None, DataType.STRING) is None
+
+    def test_string(self):
+        assert coerce_value(42, DataType.STRING) == "42"
+
+    def test_integer(self):
+        assert coerce_value(" 42 ", DataType.INTEGER) == 42
+
+    def test_float(self):
+        assert coerce_value("2.5", DataType.FLOAT) == 2.5
+
+    def test_int_to_float(self):
+        assert coerce_value(3, DataType.FLOAT) == 3.0
+
+    def test_boolean(self):
+        assert coerce_value("yes", DataType.BOOLEAN) is True
+
+    def test_date(self):
+        assert coerce_value("2020-06-01", DataType.DATE) == date(2020, 6, 1)
+
+    def test_bad_int_raises(self):
+        with pytest.raises(TypeInferenceError):
+            coerce_value("abc", DataType.INTEGER)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(TypeInferenceError):
+            coerce_value(True, DataType.INTEGER)
+
+    def test_bad_float_raises(self):
+        with pytest.raises(TypeInferenceError):
+            coerce_value("1,5", DataType.FLOAT)
+
+    @given(st.integers(-10**9, 10**9))
+    def test_int_roundtrip(self, value):
+        assert coerce_value(str(value), DataType.INTEGER) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_float_roundtrip(self, value):
+        assert coerce_value(str(value), DataType.FLOAT) == pytest.approx(value)
+
+
+class TestInferThenCoerceProperty:
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(-1000, 1000).map(str),
+                st.floats(-100, 100, allow_nan=False).map(str),
+                st.sampled_from(["true", "false"]),
+                st.text(min_size=1, max_size=10),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_inferred_type_always_coercible(self, values):
+        """Whatever type inference picks, every value must coerce to it."""
+        dtype = infer_type(values)
+        for value in values:
+            coerce_value(value, dtype)  # must not raise

@@ -1,0 +1,125 @@
+"""Tests for repro.storage.schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import (
+    ColumnRef,
+    ColumnSchema,
+    ForeignKey,
+    TableSchema,
+    validate_unique_names,
+)
+from repro.storage.types import DataType
+
+
+class TestColumnRef:
+    def test_str_with_database(self):
+        assert str(ColumnRef("db", "t", "c")) == "db.t.c"
+
+    def test_str_without_database(self):
+        assert str(ColumnRef("", "t", "c")) == "t.c"
+
+    def test_parse_three_parts(self):
+        assert ColumnRef.parse("a.b.c") == ColumnRef("a", "b", "c")
+
+    def test_parse_two_parts(self):
+        assert ColumnRef.parse("b.c") == ColumnRef("", "b", "c")
+
+    def test_parse_rejects_other(self):
+        with pytest.raises(SchemaError):
+            ColumnRef.parse("too.many.parts.here")
+
+    def test_roundtrip(self):
+        ref = ColumnRef("db", "t", "c")
+        assert ColumnRef.parse(str(ref)) == ref
+
+    def test_table_key(self):
+        assert ColumnRef("db", "t", "c").table_key == ("db", "t")
+
+    def test_same_table(self):
+        a = ColumnRef("db", "t", "x")
+        b = ColumnRef("db", "t", "y")
+        c = ColumnRef("db", "u", "x")
+        assert a.same_table(b)
+        assert not a.same_table(c)
+
+    def test_same_database(self):
+        assert ColumnRef("db", "t", "x").same_database(ColumnRef("db", "u", "y"))
+        assert not ColumnRef("a", "t", "x").same_database(ColumnRef("b", "t", "x"))
+
+    def test_ordering_and_hash(self):
+        refs = {ColumnRef("a", "b", "c"), ColumnRef("a", "b", "c")}
+        assert len(refs) == 1
+        assert ColumnRef("a", "a", "a") < ColumnRef("b", "a", "a")
+
+
+class TestColumnSchema:
+    def test_valid(self):
+        schema = ColumnSchema("x", DataType.STRING, is_primary_key=True)
+        assert schema.is_primary_key
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("", DataType.STRING)
+
+
+class TestForeignKey:
+    def test_str(self):
+        fk = ForeignKey("a", ColumnRef("db", "t", "c"))
+        assert str(fk) == "a -> db.t.c"
+
+
+class TestTableSchema:
+    def _schema(self) -> TableSchema:
+        return TableSchema(
+            name="t",
+            columns=(
+                ColumnSchema("id", DataType.INTEGER, is_primary_key=True),
+                ColumnSchema("name", DataType.STRING),
+            ),
+            foreign_keys=(ForeignKey("name", ColumnRef("db", "other", "name")),),
+        )
+
+    def test_column_names(self):
+        assert self._schema().column_names == ("id", "name")
+
+    def test_primary_keys(self):
+        assert self._schema().primary_key_columns == ("id",)
+
+    def test_column_lookup(self):
+        assert self._schema().column("name").dtype is DataType.STRING
+
+    def test_missing_column_raises(self):
+        with pytest.raises(SchemaError):
+            self._schema().column("zzz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (ColumnSchema("x", DataType.STRING), ColumnSchema("x", DataType.STRING)),
+            )
+
+    def test_fk_on_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (ColumnSchema("x", DataType.STRING),),
+                (ForeignKey("zzz", ColumnRef("db", "o", "c")),),
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("", (ColumnSchema("x", DataType.STRING),))
+
+
+class TestValidateUniqueNames:
+    def test_accepts_unique(self):
+        validate_unique_names(["a", "b"], kind="column")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            validate_unique_names(["a", "a"], kind="column")

@@ -1,0 +1,89 @@
+"""Tests for repro.storage.store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ColumnNotFoundError, TableNotFoundError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.store import ColumnStore
+from repro.storage.table import Table
+
+
+def make_store() -> ColumnStore:
+    store = ColumnStore()
+    store.add_table(Table("t1", [Column("a", [1, 2]), Column("b", ["x", "y"])]), database="db")
+    store.add_table(Table("t2", [Column("c", [1.5])]), database="db")
+    store.add_table(Table("flat", [Column("d", [True])]))
+    return store
+
+
+class TestRegistry:
+    def test_counts(self):
+        store = make_store()
+        assert store.table_count == 3
+        assert store.column_count == 4
+        assert store.row_count == 4
+
+    def test_contains(self):
+        store = make_store()
+        assert ("db", "t1") in store
+        assert ("db", "zzz") not in store
+
+    def test_table_lookup(self):
+        assert make_store().table("t1", database="db").name == "t1"
+
+    def test_flat_database(self):
+        assert make_store().table("flat").name == "flat"
+
+    def test_missing_table_raises(self):
+        with pytest.raises(TableNotFoundError):
+            make_store().table("missing", database="db")
+
+    def test_replace_table(self):
+        store = make_store()
+        store.add_table(Table("t1", [Column("z", [9])]), database="db")
+        assert store.table("t1", database="db").column_names == ("z",)
+
+    def test_remove_table(self):
+        store = make_store()
+        store.remove_table("t1", database="db")
+        assert ("db", "t1") not in store
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(TableNotFoundError):
+            make_store().remove_table("zzz")
+
+    def test_clear(self):
+        store = make_store()
+        store.clear()
+        assert len(store) == 0
+
+
+class TestColumnAccess:
+    def test_resolve_ref(self):
+        column = make_store().column(ColumnRef("db", "t1", "a"))
+        assert column.values == (1, 2)
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ColumnNotFoundError):
+            make_store().column(ColumnRef("db", "t1", "zzz"))
+
+    def test_missing_table_raises(self):
+        with pytest.raises(TableNotFoundError):
+            make_store().column(ColumnRef("db", "zzz", "a"))
+
+    def test_column_refs_enumerates_all(self):
+        refs = list(make_store().column_refs())
+        assert ColumnRef("db", "t1", "a") in refs
+        assert ColumnRef("", "flat", "d") in refs
+        assert len(refs) == 4
+
+    def test_tables_iteration(self):
+        names = [(db, table.name) for db, table in make_store().tables()]
+        assert ("db", "t1") in names
+        assert ("", "flat") in names
+
+    def test_estimated_bytes_positive(self):
+        assert make_store().estimated_bytes() > 0

@@ -1,0 +1,154 @@
+"""Tests for repro.storage.table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ColumnNotFoundError, SchemaError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef, ForeignKey
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+def make_table() -> Table:
+    return Table(
+        "orders",
+        [
+            Column("id", [1, 2, 3]),
+            Column("item", ["a", "b", "c"]),
+            Column("price", [1.0, 2.0, 3.0]),
+        ],
+        primary_key="id",
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        table = make_table()
+        assert table.row_count == 3
+        assert table.column_count == 3
+        assert table.column_names == ("id", "item", "price")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("", [Column("x", [1])])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", [1]), Column("b", [1, 2])])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", [1]), Column("a", [2])])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", [1])], primary_key="nope")
+
+    def test_unknown_fk_column_rejected(self):
+        fk = ForeignKey("nope", ColumnRef("db", "x", "y"))
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", [1])], foreign_keys=[fk])
+
+    def test_from_rows_infers(self):
+        table = Table.from_rows("t", ["a", "b"], [["1", "x"], ["2", "y"]])
+        assert table.column("a").dtype is DataType.INTEGER
+        assert table.column("b").dtype is DataType.STRING
+
+    def test_from_rows_width_mismatch(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows("t", ["a"], [["1", "extra"]])
+
+    def test_from_rows_explicit_dtypes(self):
+        table = Table.from_rows(
+            "t", ["a"], [["1"]], dtypes=[DataType.STRING]
+        )
+        assert table.column("a").dtype is DataType.STRING
+
+    def test_from_mapping(self):
+        table = Table.from_mapping("t", {"x": ["1"], "y": ["a"]})
+        assert table.column_names == ("x", "y")
+
+
+class TestAccess:
+    def test_column_lookup(self):
+        assert make_table().column("item").values == ("a", "b", "c")
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ColumnNotFoundError):
+            make_table().column("missing")
+
+    def test_contains(self):
+        table = make_table()
+        assert "id" in table
+        assert "missing" not in table
+
+    def test_row(self):
+        assert make_table().row(1) == (2, "b", 2.0)
+
+    def test_rows_iterates_all(self):
+        assert len(list(make_table().rows())) == 3
+
+    def test_iter_columns(self):
+        assert [c.name for c in make_table()] == ["id", "item", "price"]
+
+    def test_len_is_rows(self):
+        assert len(make_table()) == 3
+
+
+class TestSchema:
+    def test_schema_reflects_columns(self):
+        schema = make_table().schema
+        assert schema.column_names == ("id", "item", "price")
+        assert schema.primary_key_columns == ("id",)
+
+    def test_schema_column_lookup(self):
+        assert make_table().schema.column("price").dtype is DataType.FLOAT
+
+    def test_schema_has_column(self):
+        assert make_table().schema.has_column("id")
+        assert not make_table().schema.has_column("zzz")
+
+
+class TestTransformations:
+    def test_select(self):
+        projected = make_table().select(["price", "id"])
+        assert projected.column_names == ("price", "id")
+
+    def test_take(self):
+        taken = make_table().take([2, 0])
+        assert taken.column("id").values == (3, 1)
+
+    def test_head(self):
+        assert make_table().head(2).row_count == 2
+
+    def test_head_beyond_rows(self):
+        assert make_table().head(100).row_count == 3
+
+    def test_rename(self):
+        assert make_table().rename("x").name == "x"
+
+    def test_with_column(self):
+        extended = make_table().with_column(Column("qty", [1, 1, 2]))
+        assert extended.column_count == 4
+        assert extended.column("qty").values == (1, 1, 2)
+
+    def test_with_column_wrong_length(self):
+        with pytest.raises(SchemaError):
+            make_table().with_column(Column("qty", [1]))
+
+    def test_with_column_duplicate_name(self):
+        with pytest.raises(SchemaError):
+            make_table().with_column(Column("id", [0, 0, 0]))
+
+    def test_take_preserves_keys(self):
+        taken = make_table().take([0])
+        assert taken.primary_key == "id"
+
+    def test_estimated_bytes_positive(self):
+        assert make_table().estimated_bytes() > 0

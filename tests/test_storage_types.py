@@ -1,0 +1,100 @@
+"""Tests for repro.storage.types and inference primitives."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.errors import TypeInferenceError
+from repro.storage.types import (
+    DataType,
+    looks_like_bool,
+    looks_like_date,
+    looks_like_float,
+    looks_like_int,
+    parse_bool,
+    parse_date,
+)
+
+
+class TestDataType:
+    def test_numeric_flags(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.DATE.is_numeric
+
+    def test_textual_flag(self):
+        assert DataType.STRING.is_textual
+        assert not DataType.INTEGER.is_textual
+
+    def test_python_types(self):
+        assert DataType.STRING.python_type() is str
+        assert DataType.INTEGER.python_type() is int
+        assert DataType.FLOAT.python_type() is float
+        assert DataType.BOOLEAN.python_type() is bool
+        assert DataType.DATE.python_type() is date
+
+
+class TestParseDate:
+    def test_iso(self):
+        assert parse_date("2021-03-05") == date(2021, 3, 5)
+
+    def test_slash_ymd(self):
+        assert parse_date("2021/03/05") == date(2021, 3, 5)
+
+    def test_us_style(self):
+        assert parse_date("03/05/2021") == date(2021, 3, 5)
+
+    def test_datetime_accepted(self):
+        assert parse_date("2021-03-05T10:11:12") == date(2021, 3, 5)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            parse_date("not a date")
+
+    def test_word_rejected_fast(self):
+        with pytest.raises(TypeInferenceError):
+            parse_date("march fifth")
+
+
+class TestSyntaxChecks:
+    @pytest.mark.parametrize("text", ["1", "-5", "+42", "007"])
+    def test_int_accepts(self, text):
+        assert looks_like_int(text)
+
+    @pytest.mark.parametrize("text", ["1.5", "a", "", "1e5 x", "1.0.0"])
+    def test_int_rejects(self, text):
+        assert not looks_like_int(text)
+
+    @pytest.mark.parametrize("text", ["1.5", "-0.2", ".5", "1e-3", "42"])
+    def test_float_accepts(self, text):
+        assert looks_like_float(text)
+
+    @pytest.mark.parametrize("text", ["abc", "", "1,000", "--5"])
+    def test_float_rejects(self, text):
+        assert not looks_like_float(text)
+
+    @pytest.mark.parametrize("text", ["true", "False", "YES", "n", "0", "1"])
+    def test_bool_accepts(self, text):
+        assert looks_like_bool(text)
+
+    @pytest.mark.parametrize("text", ["maybe", "", "2", "truthy"])
+    def test_bool_rejects(self, text):
+        assert not looks_like_bool(text)
+
+    def test_date_check(self):
+        assert looks_like_date("2020-01-01")
+        assert not looks_like_date("2020-13-45")
+        assert not looks_like_date("hello")
+
+
+class TestParseBool:
+    @pytest.mark.parametrize("text,expected", [("true", True), ("N", False), ("1", True)])
+    def test_values(self, text, expected):
+        assert parse_bool(text) is expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeInferenceError):
+            parse_bool("maybe")

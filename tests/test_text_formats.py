@@ -1,0 +1,70 @@
+"""Tests for repro.text.formats."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.formats import format_histogram, infer_format
+
+
+class TestInferFormat:
+    def test_code_pattern(self):
+        assert infer_format("AB-1234").signature == "U+-d+"
+
+    def test_date_pattern(self):
+        assert infer_format("2021-03-05").signature == "d+-d+-d+"
+
+    def test_lower_word(self):
+        assert infer_format("hello").signature == "l+"
+
+    def test_mixed_case_word(self):
+        assert infer_format("Hello").signature == "Ul+"
+
+    def test_spaces_compressed(self):
+        assert infer_format("a  b").signature == "ls+l"
+
+    def test_punctuation_verbatim(self):
+        assert "/" in infer_format("03/05/2021").signature
+        assert "-" not in infer_format("03/05/2021").signature
+
+    def test_none_is_empty(self):
+        pattern = infer_format(None)
+        assert pattern.signature == ""
+        assert pattern.raw_length == 0
+
+    def test_numbers_stringified(self):
+        assert infer_format(12345).signature == "d+"
+
+    def test_raw_length_recorded(self):
+        assert infer_format("abc").raw_length == 3
+
+    def test_same_shape_same_signature(self):
+        assert infer_format("XY-9999").signature == infer_format("AB-1234").signature
+
+    @given(st.text(max_size=40))
+    def test_deterministic(self, text):
+        assert infer_format(text) == infer_format(text)
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_signature_never_longer_than_input_classes(self, text):
+        # Run-length compression never expands beyond 2x char count ('d+').
+        assert len(infer_format(text).signature) <= 2 * len(text)
+
+
+class TestFormatHistogram:
+    def test_counts_shapes(self):
+        histogram = format_histogram(["AB-1", "CD-2", "hello"])
+        assert histogram["U+-d"] == 2
+        assert histogram["l+"] == 1
+
+    def test_skips_nulls_and_empties(self):
+        histogram = format_histogram([None, "", "x"])
+        assert sum(histogram.values()) == 1
+
+    def test_limit_caps_scan(self):
+        histogram = format_histogram(["a"] * 100, limit=10)
+        assert sum(histogram.values()) == 10
+
+    def test_empty_input(self):
+        assert format_histogram([]) == {}

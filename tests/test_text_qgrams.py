@@ -1,0 +1,61 @@
+"""Tests for repro.text.qgrams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.qgrams import qgram_multiset, qgram_set
+
+
+class TestQgramSet:
+    def test_unpadded_bigrams(self):
+        assert qgram_set("abc", q=2, pad=False) == {"ab", "bc"}
+
+    def test_padded_includes_boundaries(self):
+        grams = qgram_set("ab", q=2)
+        assert any(g.startswith("\x00") for g in grams)
+        assert any(g.endswith("\x00") for g in grams)
+
+    def test_empty_string(self):
+        assert qgram_set("") == frozenset()
+
+    def test_string_shorter_than_q_unpadded(self):
+        assert qgram_set("a", q=3, pad=False) == {"a"}
+
+    def test_identical_strings_identical_sets(self):
+        assert qgram_set("warpgate") == qgram_set("warpgate")
+
+    def test_q_must_be_positive(self):
+        with pytest.raises(ValueError):
+            qgram_set("abc", q=0)
+
+    @given(st.text(min_size=1, max_size=40), st.integers(1, 5))
+    def test_all_grams_have_length_q(self, text, q):
+        for gram in qgram_set(text, q=q, pad=True):
+            assert len(gram) == q or len(text) + 2 * (q - 1) < q
+
+    @given(st.text(max_size=40))
+    def test_subset_of_multiset_keys(self, text):
+        assert qgram_set(text, q=3) == frozenset(qgram_multiset(text, q=3))
+
+
+class TestQgramMultiset:
+    def test_counts_repeats(self):
+        counts = qgram_multiset("aaaa", q=2, pad=False)
+        assert counts["aa"] == 3
+
+    def test_empty(self):
+        assert qgram_multiset("") == {}
+
+    def test_q_must_be_positive(self):
+        with pytest.raises(ValueError):
+            qgram_multiset("abc", q=-1)
+
+    @given(st.text(min_size=3, max_size=40))
+    def test_total_count_matches_positions(self, text):
+        q = 3
+        counts = qgram_multiset(text, q=q, pad=False)
+        if len(text) >= q:
+            assert sum(counts.values()) == len(text) - q + 1

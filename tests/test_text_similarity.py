@@ -1,0 +1,166 @@
+"""Tests for repro.text.similarity."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    containment,
+    cosine_of_counts,
+    jaccard,
+    jaro_winkler,
+    levenshtein,
+    normalized_levenshtein,
+    overlap_coefficient,
+)
+
+sets = st.frozensets(st.integers(0, 30), max_size=15)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(frozenset(), {1}) == 0.0
+
+    def test_half_overlap(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    @given(sets, sets)
+    def test_symmetric(self, a, b):
+        assert jaccard(a, b) == pytest.approx(jaccard(b, a))
+
+    @given(sets, sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(sets)
+    def test_self_similarity_is_one(self, a):
+        assert jaccard(a, a) == 1.0
+
+
+class TestContainment:
+    def test_full_containment(self):
+        assert containment({1, 2}, {1, 2, 3}) == 1.0
+
+    def test_directional(self):
+        assert containment({1, 2, 3, 4}, {1, 2}) == 0.5
+        assert containment({1, 2}, {1, 2, 3, 4}) == 1.0
+
+    def test_empty_query(self):
+        assert containment(frozenset(), {1}) == 0.0
+
+    @given(sets, sets)
+    def test_bounded(self, a, b):
+        assert 0.0 <= containment(a, b) <= 1.0
+
+    @given(sets, sets)
+    def test_containment_at_least_jaccard(self, a, b):
+        if a:
+            assert containment(a, b) >= jaccard(a, b) - 1e-12
+
+
+class TestCosineOfCounts:
+    def test_identical(self):
+        assert cosine_of_counts(Counter("aab"), Counter("aab")) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert cosine_of_counts(Counter("aa"), Counter("bb")) == 0.0
+
+    def test_empty(self):
+        assert cosine_of_counts(Counter(), Counter("a")) == 0.0
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_bounded_and_symmetric(self, a, b):
+        left = cosine_of_counts(Counter(a), Counter(b))
+        right = cosine_of_counts(Counter(b), Counter(a))
+        assert 0.0 <= left <= 1.0 + 1e-9
+        assert left == pytest.approx(right)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("abc", "abd") == 1
+
+    def test_insertion(self):
+        assert levenshtein("abc", "abxc") == 1
+
+    def test_empty_vs_word(self):
+        assert levenshtein("", "abc") == 3
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_bounded_by_longest(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(st.text(max_size=15), st.text(max_size=15), st.text(max_size=15))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestNormalizedLevenshtein:
+    def test_both_empty(self):
+        assert normalized_levenshtein("", "") == 1.0
+
+    def test_identical(self):
+        assert normalized_levenshtein("abc", "abc") == 1.0
+
+    def test_completely_different(self):
+        assert normalized_levenshtein("aaa", "bbb") == 0.0
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_bounded(self, a, b):
+        assert 0.0 <= normalized_levenshtein(a, b) <= 1.0
+
+
+class TestJaroWinkler:
+    def test_identical(self):
+        assert jaro_winkler("customer", "customer") == 1.0
+
+    def test_empty_vs_word(self):
+        assert jaro_winkler("", "abc") == 0.0
+
+    def test_prefix_boost(self):
+        base_pair = jaro_winkler("martha", "marhta")
+        assert base_pair > 0.9
+
+    def test_prefix_weight_validated(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_weight=0.5)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_bounded_and_symmetric(self, a, b):
+        left = jaro_winkler(a, b)
+        assert 0.0 <= left <= 1.0
+        assert left == pytest.approx(jaro_winkler(b, a))
+
+
+class TestOverlapCoefficient:
+    def test_subset_is_one(self):
+        assert overlap_coefficient({1, 2}, {1, 2, 3}) == 1.0
+
+    def test_accepts_lists(self):
+        assert overlap_coefficient([1, 2, 2], [2, 3]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert overlap_coefficient([], [1]) == 0.0

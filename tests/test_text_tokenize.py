@@ -1,0 +1,107 @@
+"""Tests for repro.text.tokenize."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import (
+    normalize_identifier,
+    normalize_value,
+    split_identifier,
+    tokenize_value,
+    tokenize_values,
+)
+
+
+class TestNormalizeValue:
+    def test_none_is_empty(self):
+        assert normalize_value(None) == ""
+
+    def test_lowercases(self):
+        assert normalize_value("Acme CORP") == "acme corp"
+
+    def test_collapses_whitespace(self):
+        assert normalize_value("  a \t b\n c ") == "a b c"
+
+    def test_stringifies_numbers(self):
+        assert normalize_value(42) == "42"
+
+    @given(st.text(max_size=80))
+    def test_idempotent(self, text):
+        once = normalize_value(text)
+        assert normalize_value(once) == once
+
+
+class TestTokenizeValue:
+    def test_basic_words(self):
+        assert tokenize_value("Acme Corp") == ["acme", "corp"]
+
+    def test_punctuation_dropped(self):
+        assert tokenize_value("Acme, Corp. (US)") == ["acme", "corp", "us"]
+
+    def test_apostrophes_kept_in_word(self):
+        assert tokenize_value("O'Brien") == ["o'brien"]
+
+    def test_numbers_are_tokens(self):
+        assert tokenize_value("order 12345") == ["order", "12345"]
+
+    def test_code_splits_on_dash(self):
+        assert tokenize_value("cust-00042") == ["cust", "00042"]
+
+    def test_none_is_empty(self):
+        assert tokenize_value(None) == []
+
+    def test_empty_string(self):
+        assert tokenize_value("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize_value("!!! --- ???") == []
+
+    @given(st.text(max_size=80))
+    def test_tokens_are_lowercase(self, text):
+        for token in tokenize_value(text):
+            assert token == token.lower()
+
+    @given(st.text(max_size=80))
+    def test_tokens_never_empty(self, text):
+        assert all(token for token in tokenize_value(text))
+
+
+class TestTokenizeValues:
+    def test_flattens(self):
+        tokens = list(tokenize_values(["a b", "c", None, "d"]))
+        assert tokens == ["a", "b", "c", "d"]
+
+
+class TestSplitIdentifier:
+    def test_snake_case(self):
+        assert split_identifier("customer_name") == ["customer", "name"]
+
+    def test_camel_case(self):
+        assert split_identifier("customerAccountID") == ["customer", "account", "id"]
+
+    def test_pascal_case(self):
+        assert split_identifier("BillingAddress") == ["billing", "address"]
+
+    def test_kebab_and_dots(self):
+        assert split_identifier("order-id.v2") == ["order", "id", "v2"]
+
+    def test_digits_split(self):
+        assert split_identifier("BILLING_ADDRESS_2") == ["billing", "address", "2"]
+
+    def test_upper_run_followed_by_word(self):
+        assert split_identifier("HTTPResponse") == ["http", "response"]
+
+    def test_empty(self):
+        assert split_identifier("") == []
+
+
+class TestNormalizeIdentifier:
+    def test_joined_lowercase(self):
+        assert normalize_identifier("Company-Name") == "company name"
+
+    def test_stable_for_variants(self):
+        assert normalize_identifier("companyName") == normalize_identifier(
+            "COMPANY_NAME"
+        )

@@ -1,0 +1,88 @@
+"""Tests for repro.warehouse.catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatabaseNotFoundError, TableNotFoundError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+from repro.warehouse.catalog import Database, Warehouse
+
+
+def tiny_table(name: str = "t") -> Table:
+    return Table(name, [Column("a", [1, 2]), Column("b", ["x", "y"])])
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        database = Database("db")
+        database.add_table(tiny_table())
+        assert database.table("t").name == "t"
+        assert "t" in database
+        assert len(database) == 1
+
+    def test_missing_table_raises(self):
+        with pytest.raises(TableNotFoundError):
+            Database("db").table("zzz")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Database("")
+
+    def test_table_names(self):
+        database = Database("db")
+        database.add_table(tiny_table("a"))
+        database.add_table(tiny_table("b"))
+        assert database.table_names == ("a", "b")
+
+
+class TestWarehouse:
+    def test_create_database_idempotent(self):
+        warehouse = Warehouse()
+        first = warehouse.create_database("db")
+        second = warehouse.create_database("db")
+        assert first is second
+
+    def test_missing_database_raises(self):
+        with pytest.raises(DatabaseNotFoundError):
+            Warehouse().database("zzz")
+
+    def test_add_table_creates_database(self):
+        warehouse = Warehouse()
+        warehouse.add_table("db", tiny_table())
+        assert "db" in warehouse
+        assert warehouse.table_count == 1
+
+    def test_counts(self):
+        warehouse = Warehouse()
+        warehouse.add_table("db1", tiny_table("a"))
+        warehouse.add_table("db2", tiny_table("b"))
+        assert warehouse.table_count == 2
+        assert warehouse.column_count == 4
+        assert warehouse.row_count == 4
+
+    def test_resolve_ref(self):
+        warehouse = Warehouse()
+        warehouse.add_table("db", tiny_table())
+        table = warehouse.resolve(ColumnRef("db", "t", "a"))
+        assert table.name == "t"
+
+    def test_column_refs(self):
+        warehouse = Warehouse()
+        warehouse.add_table("db", tiny_table())
+        refs = list(warehouse.column_refs())
+        assert ColumnRef("db", "t", "a") in refs
+        assert len(refs) == 2
+
+    def test_table_refs(self):
+        warehouse = Warehouse()
+        warehouse.add_table("db", tiny_table())
+        assert [(db, t.name) for db, t in warehouse.table_refs()] == [("db", "t")]
+
+    def test_database_names(self):
+        warehouse = Warehouse()
+        warehouse.create_database("x")
+        warehouse.create_database("y")
+        assert warehouse.database_names == ("x", "y")

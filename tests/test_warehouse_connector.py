@@ -1,0 +1,104 @@
+"""Tests for repro.warehouse.connector: metering, budgets, latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScanBudgetExceededError
+from repro.storage.schema import ColumnRef
+from repro.warehouse.connector import WarehouseConnector
+from repro.warehouse.sampling import HeadSampler
+
+
+class TestScanColumn:
+    def test_full_scan(self, toy_connector):
+        column, receipt = toy_connector.scan_column(ColumnRef("db", "customers", "company"))
+        assert len(column) == 5
+        assert receipt.rows_fetched == 5
+        assert receipt.rows_total == 5
+        assert not receipt.sampled
+        assert receipt.scanned_bytes > 0
+
+    def test_sampled_scan_meters_fewer_bytes(self, toy_connector):
+        ref = ColumnRef("db", "customers", "company")
+        full, full_receipt = toy_connector.scan_column(ref)
+        sampled, sampled_receipt = toy_connector.scan_column(
+            ref, sampler=HeadSampler(2)
+        )
+        assert len(sampled) == 2
+        assert sampled_receipt.sampled
+        assert sampled_receipt.scanned_bytes < full_receipt.scanned_bytes
+
+    def test_simulated_latency_positive(self, toy_connector):
+        _, receipt = toy_connector.scan_column(ColumnRef("db", "customers", "id"))
+        assert receipt.simulated_seconds >= toy_connector.base_latency_s
+
+    def test_stats_accumulate(self, toy_connector):
+        toy_connector.scan_column(ColumnRef("db", "customers", "id"))
+        toy_connector.scan_column(ColumnRef("db", "customers", "company"))
+        assert toy_connector.stats.scan_count == 2
+        assert toy_connector.stats.rows_fetched == 10
+        assert len(toy_connector.receipts) == 2
+
+    def test_meter_charges(self, toy_connector):
+        toy_connector.scan_column(ColumnRef("db", "customers", "company"))
+        assert toy_connector.meter.charged_dollars > 0
+        assert toy_connector.meter.scan_count == 1
+
+
+class TestScanTable:
+    def test_full_table(self, toy_connector):
+        table, receipt = toy_connector.scan_table("db", "customers")
+        assert table.row_count == 5
+        assert receipt.rows_fetched == 5
+
+    def test_sampled_table_is_rectangular(self, toy_connector):
+        table, receipt = toy_connector.scan_table(
+            "db", "customers", sampler=HeadSampler(3)
+        )
+        assert table.row_count == 3
+        assert receipt.sampled
+        assert all(len(column) == 3 for column in table.columns)
+
+
+class TestBudget:
+    def test_budget_enforced(self, toy_warehouse):
+        connector = WarehouseConnector(toy_warehouse, scan_budget_bytes=10)
+        with pytest.raises(ScanBudgetExceededError):
+            connector.scan_column(ColumnRef("db", "customers", "company"))
+
+    def test_budget_allows_within(self, toy_warehouse):
+        connector = WarehouseConnector(toy_warehouse, scan_budget_bytes=10_000_000)
+        connector.scan_column(ColumnRef("db", "customers", "company"))
+
+    def test_negative_budget_rejected(self, toy_warehouse):
+        with pytest.raises(ValueError):
+            WarehouseConnector(toy_warehouse, scan_budget_bytes=-1)
+
+    def test_zero_bandwidth_rejected(self, toy_warehouse):
+        with pytest.raises(ValueError):
+            WarehouseConnector(toy_warehouse, bandwidth_bytes_per_s=0)
+
+
+class TestMetadata:
+    def test_peek_schema_is_free(self, toy_connector):
+        names = toy_connector.peek_schema("db", "customers")
+        assert names == ("id", "company", "amount")
+        assert toy_connector.stats.scan_count == 0
+
+    def test_reset_metering(self, toy_connector):
+        toy_connector.scan_column(ColumnRef("db", "customers", "id"))
+        toy_connector.reset_metering()
+        assert toy_connector.stats.scan_count == 0
+        assert toy_connector.meter.charged_dollars == 0.0
+        assert toy_connector.receipts == ()
+
+
+class TestLatencyModel:
+    def test_latency_grows_with_bytes(self, toy_warehouse):
+        connector = WarehouseConnector(
+            toy_warehouse, base_latency_s=0.0, bandwidth_bytes_per_s=100.0
+        )
+        _, small = connector.scan_column(ColumnRef("db", "colors", "hex_len"))
+        _, large = connector.scan_column(ColumnRef("db", "customers", "company"))
+        assert large.simulated_seconds > small.simulated_seconds

@@ -1,0 +1,54 @@
+"""Tests for repro.warehouse.cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.warehouse.cost import PricingModel, UsageMeter
+
+_GB = 1024**3
+
+
+class TestPricingModel:
+    def test_zero_bytes_free(self):
+        assert PricingModel().cost_of_scan(0) == 0.0
+
+    def test_minimum_applies(self):
+        pricing = PricingModel(dollars_per_gb=1.0, minimum_bytes=10 * 1024**2)
+        tiny = pricing.cost_of_scan(1)
+        assert tiny == pytest.approx(10 * 1024**2 / _GB)
+
+    def test_large_scan_linear(self):
+        pricing = PricingModel(dollars_per_gb=2.0, minimum_bytes=0)
+        assert pricing.cost_of_scan(_GB) == pytest.approx(2.0)
+        assert pricing.cost_of_scan(2 * _GB) == pytest.approx(4.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PricingModel().cost_of_scan(-1)
+
+    def test_default_rate_is_five_per_tb(self):
+        pricing = PricingModel(minimum_bytes=0)
+        assert pricing.cost_of_scan(1024 * _GB) == pytest.approx(5.0)
+
+
+class TestUsageMeter:
+    def test_accumulates(self):
+        meter = UsageMeter(PricingModel(dollars_per_gb=1.0, minimum_bytes=0))
+        meter.record_scan(_GB)
+        meter.record_scan(_GB)
+        assert meter.scan_count == 2
+        assert meter.scanned_bytes == 2 * _GB
+        assert meter.charged_dollars == pytest.approx(2.0)
+
+    def test_record_returns_charge(self):
+        meter = UsageMeter(PricingModel(dollars_per_gb=1.0, minimum_bytes=0))
+        assert meter.record_scan(_GB) == pytest.approx(1.0)
+
+    def test_reset(self):
+        meter = UsageMeter()
+        meter.record_scan(123)
+        meter.reset()
+        assert meter.scan_count == 0
+        assert meter.scanned_bytes == 0
+        assert meter.charged_dollars == 0.0

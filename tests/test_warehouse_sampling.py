@@ -1,0 +1,135 @@
+"""Tests for repro.warehouse.sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.column import Column
+from repro.warehouse.sampling import (
+    DistinctSampler,
+    HeadSampler,
+    ReservoirSampler,
+    UniformSampler,
+    make_sampler,
+)
+
+SAMPLERS = [HeadSampler, UniformSampler, ReservoirSampler, DistinctSampler]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("sampler_cls", SAMPLERS)
+    def test_effective_size_caps(self, sampler_cls):
+        sampler = sampler_cls(10)
+        assert sampler.effective_size(5) == 5
+        assert sampler.effective_size(100) == 10
+
+    @pytest.mark.parametrize("sampler_cls", SAMPLERS)
+    def test_none_means_full(self, sampler_cls):
+        sampler = sampler_cls(None)
+        column = Column("x", list(range(20)))
+        assert sampler.sample_column(column) is column
+
+    @pytest.mark.parametrize("sampler_cls", SAMPLERS)
+    def test_sample_size_respected(self, sampler_cls):
+        sampler = sampler_cls(7)
+        column = Column("x", list(range(50)))
+        assert len(sampler.sample_column(column)) == 7
+
+    @pytest.mark.parametrize("sampler_cls", SAMPLERS)
+    def test_deterministic_given_seed_key(self, sampler_cls):
+        sampler = sampler_cls(5)
+        column = Column("x", list(range(40)))
+        first = sampler.sample_column(column, seed_key="k").values
+        second = sampler.sample_column(column, seed_key="k").values
+        assert first == second
+
+    @pytest.mark.parametrize("sampler_cls", [UniformSampler, ReservoirSampler])
+    def test_different_seed_keys_differ(self, sampler_cls):
+        sampler = sampler_cls(5)
+        column = Column("x", list(range(200)))
+        first = sampler.sample_column(column, seed_key="a").values
+        second = sampler.sample_column(column, seed_key="b").values
+        assert first != second
+
+    @pytest.mark.parametrize("sampler_cls", SAMPLERS)
+    def test_invalid_size_rejected(self, sampler_cls):
+        with pytest.raises(ValueError):
+            sampler_cls(0)
+
+    @pytest.mark.parametrize("sampler_cls", SAMPLERS)
+    def test_values_come_from_column(self, sampler_cls):
+        column = Column("x", list(range(100, 160)))
+        sampled = sampler_cls(10).sample_column(column)
+        assert set(sampled.values) <= set(column.values)
+
+
+class TestHeadSampler:
+    def test_takes_prefix(self):
+        column = Column("x", list(range(10)))
+        assert HeadSampler(3).sample_column(column).values == (0, 1, 2)
+
+
+class TestUniformSampler:
+    def test_indices_sorted_distinct(self):
+        indices = list(UniformSampler(10).select_indices(100, seed_key="s"))
+        assert indices == sorted(set(indices))
+
+    def test_covers_range_statistically(self):
+        indices = list(UniformSampler(200).select_indices(1_000, seed_key="s"))
+        assert min(indices) < 100
+        assert max(indices) > 900
+
+
+class TestReservoirSampler:
+    def test_indices_valid(self):
+        indices = list(ReservoirSampler(10).select_indices(50, seed_key="s"))
+        assert all(0 <= index < 50 for index in indices)
+        assert len(set(indices)) == 10
+
+    def test_uniformity(self):
+        """Each index should appear with probability ≈ k/n over many draws."""
+        n, k, trials = 30, 10, 300
+        counts = np.zeros(n)
+        for trial in range(trials):
+            for index in ReservoirSampler(k).select_indices(n, seed_key=str(trial)):
+                counts[index] += 1
+        expected = trials * k / n
+        # Loose 3-sigma-ish band: binomial std ~ sqrt(trials * p * (1-p)).
+        std = np.sqrt(trials * (k / n) * (1 - k / n))
+        assert np.all(np.abs(counts - expected) < 5 * std)
+
+
+class TestDistinctSampler:
+    def test_prefers_unseen_values(self):
+        values = [1] * 50 + [2, 3, 4, 5, 6]
+        column = Column("x", values)
+        sampled = DistinctSampler(5).sample_column(column)
+        # All five slots should hold distinct values (there are >= 5 distinct).
+        assert len(set(sampled.values)) == 5
+
+    def test_fills_with_repeats_when_needed(self):
+        column = Column("x", [1, 1, 1, 1, 1, 1])
+        sampled = DistinctSampler(3).sample_column(column)
+        assert len(sampled) == 3
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["head", "uniform", "reservoir", "distinct"])
+    def test_known_strategies(self, name):
+        assert make_sampler(name, 10).name == name
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_sampler("magic", 10)
+
+
+class TestProperties:
+    @given(st.integers(1, 50), st.integers(0, 200))
+    def test_selection_bounds(self, size, rows):
+        for sampler in (HeadSampler(size), UniformSampler(size), ReservoirSampler(size)):
+            indices = list(sampler.select_indices(rows, seed_key="p"))
+            assert len(indices) == min(size, rows)
+            assert all(0 <= index < rows for index in indices)
