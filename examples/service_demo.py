@@ -1,0 +1,103 @@
+"""DiscoveryService: incremental indexing, batch search, and HTTP serving.
+
+The library core (``WarpGate``) indexes once and queries a frozen index.
+This demo drives the serving facade the way a deployed system would:
+
+1. open a service over a corpus,
+2. search it (typed request in, typed response out),
+3. add a brand-new table *without re-indexing* and see it surface,
+4. drop a table and watch its columns leave the results,
+5. amortize a batch of queries through ``search_many``,
+6. answer the same query over JSON-over-HTTP (``python -m repro serve``
+   wraps exactly this server).
+
+Run::
+
+    python examples/service_demo.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+from repro import DiscoveryService, SearchRequest, generate_testbed
+from repro.service import make_server
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+def main() -> None:
+    # 1. Open a service over the smallest NextiaJD-style testbed.
+    corpus = generate_testbed("XS")
+    service = DiscoveryService()
+    report = service.open(corpus.connector())
+    print(f"opened service: {report.columns_indexed} columns indexed")
+
+    # 2. One typed search.
+    query = corpus.queries[0].ref
+    response = service.search(SearchRequest(query=query, k=5))
+    print()
+    print(response.describe())
+
+    # 3. Incremental add: a table that did not exist at indexing time.
+    new_table = Table(
+        "partner_registry",
+        [
+            Column("partner_key", list(range(1, 9))),
+            Column(
+                "partner_label",
+                [f"partner {chr(ord('a') + i)} holdings" for i in range(8)],
+            ),
+        ],
+    )
+    stats = service.add_table(query.database, new_table)
+    print()
+    print(
+        f"added partner_registry incrementally: {stats.indexed_columns} columns "
+        f"indexed after {stats.mutations} mutation(s)"
+    )
+
+    # 4. Drop it again — no full re-index either way.
+    stats = service.drop_table(query.database, "partner_registry")
+    print(f"dropped partner_registry: back to {stats.indexed_columns} columns")
+
+    # 5. Batch search: duplicate queries pay the embedding once.
+    requests = [SearchRequest(query=q.ref, k=3) for q in corpus.queries[:4]]
+    responses = service.search_many(requests)
+    print()
+    print(f"batch of {len(requests)} queries:")
+    for batch_response in responses:
+        top = batch_response.refs[0] if batch_response.refs else "-"
+        print(f"  {batch_response.query} -> {top}")
+
+    # 6. The same service over HTTP.
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    try:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        connection.request(
+            "POST",
+            "/search",
+            body=json.dumps({"query": str(query), "k": 3}),
+            headers={"Content-Type": "application/json"},
+        )
+        payload = json.loads(connection.getresponse().read().decode("utf-8"))
+        connection.close()
+        print()
+        print(f"HTTP /search on port {port}:")
+        for candidate in payload["candidates"]:
+            print(f"  {candidate['ref']} ({candidate['score']:.3f})")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    print()
+    print(f"served {service.stats().searches} searches in total")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,8 +3,15 @@
 Reproduces Cong et al., *WarpGate: A Semantic Join Discovery System for
 Cloud Data Warehouses* (CIDR 2023) as a self-contained Python library:
 
+* :class:`repro.service.DiscoveryService` — the recommended entry point:
+  a session-based serving facade with typed requests/responses,
+  incremental index mutation (``add_table`` / ``drop_table`` /
+  ``refresh_column`` without a full re-index), batch search, a
+  thread-safe read path, and a stdlib JSON-over-HTTP server
+  (``python -m repro serve``);
 * :class:`repro.core.WarpGate` — the embedding + SimHash-LSH discovery
-  system, over a simulated, scan-metered cloud data warehouse;
+  core the service wraps, over a simulated, scan-metered cloud data
+  warehouse;
 * :class:`repro.baselines.Aurum` / :class:`repro.baselines.D3L` — the two
   comparison systems;
 * :mod:`repro.datasets` — deterministic regenerations of the NextiaJD
@@ -14,13 +21,16 @@ Cloud Data Warehouses* (CIDR 2023) as a self-contained Python library:
 
 Quickstart::
 
-    from repro import WarpGate, generate_testbed
+    from repro import DiscoveryService, generate_testbed
 
     corpus = generate_testbed("XS")
-    system = WarpGate()
-    system.index_corpus(corpus.connector())
-    result = system.search(corpus.queries[0].ref, k=5)
-    print(result.describe())
+    service = DiscoveryService()
+    service.open(corpus.connector())
+    response = service.search(corpus.queries[0].ref, k=5)
+    print(response.describe())
+
+The one-shot library flow (``WarpGate().index_corpus(...)`` then
+``.search(...)``) keeps working unchanged underneath.
 """
 
 from repro.baselines import Aurum, D3L
@@ -37,6 +47,13 @@ from repro.datasets import (
     generate_testbed,
 )
 from repro.eval import evaluate_system
+from repro.service import (
+    DiscoveryService,
+    IndexStats,
+    SearchRequest,
+    SearchResponse,
+    ServiceError,
+)
 
 __version__ = "1.0.0"
 
@@ -44,8 +61,13 @@ __all__ = [
     "Aurum",
     "D3L",
     "DiscoveryResult",
+    "DiscoveryService",
+    "IndexStats",
     "JoinCandidate",
     "LookupService",
+    "SearchRequest",
+    "SearchResponse",
+    "ServiceError",
     "WarpGate",
     "WarpGateConfig",
     "evaluate_system",

@@ -5,6 +5,10 @@ Commands
 ``discover``
     Load a directory of CSV files as one warehouse, index it, and print the
     top-k joinable columns for a query column (``table.column``).
+``serve``
+    Index a CSV directory and expose it over JSON-over-HTTP
+    (``/search``, ``/index/add``, ``/index/drop``, ``/stats``,
+    ``/healthz``).
 ``demo``
     Run the Joey walkthrough end to end on the Sigma Sample Database.
 ``corpus-stats``
@@ -12,6 +16,9 @@ Commands
 ``index`` / ``query``
     Build a persistent index artifact from a CSV directory, then query it
     later without re-scanning.
+
+All commands route through the :class:`~repro.service.DiscoveryService`
+facade — the same code path applications are expected to use.
 """
 
 from __future__ import annotations
@@ -22,9 +29,8 @@ from pathlib import Path
 
 from repro.core.config import WarpGateConfig
 from repro.core.lookup import LookupService
-from repro.core.persistence import load_index, save_index
-from repro.core.warpgate import WarpGate
 from repro.errors import ReproError
+from repro.service import DiscoveryService, serve
 from repro.storage.csv_codec import read_csv_file
 from repro.storage.schema import ColumnRef
 from repro.warehouse.catalog import Warehouse
@@ -61,28 +67,28 @@ def _config_from_args(args: argparse.Namespace) -> WarpGateConfig:
 
 def cmd_discover(args: argparse.Namespace) -> int:
     warehouse = _warehouse_from_csv_dir(Path(args.directory))
-    system = WarpGate(_config_from_args(args))
-    report = system.index_corpus(WarehouseConnector(warehouse))
+    service = DiscoveryService(_config_from_args(args))
+    report = service.open(WarehouseConnector(warehouse))
     print(f"indexed {report.columns_indexed} columns from {args.directory}")
     query = _parse_query_ref(args.query)
-    result = system.search(query, args.k)
-    if not result.candidates:
+    response = service.search(query, args.k)
+    if not response.candidates:
         print(f"no joinable columns found for {query} (threshold {args.threshold})")
         return 1
-    print(result.describe())
+    print(response.describe())
     if args.lookup:
-        service = LookupService(system)
-        for recommendation in service.recommend(query, k=min(args.k, 3)):
-            rate = service.match_rate(query, recommendation.candidate)
+        lookup = LookupService(service)
+        for recommendation in lookup.recommend(query, k=min(args.k, 3)):
+            rate = lookup.match_rate(query, recommendation.candidate)
             print(f"  verified match rate vs {recommendation.candidate}: {rate:.0%}")
     return 0
 
 
 def cmd_index(args: argparse.Namespace) -> int:
     warehouse = _warehouse_from_csv_dir(Path(args.directory))
-    system = WarpGate(_config_from_args(args))
-    report = system.index_corpus(WarehouseConnector(warehouse))
-    artifact = save_index(system, args.output)
+    service = DiscoveryService(_config_from_args(args))
+    report = service.open(WarehouseConnector(warehouse))
+    artifact = service.save(args.output)
     print(
         f"indexed {report.columns_indexed} columns; artifact written to {artifact}"
     )
@@ -90,16 +96,26 @@ def cmd_index(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    system = load_index(args.artifact)
     # Re-attach the CSV lake so the query column can be scanned and embedded.
     warehouse = _warehouse_from_csv_dir(Path(args.directory))
-    system.attach_connector(WarehouseConnector(warehouse))
+    service = DiscoveryService.load(
+        args.artifact, connector=WarehouseConnector(warehouse)
+    )
     query = _parse_query_ref(args.query)
-    result = system.search(query, args.k)
-    if not result.candidates:
+    response = service.search(query, args.k)
+    if not response.candidates:
         print(f"no joinable columns found for {query}")
         return 1
-    print(result.describe())
+    print(response.describe())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    warehouse = _warehouse_from_csv_dir(Path(args.directory))
+    service = DiscoveryService(_config_from_args(args))
+    report = service.open(WarehouseConnector(warehouse))
+    print(f"indexed {report.columns_indexed} columns from {args.directory}")
+    serve(service, args.host, args.port)
     return 0
 
 
@@ -107,12 +123,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
     from repro.datasets.sigma import JOEY_QUERY, generate_sigma_sample_database
 
     corpus = generate_sigma_sample_database(with_snapshots=False)
-    system = WarpGate()
-    system.index_corpus(corpus.connector())
-    service = LookupService(system)
+    service = DiscoveryService()
+    service.open(corpus.connector())
+    lookup = LookupService(service)
     query = ColumnRef(*JOEY_QUERY)
     print(f"query: {query}")
-    for recommendation in service.recommend(query, k=args.k):
+    for recommendation in lookup.recommend(query, k=args.k):
         print(f"  {recommendation}")
     return 0
 
@@ -192,6 +208,17 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("query", help="query column as table.column")
     add_model_args(query)
     query.set_defaults(handler=cmd_query)
+
+    serve_cmd = subparsers.add_parser(
+        "serve", help="index a CSV directory and serve it over HTTP"
+    )
+    serve_cmd.add_argument("directory", help="directory containing *.csv files")
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks a free port)"
+    )
+    add_model_args(serve_cmd)
+    serve_cmd.set_defaults(handler=cmd_serve)
 
     demo = subparsers.add_parser("demo", help="run the Joey walkthrough")
     demo.add_argument("-k", type=int, default=4)

@@ -80,9 +80,14 @@ class TimingBreakdown:
 
 @dataclass
 class DiscoveryResult:
-    """Outcome of one top-k join-discovery query."""
+    """Outcome of one top-k join-discovery query.
 
-    query: ColumnRef
+    ``query`` is ``None`` for pre-embedded vector searches (e.g.
+    :meth:`repro.core.warpgate.WarpGate.search_vector` without an
+    ``exclude`` ref), where no catalog address exists for the query.
+    """
+
+    query: ColumnRef | None
     candidates: list[JoinCandidate] = field(default_factory=list)
     timing: TimingBreakdown = field(default_factory=TimingBreakdown)
 
@@ -103,7 +108,7 @@ class DiscoveryResult:
 
     def describe(self) -> str:
         """Human-readable multi-line summary (used by examples)."""
-        lines = [f"query: {self.query}"]
+        lines = [f"query: {self.query if self.query is not None else '<vector>'}"]
         for rank, candidate in enumerate(self.candidates, start=1):
             lines.append(f"  {rank:2d}. {candidate}")
         lines.append(

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.candidates import DiscoveryResult
 from repro.core.warpgate import WarpGate
 from repro.errors import InvalidQueryError
 from repro.storage.column import Column
@@ -45,16 +44,30 @@ class LookupRecommendation:
 
 
 class LookupService:
-    """Drives the Add-column-via-lookup flow over an indexed WarpGate."""
+    """Drives the Add-column-via-lookup flow over an indexed WarpGate.
 
-    def __init__(self, warpgate: WarpGate) -> None:
-        self.warpgate = warpgate
+    Accepts either a raw :class:`WarpGate` (wrapped in a
+    :class:`~repro.service.discovery.DiscoveryService` internally, so
+    recommendations run through the same locked read path as every other
+    caller) or an existing service.
+    """
+
+    def __init__(self, warpgate: "WarpGate | DiscoveryService") -> None:
+        # Imported lazily: repro.core.lookup loads before repro.core.warpgate
+        # during package init, and repro.service sits above both.
+        from repro.service.discovery import DiscoveryService
+
+        if isinstance(warpgate, DiscoveryService):
+            self.service = warpgate
+        else:
+            self.service = DiscoveryService(engine=warpgate)
+        self.warpgate = self.service.engine
 
     # -- step 1-2: recommendations ---------------------------------------------------
 
     def recommend(self, query: ColumnRef, k: int = 3) -> list[LookupRecommendation]:
         """Top-k join-path recommendations with candidate-table metadata."""
-        result: DiscoveryResult = self.warpgate.search(query, k)
+        result = self.service.search(query, k)
         recommendations = []
         for rank, candidate in enumerate(result.candidates, start=1):
             table = self.warpgate.connector.warehouse.resolve(candidate.ref)

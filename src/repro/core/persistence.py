@@ -23,16 +23,20 @@ from repro.core.warpgate import WarpGate
 from repro.errors import DiscoveryError
 from repro.storage.schema import ColumnRef
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "load_service"]
 
 _FORMAT_VERSION = 1
 
 
-def save_index(system: WarpGate, path: str | Path) -> Path:
-    """Write an indexed WarpGate's vectors + config to ``path`` (.npz).
+def save_index(system, path: str | Path) -> Path:
+    """Write an indexed system's vectors + config to ``path`` (.npz).
 
-    Raises :class:`DiscoveryError` if the system has not indexed a corpus.
+    Accepts a :class:`WarpGate` or a
+    :class:`~repro.service.discovery.DiscoveryService` (unwrapped to its
+    engine).  Raises :class:`DiscoveryError` if the system has not indexed
+    a corpus.
     """
+    system = getattr(system, "engine", system)
     if not system.is_indexed:
         raise DiscoveryError("cannot save an unindexed WarpGate")
     path = Path(path)
@@ -88,3 +92,14 @@ def load_index(path: str | Path) -> WarpGate:
         system._vectors[ref] = vector
     system._indexed = True
     return system
+
+
+def load_service(path: str | Path, *, connector=None):
+    """Rebuild a :class:`~repro.service.discovery.DiscoveryService` from an artifact.
+
+    The serving-layer counterpart of :func:`load_index`; pass ``connector``
+    to re-enable live-scanning queries and incremental mutation.
+    """
+    from repro.service.discovery import DiscoveryService
+
+    return DiscoveryService.load(path, connector=connector)

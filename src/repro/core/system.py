@@ -20,11 +20,11 @@ from repro.storage.types import DataType
 from repro.warehouse.connector import WarehouseConnector
 from repro.warehouse.sampling import Sampler
 
-__all__ = ["IndexReport", "JoinDiscoverySystem"]
+__all__ = ["ELIGIBLE_TYPES", "IndexReport", "JoinDiscoverySystem"]
 
 # Column types worth indexing for join discovery.  Dates and booleans join
 # trivially (tiny shared domains) and are excluded by every system equally.
-_ELIGIBLE_TYPES = (DataType.STRING, DataType.INTEGER, DataType.FLOAT)
+ELIGIBLE_TYPES = (DataType.STRING, DataType.INTEGER, DataType.FLOAT)
 
 
 @dataclass
@@ -74,7 +74,7 @@ class JoinDiscoverySystem(ABC):
         refs = []
         for database_name, table in connector.warehouse.table_refs():
             for column in table.columns:
-                if column.dtype in _ELIGIBLE_TYPES:
+                if column.dtype in ELIGIBLE_TYPES:
                     refs.append(ColumnRef(database_name, table.name, column.name))
         return refs
 

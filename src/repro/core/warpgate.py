@@ -106,10 +106,7 @@ class WarpGate(JoinDiscoverySystem):
             if not np.any(vector):
                 report.columns_skipped += 1
                 continue
-            self._index.add(ref, vector)
-            self._vectors[ref] = vector
-            if self.cache is not None:
-                self.cache.put(ref, vector)
+            self._store(ref, vector)
             report.columns_indexed += 1
 
         report.wall_seconds = time.perf_counter() - start
@@ -125,6 +122,69 @@ class WarpGate(JoinDiscoverySystem):
         report.notes["backend"] = self.config.search_backend
         self._indexed = True
         return report
+
+    # -- incremental mutation -----------------------------------------------------------
+
+    def _store(self, ref: ColumnRef, vector: np.ndarray) -> None:
+        """Insert or replace one embedding in the index and side tables."""
+        if ref in self._vectors:
+            self._index.update(ref, vector)
+        else:
+            self._index.add(ref, vector)
+        self._vectors[ref] = vector
+        if self.cache is not None:
+            self.cache.put(ref, vector)
+
+    def add_column(self, ref: ColumnRef, *, sampler: Sampler | None = None) -> bool:
+        """Scan, embed, and index one column without a full re-index.
+
+        Replaces the stored vector when ``ref`` is already indexed.
+        Returns ``False`` when the column embeds to a zero vector (skipped,
+        matching :meth:`index_corpus` behaviour).
+        """
+        sampler = sampler if sampler is not None else self._default_sampler()
+        column, _measured, _simulated = self.load_column(ref, sampler)
+        vector = self.encoder.encode(column)
+        if not np.any(vector):
+            return False
+        self._store(ref, vector)
+        self._indexed = True
+        return True
+
+    def remove_column(self, ref: ColumnRef) -> None:
+        """Drop one column from the index; raises ``KeyError`` if absent."""
+        if ref not in self._vectors:
+            raise KeyError(f"{ref} is not indexed")
+        self._index.remove(ref)
+        del self._vectors[ref]
+        if self.cache is not None:
+            self.cache.invalidate(ref)
+        if not self._vectors:
+            # Evicting the last column leaves nothing searchable; keep
+            # is_indexed consistent with what search() can actually do.
+            self._indexed = False
+
+    def rebuild_index(self) -> None:
+        """Eagerly rebuild derived index structures after mutations.
+
+        The pivot and exact backends otherwise rebuild lazily inside
+        ``query``; callers serving concurrent readers use this so the
+        read path never writes shared state.
+        """
+        build = getattr(self._index, "build", None)
+        if build is not None and len(self._index) > 0:
+            build()
+
+    def refresh_column(self, ref: ColumnRef, *, sampler: Sampler | None = None) -> bool:
+        """Re-scan and re-embed one column in place (after data changes).
+
+        A column that now embeds to a zero vector is evicted; returns
+        whether the column is indexed afterwards.
+        """
+        refreshed = self.add_column(ref, sampler=sampler)
+        if not refreshed and ref in self._vectors:
+            self.remove_column(ref)
+        return refreshed
 
     # -- search pipeline ----------------------------------------------------------------
 
@@ -155,25 +215,37 @@ class WarpGate(JoinDiscoverySystem):
     ) -> DiscoveryResult:
         """Top-k semantic join discovery (Figure 2, right half)."""
         self._require_indexed()
-        k = k if k is not None else self.config.default_k
         vector, timing = self.embed_query(query)
         if not np.any(vector):
             return DiscoveryResult(query=query, candidates=[], timing=timing)
-        lookup_start = time.perf_counter()
-        # Over-fetch so the same-table filter cannot starve the result list.
-        raw = self._index.query(
-            vector,
-            k + 16,
-            threshold=self.config.threshold if threshold is None else threshold,
-            exclude=query,
-        )
-        kept = self.drop_same_table(raw, query, k)
-        timing.lookup_s = time.perf_counter() - lookup_start
-        return DiscoveryResult(
-            query=query,
-            candidates=[JoinCandidate(ref, score) for ref, score in kept],
-            timing=timing,
-        )
+        result = self.search_vector(vector, k, threshold=threshold, exclude=query)
+        result.timing = timing + result.timing
+        return result
+
+    def _probe(
+        self,
+        vector: np.ndarray,
+        k: int,
+        floor: float,
+        exclude: ColumnRef | None,
+    ) -> list[tuple[ColumnRef, float]]:
+        """Probe the index, widening the over-fetch until ``k`` survive.
+
+        The same-table filter can starve a fixed over-fetch when the query's
+        own table concentrates many near-duplicate columns, so the fetch
+        doubles until ``k`` results survive filtering or the index is
+        exhausted.
+        """
+        if exclude is None:
+            return self._index.query(vector, k, threshold=floor)
+        total = len(self._vectors)
+        fetch = k + 16
+        while True:
+            raw = self._index.query(vector, fetch, threshold=floor, exclude=exclude)
+            kept = self.drop_same_table(raw, exclude, k)
+            if len(kept) >= k or len(raw) < fetch or fetch >= total:
+                return kept
+            fetch = min(fetch * 2, total)
 
     def search_vector(
         self,
@@ -186,32 +258,27 @@ class WarpGate(JoinDiscoverySystem):
         """Search with a pre-computed embedding (no warehouse access).
 
         This is the query path of a restored index artifact (see
-        :mod:`repro.core.persistence`) and of cached-profile queries.
+        :mod:`repro.core.persistence`) and of cached-profile queries.  The
+        result's ``query`` is ``exclude`` when given, else ``None`` — a
+        vector has no catalog address.
         """
         self._require_indexed()
         k = k if k is not None else self.config.default_k
         timing = TimingBreakdown()
-        if not np.any(vector):
-            return DiscoveryResult(
-                query=exclude if exclude is not None else ColumnRef("", "", ""),
-                candidates=[],
-                timing=timing,
-            )
+        vector = np.asarray(vector, dtype=np.float64)
+        if k <= 0 or not np.any(vector):
+            return DiscoveryResult(query=exclude, candidates=[], timing=timing)
         lookup_start = time.perf_counter()
-        raw = self._index.query(
-            np.asarray(vector, dtype=np.float64),
-            k + 16,
-            threshold=self.config.threshold if threshold is None else threshold,
-            exclude=exclude,
+        kept = self._probe(
+            vector,
+            k,
+            self.config.threshold if threshold is None else threshold,
+            exclude,
         )
-        if exclude is not None:
-            raw = self.drop_same_table(raw, exclude, k)
-        else:
-            raw = raw[:k]
         timing.lookup_s = time.perf_counter() - lookup_start
         return DiscoveryResult(
-            query=exclude if exclude is not None else ColumnRef("", "", ""),
-            candidates=[JoinCandidate(ref, score) for ref, score in raw],
+            query=exclude,
+            candidates=[JoinCandidate(ref, score) for ref, score in kept],
             timing=timing,
         )
 
@@ -238,6 +305,15 @@ class WarpGate(JoinDiscoverySystem):
     def indexed_count(self) -> int:
         """Number of columns in the index."""
         return len(self._vectors)
+
+    @property
+    def indexed_refs(self) -> tuple[ColumnRef, ...]:
+        """Refs of every indexed column, in insertion order."""
+        return tuple(self._vectors)
+
+    def is_column_indexed(self, ref: ColumnRef) -> bool:
+        """True when ``ref`` currently has an indexed embedding (O(1))."""
+        return ref in self._vectors
 
     def explain(self, query: ColumnRef, candidate: ColumnRef) -> dict[str, object]:
         """Why a candidate matched: similarity plus LSH collision odds."""

@@ -22,30 +22,71 @@ class ExactCosineIndex:
         self.dim = dim
         self._keys: list[object] = []
         self._rows: list[np.ndarray] = []
+        self._positions: dict[object, int] = {}
         self._matrix: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self._keys)
 
+    def __contains__(self, key: object) -> bool:
+        return key in self._positions
+
     def __repr__(self) -> str:
         return f"ExactCosineIndex(n={len(self)}, dim={self.dim})"
 
     def add(self, key: object, vector: np.ndarray) -> None:
-        """Insert one named vector (unit-normalized internally)."""
+        """Insert one named vector (unit-normalized internally).
+
+        Keys are unique: re-adding a live key raises ``ValueError`` (use
+        :meth:`update` to replace its vector).
+        """
         vector = np.asarray(vector, dtype=np.float64)
         if vector.shape != (self.dim,):
             raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
+        if key in self._positions:
+            raise ValueError(f"key {key!r} already indexed; use update()")
         norm = np.linalg.norm(vector)
         if norm == 0:
             raise ValueError(f"cannot index zero vector under key {key!r}")
+        self._positions[key] = len(self._keys)
         self._keys.append(key)
         self._rows.append(vector / norm)
         self._matrix = None  # invalidate the cached stack
+
+    def remove(self, key: object) -> None:
+        """Delete one key (swap-with-last); raises ``KeyError`` if absent."""
+        position = self._positions.pop(key, None)
+        if position is None:
+            raise KeyError(f"key {key!r} is not indexed")
+        last = len(self._keys) - 1
+        if position != last:
+            moved_key = self._keys[last]
+            self._keys[position] = moved_key
+            self._rows[position] = self._rows[last]
+            self._positions[moved_key] = position
+        self._keys.pop()
+        self._rows.pop()
+        self._matrix = None
+
+    def update(self, key: object, vector: np.ndarray) -> None:
+        """Replace (or insert) the vector stored under ``key``."""
+        if key in self._positions:
+            self.remove(key)
+        self.add(key, vector)
 
     def _materialize(self) -> np.ndarray:
         if self._matrix is None:
             self._matrix = np.stack(self._rows)
         return self._matrix
+
+    def build(self) -> None:
+        """Eagerly materialize the cached matrix (idempotent).
+
+        Queries materialize lazily on first use; the serving layer calls
+        this after mutations so the shared read path never writes state.
+        """
+        if self._rows:
+            self._materialize()
 
     def query(
         self,

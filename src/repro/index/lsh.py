@@ -56,6 +56,8 @@ class SimHashLSHIndex:
         self._family = SimHashFamily(dim, n_bits, seed_key=seed_key)
         self._keys: list[object] = []
         self._vectors: list[np.ndarray] = []
+        self._signatures: list[np.ndarray] = []
+        self._positions: dict[object, int] = {}
         self._buckets: list[dict[bytes, list[int]]] = [
             {} for _ in range(n_bands)
         ]
@@ -63,6 +65,9 @@ class SimHashLSHIndex:
 
     def __len__(self) -> int:
         return len(self._keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._positions
 
     def __repr__(self) -> str:
         return (
@@ -81,15 +86,29 @@ class SimHashLSHIndex:
             for band in range(self.n_bands)
         ]
 
+    def _insert_buckets(self, signature: np.ndarray, index: int) -> None:
+        for band, band_key in enumerate(self._band_keys(signature)):
+            self._buckets[band].setdefault(band_key, []).append(index)
+
+    def _evict_buckets(self, signature: np.ndarray, index: int) -> None:
+        for band, band_key in enumerate(self._band_keys(signature)):
+            bucket = self._buckets[band][band_key]
+            bucket.remove(index)
+            if not bucket:
+                del self._buckets[band][band_key]
+
     def add(self, key: object, vector: np.ndarray) -> None:
         """Insert one named vector.
 
         Zero vectors are rejected: they carry no direction, so cosine
-        against them is undefined.
+        against them is undefined.  Keys are unique: re-adding a live key
+        raises ``ValueError`` (use :meth:`update` to replace its vector).
         """
         vector = np.asarray(vector, dtype=np.float64)
         if vector.shape != (self.dim,):
             raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
+        if key in self._positions:
+            raise ValueError(f"key {key!r} already indexed; use update()")
         norm = np.linalg.norm(vector)
         if norm == 0:
             raise ValueError(f"cannot index zero vector under key {key!r}")
@@ -98,13 +117,44 @@ class SimHashLSHIndex:
         self._keys.append(key)
         self._vectors.append(unit)
         signature = self._family.signature(unit)
-        for band, band_key in enumerate(self._band_keys(signature)):
-            self._buckets[band].setdefault(band_key, []).append(index)
+        self._signatures.append(signature)
+        self._positions[key] = index
+        self._insert_buckets(signature, index)
 
     def add_many(self, items: list[tuple[object, np.ndarray]]) -> None:
         """Insert many named vectors."""
         for key, vector in items:
             self.add(key, vector)
+
+    def remove(self, key: object) -> None:
+        """Delete one key in O(signature) time (swap-with-last compaction).
+
+        The last entry is moved into the vacated slot so bucket postings
+        stay dense; raises ``KeyError`` when the key is not indexed.
+        """
+        position = self._positions.pop(key, None)
+        if position is None:
+            raise KeyError(f"key {key!r} is not indexed")
+        last = len(self._keys) - 1
+        self._evict_buckets(self._signatures[position], position)
+        if position != last:
+            moved_key = self._keys[last]
+            moved_signature = self._signatures[last]
+            self._evict_buckets(moved_signature, last)
+            self._keys[position] = moved_key
+            self._vectors[position] = self._vectors[last]
+            self._signatures[position] = moved_signature
+            self._positions[moved_key] = position
+            self._insert_buckets(moved_signature, position)
+        self._keys.pop()
+        self._vectors.pop()
+        self._signatures.pop()
+
+    def update(self, key: object, vector: np.ndarray) -> None:
+        """Replace (or insert) the vector stored under ``key``."""
+        if key in self._positions:
+            self.remove(key)
+        self.add(key, vector)
 
     # -- search -------------------------------------------------------------------
 
@@ -159,7 +209,11 @@ class SimHashLSHIndex:
 
     @property
     def last_candidate_count(self) -> int:
-        """Candidate-set size of the most recent query (probe selectivity)."""
+        """Candidate-set size of the most recent query (probe selectivity).
+
+        Diagnostics only and not synchronized: under concurrent queries it
+        reflects whichever query wrote last.
+        """
         return self._last_candidate_count
 
     def expected_candidate_rate(self, cosine: float) -> float:

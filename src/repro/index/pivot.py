@@ -50,6 +50,7 @@ class PivotFilterIndex:
         self.threshold = threshold
         self._keys: list[object] = []
         self._rows: list[np.ndarray] = []
+        self._positions: dict[object, int] = {}
         self._matrix: np.ndarray | None = None
         self._pivots: np.ndarray | None = None
         self._pivot_distances: np.ndarray | None = None
@@ -58,42 +59,79 @@ class PivotFilterIndex:
     def __len__(self) -> int:
         return len(self._keys)
 
+    def __contains__(self, key: object) -> bool:
+        return key in self._positions
+
     def add(self, key: object, vector: np.ndarray) -> None:
-        """Insert one named vector (unit-normalized internally)."""
+        """Insert one named vector (unit-normalized internally).
+
+        Keys are unique: re-adding a live key raises ``ValueError`` (use
+        :meth:`update` to replace its vector).
+        """
         vector = np.asarray(vector, dtype=np.float64)
         if vector.shape != (self.dim,):
             raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
+        if key in self._positions:
+            raise ValueError(f"key {key!r} already indexed; use update()")
         norm = np.linalg.norm(vector)
         if norm == 0:
             raise ValueError(f"cannot index zero vector under key {key!r}")
+        self._positions[key] = len(self._keys)
         self._keys.append(key)
         self._rows.append(vector / norm)
         self._pivots = None  # force rebuild
+
+    def remove(self, key: object) -> None:
+        """Delete one key (swap-with-last); raises ``KeyError`` if absent.
+
+        Pivots and the distance table are rebuilt lazily on the next query
+        (or eagerly via :meth:`build`).
+        """
+        position = self._positions.pop(key, None)
+        if position is None:
+            raise KeyError(f"key {key!r} is not indexed")
+        last = len(self._keys) - 1
+        if position != last:
+            moved_key = self._keys[last]
+            self._keys[position] = moved_key
+            self._rows[position] = self._rows[last]
+            self._positions[moved_key] = position
+        self._keys.pop()
+        self._rows.pop()
+        self._pivots = None  # force rebuild
+
+    def update(self, key: object, vector: np.ndarray) -> None:
+        """Replace (or insert) the vector stored under ``key``."""
+        if key in self._positions:
+            self.remove(key)
+        self.add(key, vector)
 
     def build(self) -> None:
         """Choose pivots (greedy max-min) and precompute pivot distances."""
         if not self._rows:
             raise EmptyIndexError("cannot build an empty PivotFilterIndex")
-        self._matrix = np.stack(self._rows)
+        matrix = np.stack(self._rows)
         count = len(self._rows)
         n_pivots = min(self.n_pivots, count)
         # Greedy max-min (farthest-point) pivot selection, seeded at index 0.
         chosen = [0]
-        distances = np.linalg.norm(self._matrix - self._matrix[0], axis=1)
+        distances = np.linalg.norm(matrix - matrix[0], axis=1)
         while len(chosen) < n_pivots:
             farthest = int(np.argmax(distances))
             if distances[farthest] == 0.0:
                 break
             chosen.append(farthest)
-            new_distances = np.linalg.norm(
-                self._matrix - self._matrix[farthest], axis=1
-            )
+            new_distances = np.linalg.norm(matrix - matrix[farthest], axis=1)
             distances = np.minimum(distances, new_distances)
-        self._pivots = self._matrix[chosen]
+        pivots = matrix[chosen]
+        self._matrix = matrix
         # (n_points, n_pivots) distance table.
         self._pivot_distances = np.linalg.norm(
-            self._matrix[:, None, :] - self._pivots[None, :, :], axis=2
+            matrix[:, None, :] - pivots[None, :, :], axis=2
         )
+        # Assigned last: _ensure_built keys off _pivots, so a build must be
+        # fully published before any reader can see it as complete.
+        self._pivots = pivots
 
     def _ensure_built(self) -> None:
         if self._pivots is None:
@@ -145,7 +183,11 @@ class PivotFilterIndex:
 
     @property
     def prune_rate(self) -> float:
-        """Fraction of stored vectors skipped by the last query's filter."""
+        """Fraction of stored vectors skipped by the last query's filter.
+
+        Diagnostics only and not synchronized: under concurrent queries it
+        reflects whichever query wrote last.
+        """
         if not self._keys:
             return 0.0
         return 1.0 - self.last_verified_count / len(self._keys)

@@ -1,0 +1,376 @@
+"""`DiscoveryService`: the session-based serving facade over WarpGate.
+
+The library core (:class:`~repro.core.warpgate.WarpGate`) is a one-shot
+pipeline — index a corpus, then query a frozen index.  The deployed system
+the paper describes sits behind Sigma Workbooks and serves a *continuously
+evolving* warehouse, so this facade adds what serving requires:
+
+* **typed boundary** — :class:`SearchRequest` in,
+  :class:`SearchResponse` / :class:`IndexStats` out,
+  :class:`ServiceError` envelopes on failure;
+* **incremental index mutation** — :meth:`add_table`, :meth:`drop_table`,
+  and :meth:`refresh_column` update the live index in place, never
+  re-indexing the corpus;
+* **batch search** — :meth:`search_many` amortizes query-column scans
+  (duplicate query refs are embedded once) and lock traffic across a
+  request batch, returning results identical to per-query :meth:`search`;
+* **a thread-safe read path** — a writer-preferring RW lock lets any
+  number of searches run concurrently while mutations are exclusive.
+
+The facade is deliberately thin: every search still runs WarpGate's
+embed → probe → rank pipeline, so library results and service results
+never diverge.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.candidates import DiscoveryResult
+from repro.core.config import WarpGateConfig
+from repro.core.profiles import EmbeddingCache
+from repro.core.system import ELIGIBLE_TYPES, IndexReport
+from repro.core.warpgate import WarpGate
+from repro.errors import (
+    ColumnNotFoundError,
+    DatabaseNotFoundError,
+    EmptyIndexError,
+    NotIndexedError,
+    TableNotFoundError,
+)
+from repro.service.rwlock import ReadWriteLock
+from repro.service.types import IndexStats, SearchRequest, SearchResponse, ServiceError
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+from repro.warehouse.connector import WarehouseConnector
+from repro.warehouse.sampling import Sampler
+
+__all__ = ["DiscoveryService"]
+
+
+class DiscoveryService:
+    """Thread-safe, incrementally-updatable join-discovery service.
+
+    Parameters
+    ----------
+    config:
+        Forwarded to the wrapped :class:`WarpGate` (ignored when ``engine``
+        is given).
+    cache:
+        Optional shared :class:`EmbeddingCache`, forwarded to the engine.
+    engine:
+        An existing :class:`WarpGate` to serve (e.g. restored via
+        :func:`repro.core.persistence.load_index`); mutually exclusive
+        with ``config``.
+
+    Usage::
+
+        service = DiscoveryService()
+        service.open(WarehouseConnector(warehouse))
+        response = service.search("sales.orders.customer_name", k=5)
+        service.add_table("sales", new_table)       # no re-index
+        service.drop_table("sales", "orders_old")   # no re-index
+    """
+
+    def __init__(
+        self,
+        config: WarpGateConfig | None = None,
+        *,
+        cache: EmbeddingCache | None = None,
+        engine: WarpGate | None = None,
+    ) -> None:
+        if engine is not None and (config is not None or cache is not None):
+            raise ValueError("pass either engine or config/cache, not both")
+        self.engine = engine if engine is not None else WarpGate(config, cache=cache)
+        self._lock = ReadWriteLock()
+        # Warehouse scans + embedding mutate connector/cache counters that
+        # are not thread-safe, so every scan the service issues (query
+        # embedding and mutation loading alike) is serialized here.  Index
+        # probes stay concurrent under the RW lock's shared side.
+        self._scan_lock = threading.Lock()
+        # Traffic counters are written by concurrent readers (searches run
+        # under the *shared* lock), so they get their own mutex.
+        self._counter_lock = threading.Lock()
+        self._searches = 0
+        self._mutations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscoveryService(backend={self.engine.config.search_backend!r}, "
+            f"indexed_columns={self.engine.indexed_count})"
+        )
+
+    # -- error translation ---------------------------------------------------------
+
+    @contextmanager
+    def _boundary(self):
+        """Translate library errors into typed :class:`ServiceError` envelopes."""
+        try:
+            yield
+        except ServiceError:
+            raise
+        except (DatabaseNotFoundError, TableNotFoundError, ColumnNotFoundError) as error:
+            raise ServiceError.not_found(str(error)) from error
+        except (NotIndexedError, EmptyIndexError) as error:
+            raise ServiceError.not_indexed(str(error)) from error
+
+    def _record_mutation(self) -> None:
+        """Bump the mutation counter and refresh derived structures."""
+        with self._counter_lock:
+            self._mutations += 1
+        self.engine.rebuild_index()
+
+    def _record_searches(self, count: int) -> None:
+        with self._counter_lock:
+            self._searches += count
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def open(
+        self, connector: WarehouseConnector, *, sampler: Sampler | None = None
+    ) -> IndexReport:
+        """Bulk-index every eligible column reachable via ``connector``.
+
+        One-shot: re-opening an already-indexed service would merge two
+        corpora into one index (leaving stale, unresolvable columns
+        searchable), so it raises — build a fresh service instead, or
+        evolve the current corpus through :meth:`add_table` /
+        :meth:`drop_table`.
+        """
+        with self._lock.write(), self._scan_lock, self._boundary():
+            if self.engine.is_indexed:
+                raise ServiceError.bad_request(
+                    "service is already open; create a new DiscoveryService "
+                    "to index a different corpus"
+                )
+            report = self.engine.index_corpus(connector, sampler=sampler)
+            self.engine.rebuild_index()
+            return report
+
+    def attach_connector(self, connector: WarehouseConnector) -> None:
+        """Attach a live connector (e.g. after restoring a saved artifact)."""
+        with self._lock.write():
+            self.engine.attach_connector(connector)
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the index artifact (see :mod:`repro.core.persistence`)."""
+        from repro.core.persistence import save_index
+
+        with self._lock.read():
+            return save_index(self.engine, path)
+
+    @classmethod
+    def load(
+        cls, path: str | Path, *, connector: WarehouseConnector | None = None
+    ) -> "DiscoveryService":
+        """Restore a service from a saved artifact, optionally re-attached."""
+        from repro.core.persistence import load_index
+
+        service = cls(engine=load_index(path))
+        if connector is not None:
+            service.engine.attach_connector(connector)
+        service.engine.rebuild_index()
+        return service
+
+    # -- incremental mutation ------------------------------------------------------
+
+    def _table_refs(self, database: str, table_name: str) -> list[ColumnRef]:
+        """Indexed refs belonging to one table."""
+        return [
+            ref
+            for ref in self.engine.indexed_refs
+            if ref.table_key == (database, table_name)
+        ]
+
+    def add_table(
+        self, database: str, table: Table, *, sampler: Sampler | None = None
+    ) -> IndexStats:
+        """Register ``table`` and index its eligible columns incrementally.
+
+        Replacing an existing table of the same name re-embeds its columns
+        and evicts any indexed column the new table no longer carries.
+        The full corpus is never re-indexed.
+        """
+        with self._lock.write(), self._scan_lock, self._boundary():
+            warehouse = self.engine.connector.warehouse
+            before = set(self._table_refs(database, table.name))
+            warehouse.add_table(database, table)
+            kept: set[ColumnRef] = set()
+            for column in table.columns:
+                if column.dtype in ELIGIBLE_TYPES:
+                    ref = ColumnRef(database, table.name, column.name)
+                    if self.engine.add_column(ref, sampler=sampler):
+                        kept.add(ref)
+            # Evict everything previously indexed for this table that did
+            # not survive re-indexing: columns dropped by name, columns
+            # whose dtype became ineligible, and columns that now embed to
+            # a zero vector.
+            for ref in before - kept:
+                self.engine.remove_column(ref)
+            self._record_mutation()
+            return self._stats_locked()
+
+    def drop_table(self, database: str, table_name: str) -> IndexStats:
+        """Evict a table's columns from the index and drop it from the catalog."""
+        with self._lock.write(), self._scan_lock, self._boundary():
+            warehouse = self.engine.connector.warehouse
+            warehouse.drop_table(database, table_name)
+            for ref in self._table_refs(database, table_name):
+                self.engine.remove_column(ref)
+            self._record_mutation()
+            return self._stats_locked()
+
+    def refresh_column(
+        self, ref: ColumnRef | str, *, sampler: Sampler | None = None
+    ) -> IndexStats:
+        """Re-scan and re-embed one *indexed* column in place.
+
+        Refreshing a ref that is not in the index is ``not_found`` — a
+        refresh must never turn into an insert of a column the indexing
+        eligibility rules excluded (use :meth:`add_table` to add data).
+        """
+        request_ref = ref if isinstance(ref, ColumnRef) else ColumnRef.parse(ref)
+        with self._lock.write(), self._scan_lock, self._boundary():
+            request_ref = self._resolve_ref(request_ref)
+            if not self.engine.is_column_indexed(request_ref):
+                raise ServiceError.not_found(f"{request_ref} is not indexed")
+            self.engine.refresh_column(request_ref, sampler=sampler)
+            self._record_mutation()
+            return self._stats_locked()
+
+    # -- search -------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(request: SearchRequest | ColumnRef | str, k, threshold) -> SearchRequest:
+        if isinstance(request, SearchRequest):
+            return request
+        return SearchRequest(query=request, k=k, threshold=threshold)
+
+    def _resolve_ref(self, ref: ColumnRef) -> ColumnRef:
+        """Qualify a 2-part ``table.column`` ref when it is unambiguous."""
+        if ref.database:
+            return ref
+        connector = self.engine._connector
+        names = connector.warehouse.database_names if connector is not None else ()
+        if len(names) == 1:
+            return ColumnRef(names[0], ref.table, ref.column)
+        raise ServiceError.bad_request(
+            f"query {ref} omits the database and the warehouse has "
+            f"{len(names)} database(s); use db.table.column"
+        )
+
+    def _embed_then_probe(self, query: ColumnRef, request: SearchRequest):
+        """The locked embed → probe pipeline shared by search paths.
+
+        Embedding scans the warehouse, so it runs under the scan mutex;
+        the index probe runs under the shared side of the RW lock.  The
+        two sections are sequential, never nested, so a writer holding
+        write+scan cannot deadlock with a reader.
+        """
+        with self._scan_lock:
+            vector, timing = self.engine.embed_query(query)
+        if not np.any(vector):
+            return DiscoveryResult(query=query, candidates=[], timing=timing)
+        with self._lock.read():
+            result = self.engine.search_vector(
+                vector, request.k, threshold=request.threshold, exclude=query
+            )
+        result.timing = timing + result.timing
+        return result
+
+    def search(
+        self,
+        request: SearchRequest | ColumnRef | str,
+        k: int | None = None,
+        *,
+        threshold: float | None = None,
+    ) -> SearchResponse:
+        """Top-k join discovery for one request.
+
+        Runs the engine's exact search pipeline (embed → probe → rank);
+        probes from concurrent callers share the read lock.
+        """
+        request = self._coerce(request, k, threshold)
+        with self._boundary():
+            result = self._embed_then_probe(self._resolve_ref(request.query), request)
+        self._record_searches(1)
+        return SearchResponse.from_result(result)
+
+    def search_many(
+        self, requests: list[SearchRequest | ColumnRef | str]
+    ) -> list[SearchResponse]:
+        """Batch search: one lock round and one embedding per unique query.
+
+        Results are identical to issuing each request through
+        :meth:`search` — both paths run embed → probe through the same
+        engine code — but duplicate query refs in the batch pay the
+        warehouse scan and embedding only once.
+
+        The batch is all-or-nothing: if any request's query cannot be
+        resolved or scanned, the whole call raises one
+        :class:`ServiceError` and no partial results are returned.
+        """
+        coerced = [self._coerce(request, None, None) for request in requests]
+        responses: list[SearchResponse] = []
+        with self._boundary():
+            resolved = [self._resolve_ref(request.query) for request in coerced]
+            embedded: dict[ColumnRef, tuple] = {}
+            with self._scan_lock:
+                for query in resolved:
+                    if query not in embedded:
+                        embedded[query] = self.engine.embed_query(query)
+            with self._lock.read():
+                for request, query in zip(coerced, resolved):
+                    vector, timing = embedded[query]
+                    if not np.any(vector):
+                        result = DiscoveryResult(
+                            query=query, candidates=[], timing=timing
+                        )
+                    else:
+                        result = self.engine.search_vector(
+                            vector,
+                            request.k,
+                            threshold=request.threshold,
+                            exclude=query,
+                        )
+                        result.timing = timing + result.timing
+                    responses.append(SearchResponse.from_result(result))
+        self._record_searches(len(coerced))
+        return responses
+
+    # -- introspection -------------------------------------------------------------
+
+    def _stats_locked(self) -> IndexStats:
+        """Snapshot stats; caller must hold the lock (read or write)."""
+        tables = databases = 0
+        if self.engine._connector is not None:
+            warehouse = self.engine._connector.warehouse
+            tables = warehouse.table_count
+            databases = len(warehouse.database_names)
+        config = self.engine.config
+        with self._counter_lock:
+            searches, mutations = self._searches, self._mutations
+        return IndexStats(
+            backend=config.search_backend,
+            dim=config.dim,
+            threshold=config.threshold,
+            indexed_columns=self.engine.indexed_count,
+            tables=tables,
+            databases=databases,
+            searches=searches,
+            mutations=mutations,
+        )
+
+    def stats(self) -> IndexStats:
+        """Current :class:`IndexStats` snapshot (shared read lock)."""
+        with self._lock.read():
+            return self._stats_locked()
+
+    @property
+    def is_indexed(self) -> bool:
+        """True once the service holds a searchable index."""
+        return self.engine.is_indexed

@@ -1,0 +1,75 @@
+"""A writer-preferring read-write lock for the serving layer.
+
+Searches only read index state and may run concurrently; incremental
+mutations (add/drop/refresh) rewrite bucket postings and cached matrices
+and must be exclusive.  A plain ``threading.Lock`` would serialize the hot
+read path, so the service uses the classic condition-variable RW lock:
+any number of readers *or* one writer, with waiting writers blocking new
+readers so a steady query stream cannot starve mutations.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Many concurrent readers, one exclusive writer, writer preference."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter as reader."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Leave the reader section, waking writers when the last one exits."""
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until the lock is completely free, then enter as writer."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Leave the writer section and wake all waiters."""
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read(self):
+        """``with lock.read():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """``with lock.write():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,261 @@
+"""JSON-over-HTTP serving layer: ``python -m repro serve``.
+
+A dependency-free (stdlib ``http.server``) front end for
+:class:`~repro.service.discovery.DiscoveryService`.  Threaded: each
+request runs on its own thread, and the service's RW lock keeps
+concurrent searches and index mutations safe.
+
+Routes
+------
+``GET  /healthz``        liveness + indexed column count
+``GET  /stats``          :class:`IndexStats` snapshot
+``POST /search``         one :class:`SearchRequest` body
+``POST /search/batch``   ``{"requests": [...]}``, amortized
+``POST /index/add``      ``{"database": ..., "table": {"name": ..., "columns": [...]}}``
+``POST /index/drop``     ``{"database": ..., "table": ...}``
+``POST /index/refresh``  ``{"ref": "db.table.column"}``
+
+Failures return the :class:`ServiceError` envelope
+``{"error": {"code": ..., "message": ...}}`` with a matching HTTP status.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError
+from repro.service.discovery import DiscoveryService
+from repro.service.types import SearchRequest, ServiceError
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+__all__ = ["DiscoveryHTTPServer", "make_server", "serve"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+# A batch embeds under the scan mutex and probes under the shared read
+# lock; capping its size bounds how long one request can occupy both.
+_MAX_BATCH_REQUESTS = 256
+
+
+def _table_from_payload(payload: object) -> Table:
+    """Build a :class:`Table` from the ``/index/add`` wire format."""
+    if not isinstance(payload, dict):
+        raise ServiceError.bad_request("'table' must be a JSON object")
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise ServiceError.bad_request("'table.name' must be a non-empty string")
+    columns_payload = payload.get("columns")
+    if not isinstance(columns_payload, list) or not columns_payload:
+        raise ServiceError.bad_request("'table.columns' must be a non-empty list")
+    columns = []
+    for entry in columns_payload:
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            raise ServiceError.bad_request(
+                "each column must be {'name': str, 'values': list}"
+            )
+        values = entry.get("values")
+        if not isinstance(values, list):
+            raise ServiceError.bad_request(
+                f"column {entry['name']!r} needs a 'values' list"
+            )
+        columns.append(Column(entry["name"], values))
+    try:
+        return Table(name, columns)
+    except ReproError as error:
+        raise ServiceError.bad_request(str(error)) from error
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`DiscoveryService`."""
+
+    server: "DiscoveryHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_envelope(self, error: ServiceError) -> None:
+        # An error can be sent before the request body was read (e.g. an
+        # unknown route); under keep-alive the unread bytes would then be
+        # parsed as the next request line, so drop the connection.
+        self.close_connection = True
+        self._send_json(error.status, error.to_dict())
+
+    def _read_json(self) -> dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError as error:
+            raise ServiceError.bad_request(
+                "Content-Length header must be an integer"
+            ) from error
+        if length <= 0:
+            raise ServiceError.bad_request("request body required")
+        if length > _MAX_BODY_BYTES:
+            raise ServiceError.bad_request(
+                f"request body exceeds {_MAX_BODY_BYTES} bytes"
+            )
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError.bad_request(f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise ServiceError.bad_request("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except ServiceError as error:
+            self._send_error_envelope(error)
+        except ReproError as error:
+            self._send_error_envelope(ServiceError.bad_request(str(error)))
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error_envelope(ServiceError.internal(str(error)))
+        else:
+            self._send_json(status, payload)
+
+    # -- routes -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        routes = {
+            "/healthz": self._route_healthz,
+            "/stats": self._route_stats,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_error_envelope(
+                ServiceError.not_found(f"no route GET {self.path}")
+            )
+            return
+        self._dispatch(handler)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        routes = {
+            "/search": self._route_search,
+            "/search/batch": self._route_search_batch,
+            "/index/add": self._route_index_add,
+            "/index/drop": self._route_index_drop,
+            "/index/refresh": self._route_index_refresh,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_error_envelope(
+                ServiceError.not_found(f"no route POST {self.path}")
+            )
+            return
+        self._dispatch(handler)
+
+    def _route_healthz(self) -> tuple[int, dict[str, object]]:
+        service = self.server.service
+        return 200, {
+            "status": "ok",
+            "indexed": service.is_indexed,
+            "indexed_columns": service.engine.indexed_count,
+        }
+
+    def _route_stats(self) -> tuple[int, dict[str, object]]:
+        return 200, self.server.service.stats().to_dict()
+
+    def _route_search(self) -> tuple[int, dict[str, object]]:
+        request = SearchRequest.from_dict(self._read_json())
+        response = self.server.service.search(request)
+        return 200, response.to_dict()
+
+    def _route_search_batch(self) -> tuple[int, dict[str, object]]:
+        payload = self._read_json()
+        requests_payload = payload.get("requests")
+        if not isinstance(requests_payload, list):
+            raise ServiceError.bad_request("'requests' must be a list")
+        if len(requests_payload) > _MAX_BATCH_REQUESTS:
+            raise ServiceError.bad_request(
+                f"batch exceeds {_MAX_BATCH_REQUESTS} requests; split it"
+            )
+        requests = [SearchRequest.from_dict(entry) for entry in requests_payload]
+        responses = self.server.service.search_many(requests)
+        return 200, {"responses": [response.to_dict() for response in responses]}
+
+    def _route_index_add(self) -> tuple[int, dict[str, object]]:
+        payload = self._read_json()
+        database = payload.get("database")
+        if not isinstance(database, str) or not database:
+            raise ServiceError.bad_request("'database' must be a non-empty string")
+        table = _table_from_payload(payload.get("table"))
+        stats = self.server.service.add_table(database, table)
+        return 200, stats.to_dict()
+
+    def _route_index_drop(self) -> tuple[int, dict[str, object]]:
+        payload = self._read_json()
+        database = payload.get("database")
+        table = payload.get("table")
+        if not isinstance(database, str) or not isinstance(table, str):
+            raise ServiceError.bad_request("'database' and 'table' must be strings")
+        stats = self.server.service.drop_table(database, table)
+        return 200, stats.to_dict()
+
+    def _route_index_refresh(self) -> tuple[int, dict[str, object]]:
+        payload = self._read_json()
+        ref = payload.get("ref")
+        if not isinstance(ref, str) or not ref:
+            raise ServiceError.bad_request("'ref' must be a 'db.table.column' string")
+        stats = self.server.service.refresh_column(ref)
+        return 200, stats.to_dict()
+
+
+class DiscoveryHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`DiscoveryService`."""
+
+    daemon_threads = True
+    # The socketserver default backlog (5) drops connections under bursts
+    # of concurrent clients; the service is built for exactly that load.
+    request_queue_size = 64
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: DiscoveryService,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: DiscoveryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = False,
+) -> DiscoveryHTTPServer:
+    """Bind (but do not start) a server; ``port=0`` picks a free port."""
+    return DiscoveryHTTPServer((host, port), service, verbose=verbose)
+
+
+def serve(
+    service: DiscoveryService, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Serve forever (blocking); Ctrl-C shuts down cleanly."""
+    server = make_server(service, host, port, verbose=True)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving join discovery on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

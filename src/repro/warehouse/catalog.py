@@ -40,6 +40,13 @@ class Database:
         """Register (or replace) a table."""
         self._tables[table.name] = table
 
+    def drop_table(self, name: str) -> Table:
+        """Remove and return a table; raises :class:`TableNotFoundError`."""
+        try:
+            return self._tables.pop(name)
+        except KeyError:
+            raise TableNotFoundError(name, self.name) from None
+
     def table(self, name: str) -> Table:
         """Look up a table; raises :class:`TableNotFoundError` if absent."""
         try:
@@ -121,6 +128,10 @@ class Warehouse:
     def add_table(self, database_name: str, table: Table) -> None:
         """Convenience: create the database if needed and add the table."""
         self.create_database(database_name).add_table(table)
+
+    def drop_table(self, database_name: str, table_name: str) -> Table:
+        """Remove and return a table; raises if the database or table is absent."""
+        return self.database(database_name).drop_table(table_name)
 
     def resolve(self, ref: ColumnRef) -> Table:
         """Return the table owning ``ref`` (metadata-level resolution)."""

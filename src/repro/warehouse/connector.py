@@ -18,6 +18,7 @@ removes that bottleneck.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ScanBudgetExceededError
@@ -39,6 +40,10 @@ __all__ = ["WarehouseConnector", "ScanReceipt", "ScanStats"]
 # linearly with table size.
 _DEFAULT_BASE_LATENCY_S = 0.008
 _DEFAULT_BANDWIDTH_BYTES_PER_S = 200 * 1024**2
+
+# Per-scan receipts kept for inspection; older ones are discarded so a
+# long-lived serving process cannot accumulate them without bound.
+_MAX_RETAINED_RECEIPTS = 10_000
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,7 +109,10 @@ class WarehouseConnector:
         self.base_latency_s = base_latency_s
         self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
         self.stats = ScanStats()
-        self._receipts: list[ScanReceipt] = []
+        # Bounded: a long-lived serving process scans on every cache-miss
+        # query, and an unbounded audit trail would grow until OOM.
+        # Aggregates in ``stats``/``meter`` still cover the full lifetime.
+        self._receipts: deque[ScanReceipt] = deque(maxlen=_MAX_RETAINED_RECEIPTS)
 
     # -- internal ----------------------------------------------------------------
 
@@ -185,7 +193,7 @@ class WarehouseConnector:
 
     @property
     def receipts(self) -> tuple[ScanReceipt, ...]:
-        """All receipts issued by this connector, in scan order."""
+        """The most recent receipts (up to 10k), in scan order."""
         return tuple(self._receipts)
 
     def reset_metering(self) -> None:

@@ -1,0 +1,144 @@
+"""Incremental mutation (remove/update) across all three index backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.exact import ExactCosineIndex
+from repro.index.lsh import SimHashLSHIndex
+from repro.index.pivot import PivotFilterIndex
+
+DIM = 16
+
+
+def make_index(backend: str):
+    if backend == "lsh":
+        return SimHashLSHIndex(DIM, n_bits=64, n_bands=16, threshold=-1.0)
+    if backend == "exact":
+        return ExactCosineIndex(DIM)
+    return PivotFilterIndex(DIM, threshold=-1.0)
+
+
+def unit(seed: int) -> np.ndarray:
+    vector = np.random.default_rng(seed).normal(size=DIM)
+    return vector / np.linalg.norm(vector)
+
+
+BACKENDS = ["lsh", "exact", "pivot"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRemove:
+    def test_removed_key_gone_from_results(self, backend):
+        index = make_index(backend)
+        for i in range(8):
+            index.add(f"k{i}", unit(i))
+        index.remove("k3")
+        assert len(index) == 7
+        assert "k3" not in index
+        results = index.query(unit(3), 8, threshold=-1.0)
+        assert all(key != "k3" for key, _ in results)
+
+    def test_remove_missing_raises(self, backend):
+        index = make_index(backend)
+        index.add("a", unit(1))
+        with pytest.raises(KeyError):
+            index.remove("ghost")
+
+    def test_remove_middle_preserves_other_results(self, backend):
+        """Swap-with-last compaction must not corrupt surviving entries."""
+        index = make_index(backend)
+        fresh = make_index(backend)
+        for i in range(12):
+            index.add(f"k{i}", unit(i))
+        index.remove("k4")  # middle: exercises the swap path
+        index.remove("k11")  # last: exercises the trivial path
+        for i in range(12):
+            if i not in (4, 11):
+                fresh.add(f"k{i}", unit(i))
+        query = unit(99)
+        assert index.query(query, 10, threshold=-1.0) == fresh.query(
+            query, 10, threshold=-1.0
+        )
+
+    def test_remove_all_then_query_raises(self, backend):
+        from repro.errors import EmptyIndexError
+
+        index = make_index(backend)
+        index.add("only", unit(0))
+        index.remove("only")
+        assert len(index) == 0
+        with pytest.raises(EmptyIndexError):
+            index.query(unit(1), 3)
+
+    def test_interleaved_add_remove_matches_fresh_build(self, backend):
+        """Random add/remove churn converges to the same search behavior."""
+        rng = np.random.default_rng(7)
+        index = make_index(backend)
+        live: dict[str, np.ndarray] = {}
+        for step in range(60):
+            if live and rng.random() < 0.4:
+                victim = sorted(live)[int(rng.integers(len(live)))]
+                index.remove(victim)
+                del live[victim]
+            else:
+                key = f"v{step}"
+                vector = unit(step + 1000)
+                index.add(key, vector)
+                live[key] = vector
+        fresh = make_index(backend)
+        for key in sorted(live):
+            fresh.add(key, live[key])
+        query = unit(4242)
+        assert index.query(query, 5, threshold=-1.0) == fresh.query(
+            query, 5, threshold=-1.0
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestUpdate:
+    def test_update_replaces_vector(self, backend):
+        index = make_index(backend)
+        index.add("x", unit(1))
+        index.add("y", unit(2))
+        target = unit(50)
+        index.update("x", target)
+        assert len(index) == 2
+        top_key, top_score = index.query(target, 1, threshold=-1.0)[0]
+        assert top_key == "x"
+        assert top_score == pytest.approx(1.0)
+
+    def test_update_inserts_when_absent(self, backend):
+        index = make_index(backend)
+        index.update("new", unit(3))
+        assert "new" in index
+        assert len(index) == 1
+
+    def test_duplicate_add_raises(self, backend):
+        index = make_index(backend)
+        index.add("x", unit(1))
+        with pytest.raises(ValueError):
+            index.add("x", unit(2))
+
+
+class TestLSHBucketIntegrity:
+    def test_buckets_stay_dense_after_churn(self):
+        """Every bucket posting must point at a live slot."""
+        index = SimHashLSHIndex(DIM, n_bits=64, n_bands=16, threshold=-1.0)
+        for i in range(20):
+            index.add(i, unit(i))
+        for victim in (0, 7, 19, 13, 1):
+            index.remove(victim)
+        count = len(index)
+        for band_buckets in index._buckets:
+            for postings in band_buckets.values():
+                assert postings, "empty posting lists must be deleted"
+                assert all(0 <= position < count for position in postings)
+        # Each live entry appears exactly once per band.
+        per_band_total = sum(
+            len(postings)
+            for band_buckets in index._buckets
+            for postings in band_buckets.values()
+        )
+        assert per_band_total == count * index.n_bands

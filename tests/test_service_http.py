@@ -1,0 +1,215 @@
+"""HTTP round-trip tests for the JSON serving layer (stdlib http.client)."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.config import WarpGateConfig
+from repro.service import DiscoveryService, make_server
+from repro.warehouse.connector import WarehouseConnector
+
+
+@pytest.fixture()
+def served(toy_warehouse):
+    """A DiscoveryService behind a live HTTP server on a free port."""
+    service = DiscoveryService(WarpGateConfig(threshold=0.3))
+    service.open(WarehouseConnector(toy_warehouse))
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, server.server_address[1]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def request(port: int, method: str, path: str, body: dict | None = None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+class TestHealthAndStats:
+    def test_healthz(self, served):
+        _, port = served
+        status, payload = request(port, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["indexed"] is True
+        assert payload["indexed_columns"] == 8
+
+    def test_stats(self, served):
+        _, port = served
+        status, payload = request(port, "GET", "/stats")
+        assert status == 200
+        assert payload["backend"] == "lsh"
+        assert payload["indexed_columns"] == 8
+        assert payload["tables"] == 3
+
+    def test_unknown_route(self, served):
+        _, port = served
+        status, payload = request(port, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+
+class TestSearchEndpoint:
+    def test_search_roundtrip(self, served):
+        _, port = served
+        status, payload = request(
+            port, "POST", "/search", {"query": "db.customers.company", "k": 3}
+        )
+        assert status == 200
+        assert payload["candidates"][0]["ref"] == "db.vendors.vendor_name"
+        assert payload["candidates"][0]["score"] > 0.9
+
+    def test_search_matches_python_api(self, served):
+        service, port = served
+        _, payload = request(
+            port, "POST", "/search", {"query": "db.customers.company", "k": 5}
+        )
+        local = service.search("db.customers.company", 5)
+        assert [c["ref"] for c in payload["candidates"]] == [
+            str(ref) for ref in local.refs
+        ]
+
+    def test_search_unknown_table_404(self, served):
+        _, port = served
+        status, payload = request(
+            port, "POST", "/search", {"query": "db.ghost.col", "k": 3}
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_search_malformed_body_400(self, served):
+        _, port = served
+        status, payload = request(port, "POST", "/search", {"k": 3})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_bad_content_length_400(self, served):
+        _, port = served
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            connection.putrequest("POST", "/search")
+            connection.putheader("Content-Length", "abc")
+            connection.endheaders()
+            response = connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_oversized_batch_400(self, served):
+        _, port = served
+        body = {"requests": [{"query": "db.customers.company"}] * 257}
+        status, payload = request(port, "POST", "/search/batch", body)
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_batch_endpoint_parity(self, served):
+        _, port = served
+        body = {
+            "requests": [
+                {"query": "db.customers.company", "k": 3},
+                {"query": "db.vendors.vendor_name", "k": 3},
+            ]
+        }
+        status, payload = request(port, "POST", "/search/batch", body)
+        assert status == 200
+        assert len(payload["responses"]) == 2
+        single = request(
+            port, "POST", "/search", {"query": "db.customers.company", "k": 3}
+        )[1]
+        assert payload["responses"][0]["candidates"] == single["candidates"]
+
+
+class TestIndexMutationEndpoints:
+    def test_add_then_search_then_drop(self, served):
+        _, port = served
+        table_payload = {
+            "database": "db",
+            "table": {
+                "name": "suppliers",
+                "columns": [
+                    {"name": "supplier_id", "values": [100, 101, 102]},
+                    {
+                        "name": "supplier_name",
+                        "values": [
+                            "Acme Dynamics Corp",
+                            "Vertex Energy Group",
+                            "Nova Analytics Llc",
+                        ],
+                    },
+                ],
+            },
+        }
+        status, stats = request(port, "POST", "/index/add", table_payload)
+        assert status == 200
+        assert stats["indexed_columns"] == 10
+        assert stats["mutations"] == 1
+
+        _, payload = request(
+            port, "POST", "/search", {"query": "db.customers.company", "k": 10}
+        )
+        refs = [c["ref"] for c in payload["candidates"]]
+        assert "db.suppliers.supplier_name" in refs
+
+        status, stats = request(
+            port, "POST", "/index/drop", {"database": "db", "table": "suppliers"}
+        )
+        assert status == 200
+        assert stats["indexed_columns"] == 8
+        _, payload = request(
+            port, "POST", "/search", {"query": "db.customers.company", "k": 10}
+        )
+        refs = [c["ref"] for c in payload["candidates"]]
+        assert "db.suppliers.supplier_name" not in refs
+
+    def test_drop_unknown_table_404(self, served):
+        _, port = served
+        status, payload = request(
+            port, "POST", "/index/drop", {"database": "db", "table": "ghost"}
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_refresh_endpoint(self, served):
+        _, port = served
+        status, stats = request(
+            port, "POST", "/index/refresh", {"ref": "db.vendors.vendor_name"}
+        )
+        assert status == 200
+        assert stats["mutations"] == 1
+
+    def test_add_malformed_table_400(self, served):
+        _, port = served
+        status, payload = request(
+            port, "POST", "/index/add", {"database": "db", "table": {"name": ""}}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+
+class TestServeCommand:
+    def test_cli_serve_wires_endpoints(self, tmp_path):
+        """`python -m repro serve` plumbing: config → service → server."""
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", str(tmp_path), "--port", "0"])
+        assert args.handler.__name__ == "cmd_serve"
+        assert args.port == 0
+        assert args.host == "127.0.0.1"
