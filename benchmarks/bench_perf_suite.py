@@ -1,0 +1,30 @@
+"""Perf-tracking suite for the columnar index engine.
+
+Not a paper table — this is the repository's own performance trajectory:
+build, single-query, and batched-search timings per corpus size, written
+as machine-readable JSON (``BENCH_index.json`` at the repo root) so every
+PR leaves a comparable baseline.  ``python -m repro bench`` is the
+canonical entry point; this module runs the same harness under pytest at
+reduced scale and checks the report contract (the structure the CI smoke
+job enforces).
+"""
+
+from __future__ import annotations
+
+from repro.eval.perf import run_perf_suite, validate_report, write_report
+
+
+def test_fast_profile_report_is_valid(tmp_path):
+    """The fast profile produces a well-formed, complete report."""
+    report = run_perf_suite(profile="fast", repeats=1)
+    assert validate_report(report) == []
+    path = write_report(report, tmp_path / "BENCH_index.json")
+    assert path.exists()
+
+
+def test_batched_search_amortizes(tmp_path):
+    """Even at smoke scale, batched search beats sequential single queries."""
+    report = run_perf_suite(profile="fast", sizes=(1_000, 2_000, 4_000), repeats=2)
+    largest = report["results"][-1]
+    assert largest["batch_speedup"] > 1.0
+    assert 0.0 < largest["candidate_fraction"] < 1.0

@@ -16,6 +16,10 @@ Commands
 ``index`` / ``query``
     Build a persistent index artifact from a CSV directory, then query it
     later without re-scanning.
+``bench``
+    Run the index perf suite (build / single-query / batched-search
+    timings per corpus size) and write the machine-readable
+    ``BENCH_index.json`` report tracked across PRs.
 
 All commands route through the :class:`~repro.service.DiscoveryService`
 facade — the same code path applications are expected to use.
@@ -133,6 +137,58 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.eval.perf import run_perf_suite, validate_report, write_report
+    from repro.eval.report import render_table
+
+    sizes = (
+        tuple(int(size) for size in args.sizes.split(",")) if args.sizes else None
+    )
+    if sizes is not None and len(sizes) < 3:
+        # Fail before the (potentially multi-minute) run, not after it:
+        # the report contract requires >= 3 corpus sizes.
+        print(
+            "error: malformed perf report: results must list >= 3 corpus sizes",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_perf_suite(
+        profile=args.profile,
+        sizes=sizes,
+        dim=args.dim,
+        batch_size=args.batch_size,
+        k=args.k,
+        repeats=args.repeats,
+        progress=print,
+    )
+    problems = validate_report(report)
+    if problems:
+        for problem in problems:
+            print(f"error: malformed perf report: {problem}", file=sys.stderr)
+        return 2
+    path = write_report(report, args.output)
+    rows = [
+        [
+            row["n_columns"],
+            f"{row['build_bulk_s']:.3f}",
+            f"{row['single_query_ms']:.3f}",
+            f"{row['batch_per_query_ms']:.3f}",
+            f"{row['batch_speedup']:.1f}x",
+            f"{row['candidate_fraction']:.1%}",
+        ]
+        for row in report["results"]
+    ]
+    print(
+        render_table(
+            ["columns", "build s", "1-query ms", "batch ms/q", "speedup", "cand %"],
+            rows,
+            title=f"Index perf suite ({args.profile} profile)",
+        )
+    )
+    print(f"report written to {path}")
+    return 0
+
+
 def cmd_corpus_stats(args: argparse.Namespace) -> int:
     from repro.datasets.nextiajd import TESTBED_PROFILES, generate_testbed
     from repro.datasets.sigma import generate_sigma_sample_database
@@ -229,6 +285,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--corpora", default="", help="comma-separated subset (default: all)"
     )
     stats.set_defaults(handler=cmd_corpus_stats)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the index perf suite and write BENCH_index.json"
+    )
+    bench.add_argument(
+        "--profile",
+        default="full",
+        choices=("fast", "full"),
+        help="suite scale: 'full' is the committed baseline, 'fast' the CI smoke",
+    )
+    bench.add_argument(
+        "--sizes",
+        default="",
+        help="comma-separated corpus sizes overriding the profile (need >= 3)",
+    )
+    bench.add_argument("--dim", type=int, default=256, help="embedding dimensionality")
+    bench.add_argument(
+        "--batch-size", type=int, default=64, help="queries per batched search"
+    )
+    bench.add_argument("-k", type=int, default=10, help="results per query")
+    bench.add_argument(
+        "--repeats", type=int, default=None, help="best-of-N timing repeats"
+    )
+    bench.add_argument(
+        "--output", default="BENCH_index.json", help="report path (JSON)"
+    )
+    bench.set_defaults(handler=cmd_bench)
 
     return parser
 

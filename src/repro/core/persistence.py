@@ -5,9 +5,14 @@ operational unit there is the *profiled index* — column embeddings plus
 their addresses — which is much cheaper to ship than to recompute (every
 recompute is a metered warehouse scan).
 
-The artifact is a single ``.npz`` file holding the embedding matrix, the
-serialized column refs, and the config fields needed to rebuild the search
-backend identically.  Loading never touches the warehouse.
+The artifact is a single ``.npz`` file holding the index's columnar arena
+payload — the ``float32`` embedding matrix and, for the LSH backend, the
+packed ``uint64`` SimHash band keys — plus the serialized column refs and
+the config fields needed to rebuild the search backend identically.
+Loading never touches the warehouse, and (format 2) never recomputes
+signatures: the arena is bulk-restored in one pass.  Format-1 artifacts
+(``float64`` vectors, no signatures) still load; their signatures are
+rehashed from the stored vectors.
 """
 
 from __future__ import annotations
@@ -25,11 +30,12 @@ from repro.storage.schema import ColumnRef
 
 __all__ = ["save_index", "load_index", "load_service"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_index(system, path: str | Path) -> Path:
-    """Write an indexed system's vectors + config to ``path`` (.npz).
+    """Write an indexed system's arena payload + config to ``path`` (.npz).
 
     Accepts a :class:`WarpGate` or a
     :class:`~repro.service.discovery.DiscoveryService` (unwrapped to its
@@ -40,24 +46,27 @@ def save_index(system, path: str | Path) -> Path:
     if not system.is_indexed:
         raise DiscoveryError("cannot save an unindexed WarpGate")
     path = Path(path)
-    refs = []
-    vectors = []
-    for ref, vector in sorted(
-        ((ref, system.vector_of(ref)) for ref in system._vectors),
-        key=lambda pair: str(pair[0]),
-    ):
-        refs.append([ref.database, ref.table, ref.column])
-        vectors.append(vector)
+    index = system._index
+    arena = index.arena
+    ordered = sorted(index.keys(), key=str)
+    rows = np.asarray([arena.row_of(ref) for ref in ordered], dtype=np.int64)
+    refs = [[ref.database, ref.table, ref.column] for ref in ordered]
     header = {
         "format_version": _FORMAT_VERSION,
         "config": asdict(system.config),
     }
-    np.savez_compressed(
-        path,
-        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
-        refs=np.array(refs, dtype=object),
-        vectors=np.stack(vectors) if vectors else np.zeros((0, system.config.dim)),
-    )
+    payload: dict[str, np.ndarray] = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "refs": np.array(refs, dtype=object),
+        "vectors": (
+            arena.matrix[rows]
+            if rows.size
+            else np.zeros((0, system.config.dim), dtype=np.float32)
+        ),
+    }
+    if arena.signature_words and rows.size:
+        payload["signatures"] = arena.signatures[rows]
+    np.savez_compressed(path, **payload)
     # np.savez appends .npz when absent; normalize the returned path.
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
@@ -76,21 +85,28 @@ def load_index(path: str | Path) -> WarpGate:
         raise DiscoveryError(f"no index artifact at {path}")
     with np.load(path, allow_pickle=True) as payload:
         header = json.loads(bytes(payload["header"].tobytes()).decode("utf-8"))
-        if header.get("format_version") != _FORMAT_VERSION:
-            raise DiscoveryError(
-                f"unsupported index format {header.get('format_version')!r}"
-            )
+        version = header.get("format_version")
+        if version not in _SUPPORTED_VERSIONS:
+            raise DiscoveryError(f"unsupported index format {version!r}")
         config = WarpGateConfig(**header["config"])
-        refs = payload["refs"]
+        raw_refs = payload["refs"]
         vectors = payload["vectors"]
+        signatures = payload["signatures"] if "signatures" in payload else None
     system = WarpGate(config)
-    for position in range(len(refs)):
-        database, table, column = (str(part) for part in refs[position])
-        ref = ColumnRef(database, table, column)
-        vector = np.asarray(vectors[position], dtype=np.float64)
-        system._index.add(ref, vector)
-        system._vectors[ref] = vector
-    system._indexed = True
+    refs = [
+        ColumnRef(*(str(part) for part in raw_refs[position]))
+        for position in range(len(raw_refs))
+    ]
+    if refs:
+        index = system._index
+        if signatures is not None and index.arena.signature_words != (
+            signatures.shape[1] if signatures.ndim == 2 else -1
+        ):
+            # Backend/banding drift (shouldn't happen — the config travels
+            # with the artifact); rehash rather than load bad keys.
+            signatures = None
+        index.bulk_load(refs, np.asarray(vectors), signatures=signatures)
+        system._indexed = True
     return system
 
 

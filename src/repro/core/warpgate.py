@@ -66,7 +66,6 @@ class WarpGate(JoinDiscoverySystem):
             numeric_profile_weight=self.config.numeric_profile_weight,
         )
         self._index = self._build_index()
-        self._vectors: dict[ColumnRef, np.ndarray] = {}
 
     def _build_index(self):
         """Instantiate the configured search backend."""
@@ -91,7 +90,13 @@ class WarpGate(JoinDiscoverySystem):
     def index_corpus(
         self, connector: WarehouseConnector, *, sampler: Sampler | None = None
     ) -> IndexReport:
-        """Embed and index every eligible column (Figure 2, left half)."""
+        """Embed and index every eligible column (Figure 2, left half).
+
+        Embeddings are collected per column (each load is a metered scan)
+        and inserted through the index's columnar bulk path: one
+        normalization pass, one batched signature computation, one arena
+        append for the whole corpus.
+        """
         self._connector = connector
         sampler = sampler if sampler is not None else self._default_sampler()
         report = IndexReport(system=self.name)
@@ -100,14 +105,26 @@ class WarpGate(JoinDiscoverySystem):
         bytes_before = connector.stats.scanned_bytes
         simulated_before = connector.stats.simulated_seconds
 
+        refs: list[ColumnRef] = []
+        vectors: list[np.ndarray] = []
         for ref in self.eligible_refs(connector):
             column, _measured, _simulated = self.load_column(ref, sampler)
             vector = self.encoder.encode(column)
             if not np.any(vector):
                 report.columns_skipped += 1
                 continue
-            self._store(ref, vector)
+            if ref in self._index:
+                # Re-indexing over an existing corpus replaces in place.
+                self._store(ref, vector)
+            else:
+                refs.append(ref)
+                vectors.append(vector)
             report.columns_indexed += 1
+        if refs:
+            self._index.bulk_load(refs, np.stack(vectors))
+            if self.cache is not None:
+                for ref, vector in zip(refs, vectors):
+                    self.cache.put(ref, vector)
 
         report.wall_seconds = time.perf_counter() - start
         report.simulated_load_seconds = (
@@ -126,12 +143,11 @@ class WarpGate(JoinDiscoverySystem):
     # -- incremental mutation -----------------------------------------------------------
 
     def _store(self, ref: ColumnRef, vector: np.ndarray) -> None:
-        """Insert or replace one embedding in the index and side tables."""
-        if ref in self._vectors:
+        """Insert or replace one embedding in the index."""
+        if ref in self._index:
             self._index.update(ref, vector)
         else:
             self._index.add(ref, vector)
-        self._vectors[ref] = vector
         if self.cache is not None:
             self.cache.put(ref, vector)
 
@@ -153,13 +169,12 @@ class WarpGate(JoinDiscoverySystem):
 
     def remove_column(self, ref: ColumnRef) -> None:
         """Drop one column from the index; raises ``KeyError`` if absent."""
-        if ref not in self._vectors:
+        if ref not in self._index:
             raise KeyError(f"{ref} is not indexed")
         self._index.remove(ref)
-        del self._vectors[ref]
         if self.cache is not None:
             self.cache.invalidate(ref)
-        if not self._vectors:
+        if len(self._index) == 0:
             # Evicting the last column leaves nothing searchable; keep
             # is_indexed consistent with what search() can actually do.
             self._indexed = False
@@ -182,7 +197,7 @@ class WarpGate(JoinDiscoverySystem):
         whether the column is indexed afterwards.
         """
         refreshed = self.add_column(ref, sampler=sampler)
-        if not refreshed and ref in self._vectors:
+        if not refreshed and ref in self._index:
             self.remove_column(ref)
         return refreshed
 
@@ -238,7 +253,7 @@ class WarpGate(JoinDiscoverySystem):
         """
         if exclude is None:
             return self._index.query(vector, k, threshold=floor)
-        total = len(self._vectors)
+        total = len(self._index)
         fetch = k + 16
         while True:
             raw = self._index.query(vector, fetch, threshold=floor, exclude=exclude)
@@ -282,6 +297,78 @@ class WarpGate(JoinDiscoverySystem):
             timing=timing,
         )
 
+    def search_vectors(
+        self,
+        vectors: list[np.ndarray],
+        k: int | None = None,
+        *,
+        threshold: float | None = None,
+        excludes: list[ColumnRef | None] | None = None,
+    ) -> list[DiscoveryResult]:
+        """Batched :meth:`search_vector`: one index pass for a query block.
+
+        Results are identical to calling :meth:`search_vector` once per
+        entry — the probe runs the index's ``search_batch`` (one GEMM over
+        the arena), and any query starved by the same-table filter falls
+        back to the widening single-query probe.  ``excludes`` is a
+        parallel list of refs to drop (``None`` entries keep everything).
+        Reported ``lookup_s`` is the block's wall time split evenly across
+        the batch, since the index amortizes the work jointly.
+        """
+        self._require_indexed()
+        k = k if k is not None else self.config.default_k
+        floor = self.config.threshold if threshold is None else threshold
+        count = len(vectors)
+        exclude_list = list(excludes) if excludes is not None else [None] * count
+        if len(exclude_list) != count:
+            raise ValueError(f"{len(exclude_list)} excludes for {count} vectors")
+        arrays = [np.asarray(vector, dtype=np.float64) for vector in vectors]
+        results: list[DiscoveryResult | None] = [None] * count
+        live: list[int] = []
+        for position, vector in enumerate(arrays):
+            if k <= 0 or not np.any(vector):
+                results[position] = DiscoveryResult(
+                    query=exclude_list[position],
+                    candidates=[],
+                    timing=TimingBreakdown(),
+                )
+            else:
+                live.append(position)
+        if live:
+            lookup_start = time.perf_counter()
+            total = len(self._index)
+            # Mirror _probe's first iteration: over-fetch whenever a
+            # same-table filter might starve the result list.
+            fetch = k if all(exclude_list[p] is None for p in live) else k + 16
+            batch = self._index.search_batch(
+                np.stack([arrays[p] for p in live]),
+                fetch,
+                threshold=floor,
+                excludes=[exclude_list[p] for p in live],
+            )
+            kept_lists: dict[int, list] = {}
+            for position, raw in zip(live, batch):
+                exclude = exclude_list[position]
+                if exclude is None:
+                    kept_lists[position] = raw[:k]
+                    continue
+                kept = self.drop_same_table(raw, exclude, k)
+                if len(kept) < k and len(raw) >= fetch and fetch < total:
+                    # The fixed over-fetch starved; rerun this query through
+                    # the widening single-query probe (identical semantics).
+                    kept = self._probe(arrays[position], k, floor, exclude)
+                kept_lists[position] = kept
+            share = (time.perf_counter() - lookup_start) / len(live)
+            for position, kept in kept_lists.items():
+                timing = TimingBreakdown()
+                timing.lookup_s = share
+                results[position] = DiscoveryResult(
+                    query=exclude_list[position],
+                    candidates=[JoinCandidate(ref, score) for ref, score in kept],
+                    timing=timing,
+                )
+        return results  # type: ignore[return-value]
+
     def attach_connector(self, connector: WarehouseConnector) -> None:
         """Attach a live connector to a restored index (re-enables search()).
 
@@ -293,27 +380,31 @@ class WarpGate(JoinDiscoverySystem):
     # -- introspection ---------------------------------------------------------------------
 
     def vector_of(self, ref: ColumnRef) -> np.ndarray:
-        """Indexed embedding of ``ref`` (raises KeyError if not indexed)."""
-        return self._vectors[ref]
+        """Indexed unit embedding of ``ref`` (raises KeyError if not indexed).
+
+        Served straight from the index's columnar arena (``float32``); the
+        engine keeps no side copy of the embeddings.
+        """
+        return self._index.vector_of(ref)
 
     def similarity(self, left: ColumnRef, right: ColumnRef) -> float:
         """Cosine similarity between two indexed columns."""
-        a, b = self._vectors[left], self._vectors[right]
+        a, b = self._index.vector_of(left), self._index.vector_of(right)
         return float(a @ b)
 
     @property
     def indexed_count(self) -> int:
         """Number of columns in the index."""
-        return len(self._vectors)
+        return len(self._index)
 
     @property
     def indexed_refs(self) -> tuple[ColumnRef, ...]:
         """Refs of every indexed column, in insertion order."""
-        return tuple(self._vectors)
+        return tuple(self._index.keys())
 
     def is_column_indexed(self, ref: ColumnRef) -> bool:
         """True when ``ref`` currently has an indexed embedding (O(1))."""
-        return ref in self._vectors
+        return ref in self._index
 
     def explain(self, query: ColumnRef, candidate: ColumnRef) -> dict[str, object]:
         """Why a candidate matched: similarity plus LSH collision odds."""

@@ -5,6 +5,7 @@ recall averaged over all queries at each k, plus index lookup time and
 end-to-end query response time in seconds per query.
 """
 
+from repro.eval.perf import run_perf_suite, validate_report, write_report
 from repro.eval.metrics import (
     PRPoint,
     mean_average_precision,
@@ -30,5 +31,8 @@ __all__ = [
     "reciprocal_rank",
     "render_pr_figure",
     "render_table",
+    "run_perf_suite",
     "summarize_timings",
+    "validate_report",
+    "write_report",
 ]

@@ -1,0 +1,302 @@
+"""Index perf suite: machine-readable timings tracked across PRs.
+
+The paper's Table 2 argument is that LSH-backed lookup keeps per-query
+response time flat as corpora grow.  This module measures exactly that on
+the columnar index engine — build, single-query, and batched search at
+several corpus sizes — and writes one JSON report (``BENCH_index.json`` at
+the repository root by convention) so every PR leaves a comparable perf
+baseline behind.  CI runs the ``fast`` profile as a smoke check; the
+committed report comes from the ``full`` profile.
+
+Run it via ``python -m repro bench`` or import :func:`run_perf_suite`.
+
+The synthetic corpus is *not* isotropic Gaussian noise: warehouse column
+embeddings concentrate on a low-dimensional manifold (columns share
+vocabularies, units, and naming conventions) and contain near-duplicate
+snapshot copies, which is what makes LSH buckets hot and candidate sets
+dense.  :func:`synthetic_corpus` reproduces that shape — low-rank latent
+structure plus snapshot clusters — so the numbers reflect the workload the
+paper describes rather than a best case.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.index.lsh import SimHashLSHIndex
+
+__all__ = [
+    "BENCH_REPORT_NAME",
+    "PROFILES",
+    "run_perf_suite",
+    "synthetic_corpus",
+    "validate_report",
+    "write_report",
+]
+
+BENCH_REPORT_NAME = "BENCH_index.json"
+_SCHEMA_VERSION = 1
+
+#: Named suite profiles: corpus sizes and repeat counts.  ``full`` is the
+#: committed baseline; ``fast`` keeps the CI smoke job in single-digit
+#: seconds.
+PROFILES: dict[str, dict] = {
+    "full": {"sizes": (1_000, 5_000, 10_000, 50_000), "repeats": 5},
+    "fast": {"sizes": (500, 1_000, 2_000), "repeats": 2},
+}
+
+# Fields every per-size result row must carry (validate_report contract,
+# enforced by the CI smoke job).
+_RESULT_FIELDS = (
+    "n_columns",
+    "build_bulk_s",
+    "incremental_add_ms",
+    "remove_ms",
+    "single_query_ms",
+    "sequential_batch_ms",
+    "batch_ms",
+    "batch_per_query_ms",
+    "batch_speedup",
+    "candidate_fraction",
+)
+
+
+def synthetic_corpus(
+    n: int,
+    dim: int,
+    *,
+    n_domains: int = 3,
+    spread: float = 0.62,
+    snapshot_every: int = 8,
+    seed_key: str = "perf-corpus",
+) -> np.ndarray:
+    """Deterministic column-embedding-shaped corpus: ``(n, dim)`` unit rows.
+
+    Warehouse column embeddings are not isotropic noise: columns cluster
+    by semantic domain (identifiers, names, amounts, locations — they
+    share vocabularies and formats), and snapshots duplicate whole tables
+    nearly verbatim.  Each row here is a unit draw around one of
+    ``n_domains`` domain centers — within-domain cosines concentrate near
+    ``1 - spread²`` (≈ 0.62 by default: hot LSH buckets, dense candidate
+    sets, yet below the paper's 0.7 join threshold) — and every
+    ``snapshot_every``-th row is a near-duplicate of an earlier row (a
+    snapshot copy: the above-threshold joinable answer).  This is the
+    regime the paper's Table 2 serves and the batched search path is
+    built for.
+    """
+    rng = rng_for("perf-suite", seed_key, n, dim, n_domains)
+
+    def unit_rows(matrix: np.ndarray) -> np.ndarray:
+        return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+    centers = unit_rows(rng.standard_normal((n_domains, dim)))
+    assignment = rng.integers(0, n_domains, size=n)
+    ambient = unit_rows(rng.standard_normal((n, dim)))
+    matrix = (
+        np.sqrt(max(0.0, 1.0 - spread**2)) * centers[assignment]
+        + spread * ambient
+    )
+    # Snapshot copies: overwrite a slice of rows with jittered earlier rows.
+    copies = np.arange(snapshot_every, n, snapshot_every)
+    if copies.size:
+        sources = rng.integers(0, copies, size=copies.size)
+        matrix[copies] = matrix[sources] + 0.05 * rng.standard_normal(
+            (copies.size, dim)
+        )
+    return unit_rows(matrix)
+
+
+def _best_of(repeats: int, run) -> float:
+    """Best-of-N wall time of ``run()`` — the standard noise filter."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_one_size(
+    n: int,
+    *,
+    dim: int,
+    n_bits: int,
+    n_bands: int,
+    threshold: float,
+    batch_size: int,
+    k: int,
+    repeats: int,
+) -> dict:
+    corpus = synthetic_corpus(n, dim)
+    keys = list(range(n))
+    rng = rng_for("perf-suite", "queries", n, dim)
+    picks = rng.integers(0, n, size=batch_size)
+    # Queries are perturbed corpus columns (cos ≈ 0.98 to their source) —
+    # the paper's workload queries the indexed corpus itself.
+    jitter = rng.standard_normal((batch_size, dim))
+    jitter /= np.linalg.norm(jitter, axis=1, keepdims=True)
+    queries = np.sqrt(1.0 - 0.2**2) * corpus[picks] + 0.2 * jitter
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+
+    def fresh_index() -> SimHashLSHIndex:
+        return SimHashLSHIndex(
+            dim, n_bits=n_bits, n_bands=n_bands, threshold=threshold
+        )
+
+    # Build (columnar bulk path), timed on fresh indexes.
+    def build() -> None:
+        index = fresh_index()
+        index.bulk_load(keys, corpus)
+        index.build()
+
+    build_bulk_s = _best_of(max(1, repeats // 2), build)
+
+    index = fresh_index()
+    index.bulk_load(keys, corpus)
+    index.build()
+
+    # Incremental mutation costs on the live index.
+    extra = synthetic_corpus(64, dim, seed_key="perf-extra")
+    add_start = time.perf_counter()
+    for offset in range(extra.shape[0]):
+        index.add(n + offset, extra[offset])
+    incremental_add_ms = (time.perf_counter() - add_start) / extra.shape[0] * 1e3
+    remove_start = time.perf_counter()
+    for offset in range(extra.shape[0]):
+        index.remove(n + offset)
+    remove_ms = (time.perf_counter() - remove_start) / extra.shape[0] * 1e3
+    index.build()
+
+    # Warm both search paths once (bucket freezing, BLAS init).
+    index.query(queries[0], k)
+    index.search_batch(queries, k)
+
+    def sequential() -> None:
+        for position in range(batch_size):
+            index.query(queries[position], k)
+
+    def batched() -> None:
+        index.search_batch(queries, k)
+
+    sequential_batch_s = _best_of(repeats, sequential)
+    batch_s = _best_of(repeats, batched)
+
+    candidate_counts = []
+    for position in range(batch_size):
+        index.query(queries[position], k)
+        candidate_counts.append(index.last_candidate_count)
+
+    return {
+        "n_columns": n,
+        "build_bulk_s": round(build_bulk_s, 6),
+        "incremental_add_ms": round(incremental_add_ms, 4),
+        "remove_ms": round(remove_ms, 4),
+        "single_query_ms": round(sequential_batch_s / batch_size * 1e3, 4),
+        "sequential_batch_ms": round(sequential_batch_s * 1e3, 3),
+        "batch_ms": round(batch_s * 1e3, 3),
+        "batch_per_query_ms": round(batch_s / batch_size * 1e3, 4),
+        "batch_speedup": round(sequential_batch_s / batch_s, 2),
+        "candidate_fraction": round(
+            float(np.mean(candidate_counts)) / max(1, len(index)), 4
+        ),
+    }
+
+
+def run_perf_suite(
+    *,
+    profile: str = "full",
+    sizes: tuple[int, ...] | None = None,
+    dim: int = 256,
+    n_bits: int = 128,
+    n_bands: int = 16,
+    threshold: float = 0.7,
+    batch_size: int = 64,
+    k: int = 10,
+    repeats: int | None = None,
+    progress=None,
+) -> dict:
+    """Time index build / single search / batched search per corpus size.
+
+    Returns the report dict (see ``_RESULT_FIELDS`` for the per-size row
+    schema); pass ``progress`` (a callable taking one string) for
+    per-size console feedback.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}")
+    spec = PROFILES[profile]
+    sizes = tuple(sizes) if sizes is not None else spec["sizes"]
+    repeats = repeats if repeats is not None else spec["repeats"]
+    results = []
+    for n in sizes:
+        if progress is not None:
+            progress(f"benchmarking {n} columns ...")
+        results.append(
+            _bench_one_size(
+                n,
+                dim=dim,
+                n_bits=n_bits,
+                n_bands=n_bands,
+                threshold=threshold,
+                batch_size=batch_size,
+                k=k,
+                repeats=repeats,
+            )
+        )
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "suite": "index-perf",
+        "profile": profile,
+        "config": {
+            "backend": "lsh",
+            "dim": dim,
+            "n_bits": n_bits,
+            "n_bands": n_bands,
+            "threshold": threshold,
+            "batch_size": batch_size,
+            "k": k,
+            "repeats": repeats,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the suite report as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def validate_report(payload: dict) -> list[str]:
+    """Schema check for a perf report; returns a list of problems (empty = ok).
+
+    The CI smoke job runs this against the regenerated report so a broken
+    bench (missing sizes, malformed rows, non-numeric timings) fails the
+    build instead of silently shipping an empty trajectory.
+    """
+    problems: list[str] = []
+    if payload.get("suite") != "index-perf":
+        problems.append("suite != 'index-perf'")
+    if not isinstance(payload.get("config"), dict):
+        problems.append("missing config object")
+    results = payload.get("results")
+    if not isinstance(results, list) or len(results) < 3:
+        problems.append("results must list >= 3 corpus sizes")
+        return problems
+    for row in results:
+        for field in _RESULT_FIELDS:
+            value = row.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"result {row.get('n_columns')}: bad {field!r}")
+    return problems

@@ -1,92 +1,33 @@
-"""Brute-force exact cosine top-k index.
+"""Brute-force exact cosine top-k index over the columnar arena.
 
 The verification arm for LSH correctness tests and the baseline for the
-block-and-verify comparison: always correct, O(n·dim) per query.
+block-and-verify comparison: always correct, O(n·dim) per query.  Vectors
+live in the shared :class:`~repro.index.arena.VectorArena` (contiguous
+``float32`` rows), so a query is one masked matrix-vector product and a
+batch is one GEMM — there is no per-vector Python storage to stack.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError, EmptyIndexError
+from repro.index.arena import ColumnarIndex
 
 __all__ = ["ExactCosineIndex"]
 
 
-class ExactCosineIndex:
+class ExactCosineIndex(ColumnarIndex):
     """Exact cosine top-k over named unit vectors."""
+
+    threshold = -1.0
 
     def __init__(self, dim: int) -> None:
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
-        self.dim = dim
-        self._keys: list[object] = []
-        self._rows: list[np.ndarray] = []
-        self._positions: dict[object, int] = {}
-        self._matrix: np.ndarray | None = None
-
-    def __len__(self) -> int:
-        return len(self._keys)
-
-    def __contains__(self, key: object) -> bool:
-        return key in self._positions
+        super().__init__(dim)
 
     def __repr__(self) -> str:
         return f"ExactCosineIndex(n={len(self)}, dim={self.dim})"
-
-    def add(self, key: object, vector: np.ndarray) -> None:
-        """Insert one named vector (unit-normalized internally).
-
-        Keys are unique: re-adding a live key raises ``ValueError`` (use
-        :meth:`update` to replace its vector).
-        """
-        vector = np.asarray(vector, dtype=np.float64)
-        if vector.shape != (self.dim,):
-            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
-        if key in self._positions:
-            raise ValueError(f"key {key!r} already indexed; use update()")
-        norm = np.linalg.norm(vector)
-        if norm == 0:
-            raise ValueError(f"cannot index zero vector under key {key!r}")
-        self._positions[key] = len(self._keys)
-        self._keys.append(key)
-        self._rows.append(vector / norm)
-        self._matrix = None  # invalidate the cached stack
-
-    def remove(self, key: object) -> None:
-        """Delete one key (swap-with-last); raises ``KeyError`` if absent."""
-        position = self._positions.pop(key, None)
-        if position is None:
-            raise KeyError(f"key {key!r} is not indexed")
-        last = len(self._keys) - 1
-        if position != last:
-            moved_key = self._keys[last]
-            self._keys[position] = moved_key
-            self._rows[position] = self._rows[last]
-            self._positions[moved_key] = position
-        self._keys.pop()
-        self._rows.pop()
-        self._matrix = None
-
-    def update(self, key: object, vector: np.ndarray) -> None:
-        """Replace (or insert) the vector stored under ``key``."""
-        if key in self._positions:
-            self.remove(key)
-        self.add(key, vector)
-
-    def _materialize(self) -> np.ndarray:
-        if self._matrix is None:
-            self._matrix = np.stack(self._rows)
-        return self._matrix
-
-    def build(self) -> None:
-        """Eagerly materialize the cached matrix (idempotent).
-
-        Queries materialize lazily on first use; the serving layer calls
-        this after mutations so the shared read path never writes state.
-        """
-        if self._rows:
-            self._materialize()
 
     def query(
         self,
@@ -96,29 +37,17 @@ class ExactCosineIndex:
         threshold: float = -1.0,
         exclude: object = None,
     ) -> list[tuple[object, float]]:
-        """Exact top-``k`` by cosine, optionally thresholded."""
-        if not self._keys:
-            raise EmptyIndexError("query on empty ExactCosineIndex")
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        vector = np.asarray(vector, dtype=np.float64)
-        if vector.shape != (self.dim,):
-            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
-        norm = np.linalg.norm(vector)
-        if norm == 0:
+        """Exact top-``k`` by cosine, optionally thresholded.
+
+        One masked matvec over the arena: every occupied row is scored,
+        tombstoned rows are dropped by the alive mask, and survivors are
+        ranked score-descending (ties broken by ``str(key)``).
+        """
+        self._check_query(k)
+        unit = self._arena.coerce_unit(vector)
+        if unit is None:
             return []
-        unit = vector / norm
-        cosines = self._materialize() @ unit
-        order = np.argsort(-cosines)
-        results: list[tuple[object, float]] = []
-        for position in order:
-            key = self._keys[int(position)]
-            score = float(cosines[int(position)])
-            if score < threshold:
-                break
-            if exclude is not None and key == exclude:
-                continue
-            results.append((key, score))
-            if len(results) == k:
-                break
-        return results
+        arena = self._arena
+        scores = arena.matrix @ unit
+        rows = np.flatnonzero(arena.alive & (scores >= threshold))
+        return self._assemble(rows, scores[rows], threshold, k, exclude)

@@ -1,23 +1,72 @@
-"""Banded SimHash LSH index with exact-cosine re-ranking.
+"""Banded SimHash LSH index with exact-cosine re-ranking, arena-backed.
 
-The index stores every vector's SimHash signature split into ``n_bands``
-bands of ``rows_per_band`` bits; vectors sharing any full band with the
-query become candidates.  Candidates are then re-ranked by exact cosine on
-the stored vectors and filtered by the similarity threshold (the paper sets
-0.7), so the LSH layer only buys *speed*, never changes the ranking measure.
+The index stores every vector's SimHash signature as ``n_bands`` packed
+``uint64`` band keys in the shared columnar
+:class:`~repro.index.arena.VectorArena` (one contiguous ``float32`` vector
+matrix plus one contiguous ``uint64`` signature matrix — no per-vector
+Python objects).  Vectors sharing any full band key with the query become
+candidates; candidates are then re-ranked by exact cosine on the stored
+vectors — a single gathered matrix product, or one GEMM for a whole query
+block via :meth:`search_batch` — and filtered by the similarity threshold
+(the paper sets 0.7), so the LSH layer only buys *speed*, never changes
+the ranking measure.
+
+Deletion tombstones the arena row in O(1); bucket postings keep pointing
+at dead rows until the arena's threshold-triggered compaction, after which
+the buckets are rebuilt wholesale from the packed signature matrix (the
+arena ``generation`` counter flags this).  Dead postings are filtered by
+the alive mask during candidate generation, so searches stay correct
+between compactions.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError, EmptyIndexError
-from repro.index.simhash import SimHashFamily
+from repro.index.arena import ColumnarIndex
+from repro.index.simhash import SimHashFamily, pack_band_keys
 
 __all__ = ["SimHashLSHIndex"]
 
 
-class SimHashLSHIndex:
+class _BucketState:
+    """Band buckets for one arena generation.
+
+    ``postings``: per band, a dict mapping the packed band key to the list
+    of arena rows carrying it.  ``frozen``: per band, a lazily-populated
+    cache of those posting lists as ``int64`` arrays — queries hit the same
+    hot buckets repeatedly, and freezing once amortizes the list→array
+    conversion across every later probe.  The whole state is swapped
+    atomically (single attribute assignment) when a compaction forces a
+    rebuild, so concurrent readers always see a coherent pair.
+    """
+
+    __slots__ = ("generation", "postings", "frozen")
+
+    def __init__(self, generation: int, n_bands: int) -> None:
+        self.generation = generation
+        self.postings: list[dict[int, list[int]]] = [{} for _ in range(n_bands)]
+        self.frozen: list[dict[int, np.ndarray]] = [{} for _ in range(n_bands)]
+
+    def insert(self, band_keys: list[int], row: int) -> None:
+        for band, band_key in enumerate(band_keys):
+            self.postings[band].setdefault(band_key, []).append(row)
+            self.frozen[band].pop(band_key, None)
+
+    def bucket_array(self, band: int, band_key: int) -> np.ndarray | None:
+        """Posting list of one bucket as a cached ``int64`` array."""
+        cached = self.frozen[band].get(band_key)
+        if cached is not None:
+            return cached
+        postings = self.postings[band].get(band_key)
+        if postings is None:
+            return None
+        array = np.asarray(postings, dtype=np.int64)
+        self.frozen[band][band_key] = array
+        return array
+
+
+class SimHashLSHIndex(ColumnarIndex):
     """Approximate cosine top-k search over named vectors.
 
     Parameters
@@ -28,7 +77,8 @@ class SimHashLSHIndex:
         Total signature bits (``n_bands * rows_per_band`` must equal it).
     n_bands / rows_per_band:
         Banding layout: more rows per band → stricter candidate generation;
-        more bands → higher recall.
+        more bands → higher recall.  ``rows_per_band`` may not exceed 64 (a
+        band key must pack into one ``uint64``).
     threshold:
         Cosine floor applied after exact re-ranking (paper: 0.7).
     """
@@ -46,28 +96,21 @@ class SimHashLSHIndex:
             raise ValueError(
                 f"n_bits ({n_bits}) must be divisible by n_bands ({n_bands})"
             )
+        if n_bits // n_bands > 64:
+            raise ValueError(
+                f"rows_per_band ({n_bits // n_bands}) exceeds 64; a band key "
+                "must pack into one uint64"
+            )
         if not -1.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [-1, 1], got {threshold}")
-        self.dim = dim
+        super().__init__(dim, signature_words=n_bands)
         self.n_bits = n_bits
         self.n_bands = n_bands
         self.rows_per_band = n_bits // n_bands
         self.threshold = threshold
         self._family = SimHashFamily(dim, n_bits, seed_key=seed_key)
-        self._keys: list[object] = []
-        self._vectors: list[np.ndarray] = []
-        self._signatures: list[np.ndarray] = []
-        self._positions: dict[object, int] = {}
-        self._buckets: list[dict[bytes, list[int]]] = [
-            {} for _ in range(n_bands)
-        ]
+        self._buckets = _BucketState(self._arena.generation, n_bands)
         self._last_candidate_count = 0
-
-    def __len__(self) -> int:
-        return len(self._keys)
-
-    def __contains__(self, key: object) -> bool:
-        return key in self._positions
 
     def __repr__(self) -> str:
         return (
@@ -76,94 +119,102 @@ class SimHashLSHIndex:
             f"threshold={self.threshold})"
         )
 
-    # -- construction -----------------------------------------------------------
+    # -- signatures ---------------------------------------------------------------
 
-    def _band_keys(self, signature: np.ndarray) -> list[bytes]:
-        """Split a signature into per-band byte keys."""
-        return [
-            signature[band * self.rows_per_band : (band + 1) * self.rows_per_band]
-            .tobytes()
-            for band in range(self.n_bands)
-        ]
+    def _signature_for(self, unit: np.ndarray) -> np.ndarray:
+        return pack_band_keys(self._family.signature(unit), self.n_bands)
 
-    def _insert_buckets(self, signature: np.ndarray, index: int) -> None:
-        for band, band_key in enumerate(self._band_keys(signature)):
-            self._buckets[band].setdefault(band_key, []).append(index)
+    def _signatures_for(self, units: np.ndarray) -> np.ndarray:
+        return pack_band_keys(self._family.signatures(units), self.n_bands)
 
-    def _evict_buckets(self, signature: np.ndarray, index: int) -> None:
-        for band, band_key in enumerate(self._band_keys(signature)):
-            bucket = self._buckets[band][band_key]
-            bucket.remove(index)
-            if not bucket:
-                del self._buckets[band][band_key]
+    # -- bucket maintenance -------------------------------------------------------
 
-    def add(self, key: object, vector: np.ndarray) -> None:
-        """Insert one named vector.
+    def _synced_buckets(self) -> _BucketState:
+        """Current bucket state, rebuilt if a compaction renumbered rows."""
+        state = self._buckets
+        if state.generation != self._arena.generation:
+            state = self._rebuild_buckets()
+        return state
 
-        Zero vectors are rejected: they carry no direction, so cosine
-        against them is undefined.  Keys are unique: re-adding a live key
-        raises ``ValueError`` (use :meth:`update` to replace its vector).
+    def _rebuild_buckets(self) -> _BucketState:
+        """Regroup live rows by band key from the packed signature matrix.
+
+        One argsort per band over the live rows — O(bands · n log n) — then
+        contiguous runs become posting arrays directly, so the rebuild
+        never touches per-row Python objects.
         """
-        vector = np.asarray(vector, dtype=np.float64)
-        if vector.shape != (self.dim,):
-            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
-        if key in self._positions:
-            raise ValueError(f"key {key!r} already indexed; use update()")
-        norm = np.linalg.norm(vector)
-        if norm == 0:
-            raise ValueError(f"cannot index zero vector under key {key!r}")
-        unit = vector / norm
-        index = len(self._keys)
-        self._keys.append(key)
-        self._vectors.append(unit)
-        signature = self._family.signature(unit)
-        self._signatures.append(signature)
-        self._positions[key] = index
-        self._insert_buckets(signature, index)
+        arena = self._arena
+        state = _BucketState(arena.generation, self.n_bands)
+        live = arena.live_rows()
+        if live.size:
+            signatures = arena.signatures[live]
+            for band in range(self.n_bands):
+                keys_column = signatures[:, band]
+                order = np.argsort(keys_column, kind="stable")
+                sorted_keys = keys_column[order]
+                sorted_rows = live[order]
+                run_starts = np.flatnonzero(
+                    np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+                )
+                run_bounds = np.append(run_starts, live.size)
+                postings = state.postings[band]
+                frozen = state.frozen[band]
+                for run in range(run_starts.size):
+                    start, stop = int(run_bounds[run]), int(run_bounds[run + 1])
+                    band_key = int(sorted_keys[start])
+                    rows = sorted_rows[start:stop]
+                    postings[band_key] = rows.tolist()
+                    frozen[band_key] = rows
+        self._buckets = state
+        return state
 
-    def add_many(self, items: list[tuple[object, np.ndarray]]) -> None:
-        """Insert many named vectors."""
-        for key, vector in items:
-            self.add(key, vector)
+    def _after_add(self, row: int) -> None:
+        state = self._buckets
+        if state.generation != self._arena.generation:
+            # A compaction invalidated the buckets; the rebuild reads the
+            # arena, which already holds the new row — inserting it again
+            # would duplicate its postings.
+            self._rebuild_buckets()
+            return
+        state.insert(self._arena.signatures[row].tolist(), row)
 
-    def remove(self, key: object) -> None:
-        """Delete one key in O(signature) time (swap-with-last compaction).
+    def _after_bulk(self, rows: np.ndarray) -> None:
+        # A bulk append regroups wholesale from the packed signature
+        # matrix (one argsort per band) instead of running the per-row
+        # insert path len(rows) times.
+        self._rebuild_buckets()
 
-        The last entry is moved into the vacated slot so bucket postings
-        stay dense; raises ``KeyError`` when the key is not indexed.
+    def build(self) -> None:
+        """Eagerly resynchronize buckets after mutations (idempotent).
+
+        Queries resynchronize lazily; the serving layer calls this under
+        its write lock so the concurrent read path never rebuilds state.
         """
-        position = self._positions.pop(key, None)
-        if position is None:
-            raise KeyError(f"key {key!r} is not indexed")
-        last = len(self._keys) - 1
-        self._evict_buckets(self._signatures[position], position)
-        if position != last:
-            moved_key = self._keys[last]
-            moved_signature = self._signatures[last]
-            self._evict_buckets(moved_signature, last)
-            self._keys[position] = moved_key
-            self._vectors[position] = self._vectors[last]
-            self._signatures[position] = moved_signature
-            self._positions[moved_key] = position
-            self._insert_buckets(moved_signature, position)
-        self._keys.pop()
-        self._vectors.pop()
-        self._signatures.pop()
-
-    def update(self, key: object, vector: np.ndarray) -> None:
-        """Replace (or insert) the vector stored under ``key``."""
-        if key in self._positions:
-            self.remove(key)
-        self.add(key, vector)
+        self._synced_buckets()
 
     # -- search -------------------------------------------------------------------
 
-    def _candidates(self, signature: np.ndarray) -> list[int]:
-        """Indices of vectors sharing at least one band with the signature."""
-        seen: set[int] = set()
-        for band, band_key in enumerate(self._band_keys(signature)):
-            seen.update(self._buckets[band].get(band_key, ()))
-        return sorted(seen)
+    def _candidate_rows(
+        self, state: _BucketState, band_keys: list[int]
+    ) -> np.ndarray:
+        """Live rows sharing at least one band key with the query.
+
+        Bucket posting arrays are concatenated and deduplicated through a
+        flag vector (one vectorized pass over the occupied region), then
+        intersected with the alive mask so tombstoned rows never surface.
+        """
+        arena = self._arena
+        hits = [
+            array
+            for band, band_key in enumerate(band_keys)
+            if (array := state.bucket_array(band, band_key)) is not None
+        ]
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        flags = np.zeros(arena.size, dtype=bool)
+        flags[np.concatenate(hits)] = True
+        flags &= arena.alive
+        return np.flatnonzero(flags)
 
     def query(
         self,
@@ -177,35 +228,32 @@ class SimHashLSHIndex:
 
         ``threshold`` overrides the index default; ``exclude`` drops one key
         (conventionally the query column itself).  Raises
-        :class:`EmptyIndexError` on an empty index.
+        :class:`~repro.errors.EmptyIndexError` on an empty index.
         """
-        if not self._keys:
-            raise EmptyIndexError("query on empty SimHashLSHIndex")
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        vector = np.asarray(vector, dtype=np.float64)
-        if vector.shape != (self.dim,):
-            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
-        norm = np.linalg.norm(vector)
-        if norm == 0:
+        self._check_query(k)
+        unit = self._arena.coerce_unit(vector)
+        if unit is None:
             return []
-        unit = vector / norm
         floor = self.threshold if threshold is None else threshold
-        signature = self._family.signature(unit)
-        candidate_indices = self._candidates(signature)
-        self._last_candidate_count = len(candidate_indices)
-        if not candidate_indices:
-            return []
-        matrix = np.stack([self._vectors[i] for i in candidate_indices])
-        cosines = matrix @ unit
-        scored = [
-            (self._keys[candidate_indices[pos]], float(cosines[pos]))
-            for pos in range(len(candidate_indices))
-            if cosines[pos] >= floor
-            and (exclude is None or self._keys[candidate_indices[pos]] != exclude)
-        ]
-        scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
-        return scored[:k]
+        state = self._synced_buckets()
+        band_keys = self._signature_for(unit).tolist()
+        candidates = self._candidate_rows(state, band_keys)
+        self._last_candidate_count = int(candidates.size)
+        return self._rank_rows(unit, candidates, floor, k, exclude)
+
+    def _pair_filter(
+        self, units: np.ndarray, query_ids: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        # Batched candidate generation, inverted: the shared GEMM +
+        # threshold pass has already reduced the block to a small set of
+        # above-floor (query, row) pairs; candidacy is then one vectorized
+        # band-key compare per pair against the packed signature matrix —
+        # a pair survives iff the pair shares at least one full band,
+        # exactly the bucket-probe criterion of the per-query path.
+        packed = self._signatures_for(units)
+        return np.any(
+            self._arena.signatures[rows] == packed[query_ids], axis=1
+        )
 
     @property
     def last_candidate_count(self) -> int:

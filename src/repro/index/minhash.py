@@ -5,6 +5,9 @@ MinHash and links profiles whose estimated Jaccard clears a threshold; D3L's
 value-extent evidence is a MinHash LSH lookup.  Signatures use the standard
 universal-hashing construction ``h_i(x) = (a_i * h(x) + b_i) mod p`` over a
 stable 64-bit base hash, so estimates are unbiased and fully deterministic.
+
+(Set-based, not vector-based: this machinery intentionally does *not* sit
+on the cosine backends' columnar :class:`~repro.index.arena.VectorArena`.)
 """
 
 from __future__ import annotations

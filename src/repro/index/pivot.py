@@ -9,13 +9,19 @@ On unit vectors, Euclidean distance is monotone in cosine
 (``d² = 2 - 2·cos``), so a cosine threshold maps to a metric radius and the
 filter is exact — it never drops a true result, it only skips verification
 work.  The benchmark reports the fraction of exact computations avoided.
+
+Vectors live in the shared :class:`~repro.index.arena.VectorArena`; the
+pivot distance table is one contiguous ``(rows, pivots)`` ``float32``
+matrix over the arena, rebuilt lazily after mutations (the arena's
+``generation`` counter flags compactions) or eagerly via :meth:`build`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError, EmptyIndexError
+from repro.errors import EmptyIndexError
+from repro.index.arena import ColumnarIndex
 
 __all__ = ["PivotFilterIndex", "cosine_to_radius"]
 
@@ -26,7 +32,7 @@ def cosine_to_radius(threshold: float) -> float:
     return float(np.sqrt(max(0.0, 2.0 - 2.0 * clipped)))
 
 
-class PivotFilterIndex:
+class PivotFilterIndex(ColumnarIndex):
     """Exact thresholded cosine search accelerated by pivot filtering.
 
     Parameters
@@ -45,97 +51,91 @@ class PivotFilterIndex:
             raise ValueError(f"dim must be positive, got {dim}")
         if n_pivots <= 0:
             raise ValueError(f"n_pivots must be positive, got {n_pivots}")
-        self.dim = dim
+        super().__init__(dim)
         self.n_pivots = n_pivots
         self.threshold = threshold
-        self._keys: list[object] = []
-        self._rows: list[np.ndarray] = []
-        self._positions: dict[object, int] = {}
-        self._matrix: np.ndarray | None = None
         self._pivots: np.ndarray | None = None
         self._pivot_distances: np.ndarray | None = None
+        self._built_size = 0
+        self._built_generation = -1
         self.last_verified_count = 0
 
-    def __len__(self) -> int:
-        return len(self._keys)
+    def __repr__(self) -> str:
+        return (
+            f"PivotFilterIndex(n={len(self)}, dim={self.dim}, "
+            f"pivots={self.n_pivots}, threshold={self.threshold})"
+        )
 
-    def __contains__(self, key: object) -> bool:
-        return key in self._positions
+    # -- derived structures -------------------------------------------------------
 
-    def add(self, key: object, vector: np.ndarray) -> None:
-        """Insert one named vector (unit-normalized internally).
-
-        Keys are unique: re-adding a live key raises ``ValueError`` (use
-        :meth:`update` to replace its vector).
-        """
-        vector = np.asarray(vector, dtype=np.float64)
-        if vector.shape != (self.dim,):
-            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
-        if key in self._positions:
-            raise ValueError(f"key {key!r} already indexed; use update()")
-        norm = np.linalg.norm(vector)
-        if norm == 0:
-            raise ValueError(f"cannot index zero vector under key {key!r}")
-        self._positions[key] = len(self._keys)
-        self._keys.append(key)
-        self._rows.append(vector / norm)
+    def _after_add(self, row: int) -> None:
         self._pivots = None  # force rebuild
 
-    def remove(self, key: object) -> None:
-        """Delete one key (swap-with-last); raises ``KeyError`` if absent.
+    def _after_bulk(self, rows: np.ndarray) -> None:
+        self._pivots = None  # one invalidation covers the whole batch
 
-        Pivots and the distance table are rebuilt lazily on the next query
-        (or eagerly via :meth:`build`).
-        """
-        position = self._positions.pop(key, None)
-        if position is None:
-            raise KeyError(f"key {key!r} is not indexed")
-        last = len(self._keys) - 1
-        if position != last:
-            moved_key = self._keys[last]
-            self._keys[position] = moved_key
-            self._rows[position] = self._rows[last]
-            self._positions[moved_key] = position
-        self._keys.pop()
-        self._rows.pop()
-        self._pivots = None  # force rebuild
+    def _after_remove(self) -> None:
+        # A tombstone alone keeps the distance table valid (dead rows are
+        # masked at query time), but a threshold-triggered compaction
+        # renumbers rows; _ensure_built detects that via the generation.
+        pass
 
-    def update(self, key: object, vector: np.ndarray) -> None:
-        """Replace (or insert) the vector stored under ``key``."""
-        if key in self._positions:
-            self.remove(key)
-        self.add(key, vector)
+    def _stale(self) -> bool:
+        return (
+            self._pivots is None
+            or self._built_size != self._arena.size
+            or self._built_generation != self._arena.generation
+        )
 
     def build(self) -> None:
-        """Choose pivots (greedy max-min) and precompute pivot distances."""
-        if not self._rows:
+        """Choose pivots (greedy max-min) and precompute pivot distances.
+
+        O(live · pivots · dim).  The distance table spans the occupied
+        arena region; tombstoned rows keep a (stale) table entry and are
+        dropped by the alive mask at query time.
+        """
+        arena = self._arena
+        live = arena.live_rows()
+        if live.size == 0:
             raise EmptyIndexError("cannot build an empty PivotFilterIndex")
-        matrix = np.stack(self._rows)
-        count = len(self._rows)
-        n_pivots = min(self.n_pivots, count)
-        # Greedy max-min (farthest-point) pivot selection, seeded at index 0.
-        chosen = [0]
-        distances = np.linalg.norm(matrix - matrix[0], axis=1)
+        matrix = arena.matrix
+        n_pivots = min(self.n_pivots, int(live.size))
+        # Greedy max-min (farthest-point) pivot selection over live rows,
+        # seeded at the first live row.
+        chosen = [int(live[0])]
+        distances = np.linalg.norm(matrix[live] - matrix[chosen[0]], axis=1)
         while len(chosen) < n_pivots:
             farthest = int(np.argmax(distances))
             if distances[farthest] == 0.0:
                 break
-            chosen.append(farthest)
-            new_distances = np.linalg.norm(matrix - matrix[farthest], axis=1)
+            chosen.append(int(live[farthest]))
+            new_distances = np.linalg.norm(matrix[live] - matrix[chosen[-1]], axis=1)
             distances = np.minimum(distances, new_distances)
-        pivots = matrix[chosen]
-        self._matrix = matrix
-        # (n_points, n_pivots) distance table.
+        pivots = matrix[chosen].copy()
+        # (rows, n_pivots) distance table over the whole occupied region.
         self._pivot_distances = np.linalg.norm(
             matrix[:, None, :] - pivots[None, :, :], axis=2
         )
+        self._built_size = arena.size
+        self._built_generation = arena.generation
         # Assigned last: _ensure_built keys off _pivots, so a build must be
         # fully published before any reader can see it as complete.
         self._pivots = pivots
 
     def _ensure_built(self) -> None:
-        if self._pivots is None:
+        if self._stale():
             self.build()
+
+    def _survivors(self, unit: np.ndarray, radius: float) -> np.ndarray:
+        """Live rows whose triangle-inequality lower bound is within radius."""
+        assert self._pivots is not None and self._pivot_distances is not None
+        query_to_pivots = np.linalg.norm(self._pivots - unit, axis=1)
+        lower_bounds = np.abs(
+            self._pivot_distances - query_to_pivots[None, :]
+        ).max(axis=1)
+        return np.flatnonzero(self._arena.alive & (lower_bounds <= radius))
+
+    # -- search -------------------------------------------------------------------
 
     def query(
         self,
@@ -146,40 +146,20 @@ class PivotFilterIndex:
         exclude: object = None,
     ) -> list[tuple[object, float]]:
         """Exact thresholded top-``k``; prunes with pivot lower bounds first."""
-        if not self._rows:
-            raise EmptyIndexError("query on empty PivotFilterIndex")
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        vector = np.asarray(vector, dtype=np.float64)
-        if vector.shape != (self.dim,):
-            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
-        norm = np.linalg.norm(vector)
-        if norm == 0:
+        self._check_query(k)
+        unit = self._arena.coerce_unit(vector)
+        if unit is None:
             return []
-        unit = vector / norm
         self._ensure_built()
-        assert self._matrix is not None
-        assert self._pivots is not None and self._pivot_distances is not None
         floor = self.threshold if threshold is None else threshold
-        radius = cosine_to_radius(floor)
-        # Lower bound per point: max over pivots of |d(q,p) - d(x,p)|.
-        query_to_pivots = np.linalg.norm(self._pivots - unit, axis=1)
-        lower_bounds = np.abs(
-            self._pivot_distances - query_to_pivots[None, :]
-        ).max(axis=1)
-        survivors = np.flatnonzero(lower_bounds <= radius)
+        survivors = self._survivors(unit, cosine_to_radius(floor))
         self.last_verified_count = int(survivors.size)
-        if survivors.size == 0:
-            return []
-        cosines = self._matrix[survivors] @ unit
-        scored = [
-            (self._keys[int(point)], float(score))
-            for point, score in zip(survivors, cosines)
-            if score >= floor
-            and (exclude is None or self._keys[int(point)] != exclude)
-        ]
-        scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
-        return scored[:k]
+        return self._rank_rows(unit, survivors, floor, k, exclude)
+
+    # search_batch: the pivot filter is lossless (it only skips
+    # verification work, never drops a true result), so the inherited
+    # GEMM-then-threshold path already returns exactly the per-query
+    # result set; no _pair_filter override is needed.
 
     @property
     def prune_rate(self) -> float:
@@ -188,6 +168,6 @@ class PivotFilterIndex:
         Diagnostics only and not synchronized: under concurrent queries it
         reflects whichever query wrote last.
         """
-        if not self._keys:
+        if len(self) == 0:
             return 0.0
-        return 1.0 - self.last_verified_count / len(self._keys)
+        return 1.0 - self.last_verified_count / len(self)

@@ -13,7 +13,12 @@ import numpy as np
 from repro._util import rng_for
 from repro.errors import DimensionMismatchError
 
-__all__ = ["SimHashFamily", "hamming_distance", "signature_cosine"]
+__all__ = [
+    "SimHashFamily",
+    "hamming_distance",
+    "pack_band_keys",
+    "signature_cosine",
+]
 
 
 class SimHashFamily:
@@ -52,6 +57,29 @@ class SimHashFamily:
         """
         clipped = min(1.0, max(-1.0, cosine))
         return 1.0 - np.arccos(clipped) / np.pi
+
+
+def pack_band_keys(bits: np.ndarray, n_bands: int) -> np.ndarray:
+    """Pack bit signatures into one ``uint64`` key per LSH band.
+
+    ``bits`` has shape ``(..., n_bits)`` with ``n_bits`` divisible by
+    ``n_bands``; each band of ``n_bits // n_bands`` consecutive bits becomes
+    one little-endian integer, giving shape ``(..., n_bands)`` of dtype
+    ``uint64``.  This is the canonical on-arena signature layout: band
+    equality reduces to a single integer compare, and a whole corpus of
+    signatures packs into one contiguous 2-D array.
+    """
+    n_bits = bits.shape[-1]
+    if n_bits % n_bands != 0:
+        raise ValueError(f"n_bits ({n_bits}) must be divisible by n_bands ({n_bands})")
+    rows_per_band = n_bits // n_bands
+    if rows_per_band > 64:
+        raise ValueError(
+            f"rows_per_band ({rows_per_band}) exceeds 64; a band must fit in uint64"
+        )
+    grouped = bits.reshape(*bits.shape[:-1], n_bands, rows_per_band).astype(np.uint64)
+    weights = np.left_shift(np.uint64(1), np.arange(rows_per_band, dtype=np.uint64))
+    return (grouped * weights).sum(axis=-1, dtype=np.uint64)
 
 
 def hamming_distance(left: np.ndarray, right: np.ndarray) -> int:

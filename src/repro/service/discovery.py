@@ -303,19 +303,26 @@ class DiscoveryService:
     def search_many(
         self, requests: list[SearchRequest | ColumnRef | str]
     ) -> list[SearchResponse]:
-        """Batch search: one lock round and one embedding per unique query.
+        """Batch search: one lock round, one embedding per unique query,
+        and one batched index probe per parameter group.
 
         Results are identical to issuing each request through
-        :meth:`search` — both paths run embed → probe through the same
-        engine code — but duplicate query refs in the batch pay the
-        warehouse scan and embedding only once.
+        :meth:`search` — the probe runs the engine's
+        :meth:`~repro.core.warpgate.WarpGate.search_vectors`, which is the
+        index's true batched path (one matrix product per query block, see
+        ``ColumnarIndex.search_batch``) with per-query semantics preserved
+        — but duplicate query refs pay the warehouse scan and embedding
+        only once, and the block amortizes signature hashing, candidate
+        generation, and BLAS dispatch.  Requests sharing ``(k, threshold)``
+        are probed together; mixed-parameter batches fall into one block
+        per distinct pair.
 
         The batch is all-or-nothing: if any request's query cannot be
         resolved or scanned, the whole call raises one
         :class:`ServiceError` and no partial results are returned.
         """
         coerced = [self._coerce(request, None, None) for request in requests]
-        responses: list[SearchResponse] = []
+        responses: list[SearchResponse | None] = [None] * len(coerced)
         with self._boundary():
             resolved = [self._resolve_ref(request.query) for request in coerced]
             embedded: dict[ColumnRef, tuple] = {}
@@ -323,24 +330,24 @@ class DiscoveryService:
                 for query in resolved:
                     if query not in embedded:
                         embedded[query] = self.engine.embed_query(query)
+            groups: dict[tuple, list[int]] = {}
+            for position, request in enumerate(coerced):
+                groups.setdefault((request.k, request.threshold), []).append(position)
             with self._lock.read():
-                for request, query in zip(coerced, resolved):
-                    vector, timing = embedded[query]
-                    if not np.any(vector):
-                        result = DiscoveryResult(
-                            query=query, candidates=[], timing=timing
-                        )
-                    else:
-                        result = self.engine.search_vector(
-                            vector,
-                            request.k,
-                            threshold=request.threshold,
-                            exclude=query,
-                        )
-                        result.timing = timing + result.timing
-                    responses.append(SearchResponse.from_result(result))
+                for (k, threshold), positions in groups.items():
+                    vectors = [embedded[resolved[p]][0] for p in positions]
+                    results = self.engine.search_vectors(
+                        vectors,
+                        k,
+                        threshold=threshold,
+                        excludes=[resolved[p] for p in positions],
+                    )
+                    for position, result in zip(positions, results):
+                        embed_timing = embedded[resolved[position]][1]
+                        result.timing = embed_timing + result.timing
+                        responses[position] = SearchResponse.from_result(result)
         self._record_searches(len(coerced))
-        return responses
+        return responses  # type: ignore[return-value]
 
     # -- introspection -------------------------------------------------------------
 

@@ -84,6 +84,39 @@ class TestExperiments:
             assert bench.name in EXPERIMENTS, f"EXPERIMENTS.md misses {bench.name}"
 
 
+class TestPerfDocs:
+    """The perf-tracking story: CLI, report, and doc sections stay in sync."""
+
+    def test_readme_documents_bench_command(self):
+        assert "python -m repro bench" in README
+        assert "BENCH_index.json" in README
+
+    def test_experiments_documents_bench_command(self):
+        assert "python -m repro bench" in EXPERIMENTS
+        assert "BENCH_index.json" in EXPERIMENTS
+
+    def test_design_has_index_internals_section(self):
+        assert "Index internals" in DESIGN
+        for anchor in ("VectorArena", "tombstone", "compaction", "search_batch"):
+            assert anchor in DESIGN, f"Index internals misses {anchor!r}"
+
+    def test_bench_report_exists_and_validates(self):
+        import json
+
+        from repro.eval.perf import BENCH_REPORT_NAME, validate_report
+
+        path = ROOT / BENCH_REPORT_NAME
+        assert path.exists(), "run `python -m repro bench` to regenerate"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_report(payload) == []
+
+    def test_bench_cli_subcommand_exists(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--profile", "fast"])
+        assert callable(args.handler)
+
+
 class TestInventoryMatchesModules:
     def test_design_module_listing_is_current(self):
         """Every module named in the DESIGN inventory actually exists."""

@@ -78,8 +78,8 @@ class TestDegenerateColumns:
             Column("ok", ["x", "y", "z"]),
         )
         # The all-null column embeds to zero and is not indexed.
-        assert ColumnRef("db", "weird", "empty") not in system._vectors
-        assert ColumnRef("db", "weird", "ok") in system._vectors
+        assert not system.is_column_indexed(ColumnRef("db", "weird", "empty"))
+        assert system.is_column_indexed(ColumnRef("db", "weird", "ok"))
 
     def test_all_null_query_returns_empty(self):
         system = self._index(
@@ -96,7 +96,7 @@ class TestDegenerateColumns:
 
     def test_single_row_column_indexable(self):
         system = self._index(Column("one", ["acme"]), Column("pad", ["x"]))
-        assert ColumnRef("db", "weird", "one") in system._vectors
+        assert system.is_column_indexed(ColumnRef("db", "weird", "one"))
 
 
 class TestLookupMisuse:

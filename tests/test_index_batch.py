@@ -1,0 +1,223 @@
+"""Batched search and LSH↔exact equivalence across the columnar backends.
+
+Two contracts are pinned here:
+
+* ``search_batch`` returns the same results as per-query ``query`` calls
+  (same keys in the same order; scores equal to float32 precision — the
+  batched path scores through one GEMM, the single path through gathered
+  matvecs) for every backend, including after churn and compaction;
+* the columnar LSH index at an exhaustive banding (one row per band)
+  returns results identical to a brute-force exact reference on random
+  corpora, including after interleaved add/remove/compaction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import rng_for
+from repro.errors import DimensionMismatchError, EmptyIndexError
+from repro.index.exact import ExactCosineIndex
+from repro.index.lsh import SimHashLSHIndex
+from repro.index.pivot import PivotFilterIndex
+
+DIM = 24
+
+
+def cloud(n: int, key: object) -> np.ndarray:
+    matrix = rng_for("batch-test", key).standard_normal((n, DIM))
+    return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+
+def make_index(backend: str, threshold: float = 0.2):
+    if backend == "lsh":
+        return SimHashLSHIndex(DIM, n_bits=64, n_bands=32, threshold=threshold)
+    if backend == "exact":
+        return ExactCosineIndex(DIM)
+    return PivotFilterIndex(DIM, n_pivots=5, threshold=threshold)
+
+
+def assert_batch_matches_sequential(index, queries, k, **kwargs):
+    excludes = kwargs.pop("excludes", None)
+    batch = index.search_batch(queries, k, excludes=excludes, **kwargs)
+    assert len(batch) == len(queries)
+    for position, got in enumerate(batch):
+        exclude = excludes[position] if excludes is not None else None
+        expected = index.query(queries[position], k, exclude=exclude, **kwargs)
+        assert [key for key, _ in got] == [key for key, _ in expected]
+        assert [score for _, score in got] == pytest.approx(
+            [score for _, score in expected], abs=1e-6
+        )
+
+
+BACKENDS = ["lsh", "exact", "pivot"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBatchEqualsSequential:
+    def test_plain_batch(self, backend):
+        index = make_index(backend)
+        points = cloud(120, "plain")
+        for position in range(120):
+            index.add(position, points[position])
+        queries = cloud(17, "queries")
+        assert_batch_matches_sequential(index, queries, 10)
+
+    def test_threshold_override(self, backend):
+        index = make_index(backend)
+        points = cloud(80, "override")
+        for position in range(80):
+            index.add(position, points[position])
+        assert_batch_matches_sequential(index, cloud(9, "q2"), 5, threshold=0.5)
+
+    def test_excludes(self, backend):
+        index = make_index(backend)
+        points = cloud(60, "excl")
+        for position in range(60):
+            index.add(position, points[position])
+        queries = points[:8]  # query the corpus itself, excluding self
+        assert_batch_matches_sequential(
+            index, queries, 6, excludes=list(range(8))
+        )
+
+    def test_zero_query_rows_get_empty_results(self, backend):
+        index = make_index(backend)
+        points = cloud(30, "zero")
+        for position in range(30):
+            index.add(position, points[position])
+        queries = np.vstack([points[0], np.zeros(DIM), points[1]])
+        batch = index.search_batch(queries, 5)
+        assert batch[1] == []
+        assert batch[0] and batch[2]
+
+    def test_after_churn_and_compaction(self, backend):
+        rng = np.random.default_rng(11)
+        index = make_index(backend)
+        live: dict[int, np.ndarray] = {}
+        points = cloud(300, "churn")
+        for step in range(200):
+            if live and rng.random() < 0.45:
+                victim = sorted(live)[int(rng.integers(len(live)))]
+                index.remove(victim)
+                del live[victim]
+            else:
+                index.add(step, points[step])
+                live[step] = points[step]
+        assert index.arena.generation > 0  # churn crossed the threshold
+        assert_batch_matches_sequential(index, cloud(11, "churn-q"), 7)
+
+    def test_empty_index_raises(self, backend):
+        with pytest.raises(EmptyIndexError):
+            make_index(backend).search_batch(cloud(2, "e"), 3)
+
+    def test_bad_k_rejected(self, backend):
+        index = make_index(backend)
+        index.add("a", cloud(1, "a")[0])
+        with pytest.raises(ValueError):
+            index.search_batch(cloud(2, "k"), 0)
+
+    def test_excludes_length_mismatch(self, backend):
+        index = make_index(backend)
+        index.add("a", cloud(1, "a")[0])
+        with pytest.raises(ValueError):
+            index.search_batch(cloud(3, "m"), 2, excludes=["a"])
+
+    def test_empty_batch(self, backend):
+        index = make_index(backend)
+        index.add("a", cloud(1, "a")[0])
+        assert index.search_batch(np.zeros((0, DIM)), 3) == []
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bulk_load_equals_incremental_adds(self, backend):
+        points = cloud(90, "bulk")
+        loaded = make_index(backend)
+        loaded.bulk_load(list(range(90)), points)
+        incremental = make_index(backend)
+        for position in range(90):
+            incremental.add(position, points[position])
+        assert np.array_equal(loaded.arena.matrix, incremental.arena.matrix)
+        query = cloud(1, "bulk-q")[0]
+        assert loaded.query(query, 8) == incremental.query(query, 8)
+
+
+def exhaustive_lsh(threshold: float = 0.2) -> SimHashLSHIndex:
+    """One row per band: every band is a single bit, so any pair with
+    positive cosine shares a band with overwhelming probability — the
+    banding S-curve at r=1, b=64 makes LSH exhaustive above a positive
+    threshold (miss probability < (1-p)^64 with p > 0.5)."""
+    return SimHashLSHIndex(DIM, n_bits=64, n_bands=64, threshold=threshold)
+
+
+class TestLshEqualsBruteForce:
+    """Satellite: columnar LSH ≡ brute-force exact on random corpora."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_identical_results_on_random_corpus(self, seed):
+        points = cloud(70, ("bf", seed))
+        lsh = exhaustive_lsh()
+        exact = ExactCosineIndex(DIM)
+        for position in range(70):
+            lsh.add(position, points[position])
+            exact.add(position, points[position])
+        query = cloud(3, ("bf-q", seed))[0]
+        got = lsh.query(query, 15)
+        expected = exact.query(query, 15, threshold=0.2)
+        assert [key for key, _ in got] == [key for key, _ in expected]
+        assert [score for _, score in got] == pytest.approx(
+            [score for _, score in expected], abs=1e-6
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_identical_after_interleaved_mutation(self, seed):
+        rng = np.random.default_rng(seed)
+        points = cloud(200, ("bf-churn", seed))
+        lsh = exhaustive_lsh()
+        exact = ExactCosineIndex(DIM)
+        live: set[int] = set()
+        for step in range(140):
+            if live and rng.random() < 0.45:
+                victim = sorted(live)[int(rng.integers(len(live)))]
+                lsh.remove(victim)
+                exact.remove(victim)
+                live.discard(victim)
+            else:
+                lsh.add(step, points[step])
+                exact.add(step, points[step])
+                live.add(step)
+        query = cloud(1, ("bf-churn-q", seed))[0]
+        got = lsh.query(query, 10)
+        expected = exact.query(query, 10, threshold=0.2)
+        assert [key for key, _ in got] == [key for key, _ in expected]
+        assert [score for _, score in got] == pytest.approx(
+            [score for _, score in expected], abs=1e-6
+        )
+
+    def test_batched_lsh_equals_brute_force_reference(self):
+        """search_batch against a pure-numpy reference ranking."""
+        points = cloud(150, "bf-batch")
+        lsh = exhaustive_lsh(threshold=0.3)
+        lsh.bulk_load(list(range(150)), points)
+        queries = cloud(9, "bf-batch-q")
+        batch = lsh.search_batch(queries, 12)
+        matrix = points.astype(np.float32)
+        for position, got in enumerate(batch):
+            scores = matrix @ queries[position].astype(np.float32)
+            reference = sorted(
+                (
+                    (key, float(score))
+                    for key, score in enumerate(scores)
+                    if score >= 0.3
+                ),
+                key=lambda pair: (-pair[1], str(pair[0])),
+            )[:12]
+            assert [key for key, _ in got] == [key for key, _ in reference]
+            assert [score for _, score in got] == pytest.approx(
+                [score for _, score in reference], abs=1e-5
+            )

@@ -146,7 +146,8 @@ class TestRecallAgainstExact:
         near /= np.linalg.norm(near)
         lsh.add("near", near)
         results = dict(lsh.query(base, 1))
-        assert results["near"] == pytest.approx(float(base @ near), abs=1e-9)
+        # float32 arena storage bounds score precision at ~1e-7 relative.
+        assert results["near"] == pytest.approx(float(base @ near), abs=1e-6)
 
 
 class TestExpectedCandidateRate:

@@ -28,6 +28,18 @@ def unit(seed: int) -> np.ndarray:
 BACKENDS = ["lsh", "exact", "pivot"]
 
 
+def assert_same_results(left, right):
+    """Same keys in the same order; scores equal up to float32 arithmetic.
+
+    The arena stores float32 rows, and BLAS may pick different kernels for
+    different matrix extents, so two histories that agree on content can
+    differ in the last ulp of a score.
+    """
+    assert [key for key, _ in left] == [key for key, _ in right]
+    for (_, a), (_, b) in zip(left, right):
+        assert a == pytest.approx(b, abs=1e-6)
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 class TestRemove:
     def test_removed_key_gone_from_results(self, backend):
@@ -58,8 +70,9 @@ class TestRemove:
             if i not in (4, 11):
                 fresh.add(f"k{i}", unit(i))
         query = unit(99)
-        assert index.query(query, 10, threshold=-1.0) == fresh.query(
-            query, 10, threshold=-1.0
+        assert_same_results(
+            index.query(query, 10, threshold=-1.0),
+            fresh.query(query, 10, threshold=-1.0),
         )
 
     def test_remove_all_then_query_raises(self, backend):
@@ -91,8 +104,9 @@ class TestRemove:
         for key in sorted(live):
             fresh.add(key, live[key])
         query = unit(4242)
-        assert index.query(query, 5, threshold=-1.0) == fresh.query(
-            query, 5, threshold=-1.0
+        assert_same_results(
+            index.query(query, 5, threshold=-1.0),
+            fresh.query(query, 5, threshold=-1.0),
         )
 
 
@@ -123,22 +137,78 @@ class TestUpdate:
 
 
 class TestLSHBucketIntegrity:
-    def test_buckets_stay_dense_after_churn(self):
-        """Every bucket posting must point at a live slot."""
+    def test_postings_cover_live_rows_after_churn(self):
+        """Candidate generation must see every live row exactly once per band.
+
+        Between compactions, bucket postings may still reference
+        tombstoned rows — the alive mask filters them during candidate
+        generation — but each *live* arena row must appear in exactly one
+        bucket of every band.
+        """
         index = SimHashLSHIndex(DIM, n_bits=64, n_bands=16, threshold=-1.0)
         for i in range(20):
             index.add(i, unit(i))
         for victim in (0, 7, 19, 13, 1):
             index.remove(victim)
+        arena = index.arena
+        state = index._synced_buckets()
+        live = set(arena.live_rows().tolist())
+        for band_postings in state.postings:
+            seen: list[int] = []
+            for postings in band_postings.values():
+                assert postings, "empty posting lists must not exist"
+                assert all(0 <= row < arena.size for row in postings)
+                seen.extend(row for row in postings if row in live)
+            assert sorted(seen) == sorted(live)
+
+    def test_compaction_rebuilds_dense_buckets(self):
+        """After a compaction, postings reference only live, renumbered rows."""
+        index = SimHashLSHIndex(DIM, n_bits=64, n_bands=16, threshold=-1.0)
+        for i in range(20):
+            index.add(i, unit(i))
+        for victim in (0, 7, 19, 13, 1):
+            index.remove(victim)
+        index.arena.compact()
+        index.build()  # resynchronize eagerly, as the serving layer does
+        state = index._buckets
         count = len(index)
-        for band_buckets in index._buckets:
-            for postings in band_buckets.values():
-                assert postings, "empty posting lists must be deleted"
-                assert all(0 <= position < count for position in postings)
+        per_band_total = 0
+        for band_postings in state.postings:
+            for postings in band_postings.values():
+                assert postings, "empty posting lists must not exist"
+                assert all(0 <= row < count for row in postings)
+                per_band_total += len(postings)
         # Each live entry appears exactly once per band.
-        per_band_total = sum(
-            len(postings)
-            for band_buckets in index._buckets
-            for postings in band_buckets.values()
-        )
         assert per_band_total == count * index.n_bands
+
+    def test_add_right_after_compaction_does_not_duplicate_postings(self):
+        """The post-compaction rebuild already covers the row being added."""
+        index = SimHashLSHIndex(DIM, n_bits=64, n_bands=16, threshold=-1.0)
+        for i in range(40):
+            index.add(i, unit(i))
+        for victim in range(11):  # > 25% dead: triggers a compaction
+            index.remove(victim)
+        assert index.arena.generation > 0
+        index.add("fresh", unit(999))
+        state = index._synced_buckets()
+        for band_postings in state.postings:
+            for postings in band_postings.values():
+                assert len(postings) == len(set(postings))
+
+    def test_threshold_triggered_compaction_preserves_results(self):
+        """Crossing the dead-fraction threshold must not change search results."""
+        index = SimHashLSHIndex(DIM, n_bits=64, n_bands=16, threshold=-1.0)
+        for i in range(40):
+            index.add(i, unit(i))
+        generation_before = index.arena.generation
+        for victim in range(0, 24):  # > 25% dead: forces at least one compaction
+            index.remove(victim)
+        assert index.arena.generation > generation_before
+        fresh = SimHashLSHIndex(DIM, n_bits=64, n_bands=16, threshold=-1.0)
+        for i in range(24, 40):
+            fresh.add(i, unit(i))
+        query = unit(77)
+        assert_same_results(
+            index.query(query, 10, threshold=-1.0),
+            fresh.query(query, 10, threshold=-1.0),
+        )

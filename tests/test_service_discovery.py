@@ -156,9 +156,12 @@ class TestBatchSearch:
         assert len(batch) == len(single)
         for one, many in zip(single, batch):
             assert one.refs == many.refs
-            assert [c.score for c in one.candidates] == [
-                c.score for c in many.candidates
-            ]
+            # The batched probe scores via one GEMM, the single probe via a
+            # gathered matvec; both read the same float32 arena, so scores
+            # agree to float32 precision (reduction order may differ).
+            assert [c.score for c in one.candidates] == pytest.approx(
+                [c.score for c in many.candidates], abs=1e-6
+            )
 
     def test_duplicate_queries_embed_once(self, service):
         scans_before = service.engine.connector.stats.scan_count
