@@ -28,3 +28,18 @@ def test_batched_search_amortizes(tmp_path):
     largest = report["results"][-1]
     assert largest["batch_speedup"] > 1.0
     assert 0.0 < largest["candidate_fraction"] < 1.0
+
+
+def test_batched_embedding_amortizes(tmp_path):
+    """Batched encode beats the sequential loop and the caches pull weight."""
+    report = run_perf_suite(
+        profile="fast",
+        sizes=(500, 1_000, 2_000),
+        embed_sizes=(1_000,),
+        repeats=1,
+        embed_repeats=1,
+    )
+    row = report["embed"][-1]
+    assert row["speedup"] > 1.0
+    assert row["cache_hit_rate"] > 0.5
+    assert row["batched_cols_per_s"] > row["sequential_cols_per_s"]

@@ -33,6 +33,7 @@ from pathlib import Path
 
 from repro.core.config import WarpGateConfig
 from repro.core.lookup import LookupService
+from repro.embedding.registry import available_models
 from repro.errors import ReproError
 from repro.service import DiscoveryService, serve
 from repro.storage.csv_codec import read_csv_file
@@ -185,6 +186,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title=f"Index perf suite ({args.profile} profile)",
         )
     )
+    embed_rows = [
+        [
+            row["n_columns"],
+            f"{row['sequential_cols_per_s']:.0f}",
+            f"{row['batched_cols_per_s']:.0f}",
+            f"{row['speedup']:.1f}x",
+            f"{row['cache_hit_rate']:.1%}",
+        ]
+        for row in report["embed"]
+    ]
+    print(
+        render_table(
+            ["columns", "seq cols/s", "batch cols/s", "speedup", "cache hit %"],
+            embed_rows,
+            title="Embedding throughput (sequential vs batched encode)",
+        )
+    )
     print(f"report written to {path}")
     return 0
 
@@ -237,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--model",
             default="webtable",
-            choices=("webtable", "hashing", "bertlike"),
+            choices=available_models(),
             help="embedding model",
         )
 

@@ -45,6 +45,10 @@ class WarpGateConfig:
         Encoder options (see :class:`repro.embedding.ColumnEncoder`).
     default_k:
         Result-list size when the caller does not pass one.
+    index_chunk_size:
+        Columns loaded + encoded + appended per chunk during corpus
+        indexing; bounds the build's working set so arbitrarily large
+        corpora stream through constant memory.
     """
 
     model_name: str = "webtable"
@@ -60,6 +64,7 @@ class WarpGateConfig:
     dedupe_values: bool = False
     numeric_profile_weight: float = 0.3
     default_k: int = 10
+    index_chunk_size: int = 512
 
     def __post_init__(self) -> None:
         if self.search_backend not in _SEARCH_BACKENDS:
@@ -84,6 +89,10 @@ class WarpGateConfig:
             raise ValueError(f"threshold must be in [-1, 1], got {self.threshold}")
         if self.default_k <= 0:
             raise ValueError(f"default_k must be positive, got {self.default_k}")
+        if self.index_chunk_size <= 0:
+            raise ValueError(
+                f"index_chunk_size must be positive, got {self.index_chunk_size}"
+            )
 
     def with_sampling(self, sample_size: int | None, strategy: str | None = None) -> "WarpGateConfig":
         """Copy of this config with a different sampling setup."""

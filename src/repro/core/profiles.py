@@ -59,3 +59,12 @@ class EmbeddingCache:
         """Hits / (hits + misses); 0.0 before any access."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, object]:
+        """Machine-readable snapshot (size, traffic, hit rate)."""
+        return {
+            "size": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }

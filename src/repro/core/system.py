@@ -29,10 +29,17 @@ ELIGIBLE_TYPES = (DataType.STRING, DataType.INTEGER, DataType.FLOAT)
 
 @dataclass
 class IndexReport:
-    """What indexing a corpus cost."""
+    """What indexing a corpus cost.
+
+    ``columns_indexed`` counts columns newly added to the index;
+    ``columns_replaced`` counts in-place replacements of already-indexed
+    columns (re-indexing an existing corpus), so the two never
+    double-count one column.
+    """
 
     system: str
     columns_indexed: int = 0
+    columns_replaced: int = 0
     columns_skipped: int = 0
     wall_seconds: float = 0.0
     simulated_load_seconds: float = 0.0

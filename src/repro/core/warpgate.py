@@ -13,14 +13,16 @@ threshold, excluding the query's own table.
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 
 import numpy as np
 
+from repro._util import chunked
 from repro.core.system import IndexReport, JoinDiscoverySystem
 from repro.core.candidates import DiscoveryResult, JoinCandidate, TimingBreakdown
 from repro.core.config import WarpGateConfig
 from repro.core.profiles import EmbeddingCache
-from repro.embedding.encoder import ColumnEncoder
+from repro.embedding.encoder import ColumnEncoder, EncodeStats
 from repro.embedding.registry import get_model
 from repro.index.exact import ExactCosineIndex
 from repro.index.lsh import SimHashLSHIndex
@@ -88,45 +90,64 @@ class WarpGate(JoinDiscoverySystem):
     # -- indexing pipeline ------------------------------------------------------------
 
     def index_corpus(
-        self, connector: WarehouseConnector, *, sampler: Sampler | None = None
+        self,
+        connector: WarehouseConnector,
+        *,
+        sampler: Sampler | None = None,
+        chunk_size: int | None = None,
     ) -> IndexReport:
         """Embed and index every eligible column (Figure 2, left half).
 
-        Embeddings are collected per column (each load is a metered scan)
-        and inserted through the index's columnar bulk path: one
-        normalization pass, one batched signature computation, one arena
-        append for the whole corpus.
+        The build streams in chunks of ``chunk_size`` columns (default:
+        ``config.index_chunk_size``): each chunk is loaded through the
+        metered connector, serialized and embedded in one
+        :meth:`~repro.embedding.ColumnEncoder.encode_batch` call (deduped
+        tokens, shared token-vector cache), and appended through the
+        index's columnar bulk path — so a million-column corpus indexes in
+        bounded memory while the embedding work stays vectorized.
         """
         self._connector = connector
         sampler = sampler if sampler is not None else self._default_sampler()
+        chunk = chunk_size if chunk_size is not None else self.config.index_chunk_size
+        if chunk <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk}")
         report = IndexReport(system=self.name)
         start = time.perf_counter()
         meter_before = connector.meter.charged_dollars
         bytes_before = connector.stats.scanned_bytes
         simulated_before = connector.stats.simulated_seconds
 
-        refs: list[ColumnRef] = []
-        vectors: list[np.ndarray] = []
-        for ref in self.eligible_refs(connector):
-            column, _measured, _simulated = self.load_column(ref, sampler)
-            vector = self.encoder.encode(column)
-            if not np.any(vector):
-                report.columns_skipped += 1
-                continue
-            if ref in self._index:
-                # Re-indexing over an existing corpus replaces in place.
-                self._store(ref, vector)
-            else:
-                refs.append(ref)
-                vectors.append(vector)
-            report.columns_indexed += 1
-        if refs:
-            self._index.bulk_load(refs, np.stack(vectors))
-            if self.cache is not None:
-                for ref, vector in zip(refs, vectors):
-                    self.cache.put(ref, vector)
+        embed_stats = EncodeStats()
+        for chunk_refs in chunked(self.eligible_refs(connector), chunk):
+            columns = [
+                self.load_column(ref, sampler)[0] for ref in chunk_refs
+            ]
+            matrix, stats = self.encoder.encode_batch(columns)
+            embed_stats.merge(stats)
+            fresh_refs: list[ColumnRef] = []
+            fresh_rows: list[int] = []
+            for position, ref in enumerate(chunk_refs):
+                vector = matrix[position]
+                if not np.any(vector):
+                    report.columns_skipped += 1
+                    continue
+                if ref in self._index:
+                    # Re-indexing over an existing corpus replaces in place.
+                    self._store(ref, vector)
+                    report.columns_replaced += 1
+                else:
+                    fresh_refs.append(ref)
+                    fresh_rows.append(position)
+                    report.columns_indexed += 1
+            if fresh_refs:
+                self._index.bulk_load(fresh_refs, matrix[fresh_rows])
+                if self.cache is not None:
+                    for ref, row in zip(fresh_refs, fresh_rows):
+                        self.cache.put(ref, matrix[row])
 
         report.wall_seconds = time.perf_counter() - start
+        report.notes["chunk_size"] = chunk
+        report.notes["embed"] = embed_stats.to_dict()
         report.simulated_load_seconds = (
             connector.stats.simulated_seconds - simulated_before
         )
@@ -158,14 +179,34 @@ class WarpGate(JoinDiscoverySystem):
         Returns ``False`` when the column embeds to a zero vector (skipped,
         matching :meth:`index_corpus` behaviour).
         """
+        return bool(self.add_columns([ref], sampler=sampler))
+
+    def add_columns(
+        self, refs: Sequence[ColumnRef], *, sampler: Sampler | None = None
+    ) -> list[ColumnRef]:
+        """Scan, embed, and index several columns in one batched pass.
+
+        The incremental sibling of :meth:`index_corpus`: all columns load
+        through the metered connector, embed in one
+        :meth:`~repro.embedding.ColumnEncoder.encode_batch` call, and
+        insert (or replace) individually.  Returns the refs actually
+        indexed — columns embedding to the zero vector are skipped.
+        """
+        if not refs:
+            return []
         sampler = sampler if sampler is not None else self._default_sampler()
-        column, _measured, _simulated = self.load_column(ref, sampler)
-        vector = self.encoder.encode(column)
-        if not np.any(vector):
-            return False
-        self._store(ref, vector)
-        self._indexed = True
-        return True
+        columns = [self.load_column(ref, sampler)[0] for ref in refs]
+        matrix, _stats = self.encoder.encode_batch(columns)
+        kept: list[ColumnRef] = []
+        for position, ref in enumerate(refs):
+            vector = matrix[position]
+            if not np.any(vector):
+                continue
+            self._store(ref, vector)
+            kept.append(ref)
+        if kept:
+            self._indexed = True
+        return kept
 
     def remove_column(self, ref: ColumnRef) -> None:
         """Drop one column from the index; raises ``KeyError`` if absent."""
@@ -215,7 +256,10 @@ class WarpGate(JoinDiscoverySystem):
         timing.load_measured_s = measured
         timing.load_simulated_s = simulated
         embed_start = time.perf_counter()
-        vector = self.encoder.encode(column)
+        # Same path as indexing: a single-column batch still hits the
+        # value-tokenization and token-vector caches.
+        matrix, _stats = self.encoder.encode_batch([column])
+        vector = matrix[0]
         timing.embed_s = time.perf_counter() - embed_start
         if self.cache is not None and np.any(vector):
             self.cache.put(query, vector)
@@ -378,6 +422,18 @@ class WarpGate(JoinDiscoverySystem):
         self._connector = connector
 
     # -- introspection ---------------------------------------------------------------------
+
+    def embedding_cache_stats(self) -> dict[str, object]:
+        """Cache effectiveness snapshot across the embedding pipeline.
+
+        Bundles the shared :class:`EmbeddingCache` (column-level, when
+        attached) with the encoder's value-tokenization and token-vector
+        caches — what the serving layer exposes on ``/stats``.
+        """
+        payload = self.encoder.cache_stats()
+        if self.cache is not None:
+            payload["embedding_cache"] = self.cache.stats()
+        return payload
 
     def vector_of(self, ref: ColumnRef) -> np.ndarray:
         """Indexed unit embedding of ``ref`` (raises KeyError if not indexed).

@@ -13,15 +13,20 @@ no more effective for join discovery.
 vector: serialize → tokenize → embed tokens → aggregate → L2-normalize.
 """
 
+from repro.embedding.base import LRUCache, TokenEmbeddingModel
 from repro.embedding.bertlike import BertLikeEmbeddingModel
 from repro.embedding.contextual import ContextualColumnEncoder
-from repro.embedding.encoder import ColumnEncoder
+from repro.embedding.encoder import ColumnEncoder, EncodeStats
 from repro.embedding.finetune import (
     ContrastiveFineTuner,
     FineTunedEncoder,
     FineTuneReport,
 )
-from repro.embedding.hashing import HashingEmbeddingModel, hashed_token_vector
+from repro.embedding.hashing import (
+    HashingEmbeddingModel,
+    hashed_token_matrix,
+    hashed_token_vector,
+)
 from repro.embedding.numeric import numeric_profile_vector
 from repro.embedding.registry import available_models, get_model
 from repro.embedding.vocab import Vocabulary
@@ -32,13 +37,17 @@ __all__ = [
     "ColumnEncoder",
     "ContextualColumnEncoder",
     "ContrastiveFineTuner",
+    "EncodeStats",
     "FineTunedEncoder",
     "FineTuneReport",
     "HashingEmbeddingModel",
+    "LRUCache",
+    "TokenEmbeddingModel",
     "Vocabulary",
     "WebTableEmbeddingModel",
     "available_models",
     "get_model",
+    "hashed_token_matrix",
     "hashed_token_vector",
     "numeric_profile_vector",
 ]

@@ -1,0 +1,236 @@
+"""Shared token-embedding model base: the batched embedding contract.
+
+Every registry model embeds tokens one at a time through ``embed_token``;
+that was fine for the search side but made corpus builds a per-column,
+per-token Python loop.  This module defines the canonical *batch contract*
+all models implement:
+
+``embed_tokens_batch(list[list[str]]) -> list[ndarray]``
+    One call embeds the token sequences of a whole column chunk.  For
+    *context-free* models (hashing, webtable, cooccur — a token's vector
+    never depends on its neighbours) the default implementation dedups
+    tokens across the entire batch and embeds each distinct token exactly
+    once; contextual models (bertlike, contextual) override it to batch
+    the underlying token fetch while still mixing per sequence.
+
+``embed_tokens_distinct(list[str]) -> ndarray``
+    The dedup kernel: embeds a list of *unique* tokens, consulting the
+    model's bounded LRU :class:`TokenVectorCache` first so values repeated
+    across columns cost one embed per process, not one per occurrence.
+
+``idf_batch(list[str]) -> ndarray``
+    Vectorized idf lookup for the tf-idf aggregation path.
+
+Subclasses override ``_embed_distinct_uncached`` (the real vectorized
+work) and leave the caching, deduping, and fan-out to the base class.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["LRUCache", "TokenEmbeddingModel"]
+
+
+class LRUCache:
+    """Bounded, thread-safe LRU mapping with hit/miss accounting.
+
+    Used for the shared token-vector cache (token → unit vector) and the
+    encoder's value caches (cell value → tokens / vector sums).  Both see
+    heavy-tailed key distributions — categorical values repeat massively
+    across warehouse columns — so a bounded LRU keeps memory flat while
+    serving almost every repeat from the cache.  Registry models are
+    process-wide singletons whose caches may be touched from several
+    engines at once, so ``get``/``put`` take an internal lock (concurrent
+    misses at worst duplicate an embed; they never corrupt the map).
+    """
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[object, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={len(self)}, capacity={self.capacity}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )
+
+    def get(self, key: object) -> object | None:
+        """Cached value for ``key`` (marked most-recent), counting hit/miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: object, value: object) -> None:
+        """Store ``value``, evicting the least-recently-used entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / (hits + misses); 0.0 before any access."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, object]:
+        """Machine-readable snapshot for stats endpoints and bench reports."""
+        return {
+            "size": len(self),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class TokenEmbeddingModel:
+    """Base class providing the batched embedding contract.
+
+    Subclasses must set ``dim`` and implement ``embed_token``; everything
+    else has a correct (if unvectorized) default.  ``context_free`` declares
+    whether a token's vector is independent of its neighbours — the switch
+    that lets the batch path dedup tokens across columns.
+    """
+
+    name = "abstract"
+    #: A token's vector never depends on surrounding tokens; batch calls may
+    #: dedup tokens across the whole batch.  Contextual models set False.
+    context_free = True
+
+    dim: int
+    #: Bounded token → vector cache shared across batch calls; None when the
+    #: model has no cacheable per-token path (contextual mixers delegate).
+    token_cache: LRUCache | None = None
+
+    # -- single-token / single-sequence paths (reference implementations) ------
+
+    def embed_token(self, token: str) -> np.ndarray:
+        """Vector for one token."""
+        raise NotImplementedError
+
+    def embed_tokens(self, tokens: list[str]) -> np.ndarray:
+        """Matrix of shape (len(tokens), dim); the sequential reference path."""
+        if not tokens:
+            return np.zeros((0, self.dim))
+        return np.stack([self.embed_token(token) for token in tokens])
+
+    def idf(self, token: str) -> float:
+        """Inverse document frequency; models without corpus stats use 1.0."""
+        return 1.0
+
+    @property
+    def is_trained(self) -> bool:
+        """Models that need no training are always ready."""
+        return True
+
+    # -- batch contract ---------------------------------------------------------
+
+    def _embed_distinct_uncached(self, tokens: Sequence[str]) -> np.ndarray:
+        """Embed unique tokens without consulting the cache (override me)."""
+        return self.embed_tokens(list(tokens))
+
+    def embed_tokens_distinct(self, tokens: Sequence[str]) -> np.ndarray:
+        """Embed a sequence of *unique* tokens, one row each, cache-first.
+
+        Cached rows are gathered; misses are embedded in one vectorized
+        pass and written back.  Callers must not mutate the returned rows.
+        Contextual models bypass the cache entirely: their per-token
+        output depends on the surrounding sequence, so caching it (or
+        serving a base-model row in its place) would be wrong — and their
+        ``token_cache`` may belong to a *shared* base model that must
+        never see contextualized rows.
+        """
+        if not tokens:
+            return np.zeros((0, self.dim))
+        cache = self.token_cache
+        if cache is None or not self.context_free:
+            return self._embed_distinct_uncached(tokens)
+        rows = np.empty((len(tokens), self.dim))
+        missing: list[str] = []
+        missing_positions: list[int] = []
+        for position, token in enumerate(tokens):
+            vector = cache.get(token)
+            if vector is None:
+                missing.append(token)
+                missing_positions.append(position)
+            else:
+                rows[position] = vector
+        if missing:
+            computed = self._embed_distinct_uncached(missing)
+            for offset, position in enumerate(missing_positions):
+                # Copy before caching: a row view would pin the whole batch
+                # matrix in memory for as long as one entry survives.
+                vector = computed[offset].copy()
+                vector.setflags(write=False)
+                rows[position] = vector
+                cache.put(missing[offset], vector)
+        return rows
+
+    def embed_tokens_batch(self, token_lists: Sequence[Sequence[str]]) -> list[np.ndarray]:
+        """Embed many token sequences in one call; one matrix per sequence.
+
+        Element-wise equivalent to ``[embed_tokens(ts) for ts in
+        token_lists]``.  Context-free models embed each distinct token in
+        the batch exactly once (through the token cache) and fan the rows
+        back out with an index gather; contextual models override this to
+        preserve per-sequence mixing.
+        """
+        if not self.context_free:
+            return [self.embed_tokens(list(tokens)) for tokens in token_lists]
+        distinct: dict[str, int] = {}
+        for tokens in token_lists:
+            for token in tokens:
+                if token not in distinct:
+                    distinct[token] = len(distinct)
+        matrix = self.embed_tokens_distinct(list(distinct))
+        outputs: list[np.ndarray] = []
+        for tokens in token_lists:
+            if not tokens:
+                outputs.append(np.zeros((0, self.dim)))
+                continue
+            indices = np.fromiter(
+                (distinct[token] for token in tokens), dtype=np.intp, count=len(tokens)
+            )
+            outputs.append(matrix[indices])
+        return outputs
+
+    def idf_batch(self, tokens: Sequence[str]) -> np.ndarray:
+        """Vectorized :meth:`idf`; shape (len(tokens),)."""
+        return np.fromiter(
+            (self.idf(token) for token in tokens), dtype=np.float64, count=len(tokens)
+        )
+
+    def token_cache_stats(self) -> dict[str, object] | None:
+        """Snapshot of the token-vector cache, or None when the model has none."""
+        return self.token_cache.stats() if self.token_cache is not None else None

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import rng_for
+from repro.embedding.base import LRUCache, TokenEmbeddingModel
 from repro.embedding.hashing import HashingEmbeddingModel
 
 __all__ = ["BertLikeEmbeddingModel"]
@@ -68,7 +69,7 @@ def _layer_norm(states: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     return (states - mean) / (std + eps)
 
 
-class BertLikeEmbeddingModel:
+class BertLikeEmbeddingModel(TokenEmbeddingModel):
     """Deep contextual encoder wrapping a base token-embedding model.
 
     Parameters
@@ -89,6 +90,9 @@ class BertLikeEmbeddingModel:
     """
 
     name = "bertlike"
+    # A token's output depends on its neighbours: batch calls must keep
+    # per-sequence attention, never dedup tokens across the batch.
+    context_free = False
 
     def __init__(
         self,
@@ -142,13 +146,34 @@ class BertLikeEmbeddingModel:
         """Single-token path: context of one, still runs the full stack."""
         return self.embed_tokens([token])[0]
 
+    @property
+    def token_cache(self) -> LRUCache | None:
+        """The wrapped base model's token-vector cache (input-side reuse)."""
+        return getattr(self.base_model, "token_cache", None)
+
     def embed_tokens(self, tokens: list[str]) -> np.ndarray:
         """Contextually encode a token sequence; shape (len(tokens), dim)."""
         if not tokens:
             return np.zeros((0, self.dim))
-        base = self.base_model.embed_tokens(tokens)
+        return self._contextualize(self.base_model.embed_tokens(tokens))
+
+    def embed_tokens_batch(self, token_lists) -> list[np.ndarray]:
+        """Batch contract: one base-model token fetch, per-sequence mixing.
+
+        The input token vectors for the whole batch come from the base
+        model's deduped, cached batch path; the attention stack then runs
+        per sequence because a token's output depends on its neighbours.
+        """
+        bases = self.base_model.embed_tokens_batch(token_lists)
+        return [
+            self._contextualize(base) if base.shape[0] else np.zeros((0, self.dim))
+            for base in bases
+        ]
+
+    def _contextualize(self, base: np.ndarray) -> np.ndarray:
+        """Run the attention stack over one sequence of base token vectors."""
         outputs = np.empty_like(base)
-        for start in range(0, len(tokens), self.max_seq_len):
+        for start in range(0, base.shape[0], self.max_seq_len):
             window = base[start : start + self.max_seq_len]
             states = window + self._positional[: len(window)]
             for layer in self._layers:

@@ -74,6 +74,14 @@ class ContextualColumnEncoder:
         """Context-free fallback: identical to the base encoder."""
         return self.base.encode(column)
 
+    def encode_batch(self, columns):
+        """Batched context-free fallback (see :meth:`ColumnEncoder.encode_batch`)."""
+        return self.base.encode_batch(columns)
+
+    def encode_many(self, columns) -> np.ndarray:
+        """Batched context-free fallback, matrix only."""
+        return self.base.encode_many(columns)
+
     def context_vector(self, table: Table, *, exclude: str | None = None) -> np.ndarray:
         """Embed the table's context: sibling names plus a few values."""
         tokens: list[str] = []

@@ -5,21 +5,120 @@ Implements the embedding step shared by the indexing and search pipelines
 token with the underlying model, aggregate, and L2-normalize.  Aggregation
 is either an unweighted mean or an idf-weighted mean (ablation §5 of
 DESIGN.md); numeric columns optionally blend in a distribution profile.
+
+Two code paths produce identical embeddings:
+
+* :meth:`ColumnEncoder.encode` — the per-column reference implementation
+  (one Python loop per token), kept simple on purpose so the batched path
+  has an independent oracle to be tested against;
+* :meth:`ColumnEncoder.encode_batch` — the production path for corpus
+  builds.  Cell values repeat massively across warehouse columns, so the
+  batch path caches at two granularities: a value → tokens LRU (each
+  distinct value tokenizes once) and a token-tuple → (vector sum, weight
+  sum) LRU (each distinct value *embeds* once — its tokens' weighted
+  vector sum is replayed wherever the value reappears).  A column's
+  aggregate then reduces to a tiny weighted gather over cached value rows;
+  chunk misses resolve through the model's deduped, token-cached batch
+  contract (:mod:`repro.embedding.base`), and idf weighting,
+  frequency-folded weights, and numeric-profile blending all run as array
+  operations over the chunk's token-count structure.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.embedding.numeric import numeric_profile_vector, project_profile
+from repro.embedding.base import LRUCache
+from repro.embedding.numeric import numeric_profile_vector, project_profiles
 from repro.storage.column import Column
 from repro.text.tokenize import split_identifier, tokenize_value
 
-__all__ = ["ColumnEncoder"]
+__all__ = ["ColumnEncoder", "EncodeStats", "SerializedColumn"]
 
 _AGGREGATIONS = ("mean", "tfidf")
+
+
+@dataclass
+class EncodeStats:
+    """What one (or several merged) ``encode_batch`` call(s) cost.
+
+    ``tokens`` counts serialized token slots after frequency folding;
+    ``token_occurrences`` counts raw token occurrences before folding, so
+    ``tokens / token_occurrences`` is the dedup win.  Cache counters sum
+    the deltas of the embedding caches the call consulted (the encoder's
+    value caches plus the model's token-vector cache) and the chunk-table
+    reuse of values shared by columns of one chunk: a hit means a value or
+    token was *not* re-embedded.
+    """
+
+    columns: int = 0
+    tokens: int = 0
+    token_occurrences: int = 0
+    distinct_tokens: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits / lookups across the measured calls."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def merge(self, other: "EncodeStats") -> "EncodeStats":
+        """Accumulate another chunk's stats into this one (returns self)."""
+        self.columns += other.columns
+        self.tokens += other.tokens
+        self.token_occurrences += other.token_occurrences
+        self.distinct_tokens += other.distinct_tokens
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        return self
+
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable snapshot (index reports, bench rows)."""
+        return {
+            "columns": self.columns,
+            "tokens": self.tokens,
+            "token_occurrences": self.token_occurrences,
+            "distinct_tokens": self.distinct_tokens,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+
+@dataclass
+class SerializedColumn:
+    """One column's serialization in frequency-folded form.
+
+    ``groups`` lists (token tuple, fold weight) pairs: the column-name
+    tokens (when enabled) as one weight-1.0 group, then each distinct
+    value's tokens weighted by its occurrence count.  Aggregating the
+    groups is weight-for-weight equivalent to aggregating the reference
+    :meth:`ColumnEncoder.serialize` stream.  ``exact`` replaces ``groups``
+    for columns whose token stream overflows ``max_tokens`` — those fall
+    back to the reference truncation semantics verbatim.
+    """
+
+    occurrences: int
+    groups: list[tuple[tuple[str, ...], float]] | None = None
+    exact: tuple[list[str], list[float]] | None = None
+
+    def flatten(self) -> tuple[list[str], list[float]]:
+        """The (tokens, weights) stream this serialization aggregates as."""
+        if self.exact is not None:
+            return self.exact
+        tokens: list[str] = []
+        weights: list[float] = []
+        assert self.groups is not None
+        for group_tokens, weight in self.groups:
+            tokens.extend(group_tokens)
+            weights.extend([weight] * len(group_tokens))
+        return tokens, weights
 
 
 class ColumnEncoder:
@@ -29,7 +128,9 @@ class ColumnEncoder:
     ----------
     model:
         Any object with ``dim``, ``embed_tokens(list[str]) -> ndarray`` and
-        ``idf(str) -> float`` (see :mod:`repro.embedding`).
+        ``idf(str) -> float`` (see :mod:`repro.embedding`); models derived
+        from :class:`~repro.embedding.base.TokenEmbeddingModel` additionally
+        give :meth:`encode_batch` the deduped, cached batch path.
     aggregation:
         ``"mean"`` or ``"tfidf"`` (idf-weighted mean).
     max_tokens:
@@ -44,6 +145,9 @@ class ColumnEncoder:
     numeric_profile_weight:
         Blend weight of the numeric distribution profile for numeric
         columns (0 disables).
+    cache_size:
+        Capacity of each shared LRU behind :meth:`encode_batch`: the
+        value → tokens cache and the value-vector cache.
     """
 
     def __init__(
@@ -55,6 +159,7 @@ class ColumnEncoder:
         include_column_name: bool = False,
         dedupe_values: bool = False,
         numeric_profile_weight: float = 0.3,
+        cache_size: int = 65_536,
     ) -> None:
         if aggregation not in _AGGREGATIONS:
             raise ValueError(
@@ -72,6 +177,11 @@ class ColumnEncoder:
         self.include_column_name = include_column_name
         self.dedupe_values = dedupe_values
         self.numeric_profile_weight = numeric_profile_weight
+        #: value → tuple-of-tokens (serialization work saved on repeats)
+        self._value_tokens = LRUCache(cache_size)
+        #: token tuple → (idf-weighted vector sum, weight sum) — the
+        #: "repeated values cost one embed" cache
+        self._value_vectors = LRUCache(cache_size)
 
     @property
     def dim(self) -> int:
@@ -99,10 +209,16 @@ class ColumnEncoder:
                 tokens.append(token)
                 weights.append(1.0)
         if self.dedupe_values:
-            counts: dict[object, int] = {}
+            # Values fold per (type, value): 7, 7.0, and True are equal and
+            # hash alike but tokenize differently, so they must not merge.
+            counts: dict[object, list] = {}
             for value in column.non_null_values():
-                counts[value] = counts.get(value, 0) + 1
-            for value, count in counts.items():
+                key = (value.__class__, value)
+                entry = counts.get(key)
+                if entry is None:
+                    counts[key] = entry = [value, 0]
+                entry[1] += 1
+            for value, count in counts.values():
                 for token in tokenize_value(value):
                     tokens.append(token)
                     weights.append(float(count))
@@ -117,13 +233,75 @@ class ColumnEncoder:
                     break
         return tokens[: self.max_tokens], weights[: self.max_tokens]
 
+    def _tokens_of_value(self, value: object) -> tuple[str, ...]:
+        """Tokenize one cell value through the shared value cache.
+
+        Cached per (type, value): equal-hashing values of different types
+        (7 vs 7.0 vs True) tokenize differently and must not share entries.
+        """
+        key = (value.__class__, value)
+        cached = self._value_tokens.get(key)
+        if cached is None:
+            cached = tuple(tokenize_value(value))
+            self._value_tokens.put(key, cached)
+        return cached  # type: ignore[return-value]
+
+    def serialize_batch(self, columns: Sequence[Column]) -> list[SerializedColumn]:
+        """Tokenize many columns into frequency-folded form.
+
+        The serialization *contract* of the batched pipeline: every
+        distinct cell value tokenizes once (per LRU capacity)
+        process-wide, and duplicate values fold into frequency weights.
+        Columns that would overflow ``max_tokens`` fall back to
+        :meth:`serialize`'s exact truncation semantics (see
+        :class:`SerializedColumn`).  ``encode_batch`` runs a fused
+        equivalent of this folding inline (it never materializes the
+        per-column streams); the property tests pin both this method and
+        the fused path to the :meth:`serialize` oracle so they cannot
+        drift apart.
+        """
+        serialized: list[SerializedColumn] = []
+        for column in columns:
+            name_tokens = (
+                tuple(split_identifier(column.name))
+                if self.include_column_name
+                else ()
+            )
+            counts = Counter(
+                (value.__class__, value) for value in column.non_null_values()
+            )
+            groups: list[tuple[tuple[str, ...], float]] = []
+            if name_tokens:
+                groups.append((name_tokens, 1.0))
+            folded_total = len(name_tokens)
+            occurrences = len(name_tokens)
+            for (_value_type, value), count in counts.items():
+                value_tokens = self._tokens_of_value(value)
+                groups.append((value_tokens, float(count)))
+                folded_total += len(value_tokens)
+                occurrences += count * len(value_tokens)
+            budget = folded_total if self.dedupe_values else occurrences
+            if budget > self.max_tokens:
+                # Truncation territory: mirror the reference serialization
+                # exactly rather than re-deriving its mid-value cut.
+                tokens, weights = self.serialize(column)
+                serialized.append(
+                    SerializedColumn(occurrences=occurrences, exact=(tokens, weights))
+                )
+            else:
+                serialized.append(
+                    SerializedColumn(occurrences=occurrences, groups=groups)
+                )
+        return serialized
+
     # -- encoding -----------------------------------------------------------------
 
     def encode(self, column: Column) -> np.ndarray:
         """Encode one column into a unit vector of shape (dim,).
 
         All-null or all-unembeddable columns yield the zero vector, which
-        indexes treat as unindexable.
+        indexes treat as unindexable.  This is the sequential reference
+        implementation; corpus builds use :meth:`encode_batch`.
         """
         tokens, weights = self.serialize(column)
         if tokens:
@@ -142,7 +320,7 @@ class ColumnEncoder:
 
         if self.numeric_profile_weight > 0 and column.dtype.is_numeric:
             profile = numeric_profile_vector(column)
-            projected = project_profile(profile, self.dim)
+            projected = project_profiles(profile[None, :], self.dim)[0]
             aggregate = (
                 (1.0 - self.numeric_profile_weight) * aggregate
                 + self.numeric_profile_weight * projected
@@ -153,12 +331,298 @@ class ColumnEncoder:
             aggregate = aggregate / norm
         return aggregate
 
-    def encode_many(self, columns: Sequence[Column]) -> np.ndarray:
-        """Encode several columns; shape (len(columns), dim)."""
+    # -- batched aggregation internals ----------------------------------------
+
+    def _group_weights(self, tokens: Sequence[str]) -> np.ndarray:
+        """Per-token aggregation weights of one token group (idf or 1s)."""
+        if self.aggregation != "tfidf":
+            return np.ones(len(tokens))
+        if hasattr(self.model, "idf_batch"):
+            return np.asarray(self.model.idf_batch(list(tokens)), dtype=np.float64)
+        return np.asarray([self.model.idf(token) for token in tokens])
+
+    def _embed_distinct(self, tokens: Sequence[str]) -> np.ndarray:
+        """Distinct-token embed through the model's batch contract."""
+        if hasattr(self.model, "embed_tokens_distinct"):
+            return self.model.embed_tokens_distinct(tokens)
+        return self.model.embed_tokens(list(tokens))
+
+    _NAME_KEY = "__column_name__"
+
+    def _fill_value_vectors(
+        self, missing: list[tuple[object, tuple[str, ...]]]
+    ) -> list[tuple[int, np.ndarray, float]]:
+        """Embed uncached (cache key, token group) pairs in one pass.
+
+        Distinct tokens across all missing groups embed once via the model
+        batch contract; per-group (token count, idf-weighted vector sum,
+        weight sum) entries come out of one segment reduction and land in
+        the value-vector cache.  The entries are also *returned* (parallel
+        to ``missing``) — a chunk may hold more distinct values than the
+        LRU capacity, so the caller must not rely on reading them back.
+        """
+        distinct: dict[str, int] = {}
+        flat_ids: list[int] = []
+        lengths = np.empty(len(missing), dtype=np.intp)
+        for position, (_key, group) in enumerate(missing):
+            lengths[position] = len(group)
+            for token in group:
+                token_id = distinct.get(token)
+                if token_id is None:
+                    token_id = len(distinct)
+                    distinct[token] = token_id
+                flat_ids.append(token_id)
+        if distinct:
+            distinct_tokens = list(distinct)
+            token_matrix = self._embed_distinct(distinct_tokens)
+            token_weights = self._group_weights(distinct_tokens)
+            ids = np.asarray(flat_ids, dtype=np.intp)
+            weighted = token_weights[ids, None] * token_matrix[ids]
+            flat_weights = token_weights[ids]
+        nonempty = np.flatnonzero(lengths)
+        starts = np.cumsum(lengths) - lengths
+        if nonempty.size:
+            sums = np.add.reduceat(weighted, starts[nonempty], axis=0)
+            weight_sums = np.add.reduceat(flat_weights, starts[nonempty])
+        row = 0
+        filled: list[tuple[int, np.ndarray, float]] = []
+        for position, (key, group) in enumerate(missing):
+            if lengths[position] == 0:
+                entry = (0, np.zeros(self.dim), 0.0)
+            else:
+                # Copy before caching: a row view would pin the whole batch
+                # matrix in memory for as long as one entry survives.
+                vector = sums[row].copy()
+                vector.setflags(write=False)
+                entry = (int(lengths[position]), vector, float(weight_sums[row]))
+                row += 1
+            filled.append(entry)
+            self._value_vectors.put(key, entry)
+        return filled
+
+    def _batch_aggregate_context_free(
+        self, columns: Sequence[Column]
+    ) -> tuple[np.ndarray, EncodeStats]:
+        """Fused serialize + aggregate for context-free models.
+
+        The hot loop does one dict probe per (column, distinct value); a
+        distinct value resolves to a cached (token count, vector sum,
+        weight sum) entry at most once per chunk.  Frequency folding, the
+        ``max_tokens`` budget check, and the weighted means then all run
+        as segment reductions over the chunk's value-count arrays —
+        equivalent to aggregating :meth:`serialize_batch`'s folded output.
+        """
+        stats = EncodeStats()
+        n = len(columns)
+        aggregates = np.zeros((n, self.dim))
+        cache = self._value_vectors
+        # Pass 1: resolve values against the chunk table / value cache.
+        chunk_table: dict[object, int] = {}
+        entries: list[tuple[int, np.ndarray, float] | None] = []
+        missing: list[tuple[object, tuple[str, ...]]] = []
+        flat_rows: list[int] = []
+        flat_folds: list[float] = []
+        lengths = np.empty(n, dtype=np.intp)
+        chunk_hits = 0
+        for position, column in enumerate(columns):
+            count_before = len(flat_rows)
+            if self.include_column_name:
+                key = (self._NAME_KEY, column.name)
+                row = chunk_table.get(key)
+                if row is None:
+                    row = len(entries)
+                    chunk_table[key] = row
+                    entry = cache.get(key)
+                    if entry is None:
+                        missing.append((key, tuple(split_identifier(column.name))))
+                    entries.append(entry)
+                else:
+                    chunk_hits += 1
+                flat_rows.append(row)
+                flat_folds.append(1.0)
+            # Keys are (type, value) pairs: 7, 7.0, and True hash alike but
+            # tokenize differently, so they get distinct cache rows.
+            value_counts = Counter(
+                (value.__class__, value) for value in column.non_null_values()
+            )
+            for key, count in value_counts.items():
+                row = chunk_table.get(key)
+                if row is None:
+                    row = len(entries)
+                    chunk_table[key] = row
+                    entry = cache.get(key)
+                    if entry is None:
+                        missing.append((key, self._tokens_of_value(key[1])))
+                    entries.append(entry)
+                else:
+                    # A value another column in this chunk already resolved:
+                    # served from the chunk table, never re-embedded.
+                    chunk_hits += 1
+                flat_rows.append(row)
+                flat_folds.append(float(count))
+            lengths[position] = len(flat_rows) - count_before
+        stats.cache_hits = chunk_hits
+        if missing:
+            filled = self._fill_value_vectors(missing)
+            for (key, _group), entry in zip(missing, filled):
+                entries[chunk_table[key]] = entry
+        if not entries:
+            return aggregates, stats
+        # Pass 2: segment reductions over the flattened (row, fold) pairs.
+        token_counts = np.asarray([entry[0] for entry in entries], dtype=np.float64)
+        value_matrix = np.stack([entry[1] for entry in entries])
+        value_weights = np.asarray([entry[2] for entry in entries], dtype=np.float64)
+        rows_array = np.asarray(flat_rows, dtype=np.intp)
+        folds_array = np.asarray(flat_folds, dtype=np.float64)
+        starts = np.cumsum(lengths) - lengths
+        nonempty = np.flatnonzero(lengths)
+        if nonempty.size:
+            boundaries = starts[nonempty]
+            group_tokens = token_counts[rows_array]
+            folded = np.add.reduceat(group_tokens, boundaries)
+            occurrences = np.add.reduceat(folds_array * group_tokens, boundaries)
+            weighted = folds_array[:, None] * value_matrix[rows_array]
+            sums = np.add.reduceat(weighted, boundaries, axis=0)
+            totals = np.add.reduceat(folds_array * value_weights[rows_array], boundaries)
+            scale = np.where(totals > 0, totals, 1.0)
+            aggregates[nonempty] = sums / scale[:, None]
+            aggregates[nonempty[totals <= 0]] = 0.0
+            stats.token_occurrences = int(occurrences.sum())
+            stats.tokens = int(folded.sum())
+            # Columns whose reference serialization would truncate replay
+            # its exact (tokens, weights) stream instead.
+            budget = folded if self.dedupe_values else occurrences
+            for index in np.flatnonzero(budget > self.max_tokens):
+                position = int(nonempty[index])
+                tokens, weights = self.serialize(columns[position])
+                stats.tokens -= int(folded[index]) - len(tokens)
+                aggregates[position] = self._aggregate_flat(tokens, weights)
+        stats.distinct_tokens = len(chunk_table)
+        return aggregates, stats
+
+    def _aggregate_flat(self, tokens: list[str], weights: list[float]) -> np.ndarray:
+        """Reference-equivalent weighted mean of one flat token stream."""
+        if not tokens:
+            return np.zeros(self.dim)
+        if hasattr(self.model, "embed_tokens_batch"):
+            # The batch contract's fan-out already dedups and gathers.
+            vectors = self.model.embed_tokens_batch([tokens])[0]
+        else:
+            vectors = self.model.embed_tokens(tokens)
+        weight_array = np.asarray(weights, dtype=np.float64) * self._group_weights(
+            tokens
+        )
+        total = weight_array.sum()
+        if total <= 0:
+            return np.zeros(self.dim)
+        return (weight_array[:, None] * vectors).sum(axis=0) / total
+
+    def _batch_aggregate_contextual(
+        self, columns: Sequence[Column]
+    ) -> tuple[np.ndarray, EncodeStats]:
+        """Per-column aggregation for contextual models.
+
+        Token vectors depend on their neighbours, so every column keeps its
+        reference serialization order and the model's batch contract
+        handles the (input-side) dedup.
+        """
+        stats = EncodeStats()
+        aggregates = np.zeros((len(columns), self.dim))
+        streams = [self.serialize(column) for column in columns]
+        stats.tokens = sum(len(tokens) for tokens, _weights in streams)
+        stats.token_occurrences = stats.tokens
+        token_lists = [tokens for tokens, _weights in streams]
+        if hasattr(self.model, "embed_tokens_batch"):
+            matrices = self.model.embed_tokens_batch(token_lists)
+        else:
+            matrices = [self.model.embed_tokens(tokens) for tokens in token_lists]
+        seen: set[str] = set()
+        for position, (tokens, weights) in enumerate(streams):
+            if not tokens:
+                continue
+            seen.update(tokens)
+            weight_array = np.asarray(weights, dtype=np.float64) * self._group_weights(
+                tokens
+            )
+            total = weight_array.sum()
+            if total > 0:
+                aggregates[position] = (
+                    weight_array[:, None] * matrices[position]
+                ).sum(axis=0) / total
+        stats.distinct_tokens = len(seen)
+        return aggregates, stats
+
+    def encode_batch(
+        self, columns: Sequence[Column]
+    ) -> tuple[np.ndarray, EncodeStats]:
+        """Encode a column chunk; returns (matrix (n, dim), :class:`EncodeStats`).
+
+        Element-wise equivalent (within float tolerance) to stacking
+        :meth:`encode` per column, but built as array operations: one
+        serialization pass through the value cache, cached value-vector
+        sums for repeated values, one deduped model embed for the chunk's
+        misses, one segment-reduce aggregation, one batched numeric-profile
+        projection, one normalization pass.
+        """
         if not columns:
-            return np.zeros((0, self.dim))
-        return np.stack([self.encode(column) for column in columns])
+            return np.zeros((0, self.dim)), EncodeStats()
+        token_cache = getattr(self.model, "token_cache", None)
+        caches = [self._value_tokens, self._value_vectors]
+        if token_cache is not None:
+            caches.append(token_cache)
+        hits_before = sum(cache.hits for cache in caches)
+        misses_before = sum(cache.misses for cache in caches)
+
+        if getattr(self.model, "context_free", False):
+            aggregates, stats = self._batch_aggregate_context_free(columns)
+        else:
+            aggregates, stats = self._batch_aggregate_contextual(columns)
+        stats.columns = len(columns)
+
+        if self.numeric_profile_weight > 0:
+            numeric_positions = [
+                position
+                for position, column in enumerate(columns)
+                if column.dtype.is_numeric
+            ]
+            if numeric_positions:
+                profiles = np.stack(
+                    [numeric_profile_vector(columns[p]) for p in numeric_positions]
+                )
+                projected = project_profiles(profiles, self.dim)
+                index = np.asarray(numeric_positions, dtype=np.intp)
+                aggregates[index] = (
+                    (1.0 - self.numeric_profile_weight) * aggregates[index]
+                    + self.numeric_profile_weight * projected
+                )
+
+        norms = np.linalg.norm(aggregates, axis=1, keepdims=True)
+        np.divide(aggregates, norms, out=aggregates, where=norms > 0)
+
+        stats.cache_hits += sum(cache.hits for cache in caches) - hits_before
+        stats.cache_misses += sum(cache.misses for cache in caches) - misses_before
+        return aggregates, stats
+
+    def encode_many(self, columns: Sequence[Column]) -> np.ndarray:
+        """Encode several columns; shape (len(columns), dim).
+
+        Routed through :meth:`encode_batch` — the batched pipeline is the
+        only production encode path.
+        """
+        matrix, _stats = self.encode_batch(columns)
+        return matrix
 
     def encode_values(self, name: str, values: Sequence[object]) -> np.ndarray:
         """Convenience: encode raw values as an anonymous column."""
         return self.encode(Column.from_raw(name, list(values)))
+
+    def cache_stats(self) -> dict[str, object]:
+        """Serving-layer snapshot: encoder caches plus the model token cache."""
+        payload: dict[str, object] = {
+            "value_tokens": self._value_tokens.stats(),
+            "value_vectors": self._value_vectors.stats(),
+        }
+        token_cache = getattr(self.model, "token_cache", None)
+        if token_cache is not None:
+            payload["token_cache"] = token_cache.stats()
+        return payload

@@ -11,17 +11,26 @@ Gaussian seeded by a stable hash of the n-gram.  Properties:
 * tokens sharing morphology ("cust_001", "cust_002") share most n-grams and
   land near each other, which is what lets id-code columns of the same
   family cluster.
+
+The batch path (:func:`hashed_token_matrix`,
+:meth:`HashingEmbeddingModel.embed_tokens_batch`) vectorizes this: distinct
+n-grams across a whole token block are resolved once each, the per-token
+sums run as one ``np.add.at`` scatter over the n-gram matrix, and a bounded
+LRU token-vector cache shared across columns makes repeated values cost one
+embed per process.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from functools import lru_cache
 
 import numpy as np
 
 from repro._util import stable_uint64
+from repro.embedding.base import LRUCache, TokenEmbeddingModel
 
-__all__ = ["hashed_token_vector", "HashingEmbeddingModel"]
+__all__ = ["hashed_token_vector", "hashed_token_matrix", "HashingEmbeddingModel"]
 
 _BOUNDARY = "\x02"
 
@@ -77,21 +86,76 @@ def hashed_token_vector(
     return total
 
 
-class HashingEmbeddingModel:
+def hashed_token_matrix(
+    tokens: Sequence[str],
+    dim: int = 64,
+    *,
+    n_values: tuple[int, ...] = (3, 4),
+    salt: str = "hash-emb-v1",
+) -> np.ndarray:
+    """Vectorized :func:`hashed_token_vector` over a token block.
+
+    Each *distinct* n-gram across the whole block is resolved exactly once;
+    the per-token sums then run as a single ``np.add.at`` scatter, and rows
+    are normalized in one pass.  Element-wise equivalent to stacking
+    :func:`hashed_token_vector` per token (empty tokens yield zero rows).
+    """
+    if not tokens:
+        return np.zeros((0, dim))
+    gram_ids: dict[str, int] = {}
+    token_positions: list[int] = []
+    gram_positions: list[int] = []
+    for position, token in enumerate(tokens):
+        if not token:
+            continue
+        for gram in _char_ngrams(token, n_values):
+            gram_id = gram_ids.get(gram)
+            if gram_id is None:
+                gram_id = len(gram_ids)
+                gram_ids[gram] = gram_id
+            token_positions.append(position)
+            gram_positions.append(gram_id)
+    rows = np.zeros((len(tokens), dim))
+    if not gram_ids:
+        return rows
+    gram_matrix = np.stack(
+        [_ngram_vector(gram, dim, salt) for gram in gram_ids]
+    )
+    np.add.at(
+        rows,
+        np.asarray(token_positions, dtype=np.intp),
+        gram_matrix[np.asarray(gram_positions, dtype=np.intp)],
+    )
+    norms = np.linalg.norm(rows, axis=1, keepdims=True)
+    np.divide(rows, norms, out=rows, where=norms > 0)
+    return rows
+
+
+class HashingEmbeddingModel(TokenEmbeddingModel):
     """Pure hashing-trick embedding model (no training, no vocabulary).
 
     This is the ablation arm isolating the *syntactic* contribution of the
     embedding pipeline: identical and morphologically similar values align,
     but there is no learned cross-token semantics.
+
+    ``cache_size`` bounds the shared LRU token-vector cache consulted by the
+    batch paths; repeated values across columns cost one embed each.
     """
 
     name = "hashing"
 
-    def __init__(self, dim: int = 64, *, n_values: tuple[int, ...] = (3, 4)) -> None:
+    def __init__(
+        self,
+        dim: int = 64,
+        *,
+        n_values: tuple[int, ...] = (3, 4),
+        cache_size: int = 65_536,
+    ) -> None:
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.dim = dim
         self.n_values = n_values
+        self.token_cache = LRUCache(cache_size)
 
     def __repr__(self) -> str:
         return f"HashingEmbeddingModel(dim={self.dim})"
@@ -110,6 +174,10 @@ class HashingEmbeddingModel:
         if not tokens:
             return np.zeros((0, self.dim))
         return np.stack([self.embed_token(token) for token in tokens])
+
+    def _embed_distinct_uncached(self, tokens: Sequence[str]) -> np.ndarray:
+        """The vectorized n-gram kernel behind the batch contract."""
+        return hashed_token_matrix(tokens, self.dim, n_values=self.n_values)
 
     def idf(self, token: str) -> float:
         """Hashing models carry no corpus statistics; weight uniformly."""

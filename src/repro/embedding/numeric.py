@@ -14,7 +14,12 @@ import numpy as np
 from repro._util import rng_for
 from repro.storage.column import Column
 
-__all__ = ["numeric_profile_vector", "project_profile", "NUMERIC_PROFILE_DIM"]
+__all__ = [
+    "numeric_profile_vector",
+    "project_profile",
+    "project_profiles",
+    "NUMERIC_PROFILE_DIM",
+]
 
 NUMERIC_PROFILE_DIM = 16
 
@@ -72,17 +77,34 @@ def numeric_profile_vector(column: Column) -> np.ndarray:
 _PROJECTION_CACHE: dict[int, np.ndarray] = {}
 
 
+def _projection_matrix(dim: int) -> np.ndarray:
+    if dim not in _PROJECTION_CACHE:
+        rng = rng_for("numeric-profile-projection", dim)
+        matrix = rng.standard_normal((NUMERIC_PROFILE_DIM, dim))
+        matrix /= np.sqrt(NUMERIC_PROFILE_DIM)
+        _PROJECTION_CACHE[dim] = matrix
+    return _PROJECTION_CACHE[dim]
+
+
 def project_profile(profile: np.ndarray, dim: int) -> np.ndarray:
     """Project a profile vector into the embedding space (deterministic).
 
     Uses a fixed random Gaussian projection per target ``dim`` so profile
     geometry (cosine structure) is approximately preserved.
     """
-    if dim not in _PROJECTION_CACHE:
-        rng = rng_for("numeric-profile-projection", dim)
-        matrix = rng.standard_normal((NUMERIC_PROFILE_DIM, dim))
-        matrix /= np.sqrt(NUMERIC_PROFILE_DIM)
-        _PROJECTION_CACHE[dim] = matrix
-    projected = profile @ _PROJECTION_CACHE[dim]
+    projected = profile @ _projection_matrix(dim)
     norm = np.linalg.norm(projected)
     return projected / norm if norm > 0 else projected
+
+
+def project_profiles(profiles: np.ndarray, dim: int) -> np.ndarray:
+    """Batched :func:`project_profile`: one matmul for a profile block.
+
+    ``profiles`` has shape (n, ``NUMERIC_PROFILE_DIM``); rows project and
+    L2-normalize independently (zero rows stay zero), element-wise
+    equivalent to the single-profile path.
+    """
+    projected = np.asarray(profiles) @ _projection_matrix(dim)
+    norms = np.linalg.norm(projected, axis=1, keepdims=True)
+    np.divide(projected, norms, out=projected, where=norms > 0)
+    return projected

@@ -4,6 +4,27 @@
 Embedding model: trained once per (dim, corpus-version) on the default
 synthetic web-table corpus, then cached — mirroring how the paper downloads
 one pretrained artifact and reuses it everywhere.
+
+Registry arms:
+
+``webtable``
+    The paper's default — PPMI+SVD over column *and* row serializations.
+``cooccur``
+    Pure column-co-occurrence ablation: the same count-based model trained
+    without the row-serialization signal, isolating what cross-attribute
+    affinity contributes.
+``hashing``
+    Training-free character-n-gram vectors (syntactic-overlap ablation).
+``bertlike``
+    The §4.4 comparison arm: a deep contextual encoder over the webtable
+    token vectors, ~10x more compute per token.
+``contextual``
+    A light contextual mixer (two attention layers) — the cheap point on
+    the context-vs-cost curve between ``webtable`` and ``bertlike``.
+
+Every arm implements the batched embedding contract
+(:class:`~repro.embedding.base.TokenEmbeddingModel`), so the corpus build
+pipeline can chunk-encode columns against any of them.
 """
 
 from __future__ import annotations
@@ -15,7 +36,7 @@ from repro.errors import UnknownModelError
 
 __all__ = ["get_model", "available_models", "clear_model_cache"]
 
-_MODEL_NAMES = ("webtable", "hashing", "bertlike")
+_MODEL_NAMES = ("webtable", "hashing", "bertlike", "cooccur", "contextual")
 
 _PRETRAINED_CACHE: dict[tuple[str, int], object] = {}
 
@@ -30,9 +51,13 @@ def clear_model_cache() -> None:
     _PRETRAINED_CACHE.clear()
 
 
-def _pretrained_webtable(dim: int) -> WebTableEmbeddingModel:
-    """Train (once) the default Web Table Embedding model."""
-    key = ("webtable", dim)
+def _pretrained_webtable(dim: int, *, name: str = "webtable") -> WebTableEmbeddingModel:
+    """Train (once) a Web Table Embedding model variant.
+
+    ``webtable`` trains on column plus row serializations; ``cooccur``
+    drops the row signal (pure column co-occurrence).
+    """
+    key = (name, dim)
     if key not in _PRETRAINED_CACHE:
         # Imported lazily: datasets generate the corpus, and importing them at
         # module load would create a package cycle.
@@ -40,7 +65,11 @@ def _pretrained_webtable(dim: int) -> WebTableEmbeddingModel:
 
         corpus = default_training_corpus()
         model = WebTableEmbeddingModel(dim=dim)
-        model.fit(corpus.column_sequences, corpus.row_sequences)
+        if name == "cooccur":
+            model.fit(corpus.column_sequences)
+            model.name = "cooccur"
+        else:
+            model.fit(corpus.column_sequences, corpus.row_sequences)
         _PRETRAINED_CACHE[key] = model
     return _PRETRAINED_CACHE[key]  # type: ignore[return-value]
 
@@ -54,8 +83,19 @@ def get_model(name: str, *, dim: int = 64):
     """
     if name == "webtable":
         return _pretrained_webtable(dim)
+    if name == "cooccur":
+        return _pretrained_webtable(dim, name="cooccur")
     if name == "hashing":
         return HashingEmbeddingModel(dim=dim)
     if name == "bertlike":
         return BertLikeEmbeddingModel(base_model=_pretrained_webtable(dim))
+    if name == "contextual":
+        model = BertLikeEmbeddingModel(
+            base_model=_pretrained_webtable(dim),
+            n_layers=2,
+            residual_weight=0.6,
+            seed_key="contextual-v1",
+        )
+        model.name = "contextual"
+        return model
     raise UnknownModelError(name, _MODEL_NAMES)

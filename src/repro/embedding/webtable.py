@@ -14,15 +14,16 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 from scipy.sparse.linalg import svds
 
+from repro.embedding.base import LRUCache, TokenEmbeddingModel
 from repro.embedding.cooccur import CooccurrenceBuilder, ppmi_matrix
-from repro.embedding.hashing import hashed_token_vector
+from repro.embedding.hashing import hashed_token_matrix, hashed_token_vector
 from repro.embedding.vocab import Vocabulary
 from repro.errors import ModelNotTrainedError
 
 __all__ = ["WebTableEmbeddingModel"]
 
 
-class WebTableEmbeddingModel:
+class WebTableEmbeddingModel(TokenEmbeddingModel):
     """Count-based distributional word vectors for tabular tokens.
 
     Parameters
@@ -38,6 +39,9 @@ class WebTableEmbeddingModel:
         Norm given to hashing-fallback vectors relative to trained vectors
         (trained vectors are unit length).  Values ``< 1`` keep unseen
         tokens from dominating a column's aggregate.
+    cache_size:
+        Capacity of the shared LRU token-vector cache behind the batch
+        embedding contract (in-vocabulary and OOV rows alike).
     """
 
     name = "webtable"
@@ -49,6 +53,7 @@ class WebTableEmbeddingModel:
         window: int = 8,
         min_count: int = 2,
         oov_scale: float = 0.4,
+        cache_size: int = 65_536,
     ) -> None:
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
@@ -58,6 +63,7 @@ class WebTableEmbeddingModel:
         self.window = window
         self.min_count = min_count
         self.oov_scale = oov_scale
+        self.token_cache = LRUCache(cache_size)
         self._vocabulary: Vocabulary | None = None
         self._vectors: np.ndarray | None = None
 
@@ -150,6 +156,39 @@ class WebTableEmbeddingModel:
         if not tokens:
             return np.zeros((0, self.dim))
         return np.stack([self.embed_token(token) for token in tokens])
+
+    def _embed_distinct_uncached(self, tokens: Sequence[str]) -> np.ndarray:
+        """Vectorized distinct-token embedding behind the batch contract.
+
+        In-vocabulary rows are one fancy-index gather out of the trained
+        matrix; OOV rows run through the vectorized n-gram hashing kernel
+        scaled by ``oov_scale`` — element-wise identical to
+        :meth:`embed_token`.
+        """
+        self._require_trained()
+        assert self._vocabulary is not None and self._vectors is not None
+        rows = np.empty((len(tokens), self.dim))
+        oov_tokens: list[str] = []
+        oov_positions: list[int] = []
+        vocab_positions: list[int] = []
+        vocab_ids: list[int] = []
+        for position, token in enumerate(tokens):
+            token_id = self._vocabulary.token_id(token)
+            if token_id is None:
+                oov_tokens.append(token)
+                oov_positions.append(position)
+            else:
+                vocab_positions.append(position)
+                vocab_ids.append(token_id)
+        if vocab_ids:
+            rows[np.asarray(vocab_positions, dtype=np.intp)] = self._vectors[
+                np.asarray(vocab_ids, dtype=np.intp)
+            ]
+        if oov_tokens:
+            rows[np.asarray(oov_positions, dtype=np.intp)] = (
+                hashed_token_matrix(oov_tokens, self.dim) * self.oov_scale
+            )
+        return rows
 
     def idf(self, token: str) -> float:
         """Inverse document frequency from the training vocabulary."""

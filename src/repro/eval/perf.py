@@ -8,6 +8,14 @@ the repository root by convention) so every PR leaves a comparable perf
 baseline behind.  CI runs the ``fast`` profile as a smoke check; the
 committed report comes from the ``full`` profile.
 
+Since the paper notes the *embedding* step — not LSH probing — dominates
+corpus build cost, the suite also carries an ``embed`` stage: sequential
+per-column ``encode`` versus the chunked ``encode_batch`` pipeline over a
+synthetic categorical-heavy column corpus (cell values repeat massively
+across warehouse columns, which is what the shared value/token caches
+exploit), reporting throughput, speedup, and cache hit rate per corpus
+size.
+
 Run it via ``python -m repro bench`` or import :func:`run_perf_suite`.
 
 The synthetic corpus is *not* isotropic Gaussian noise: warehouse column
@@ -28,27 +36,40 @@ from pathlib import Path
 
 import numpy as np
 
-from repro._util import rng_for
+from repro._util import chunked, rng_for
 from repro.index.lsh import SimHashLSHIndex
 
 __all__ = [
     "BENCH_REPORT_NAME",
     "PROFILES",
     "run_perf_suite",
+    "synthetic_columns",
     "synthetic_corpus",
     "validate_report",
     "write_report",
 ]
 
 BENCH_REPORT_NAME = "BENCH_index.json"
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
 
 #: Named suite profiles: corpus sizes and repeat counts.  ``full`` is the
 #: committed baseline; ``fast`` keeps the CI smoke job in single-digit
-#: seconds.
+#: seconds.  ``embed_sizes`` drives the embedding-throughput stage (the
+#: sequential arm re-encodes every column per repeat, so it scales its own
+#: sizes rather than riding the search-side ones).
 PROFILES: dict[str, dict] = {
-    "full": {"sizes": (1_000, 5_000, 10_000, 50_000), "repeats": 5},
-    "fast": {"sizes": (500, 1_000, 2_000), "repeats": 2},
+    "full": {
+        "sizes": (1_000, 5_000, 10_000, 50_000),
+        "repeats": 5,
+        "embed_sizes": (2_000, 10_000),
+        "embed_repeats": 3,
+    },
+    "fast": {
+        "sizes": (500, 1_000, 2_000),
+        "repeats": 2,
+        "embed_sizes": (500, 1_000),
+        "embed_repeats": 2,
+    },
 }
 
 # Fields every per-size result row must carry (validate_report contract,
@@ -64,6 +85,19 @@ _RESULT_FIELDS = (
     "batch_per_query_ms",
     "batch_speedup",
     "candidate_fraction",
+)
+
+# Fields every embed-stage row must carry.
+_EMBED_FIELDS = (
+    "n_columns",
+    "values_per_column",
+    "sequential_s",
+    "batched_s",
+    "speedup",
+    "sequential_cols_per_s",
+    "batched_cols_per_s",
+    "cache_hit_rate",
+    "distinct_fraction",
 )
 
 
@@ -110,6 +144,107 @@ def synthetic_corpus(
             (copies.size, dim)
         )
     return unit_rows(matrix)
+
+
+def synthetic_columns(
+    n: int,
+    *,
+    values_per_column: int = 40,
+    vocab_size: int = 600,
+    numeric_every: int = 8,
+    seed_key: str = "embed-corpus",
+) -> list:
+    """Deterministic warehouse-shaped columns for the embed stage.
+
+    Warehouse serializations are dominated by categorical values drawn
+    from shared vocabularies (names, codes, cities — the same strings
+    recur across thousands of columns) plus low-range numeric columns
+    (quantities, small codes) that repeat just as heavily.  That massive
+    cross-column value repetition is precisely what the batched pipeline's
+    value/token caches exploit, so the corpus reproduces it: every
+    ``numeric_every``-th column is small-range integers, the rest sample a
+    ``vocab_size``-entry multi-token string vocabulary.
+    """
+    from repro.storage.column import Column
+
+    rng = rng_for("perf-suite", seed_key, n, values_per_column, vocab_size)
+    vocabulary = [f"entity {k:05d} segment{k % 37}" for k in range(vocab_size)]
+    columns = []
+    for index in range(n):
+        if numeric_every and index % numeric_every == 0:
+            values = [int(v) for v in rng.integers(0, 250, size=values_per_column)]
+            columns.append(Column(f"qty_{index}", values))
+        else:
+            picks = rng.integers(0, vocab_size, size=values_per_column)
+            columns.append(
+                Column(f"cat_{index}", [vocabulary[pick] for pick in picks])
+            )
+    return columns
+
+
+def _bench_embed_one_size(
+    n: int,
+    *,
+    dim: int,
+    values_per_column: int,
+    vocab_size: int,
+    chunk_size: int,
+    repeats: int,
+) -> dict:
+    """Sequential-vs-batched encode throughput at one corpus size.
+
+    Both arms start cold (module n-gram caches cleared, fresh model and
+    encoder) so the numbers describe a from-scratch corpus build; the
+    cache hit rate comes from the timed batched run itself — it measures
+    value repetition *within* one corpus build, not warm-over-warm replay.
+    """
+    from repro.embedding.encoder import ColumnEncoder, EncodeStats
+    from repro.embedding.hashing import (
+        HashingEmbeddingModel,
+        _ngram_vector,
+        hashed_token_vector,
+    )
+
+    columns = synthetic_columns(
+        n, values_per_column=values_per_column, vocab_size=vocab_size
+    )
+
+    def cold_encoder() -> ColumnEncoder:
+        hashed_token_vector.cache_clear()
+        _ngram_vector.cache_clear()
+        return ColumnEncoder(HashingEmbeddingModel(dim=dim))
+
+    def sequential() -> None:
+        encoder = cold_encoder()
+        for column in columns:
+            encoder.encode(column)
+
+    stats = EncodeStats()
+
+    def batched() -> None:
+        stats.__init__()  # keep the stats of the (last) timed run
+        encoder = cold_encoder()
+        for chunk in chunked(columns, chunk_size):
+            _matrix, chunk_stats = encoder.encode_batch(chunk)
+            stats.merge(chunk_stats)
+
+    sequential_s = _best_of(repeats, sequential)
+    batched_s = _best_of(repeats, batched)
+    return {
+        "n_columns": n,
+        "values_per_column": values_per_column,
+        "vocab_size": vocab_size,
+        "chunk_size": chunk_size,
+        "sequential_s": round(sequential_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup": round(sequential_s / batched_s, 2),
+        "sequential_cols_per_s": round(n / sequential_s, 1),
+        "batched_cols_per_s": round(n / batched_s, 1),
+        "cache_hit_rate": round(stats.cache_hit_rate, 4),
+        "distinct_fraction": round(
+            stats.distinct_tokens / max(1, stats.token_occurrences), 4
+        ),
+    }
 
 
 def _best_of(repeats: int, run) -> float:
@@ -219,12 +354,19 @@ def run_perf_suite(
     batch_size: int = 64,
     k: int = 10,
     repeats: int | None = None,
+    embed_sizes: tuple[int, ...] | None = None,
+    embed_repeats: int | None = None,
+    embed_dim: int = 64,
+    embed_values_per_column: int = 40,
+    embed_vocab_size: int = 600,
+    embed_chunk_size: int = 512,
     progress=None,
 ) -> dict:
-    """Time index build / single search / batched search per corpus size.
+    """Time index search paths and embedding throughput per corpus size.
 
-    Returns the report dict (see ``_RESULT_FIELDS`` for the per-size row
-    schema); pass ``progress`` (a callable taking one string) for
+    Returns the report dict: ``results`` rows follow ``_RESULT_FIELDS``
+    (search side), ``embed`` rows follow ``_EMBED_FIELDS`` (sequential vs
+    batched encode).  Pass ``progress`` (a callable taking one string) for
     per-size console feedback.
     """
     if profile not in PROFILES:
@@ -232,6 +374,12 @@ def run_perf_suite(
     spec = PROFILES[profile]
     sizes = tuple(sizes) if sizes is not None else spec["sizes"]
     repeats = repeats if repeats is not None else spec["repeats"]
+    embed_sizes = (
+        tuple(embed_sizes) if embed_sizes is not None else spec["embed_sizes"]
+    )
+    embed_repeats = (
+        embed_repeats if embed_repeats is not None else spec.get("embed_repeats", 2)
+    )
     results = []
     for n in sizes:
         if progress is not None:
@@ -248,6 +396,20 @@ def run_perf_suite(
                 repeats=repeats,
             )
         )
+    embed_results = []
+    for n in embed_sizes:
+        if progress is not None:
+            progress(f"benchmarking embed throughput at {n} columns ...")
+        embed_results.append(
+            _bench_embed_one_size(
+                n,
+                dim=embed_dim,
+                values_per_column=embed_values_per_column,
+                vocab_size=embed_vocab_size,
+                chunk_size=embed_chunk_size,
+                repeats=embed_repeats,
+            )
+        )
     return {
         "schema_version": _SCHEMA_VERSION,
         "suite": "index-perf",
@@ -261,6 +423,13 @@ def run_perf_suite(
             "batch_size": batch_size,
             "k": k,
             "repeats": repeats,
+            "embed": {
+                "dim": embed_dim,
+                "values_per_column": embed_values_per_column,
+                "vocab_size": embed_vocab_size,
+                "chunk_size": embed_chunk_size,
+                "model": "hashing",
+            },
         },
         "environment": {
             "python": platform.python_version(),
@@ -268,6 +437,7 @@ def run_perf_suite(
             "machine": platform.machine(),
         },
         "results": results,
+        "embed": embed_results,
     }
 
 
@@ -299,4 +469,13 @@ def validate_report(payload: dict) -> list[str]:
             value = row.get(field)
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 problems.append(f"result {row.get('n_columns')}: bad {field!r}")
+    embed = payload.get("embed")
+    if not isinstance(embed, list) or not embed:
+        problems.append("embed must list >= 1 corpus sizes")
+        return problems
+    for row in embed:
+        for field in _EMBED_FIELDS:
+            value = row.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"embed {row.get('n_columns')}: bad {field!r}")
     return problems

@@ -199,12 +199,14 @@ class DiscoveryService:
             warehouse = self.engine.connector.warehouse
             before = set(self._table_refs(database, table.name))
             warehouse.add_table(database, table)
-            kept: set[ColumnRef] = set()
-            for column in table.columns:
-                if column.dtype in ELIGIBLE_TYPES:
-                    ref = ColumnRef(database, table.name, column.name)
-                    if self.engine.add_column(ref, sampler=sampler):
-                        kept.add(ref)
+            eligible = [
+                ColumnRef(database, table.name, column.name)
+                for column in table.columns
+                if column.dtype in ELIGIBLE_TYPES
+            ]
+            # One batched scan + encode for the whole table — the same
+            # chunked pipeline corpus indexing uses.
+            kept = set(self.engine.add_columns(eligible, sampler=sampler))
             # Evict everything previously indexed for this table that did
             # not survive re-indexing: columns dropped by name, columns
             # whose dtype became ineligible, and columns that now embed to
@@ -370,6 +372,7 @@ class DiscoveryService:
             databases=databases,
             searches=searches,
             mutations=mutations,
+            caches=self.engine.embedding_cache_stats(),
         )
 
     def stats(self) -> IndexStats:

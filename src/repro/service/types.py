@@ -191,7 +191,13 @@ class SearchResponse:
 
 @dataclass(frozen=True)
 class IndexStats:
-    """A point-in-time snapshot of the service's index and traffic."""
+    """A point-in-time snapshot of the service's index and traffic.
+
+    ``caches`` reports embedding-pipeline cache effectiveness: the
+    column-level :class:`~repro.core.profiles.EmbeddingCache` (when the
+    engine has one) plus the encoder's value-tokenization and shared
+    token-vector caches, each as ``{size, hits, misses, hit_rate}``.
+    """
 
     backend: str
     dim: int
@@ -201,6 +207,7 @@ class IndexStats:
     databases: int
     searches: int
     mutations: int
+    caches: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
         """The wire form of this snapshot."""
@@ -213,4 +220,5 @@ class IndexStats:
             "databases": self.databases,
             "searches": self.searches,
             "mutations": self.mutations,
+            "caches": dict(self.caches),
         }

@@ -1,0 +1,304 @@
+"""Batched embedding pipeline: batch-vs-sequential equivalence properties.
+
+Every registry model must satisfy the batch contract: `embed_tokens_batch`
+is element-wise equivalent to sequential `embed_tokens`, and
+`ColumnEncoder.encode_batch` is element-wise equivalent to sequential
+`encode` — across aggregations, value dedup, column-name inclusion, and
+numeric-profile blending.  Plus: the streaming chunked `index_corpus`
+matches one-shot indexing, and the shared caches stay bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import WarpGateConfig
+from repro.core.warpgate import WarpGate
+from repro.embedding.base import LRUCache
+from repro.embedding.encoder import ColumnEncoder
+from repro.embedding.hashing import (
+    HashingEmbeddingModel,
+    hashed_token_matrix,
+    hashed_token_vector,
+)
+from repro.embedding.registry import available_models, get_model
+from repro.storage.column import Column
+from repro.storage.types import DataType
+from repro.warehouse.connector import WarehouseConnector
+
+ATOL = 1e-6
+
+TOKEN_LISTS = [
+    ["acme", "corp"],
+    [],
+    ["corp", "zq_9942", "acme", "corp"],  # repeats + OOV-ish token
+    ["cust_001", "cust_002"],
+    ["acme"],
+]
+
+COLUMNS = [
+    Column("company", ["Acme Corp", "Globex", "Acme Corp", "Initech LLC"]),
+    Column("quantity", [3, 1, 4, 1, 5, 9, 2, 6]),
+    Column("empty", [None, None], DataType.STRING),
+    Column("mixed_case", ["ALPHA beta", "alpha BETA"]),
+    Column("floats", [0.5, 2.25, -7.5]),
+]
+
+
+class TestValueTypeCollisions:
+    """7, 7.0, and True hash alike but tokenize differently — the value
+    caches must keep them apart, within a column and across columns."""
+
+    def test_int_then_float_column(self):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=32))
+        int_column = Column("a", [7, 7, 7])
+        float_column = Column("b", [7.0, 7.0, 7.0])
+        encoder.encode_batch([int_column])  # populate the caches with int 7
+        matrix, _stats = encoder.encode_batch([float_column])
+        assert np.allclose(matrix[0], encoder.encode(float_column), atol=ATOL)
+
+    def test_mixed_types_in_one_column(self):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=32))
+        mixed = Column("m", [7, 7.0, True, 1])
+        matrix, _stats = encoder.encode_batch([mixed])
+        assert np.allclose(matrix[0], encoder.encode(mixed), atol=ATOL)
+
+    def test_dedupe_keeps_types_apart(self):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=32), dedupe_values=True)
+        mixed = Column("m", [7, 7.0, 7, 7.0])
+        matrix, _stats = encoder.encode_batch([mixed])
+        assert np.allclose(matrix[0], encoder.encode(mixed), atol=ATOL)
+
+
+@pytest.fixture(scope="session", params=available_models())
+def registry_model(request):
+    """Each registry model once per session (pretrained arms are cached)."""
+    return get_model(request.param)
+
+
+class TestModelBatchContract:
+    def test_embed_tokens_batch_matches_sequential(self, registry_model):
+        batch = registry_model.embed_tokens_batch(TOKEN_LISTS)
+        assert len(batch) == len(TOKEN_LISTS)
+        for matrix, tokens in zip(batch, TOKEN_LISTS):
+            expected = registry_model.embed_tokens(list(tokens))
+            assert matrix.shape == expected.shape
+            assert np.allclose(matrix, expected, atol=ATOL)
+
+    def test_embed_tokens_batch_repeated_calls_stable(self, registry_model):
+        first = registry_model.embed_tokens_batch(TOKEN_LISTS)
+        second = registry_model.embed_tokens_batch(TOKEN_LISTS)
+        for left, right in zip(first, second):
+            assert np.allclose(left, right, atol=ATOL)
+
+    def test_idf_batch_matches_sequential(self, registry_model):
+        tokens = ["acme", "corp", "zq_9942"]
+        batch = registry_model.idf_batch(tokens)
+        expected = [registry_model.idf(token) for token in tokens]
+        assert np.allclose(batch, expected)
+
+    def test_contextual_distinct_embed_never_touches_shared_cache(self):
+        # bertlike shares the webtable singleton's token cache for its
+        # input fetch; embed_tokens_distinct on the contextual wrapper
+        # must neither serve base rows as outputs nor write contextualized
+        # rows into the base model's cache.
+        bertlike = get_model("bertlike")
+        base = bertlike.base_model
+        token = "poison_check_token"
+        contextual_row = bertlike.embed_tokens_distinct([token])[0]
+        assert np.allclose(
+            contextual_row, bertlike.embed_tokens([token])[0], atol=ATOL
+        )
+        assert np.allclose(
+            base.embed_tokens_distinct([token])[0],
+            base.embed_token(token),
+            atol=ATOL,
+        )
+
+
+class TestEncodeBatchEquivalence:
+    @pytest.mark.parametrize("aggregation", ["mean", "tfidf"])
+    @pytest.mark.parametrize("dedupe_values", [False, True])
+    def test_matches_sequential_encode(
+        self, registry_model, aggregation, dedupe_values
+    ):
+        encoder = ColumnEncoder(
+            registry_model,
+            aggregation=aggregation,
+            dedupe_values=dedupe_values,
+            numeric_profile_weight=0.3,
+        )
+        matrix, stats = encoder.encode_batch(COLUMNS)
+        assert matrix.shape == (len(COLUMNS), encoder.dim)
+        assert stats.columns == len(COLUMNS)
+        for position, column in enumerate(COLUMNS):
+            expected = encoder.encode(column)
+            assert np.allclose(matrix[position], expected, atol=ATOL), column.name
+
+    def test_include_column_name_matches(self, registry_model):
+        encoder = ColumnEncoder(registry_model, include_column_name=True)
+        matrix, _stats = encoder.encode_batch(COLUMNS)
+        for position, column in enumerate(COLUMNS):
+            assert np.allclose(
+                matrix[position], encoder.encode(column), atol=ATOL
+            ), column.name
+
+    def test_truncation_fallback_matches(self, registry_model):
+        encoder = ColumnEncoder(registry_model, max_tokens=5)
+        long_column = Column("log", [f"alpha beta gamma {i}" for i in range(10)])
+        matrix, _stats = encoder.encode_batch([long_column, COLUMNS[0]])
+        assert np.allclose(matrix[0], encoder.encode(long_column), atol=ATOL)
+        assert np.allclose(matrix[1], encoder.encode(COLUMNS[0]), atol=ATOL)
+
+    def test_encode_many_routes_through_batch(self):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=32))
+        matrix = encoder.encode_many(COLUMNS)
+        batch, _stats = encoder.encode_batch(COLUMNS)
+        assert np.allclose(matrix, batch)
+
+
+class TestSerializeBatch:
+    def test_folded_stream_aggregates_like_reference(self):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=32))
+        for item, column in zip(encoder.serialize_batch(COLUMNS), COLUMNS):
+            tokens, weights = item.flatten()
+            ref_tokens, ref_weights = encoder.serialize(column)
+            # Same multiset of (token, total weight): folding only merges
+            # duplicate values into one weighted slot.
+            folded: dict[str, float] = {}
+            for token, weight in zip(tokens, weights):
+                folded[token] = folded.get(token, 0.0) + weight
+            reference: dict[str, float] = {}
+            for token, weight in zip(ref_tokens, ref_weights):
+                reference[token] = reference.get(token, 0.0) + weight
+            assert folded == reference
+
+    def test_occurrences_counts_unfolded_stream(self):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=32))
+        column = Column("x", ["a b", "a b", "c"])
+        item = encoder.serialize_batch([column])[0]
+        assert item.occurrences == 5  # 2x "a b" (2 tokens) + "c"
+        assert len(item.flatten()[0]) == 3  # folded: a, b, c
+
+    def test_truncating_column_uses_exact_fallback(self):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=32), max_tokens=4)
+        column = Column("x", ["alpha beta"] * 10)
+        item = encoder.serialize_batch([column])[0]
+        assert item.exact is not None
+        assert item.flatten() == encoder.serialize(column)
+
+
+class TestHashedTokenMatrix:
+    def test_matches_single_token_kernel(self):
+        tokens = ["acme", "", "aaaa", "cust_001", "acme"]
+        matrix = hashed_token_matrix(tokens, 48)
+        for position, token in enumerate(tokens):
+            assert np.allclose(
+                matrix[position], hashed_token_vector(token, 48), atol=1e-12
+            )
+
+    def test_empty_input(self):
+        assert hashed_token_matrix([], 16).shape == (0, 16)
+
+
+class TestCaches:
+    def test_lru_bound_and_stats(self):
+        cache = LRUCache(capacity=3)
+        for key in "abcd":
+            cache.put(key, key.upper())
+        assert len(cache) == 3
+        assert "a" not in cache  # least-recently-used evicted
+        assert cache.get("b") == "B"
+        stats = cache.stats()
+        assert stats["size"] == 3
+        assert stats["capacity"] == 3
+
+    def test_lru_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+    def test_repeated_encode_batch_hits_cache(self):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=32))
+        _first, first_stats = encoder.encode_batch(COLUMNS)
+        second, second_stats = encoder.encode_batch(COLUMNS)
+        assert second_stats.cache_hits > 0
+        assert second_stats.cache_misses == 0
+        for position, column in enumerate(COLUMNS):
+            assert np.allclose(second[position], encoder.encode(column), atol=ATOL)
+
+    def test_values_shared_across_columns_cost_one_embed(self):
+        model = HashingEmbeddingModel(dim=32)
+        encoder = ColumnEncoder(model)
+        shared = [f"value {i}" for i in range(20)]
+        columns = [Column(f"c{i}", shared) for i in range(8)]
+        _matrix, stats = encoder.encode_batch(columns)
+        # 8 columns x 20 values, but only 20 distinct values embed.
+        assert stats.cache_hits >= 7 * 20
+        assert stats.cache_hit_rate > 0.5
+
+    def test_overflowing_chunk_still_correct(self):
+        # More distinct values than the LRU can hold: results must not
+        # depend on cache residency.
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=16), cache_size=8)
+        columns = [
+            Column(f"c{i}", [f"tok{i}_{j}" for j in range(12)]) for i in range(6)
+        ]
+        matrix, _stats = encoder.encode_batch(columns)
+        for position, column in enumerate(columns):
+            assert np.allclose(matrix[position], encoder.encode(column), atol=ATOL)
+        assert len(encoder._value_vectors) <= 8
+
+    def test_cache_stats_shape(self):
+        encoder = ColumnEncoder(HashingEmbeddingModel(dim=16))
+        encoder.encode_batch(COLUMNS[:2])
+        payload = encoder.cache_stats()
+        assert set(payload) == {"value_tokens", "value_vectors", "token_cache"}
+        for section in payload.values():
+            assert {"size", "hits", "misses", "hit_rate"} <= set(section)
+
+
+class TestStreamingIndexCorpus:
+    def test_chunked_matches_one_shot(self, toy_warehouse):
+        one_shot = WarpGate(WarpGateConfig(threshold=0.3))
+        one_shot.index_corpus(WarehouseConnector(toy_warehouse))
+        streamed = WarpGate(WarpGateConfig(threshold=0.3, index_chunk_size=3))
+        report = streamed.index_corpus(WarehouseConnector(toy_warehouse))
+        assert report.notes["chunk_size"] == 3
+        assert streamed.indexed_refs == one_shot.indexed_refs
+        for ref in one_shot.indexed_refs:
+            assert np.allclose(
+                streamed.vector_of(ref), one_shot.vector_of(ref), atol=ATOL
+            )
+        query = one_shot.indexed_refs[1]
+        assert (
+            streamed.search(query, 5).refs == one_shot.search(query, 5).refs
+        )
+
+    def test_chunk_size_argument_overrides_config(self, toy_connector):
+        system = WarpGate(WarpGateConfig(threshold=0.3))
+        report = system.index_corpus(toy_connector, chunk_size=2)
+        assert report.notes["chunk_size"] == 2
+        assert report.columns_indexed == 8
+
+    def test_bad_chunk_size_rejected(self, toy_connector):
+        with pytest.raises(ValueError):
+            WarpGate().index_corpus(toy_connector, chunk_size=0)
+        with pytest.raises(ValueError):
+            WarpGateConfig(index_chunk_size=0)
+
+    def test_report_carries_embed_stats(self, toy_connector):
+        report = WarpGate().index_corpus(toy_connector)
+        embed = report.notes["embed"]
+        assert embed["columns"] == 8
+        assert embed["token_occurrences"] >= embed["tokens"] > 0
+
+    def test_reindex_reports_replacements_separately(self, toy_warehouse):
+        system = WarpGate(WarpGateConfig(threshold=0.3))
+        first = system.index_corpus(WarehouseConnector(toy_warehouse))
+        assert first.columns_indexed == 8
+        assert first.columns_replaced == 0
+        second = system.index_corpus(WarehouseConnector(toy_warehouse))
+        assert second.columns_indexed == 0
+        assert second.columns_replaced == 8
+        assert system.indexed_count == 8

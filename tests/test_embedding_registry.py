@@ -13,7 +13,13 @@ from repro.errors import UnknownModelError
 
 class TestRegistry:
     def test_available_models(self):
-        assert set(available_models()) == {"webtable", "hashing", "bertlike"}
+        assert set(available_models()) == {
+            "webtable",
+            "hashing",
+            "bertlike",
+            "cooccur",
+            "contextual",
+        }
 
     def test_unknown_model_raises_with_hint(self):
         with pytest.raises(UnknownModelError) as excinfo:
@@ -36,6 +42,21 @@ class TestRegistry:
         model = get_model("bertlike")
         assert isinstance(model, BertLikeEmbeddingModel)
         assert isinstance(model.base_model, WebTableEmbeddingModel)
+        assert model.base_model is get_model("webtable")
+
+    def test_cooccur_is_column_only_webtable_variant(self):
+        model = get_model("cooccur")
+        assert isinstance(model, WebTableEmbeddingModel)
+        assert model.name == "cooccur"
+        assert model.is_trained
+        assert model is get_model("cooccur")  # cached like the others
+        assert model is not get_model("webtable")
+
+    def test_contextual_is_light_bertlike(self):
+        model = get_model("contextual")
+        assert isinstance(model, BertLikeEmbeddingModel)
+        assert model.name == "contextual"
+        assert model.n_layers < get_model("bertlike").n_layers
         assert model.base_model is get_model("webtable")
 
     def test_clear_cache_forces_retrain_identity_change(self):

@@ -302,6 +302,17 @@ class TestStats:
         payload = service.stats().to_dict()
         assert payload["backend"] == "lsh"
         assert payload["indexed_columns"] == 8
+        assert "caches" in payload
+
+    def test_cache_effectiveness_exposed(self, service):
+        caches = service.stats().caches
+        # The encoder's serialization + value-vector caches are always
+        # reported; the registry models additionally carry a token cache.
+        assert {"value_tokens", "value_vectors", "token_cache"} <= set(caches)
+        for section in caches.values():
+            assert {"size", "hits", "misses", "hit_rate"} <= set(section)
+        # Indexing the 8-column corpus populated the value caches.
+        assert caches["value_vectors"]["size"] > 0
 
 
 class TestConcurrency:

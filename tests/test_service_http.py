@@ -57,6 +57,8 @@ class TestHealthAndStats:
         assert payload["backend"] == "lsh"
         assert payload["indexed_columns"] == 8
         assert payload["tables"] == 3
+        assert "value_vectors" in payload["caches"]
+        assert payload["caches"]["value_vectors"]["size"] > 0
 
     def test_unknown_route(self, served):
         _, port = served
