@@ -11,7 +11,14 @@ job enforces).
 
 from __future__ import annotations
 
-from repro.eval.perf import run_perf_suite, validate_report, write_report
+import json
+
+from repro.eval.perf import (
+    append_history,
+    run_perf_suite,
+    validate_report,
+    write_report,
+)
 
 
 def test_fast_profile_report_is_valid(tmp_path):
@@ -28,6 +35,88 @@ def test_batched_search_amortizes(tmp_path):
     largest = report["results"][-1]
     assert largest["batch_speedup"] > 1.0
     assert 0.0 < largest["candidate_fraction"] < 1.0
+
+
+def test_shard_stage_merges_exactly(tmp_path):
+    """Sharded batched search returns result lists identical to 1-shard."""
+    report = run_perf_suite(
+        profile="fast",
+        sizes=(500, 1_000, 2_000),
+        shard_sizes=(2_000,),
+        quant_sizes=(1_000,),
+        artifact_sizes=(500,),
+        repeats=1,
+        embed_sizes=(500,),
+        embed_repeats=1,
+        stage_repeats=1,
+    )
+    row = report["shard"][-1]
+    assert row["n_shards"] == 4
+    assert row["merge_equal_fraction"] == 1.0
+    assert row["batch_ms_sharded"] > 0.0
+
+
+def test_quant_stage_recall_meets_bar(tmp_path):
+    """Int8 + exact re-rank holds recall@k even at smoke scale."""
+    report = run_perf_suite(
+        profile="fast",
+        sizes=(500, 1_000, 2_000),
+        shard_sizes=(500,),
+        quant_sizes=(2_000,),
+        artifact_sizes=(500,),
+        repeats=1,
+        embed_sizes=(500,),
+        embed_repeats=1,
+        stage_repeats=1,
+    )
+    row = report["quant"][-1]
+    assert row["recall_at_k"] >= 0.98
+    assert row["bytes_float32"] == 4 * row["bytes_int8"]
+
+
+def test_artifact_stage_mmap_load_wins(tmp_path):
+    """Format-3 mmap cold load beats the compressed format-2 load."""
+    report = run_perf_suite(
+        profile="fast",
+        sizes=(500, 1_000, 2_000),
+        shard_sizes=(500,),
+        quant_sizes=(500,),
+        artifact_sizes=(2_000,),
+        repeats=1,
+        embed_sizes=(500,),
+        embed_repeats=1,
+        stage_repeats=1,
+    )
+    row = report["artifact"][-1]
+    assert row["load_v3_s"] < row["load_v2_s"]
+    assert row["artifact_v2_bytes"] > 0 and row["artifact_v3_bytes"] > 0
+
+
+def test_history_appends_one_line_per_run(tmp_path):
+    """The bench trajectory file gains one well-formed JSON line per run."""
+    report = run_perf_suite(
+        profile="fast",
+        sizes=(200, 300, 400),
+        shard_sizes=(300,),
+        quant_sizes=(300,),
+        artifact_sizes=(300,),
+        repeats=1,
+        embed_sizes=(200,),
+        embed_repeats=1,
+        stage_repeats=1,
+        dim=32,
+        batch_size=8,
+    )
+    history = tmp_path / "BENCH_history.jsonl"
+    append_history(report, history)
+    append_history(report, history)
+    lines = history.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 2
+    entry = json.loads(lines[0])
+    assert entry["n_columns_max"] == 400
+    assert "timestamp" in entry and "git_sha" in entry
+    assert isinstance(entry["shard_speedup"], (int, float))
+    assert isinstance(entry["quant_recall_at_k"], (int, float))
 
 
 def test_batched_embedding_amortizes(tmp_path):

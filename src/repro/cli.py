@@ -67,6 +67,8 @@ def _config_from_args(args: argparse.Namespace) -> WarpGateConfig:
         threshold=args.threshold,
         sample_size=args.sample_size,
         model_name=args.model,
+        n_shards=getattr(args, "shards", 1),
+        quantize=getattr(args, "quantize", False),
     )
 
 
@@ -139,7 +141,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.eval.perf import run_perf_suite, validate_report, write_report
+    from repro.eval.perf import (
+        append_history,
+        run_perf_suite,
+        validate_report,
+        write_report,
+    )
     from repro.eval.report import render_table
 
     sizes = (
@@ -203,7 +210,69 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Embedding throughput (sequential vs batched encode)",
         )
     )
+    shard_rows = [
+        [
+            row["n_columns"],
+            row["n_shards"],
+            f"{row['batch_ms_single']:.1f}",
+            f"{row['batch_ms_sharded']:.1f}",
+            f"{row['shard_speedup']:.2f}x",
+            f"{row['merge_equal_fraction']:.0%}",
+        ]
+        for row in report["shard"]
+    ]
+    print(
+        render_table(
+            ["columns", "shards", "1-arena ms", "sharded ms", "speedup", "merge ="],
+            shard_rows,
+            title=f"Sharded search ({report['environment']['cpus']} cpu core(s))",
+        )
+    )
+    quant_rows = [
+        [
+            row["n_columns"],
+            f"{row['batch_ms_float32']:.1f}",
+            f"{row['batch_ms_int8']:.1f}",
+            f"{row['quant_speedup']:.2f}x",
+            f"{row['recall_at_k']:.1%}",
+            f"{row['bytes_float32'] // max(1, row['bytes_int8'])}x",
+        ]
+        for row in report["quant"]
+    ]
+    print(
+        render_table(
+            ["columns", "f32 ms", "int8 ms", "speedup", "recall@k", "mem"],
+            quant_rows,
+            title="Int8 candidate scoring + exact re-rank (exact backend)",
+        )
+    )
+    artifact_rows = [
+        [
+            row["n_columns"],
+            f"{row['load_v2_s'] * 1e3:.1f}",
+            f"{row['load_v3_s'] * 1e3:.1f}",
+            f"{row['load_speedup']:.0f}x",
+        ]
+        for row in report["artifact"]
+    ]
+    print(
+        render_table(
+            ["columns", "v2 load ms", "v3 mmap load ms", "speedup"],
+            artifact_rows,
+            title="Artifact cold load (compressed v2 vs mmap v3)",
+        )
+    )
     print(f"report written to {path}")
+    from repro.eval.perf import BENCH_HISTORY_NAME
+
+    history_target = (
+        args.history
+        if args.history is not None
+        else str(Path(args.output).parent / BENCH_HISTORY_NAME)
+    )
+    if history_target:
+        history = append_history(report, history_target)
+        print(f"history entry appended to {history}")
     return 0
 
 
@@ -257,6 +326,17 @@ def build_parser() -> argparse.ArgumentParser:
             default="webtable",
             choices=available_models(),
             help="embedding model",
+        )
+        sub.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="index partitions searched in parallel (1 = single arena)",
+        )
+        sub.add_argument(
+            "--quantize",
+            action="store_true",
+            help="score candidates on int8 codes with exact float32 re-rank",
         )
 
     discover = subparsers.add_parser(
@@ -328,6 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--output", default="BENCH_index.json", help="report path (JSON)"
+    )
+    bench.add_argument(
+        "--history",
+        default=None,
+        help="bench-trajectory file to append (git SHA + timestamp + "
+        "headline numbers); defaults to BENCH_history.jsonl next to "
+        "--output, pass an empty string to skip",
     )
     bench.set_defaults(handler=cmd_bench)
 

@@ -16,6 +16,7 @@ __all__ = ["WarpGateConfig"]
 _SEARCH_BACKENDS = ("lsh", "exact", "pivot")
 _AGGREGATIONS = ("mean", "tfidf")
 _SAMPLING_STRATEGIES = ("head", "uniform", "reservoir", "distinct")
+_SHARD_PLACEMENTS = ("hash", "round_robin")
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,22 @@ class WarpGateConfig:
         Columns loaded + encoded + appended per chunk during corpus
         indexing; bounds the build's working set so arbitrarily large
         corpora stream through constant memory.
+    n_shards:
+        Index partitions (see :class:`repro.index.ShardedIndex`); 1 keeps
+        the single-arena engine, >1 fans searches out across per-shard
+        arenas in parallel and keeps mutation/compaction shard-local.
+    shard_placement:
+        ``hash`` (stable hash of table identity — table columns colocate)
+        or ``round_robin`` (exact balance).
+    quantize:
+        Score candidates on int8 codes (4x smaller scoring set) and
+        re-rank the survivors exactly in float32
+        (see :class:`repro.index.ArenaQuantizer`).
+    rerank_factor:
+        Quantization recall knob: exact-re-rank the top
+        ``rerank_factor * k`` survivors per query.  Higher = better
+        recall, more float32 work (int8 recall@10 ≥ 0.98 vs full float32
+        at the default; see BENCH_index.json's ``quant`` stage).
     """
 
     model_name: str = "webtable"
@@ -65,6 +82,10 @@ class WarpGateConfig:
     numeric_profile_weight: float = 0.3
     default_k: int = 10
     index_chunk_size: int = 512
+    n_shards: int = 1
+    shard_placement: str = "hash"
+    quantize: bool = False
+    rerank_factor: int = 4
 
     def __post_init__(self) -> None:
         if self.search_backend not in _SEARCH_BACKENDS:
@@ -93,6 +114,17 @@ class WarpGateConfig:
             raise ValueError(
                 f"index_chunk_size must be positive, got {self.index_chunk_size}"
             )
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.shard_placement not in _SHARD_PLACEMENTS:
+            raise ValueError(
+                f"unknown shard_placement {self.shard_placement!r}; "
+                f"choose from {_SHARD_PLACEMENTS}"
+            )
+        if self.rerank_factor < 1:
+            raise ValueError(
+                f"rerank_factor must be >= 1, got {self.rerank_factor}"
+            )
 
     def with_sampling(self, sample_size: int | None, strategy: str | None = None) -> "WarpGateConfig":
         """Copy of this config with a different sampling setup."""
@@ -113,3 +145,27 @@ class WarpGateConfig:
     def with_threshold(self, threshold: float) -> "WarpGateConfig":
         """Copy of this config with a different LSH threshold."""
         return replace(self, threshold=threshold)
+
+    def with_sharding(
+        self, n_shards: int, placement: str | None = None
+    ) -> "WarpGateConfig":
+        """Copy of this config with a different shard layout."""
+        return replace(
+            self,
+            n_shards=n_shards,
+            shard_placement=(
+                placement if placement is not None else self.shard_placement
+            ),
+        )
+
+    def with_quantization(
+        self, quantize: bool = True, rerank_factor: int | None = None
+    ) -> "WarpGateConfig":
+        """Copy of this config with int8 candidate scoring toggled."""
+        return replace(
+            self,
+            quantize=quantize,
+            rerank_factor=(
+                rerank_factor if rerank_factor is not None else self.rerank_factor
+            ),
+        )

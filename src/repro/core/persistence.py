@@ -5,14 +5,30 @@ operational unit there is the *profiled index* — column embeddings plus
 their addresses — which is much cheaper to ship than to recompute (every
 recompute is a metered warehouse scan).
 
-The artifact is a single ``.npz`` file holding the index's columnar arena
+The artifact is a single ``.npz`` file holding the index's columnar
 payload — the ``float32`` embedding matrix and, for the LSH backend, the
-packed ``uint64`` SimHash band keys — plus the serialized column refs and
-the config fields needed to rebuild the search backend identically.
-Loading never touches the warehouse, and (format 2) never recomputes
-signatures: the arena is bulk-restored in one pass.  Format-1 artifacts
-(``float64`` vectors, no signatures) still load; their signatures are
-rehashed from the stored vectors.
+packed ``uint64`` SimHash band keys — plus a JSON header with the column
+refs and the config fields needed to rebuild the search backend
+identically.  Loading never touches the warehouse.
+
+Format history
+--------------
+* **format 3** (current): *uncompressed* archive; refs ship as a
+  fixed-width unicode member (no pickling, C-speed parse).  Stored
+  members are memory-mapped on load (:mod:`repro.index.mmapio`) and
+  adopted zero-copy into the arena with derived structures left to lazy
+  resynchronization, so a cold process maps a multi-GB index in
+  milliseconds — O(refs), independent of ``dim`` — and pages vectors in
+  lazily as queries touch them.  ``compress=True`` opts back into
+  deflate (smaller file, in-memory load).  Sharded engines
+  (``config.n_shards > 1``) save as one flat payload and re-partition on
+  load.
+* **format 2**: compressed archive, pickled ref array, ``float32``
+  vectors + signatures; restored through the bulk-load path.
+* **format 1**: compressed, ``float64`` vectors, no signatures; the
+  signatures are rehashed from the stored vectors on load.
+
+All three load; only format 3 is written.
 """
 
 from __future__ import annotations
@@ -26,53 +42,110 @@ import numpy as np
 from repro.core.config import WarpGateConfig
 from repro.core.warpgate import WarpGate
 from repro.errors import DiscoveryError
+from repro.index.mmapio import load_npz_arrays
+from repro.index.sharding import ShardedIndex
 from repro.storage.schema import ColumnRef
 
 __all__ = ["save_index", "load_index", "load_service"]
 
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
-def save_index(system, path: str | Path) -> Path:
-    """Write an indexed system's arena payload + config to ``path`` (.npz).
+def _export_sorted(system) -> tuple[list[ColumnRef], np.ndarray, np.ndarray | None]:
+    """The index payload with refs in canonical (str) order."""
+    keys, vectors, signatures = system._index.export_rows()
+    refs = list(keys)
+    order = sorted(range(len(refs)), key=lambda position: str(refs[position]))
+    ordered = np.asarray(order, dtype=np.int64)
+    refs = [refs[position] for position in order]
+    vectors = (
+        vectors[ordered]
+        if len(refs)
+        else np.zeros((0, system.config.dim), dtype=np.float32)
+    )
+    signatures = signatures[ordered] if signatures is not None and len(refs) else None
+    return refs, vectors, signatures
+
+
+def save_index(system, path: str | Path, *, compress: bool = False) -> Path:
+    """Write an indexed system's index payload + config to ``path`` (.npz).
 
     Accepts a :class:`WarpGate` or a
     :class:`~repro.service.discovery.DiscoveryService` (unwrapped to its
-    engine).  Raises :class:`DiscoveryError` if the system has not indexed
-    a corpus.
+    engine); sharded engines are gathered across shards.  The archive is
+    uncompressed by default so it can be memory-mapped on load — pass
+    ``compress=True`` to trade the zero-copy cold load for a smaller
+    file.  Raises :class:`DiscoveryError` if the system has not indexed a
+    corpus.
     """
     system = getattr(system, "engine", system)
     if not system.is_indexed:
         raise DiscoveryError("cannot save an unindexed WarpGate")
     path = Path(path)
-    index = system._index
-    arena = index.arena
-    ordered = sorted(index.keys(), key=str)
-    rows = np.asarray([arena.row_of(ref) for ref in ordered], dtype=np.int64)
-    refs = [[ref.database, ref.table, ref.column] for ref in ordered]
+    refs, vectors, signatures = _export_sorted(system)
     header = {
         "format_version": _FORMAT_VERSION,
         "config": asdict(system.config),
     }
+    # Refs ship as a fixed-width unicode member (not pickled objects, not
+    # JSON): it loads without allow_pickle, memory-maps like any numeric
+    # member, and converts back to Python strings in one C-speed tolist.
+    ref_parts = np.array(
+        [[ref.database, ref.table, ref.column] for ref in refs], dtype=np.str_
+    ).reshape(len(refs), 3)
     payload: dict[str, np.ndarray] = {
         "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
-        "refs": np.array(refs, dtype=object),
+        "refs": ref_parts,
+        "vectors": np.ascontiguousarray(vectors, dtype=np.float32),
+    }
+    if signatures is not None:
+        payload["signatures"] = np.ascontiguousarray(signatures, dtype=np.uint64)
+    writer = np.savez_compressed if compress else np.savez
+    writer(path, **payload)
+    # np.savez appends .npz when absent; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def _save_legacy(system, path: str | Path, *, version: int) -> Path:
+    """Write a format-1/2 artifact (tests + load-compat benchmarks only).
+
+    Replicates what earlier releases wrote: compressed archive, pickled
+    ref array; format 1 additionally downcasts to the old ``float64``
+    no-signature payload.
+    """
+    if version not in (1, 2):
+        raise ValueError(f"legacy writer supports formats 1 and 2, got {version}")
+    system = getattr(system, "engine", system)
+    if not system.is_indexed:
+        raise DiscoveryError("cannot save an unindexed WarpGate")
+    path = Path(path)
+    refs, vectors, signatures = _export_sorted(system)
+    raw_refs = np.empty(len(refs), dtype=object)
+    raw_refs[:] = [[ref.database, ref.table, ref.column] for ref in refs]
+    header = {"format_version": version, "config": asdict(system.config)}
+    payload: dict[str, np.ndarray] = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "refs": raw_refs,
         "vectors": (
-            arena.matrix[rows]
-            if rows.size
-            else np.zeros((0, system.config.dim), dtype=np.float32)
+            vectors.astype(np.float64) if version == 1 else vectors
         ),
     }
-    if arena.signature_words and rows.size:
-        payload["signatures"] = arena.signatures[rows]
+    if version == 2 and signatures is not None:
+        payload["signatures"] = signatures
     np.savez_compressed(path, **payload)
-    # np.savez appends .npz when absent; normalize the returned path.
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_index(path: str | Path) -> WarpGate:
     """Rebuild a searchable WarpGate from a saved artifact.
+
+    Format-3 artifacts restore zero-copy: the vector (and signature)
+    members stay memory-mapped and the arena adopts them directly, so the
+    load cost is O(refs), not O(n·dim) — the OS pages vector data in
+    lazily.  (A sharded config re-partitions the flat payload instead,
+    which copies.)  Format-1/2 artifacts take the legacy decompress +
+    bulk-load path.
 
     The restored system answers :meth:`~repro.core.warpgate.WarpGate.search`
     only through pre-embedded queries (no connector is attached); use
@@ -83,29 +156,47 @@ def load_index(path: str | Path) -> WarpGate:
     path = Path(path)
     if not path.exists():
         raise DiscoveryError(f"no index artifact at {path}")
-    with np.load(path, allow_pickle=True) as payload:
-        header = json.loads(bytes(payload["header"].tobytes()).decode("utf-8"))
-        version = header.get("format_version")
-        if version not in _SUPPORTED_VERSIONS:
-            raise DiscoveryError(f"unsupported index format {version!r}")
-        config = WarpGateConfig(**header["config"])
+    payload = load_npz_arrays(path, allow_pickle=True)
+    header = json.loads(bytes(np.asarray(payload["header"]).tobytes()).decode("utf-8"))
+    version = header.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise DiscoveryError(f"unsupported index format {version!r}")
+    config = WarpGateConfig(**header["config"])
+    vectors = payload["vectors"]
+    signatures = payload.get("signatures")
+    if version >= 3:
+        # Fixed-width unicode member → three Python string lists in one
+        # C-speed pass; this loop is on the cold-start critical path.
+        parts = np.asarray(payload["refs"])
+        refs = (
+            list(map(ColumnRef, *parts.T.tolist())) if parts.size else []
+        )
+    else:
         raw_refs = payload["refs"]
-        vectors = payload["vectors"]
-        signatures = payload["signatures"] if "signatures" in payload else None
+        refs = [
+            ColumnRef(*(str(part) for part in raw_refs[position]))
+            for position in range(len(raw_refs))
+        ]
     system = WarpGate(config)
-    refs = [
-        ColumnRef(*(str(part) for part in raw_refs[position]))
-        for position in range(len(raw_refs))
-    ]
     if refs:
         index = system._index
-        if signatures is not None and index.arena.signature_words != (
+        expected_words = (
+            index.shards[0].arena.signature_words
+            if isinstance(index, ShardedIndex)
+            else index.arena.signature_words
+        )
+        if signatures is not None and expected_words != (
             signatures.shape[1] if signatures.ndim == 2 else -1
         ):
             # Backend/banding drift (shouldn't happen — the config travels
             # with the artifact); rehash rather than load bad keys.
             signatures = None
-        index.bulk_load(refs, np.asarray(vectors), signatures=signatures)
+        if version >= 3 and not isinstance(index, ShardedIndex):
+            # Zero-copy: the arena adopts the (typically memory-mapped)
+            # artifact members without a normalization or copy pass.
+            index.adopt_rows(refs, vectors, signatures)
+        else:
+            index.bulk_load(refs, np.asarray(vectors), signatures=signatures)
         system._indexed = True
     return system
 

@@ -27,6 +27,7 @@ from repro.embedding.registry import get_model
 from repro.index.exact import ExactCosineIndex
 from repro.index.lsh import SimHashLSHIndex
 from repro.index.pivot import PivotFilterIndex
+from repro.index.sharding import ShardedIndex
 from repro.storage.schema import ColumnRef
 from repro.warehouse.connector import WarehouseConnector
 from repro.warehouse.sampling import Sampler, make_sampler
@@ -70,17 +71,38 @@ class WarpGate(JoinDiscoverySystem):
         self._index = self._build_index()
 
     def _build_index(self):
-        """Instantiate the configured search backend."""
-        if self.config.search_backend == "lsh":
-            return SimHashLSHIndex(
+        """Instantiate the configured search backend.
+
+        With ``n_shards > 1`` the backend factory is replicated behind a
+        :class:`~repro.index.sharding.ShardedIndex` (parallel fan-out,
+        shard-local mutation); ``quantize`` enables int8 candidate scoring
+        with exact float32 re-ranking on every shard.
+        """
+
+        def make_backend():
+            if self.config.search_backend == "lsh":
+                return SimHashLSHIndex(
+                    self.config.dim,
+                    n_bits=self.config.n_bits,
+                    n_bands=self.config.n_bands,
+                    threshold=self.config.threshold,
+                )
+            if self.config.search_backend == "exact":
+                return ExactCosineIndex(self.config.dim)
+            return PivotFilterIndex(self.config.dim, threshold=self.config.threshold)
+
+        if self.config.n_shards > 1:
+            index = ShardedIndex(
                 self.config.dim,
-                n_bits=self.config.n_bits,
-                n_bands=self.config.n_bands,
-                threshold=self.config.threshold,
+                make_backend,
+                n_shards=self.config.n_shards,
+                placement=self.config.shard_placement,
             )
-        if self.config.search_backend == "exact":
-            return ExactCosineIndex(self.config.dim)
-        return PivotFilterIndex(self.config.dim, threshold=self.config.threshold)
+        else:
+            index = make_backend()
+        if self.config.quantize:
+            index.enable_quantization(self.config.rerank_factor)
+        return index
 
     def _default_sampler(self) -> Sampler | None:
         if self.config.sample_size is None:
@@ -471,8 +493,13 @@ class WarpGate(JoinDiscoverySystem):
             "cosine": round(cosine, 4),
             "above_threshold": cosine >= self.config.threshold,
         }
-        if isinstance(self._index, SimHashLSHIndex):
+        lsh = self._index
+        if isinstance(lsh, ShardedIndex):
+            # Shards share one banding configuration, so any shard's
+            # S-curve describes the whole engine.
+            lsh = lsh.shards[0]
+        if isinstance(lsh, SimHashLSHIndex):
             explanation["lsh_candidate_probability"] = round(
-                self._index.expected_candidate_rate(cosine), 4
+                lsh.expected_candidate_rate(cosine), 4
             )
         return explanation

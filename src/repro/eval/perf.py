@@ -16,6 +16,16 @@ across warehouse columns, which is what the shared value/token caches
 exploit), reporting throughput, speedup, and cache hit rate per corpus
 size.
 
+Three engine stages track the scaling machinery on top of that:
+``shard`` (batched search on one arena vs the corpus partitioned across
+a :class:`~repro.index.sharding.ShardedIndex`, with a merge-exactness
+probe), ``quant`` (full-float32 vs int8-candidate + exact-re-rank
+scoring, with recall@k — the acceptance bar is ≥ 0.98), and ``artifact``
+(format-3 mmap cold load vs the legacy compressed format-2 load).  Each
+run can append a one-line summary (git SHA + timestamp + headline
+numbers) to ``BENCH_history.jsonl`` via :func:`append_history`, the
+cross-PR trajectory file.
+
 Run it via ``python -m repro bench`` or import :func:`run_perf_suite`.
 
 The synthetic corpus is *not* isotropic Gaussian noise: warehouse column
@@ -30,8 +40,11 @@ paper describes rather than a best case.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -40,8 +53,10 @@ from repro._util import chunked, rng_for
 from repro.index.lsh import SimHashLSHIndex
 
 __all__ = [
+    "BENCH_HISTORY_NAME",
     "BENCH_REPORT_NAME",
     "PROFILES",
+    "append_history",
     "run_perf_suite",
     "synthetic_columns",
     "synthetic_corpus",
@@ -50,25 +65,36 @@ __all__ = [
 ]
 
 BENCH_REPORT_NAME = "BENCH_index.json"
-_SCHEMA_VERSION = 2
+BENCH_HISTORY_NAME = "BENCH_history.jsonl"
+_SCHEMA_VERSION = 3
 
 #: Named suite profiles: corpus sizes and repeat counts.  ``full`` is the
 #: committed baseline; ``fast`` keeps the CI smoke job in single-digit
 #: seconds.  ``embed_sizes`` drives the embedding-throughput stage (the
 #: sequential arm re-encodes every column per repeat, so it scales its own
-#: sizes rather than riding the search-side ones).
+#: sizes rather than riding the search-side ones); ``shard_sizes`` /
+#: ``quant_sizes`` / ``artifact_sizes`` drive the sharding, quantization,
+#: and artifact-format stages at the scales where they matter.
 PROFILES: dict[str, dict] = {
     "full": {
         "sizes": (1_000, 5_000, 10_000, 50_000),
         "repeats": 5,
         "embed_sizes": (2_000, 10_000),
         "embed_repeats": 3,
+        "shard_sizes": (10_000, 50_000),
+        "quant_sizes": (10_000, 50_000),
+        "artifact_sizes": (50_000,),
+        "stage_repeats": 3,
     },
     "fast": {
         "sizes": (500, 1_000, 2_000),
         "repeats": 2,
         "embed_sizes": (500, 1_000),
         "embed_repeats": 2,
+        "shard_sizes": (1_000, 2_000),
+        "quant_sizes": (2_000,),
+        "artifact_sizes": (2_000,),
+        "stage_repeats": 2,
     },
 }
 
@@ -98,6 +124,44 @@ _EMBED_FIELDS = (
     "batched_cols_per_s",
     "cache_hit_rate",
     "distinct_fraction",
+)
+
+# Fields every shard-stage row must carry: batched search on one arena vs
+# the same corpus partitioned across n_shards, plus a merge-correctness
+# probe (fraction of queries whose sharded result list is identical).
+_SHARD_FIELDS = (
+    "n_columns",
+    "n_shards",
+    "batch_ms_single",
+    "batch_ms_sharded",
+    "shard_speedup",
+    "merge_equal_fraction",
+)
+
+# Fields every quant-stage row must carry: int8 candidate scoring + exact
+# re-rank vs full float32, and the recall it buys that cost.
+_QUANT_FIELDS = (
+    "n_columns",
+    "rerank_factor",
+    "batch_ms_float32",
+    "batch_ms_int8",
+    "quant_speedup",
+    "recall_at_k",
+    "bytes_float32",
+    "bytes_int8",
+)
+
+# Fields every artifact-stage row must carry: format-3 mmap cold load vs
+# the legacy compressed format-2 decompress-and-copy load.
+_ARTIFACT_FIELDS = (
+    "n_columns",
+    "save_v2_s",
+    "save_v3_s",
+    "load_v2_s",
+    "load_v3_s",
+    "load_speedup",
+    "artifact_v2_bytes",
+    "artifact_v3_bytes",
 )
 
 
@@ -268,16 +332,10 @@ def _bench_one_size(
     k: int,
     repeats: int,
 ) -> dict:
-    corpus = synthetic_corpus(n, dim)
-    keys = list(range(n))
-    rng = rng_for("perf-suite", "queries", n, dim)
-    picks = rng.integers(0, n, size=batch_size)
     # Queries are perturbed corpus columns (cos ≈ 0.98 to their source) —
     # the paper's workload queries the indexed corpus itself.
-    jitter = rng.standard_normal((batch_size, dim))
-    jitter /= np.linalg.norm(jitter, axis=1, keepdims=True)
-    queries = np.sqrt(1.0 - 0.2**2) * corpus[picks] + 0.2 * jitter
-    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    corpus, queries = _corpus_and_queries(n, dim, batch_size)
+    keys = list(range(n))
 
     def fresh_index() -> SimHashLSHIndex:
         return SimHashLSHIndex(
@@ -343,6 +401,175 @@ def _bench_one_size(
     }
 
 
+def _corpus_and_queries(
+    n: int, dim: int, batch_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The suite's shared workload: corpus + jittered self-queries."""
+    corpus = synthetic_corpus(n, dim)
+    rng = rng_for("perf-suite", "queries", n, dim)
+    picks = rng.integers(0, n, size=batch_size)
+    jitter = rng.standard_normal((batch_size, dim))
+    jitter /= np.linalg.norm(jitter, axis=1, keepdims=True)
+    queries = np.sqrt(1.0 - 0.2**2) * corpus[picks] + 0.2 * jitter
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    return corpus, queries
+
+
+def _bench_shard_one_size(
+    n: int,
+    *,
+    dim: int,
+    n_bits: int,
+    n_bands: int,
+    threshold: float,
+    batch_size: int,
+    k: int,
+    n_shards: int,
+    repeats: int,
+) -> dict:
+    """Batched search on one arena vs the corpus partitioned in ``n_shards``.
+
+    Both engines hold the identical corpus and run the identical query
+    block; the sharded run fans per-shard GEMMs out on the shared thread
+    pool (numpy releases the GIL, so the speedup tracks the core count —
+    the ``environment.cpus`` field records what this host offered).  The
+    merge probe cross-checks that every query's sharded result list is
+    *identical* to the single-arena list — the exactness invariant the
+    property tests pin at small scale, re-verified at benchmark scale.
+    """
+    from repro.index.sharding import ShardedIndex
+
+    corpus, queries = _corpus_and_queries(n, dim, batch_size)
+    keys = list(range(n))
+
+    def make_backend() -> SimHashLSHIndex:
+        return SimHashLSHIndex(
+            dim, n_bits=n_bits, n_bands=n_bands, threshold=threshold
+        )
+
+    single = make_backend()
+    single.bulk_load(keys, corpus)
+    single.build()
+    sharded = ShardedIndex(dim, make_backend, n_shards=n_shards)
+    sharded.bulk_load(keys, corpus)
+    sharded.build()
+
+    # Warm both paths (bucket freezing, pool spin-up, BLAS init).
+    single_results = single.search_batch(queries, k)
+    sharded_results = sharded.search_batch(queries, k)
+    equal = sum(
+        1 for got, want in zip(sharded_results, single_results) if got == want
+    )
+
+    single_s = _best_of(repeats, lambda: single.search_batch(queries, k))
+    sharded_s = _best_of(repeats, lambda: sharded.search_batch(queries, k))
+    return {
+        "n_columns": n,
+        "n_shards": n_shards,
+        "batch_ms_single": round(single_s * 1e3, 3),
+        "batch_ms_sharded": round(sharded_s * 1e3, 3),
+        "shard_speedup": round(single_s / sharded_s, 2),
+        "merge_equal_fraction": round(equal / batch_size, 4),
+    }
+
+
+def _bench_quant_one_size(
+    n: int,
+    *,
+    dim: int,
+    batch_size: int,
+    k: int,
+    rerank_factor: int,
+    repeats: int,
+) -> dict:
+    """Int8 candidate scoring + exact re-rank vs full float32 search.
+
+    Runs on the exact backend so the recall number isolates quantization
+    (no LSH candidate-generation noise): ``recall_at_k`` is the mean
+    fraction of each query's float32 top-k that the int8+re-rank path
+    reproduces.  ``bytes_*`` report the resident scoring set — the int8
+    code mirror is 4x smaller, which is the memory story when the float32
+    matrix stays memory-mapped on disk (artifact format 3).
+    """
+    from repro.index.exact import ExactCosineIndex
+
+    corpus, queries = _corpus_and_queries(n, dim, batch_size)
+    keys = list(range(n))
+    floor = 0.5  # dense-but-selective: domain neighbours in, noise out
+    index = ExactCosineIndex(dim)
+    index.bulk_load(keys, corpus)
+
+    truth = index.search_batch(queries, k, threshold=floor)
+    float32_s = _best_of(
+        repeats, lambda: index.search_batch(queries, k, threshold=floor)
+    )
+
+    index.enable_quantization(rerank_factor)
+    approx = index.search_batch(queries, k, threshold=floor)
+    int8_s = _best_of(
+        repeats, lambda: index.search_batch(queries, k, threshold=floor)
+    )
+    recalls = []
+    for got, want in zip(approx, truth):
+        if not want:
+            continue
+        want_keys = {key for key, _score in want}
+        got_keys = {key for key, _score in got}
+        recalls.append(len(want_keys & got_keys) / len(want_keys))
+    return {
+        "n_columns": n,
+        "rerank_factor": rerank_factor,
+        "batch_ms_float32": round(float32_s * 1e3, 3),
+        "batch_ms_int8": round(int8_s * 1e3, 3),
+        "quant_speedup": round(float32_s / int8_s, 2),
+        "recall_at_k": round(float(np.mean(recalls)) if recalls else 1.0, 4),
+        "bytes_float32": n * dim * 4,
+        "bytes_int8": n * dim,
+    }
+
+
+def _bench_artifact_one_size(n: int, *, dim: int, repeats: int) -> dict:
+    """Format-3 (uncompressed, mmap-adopted) vs format-2 artifact round trip.
+
+    ``load_v3_s`` times :func:`repro.core.persistence.load_index` on the
+    current format — header parse + zero-copy arena adoption, no vector
+    copy or decompression — against the legacy format-2 path
+    (decompress + normalize + bulk-load).  Writes go to a temp dir.
+    """
+    import tempfile
+
+    from repro.core.config import WarpGateConfig
+    from repro.core.persistence import _save_legacy, load_index, save_index
+    from repro.core.warpgate import WarpGate
+    from repro.storage.schema import ColumnRef
+
+    corpus, _queries = _corpus_and_queries(n, dim, 1)
+    refs = [ColumnRef("bench", f"table_{i // 64}", f"col_{i % 64}") for i in range(n)]
+    system = WarpGate(WarpGateConfig(model_name="hashing", dim=dim))
+    system._index.bulk_load(refs, corpus)
+    system._indexed = True
+
+    with tempfile.TemporaryDirectory() as workdir:
+        v2_path = Path(workdir) / "index_v2.npz"
+        v3_path = Path(workdir) / "index_v3.npz"
+        save_v2_s = _best_of(repeats, lambda: _save_legacy(system, v2_path, version=2))
+        save_v3_s = _best_of(repeats, lambda: save_index(system, v3_path))
+        load_v2_s = _best_of(repeats, lambda: load_index(v2_path))
+        load_v3_s = _best_of(repeats, lambda: load_index(v3_path))
+        v2_bytes = v2_path.stat().st_size
+        v3_bytes = v3_path.stat().st_size
+    return {
+        "n_columns": n,
+        "save_v2_s": round(save_v2_s, 4),
+        "save_v3_s": round(save_v3_s, 4),
+        "load_v2_s": round(load_v2_s, 4),
+        "load_v3_s": round(load_v3_s, 4),
+        "load_speedup": round(load_v2_s / load_v3_s, 1),
+        "artifact_v2_bytes": v2_bytes,
+        "artifact_v3_bytes": v3_bytes,
+    }
+
+
 def run_perf_suite(
     *,
     profile: str = "full",
@@ -360,14 +587,24 @@ def run_perf_suite(
     embed_values_per_column: int = 40,
     embed_vocab_size: int = 600,
     embed_chunk_size: int = 512,
+    shard_sizes: tuple[int, ...] | None = None,
+    quant_sizes: tuple[int, ...] | None = None,
+    artifact_sizes: tuple[int, ...] | None = None,
+    n_shards: int = 4,
+    rerank_factor: int = 4,
+    stage_repeats: int | None = None,
     progress=None,
 ) -> dict:
     """Time index search paths and embedding throughput per corpus size.
 
     Returns the report dict: ``results`` rows follow ``_RESULT_FIELDS``
     (search side), ``embed`` rows follow ``_EMBED_FIELDS`` (sequential vs
-    batched encode).  Pass ``progress`` (a callable taking one string) for
-    per-size console feedback.
+    batched encode), ``shard`` rows ``_SHARD_FIELDS`` (1-arena vs
+    partitioned search), ``quant`` rows ``_QUANT_FIELDS`` (float32 vs
+    int8+re-rank, with recall@k), and ``artifact`` rows
+    ``_ARTIFACT_FIELDS`` (format-2 vs format-3 cold loads).  Pass
+    ``progress`` (a callable taking one string) for per-size console
+    feedback.
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}")
@@ -379,6 +616,20 @@ def run_perf_suite(
     )
     embed_repeats = (
         embed_repeats if embed_repeats is not None else spec.get("embed_repeats", 2)
+    )
+    shard_sizes = (
+        tuple(shard_sizes) if shard_sizes is not None else spec["shard_sizes"]
+    )
+    quant_sizes = (
+        tuple(quant_sizes) if quant_sizes is not None else spec["quant_sizes"]
+    )
+    artifact_sizes = (
+        tuple(artifact_sizes)
+        if artifact_sizes is not None
+        else spec["artifact_sizes"]
+    )
+    stage_repeats = (
+        stage_repeats if stage_repeats is not None else spec.get("stage_repeats", 2)
     )
     results = []
     for n in sizes:
@@ -410,6 +661,44 @@ def run_perf_suite(
                 repeats=embed_repeats,
             )
         )
+    shard_results = []
+    for n in shard_sizes:
+        if progress is not None:
+            progress(f"benchmarking {n_shards}-shard search at {n} columns ...")
+        shard_results.append(
+            _bench_shard_one_size(
+                n,
+                dim=dim,
+                n_bits=n_bits,
+                n_bands=n_bands,
+                threshold=threshold,
+                batch_size=batch_size,
+                k=k,
+                n_shards=n_shards,
+                repeats=stage_repeats,
+            )
+        )
+    quant_results = []
+    for n in quant_sizes:
+        if progress is not None:
+            progress(f"benchmarking int8 scoring at {n} columns ...")
+        quant_results.append(
+            _bench_quant_one_size(
+                n,
+                dim=dim,
+                batch_size=batch_size,
+                k=k,
+                rerank_factor=rerank_factor,
+                repeats=stage_repeats,
+            )
+        )
+    artifact_results = []
+    for n in artifact_sizes:
+        if progress is not None:
+            progress(f"benchmarking artifact formats at {n} columns ...")
+        artifact_results.append(
+            _bench_artifact_one_size(n, dim=dim, repeats=stage_repeats)
+        )
     return {
         "schema_version": _SCHEMA_VERSION,
         "suite": "index-perf",
@@ -423,6 +712,8 @@ def run_perf_suite(
             "batch_size": batch_size,
             "k": k,
             "repeats": repeats,
+            "n_shards": n_shards,
+            "rerank_factor": rerank_factor,
             "embed": {
                 "dim": embed_dim,
                 "values_per_column": embed_values_per_column,
@@ -435,9 +726,13 @@ def run_perf_suite(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpus": os.cpu_count() or 1,
         },
         "results": results,
         "embed": embed_results,
+        "shard": shard_results,
+        "quant": quant_results,
+        "artifact": artifact_results,
     }
 
 
@@ -478,4 +773,79 @@ def validate_report(payload: dict) -> list[str]:
             value = row.get(field)
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 problems.append(f"embed {row.get('n_columns')}: bad {field!r}")
+    for stage, fields in (
+        ("shard", _SHARD_FIELDS),
+        ("quant", _QUANT_FIELDS),
+        ("artifact", _ARTIFACT_FIELDS),
+    ):
+        rows = payload.get(stage)
+        if not isinstance(rows, list) or not rows:
+            problems.append(f"{stage} must list >= 1 corpus sizes")
+            continue
+        for row in rows:
+            for field in fields:
+                value = row.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"{stage} {row.get('n_columns')}: bad {field!r}")
     return problems
+
+
+def _git_sha(start: Path) -> str:
+    """Short commit SHA of the repo containing ``start`` (or 'unknown').
+
+    A ``-dirty`` suffix marks a working tree with uncommitted changes —
+    the normal state when regenerating the baseline just before the
+    commit that will ship it.
+    """
+    cwd = start if start.is_dir() else start.parent
+
+    def run(*args: str):
+        return subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True, timeout=10
+        )
+
+    try:
+        completed = run("rev-parse", "--short", "HEAD")
+        sha = completed.stdout.strip()
+        if completed.returncode != 0 or not sha:
+            return "unknown"
+        status = run("status", "--porcelain")
+        if status.returncode == 0 and status.stdout.strip():
+            sha += "-dirty"
+        return sha
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+
+
+def append_history(report: dict, path: str | Path) -> Path:
+    """Append one bench-trajectory line (git SHA + timestamp + headlines).
+
+    ``BENCH_history.jsonl`` is the cross-PR perf trajectory: one JSON line
+    per committed bench run, so regressions are visible as a time series
+    without replaying ``git log -p BENCH_index.json``.  Headline metrics
+    come from the largest corpus size of each stage.
+    """
+    path = Path(path)
+    largest = report["results"][-1] if report.get("results") else {}
+    shard = report["shard"][-1] if report.get("shard") else {}
+    quant = report["quant"][-1] if report.get("quant") else {}
+    artifact = report["artifact"][-1] if report.get("artifact") else {}
+    embed = report["embed"][-1] if report.get("embed") else {}
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": _git_sha(path.resolve()),
+        "profile": report.get("profile"),
+        "schema_version": report.get("schema_version"),
+        "cpus": report.get("environment", {}).get("cpus"),
+        "n_columns_max": largest.get("n_columns"),
+        "batch_speedup": largest.get("batch_speedup"),
+        "batch_per_query_ms": largest.get("batch_per_query_ms"),
+        "embed_speedup": embed.get("speedup"),
+        "shard_speedup": shard.get("shard_speedup"),
+        "quant_recall_at_k": quant.get("recall_at_k"),
+        "quant_speedup": quant.get("quant_speedup"),
+        "artifact_load_speedup": artifact.get("load_speedup"),
+    }
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry) + "\n")
+    return path

@@ -32,6 +32,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import DimensionMismatchError, EmptyIndexError
+from repro.index.quant import ArenaQuantizer
 
 __all__ = ["ColumnarIndex", "VectorArena"]
 
@@ -89,6 +90,9 @@ class VectorArena:
         self._size = 0  # high-water mark: rows 0.._size-1 are occupied or dead
         self._live = 0
         self.generation = 0
+        # False when the matrix/signature storage is adopted read-only
+        # (e.g. a memory-mapped artifact); in-place writes thaw it first.
+        self._owns_memory = True
 
     # -- introspection ----------------------------------------------------------
 
@@ -185,7 +189,7 @@ class VectorArena:
     # -- mutation ----------------------------------------------------------------
 
     def _grow(self, minimum: int) -> None:
-        capacity = len(self._alive)
+        capacity = max(1, len(self._alive))
         while capacity < minimum:
             capacity *= 2
         grown = np.zeros((capacity, self.dim), dtype=self.dtype)
@@ -200,6 +204,16 @@ class VectorArena:
         grown_alive = np.zeros(capacity, dtype=bool)
         grown_alive[: self._size] = self._alive[: self._size]
         self._alive = grown_alive
+        self._owns_memory = True  # growth rewrites into fresh, writable storage
+
+    def _ensure_writable(self) -> None:
+        """Thaw adopted (read-only / memory-mapped) storage before writes."""
+        if self._owns_memory:
+            return
+        self._matrix = np.array(self._matrix)
+        if self._signatures is not None:
+            self._signatures = np.array(self._signatures)
+        self._owns_memory = True
 
     def add(
         self,
@@ -338,6 +352,7 @@ class VectorArena:
         """
         if self.dead_count == 0:
             return
+        self._ensure_writable()
         live = self.live_rows()
         count = int(live.size)
         self._matrix[:count] = self._matrix[live]
@@ -351,10 +366,75 @@ class VectorArena:
         self._live = count
         self.generation += 1
 
+    # -- adoption -----------------------------------------------------------------
+
+    def adopt(
+        self,
+        keys: list[object],
+        matrix: np.ndarray,
+        signatures: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Take ownership of pre-built rows *without copying the vectors*.
+
+        The zero-copy restore path: ``matrix`` (and ``signatures``) become
+        the arena's backing storage directly — typically read-only
+        ``np.memmap`` views into an uncompressed artifact, so a cold load
+        costs O(keys) instead of O(n·dim) and vector pages stream in
+        lazily as queries touch them.  Rows are trusted to be ``float32``
+        unit vectors (the artifact contract); only shapes are validated.
+        Valid on an empty arena only.  The first in-place write
+        (compaction) thaws the storage into a private RAM copy; appends
+        grow into fresh storage anyway.
+        """
+        if self._size:
+            raise ValueError("adopt() requires an empty arena")
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                self.dim, matrix.shape[-1] if matrix.ndim else 0
+            )
+        count = matrix.shape[0]
+        if len(keys) != count:
+            raise ValueError(f"{len(keys)} keys for {count} matrix rows")
+        if len(set(keys)) != count:
+            raise ValueError("duplicate keys in one adopt() call")
+        if matrix.dtype != self.dtype:
+            matrix = matrix.astype(self.dtype)
+        if self.signature_words:
+            if signatures is None:
+                raise ValueError("arena stores signatures; adopt() requires them")
+            signatures = np.asarray(signatures, dtype=np.uint64)
+            if signatures.shape != (count, self.signature_words):
+                raise DimensionMismatchError(
+                    self.signature_words,
+                    signatures.shape[-1] if signatures.ndim else 0,
+                )
+        else:
+            signatures = None
+        self._matrix = matrix
+        self._signatures = signatures
+        self._alive = np.ones(count, dtype=bool)
+        self._keys = list(keys)
+        self._rows = {key: row for row, key in enumerate(self._keys)}
+        self._size = count
+        self._live = count
+        self._owns_memory = bool(matrix.flags.writeable) and (
+            signatures is None or bool(signatures.flags.writeable)
+        )
+        return np.arange(count)
+
     # -- persistence --------------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
-        """Write the live rows to ``path`` as a compressed ``.npz``.
+    def save(self, path: str | Path, *, compress: bool = False) -> Path:
+        """Write the live rows to ``path`` as an ``.npz`` archive.
+
+        Uncompressed by default: an uncompressed archive saves ~10x faster
+        on the embedding matrices this stores (near-incompressible float32
+        noise) and — decisively — its members can be memory-mapped on
+        load (see :mod:`repro.index.mmapio`), so a cold process maps the
+        artifact in milliseconds instead of decompressing it into RAM.
+        Pass ``compress=True`` to trade that away for ~20-30% smaller
+        files (cold storage, network shipping).
 
         The artifact is compacted on the way out: only live rows are
         stored, so tombstones never ship.  Keys are serialized as an
@@ -377,26 +457,42 @@ class VectorArena:
         }
         if self._signatures is not None:
             payload["signatures"] = self._signatures[live]
-        np.savez_compressed(path, **payload)
+        writer = np.savez_compressed if compress else np.savez
+        writer(path, **payload)
         return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
     @classmethod
-    def load(cls, path: str | Path) -> "VectorArena":
-        """Restore an arena written by :meth:`save`."""
+    def load(cls, path: str | Path, *, mmap: bool = True) -> "VectorArena":
+        """Restore an arena written by :meth:`save`.
+
+        With ``mmap=True`` (default), uncompressed archives are adopted
+        zero-copy: the vector and signature matrices stay memory-mapped
+        and page in lazily.  Compressed archives (and ``mmap=False``)
+        load the arrays into memory; either way the restored arena is
+        element-for-element identical.
+        """
         path = Path(path)
-        with np.load(path, allow_pickle=True) as payload:
+        if mmap:
+            from repro.index.mmapio import load_npz_arrays
+
+            payload = load_npz_arrays(path, allow_pickle=True)
             dim = int(payload["dim"])
             signature_words = int(payload["signature_words"])
             matrix = payload["matrix"]
             keys = list(payload["keys"])
-            signatures = payload["signatures"] if "signatures" in payload else None
-        arena = cls(
-            dim,
-            signature_words=signature_words,
-            initial_capacity=max(1, len(keys)),
-        )
+            signatures = payload.get("signatures")
+        else:
+            with np.load(path, allow_pickle=True) as payload:
+                dim = int(payload["dim"])
+                signature_words = int(payload["signature_words"])
+                matrix = payload["matrix"]
+                keys = list(payload["keys"])
+                signatures = (
+                    payload["signatures"] if "signatures" in payload else None
+                )
+        arena = cls(dim, signature_words=signature_words)
         if keys:
-            arena.add_batch(keys, matrix, signatures)
+            arena.adopt(keys, matrix, signatures)
         return arena
 
 
@@ -415,6 +511,7 @@ class ColumnarIndex:
     def __init__(self, dim: int, *, signature_words: int = 0) -> None:
         self.dim = dim
         self._arena = VectorArena(dim, signature_words=signature_words)
+        self._quant: ArenaQuantizer | None = None
 
     # -- container protocol -------------------------------------------------------
 
@@ -436,6 +533,48 @@ class ColumnarIndex:
     def vector_of(self, key: object) -> np.ndarray:
         """Stored unit vector of ``key`` (``float32`` copy)."""
         return self._arena.vector_of(key)
+
+    def export_rows(self) -> tuple[list[object], np.ndarray, np.ndarray | None]:
+        """Live ``(keys, vectors, signatures)`` in insertion order.
+
+        The persistence layer's gather point, uniform across plain and
+        :class:`~repro.index.sharding.ShardedIndex` engines.
+        """
+        arena = self._arena
+        live = arena.live_rows()
+        keys = [arena.key_at(int(row)) for row in live]
+        vectors = arena.matrix[live]
+        signatures = arena.signatures[live] if arena.signature_words else None
+        return keys, vectors, signatures
+
+    # -- quantization -------------------------------------------------------------
+
+    def enable_quantization(self, rerank_factor: int = 4, **kwargs) -> None:
+        """Score candidates on int8 codes; re-rank the top ``rerank_factor * k``
+        survivors exactly in float32 (see :class:`~repro.index.quant.ArenaQuantizer`).
+
+        Rejects ``dim`` beyond the fused scorer's exact-integer envelope
+        (127² · dim must stay below 2²⁴): past it the float32 GEMM would
+        silently stop reproducing int32 arithmetic and recall would
+        degrade unannounced.
+        """
+        from repro.index.quant import _EXACT_GEMM_MAX_DIM
+
+        if self.dim > _EXACT_GEMM_MAX_DIM:
+            raise ValueError(
+                f"int8 quantization supports dim <= {_EXACT_GEMM_MAX_DIM} "
+                f"(exact int32 accumulation in float32); got dim={self.dim}"
+            )
+        self._quant = ArenaQuantizer(rerank_factor, **kwargs)
+
+    def disable_quantization(self) -> None:
+        """Return to full-float32 scoring."""
+        self._quant = None
+
+    @property
+    def quantizer(self) -> ArenaQuantizer | None:
+        """The active int8 quantizer, or ``None``."""
+        return self._quant
 
     # -- construction -------------------------------------------------------------
 
@@ -514,6 +653,38 @@ class ColumnarIndex:
             rows = self._arena.add_batch(keys, matrix, signatures)
         self._after_bulk(rows)
 
+    def adopt_rows(
+        self,
+        keys: list[object],
+        matrix: np.ndarray,
+        signatures: np.ndarray | None = None,
+    ) -> None:
+        """Zero-copy restore: adopt pre-built unit rows as the arena storage.
+
+        The artifact fast path (format 3): ``matrix`` — typically a
+        read-only memmap — becomes the arena's backing storage without a
+        normalization or copy pass, and derived structures (LSH buckets,
+        pivot tables) are *not* built eagerly: the generation bump leaves
+        them stale, so they resynchronize lazily on first use — or
+        eagerly via :meth:`build`, which is what the serving layer does
+        under its write lock.  Cold-load cost is therefore O(keys),
+        independent of ``dim``.  Rows must be ``float32`` unit vectors,
+        which every saved artifact guarantees.  Requires an empty index.
+        When the backend stores signatures and none are supplied they are
+        recomputed (which reads every row once).
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                self.dim, matrix.shape[-1] if matrix.ndim else 0
+            )
+        if self._arena.signature_words and signatures is None:
+            signatures = self._signatures_for(matrix.astype(self._arena.dtype, copy=False))
+        self._arena.adopt(keys, matrix, signatures)
+        # Same invalidation signal a compaction sends: row-addressed
+        # structures notice the generation change and rebuild on demand.
+        self._arena.generation += 1
+
     def remove(self, key: object) -> None:
         """Tombstone one key in O(1); raises ``KeyError`` when absent.
 
@@ -534,8 +705,13 @@ class ColumnarIndex:
         """Eagerly rebuild derived structures (idempotent).
 
         Queries resynchronize lazily on first use; the serving layer calls
-        this after mutations so the shared read path never writes state.
+        this after mutations (under its write lock) so the shared read
+        path never writes state.  The int8 code mirror is one such
+        structure: it syncs here, and subclass overrides call
+        ``super().build()`` to keep that true.
         """
+        if self._quant is not None:
+            self._quant.sync(self._arena)
 
     # -- query validation ---------------------------------------------------------
 
@@ -605,9 +781,17 @@ class ColumnarIndex:
         k: int,
         exclude: object,
     ) -> list[tuple[object, float]]:
-        """Exact-cosine re-rank of candidate rows: one gathered matvec."""
+        """Exact-cosine re-rank of candidate rows: one gathered matvec.
+
+        With quantization enabled, a large candidate set is first cut to
+        the top ``rerank_factor * k`` by approximate int8 score, so the
+        float32 gather touches a bounded number of rows.
+        """
         if rows.size == 0:
             return []
+        if self._quant is not None:
+            limit = self._quant.rerank_factor * k + (1 if exclude is not None else 0)
+            rows = self._quant.preselect(self._arena, unit, rows, limit)
         scores = self._arena.matrix[rows] @ unit
         return self._assemble(rows, scores, floor, k, exclude)
 
@@ -665,17 +849,30 @@ class ColumnarIndex:
         if n_queries == 0:
             return []
         arena = self._arena
-        # The batched exact re-rank: one GEMM over the arena, then one
+        # The batched re-rank: one GEMM over the arena, then one
         # vectorized thresholding pass.  Scoring dead or non-candidate
         # rows is wasted work but branch-free; liveness, zero-query, and
         # candidacy masks are applied per surviving *pair* (there are few
         # of those), which keeps results identical to per-query candidate
         # generation without another full-matrix pass.
-        scores = units @ arena.matrix.T
+        #
+        # With quantization enabled, the full-matrix pass runs on the int8
+        # code mirror instead (approximate scores), the floor is relaxed
+        # by the quantizer's slack so above-floor pairs survive their
+        # quantization error, and each query's top ``rerank_factor * k``
+        # survivors are re-scored exactly in float32 before assembly —
+        # the true floor then applies to exact scores only.
+        quant = self._quant
+        if quant is not None:
+            scores = quant.score_block(arena, units)
+            generation_floor = floor - quant.floor_slack
+        else:
+            scores = units @ arena.matrix.T
+            generation_floor = floor
         # flatnonzero over the raveled (contiguous) score block is several
         # times faster than np.nonzero on the 2-D boolean; the flat order
         # is row-major, so query_ids comes out sorted for the split below.
-        flat = np.flatnonzero(scores.ravel() >= floor)
+        flat = np.flatnonzero(scores.ravel() >= generation_floor)
         query_ids, rows = np.divmod(flat, scores.shape[1])
         if query_ids.size:
             keep = arena.alive[rows]
@@ -693,13 +890,16 @@ class ColumnarIndex:
         for query in range(n_queries):
             start, stop = int(bounds[query]), int(bounds[query + 1])
             exclude = excludes[query] if excludes is not None else None
+            query_rows = rows[start:stop]
+            query_scores = kept_scores[start:stop]
+            if quant is not None:
+                limit = quant.rerank_factor * k + (1 if exclude is not None else 0)
+                if query_rows.size > limit:
+                    top = np.argpartition(-query_scores, limit - 1)[:limit]
+                    query_rows = query_rows[top]
+                if query_rows.size:
+                    query_scores = arena.matrix[query_rows] @ units[query]
             results.append(
-                self._assemble(
-                    rows[start:stop],
-                    kept_scores[start:stop],
-                    floor,
-                    k,
-                    exclude,
-                )
+                self._assemble(query_rows, query_scores, floor, k, exclude)
             )
         return results

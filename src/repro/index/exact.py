@@ -41,13 +41,18 @@ class ExactCosineIndex(ColumnarIndex):
 
         One masked matvec over the arena: every occupied row is scored,
         tombstoned rows are dropped by the alive mask, and survivors are
-        ranked score-descending (ties broken by ``str(key)``).
+        ranked score-descending (ties broken by ``str(key)``).  With
+        quantization enabled the full matvec runs on the int8 code mirror
+        instead (via ``_rank_rows``' preselect) and only the top
+        ``rerank_factor * k`` survivors are scored in float32.
         """
         self._check_query(k)
         unit = self._arena.coerce_unit(vector)
         if unit is None:
             return []
         arena = self._arena
+        if self._quant is not None:
+            return self._rank_rows(unit, arena.live_rows(), threshold, k, exclude)
         scores = arena.matrix @ unit
         rows = np.flatnonzero(arena.alive & (scores >= threshold))
         return self._assemble(rows, scores[rows], threshold, k, exclude)

@@ -312,7 +312,9 @@ class DiscoveryService:
         :meth:`search` — the probe runs the engine's
         :meth:`~repro.core.warpgate.WarpGate.search_vectors`, which is the
         index's true batched path (one matrix product per query block, see
-        ``ColumnarIndex.search_batch``) with per-query semantics preserved
+        ``ColumnarIndex.search_batch``; on a sharded engine the block fans
+        out across all shards in parallel on the shared pool, see
+        ``ShardedIndex.search_batch``) with per-query semantics preserved
         — but duplicate query refs pay the warehouse scan and embedding
         only once, and the block amortizes signature hashing, candidate
         generation, and BLAS dispatch.  Requests sharing ``(k, threshold)``
@@ -373,6 +375,8 @@ class DiscoveryService:
             searches=searches,
             mutations=mutations,
             caches=self.engine.embedding_cache_stats(),
+            shards=config.n_shards,
+            quantized=config.quantize,
         )
 
     def stats(self) -> IndexStats:

@@ -208,6 +208,8 @@ class IndexStats:
     searches: int
     mutations: int
     caches: dict[str, object] = field(default_factory=dict)
+    shards: int = 1
+    quantized: bool = False
 
     def to_dict(self) -> dict[str, object]:
         """The wire form of this snapshot."""
@@ -221,4 +223,6 @@ class IndexStats:
             "searches": self.searches,
             "mutations": self.mutations,
             "caches": dict(self.caches),
+            "shards": self.shards,
+            "quantized": self.quantized,
         }

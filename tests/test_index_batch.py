@@ -192,6 +192,13 @@ class TestLshEqualsBruteForce:
                 exact.add(step, points[step])
                 live.add(step)
         query = cloud(1, ("bf-churn-q", seed))[0]
+        if not live:
+            # Churn emptied the corpus: both indexes must refuse queries.
+            with pytest.raises(EmptyIndexError):
+                lsh.query(query, 10)
+            with pytest.raises(EmptyIndexError):
+                exact.query(query, 10)
+            return
         got = lsh.query(query, 10)
         expected = exact.query(query, 10, threshold=0.2)
         assert [key for key, _ in got] == [key for key, _ in expected]

@@ -1,0 +1,235 @@
+"""Int8 quantization: recall, exactness envelopes, and arena tracking.
+
+Pinned contracts:
+
+* recall@10 of int8-candidate + exact-re-rank search vs full float32 is
+  ≥ 0.98 on the seeded benchmark corpus (the acceptance bar surfaced in
+  ``BENCH_index.json``'s ``quant`` stage);
+* with a rerank budget that covers the whole candidate set, quantized
+  search returns *exactly* the float32 results (the preselect only cuts,
+  never rescores — surviving scores are exact float32);
+* surviving scores are always exact float32 cosines, never approximations;
+* the code mirror tracks arena appends incrementally and rebuilds on
+  compaction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import rng_for
+from repro.eval.perf import synthetic_corpus
+from repro.index.exact import ExactCosineIndex
+from repro.index.lsh import SimHashLSHIndex
+from repro.index.quant import ArenaQuantizer, quantize_rows
+from repro.index.sharding import ShardedIndex
+
+DIM = 32
+
+
+def cloud(n: int, key: object, dim: int = DIM) -> np.ndarray:
+    matrix = rng_for("quant-test", key).standard_normal((n, dim))
+    return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+
+def assert_same_ranking(got, want):
+    """Same keys in the same order; scores equal to float32-GEMM precision.
+
+    Bitwise score equality would over-assert: the quantized path gathers
+    survivor rows before the float32 product, and BLAS reduction order
+    differs between a gathered matvec and a full-matrix product (last-ulp
+    drift), without ever changing the ranking on non-tied corpora.
+    """
+    assert [key for key, _ in got] == [key for key, _ in want]
+    assert [score for _, score in got] == pytest.approx(
+        [score for _, score in want], abs=1e-6
+    )
+
+
+class TestQuantizeRows:
+    def test_codes_bounded_and_close(self):
+        rows = cloud(40, "codes")
+        scales = np.abs(rows).max(axis=0) / 127.0
+        codes = quantize_rows(rows, scales)
+        assert codes.dtype == np.int8
+        assert codes.max() <= 127 and codes.min() >= -127
+        recovered = codes.astype(np.float32) * scales
+        assert np.max(np.abs(recovered - rows)) <= np.max(scales) * 0.5 + 1e-7
+
+    def test_zero_scale_dimension_is_safe(self):
+        rows = np.zeros((4, 3), dtype=np.float32)
+        rows[:, 0] = 1.0
+        scales = np.array([1.0 / 127.0, 0.0, 0.0])
+        codes = quantize_rows(rows, scales)
+        assert np.array_equal(codes[:, 1:], np.zeros((4, 2), dtype=np.int8))
+
+    def test_saturates_out_of_range(self):
+        rows = np.array([[10.0, -10.0]], dtype=np.float32)
+        codes = quantize_rows(rows, np.array([0.01, 0.01]))
+        assert codes.tolist() == [[127, -127]]
+
+
+class TestQuantizerTracking:
+    def test_incremental_append_then_rebuild_on_compaction(self):
+        index = ExactCosineIndex(DIM)
+        points = cloud(100, "track")
+        index.bulk_load(list(range(60)), points[:60])
+        index.enable_quantization(4)
+        quant = index.quantizer
+        # First sync happens on first query.
+        index.query(points[0], 5, threshold=-1.0)
+        assert quant.size == 60
+        assert quant.rebuilds == 1
+        for position in range(60, 100):
+            index.add(position, points[position])
+        index.query(points[1], 5, threshold=-1.0)
+        assert quant.size == 100
+        assert quant.rebuilds == 1  # appends encoded with frozen scales
+        for position in range(0, 40):
+            index.remove(position)
+        assert index.arena.generation > 0  # churn compacted the arena
+        index.query(points[50], 5, threshold=-1.0)
+        assert quant.size == index.arena.size
+        assert quant.rebuilds == 2  # compaction re-quantized from scratch
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ArenaQuantizer(0)
+        with pytest.raises(ValueError):
+            ArenaQuantizer(4, floor_slack=-0.1)
+        with pytest.raises(ValueError):
+            ArenaQuantizer(4, chunk_rows=0)
+
+    def test_dim_beyond_exact_gemm_envelope_rejected(self):
+        """127² · dim must stay below 2²⁴ for the fused scorer to be exact."""
+        index = ExactCosineIndex(2048)
+        with pytest.raises(ValueError, match="dim"):
+            index.enable_quantization(4)
+
+    def test_build_syncs_mirror_for_the_read_path(self):
+        """`build()` is the write-locked sync point: after it, searches
+        find a current mirror and the shared read path never writes."""
+        for make in (
+            lambda: ExactCosineIndex(DIM),
+            lambda: SimHashLSHIndex(DIM, n_bits=64, n_bands=16, threshold=0.2),
+        ):
+            index = make()
+            points = cloud(50, "build-sync")
+            index.bulk_load(list(range(40)), points[:40])
+            index.enable_quantization(4)
+            index.build()
+            assert index.quantizer.size == index.arena.size
+            for position in range(40, 50):
+                index.add(position, points[position])
+            index.build()
+            assert index.quantizer.size == index.arena.size
+
+
+class TestQuantizedSearch:
+    def test_full_rerank_budget_is_exact(self):
+        """rerank_factor * k >= n: quantized results == float32 results."""
+        points = cloud(120, "exact-budget")
+        queries = cloud(9, "exact-budget-q")
+        plain = ExactCosineIndex(DIM)
+        plain.bulk_load(list(range(120)), points)
+        quantized = ExactCosineIndex(DIM)
+        quantized.bulk_load(list(range(120)), points)
+        quantized.enable_quantization(rerank_factor=12)  # 12 * 10 = n
+        for position in range(9):
+            want = plain.query(queries[position], 10, threshold=-1.0)
+            got = quantized.query(queries[position], 10, threshold=-1.0)
+            assert_same_ranking(got, want)
+        want_batch = plain.search_batch(queries, 10, threshold=-1.0)
+        got_batch = quantized.search_batch(queries, 10, threshold=-1.0)
+        for got, want in zip(got_batch, want_batch):
+            assert_same_ranking(got, want)
+
+    def test_surviving_scores_are_exact_float32(self):
+        """Quantization may drop candidates but never perturbs a score."""
+        points = cloud(200, "score-exact")
+        queries = cloud(7, "score-exact-q")
+        index = ExactCosineIndex(DIM)
+        index.bulk_load(list(range(200)), points)
+        index.enable_quantization(3)
+        matrix = points.astype(np.float32)
+        for position in range(7):
+            unit = queries[position].astype(np.float32)
+            for key, score in index.query(queries[position], 10, threshold=-1.0):
+                exact = float(matrix[key] @ unit)
+                assert score == pytest.approx(exact, abs=1e-6)
+
+    def test_recall_at_10_meets_bar(self):
+        """The acceptance criterion at test scale: recall@10 >= 0.98."""
+        n, dim, k = 4_000, 64, 10
+        corpus = synthetic_corpus(n, dim)
+        rng = rng_for("quant-test", "recall-queries")
+        picks = rng.integers(0, n, size=48)
+        jitter = rng.standard_normal((48, dim))
+        jitter /= np.linalg.norm(jitter, axis=1, keepdims=True)
+        queries = np.sqrt(1.0 - 0.2**2) * corpus[picks] + 0.2 * jitter
+        queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+        plain = ExactCosineIndex(dim)
+        plain.bulk_load(list(range(n)), corpus)
+        truth = plain.search_batch(queries, k, threshold=0.5)
+        plain.enable_quantization(4)
+        approx = plain.search_batch(queries, k, threshold=0.5)
+        recalls = []
+        for got, want in zip(approx, truth):
+            if not want:
+                continue
+            want_keys = {key for key, _ in want}
+            got_keys = {key for key, _ in got}
+            recalls.append(len(want_keys & got_keys) / len(want_keys))
+        assert recalls, "seeded corpus produced no above-threshold truth"
+        assert float(np.mean(recalls)) >= 0.98
+
+    def test_quantized_lsh_still_verifies_bands(self):
+        """Quant rides on top of LSH candidate generation, not around it."""
+        points = cloud(150, "lsh-quant")
+        queries = cloud(5, "lsh-quant-q")
+        plain = SimHashLSHIndex(DIM, n_bits=64, n_bands=32, threshold=0.2)
+        plain.bulk_load(list(range(150)), points)
+        quantized = SimHashLSHIndex(DIM, n_bits=64, n_bands=32, threshold=0.2)
+        quantized.bulk_load(list(range(150)), points)
+        quantized.enable_quantization(rerank_factor=15)
+        for position in range(5):
+            want = plain.query(queries[position], 10)
+            got = quantized.query(queries[position], 10)
+            assert_same_ranking(got, want)
+        for got, want in zip(
+            quantized.search_batch(queries, 10), plain.search_batch(queries, 10)
+        ):
+            assert_same_ranking(got, want)
+
+    def test_sharded_quantization_forwards(self):
+        points = cloud(100, "shard-quant")
+        sharded = ShardedIndex(
+            DIM,
+            lambda: ExactCosineIndex(DIM),
+            n_shards=3,
+        )
+        sharded.bulk_load(list(range(100)), points)
+        assert sharded.quantizer is None
+        sharded.enable_quantization(rerank_factor=34)
+        assert all(shard.quantizer is not None for shard in sharded.shards)
+        plain = ExactCosineIndex(DIM)
+        plain.bulk_load(list(range(100)), points)
+        query = cloud(1, "shard-quant-q")[0]
+        assert_same_ranking(
+            sharded.query(query, 8, threshold=-1.0),
+            plain.query(query, 8, threshold=-1.0),
+        )
+        sharded.disable_quantization()
+        assert sharded.quantizer is None
+
+    def test_disable_restores_float32_path(self):
+        points = cloud(80, "toggle")
+        index = ExactCosineIndex(DIM)
+        index.bulk_load(list(range(80)), points)
+        query = cloud(1, "toggle-q")[0]
+        want = index.query(query, 10, threshold=-1.0)
+        index.enable_quantization(2)
+        index.query(query, 10, threshold=-1.0)
+        index.disable_quantization()
+        assert index.query(query, 10, threshold=-1.0) == want

@@ -1,0 +1,294 @@
+"""Shard-merge correctness: ShardedIndex(S) ≡ the 1-shard index.
+
+The sharded engine's contract is *exactness*: partitioning the corpus
+across S per-shard arenas and merging per-shard top-k must return the
+same keys, the same scores, and the same canonical ordering as one
+monolithic index over the same corpus — for every backend, for both
+placements, for single and batched search, and across interleaved
+add/remove churn that drives per-shard compactions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import rng_for
+from repro.errors import DimensionMismatchError, EmptyIndexError
+from repro.index.exact import ExactCosineIndex
+from repro.index.lsh import SimHashLSHIndex
+from repro.index.pivot import PivotFilterIndex
+from repro.index.sharding import ShardedIndex
+
+DIM = 24
+BACKENDS = ["lsh", "exact", "pivot"]
+
+
+def cloud(n: int, key: object) -> np.ndarray:
+    matrix = rng_for("shard-test", key).standard_normal((n, DIM))
+    return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+
+def backend_factory(backend: str, threshold: float = 0.2):
+    if backend == "lsh":
+        return lambda: SimHashLSHIndex(DIM, n_bits=64, n_bands=32, threshold=threshold)
+    if backend == "exact":
+        return lambda: ExactCosineIndex(DIM)
+    return lambda: PivotFilterIndex(DIM, n_pivots=5, threshold=threshold)
+
+
+def make_pair(backend: str, n_shards: int = 4, placement: str = "hash"):
+    factory = backend_factory(backend)
+    return factory(), ShardedIndex(
+        DIM, factory, n_shards=n_shards, placement=placement
+    )
+
+
+def assert_same_results(single, sharded, queries, k, **kwargs):
+    excludes = kwargs.pop("excludes", None)
+    for position in range(queries.shape[0]):
+        exclude = excludes[position] if excludes is not None else None
+        want = single.query(queries[position], k, exclude=exclude, **kwargs)
+        got = sharded.query(queries[position], k, exclude=exclude, **kwargs)
+        assert [key for key, _ in got] == [key for key, _ in want]
+        assert [score for _, score in got] == pytest.approx(
+            [score for _, score in want], abs=1e-6
+        )
+    want_batch = single.search_batch(queries, k, excludes=excludes, **kwargs)
+    got_batch = sharded.search_batch(queries, k, excludes=excludes, **kwargs)
+    for got, want in zip(got_batch, want_batch):
+        assert [key for key, _ in got] == [key for key, _ in want]
+        assert [score for _, score in got] == pytest.approx(
+            [score for _, score in want], abs=1e-6
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestShardedEqualsSingle:
+    def test_bulk_load(self, backend):
+        single, sharded = make_pair(backend)
+        points = cloud(160, "bulk")
+        single.bulk_load(list(range(160)), points)
+        sharded.bulk_load(list(range(160)), points)
+        assert len(sharded) == len(single) == 160
+        assert_same_results(single, sharded, cloud(9, "bulk-q"), 10)
+
+    def test_incremental_adds(self, backend):
+        single, sharded = make_pair(backend)
+        points = cloud(90, "inc")
+        for position in range(90):
+            single.add(position, points[position])
+            sharded.add(position, points[position])
+        assert_same_results(single, sharded, cloud(7, "inc-q"), 8)
+
+    def test_round_robin_placement(self, backend):
+        single, sharded = make_pair(backend, placement="round_robin")
+        points = cloud(100, "rr")
+        sharded.bulk_load(list(range(100)), points)
+        single.bulk_load(list(range(100)), points)
+        assert sharded.shard_sizes() == [25, 25, 25, 25]
+        assert_same_results(single, sharded, cloud(6, "rr-q"), 10)
+
+    def test_excludes_and_threshold(self, backend):
+        single, sharded = make_pair(backend)
+        points = cloud(80, "excl")
+        single.bulk_load(list(range(80)), points)
+        sharded.bulk_load(list(range(80)), points)
+        queries = points[:6]
+        assert_same_results(
+            single,
+            sharded,
+            queries,
+            5,
+            threshold=0.4,
+            excludes=list(range(6)),
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_corpora(self, backend, seed):
+        single, sharded = make_pair(backend)
+        points = cloud(120, ("prop", seed))
+        single.bulk_load(list(range(120)), points)
+        sharded.bulk_load(list(range(120)), points)
+        assert_same_results(single, sharded, cloud(5, ("prop-q", seed)), 12)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_interleaved_churn_and_compaction(self, backend, seed):
+        """Add/remove churn drives shard-local compactions; results stay equal."""
+        rng = np.random.default_rng(seed)
+        single, sharded = make_pair(backend)
+        points = cloud(260, ("churn", seed))
+        live: set[int] = set()
+        for step in range(180):
+            if live and rng.random() < 0.45:
+                victim = sorted(live)[int(rng.integers(len(live)))]
+                single.remove(victim)
+                sharded.remove(victim)
+                live.discard(victim)
+            else:
+                single.add(step, points[step])
+                sharded.add(step, points[step])
+                live.add(step)
+        assert sorted(map(str, sharded.keys())) == sorted(map(str, single.keys()))
+        if not live:
+            # Churn emptied the corpus: both engines must refuse queries.
+            with pytest.raises(EmptyIndexError):
+                single.query(points[0], 9)
+            with pytest.raises(EmptyIndexError):
+                sharded.query(points[0], 9)
+            return
+        single.build()
+        sharded.build()
+        assert_same_results(single, sharded, cloud(7, ("churn-q", seed)), 9)
+
+    def test_update_keeps_owner_and_results(self, backend):
+        single, sharded = make_pair(backend, placement="round_robin")
+        points = cloud(64, "upd")
+        single.bulk_load(list(range(60)), points[:60])
+        sharded.bulk_load(list(range(60)), points[:60])
+        owner_before = sharded.shard_of(7)
+        single.update(7, points[61])
+        sharded.update(7, points[61])
+        assert sharded.shard_of(7) == owner_before
+        assert_same_results(single, sharded, cloud(5, "upd-q"), 10)
+
+    def test_tie_break_across_shards(self, backend):
+        """Identical vectors in different shards rank by str(key), globally.
+
+        The tie vector is one-hot so every shard's float32 dot product is
+        *exactly* 1.0 regardless of BLAS reduction order — scores tie
+        bit-for-bit and the canonical ``str(key)`` ordering must win.
+        """
+        single, sharded = make_pair(backend)
+        vector = np.zeros(DIM)
+        vector[0] = 1.0
+        base = cloud(12, "tie")
+        # Same vector under many keys: hash placement scatters them.
+        keys = [f"tie{position}" for position in range(8)]
+        for index in (single, sharded):
+            for key in keys:
+                index.add(key, vector)
+            for position in range(8, 12):
+                index.add(f"fill{position}", base[position])
+        assert len(set(sharded.shard_of(key) for key in keys)) > 1
+        assert_same_results(single, sharded, vector[None, :], 6)
+
+
+class TestShardedSurface:
+    def test_keys_insertion_order(self):
+        _, sharded = make_pair("exact")
+        points = cloud(10, "order")
+        for position in range(10):
+            sharded.add(position, points[position])
+        assert sharded.keys() == list(range(10))
+        sharded.remove(3)
+        assert sharded.keys() == [0, 1, 2, 4, 5, 6, 7, 8, 9]
+
+    def test_vector_of_routes_to_owner(self):
+        _, sharded = make_pair("exact")
+        points = cloud(20, "vec")
+        sharded.bulk_load(list(range(20)), points)
+        for position in range(20):
+            assert np.allclose(
+                sharded.vector_of(position),
+                points[position].astype(np.float32),
+                atol=1e-6,
+            )
+
+    def test_duplicate_add_rejected(self):
+        _, sharded = make_pair("exact")
+        sharded.add("a", cloud(1, "dup")[0])
+        with pytest.raises(ValueError):
+            sharded.add("a", cloud(1, "dup2")[0])
+
+    def test_bulk_load_duplicate_keys_rejected(self):
+        _, sharded = make_pair("exact")
+        points = cloud(2, "bulk-dup")
+        with pytest.raises(ValueError):
+            sharded.bulk_load(["a", "a"], points)
+
+    def test_bulk_load_rejects_bad_batches_before_any_shard_mutates(self):
+        """A rejected batch must leave every shard untouched (atomic)."""
+        _, sharded = make_pair("lsh")
+        points = cloud(8, "atomic")
+        with pytest.raises(ValueError):  # misaligned signatures
+            sharded.bulk_load(
+                list(range(8)),
+                points,
+                signatures=np.zeros((3, 2), dtype=np.uint64),
+            )
+        assert len(sharded) == 0 and sharded.shard_sizes() == [0, 0, 0, 0]
+        bad = points.copy()
+        bad[5] = 0.0
+        with pytest.raises(ValueError):  # zero row mid-batch
+            sharded.bulk_load(list(range(8)), bad)
+        assert len(sharded) == 0 and sharded.shard_sizes() == [0, 0, 0, 0]
+        sharded.bulk_load(list(range(8)), points)  # retry now succeeds
+        assert len(sharded) == 8
+
+    def test_remove_missing_raises(self):
+        _, sharded = make_pair("exact")
+        with pytest.raises(KeyError):
+            sharded.remove("ghost")
+
+    def test_empty_query_raises(self):
+        _, sharded = make_pair("exact")
+        with pytest.raises(EmptyIndexError):
+            sharded.query(cloud(1, "e")[0], 3)
+
+    def test_dimension_mismatch(self):
+        _, sharded = make_pair("exact")
+        sharded.add("a", cloud(1, "d")[0])
+        with pytest.raises(DimensionMismatchError):
+            sharded.query(np.ones(DIM + 1), 3)
+        with pytest.raises(DimensionMismatchError):
+            sharded.search_batch(np.ones((2, DIM + 1)), 3)
+
+    def test_build_tolerates_empty_shards(self):
+        """build() with fewer live columns than shards must not raise."""
+        _, sharded = make_pair("pivot", n_shards=4)
+        points = cloud(2, "sparse")
+        sharded.add("a", points[0])
+        sharded.add("b", points[1])
+        sharded.build()
+        assert len(sharded.query(points[0], 2, threshold=-1.0)) == 2
+
+    def test_hash_placement_colocates_tables(self):
+        from repro.storage.schema import ColumnRef
+
+        _, sharded = make_pair("exact")
+        points = cloud(6, "co")
+        refs = [ColumnRef("db", "orders", f"c{position}") for position in range(6)]
+        for ref, vector in zip(refs, points):
+            sharded.add(ref, vector)
+        owners = {sharded.shard_of(ref) for ref in refs}
+        assert len(owners) == 1
+
+    def test_export_rows_round_trips(self):
+        single, sharded = make_pair("lsh")
+        points = cloud(50, "export")
+        single.bulk_load(list(range(50)), points)
+        sharded.bulk_load(list(range(50)), points)
+        keys, vectors, signatures = sharded.export_rows()
+        assert sorted(map(str, keys)) == sorted(map(str, single.keys()))
+        assert vectors.shape == (50, DIM)
+        assert signatures is not None and signatures.shape[0] == 50
+        by_key = {key: row for key, row in zip(keys, vectors)}
+        for key in single.keys():
+            assert np.array_equal(by_key[key], single.vector_of(key))
+
+    def test_invalid_construction(self):
+        factory = backend_factory("exact")
+        with pytest.raises(ValueError):
+            ShardedIndex(DIM, factory, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedIndex(DIM, factory, n_shards=2, placement="modulo")
+
+    def test_empty_batch(self):
+        _, sharded = make_pair("exact")
+        sharded.add("a", cloud(1, "eb")[0])
+        assert sharded.search_batch(np.zeros((0, DIM)), 3) == []
