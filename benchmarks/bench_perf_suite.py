@@ -29,9 +29,65 @@ def test_fast_profile_report_is_valid(tmp_path):
     assert path.exists()
 
 
+def test_stage_rows_record_warmup_runs():
+    """Every timed stage reports its warm-up-excluded protocol."""
+    report = run_perf_suite(
+        profile="fast",
+        sizes=(200, 300, 400),
+        shard_sizes=(300,),
+        quant_sizes=(300,),
+        artifact_sizes=(300,),
+        serve_sizes=(300,),
+        serve_clients=2,
+        serve_requests_per_client=8,
+        repeats=1,
+        embed_sizes=(200,),
+        embed_repeats=1,
+        stage_repeats=1,
+        dim=32,
+        batch_size=8,
+    )
+    for stage in ("results", "embed", "shard", "quant", "artifact", "serve"):
+        for row in report[stage]:
+            assert row["warmup_runs"] >= 1, (stage, row)
+
+
+def test_serve_stage_reports_engine_throughput():
+    """The serving engine beats thread-per-request even at smoke scale."""
+    report = run_perf_suite(
+        profile="fast",
+        sizes=(500, 1_000, 2_000),
+        shard_sizes=(500,),
+        quant_sizes=(500,),
+        artifact_sizes=(500,),
+        serve_sizes=(2_000,),
+        serve_clients=8,
+        serve_requests_per_client=16,
+        repeats=1,
+        embed_sizes=(500,),
+        embed_repeats=1,
+        stage_repeats=1,
+    )
+    row = report["serve"][-1]
+    assert row["clients"] == 8
+    assert row["requests"] == 8 * 16
+    assert row["qps_engine"] > 0 and row["qps_baseline"] > 0
+    # The full engine (pool + keep-alive + coalesce + cache) must never
+    # lose to thread-per-request single queries; the committed full
+    # profile holds this at >= 2x, CI smoke at >= 1x (shared runners).
+    assert row["coalesced_speedup"] >= 1.0
+    assert 0.0 <= row["cache_hit_rate"] <= 1.0
+    # Fast-path contract: a lone client pays no meaningful coalescing tax
+    # (generous smoke bound; the committed baseline pins it within 10%).
+    assert row["single_latency_ratio"] < 1.5
+    assert isinstance(row["batch_histogram"], dict)
+
+
 def test_batched_search_amortizes(tmp_path):
     """Even at smoke scale, batched search beats sequential single queries."""
-    report = run_perf_suite(profile="fast", sizes=(1_000, 2_000, 4_000), repeats=2)
+    report = run_perf_suite(
+        profile="fast", sizes=(1_000, 2_000, 4_000), serve_sizes=(), repeats=2
+    )
     largest = report["results"][-1]
     assert largest["batch_speedup"] > 1.0
     assert 0.0 < largest["candidate_fraction"] < 1.0
@@ -45,6 +101,7 @@ def test_shard_stage_merges_exactly(tmp_path):
         shard_sizes=(2_000,),
         quant_sizes=(1_000,),
         artifact_sizes=(500,),
+        serve_sizes=(),
         repeats=1,
         embed_sizes=(500,),
         embed_repeats=1,
@@ -64,6 +121,7 @@ def test_quant_stage_recall_meets_bar(tmp_path):
         shard_sizes=(500,),
         quant_sizes=(2_000,),
         artifact_sizes=(500,),
+        serve_sizes=(),
         repeats=1,
         embed_sizes=(500,),
         embed_repeats=1,
@@ -82,6 +140,7 @@ def test_artifact_stage_mmap_load_wins(tmp_path):
         shard_sizes=(500,),
         quant_sizes=(500,),
         artifact_sizes=(2_000,),
+        serve_sizes=(),
         repeats=1,
         embed_sizes=(500,),
         embed_repeats=1,
@@ -100,6 +159,9 @@ def test_history_appends_one_line_per_run(tmp_path):
         shard_sizes=(300,),
         quant_sizes=(300,),
         artifact_sizes=(300,),
+        serve_sizes=(300,),
+        serve_clients=2,
+        serve_requests_per_client=8,
         repeats=1,
         embed_sizes=(200,),
         embed_repeats=1,
@@ -117,6 +179,8 @@ def test_history_appends_one_line_per_run(tmp_path):
     assert "timestamp" in entry and "git_sha" in entry
     assert isinstance(entry["shard_speedup"], (int, float))
     assert isinstance(entry["quant_recall_at_k"], (int, float))
+    assert isinstance(entry["serve_qps_engine"], (int, float))
+    assert isinstance(entry["serve_coalesced_speedup"], (int, float))
 
 
 def test_batched_embedding_amortizes(tmp_path):
@@ -125,6 +189,7 @@ def test_batched_embedding_amortizes(tmp_path):
         profile="fast",
         sizes=(500, 1_000, 2_000),
         embed_sizes=(1_000,),
+        serve_sizes=(),
         repeats=1,
         embed_repeats=1,
     )

@@ -69,6 +69,10 @@ def _config_from_args(args: argparse.Namespace) -> WarpGateConfig:
         model_name=args.model,
         n_shards=getattr(args, "shards", 1),
         quantize=getattr(args, "quantize", False),
+        coalesce=not getattr(args, "no_coalesce", False),
+        coalesce_max_batch=getattr(args, "max_batch", 32),
+        coalesce_max_wait_us=getattr(args, "max_wait_us", 500),
+        query_cache_size=getattr(args, "query_cache_size", 4096),
     )
 
 
@@ -122,7 +126,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = DiscoveryService(_config_from_args(args))
     report = service.open(WarehouseConnector(warehouse))
     print(f"indexed {report.columns_indexed} columns from {args.directory}")
-    serve(service, args.host, args.port)
+    serve(service, args.host, args.port, workers=args.workers)
     return 0
 
 
@@ -262,6 +266,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Artifact cold load (compressed v2 vs mmap v3)",
         )
     )
+    serve_rows = [
+        [
+            row["n_columns"],
+            row["clients"],
+            f"{row['qps_baseline']:.0f}",
+            f"{row['qps_engine']:.0f}",
+            f"{row['coalesced_speedup']:.2f}x",
+            f"{row['p99_engine_ms']:.1f}",
+            f"{row['cache_hit_rate']:.0%}",
+            f"{row['mean_batch']:.1f}",
+        ]
+        for row in report["serve"]
+    ]
+    print(
+        render_table(
+            [
+                "columns",
+                "clients",
+                "base qps",
+                "engine qps",
+                "speedup",
+                "p99 ms",
+                "cache hit",
+                "batch",
+            ],
+            serve_rows,
+            title="HTTP serving engine (thread-per-request vs pool+coalesce+cache)",
+        )
+    )
     print(f"report written to {path}")
     from repro.eval.perf import BENCH_HISTORY_NAME
 
@@ -370,6 +403,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
     serve_cmd.add_argument(
         "--port", type=int, default=8080, help="bind port (0 picks a free port)"
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=32,
+        help="fixed HTTP worker pool size (concurrent persistent connections)",
+    )
+    serve_cmd.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="serve each /search alone instead of micro-batching concurrent ones",
+    )
+    serve_cmd.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="requests coalesced into one batched index probe",
+    )
+    serve_cmd.add_argument(
+        "--max-wait-us",
+        type=int,
+        default=500,
+        help="microseconds a coalescing leader waits for its batch to fill",
+    )
+    serve_cmd.add_argument(
+        "--query-cache-size",
+        type=int,
+        default=4096,
+        help="entries in the generation-keyed query-result cache (0 disables)",
     )
     add_model_args(serve_cmd)
     serve_cmd.set_defaults(handler=cmd_serve)

@@ -66,6 +66,22 @@ class WarpGateConfig:
         ``rerank_factor * k`` survivors per query.  Higher = better
         recall, more float32 work (int8 recall@10 ≥ 0.98 vs full float32
         at the default; see BENCH_index.json's ``quant`` stage).
+    coalesce:
+        Collect concurrent serving requests into micro-batches executed
+        through the index's batched search path (see
+        :class:`repro.service.coalesce.QueryCoalescer`).  A lone request
+        bypasses the batching machinery entirely, so sparse traffic pays
+        no added latency.
+    coalesce_max_batch:
+        Upper bound on requests coalesced into one batch.
+    coalesce_max_wait_us:
+        How long (microseconds) a coalescing leader waits for concurrent
+        requests to join its batch before executing.  Only ever paid when
+        at least two requests are already in flight.
+    query_cache_size:
+        Entries in the serving layer's generation-keyed query-result LRU
+        (see :class:`repro.service.qcache.QueryResultCache`); 0 disables
+        result caching.
     """
 
     model_name: str = "webtable"
@@ -86,6 +102,10 @@ class WarpGateConfig:
     shard_placement: str = "hash"
     quantize: bool = False
     rerank_factor: int = 4
+    coalesce: bool = True
+    coalesce_max_batch: int = 32
+    coalesce_max_wait_us: int = 500
+    query_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.search_backend not in _SEARCH_BACKENDS:
@@ -124,6 +144,18 @@ class WarpGateConfig:
         if self.rerank_factor < 1:
             raise ValueError(
                 f"rerank_factor must be >= 1, got {self.rerank_factor}"
+            )
+        if self.coalesce_max_batch < 1:
+            raise ValueError(
+                f"coalesce_max_batch must be >= 1, got {self.coalesce_max_batch}"
+            )
+        if self.coalesce_max_wait_us < 0:
+            raise ValueError(
+                f"coalesce_max_wait_us must be >= 0, got {self.coalesce_max_wait_us}"
+            )
+        if self.query_cache_size < 0:
+            raise ValueError(
+                f"query_cache_size must be >= 0, got {self.query_cache_size}"
             )
 
     def with_sampling(self, sample_size: int | None, strategy: str | None = None) -> "WarpGateConfig":
@@ -167,5 +199,34 @@ class WarpGateConfig:
             quantize=quantize,
             rerank_factor=(
                 rerank_factor if rerank_factor is not None else self.rerank_factor
+            ),
+        )
+
+    def with_serving(
+        self,
+        *,
+        coalesce: bool | None = None,
+        coalesce_max_batch: int | None = None,
+        coalesce_max_wait_us: int | None = None,
+        query_cache_size: int | None = None,
+    ) -> "WarpGateConfig":
+        """Copy of this config with different serving-engine knobs."""
+        return replace(
+            self,
+            coalesce=coalesce if coalesce is not None else self.coalesce,
+            coalesce_max_batch=(
+                coalesce_max_batch
+                if coalesce_max_batch is not None
+                else self.coalesce_max_batch
+            ),
+            coalesce_max_wait_us=(
+                coalesce_max_wait_us
+                if coalesce_max_wait_us is not None
+                else self.coalesce_max_wait_us
+            ),
+            query_cache_size=(
+                query_cache_size
+                if query_cache_size is not None
+                else self.query_cache_size
             ),
         )

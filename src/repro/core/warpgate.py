@@ -476,6 +476,17 @@ class WarpGate(JoinDiscoverySystem):
         return len(self._index)
 
     @property
+    def index_generation(self) -> int:
+        """Monotonic counter of index content mutations.
+
+        Moves on every add/remove/update/refresh/compaction (across all
+        shards on a sharded engine), so any result computed under one
+        value is stale under any other — the serving layer keys its query
+        cache on it for implicit invalidation.
+        """
+        return self._index.mutation_generation
+
+    @property
     def indexed_refs(self) -> tuple[ColumnRef, ...]:
         """Refs of every indexed column, in insertion order."""
         return tuple(self._index.keys())

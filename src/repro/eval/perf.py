@@ -21,10 +21,26 @@ Three engine stages track the scaling machinery on top of that:
 a :class:`~repro.index.sharding.ShardedIndex`, with a merge-exactness
 probe), ``quant`` (full-float32 vs int8-candidate + exact-re-rank
 scoring, with recall@k — the acceptance bar is ≥ 0.98), and ``artifact``
-(format-3 mmap cold load vs the legacy compressed format-2 load).  Each
-run can append a one-line summary (git SHA + timestamp + headline
-numbers) to ``BENCH_history.jsonl`` via :func:`append_history`, the
-cross-PR trajectory file.
+(format-3 mmap cold load vs the legacy compressed format-2 load).
+
+The ``serve`` stage measures the *serving engine* end to end: N
+concurrent HTTP clients drive a live server, comparing the
+thread-per-request single-query baseline
+(:class:`~repro.service.server.ThreadPerRequestHTTPServer`, one
+connection per request) against the worker-pool engine (persistent
+connections, request coalescing, generation-keyed query cache) — QPS,
+p50/p99 latency, the coalescer's batch-size histogram, and the query
+cache's steady-state hit rate.  A single-client probe pins the
+coalescer's fast-path contract: p50 latency with coalescing on stays
+within 10% of the uncoalesced path.
+
+Stage timers are warm-up-excluded medians (``_timed_median``): every
+timed arm first runs untimed ``warmup_runs`` times (JIT, lazy imports,
+BLAS thread spin-up, cache fill), then reports the median of the timed
+repeats; each stage row records its ``warmup_runs``.  Each run can
+append a one-line summary (git SHA + timestamp + headline numbers) to
+``BENCH_history.jsonl`` via :func:`append_history`, the cross-PR
+trajectory file.
 
 Run it via ``python -m repro bench`` or import :func:`run_perf_suite`.
 
@@ -42,7 +58,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import statistics
 import subprocess
+import threading
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -66,7 +84,7 @@ __all__ = [
 
 BENCH_REPORT_NAME = "BENCH_index.json"
 BENCH_HISTORY_NAME = "BENCH_history.jsonl"
-_SCHEMA_VERSION = 3
+_SCHEMA_VERSION = 4
 
 #: Named suite profiles: corpus sizes and repeat counts.  ``full`` is the
 #: committed baseline; ``fast`` keeps the CI smoke job in single-digit
@@ -85,6 +103,9 @@ PROFILES: dict[str, dict] = {
         "quant_sizes": (10_000, 50_000),
         "artifact_sizes": (50_000,),
         "stage_repeats": 3,
+        "serve_sizes": (10_000,),
+        "serve_clients": 16,
+        "serve_requests_per_client": 64,
     },
     "fast": {
         "sizes": (500, 1_000, 2_000),
@@ -95,6 +116,9 @@ PROFILES: dict[str, dict] = {
         "quant_sizes": (2_000,),
         "artifact_sizes": (2_000,),
         "stage_repeats": 2,
+        "serve_sizes": (2_000,),
+        "serve_clients": 8,
+        "serve_requests_per_client": 16,
     },
 }
 
@@ -111,6 +135,7 @@ _RESULT_FIELDS = (
     "batch_per_query_ms",
     "batch_speedup",
     "candidate_fraction",
+    "warmup_runs",
 )
 
 # Fields every embed-stage row must carry.
@@ -124,6 +149,7 @@ _EMBED_FIELDS = (
     "batched_cols_per_s",
     "cache_hit_rate",
     "distinct_fraction",
+    "warmup_runs",
 )
 
 # Fields every shard-stage row must carry: batched search on one arena vs
@@ -136,6 +162,7 @@ _SHARD_FIELDS = (
     "batch_ms_sharded",
     "shard_speedup",
     "merge_equal_fraction",
+    "warmup_runs",
 )
 
 # Fields every quant-stage row must carry: int8 candidate scoring + exact
@@ -149,6 +176,7 @@ _QUANT_FIELDS = (
     "recall_at_k",
     "bytes_float32",
     "bytes_int8",
+    "warmup_runs",
 )
 
 # Fields every artifact-stage row must carry: format-3 mmap cold load vs
@@ -162,6 +190,31 @@ _ARTIFACT_FIELDS = (
     "load_speedup",
     "artifact_v2_bytes",
     "artifact_v3_bytes",
+    "warmup_runs",
+)
+
+# Fields every serve-stage row must carry: N concurrent HTTP clients vs a
+# live server — thread-per-request single-query baseline against the
+# worker-pool + coalescer + query-cache engine — plus the single-client
+# fast-path latency contract.
+_SERVE_FIELDS = (
+    "n_columns",
+    "clients",
+    "requests",
+    "qps_baseline",
+    "qps_coalesce_only",
+    "qps_engine",
+    "coalesced_speedup",
+    "p50_baseline_ms",
+    "p99_baseline_ms",
+    "p50_engine_ms",
+    "p99_engine_ms",
+    "single_p50_direct_ms",
+    "single_p50_coalesced_ms",
+    "single_latency_ratio",
+    "cache_hit_rate",
+    "mean_batch",
+    "warmup_runs",
 )
 
 
@@ -292,8 +345,8 @@ def _bench_embed_one_size(
             _matrix, chunk_stats = encoder.encode_batch(chunk)
             stats.merge(chunk_stats)
 
-    sequential_s = _best_of(repeats, sequential)
-    batched_s = _best_of(repeats, batched)
+    sequential_s = _timed_median(repeats, sequential)
+    batched_s = _timed_median(repeats, batched)
     return {
         "n_columns": n,
         "values_per_column": values_per_column,
@@ -308,17 +361,34 @@ def _bench_embed_one_size(
         "distinct_fraction": round(
             stats.distinct_tokens / max(1, stats.token_occurrences), 4
         ),
+        "warmup_runs": _WARMUP_RUNS,
     }
 
 
-def _best_of(repeats: int, run) -> float:
-    """Best-of-N wall time of ``run()`` — the standard noise filter."""
-    best = float("inf")
-    for _ in range(repeats):
+#: Untimed runs before every timed measurement: one pass absorbs the
+#: one-shot costs a steady-state number must exclude (lazy imports, numpy
+#: first-call dispatch, BLAS thread spin-up, bucket freezing, cache fill
+#: where the arm is meant to be warm).  Recorded per stage row.
+_WARMUP_RUNS = 1
+
+
+def _timed_median(repeats: int, run, *, warmup: int = _WARMUP_RUNS) -> float:
+    """Warm-up-excluded median wall time of ``run()``.
+
+    Runs ``warmup`` untimed passes, then reports the median of
+    ``repeats`` timed ones — the suite's standard noise filter.  The
+    median (not best-of) keeps one lucky scheduler slice from defining a
+    committed baseline, and the warm-up keeps first-call JIT and
+    cache-fill effects out of *every* arm symmetrically.
+    """
+    for _ in range(max(0, warmup)):
+        run()
+    times = []
+    for _ in range(max(1, repeats)):
         start = time.perf_counter()
         run()
-        best = min(best, time.perf_counter() - start)
-    return best
+        times.append(time.perf_counter() - start)
+    return float(statistics.median(times))
 
 
 def _bench_one_size(
@@ -348,7 +418,7 @@ def _bench_one_size(
         index.bulk_load(keys, corpus)
         index.build()
 
-    build_bulk_s = _best_of(max(1, repeats // 2), build)
+    build_bulk_s = _timed_median(max(1, repeats // 2), build)
 
     index = fresh_index()
     index.bulk_load(keys, corpus)
@@ -366,10 +436,6 @@ def _bench_one_size(
     remove_ms = (time.perf_counter() - remove_start) / extra.shape[0] * 1e3
     index.build()
 
-    # Warm both search paths once (bucket freezing, BLAS init).
-    index.query(queries[0], k)
-    index.search_batch(queries, k)
-
     def sequential() -> None:
         for position in range(batch_size):
             index.query(queries[position], k)
@@ -377,8 +443,8 @@ def _bench_one_size(
     def batched() -> None:
         index.search_batch(queries, k)
 
-    sequential_batch_s = _best_of(repeats, sequential)
-    batch_s = _best_of(repeats, batched)
+    sequential_batch_s = _timed_median(repeats, sequential)
+    batch_s = _timed_median(repeats, batched)
 
     candidate_counts = []
     for position in range(batch_size):
@@ -398,6 +464,7 @@ def _bench_one_size(
         "candidate_fraction": round(
             float(np.mean(candidate_counts)) / max(1, len(index)), 4
         ),
+        "warmup_runs": _WARMUP_RUNS,
     }
 
 
@@ -454,15 +521,16 @@ def _bench_shard_one_size(
     sharded.bulk_load(keys, corpus)
     sharded.build()
 
-    # Warm both paths (bucket freezing, pool spin-up, BLAS init).
+    # Merge-exactness probe (also warms both paths; _timed_median warms
+    # each arm again before timing).
     single_results = single.search_batch(queries, k)
     sharded_results = sharded.search_batch(queries, k)
     equal = sum(
         1 for got, want in zip(sharded_results, single_results) if got == want
     )
 
-    single_s = _best_of(repeats, lambda: single.search_batch(queries, k))
-    sharded_s = _best_of(repeats, lambda: sharded.search_batch(queries, k))
+    single_s = _timed_median(repeats, lambda: single.search_batch(queries, k))
+    sharded_s = _timed_median(repeats, lambda: sharded.search_batch(queries, k))
     return {
         "n_columns": n,
         "n_shards": n_shards,
@@ -470,6 +538,7 @@ def _bench_shard_one_size(
         "batch_ms_sharded": round(sharded_s * 1e3, 3),
         "shard_speedup": round(single_s / sharded_s, 2),
         "merge_equal_fraction": round(equal / batch_size, 4),
+        "warmup_runs": _WARMUP_RUNS,
     }
 
 
@@ -500,13 +569,13 @@ def _bench_quant_one_size(
     index.bulk_load(keys, corpus)
 
     truth = index.search_batch(queries, k, threshold=floor)
-    float32_s = _best_of(
+    float32_s = _timed_median(
         repeats, lambda: index.search_batch(queries, k, threshold=floor)
     )
 
     index.enable_quantization(rerank_factor)
     approx = index.search_batch(queries, k, threshold=floor)
-    int8_s = _best_of(
+    int8_s = _timed_median(
         repeats, lambda: index.search_batch(queries, k, threshold=floor)
     )
     recalls = []
@@ -525,6 +594,7 @@ def _bench_quant_one_size(
         "recall_at_k": round(float(np.mean(recalls)) if recalls else 1.0, 4),
         "bytes_float32": n * dim * 4,
         "bytes_int8": n * dim,
+        "warmup_runs": _WARMUP_RUNS,
     }
 
 
@@ -552,10 +622,10 @@ def _bench_artifact_one_size(n: int, *, dim: int, repeats: int) -> dict:
     with tempfile.TemporaryDirectory() as workdir:
         v2_path = Path(workdir) / "index_v2.npz"
         v3_path = Path(workdir) / "index_v3.npz"
-        save_v2_s = _best_of(repeats, lambda: _save_legacy(system, v2_path, version=2))
-        save_v3_s = _best_of(repeats, lambda: save_index(system, v3_path))
-        load_v2_s = _best_of(repeats, lambda: load_index(v2_path))
-        load_v3_s = _best_of(repeats, lambda: load_index(v3_path))
+        save_v2_s = _timed_median(repeats, lambda: _save_legacy(system, v2_path, version=2))
+        save_v3_s = _timed_median(repeats, lambda: save_index(system, v3_path))
+        load_v2_s = _timed_median(repeats, lambda: load_index(v2_path))
+        load_v3_s = _timed_median(repeats, lambda: load_index(v3_path))
         v2_bytes = v2_path.stat().st_size
         v3_bytes = v3_path.stat().st_size
     return {
@@ -567,6 +637,262 @@ def _bench_artifact_one_size(n: int, *, dim: int, repeats: int) -> dict:
         "load_speedup": round(load_v2_s / load_v3_s, 1),
         "artifact_v2_bytes": v2_bytes,
         "artifact_v3_bytes": v3_bytes,
+        "warmup_runs": _WARMUP_RUNS,
+    }
+
+
+def _serve_service(
+    refs: list,
+    corpus: np.ndarray,
+    query_names: list[str],
+    query_vectors: np.ndarray,
+    *,
+    dim: int,
+    coalesce: bool,
+    query_cache_size: int,
+):
+    """A DiscoveryService over a pre-built synthetic index.
+
+    The index is bulk-loaded directly (no warehouse scan) and every
+    benchmark query ref is pre-seeded into the engine's embedding cache,
+    so serving requests exercise exactly the request → probe → respond
+    path the stage measures — never CSV parsing or column encoding.
+    """
+    from repro.core.config import WarpGateConfig
+    from repro.core.profiles import EmbeddingCache
+    from repro.core.warpgate import WarpGate
+    from repro.service.discovery import DiscoveryService
+    from repro.storage.schema import ColumnRef
+
+    cache = EmbeddingCache()
+    config = WarpGateConfig(model_name="hashing", dim=dim).with_serving(
+        coalesce=coalesce, query_cache_size=query_cache_size
+    )
+    engine = WarpGate(config, cache=cache)
+    engine._index.bulk_load(refs, corpus)
+    engine._indexed = True
+    engine.rebuild_index()
+    for name, vector in zip(query_names, query_vectors):
+        cache.put(ColumnRef.parse(name), vector)
+    return DiscoveryService(engine=engine)
+
+
+def _drive_clients(
+    port: int,
+    names: list[str],
+    *,
+    clients: int,
+    k: int,
+    threshold: float,
+    keepalive: bool,
+) -> tuple[float, list[float]]:
+    """Fire ``names`` as ``POST /search`` bodies from ``clients`` threads.
+
+    Returns ``(wall_s, per-request latencies)``.  With ``keepalive`` each
+    client keeps one persistent connection; without it every request
+    opens its own (the thread-per-request regime).  TCP_NODELAY is set
+    client-side to keep Nagle/delayed-ACK stalls out of the numbers.
+    """
+    import http.client
+    import socket
+
+    def connect() -> http.client.HTTPConnection:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        connection.connect()
+        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return connection
+
+    chunks = [names[position::clients] for position in range(clients)]
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    failures: list[str] = []
+
+    def run_client(chunk: list[str], sink: list[float]) -> None:
+        connection = connect() if keepalive else None
+        headers = {"Content-Type": "application/json"}
+        try:
+            for name in chunk:
+                body = json.dumps({"query": name, "k": k, "threshold": threshold})
+                start = time.perf_counter()
+                if keepalive:
+                    connection.request("POST", "/search", body=body, headers=headers)
+                    response = connection.getresponse()
+                    payload = response.read()
+                else:
+                    one_shot = connect()
+                    one_shot.request(
+                        "POST",
+                        "/search",
+                        body=body,
+                        headers={**headers, "Connection": "close"},
+                    )
+                    response = one_shot.getresponse()
+                    payload = response.read()
+                    one_shot.close()
+                sink.append(time.perf_counter() - start)
+                if response.status != 200:
+                    failures.append(payload.decode("utf-8", "replace")[:200])
+                    return
+        finally:
+            if connection is not None:
+                connection.close()
+
+    threads = [
+        threading.Thread(target=run_client, args=(chunk, sink))
+        for chunk, sink in zip(chunks, latencies)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if failures:
+        raise RuntimeError(f"serve bench request failed: {failures[0]}")
+    return wall, [entry for sink in latencies for entry in sink]
+
+
+def _percentile_ms(latencies: list[float], fraction: float) -> float:
+    ordered = sorted(latencies)
+    position = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[position] * 1e3
+
+
+def _bench_serve_one_size(
+    n: int,
+    *,
+    dim: int,
+    k: int,
+    clients: int,
+    requests_per_client: int,
+    threshold: float = 0.5,
+    query_pool: int = 256,
+) -> dict:
+    """Concurrent HTTP serving: thread-per-request baseline vs the engine.
+
+    Both arms serve the identical 10k-style synthetic index and the
+    identical query stream (a ``query_pool``-wide pool cycled by N
+    concurrent clients — BI traffic repeats its probes, which is what the
+    query cache exists for):
+
+    * **baseline** — :class:`~repro.service.server.ThreadPerRequestHTTPServer`,
+      one connection (= one spawned thread) per request, coalescing and
+      query cache off: every request is an isolated single-vector query,
+      the pre-engine architecture.
+    * **coalesce-only** — the worker-pool server with persistent
+      connections and coalescing but the query cache off, so the report
+      decomposes how much of the engine win is batching vs result reuse.
+    * **engine** — the worker-pool server with persistent connections,
+      request coalescing, and the generation-keyed query cache at their
+      config defaults; ``coalesced_speedup`` is this arm over baseline.
+
+    A warm-up pass per arm (excluded from timing) absorbs connection
+    ramp-up and fills the query cache to steady state;
+    ``cache_hit_rate`` is computed over the timed window only.  The
+    single-client probe then pins the fast-path contract: coalescing on
+    vs off (cache off in both) over one keep-alive connection —
+    ``single_latency_ratio`` is the p50 ratio, and must stay ~1.
+    """
+    from repro.service.server import ThreadPerRequestHTTPServer, make_server
+    from repro.storage.schema import ColumnRef
+
+    corpus, query_vectors = _corpus_and_queries(n, dim, query_pool)
+    refs = [ColumnRef("bench", f"table_{i // 64}", f"col_{i % 64}") for i in range(n)]
+    query_names = [f"bench.queries.q{position}" for position in range(query_pool)]
+    total = clients * requests_per_client
+    stream = [query_names[position % query_pool] for position in range(total)]
+    warm_stream = stream[: max(clients * 8, query_pool)]
+
+    def build(coalesce: bool, cache_size: int):
+        return _serve_service(
+            refs,
+            corpus,
+            query_names,
+            query_vectors,
+            dim=dim,
+            coalesce=coalesce,
+            query_cache_size=cache_size,
+        )
+
+    drive = dict(clients=clients, k=k, threshold=threshold)
+
+    # Arm 1: thread-per-request single-query baseline.
+    baseline = build(False, 0)
+    server = ThreadPerRequestHTTPServer(("127.0.0.1", 0), baseline)
+    accept = threading.Thread(target=server.serve_forever, daemon=True)
+    accept.start()
+    try:
+        port = server.server_address[1]
+        _drive_clients(port, warm_stream, keepalive=False, **drive)
+        baseline_wall, baseline_lat = _drive_clients(
+            port, stream, keepalive=False, **drive
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        accept.join(timeout=10)
+
+    # Arm 2: pool + keep-alive + coalescer, query cache off — isolates
+    # what coalescing alone buys before result reuse enters the picture.
+    coalesce_only = build(True, 0)
+    with make_server(coalesce_only, port=0, workers=clients + 2) as server:
+        port = server.server_address[1]
+        _drive_clients(port, warm_stream, keepalive=True, **drive)
+        coalesce_wall, _lat = _drive_clients(port, stream, keepalive=True, **drive)
+
+    # Arm 3: the full serving engine (pool + keep-alive + coalescer + cache).
+    engine = build(True, 4096)
+    with make_server(engine, port=0, workers=clients + 2) as server:
+        port = server.server_address[1]
+        _drive_clients(port, warm_stream, keepalive=True, **drive)
+        cache_stats = engine.query_cache.stats()
+        warm_hits, warm_misses = cache_stats["hits"], cache_stats["misses"]
+        engine_wall, engine_lat = _drive_clients(port, stream, keepalive=True, **drive)
+    cache_stats = engine.query_cache.stats()
+    timed_hits = cache_stats["hits"] - warm_hits
+    timed_misses = cache_stats["misses"] - warm_misses
+    coalescer_stats = engine.coalescer.stats()
+
+    # Single-client fast-path probe: coalescing must not tax sparse
+    # traffic (cache off in both arms so the comparison isolates it).
+    single_stream = [query_names[position % query_pool] for position in range(256)]
+    singles: dict[bool, list[float]] = {}
+    for coalesce in (False, True):
+        service = build(coalesce, 0)
+        with make_server(service, port=0, workers=2) as server:
+            port = server.server_address[1]
+            _drive_clients(
+                port, single_stream[:32], clients=1, k=k,
+                threshold=threshold, keepalive=True,
+            )
+            _wall, singles[coalesce] = _drive_clients(
+                port, single_stream, clients=1, k=k,
+                threshold=threshold, keepalive=True,
+            )
+    single_p50_direct = _percentile_ms(singles[False], 0.5)
+    single_p50_coalesced = _percentile_ms(singles[True], 0.5)
+
+    return {
+        "n_columns": n,
+        "clients": clients,
+        "requests": total,
+        "query_pool": query_pool,
+        "qps_baseline": round(total / baseline_wall, 1),
+        "qps_coalesce_only": round(total / coalesce_wall, 1),
+        "qps_engine": round(total / engine_wall, 1),
+        "coalesced_speedup": round(baseline_wall / engine_wall, 2),
+        "p50_baseline_ms": round(_percentile_ms(baseline_lat, 0.5), 3),
+        "p99_baseline_ms": round(_percentile_ms(baseline_lat, 0.99), 3),
+        "p50_engine_ms": round(_percentile_ms(engine_lat, 0.5), 3),
+        "p99_engine_ms": round(_percentile_ms(engine_lat, 0.99), 3),
+        "single_p50_direct_ms": round(single_p50_direct, 3),
+        "single_p50_coalesced_ms": round(single_p50_coalesced, 3),
+        "single_latency_ratio": round(single_p50_coalesced / single_p50_direct, 3),
+        "cache_hit_rate": round(
+            timed_hits / max(1, timed_hits + timed_misses), 4
+        ),
+        "mean_batch": coalescer_stats["mean_batch"],
+        "batch_histogram": coalescer_stats["batch_histogram"],
+        "warmup_runs": _WARMUP_RUNS,
     }
 
 
@@ -593,6 +919,9 @@ def run_perf_suite(
     n_shards: int = 4,
     rerank_factor: int = 4,
     stage_repeats: int | None = None,
+    serve_sizes: tuple[int, ...] | None = None,
+    serve_clients: int | None = None,
+    serve_requests_per_client: int | None = None,
     progress=None,
 ) -> dict:
     """Time index search paths and embedding throughput per corpus size.
@@ -601,10 +930,11 @@ def run_perf_suite(
     (search side), ``embed`` rows follow ``_EMBED_FIELDS`` (sequential vs
     batched encode), ``shard`` rows ``_SHARD_FIELDS`` (1-arena vs
     partitioned search), ``quant`` rows ``_QUANT_FIELDS`` (float32 vs
-    int8+re-rank, with recall@k), and ``artifact`` rows
-    ``_ARTIFACT_FIELDS`` (format-2 vs format-3 cold loads).  Pass
-    ``progress`` (a callable taking one string) for per-size console
-    feedback.
+    int8+re-rank, with recall@k), ``artifact`` rows ``_ARTIFACT_FIELDS``
+    (format-2 vs format-3 cold loads), and ``serve`` rows
+    ``_SERVE_FIELDS`` (concurrent HTTP clients against the live serving
+    engine vs the thread-per-request baseline).  Pass ``progress`` (a
+    callable taking one string) for per-size console feedback.
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}")
@@ -630,6 +960,17 @@ def run_perf_suite(
     )
     stage_repeats = (
         stage_repeats if stage_repeats is not None else spec.get("stage_repeats", 2)
+    )
+    serve_sizes = (
+        tuple(serve_sizes) if serve_sizes is not None else spec["serve_sizes"]
+    )
+    serve_clients = (
+        serve_clients if serve_clients is not None else spec.get("serve_clients", 16)
+    )
+    serve_requests_per_client = (
+        serve_requests_per_client
+        if serve_requests_per_client is not None
+        else spec.get("serve_requests_per_client", 64)
     )
     results = []
     for n in sizes:
@@ -699,6 +1040,22 @@ def run_perf_suite(
         artifact_results.append(
             _bench_artifact_one_size(n, dim=dim, repeats=stage_repeats)
         )
+    serve_results = []
+    for n in serve_sizes:
+        if progress is not None:
+            progress(
+                f"benchmarking HTTP serving with {serve_clients} clients "
+                f"at {n} columns ..."
+            )
+        serve_results.append(
+            _bench_serve_one_size(
+                n,
+                dim=dim,
+                k=k,
+                clients=serve_clients,
+                requests_per_client=serve_requests_per_client,
+            )
+        )
     return {
         "schema_version": _SCHEMA_VERSION,
         "suite": "index-perf",
@@ -721,6 +1078,12 @@ def run_perf_suite(
                 "chunk_size": embed_chunk_size,
                 "model": "hashing",
             },
+            "serve": {
+                "clients": serve_clients,
+                "requests_per_client": serve_requests_per_client,
+                "threshold": 0.5,
+                "query_pool": 256,
+            },
         },
         "environment": {
             "python": platform.python_version(),
@@ -733,6 +1096,7 @@ def run_perf_suite(
         "shard": shard_results,
         "quant": quant_results,
         "artifact": artifact_results,
+        "serve": serve_results,
     }
 
 
@@ -777,6 +1141,7 @@ def validate_report(payload: dict) -> list[str]:
         ("shard", _SHARD_FIELDS),
         ("quant", _QUANT_FIELDS),
         ("artifact", _ARTIFACT_FIELDS),
+        ("serve", _SERVE_FIELDS),
     ):
         rows = payload.get(stage)
         if not isinstance(rows, list) or not rows:
@@ -831,6 +1196,7 @@ def append_history(report: dict, path: str | Path) -> Path:
     quant = report["quant"][-1] if report.get("quant") else {}
     artifact = report["artifact"][-1] if report.get("artifact") else {}
     embed = report["embed"][-1] if report.get("embed") else {}
+    serve = report["serve"][-1] if report.get("serve") else {}
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_sha": _git_sha(path.resolve()),
@@ -845,6 +1211,9 @@ def append_history(report: dict, path: str | Path) -> Path:
         "quant_recall_at_k": quant.get("recall_at_k"),
         "quant_speedup": quant.get("quant_speedup"),
         "artifact_load_speedup": artifact.get("load_speedup"),
+        "serve_qps_engine": serve.get("qps_engine"),
+        "serve_coalesced_speedup": serve.get("coalesced_speedup"),
+        "serve_cache_hit_rate": serve.get("cache_hit_rate"),
     }
     with path.open("a", encoding="utf-8") as handle:
         handle.write(json.dumps(entry) + "\n")

@@ -90,6 +90,12 @@ class VectorArena:
         self._size = 0  # high-water mark: rows 0.._size-1 are occupied or dead
         self._live = 0
         self.generation = 0
+        # Monotonic count of content mutations (adds, removes, adoptions,
+        # compactions).  Unlike ``generation`` — which only moves when row
+        # ids are reassigned and therefore drives derived-structure
+        # rebuilds — this bumps on *every* change to what a query could
+        # return, so result caches key on it for implicit invalidation.
+        self.mutation_generation = 0
         # False when the matrix/signature storage is adopted read-only
         # (e.g. a memory-mapped artifact); in-place writes thaw it first.
         self._owns_memory = True
@@ -254,6 +260,7 @@ class VectorArena:
         self._rows[key] = row
         self._size += 1
         self._live += 1
+        self.mutation_generation += 1
         return row
 
     def add_batch(
@@ -318,6 +325,7 @@ class VectorArena:
             self._rows[key] = start + offset
         self._size += count
         self._live += count
+        self.mutation_generation += 1
         return np.arange(start, start + count)
 
     def remove(self, key: object) -> bool:
@@ -335,6 +343,7 @@ class VectorArena:
         self._alive[row] = False
         self._keys[row] = None
         self._live -= 1
+        self.mutation_generation += 1
         if (
             self._size >= _COMPACT_MIN_ROWS
             and self.dead_count > self._size * _COMPACT_DEAD_FRACTION
@@ -365,6 +374,7 @@ class VectorArena:
         self._size = count
         self._live = count
         self.generation += 1
+        self.mutation_generation += 1
 
     # -- adoption -----------------------------------------------------------------
 
@@ -421,6 +431,7 @@ class VectorArena:
         self._owns_memory = bool(matrix.flags.writeable) and (
             signatures is None or bool(signatures.flags.writeable)
         )
+        self.mutation_generation += 1
         return np.arange(count)
 
     # -- persistence --------------------------------------------------------------
@@ -525,6 +536,17 @@ class ColumnarIndex:
     def arena(self) -> VectorArena:
         """The backing columnar store (shared-substrate introspection)."""
         return self._arena
+
+    @property
+    def mutation_generation(self) -> int:
+        """Monotonic counter covering every content mutation.
+
+        Any change to what a query could return — add, remove, update,
+        bulk load, compaction, artifact adoption — moves it, so a result
+        cached under one value is implicitly invalid under any other (the
+        :class:`~repro.service.qcache.QueryResultCache` key contract).
+        """
+        return self._arena.mutation_generation
 
     def keys(self) -> list[object]:
         """Live keys in insertion order."""

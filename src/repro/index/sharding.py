@@ -140,6 +140,17 @@ class ShardedIndex:
         """Default cosine floor (shared by every shard)."""
         return self.shards[0].threshold
 
+    @property
+    def mutation_generation(self) -> int:
+        """Monotonic content-mutation counter across all shards.
+
+        The sum of shard-local counters: each only ever grows, so the sum
+        is monotonic, and any mutation anywhere (including a shard-local
+        compaction) moves it — the same implicit-invalidation contract the
+        single-arena :attr:`ColumnarIndex.mutation_generation` offers.
+        """
+        return sum(shard.mutation_generation for shard in self.shards)
+
     def keys(self) -> list[object]:
         """Live keys in global insertion order."""
         return list(self._owner)

@@ -9,7 +9,9 @@ writer-preferring RW lock for safe concurrent access, and a
 dependency-free JSON-over-HTTP server (``python -m repro serve``).
 """
 
+from repro.service.coalesce import QueryCoalescer
 from repro.service.discovery import DiscoveryService
+from repro.service.qcache import QueryResultCache
 from repro.service.rwlock import ReadWriteLock
 from repro.service.server import DiscoveryHTTPServer, make_server, serve
 from repro.service.types import IndexStats, SearchRequest, SearchResponse, ServiceError
@@ -18,6 +20,8 @@ __all__ = [
     "DiscoveryHTTPServer",
     "DiscoveryService",
     "IndexStats",
+    "QueryCoalescer",
+    "QueryResultCache",
     "ReadWriteLock",
     "SearchRequest",
     "SearchResponse",

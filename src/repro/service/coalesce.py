@@ -1,0 +1,251 @@
+"""Request coalescing: concurrent searches become index micro-batches.
+
+The index layer is fastest when probed in blocks — one
+``(q × dim) @ (dim × n)`` GEMM amortizes BLAS dispatch, thresholding, and
+candidate verification across a whole query block (see
+``ColumnarIndex.search_batch``) — but HTTP traffic arrives as single
+requests on concurrent connections, which is exactly when that machinery
+sat idle.  :class:`QueryCoalescer` closes the gap: requests in flight at
+the same moment are collected into micro-batches (bounded by
+``max_batch``, with a short ``max_wait_us`` fill window) and executed
+through one batched callable; each caller blocks only for its own result.
+
+The design is leader/follower with a sparse-traffic fast path:
+
+* **fast path** — a request arriving at an **idle** coalescer executes
+  immediately and alone, paying *zero* added latency: no queue entry, no
+  wait window, no batching machinery.  Sparse traffic therefore behaves
+  exactly like the uncoalesced path, and the fast-path thread returns
+  its own result the moment it is computed — it never stays behind to
+  serve anyone else's.
+* **followers** — while any execution is in flight, later arrivals
+  queue, each with its own pending slot, and wait.
+* **leader election** — whenever the in-flight execution finishes, the
+  waiting followers are woken; one finds the queue unowned, claims it,
+  waits up to ``max_wait_us`` for the batch to fill (woken early at
+  ``max_batch``), snaps one FIFO batch off the queue head, executes it,
+  and resolves each entry (per-request error isolation: one bad query
+  never fails its batchmates).  It then releases ownership — waking the
+  next leader if the queue is still non-empty — and returns its own
+  result once resolved.  FIFO batching bounds every request's wait by
+  its arrival position, so later traffic can never starve it.
+
+Under load the system self-clocks: while one batch executes, the next
+accumulates, so batch size tracks instantaneous concurrency without any
+tuning — the wait window only matters in the lull between the two
+regimes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["QueryCoalescer"]
+
+
+class _Pending:
+    """One queued request awaiting its batch's execution.
+
+    Resolution (``done`` + result/error) is written under the
+    coalescer's condition lock and announced via ``notify_all``.
+    """
+
+    __slots__ = ("request", "done", "result", "error")
+
+    def __init__(self, request: object) -> None:
+        self.request = request
+        self.done = False
+        self.result: object | None = None
+        self.error: BaseException | None = None
+
+
+class QueryCoalescer:
+    """Batch concurrent in-flight requests through one batched executor.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(requests) -> outcomes``: runs a batch and returns one
+        outcome per request *in order* — either a result object or an
+        exception instance to raise to that caller (per-request error
+        isolation).  Called from whichever caller thread leads a batch;
+        must be thread-safe.
+    execute_one:
+        Optional ``execute_one(request) -> result`` used by the fast
+        path (a request arriving at an idle coalescer).  Letting the
+        owner supply its plain single-request path keeps fast-path cost
+        *identical* to the uncoalesced path — no batch plumbing at all;
+        exceptions propagate to the caller directly.  Defaults to
+        ``execute([request])``.
+    max_batch:
+        Upper bound on requests per executed batch.
+    max_wait_us:
+        Fill window in microseconds: how long a leader with a non-full
+        batch waits for stragglers before executing.  Never paid on the
+        fast path, so it bounds *added* latency under load only.
+    """
+
+    def __init__(
+        self,
+        execute,
+        *,
+        execute_one=None,
+        max_batch: int = 32,
+        max_wait_us: int = 500,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        self._execute = execute
+        self._execute_one = execute_one
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self._cond = threading.Condition()
+        self._queue: deque[_Pending] = deque()
+        # True while some thread owns execution: a fast-path request is
+        # running, or an elected leader is filling/executing a batch.
+        self._draining = False
+        # Traffic counters (all mutated under the condition lock).
+        self._requests = 0
+        self._fastpath = 0
+        self._batches = 0
+        self._coalesced = 0
+        self._histogram: dict[int, int] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryCoalescer(max_batch={self.max_batch}, "
+            f"max_wait_us={self.max_wait_us}, requests={self._requests}, "
+            f"fastpath={self._fastpath}, batches={self._batches})"
+        )
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, request: object) -> object:
+        """Execute ``request``, possibly coalesced with concurrent ones.
+
+        Blocks until this request's result is available; raises this
+        request's error when the executor reports one.  Results are
+        identical to executing the request alone — batching changes
+        scheduling, never semantics.
+        """
+        with self._cond:
+            self._requests += 1
+            if not self._draining and not self._queue:
+                # Idle coalescer: run alone, right now.  _draining makes
+                # concurrent arrivals queue; ownership is released (and a
+                # leader elected among them) the moment we finish.
+                self._draining = True
+                self._fastpath += 1
+                entry = None
+            else:
+                entry = _Pending(request)
+                self._queue.append(entry)
+                if len(self._queue) >= self.max_batch:
+                    self._cond.notify_all()  # wake a filling leader early
+        if entry is None:
+            try:
+                if self._execute_one is not None:
+                    return self._execute_one(request)
+                outcomes = self._execute([request])
+                return self._unwrap(outcomes, 0)
+            finally:
+                self._release()
+        # Follower: wait until resolved, claiming leadership whenever
+        # execution is unowned while our entry is still pending.
+        while True:
+            with self._cond:
+                while not entry.done and self._draining:
+                    self._cond.wait()
+                if entry.done:
+                    break
+                self._draining = True
+                batch = self._fill_batch_locked()
+            try:
+                self._run_batch(batch)
+            finally:
+                self._release()
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    @staticmethod
+    def _unwrap(outcomes: list, position: int) -> object:
+        outcome = outcomes[position]
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    def _release(self) -> None:
+        """Hand ownership back and wake waiters (followers + next leader)."""
+        with self._cond:
+            self._draining = False
+            self._cond.notify_all()
+
+    # -- batch execution ----------------------------------------------------------
+
+    def _fill_batch_locked(self) -> list[_Pending]:
+        """Wait out the fill window, then snap one FIFO batch off the head.
+
+        Caller holds the condition lock and owns ``_draining``.
+        """
+        if self.max_wait_us and len(self._queue) < self.max_batch:
+            deadline = time.monotonic() + self.max_wait_us / 1e6
+            while len(self._queue) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+        count = min(len(self._queue), self.max_batch)
+        batch = [self._queue.popleft() for _ in range(count)]
+        self._batches += 1
+        self._coalesced += count
+        self._histogram[count] = self._histogram.get(count, 0) + 1
+        return batch
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        """Execute one batch and resolve every entry (never raises)."""
+        try:
+            outcomes = self._execute([entry.request for entry in batch])
+            if len(outcomes) != len(batch):
+                raise RuntimeError(
+                    f"coalesce executor returned {len(outcomes)} outcomes "
+                    f"for {len(batch)} requests"
+                )
+        except BaseException as error:  # noqa: BLE001 - fan the failure out
+            outcomes = [error] * len(batch)
+        with self._cond:
+            for entry, outcome in zip(batch, outcomes):
+                if isinstance(outcome, BaseException):
+                    entry.error = outcome
+                else:
+                    entry.result = outcome
+                entry.done = True
+            self._cond.notify_all()
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Machine-readable traffic snapshot (``/stats``, bench report).
+
+        ``batch_histogram`` maps executed batch size → count (fast-path
+        executions are counted separately — they never enter a batch).
+        """
+        with self._cond:
+            mean = self._coalesced / self._batches if self._batches else 0.0
+            return {
+                "requests": self._requests,
+                "fastpath": self._fastpath,
+                "batches": self._batches,
+                "coalesced_requests": self._coalesced,
+                "mean_batch": round(mean, 2),
+                "max_batch": self.max_batch,
+                "max_wait_us": self.max_wait_us,
+                "batch_histogram": {
+                    str(size): count
+                    for size, count in sorted(self._histogram.items())
+                },
+            }

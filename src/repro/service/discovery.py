@@ -15,7 +15,16 @@ evolving* warehouse, so this facade adds what serving requires:
   (duplicate query refs are embedded once) and lock traffic across a
   request batch, returning results identical to per-query :meth:`search`;
 * **a thread-safe read path** — a writer-preferring RW lock lets any
-  number of searches run concurrently while mutations are exclusive.
+  number of searches run concurrently while mutations are exclusive;
+* **a concurrent serving engine** — :meth:`search_coalesced` routes
+  requests through a :class:`~repro.service.coalesce.QueryCoalescer`
+  (concurrent in-flight searches execute as one batched index probe,
+  with a fast-path bypass when traffic is sparse), and every probe
+  consults a generation-keyed
+  :class:`~repro.service.qcache.QueryResultCache` — index mutations
+  invalidate implicitly because the index's monotonic
+  ``mutation_generation`` is part of the cache key, so a stale result
+  can never be served.
 
 The facade is deliberately thin: every search still runs WarpGate's
 embed → probe → rank pipeline, so library results and service results
@@ -30,7 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.candidates import DiscoveryResult
+from repro.core.candidates import DiscoveryResult, JoinCandidate, TimingBreakdown
 from repro.core.config import WarpGateConfig
 from repro.core.profiles import EmbeddingCache
 from repro.core.system import ELIGIBLE_TYPES, IndexReport
@@ -40,8 +49,11 @@ from repro.errors import (
     DatabaseNotFoundError,
     EmptyIndexError,
     NotIndexedError,
+    ReproError,
     TableNotFoundError,
 )
+from repro.service.coalesce import QueryCoalescer
+from repro.service.qcache import QueryResultCache
 from repro.service.rwlock import ReadWriteLock
 from repro.service.types import IndexStats, SearchRequest, SearchResponse, ServiceError
 from repro.storage.schema import ColumnRef
@@ -97,6 +109,28 @@ class DiscoveryService:
         self._counter_lock = threading.Lock()
         self._searches = 0
         self._mutations = 0
+        # The serving engine: a generation-keyed result cache consulted by
+        # every probe, and a coalescer that batches concurrent requests
+        # through _execute_coalesced.  Both are configured per engine.
+        serving = self.engine.config
+        self._qcache = (
+            QueryResultCache(serving.query_cache_size)
+            if serving.query_cache_size > 0
+            else None
+        )
+        self._coalescer = (
+            QueryCoalescer(
+                self._execute_coalesced,
+                # Fast path = the plain search path, verbatim: a request
+                # hitting an idle coalescer costs exactly what search()
+                # costs (the serve bench pins single-client p50 parity).
+                execute_one=self.search,
+                max_batch=serving.coalesce_max_batch,
+                max_wait_us=serving.coalesce_max_wait_us,
+            )
+            if serving.coalesce
+            else None
+        )
 
     def __repr__(self) -> str:
         return (
@@ -265,24 +299,54 @@ class DiscoveryService:
             f"{len(names)} database(s); use db.table.column"
         )
 
-    def _embed_then_probe(self, query: ColumnRef, request: SearchRequest):
-        """The locked embed → probe pipeline shared by search paths.
+    def _effective_params(self, request: SearchRequest) -> tuple[int, float]:
+        """Resolve ``(k, threshold)`` against the engine configuration.
+
+        Cache keys and probe calls both use the resolved values, so a
+        request relying on defaults and one naming them explicitly hit
+        the same cache entry.
+        """
+        config = self.engine.config
+        k = request.k if request.k is not None else config.default_k
+        threshold = (
+            request.threshold if request.threshold is not None else config.threshold
+        )
+        return k, threshold
+
+    @staticmethod
+    def _result_from_cached(cached, exclude: ColumnRef) -> DiscoveryResult:
+        """Rebuild a result from cached ``(ref, score)`` pairs (fresh objects)."""
+        return DiscoveryResult(
+            query=exclude,
+            candidates=[JoinCandidate(ref, score) for ref, score in cached],
+            timing=TimingBreakdown(),
+        )
+
+    def _embed_then_probe(
+        self, query: ColumnRef, request: SearchRequest
+    ) -> SearchResponse:
+        """The locked embed → probe pipeline of the single-search path.
 
         Embedding scans the warehouse, so it runs under the scan mutex;
         the index probe runs under the shared side of the RW lock.  The
         two sections are sequential, never nested, so a writer holding
-        write+scan cannot deadlock with a reader.
+        write+scan cannot deadlock with a reader.  The probe itself is a
+        one-entry :meth:`_probe_block_locked` block, so the query-cache
+        protocol has exactly one implementation across the single,
+        batch, and coalesced paths (and a lone miss takes the
+        single-query probe, not a full-arena GEMM).
         """
         with self._scan_lock:
             vector, timing = self.engine.embed_query(query)
         if not np.any(vector):
-            return DiscoveryResult(query=query, candidates=[], timing=timing)
-        with self._lock.read():
-            result = self.engine.search_vector(
-                vector, request.k, threshold=request.threshold, exclude=query
+            return SearchResponse.from_result(
+                DiscoveryResult(query=query, candidates=[], timing=timing)
             )
-        result.timing = timing + result.timing
-        return result
+        k, threshold = self._effective_params(request)
+        responses: list[SearchResponse | None] = [None]
+        with self._lock.read():
+            self._probe_block_locked(k, threshold, [(0, vector, query, timing)], responses)
+        return responses[0]  # type: ignore[return-value]
 
     def search(
         self,
@@ -298,9 +362,9 @@ class DiscoveryService:
         """
         request = self._coerce(request, k, threshold)
         with self._boundary():
-            result = self._embed_then_probe(self._resolve_ref(request.query), request)
+            response = self._embed_then_probe(self._resolve_ref(request.query), request)
         self._record_searches(1)
-        return SearchResponse.from_result(result)
+        return response
 
     def search_many(
         self, requests: list[SearchRequest | ColumnRef | str]
@@ -336,22 +400,162 @@ class DiscoveryService:
                         embedded[query] = self.engine.embed_query(query)
             groups: dict[tuple, list[int]] = {}
             for position, request in enumerate(coerced):
-                groups.setdefault((request.k, request.threshold), []).append(position)
+                groups.setdefault(self._effective_params(request), []).append(position)
             with self._lock.read():
                 for (k, threshold), positions in groups.items():
-                    vectors = [embedded[resolved[p]][0] for p in positions]
-                    results = self.engine.search_vectors(
-                        vectors,
-                        k,
-                        threshold=threshold,
-                        excludes=[resolved[p] for p in positions],
-                    )
-                    for position, result in zip(positions, results):
-                        embed_timing = embedded[resolved[position]][1]
-                        result.timing = embed_timing + result.timing
-                        responses[position] = SearchResponse.from_result(result)
+                    block = [
+                        (
+                            position,
+                            embedded[resolved[position]][0],
+                            resolved[position],
+                            embedded[resolved[position]][1],
+                        )
+                        for position in positions
+                    ]
+                    self._probe_block_locked(k, threshold, block, responses)
         self._record_searches(len(coerced))
         return responses  # type: ignore[return-value]
+
+    def _probe_block_locked(
+        self, k: int, threshold: float, block: list, responses: list
+    ) -> None:
+        """Probe one same-``(k, threshold)`` block, cache-first, batched.
+
+        ``block`` lists ``(position, vector, exclude, embed_timing)``;
+        the caller holds the shared read lock.  Cache hits resolve
+        without touching the index; misses probe together through the
+        engine's batched :meth:`~repro.core.warpgate.WarpGate.search_vectors`
+        and are stored under the generation read beneath this read lock
+        (mutations need the exclusive side, so it cannot move mid-block).
+        """
+        misses: list[tuple] = []
+        if self._qcache is not None:
+            generation = self.engine.index_generation
+            for position, vector, exclude, embed_timing in block:
+                key = QueryResultCache.key(vector, k, threshold, exclude, generation)
+                cached = self._qcache.get(key)
+                if cached is not None:
+                    result = self._result_from_cached(cached, exclude)
+                    result.timing = embed_timing + result.timing
+                    responses[position] = SearchResponse.from_result(result)
+                else:
+                    misses.append((position, vector, exclude, embed_timing, key))
+        else:
+            misses = [(*entry, None) for entry in block]
+        if not misses:
+            return
+        if len(misses) == 1:
+            # A lone miss takes the single-query probe (candidate gather,
+            # not a full-arena GEMM) — this is what makes the coalescer's
+            # fast path cost exactly what plain search() costs.
+            results = [
+                self.engine.search_vector(
+                    misses[0][1], k, threshold=threshold, exclude=misses[0][2]
+                )
+            ]
+        else:
+            results = self.engine.search_vectors(
+                [entry[1] for entry in misses],
+                k,
+                threshold=threshold,
+                excludes=[entry[2] for entry in misses],
+            )
+        for (position, _vector, _exclude, embed_timing, key), result in zip(
+            misses, results
+        ):
+            if key is not None:
+                self._qcache.put(
+                    key,
+                    [(candidate.ref, candidate.score) for candidate in result.candidates],
+                )
+            result.timing = embed_timing + result.timing
+            responses[position] = SearchResponse.from_result(result)
+
+    # -- coalesced serving path ----------------------------------------------------
+
+    def search_coalesced(
+        self,
+        request: SearchRequest | ColumnRef | str,
+        k: int | None = None,
+        *,
+        threshold: float | None = None,
+    ) -> SearchResponse:
+        """Top-k search through the request coalescer.
+
+        The serving engine's entry point (``POST /search`` routes here):
+        requests in flight at the same moment execute as one batched
+        index probe, while a lone request takes the coalescer's fast path
+        — so sparse traffic pays no added latency and results are always
+        identical to :meth:`search`.  With coalescing disabled in the
+        config this *is* :meth:`search`.
+        """
+        request = self._coerce(request, k, threshold)
+        if self._coalescer is None:
+            return self.search(request)
+        return self._coalescer.submit(request)  # type: ignore[return-value]
+
+    def _execute_coalesced(self, requests: list) -> list:
+        """Batch executor behind the coalescer: one outcome per request.
+
+        Unlike :meth:`search_many` (all-or-nothing by contract), coalesced
+        requests are independent strangers sharing a batch, so failures
+        are isolated: each position gets either a :class:`SearchResponse`
+        or the :class:`ServiceError` that request alone would have raised.
+        """
+        count = len(requests)
+        outcomes: list[object] = [None] * count
+        resolved: list[ColumnRef | None] = [None] * count
+        embedded: dict[ColumnRef, tuple] = {}
+        with self._scan_lock:
+            for position, request in enumerate(requests):
+                try:
+                    with self._boundary():
+                        query = self._resolve_ref(request.query)
+                        if query not in embedded:
+                            embedded[query] = self.engine.embed_query(query)
+                    resolved[position] = query
+                except ServiceError as error:
+                    outcomes[position] = error
+                except ReproError as error:
+                    outcomes[position] = ServiceError.bad_request(str(error))
+        groups: dict[tuple, list[int]] = {}
+        for position, request in enumerate(requests):
+            if outcomes[position] is None:
+                groups.setdefault(self._effective_params(request), []).append(position)
+        succeeded = 0
+        with self._lock.read():
+            for (k_eff, threshold_eff), positions in groups.items():
+                live: list[tuple] = []
+                for position in positions:
+                    query = resolved[position]
+                    vector, embed_timing = embedded[query]
+                    if not np.any(vector):
+                        outcomes[position] = SearchResponse.from_result(
+                            DiscoveryResult(
+                                query=query, candidates=[], timing=embed_timing
+                            )
+                        )
+                        succeeded += 1
+                    else:
+                        live.append((position, vector, query, embed_timing))
+                if not live:
+                    continue
+                try:
+                    with self._boundary():
+                        self._probe_block_locked(
+                            k_eff, threshold_eff, live, outcomes
+                        )
+                    succeeded += len(live)
+                except ServiceError as error:
+                    # The whole block failed the same way (e.g. the index
+                    # emptied out underneath the batch).
+                    for position, *_rest in live:
+                        outcomes[position] = error
+                except ReproError as error:
+                    for position, *_rest in live:
+                        outcomes[position] = ServiceError.bad_request(str(error))
+        self._record_searches(succeeded)
+        return outcomes
 
     # -- introspection -------------------------------------------------------------
 
@@ -365,6 +569,11 @@ class DiscoveryService:
         config = self.engine.config
         with self._counter_lock:
             searches, mutations = self._searches, self._mutations
+        caches = self.engine.embedding_cache_stats()
+        if self._qcache is not None:
+            caches["query_cache"] = self._qcache.stats()
+        if self._coalescer is not None:
+            caches["coalescer"] = self._coalescer.stats()
         return IndexStats(
             backend=config.search_backend,
             dim=config.dim,
@@ -374,7 +583,7 @@ class DiscoveryService:
             databases=databases,
             searches=searches,
             mutations=mutations,
-            caches=self.engine.embedding_cache_stats(),
+            caches=caches,
             shards=config.n_shards,
             quantized=config.quantize,
         )
@@ -388,3 +597,13 @@ class DiscoveryService:
     def is_indexed(self) -> bool:
         """True once the service holds a searchable index."""
         return self.engine.is_indexed
+
+    @property
+    def coalescer(self) -> QueryCoalescer | None:
+        """The request coalescer (``None`` when ``config.coalesce`` is off)."""
+        return self._coalescer
+
+    @property
+    def query_cache(self) -> QueryResultCache | None:
+        """The result cache (``None`` when ``config.query_cache_size`` is 0)."""
+        return self._qcache

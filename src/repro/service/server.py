@@ -1,15 +1,29 @@
 """JSON-over-HTTP serving layer: ``python -m repro serve``.
 
 A dependency-free (stdlib ``http.server``) front end for
-:class:`~repro.service.discovery.DiscoveryService`.  Threaded: each
-request runs on its own thread, and the service's RW lock keeps
-concurrent searches and index mutations safe.
+:class:`~repro.service.discovery.DiscoveryService`, built for sustained
+concurrent traffic rather than thread-per-request churn:
+
+* a **fixed worker pool** accepts connections from a bounded hand-off
+  queue — no thread is ever spawned per request, and load beyond the
+  pool waits in the listen backlog instead of fork-bombing the process;
+* connections are **persistent** (HTTP/1.1 keep-alive): a client issues
+  any number of requests over one socket, with an idle timeout so a
+  silent connection returns its worker to the pool;
+* ``POST /search`` routes through the service's request coalescer
+  (:meth:`DiscoveryService.search_coalesced`), so single-query requests
+  from concurrent connections execute as batched index probes;
+* ``shutdown()`` is **clean and complete**: the accept loop stops, every
+  worker is unblocked and joined, and in-flight sockets close — no
+  daemon-thread leaks across tests.  The server is a context manager
+  (``with make_server(...) as server:``) that starts serving on enter
+  and tears all of that down on exit.
 
 Routes
 ------
-``GET  /healthz``        liveness + indexed column count
+``GET  /healthz``        liveness; lock-free, never blocked by writers
 ``GET  /stats``          :class:`IndexStats` snapshot
-``POST /search``         one :class:`SearchRequest` body
+``POST /search``         one :class:`SearchRequest` body (coalesced)
 ``POST /search/batch``   ``{"requests": [...]}``, amortized
 ``POST /index/add``      ``{"database": ..., "table": {"name": ..., "columns": [...]}}``
 ``POST /index/drop``     ``{"database": ..., "table": ...}``
@@ -22,7 +36,10 @@ Failures return the :class:`ServiceError` envelope
 from __future__ import annotations
 
 import json
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import queue
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
 
 from repro.errors import ReproError
 from repro.service.discovery import DiscoveryService
@@ -30,7 +47,12 @@ from repro.service.types import SearchRequest, ServiceError
 from repro.storage.column import Column
 from repro.storage.table import Table
 
-__all__ = ["DiscoveryHTTPServer", "make_server", "serve"]
+__all__ = [
+    "DiscoveryHTTPServer",
+    "ThreadPerRequestHTTPServer",
+    "make_server",
+    "serve",
+]
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 # A batch embeds under the scan mutex and probes under the shared read
@@ -71,8 +93,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: "DiscoveryHTTPServer"
     protocol_version = "HTTP/1.1"
+    # Responses are written as separate header/body segments; with Nagle
+    # on, those interact with the client's delayed ACK into ~40ms stalls
+    # per keep-alive round trip.  Serving sockets are latency-bound, not
+    # throughput-bound, so TCP_NODELAY is the right default.
+    disable_nagle_algorithm = True
 
     # -- plumbing ---------------------------------------------------------------
+
+    def setup(self) -> None:
+        # Idle keep-alive connections time out so they hand their pool
+        # worker back instead of pinning it forever; handle_one_request
+        # treats the timeout as an orderly connection close.
+        self.timeout = self.server.keepalive_idle_s
+        super().setup()
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
@@ -160,6 +194,10 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(handler)
 
     def _route_healthz(self) -> tuple[int, dict[str, object]]:
+        # Deliberately lock-free: liveness probes must answer while a
+        # writer holds the service's exclusive lock (long mutations,
+        # compactions), so this reads only always-consistent scalars and
+        # never calls stats() or search paths.
         service = self.server.service
         return 200, {
             "status": "ok",
@@ -172,7 +210,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_search(self) -> tuple[int, dict[str, object]]:
         request = SearchRequest.from_dict(self._read_json())
-        response = self.server.service.search(request)
+        response = self.server.service.search_coalesced(request)
         return 200, response.to_dict()
 
     def _route_search_batch(self) -> tuple[int, dict[str, object]]:
@@ -215,13 +253,28 @@ class _Handler(BaseHTTPRequestHandler):
         return 200, stats.to_dict()
 
 
-class DiscoveryHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`DiscoveryService`."""
+class DiscoveryHTTPServer(HTTPServer):
+    """Worker-pool HTTP server bound to one :class:`DiscoveryService`.
 
-    daemon_threads = True
+    The accept loop (``serve_forever``, typically run by :meth:`start`)
+    hands accepted sockets to a fixed pool of ``workers`` threads; each
+    worker serves one persistent connection at a time (all of its
+    keep-alive requests) and then takes the next.  Size the pool to the
+    expected number of concurrent persistent connections — idle
+    connections release their worker after ``keepalive_idle_s``.
+
+    Lifecycle: ``start()`` → serve → ``shutdown()`` (joins the accept
+    thread and every worker, closes in-flight and queued connections)
+    → ``server_close()``.  Or simply::
+
+        with make_server(service, port=0) as server:
+            ...  # server is live here
+        # fully torn down: no threads, no sockets
+    """
+
     # The socketserver default backlog (5) drops connections under bursts
     # of concurrent clients; the service is built for exactly that load.
-    request_queue_size = 64
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -229,10 +282,209 @@ class DiscoveryHTTPServer(ThreadingHTTPServer):
         service: DiscoveryService,
         *,
         verbose: bool = False,
+        workers: int = 32,
+        keepalive_idle_s: float = 5.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+        self.keepalive_idle_s = keepalive_idle_s
+        # Bounded hand-off: once the pool and this buffer are saturated
+        # the accept loop stalls in process_request, new connections pile
+        # into the kernel listen backlog, and past that the kernel
+        # refuses them — overload backpressures clients instead of
+        # accumulating accepted-but-never-served sockets in memory.
+        self._connections: queue.Queue = queue.Queue(maxsize=2 * workers)
+        self._active_lock = threading.Lock()
+        self._active: set[socket.socket] = set()
+        self._closed = False
+        self._serving = threading.Event()
+        self._serve_thread: threading.Thread | None = None
+        # Workers spawn lazily on the first serve_forever() call — the
+        # constructor (and make_server) only *binds*, per its contract.
+        self._n_workers = workers
+        self._workers: list[threading.Thread] = []
+
+    # -- worker pool --------------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        """Spawn the fixed pool once serving actually begins (idempotent).
+
+        Threads are started while the lock is held, so any worker a
+        concurrent :meth:`shutdown` can observe in ``_workers`` is
+        already joinable.
+        """
+        with self._active_lock:
+            if self._workers or self._closed:
+                return
+            for index in range(self._n_workers):
+                worker = threading.Thread(
+                    target=self._worker, name=f"http-worker-{index}", daemon=True
+                )
+                worker.start()
+                self._workers.append(worker)
+
+    def process_request(self, request, client_address) -> None:
+        """Hand an accepted connection to the pool (called by serve_forever).
+
+        Blocks while the bounded hand-off is full (that *is* the
+        backpressure), but wakes every 500 ms so a concurrent shutdown
+        is never stalled behind a saturated pool.
+        """
+        while True:
+            try:
+                self._connections.put((request, client_address), timeout=0.5)
+                return
+            except queue.Full:
+                if self._closed:
+                    self.shutdown_request(request)
+                    return
+
+    def _worker(self) -> None:
+        while True:
+            item = self._connections.get()
+            if item is None:
+                return
+            request, client_address = item
+            with self._active_lock:
+                if self._closed:
+                    self.shutdown_request(request)
+                    continue
+                self._active.add(request)
+            try:
+                self.finish_request(request, client_address)
+            except Exception:  # noqa: BLE001 - connection-level failure
+                self.handle_error(request, client_address)
+            finally:
+                with self._active_lock:
+                    self._active.discard(request)
+                self.shutdown_request(request)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Accept loop; spawns the worker pool and is tracked so
+        :meth:`shutdown` knows whether to stop it.
+
+        The closed checks and the serving flag share one lock with
+        shutdown()'s close transition, so the two cannot interleave into
+        an unstoppable loop or a leaked pool: either shutdown closes
+        first (this call returns before serving; _ensure_workers refuses
+        to spawn once closed) or the spawned workers and the serving
+        flag are visible to shutdown, which joins the pool and stops the
+        loop — even one that has not reached the poll yet
+        (``BaseServer.serve_forever`` re-checks its stop request every
+        iteration).
+        """
+        self._ensure_workers()  # no-op once closed
+        with self._active_lock:
+            if self._closed:
+                return
+            self._serving.set()
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving.clear()
+
+    def start(self) -> "DiscoveryHTTPServer":
+        """Run the accept loop on a background thread (idempotent).
+
+        Waits until the loop is actually accepting before returning, so
+        an immediate :meth:`shutdown` (or request) cannot race the
+        thread's startup.
+        """
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name="http-accept", daemon=True
+            )
+            self._serve_thread.start()
+            self._serving.wait(timeout=10)
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, unblock and join every thread, close all sockets.
+
+        Safe to call more than once, and safe whether or not the accept
+        loop ever ran.  After it returns no server-owned thread is alive:
+        the handler/worker threads have exited (idle keep-alive reads are
+        unblocked by closing their sockets) and queued-but-unserved
+        connections are closed rather than leaked.
+        """
+        with self._active_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._serving.is_set():
+            # Stops serve_forever wherever it runs — a thread spawned by
+            # start() or one the caller started — and waits for it to exit.
+            super().shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+            self._serve_thread = None
+        # Unblock workers parked on idle keep-alive reads.  The accept
+        # loop is stopped and _closed is set, so _active can only shrink.
+        with self._active_lock:
+            active = list(self._active)
+        for connection in active:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        for _ in self._workers:
+            self._connections.put(None)
+        for worker in self._workers:
+            worker.join(timeout=10)
+        # Close connections accepted but never picked up by a worker.
+        # Drained stop sentinels are re-issued afterwards for any worker
+        # that outlived its join timeout (e.g. one mid-request), so a
+        # late finisher always finds a sentinel instead of blocking on
+        # an empty queue forever.
+        while True:
+            try:
+                item = self._connections.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                self.shutdown_request(item[0])
+        for worker in self._workers:
+            if worker.is_alive():
+                self._connections.put(None)
+
+    def __enter__(self) -> "DiscoveryHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+        self.server_close()
+
+
+class ThreadPerRequestHTTPServer(ThreadingHTTPServer):
+    """The pre-pool serving architecture, kept as the benchmark baseline.
+
+    One thread is spawned per accepted connection (``ThreadingHTTPServer``
+    semantics) and torn down with it — under per-request connections that
+    is literally a thread per request.  The ``serve`` stage of the perf
+    suite measures the worker-pool engine against this, so the comparison
+    stays honest as both evolve.  Not used by ``python -m repro serve``.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: DiscoveryService,
+        *,
+        verbose: bool = False,
+        keepalive_idle_s: float = 5.0,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self.keepalive_idle_s = keepalive_idle_s
 
 
 def make_server(
@@ -241,16 +493,28 @@ def make_server(
     port: int = 8080,
     *,
     verbose: bool = False,
+    workers: int = 32,
+    keepalive_idle_s: float = 5.0,
 ) -> DiscoveryHTTPServer:
     """Bind (but do not start) a server; ``port=0`` picks a free port."""
-    return DiscoveryHTTPServer((host, port), service, verbose=verbose)
+    return DiscoveryHTTPServer(
+        (host, port),
+        service,
+        verbose=verbose,
+        workers=workers,
+        keepalive_idle_s=keepalive_idle_s,
+    )
 
 
 def serve(
-    service: DiscoveryService, host: str = "127.0.0.1", port: int = 8080
+    service: DiscoveryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    workers: int = 32,
 ) -> None:
     """Serve forever (blocking); Ctrl-C shuts down cleanly."""
-    server = make_server(service, host, port, verbose=True)
+    server = make_server(service, host, port, verbose=True, workers=workers)
     bound_host, bound_port = server.server_address[:2]
     print(f"serving join discovery on http://{bound_host}:{bound_port}")
     try:
@@ -258,4 +522,5 @@ def serve(
     except KeyboardInterrupt:
         pass
     finally:
+        server.shutdown()
         server.server_close()

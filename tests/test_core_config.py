@@ -66,6 +66,24 @@ class TestWithers:
     def test_with_threshold(self):
         assert WarpGateConfig().with_threshold(0.5).threshold == 0.5
 
+    def test_with_serving(self):
+        config = WarpGateConfig().with_serving(
+            coalesce=False, coalesce_max_batch=8, query_cache_size=0
+        )
+        assert config.coalesce is False
+        assert config.coalesce_max_batch == 8
+        assert config.query_cache_size == 0
+        # Unnamed knobs keep their values.
+        assert config.coalesce_max_wait_us == WarpGateConfig().coalesce_max_wait_us
+
+    def test_serving_knobs_validated(self):
+        with pytest.raises(ValueError):
+            WarpGateConfig(coalesce_max_batch=0)
+        with pytest.raises(ValueError):
+            WarpGateConfig(coalesce_max_wait_us=-1)
+        with pytest.raises(ValueError):
+            WarpGateConfig(query_cache_size=-1)
+
     def test_withers_do_not_mutate_original(self):
         config = WarpGateConfig()
         config.with_threshold(0.1)

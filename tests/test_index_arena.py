@@ -262,3 +262,68 @@ class TestCanonicalValidation:
         index.add("a", unit(1))
         assert isinstance(index.arena, VectorArena)
         assert index.arena.matrix.dtype == np.float32
+
+
+class TestMutationGeneration:
+    """The monotonic content-mutation counter result caches key on."""
+
+    def test_every_mutation_path_moves_it(self):
+        arena = make_arena()
+        assert arena.mutation_generation == 0
+        arena.add("a", unit(1))
+        g1 = arena.mutation_generation
+        assert g1 > 0
+        arena.add_batch(["b", "c"], np.stack([unit(2), unit(3)]))
+        g2 = arena.mutation_generation
+        assert g2 > g1
+        arena.remove("b")
+        g3 = arena.mutation_generation
+        assert g3 > g2
+        arena.compact()
+        assert arena.mutation_generation > g3
+
+    def test_adopt_counts_as_a_mutation(self):
+        arena = make_arena()
+        matrix = np.stack([unit(1), unit(2)])
+        arena.adopt(["a", "b"], matrix)
+        assert arena.mutation_generation > 0
+
+    def test_columnar_index_exposes_it(self):
+        for index in (
+            ExactCosineIndex(DIM),
+            SimHashLSHIndex(DIM, n_bits=32, n_bands=8),
+            PivotFilterIndex(DIM),
+        ):
+            assert index.mutation_generation == 0
+            index.add("a", unit(1))
+            after_add = index.mutation_generation
+            assert after_add > 0
+            index.update("a", unit(2))  # remove + add: moves at least once
+            assert index.mutation_generation > after_add
+
+    def test_sharded_sum_is_monotonic_across_shards(self):
+        from repro.index.sharding import ShardedIndex
+
+        index = ShardedIndex(DIM, lambda: ExactCosineIndex(DIM), n_shards=3)
+        seen = [index.mutation_generation]
+        for key in range(12):
+            index.add(key, unit(key))
+            seen.append(index.mutation_generation)
+        for key in range(0, 12, 2):
+            index.remove(key)
+            seen.append(index.mutation_generation)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)  # strictly increasing
+
+    def test_compaction_threshold_churn_keeps_counting(self):
+        arena = make_arena()
+        keys = list(range(64))
+        arena.add_batch(keys, np.stack([unit(k) for k in keys]))
+        before = arena.mutation_generation
+        removed = 0
+        for key in range(0, 64, 2):
+            arena.remove(key)
+            removed += 1
+        # 32 removals out of 64 rows crossed the 25% dead threshold at
+        # least once, so compactions added their own bumps on top.
+        assert arena.mutation_generation > before + removed

@@ -307,12 +307,33 @@ class TestStats:
     def test_cache_effectiveness_exposed(self, service):
         caches = service.stats().caches
         # The encoder's serialization + value-vector caches are always
-        # reported; the registry models additionally carry a token cache.
-        assert {"value_tokens", "value_vectors", "token_cache"} <= set(caches)
-        for section in caches.values():
+        # reported; the registry models additionally carry a token cache,
+        # and the serving engine adds its query cache.
+        assert {
+            "value_tokens",
+            "value_vectors",
+            "token_cache",
+            "query_cache",
+        } <= set(caches)
+        for name, section in caches.items():
+            if name == "coalescer":
+                continue  # traffic counters, not a cache (checked below)
             assert {"size", "hits", "misses", "hit_rate"} <= set(section)
         # Indexing the 8-column corpus populated the value caches.
         assert caches["value_vectors"]["size"] > 0
+
+    def test_serving_engine_counters_exposed(self, service):
+        service.search_coalesced(company_ref(), 3)
+        service.search_coalesced(company_ref(), 3)
+        caches = service.stats().caches
+        coalescer = caches["coalescer"]
+        assert coalescer["requests"] == 2
+        assert coalescer["fastpath"] == 2  # sequential submits never batch
+        assert {"batches", "mean_batch", "batch_histogram"} <= set(coalescer)
+        query_cache = caches["query_cache"]
+        # The second identical probe is served from the result cache.
+        assert query_cache["hits"] >= 1
+        assert query_cache["size"] >= 1
 
 
 class TestConcurrency:

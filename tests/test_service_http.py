@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 
 import pytest
@@ -15,18 +16,16 @@ from repro.warehouse.connector import WarehouseConnector
 
 @pytest.fixture()
 def served(toy_warehouse):
-    """A DiscoveryService behind a live HTTP server on a free port."""
+    """A DiscoveryService behind a live HTTP server on a free port.
+
+    The server's context manager starts the accept loop on enter and
+    joins every worker/accept thread on exit — the tests below verify
+    that contract explicitly.
+    """
     service = DiscoveryService(WarpGateConfig(threshold=0.3))
     service.open(WarehouseConnector(toy_warehouse))
-    server = make_server(service, "127.0.0.1", 0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    try:
+    with make_server(service, "127.0.0.1", 0, workers=8) as server:
         yield service, server.server_address[1]
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=10)
 
 
 def request(port: int, method: str, path: str, body: dict | None = None):
@@ -210,6 +209,131 @@ class TestIndexMutationEndpoints:
         )
         assert status == 400
         assert payload["error"]["code"] == "bad_request"
+
+
+class TestServerLifecycle:
+    def make_service(self, toy_warehouse) -> DiscoveryService:
+        service = DiscoveryService(WarpGateConfig(threshold=0.3))
+        service.open(WarehouseConnector(toy_warehouse))
+        return service
+
+    def test_shutdown_joins_every_server_thread(self, toy_warehouse):
+        """No worker or accept thread survives the context manager."""
+        before = {thread.name for thread in threading.enumerate()}
+        service = self.make_service(toy_warehouse)
+        with make_server(service, "127.0.0.1", 0, workers=6) as server:
+            port = server.server_address[1]
+            live = {thread.name for thread in threading.enumerate()} - before
+            assert any(name.startswith("http-worker") for name in live)
+            assert "http-accept" in live
+            status, _payload = request(port, "GET", "/healthz")
+            assert status == 200
+        leaked = {
+            thread.name
+            for thread in threading.enumerate()
+            if thread.name.startswith(("http-worker", "http-accept"))
+        }
+        assert leaked == set(), f"server threads leaked: {leaked}"
+
+    def test_shutdown_is_idempotent_and_unserved_is_safe(self, toy_warehouse):
+        """shutdown() twice, and on a never-started server, is a no-op."""
+        service = self.make_service(toy_warehouse)
+        server = make_server(service, "127.0.0.1", 0)
+        server.shutdown()  # accept loop never ran
+        server.shutdown()
+        server.server_close()
+
+    def test_make_server_only_binds(self, toy_warehouse):
+        """No worker threads exist until serving actually starts."""
+        service = self.make_service(toy_warehouse)
+        server = make_server(service, "127.0.0.1", 0, workers=4)
+        try:
+            assert not any(
+                thread.name.startswith("http-worker")
+                for thread in threading.enumerate()
+            )
+            server.start()
+            workers = [
+                thread
+                for thread in threading.enumerate()
+                if thread.name.startswith("http-worker")
+            ]
+            assert len(workers) == 4
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_shutdown_unblocks_idle_keepalive_connection(self, toy_warehouse):
+        """A worker parked on an idle persistent connection exits promptly."""
+        service = self.make_service(toy_warehouse)
+        server = make_server(service, "127.0.0.1", 0, workers=2).start()
+        port = server.server_address[1]
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        connection.request("GET", "/healthz")
+        connection.getresponse().read()
+        # The connection now idles, pinning one worker in a blocking read.
+        server.shutdown()
+        server.server_close()
+        connection.close()
+        leaked = [
+            thread.name
+            for thread in threading.enumerate()
+            if thread.name.startswith(("http-worker", "http-accept"))
+        ]
+        assert leaked == []
+
+    def test_overload_handoff_is_bounded(self, toy_warehouse):
+        """The accept→pool hand-off is bounded, and a blocked hand-off
+        still yields to shutdown (closing the undeliverable connection)."""
+        service = self.make_service(toy_warehouse)
+        server = make_server(service, "127.0.0.1", 0, workers=2)
+        pairs = [socket.socketpair() for _ in range(5)]
+        try:
+            assert server._connections.maxsize == 4
+            # No workers are running (make_server only binds), so four
+            # hand-offs fill the queue...
+            for left, _right in pairs[:4]:
+                server.process_request(left, ("127.0.0.1", 0))
+            assert server._connections.full()
+            # ...and a fifth blocks — the backpressure — until shutdown
+            # releases it.
+            blocked = threading.Thread(
+                target=server.process_request,
+                args=(pairs[4][0], ("127.0.0.1", 0)),
+                daemon=True,
+            )
+            blocked.start()
+            blocked.join(timeout=0.2)
+            assert blocked.is_alive()  # genuinely blocked on the full queue
+            server.shutdown()
+            blocked.join(timeout=5)
+            assert not blocked.is_alive()
+        finally:
+            server.server_close()
+            for left, right in pairs:
+                left.close()
+                right.close()
+
+    def test_healthz_is_lock_free(self, served):
+        """Liveness answers while a writer holds the exclusive lock."""
+        service, port = served
+        service._lock.acquire_write()
+        try:
+            status, payload = request(port, "GET", "/healthz")
+        finally:
+            service._lock.release_write()
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_search_routes_through_the_coalescer(self, served):
+        """POST /search is served by the coalesced path, visible in /stats."""
+        _, port = served
+        request(port, "POST", "/search", {"query": "db.customers.company", "k": 3})
+        _, stats = request(port, "GET", "/stats")
+        coalescer = stats["caches"]["coalescer"]
+        assert coalescer["requests"] >= 1
+        assert "batch_histogram" in coalescer
+        assert stats["caches"]["query_cache"]["size"] >= 1
 
 
 class TestServeCommand:
