@@ -40,6 +40,7 @@ def test_stage_rows_record_warmup_runs():
         serve_sizes=(300,),
         serve_clients=2,
         serve_requests_per_client=8,
+        graph_sizes=(400,),
         repeats=1,
         embed_sizes=(200,),
         embed_repeats=1,
@@ -47,7 +48,7 @@ def test_stage_rows_record_warmup_runs():
         dim=32,
         batch_size=8,
     )
-    for stage in ("results", "embed", "shard", "quant", "artifact", "serve"):
+    for stage in ("results", "embed", "shard", "quant", "artifact", "serve", "graph"):
         for row in report[stage]:
             assert row["warmup_runs"] >= 1, (stage, row)
 
@@ -63,6 +64,7 @@ def test_serve_stage_reports_engine_throughput():
         serve_sizes=(2_000,),
         serve_clients=8,
         serve_requests_per_client=16,
+        graph_sizes=(),
         repeats=1,
         embed_sizes=(500,),
         embed_repeats=1,
@@ -86,7 +88,11 @@ def test_serve_stage_reports_engine_throughput():
 def test_batched_search_amortizes(tmp_path):
     """Even at smoke scale, batched search beats sequential single queries."""
     report = run_perf_suite(
-        profile="fast", sizes=(1_000, 2_000, 4_000), serve_sizes=(), repeats=2
+        profile="fast",
+        sizes=(1_000, 2_000, 4_000),
+        serve_sizes=(),
+        graph_sizes=(),
+        repeats=2,
     )
     largest = report["results"][-1]
     assert largest["batch_speedup"] > 1.0
@@ -102,6 +108,7 @@ def test_shard_stage_merges_exactly(tmp_path):
         quant_sizes=(1_000,),
         artifact_sizes=(500,),
         serve_sizes=(),
+        graph_sizes=(),
         repeats=1,
         embed_sizes=(500,),
         embed_repeats=1,
@@ -122,6 +129,7 @@ def test_quant_stage_recall_meets_bar(tmp_path):
         quant_sizes=(2_000,),
         artifact_sizes=(500,),
         serve_sizes=(),
+        graph_sizes=(),
         repeats=1,
         embed_sizes=(500,),
         embed_repeats=1,
@@ -141,6 +149,7 @@ def test_artifact_stage_mmap_load_wins(tmp_path):
         quant_sizes=(500,),
         artifact_sizes=(2_000,),
         serve_sizes=(),
+        graph_sizes=(),
         repeats=1,
         embed_sizes=(500,),
         embed_repeats=1,
@@ -162,6 +171,7 @@ def test_history_appends_one_line_per_run(tmp_path):
         serve_sizes=(300,),
         serve_clients=2,
         serve_requests_per_client=8,
+        graph_sizes=(400,),
         repeats=1,
         embed_sizes=(200,),
         embed_repeats=1,
@@ -181,6 +191,33 @@ def test_history_appends_one_line_per_run(tmp_path):
     assert isinstance(entry["quant_recall_at_k"], (int, float))
     assert isinstance(entry["serve_qps_engine"], (int, float))
     assert isinstance(entry["serve_coalesced_speedup"], (int, float))
+    assert isinstance(entry["graph_incremental_speedup"], (int, float))
+    assert isinstance(entry["graph_path_query_ms"], (int, float))
+
+
+def test_graph_stage_incremental_beats_full(tmp_path):
+    """One-table maintenance must beat a from-scratch rebuild at smoke scale."""
+    report = run_perf_suite(
+        profile="fast",
+        sizes=(500, 1_000, 2_000),
+        shard_sizes=(500,),
+        quant_sizes=(500,),
+        artifact_sizes=(500,),
+        serve_sizes=(),
+        graph_sizes=(2_000,),
+        repeats=1,
+        embed_sizes=(500,),
+        embed_repeats=1,
+        stage_repeats=1,
+    )
+    row = report["graph"][-1]
+    assert row["n_tables"] > 1
+    assert row["n_edges"] > 0
+    assert row["build_full_s"] > 0.0
+    # Rebuilding one 64-column table's neighborhood vs sweeping all ~31
+    # tables: generous smoke bound, the committed full profile holds >= 5x.
+    assert row["incremental_speedup"] >= 2.0
+    assert row["path_query_ms"] >= 0.0
 
 
 def test_batched_embedding_amortizes(tmp_path):
@@ -190,6 +227,7 @@ def test_batched_embedding_amortizes(tmp_path):
         sizes=(500, 1_000, 2_000),
         embed_sizes=(1_000,),
         serve_sizes=(),
+        graph_sizes=(),
         repeats=1,
         embed_repeats=1,
     )

@@ -16,10 +16,16 @@ Commands
 ``index`` / ``query``
     Build a persistent index artifact from a CSV directory, then query it
     later without re-scanning.
+``graph``
+    Build the join graph over a CSV directory, answer multi-hop path
+    queries (``--src``/``--dst``), or export it as DOT/JSON.
 ``bench``
     Run the index perf suite (build / single-query / batched-search
     timings per corpus size) and write the machine-readable
     ``BENCH_index.json`` report tracked across PRs.
+``bench-compare``
+    Diff the last two same-profile ``BENCH_history.jsonl`` entries and
+    fail when any headline metric regressed beyond the noise band.
 
 All commands route through the :class:`~repro.service.DiscoveryService`
 facade — the same code path applications are expected to use.
@@ -295,6 +301,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="HTTP serving engine (thread-per-request vs pool+coalesce+cache)",
         )
     )
+    graph_rows = [
+        [
+            row["n_columns"],
+            row["n_tables"],
+            row["n_edges"],
+            f"{row['build_full_s']:.2f}",
+            f"{row['incremental_update_s'] * 1e3:.1f}",
+            f"{row['incremental_speedup']:.0f}x",
+            f"{row['path_query_ms']:.2f}",
+        ]
+        for row in report["graph"]
+    ]
+    print(
+        render_table(
+            [
+                "columns",
+                "tables",
+                "edges",
+                "full build s",
+                "incr ms",
+                "speedup",
+                "path q ms",
+            ],
+            graph_rows,
+            title="Join graph (full rebuild vs incremental table update)",
+        )
+    )
     print(f"report written to {path}")
     from repro.eval.perf import BENCH_HISTORY_NAME
 
@@ -306,6 +339,89 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if history_target:
         history = append_history(report, history_target)
         print(f"history entry appended to {history}")
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    from repro.eval.report import render_table
+    from repro.graph.paths import format_table
+
+    warehouse = _warehouse_from_csv_dir(Path(args.directory))
+    service = DiscoveryService(_config_from_args(args))
+    report = service.open(WarehouseConnector(warehouse))
+    if args.action == "paths":
+        if not args.src or not args.dst:
+            print("error: 'graph paths' requires --src and --dst", file=sys.stderr)
+            return 2
+        paths = service.find_paths(
+            args.src,
+            args.dst,
+            max_hops=args.max_hops,
+            limit=args.limit,
+            combiner=args.combiner,
+        )
+        if not paths:
+            print(
+                f"no join path from {args.src} to {args.dst} "
+                f"within {args.max_hops} hops"
+            )
+            return 1
+        for path in paths:
+            print(f"{path.score:.4f}  {path.describe()}")
+        return 0
+    if args.action == "export":
+        text = service.export_graph(args.format)
+        if args.output:
+            Path(args.output).write_text(text, encoding="utf-8")
+            print(f"graph written to {args.output}")
+        else:
+            print(text, end="")
+        return 0
+    stats = service.graph_stats()
+    print(
+        f"indexed {report.columns_indexed} columns; join graph has "
+        f"{stats['tables']} tables and {stats['edges']} edges "
+        f"(edge threshold {stats['edge_threshold']})"
+    )
+    edges = service.join_graph.edges()[:10]
+    if edges:
+        rows = [
+            [
+                format_table(edge.left.table_key),
+                format_table(edge.right.table_key),
+                f"{edge.left.column}~{edge.right.column}",
+                f"{edge.cosine:.3f}",
+                "-" if edge.jaccard is None else f"{edge.jaccard:.3f}",
+                f"{edge.confidence:.3f}",
+            ]
+            for edge in edges
+        ]
+        print(
+            render_table(
+                ["left table", "right table", "columns", "cosine", "jaccard", "conf"],
+                rows,
+                title="Top join edges",
+            )
+        )
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.eval.compare import DEFAULT_TOLERANCE, compare_history, render_comparison
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    outcome = compare_history(
+        args.history, profile=args.profile or None, tolerance=tolerance
+    )
+    print(render_comparison(outcome))
+    regressions = outcome["regressions"]
+    if regressions:
+        print(
+            f"error: {len(regressions)} metric(s) regressed beyond the "
+            f"{tolerance:.0%} noise band: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -436,6 +552,38 @@ def build_parser() -> argparse.ArgumentParser:
     add_model_args(serve_cmd)
     serve_cmd.set_defaults(handler=cmd_serve)
 
+    graph = subparsers.add_parser(
+        "graph", help="build, query, or export the join graph of a CSV directory"
+    )
+    graph.add_argument("directory", help="directory containing *.csv files")
+    graph.add_argument(
+        "action",
+        nargs="?",
+        default="build",
+        choices=("build", "paths", "export"),
+        help="build: print graph stats; paths: rank --src to --dst; export: DOT/JSON",
+    )
+    graph.add_argument("--src", default="", help="source table as db.table")
+    graph.add_argument("--dst", default="", help="destination table as db.table")
+    graph.add_argument(
+        "--max-hops", type=int, default=3, help="maximum join-path length in edges"
+    )
+    graph.add_argument("--limit", type=int, default=5, help="paths returned per query")
+    graph.add_argument(
+        "--combiner",
+        default="product",
+        choices=("product", "min"),
+        help="how edge confidences combine into a path score",
+    )
+    graph.add_argument(
+        "--format", default="dot", choices=("dot", "json"), help="export format"
+    )
+    graph.add_argument(
+        "--output", default="", help="export target file (default: stdout)"
+    )
+    add_model_args(graph)
+    graph.set_defaults(handler=cmd_graph)
+
     demo = subparsers.add_parser("demo", help="run the Joey walkthrough")
     demo.add_argument("-k", type=int, default=4)
     demo.set_defaults(handler=cmd_demo)
@@ -479,6 +627,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--output, pass an empty string to skip",
     )
     bench.set_defaults(handler=cmd_bench)
+
+    compare = subparsers.add_parser(
+        "bench-compare",
+        help="diff the last two same-profile bench history entries; "
+        "exit 1 on regression",
+    )
+    compare.add_argument(
+        "--history", default="BENCH_history.jsonl", help="bench-trajectory file"
+    )
+    compare.add_argument(
+        "--profile",
+        default="",
+        choices=("", "fast", "full"),
+        help="profile whose entries to compare (default: the latest entry's)",
+    )
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="fractional noise band before a change counts as a regression",
+    )
+    compare.set_defaults(handler=cmd_bench_compare)
 
     return parser
 

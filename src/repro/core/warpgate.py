@@ -443,6 +443,20 @@ class WarpGate(JoinDiscoverySystem):
         """
         self._connector = connector
 
+    @property
+    def connector_or_none(self) -> WarehouseConnector | None:
+        """The attached connector, or None (unlike :attr:`connector`, no raise)."""
+        return self._connector
+
+    def bump_generation(self) -> None:
+        """Advance :attr:`index_generation` without changing index content.
+
+        For logical mutations that evict nothing physical — e.g. dropping
+        a table whose columns were all removed earlier — so generation-
+        keyed caches and the join graph still observe the change.
+        """
+        self._index.touch()
+
     # -- introspection ---------------------------------------------------------------------
 
     def embedding_cache_stats(self) -> dict[str, object]:

@@ -1,0 +1,179 @@
+"""Bench-trajectory regression gate: ``python -m repro bench-compare``.
+
+``BENCH_history.jsonl`` records one headline entry per committed bench
+run.  This module diffs the two most recent entries *of the same
+profile* (a fast CI smoke entry must never be compared against a
+committed full-profile baseline — the corpus sizes differ by an order
+of magnitude) and flags any metric that moved beyond a noise band in
+its bad direction.
+
+The band is deliberately wide (35% by default): these benches run on
+shared CI hardware, and the gate exists to catch silent collapses —
+the ``artifact_load_speedup`` 12.4x → 9.0x drift that motivated it
+sits inside the band, a 12.4x → 4x cliff does not.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "HIGHER_IS_BETTER",
+    "LOWER_IS_BETTER",
+    "compare_entries",
+    "compare_history",
+    "load_history",
+    "render_comparison",
+]
+
+DEFAULT_TOLERANCE = 0.35
+
+#: Headline metrics where a *drop* is a regression.
+HIGHER_IS_BETTER = (
+    "batch_speedup",
+    "embed_speedup",
+    "shard_speedup",
+    "quant_recall_at_k",
+    "quant_speedup",
+    "artifact_load_speedup",
+    "serve_qps_engine",
+    "serve_coalesced_speedup",
+    "serve_cache_hit_rate",
+    "graph_incremental_speedup",
+)
+
+#: Headline metrics where a *rise* is a regression.
+LOWER_IS_BETTER = (
+    "batch_per_query_ms",
+    "graph_path_query_ms",
+)
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """Parse every entry of a ``BENCH_history.jsonl`` file, oldest first."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no bench history at {path}")
+    entries = []
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"{path}:{number}: invalid JSON: {error}") from error
+        if not isinstance(entry, dict):
+            raise ReproError(f"{path}:{number}: entry must be a JSON object")
+        entries.append(entry)
+    return entries
+
+
+def _metric_pairs(previous: dict, current: dict):
+    """Yield ``(metric, prev, curr, direction)`` for comparable metrics.
+
+    A metric missing or null on either side is skipped — older entries
+    predate newer stages, and a gate must not punish history growth.
+    """
+    for direction, metrics in (("higher", HIGHER_IS_BETTER), ("lower", LOWER_IS_BETTER)):
+        for metric in metrics:
+            before, after = previous.get(metric), current.get(metric)
+            if isinstance(before, (int, float)) and isinstance(after, (int, float)):
+                yield metric, float(before), float(after), direction
+
+
+def compare_entries(
+    previous: dict, current: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[dict]:
+    """Per-metric comparison rows between two history entries.
+
+    Each row carries ``{metric, previous, current, ratio, direction,
+    regressed}``; ``ratio`` is current/previous.  A higher-is-better
+    metric regresses when it fell below ``previous * (1 - tolerance)``;
+    a lower-is-better one when it rose above ``previous * (1 + tolerance)``.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ReproError(f"tolerance must be in [0, 1), got {tolerance}")
+    rows = []
+    for metric, before, after, direction in _metric_pairs(previous, current):
+        ratio = after / before if before else float("inf")
+        if direction == "higher":
+            regressed = after < before * (1.0 - tolerance)
+        else:
+            regressed = after > before * (1.0 + tolerance)
+        rows.append(
+            {
+                "metric": metric,
+                "previous": before,
+                "current": after,
+                "ratio": ratio,
+                "direction": direction,
+                "regressed": regressed,
+            }
+        )
+    return rows
+
+
+def compare_history(
+    path: str | Path,
+    *,
+    profile: str | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict:
+    """Compare the two newest same-profile entries of a history file.
+
+    ``profile`` defaults to the newest entry's, so the gate always
+    checks the trajectory the latest run belongs to.
+    """
+    entries = load_history(path)
+    if not entries:
+        raise ReproError(f"bench history {path} is empty")
+    if profile is None:
+        profile = entries[-1].get("profile")
+    matching = [entry for entry in entries if entry.get("profile") == profile]
+    if len(matching) < 2:
+        raise ReproError(
+            f"need at least two {profile!r}-profile entries in {path} to "
+            f"compare, found {len(matching)}"
+        )
+    previous, current = matching[-2], matching[-1]
+    rows = compare_entries(previous, current, tolerance=tolerance)
+    return {
+        "profile": profile,
+        "tolerance": tolerance,
+        "previous": previous,
+        "current": current,
+        "rows": rows,
+        "regressions": [row["metric"] for row in rows if row["regressed"]],
+    }
+
+
+def render_comparison(outcome: dict) -> str:
+    """Human-readable table for one :func:`compare_history` outcome."""
+    from repro.eval.report import render_table
+
+    rows = [
+        [
+            row["metric"],
+            f"{row['previous']:.3f}",
+            f"{row['current']:.3f}",
+            f"{row['ratio']:.2f}x",
+            "REGRESSED" if row["regressed"] else "ok",
+        ]
+        for row in outcome["rows"]
+    ]
+    previous_sha = str(outcome["previous"].get("git_sha", "?"))[:12]
+    current_sha = str(outcome["current"].get("git_sha", "?"))[:12]
+    return render_table(
+        ["metric", "previous", "current", "ratio", "status"],
+        rows,
+        title=(
+            f"Bench trajectory ({outcome['profile']} profile, "
+            f"{previous_sha} -> {current_sha}, "
+            f"band {outcome['tolerance']:.0%})"
+        ),
+    )

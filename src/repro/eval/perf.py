@@ -84,7 +84,7 @@ __all__ = [
 
 BENCH_REPORT_NAME = "BENCH_index.json"
 BENCH_HISTORY_NAME = "BENCH_history.jsonl"
-_SCHEMA_VERSION = 4
+_SCHEMA_VERSION = 5
 
 #: Named suite profiles: corpus sizes and repeat counts.  ``full`` is the
 #: committed baseline; ``fast`` keeps the CI smoke job in single-digit
@@ -106,6 +106,7 @@ PROFILES: dict[str, dict] = {
         "serve_sizes": (10_000,),
         "serve_clients": 16,
         "serve_requests_per_client": 64,
+        "graph_sizes": (10_000,),
     },
     "fast": {
         "sizes": (500, 1_000, 2_000),
@@ -119,6 +120,7 @@ PROFILES: dict[str, dict] = {
         "serve_sizes": (2_000,),
         "serve_clients": 8,
         "serve_requests_per_client": 16,
+        "graph_sizes": (2_000,),
     },
 }
 
@@ -214,6 +216,19 @@ _SERVE_FIELDS = (
     "single_latency_ratio",
     "cache_hit_rate",
     "mean_batch",
+    "warmup_runs",
+)
+
+# Fields every graph-stage row must carry: full join-graph rebuild vs the
+# incremental one-table update path, plus multi-hop path-query latency.
+_GRAPH_FIELDS = (
+    "n_columns",
+    "n_tables",
+    "n_edges",
+    "build_full_s",
+    "incremental_update_s",
+    "incremental_speedup",
+    "path_query_ms",
     "warmup_runs",
 )
 
@@ -641,6 +656,82 @@ def _bench_artifact_one_size(n: int, *, dim: int, repeats: int) -> dict:
     }
 
 
+def _bench_graph_one_size(
+    n: int, *, dim: int, edge_threshold: float, repeats: int
+) -> dict:
+    """Join-graph stage: full rebuild vs one-table incremental update.
+
+    The corpus is grouped into 64-column tables (the bench ref
+    convention).  The full arm invalidates everything and re-sweeps all
+    tables; the incremental arm invalidates exactly one pre-added table
+    of jittered near-duplicate columns, so each timed run pays one
+    batched sweep plus edge surgery — the cost ``add_table`` churn
+    actually incurs in serving.  ``path_query_ms`` is the mean
+    ``find_paths`` latency over table pairs known to be connected.
+    """
+    from repro.core.config import WarpGateConfig
+    from repro.core.warpgate import WarpGate
+    from repro.graph.joingraph import JoinGraph
+    from repro.storage.schema import ColumnRef
+
+    corpus, _queries = _corpus_and_queries(n, dim, 1)
+    refs = [ColumnRef("bench", f"table_{i // 64}", f"col_{i % 64}") for i in range(n)]
+    system = WarpGate(WarpGateConfig(model_name="hashing", dim=dim))
+    system._index.bulk_load(refs, corpus)
+    system._indexed = True
+    graph = JoinGraph(system, edge_threshold=edge_threshold)
+
+    def full_rebuild() -> None:
+        graph.invalidate_all()
+        graph.ensure_current()
+
+    build_full_s = _timed_median(repeats, full_rebuild)
+    n_tables = len(graph.tables())
+    n_edges = len(graph.edges())
+
+    pairs = [edge.tables for edge in graph.edges()[:32]]
+
+    def run_paths() -> None:
+        for src, dst in pairs:
+            graph.find_paths(src, dst, max_hops=3, limit=5)
+
+    path_query_ms = (
+        _timed_median(repeats, run_paths) * 1e3 / len(pairs) if pairs else 0.0
+    )
+
+    # One extra table of jittered copies of existing rows joins the
+    # corpus once (untimed); every timed run then re-syncs exactly it.
+    rng = np.random.default_rng(1729)
+    extra = corpus[rng.integers(0, n, size=64)] + 0.05 * rng.normal(
+        size=(64, dim)
+    ).astype(np.float32)
+    extra = (extra / np.linalg.norm(extra, axis=1, keepdims=True)).astype(np.float32)
+    extra_refs = [
+        ColumnRef("bench", "table_incremental", f"col_{i}") for i in range(64)
+    ]
+    for ref, vector in zip(extra_refs, extra):
+        system._index.add(ref, vector)
+    graph.ensure_current()  # absorb the new table before timing starts
+
+    def incremental_update() -> None:
+        graph.invalidate_table(("bench", "table_incremental"))
+        graph.ensure_current()
+
+    incremental_update_s = _timed_median(repeats, incremental_update)
+    return {
+        "n_columns": n,
+        "n_tables": n_tables,
+        "n_edges": n_edges,
+        "build_full_s": round(build_full_s, 4),
+        "incremental_update_s": round(incremental_update_s, 6),
+        "incremental_speedup": round(
+            build_full_s / max(incremental_update_s, 1e-9), 1
+        ),
+        "path_query_ms": round(path_query_ms, 4),
+        "warmup_runs": _WARMUP_RUNS,
+    }
+
+
 def _serve_service(
     refs: list,
     corpus: np.ndarray,
@@ -922,6 +1013,8 @@ def run_perf_suite(
     serve_sizes: tuple[int, ...] | None = None,
     serve_clients: int | None = None,
     serve_requests_per_client: int | None = None,
+    graph_sizes: tuple[int, ...] | None = None,
+    graph_edge_threshold: float = 0.7,
     progress=None,
 ) -> dict:
     """Time index search paths and embedding throughput per corpus size.
@@ -933,7 +1026,9 @@ def run_perf_suite(
     int8+re-rank, with recall@k), ``artifact`` rows ``_ARTIFACT_FIELDS``
     (format-2 vs format-3 cold loads), and ``serve`` rows
     ``_SERVE_FIELDS`` (concurrent HTTP clients against the live serving
-    engine vs the thread-per-request baseline).  Pass ``progress`` (a
+    engine vs the thread-per-request baseline), and ``graph`` rows
+    ``_GRAPH_FIELDS`` (full join-graph rebuild vs incremental one-table
+    update, plus multi-hop path-query latency).  Pass ``progress`` (a
     callable taking one string) for per-size console feedback.
     """
     if profile not in PROFILES:
@@ -971,6 +1066,9 @@ def run_perf_suite(
         serve_requests_per_client
         if serve_requests_per_client is not None
         else spec.get("serve_requests_per_client", 64)
+    )
+    graph_sizes = (
+        tuple(graph_sizes) if graph_sizes is not None else spec["graph_sizes"]
     )
     results = []
     for n in sizes:
@@ -1056,6 +1154,18 @@ def run_perf_suite(
                 requests_per_client=serve_requests_per_client,
             )
         )
+    graph_results = []
+    for n in graph_sizes:
+        if progress is not None:
+            progress(f"benchmarking join graph at {n} columns ...")
+        graph_results.append(
+            _bench_graph_one_size(
+                n,
+                dim=dim,
+                edge_threshold=graph_edge_threshold,
+                repeats=stage_repeats,
+            )
+        )
     return {
         "schema_version": _SCHEMA_VERSION,
         "suite": "index-perf",
@@ -1084,6 +1194,10 @@ def run_perf_suite(
                 "threshold": 0.5,
                 "query_pool": 256,
             },
+            "graph": {
+                "edge_threshold": graph_edge_threshold,
+                "columns_per_table": 64,
+            },
         },
         "environment": {
             "python": platform.python_version(),
@@ -1097,6 +1211,7 @@ def run_perf_suite(
         "quant": quant_results,
         "artifact": artifact_results,
         "serve": serve_results,
+        "graph": graph_results,
     }
 
 
@@ -1142,6 +1257,7 @@ def validate_report(payload: dict) -> list[str]:
         ("quant", _QUANT_FIELDS),
         ("artifact", _ARTIFACT_FIELDS),
         ("serve", _SERVE_FIELDS),
+        ("graph", _GRAPH_FIELDS),
     ):
         rows = payload.get(stage)
         if not isinstance(rows, list) or not rows:
@@ -1197,6 +1313,7 @@ def append_history(report: dict, path: str | Path) -> Path:
     artifact = report["artifact"][-1] if report.get("artifact") else {}
     embed = report["embed"][-1] if report.get("embed") else {}
     serve = report["serve"][-1] if report.get("serve") else {}
+    graph = report["graph"][-1] if report.get("graph") else {}
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_sha": _git_sha(path.resolve()),
@@ -1214,6 +1331,9 @@ def append_history(report: dict, path: str | Path) -> Path:
         "serve_qps_engine": serve.get("qps_engine"),
         "serve_coalesced_speedup": serve.get("coalesced_speedup"),
         "serve_cache_hit_rate": serve.get("cache_hit_rate"),
+        "graph_edges": graph.get("n_edges"),
+        "graph_incremental_speedup": graph.get("incremental_speedup"),
+        "graph_path_query_ms": graph.get("path_query_ms"),
     }
     with path.open("a", encoding="utf-8") as handle:
         handle.write(json.dumps(entry) + "\n")

@@ -1,0 +1,34 @@
+"""Join-path graph engine: multi-hop discovery over the indexed corpus.
+
+Nodes are indexed tables; edges are high-confidence joinable column
+pairs materialized through the batched ``search_vectors`` kernel and
+maintained incrementally against ``WarpGate.index_generation``.
+"""
+
+from repro.graph.export import EXPORT_FORMATS, export_graph, to_dot, to_json
+from repro.graph.joingraph import JoinGraph, bulk_graph
+from repro.graph.paths import (
+    COMBINERS,
+    JoinEdge,
+    JoinPath,
+    enumerate_paths,
+    format_table,
+    parse_table,
+    reachable_tables,
+)
+
+__all__ = [
+    "COMBINERS",
+    "EXPORT_FORMATS",
+    "JoinEdge",
+    "JoinGraph",
+    "JoinPath",
+    "bulk_graph",
+    "enumerate_paths",
+    "export_graph",
+    "format_table",
+    "parse_table",
+    "reachable_tables",
+    "to_dot",
+    "to_json",
+]

@@ -1,0 +1,47 @@
+"""Serialize a :class:`JoinGraph` to Graphviz DOT or plain JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.graph.paths import format_table
+
+if TYPE_CHECKING:
+    from repro.graph.joingraph import JoinGraph
+
+EXPORT_FORMATS = ("dot", "json")
+
+
+def to_dot(graph: "JoinGraph") -> str:
+    """An undirected Graphviz rendering; edge labels carry confidence."""
+    lines = ["graph joingraph {", "  node [shape=box];"]
+    for table in graph.tables():
+        lines.append(f'  "{format_table(table)}";')
+    for edge in graph.edges():
+        left, right = edge.tables
+        label = f"{edge.left.column}~{edge.right.column} {edge.confidence:.3f}"
+        lines.append(
+            f'  "{format_table(left)}" -- "{format_table(right)}" [label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(graph: "JoinGraph") -> str:
+    """A stable JSON document: nodes, edges, and graph counters."""
+    payload = {
+        "nodes": [format_table(table) for table in graph.tables()],
+        "edges": [edge.to_dict() for edge in graph.edges()],
+        "stats": graph.stats(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def export_graph(graph: "JoinGraph", fmt: str = "dot") -> str:
+    """Dispatch on ``fmt`` (one of :data:`EXPORT_FORMATS`)."""
+    if fmt == "dot":
+        return to_dot(graph)
+    if fmt == "json":
+        return to_json(graph)
+    raise ValueError(f"unknown export format {fmt!r} (expected one of: dot, json)")

@@ -1,0 +1,322 @@
+"""The join graph: tables as nodes, joinable column pairs as edges.
+
+Edges are materialized from the engine's batched ``search_vectors``
+path — one GEMM sweep per table, not a Python loop per column — and
+maintained lazily: mutations mark table neighborhoods dirty, and
+``ensure_current`` rebuilds exactly the touched tables by diffing the
+indexed membership against the last synced snapshot, keyed off
+``WarpGate.index_generation``.
+
+Exactness contract: the edge set after any sequence of incremental
+rebuilds is *identical* to a from-scratch rebuild.  Two properties make
+that hold:
+
+* sweeps are truncation-free — every sweep asks for ``indexed_count``
+  neighbors at a slightly sub-threshold floor, so no qualifying pair is
+  ever cut by ``k`` or lost to float asymmetry in the sweep direction;
+* the score stored on an edge is recomputed canonically (left operand
+  = lexically smaller ref), so the same pair gets the same bits no
+  matter which table's sweep discovered it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.graph.paths import (
+    JoinEdge,
+    JoinPath,
+    TableKey,
+    enumerate_paths,
+    format_table,
+    parse_table,
+    reachable_tables,
+)
+from repro.index.minhash import MinHashSignature
+from repro.storage.schema import ColumnRef
+
+if TYPE_CHECKING:
+    from repro.core.warpgate import WarpGate
+
+#: Sweep floor sits this far below the edge threshold; membership is then
+#: re-decided on the canonical recomputed cosine, so pairs sitting within
+#: one float32 ulp of the threshold are classified identically regardless
+#: of sweep direction.
+_SWEEP_SLACK = 1e-4
+
+PairKey = tuple[ColumnRef, ColumnRef]
+
+
+def _pair_key(a: ColumnRef, b: ColumnRef) -> PairKey:
+    return (a, b) if str(a) <= str(b) else (b, a)
+
+
+class JoinGraph:
+    """Lazily-maintained graph of joinable tables over a WarpGate engine.
+
+    Not thread-safe by itself: callers serialize query-side access (the
+    service wraps it in a dedicated lock).  The one exception is
+    :meth:`invalidate_table`, which only touches a private dirty set
+    under its own mutex so mutators can call it while holding write
+    locks that graph queries also sit behind.
+    """
+
+    def __init__(
+        self,
+        engine: "WarpGate",
+        *,
+        edge_threshold: float = 0.7,
+        semantic_weight: float = 0.6,
+        minhash_perm: int = 128,
+    ) -> None:
+        if not 0.0 <= semantic_weight <= 1.0:
+            raise ValueError("semantic_weight must be within [0, 1]")
+        self.engine = engine
+        self.edge_threshold = float(edge_threshold)
+        self.semantic_weight = float(semantic_weight)
+        self.minhash_perm = int(minhash_perm)
+        self._tables: dict[TableKey, frozenset[ColumnRef]] = {}
+        self._edges: dict[PairKey, JoinEdge] = {}
+        self._incident: dict[TableKey, set[PairKey]] = {}
+        self._signatures: dict[ColumnRef, MinHashSignature] = {}
+        self._adjacency_cache: dict[TableKey, dict[TableKey, JoinEdge]] | None = None
+        self._synced_generation: int | None = None
+        self._rebuilds = 0
+        self._dirty: set[TableKey] = set()
+        self._dirty_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Invalidation
+
+    def invalidate_table(self, table_key: TableKey) -> None:
+        """Mark one table's neighborhood stale (cheap; safe under any lock)."""
+        with self._dirty_lock:
+            self._dirty.add(tuple(table_key))
+
+    def invalidate_all(self) -> None:
+        """Force the next sync to rebuild the graph from scratch."""
+        with self._dirty_lock:
+            self._dirty.clear()
+        self._tables = {}
+        self._edges = {}
+        self._incident = {}
+        self._signatures = {}
+        self._adjacency_cache = None
+        self._synced_generation = None
+
+    # ------------------------------------------------------------------
+    # Synchronization
+
+    def ensure_current(self) -> bool:
+        """Bring the graph up to date with the engine; True if work was done.
+
+        Stale tables are the union of explicitly invalidated ones and
+        those whose indexed-column membership changed since the last
+        sync.  If the engine generation moved with no such table (an
+        in-place change the membership diff cannot localize), the whole
+        graph is rebuilt — always correct, never silently stale.
+        """
+        generation = self.engine.index_generation
+        with self._dirty_lock:
+            dirty = set(self._dirty)
+            self._dirty.clear()
+        if generation == self._synced_generation and not dirty:
+            return False
+        current = self._current_membership()
+        stale = {key for key in dirty if key in current or key in self._tables}
+        stale |= {key for key, refs in self._tables.items() if current.get(key) != refs}
+        stale |= {key for key in current if key not in self._tables}
+        if self._synced_generation is not None and generation != self._synced_generation:
+            if not stale:
+                stale = set(current) | set(self._tables)
+        if stale or current.keys() != self._tables.keys():
+            self._adjacency_cache = None
+        try:
+            for key in stale:
+                self._drop_table_state(key)
+            self._tables = current
+            for key in sorted(stale):
+                refs = current.get(key)
+                if refs:
+                    self._sweep_table(key, refs)
+                    self._rebuilds += 1
+        except Exception:
+            # Partial rebuild: make sure the next sync redoes the work.
+            with self._dirty_lock:
+                self._dirty |= stale
+            raise
+        self._synced_generation = generation
+        return True
+
+    def _current_membership(self) -> dict[TableKey, frozenset[ColumnRef]]:
+        grouped: dict[TableKey, set[ColumnRef]] = {}
+        for ref in self.engine.indexed_refs:
+            grouped.setdefault(ref.table_key, set()).add(ref)
+        return {key: frozenset(refs) for key, refs in grouped.items()}
+
+    def _drop_table_state(self, key: TableKey) -> None:
+        for pair in self._incident.pop(key, set()):
+            self._edges.pop(pair, None)
+            other = pair[0].table_key if pair[0].table_key != key else pair[1].table_key
+            bucket = self._incident.get(other)
+            if bucket is not None:
+                bucket.discard(pair)
+                if not bucket:
+                    del self._incident[other]
+        for ref in [ref for ref in self._signatures if ref.table_key == key]:
+            del self._signatures[ref]
+
+    def _sweep_table(self, key: TableKey, refs: frozenset[ColumnRef]) -> None:
+        """One batched GEMM over the whole index for all of a table's columns."""
+        ordered = sorted(refs, key=str)
+        k = self.engine.indexed_count
+        if k <= len(ordered):  # nothing outside this table to join with
+            return
+        vectors = [self.engine.vector_of(ref) for ref in ordered]
+        floor = max(-1.0, self.edge_threshold - _SWEEP_SLACK)
+        results = self.engine.search_vectors(vectors, k, threshold=floor, excludes=ordered)
+        for ref, result in zip(ordered, results):
+            for candidate in result.candidates:
+                self._consider_edge(ref, candidate.ref)
+
+    def _consider_edge(self, a: ColumnRef, b: ColumnRef) -> None:
+        pair = _pair_key(a, b)
+        cosine = float(self.engine.similarity(pair[0], pair[1]))
+        if cosine < self.edge_threshold:
+            return
+        jaccard = self._jaccard_of(pair[0], pair[1])
+        if jaccard is None:
+            confidence = cosine
+        else:
+            confidence = self.semantic_weight * cosine + (1.0 - self.semantic_weight) * jaccard
+        self._edges[pair] = JoinEdge(pair[0], pair[1], cosine, jaccard, confidence)
+        self._incident.setdefault(pair[0].table_key, set()).add(pair)
+        self._incident.setdefault(pair[1].table_key, set()).add(pair)
+
+    def _jaccard_of(self, left: ColumnRef, right: ColumnRef) -> float | None:
+        """MinHash Jaccard estimate over scanned values; None without a connector."""
+        left_sig = self._signature_of(left)
+        right_sig = self._signature_of(right)
+        if left_sig is None or right_sig is None:
+            return None
+        if left_sig.is_empty or right_sig.is_empty:
+            return 0.0
+        return float(left_sig.jaccard_estimate(right_sig))
+
+    def _signature_of(self, ref: ColumnRef) -> MinHashSignature | None:
+        connector = self.engine.connector_or_none
+        if connector is None:
+            return None
+        cached = self._signatures.get(ref)
+        if cached is None:
+            column, _receipt = connector.scan_column(ref)
+            items = [value for value in column if value is not None]
+            cached = MinHashSignature.of(items, n_perm=self.minhash_perm)
+            self._signatures[ref] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Queries (each syncs first)
+
+    def tables(self) -> list[TableKey]:
+        self.ensure_current()
+        return sorted(self._tables)
+
+    def edges(self) -> list[JoinEdge]:
+        self.ensure_current()
+        return sorted(
+            self._edges.values(),
+            key=lambda edge: (-edge.confidence, str(edge.left), str(edge.right)),
+        )
+
+    def neighbors(self, table: TableKey | str) -> list[tuple[TableKey, JoinEdge]]:
+        """Adjacent tables with the best edge to each, ranked by confidence."""
+        self.ensure_current()
+        key = self._node(table)
+        best = self._best_edges_from(key)
+        return sorted(
+            best.items(), key=lambda item: (-item[1].confidence, format_table(item[0]))
+        )
+
+    def find_paths(
+        self,
+        src: TableKey | str,
+        dst: TableKey | str,
+        *,
+        max_hops: int = 3,
+        limit: int | None = 5,
+        combiner: str = "product",
+    ) -> list[JoinPath]:
+        self.ensure_current()
+        src_key, dst_key = self._node(src), self._node(dst)
+        return enumerate_paths(
+            self._adjacency(),
+            src_key,
+            dst_key,
+            max_hops=max_hops,
+            limit=limit,
+            combiner=combiner,
+        )
+
+    def reachable(self, src: TableKey | str, *, max_hops: int = 3) -> dict[TableKey, int]:
+        self.ensure_current()
+        return reachable_tables(self._adjacency(), self._node(src), max_hops=max_hops)
+
+    def stats(self) -> dict:
+        """Counters snapshot; deliberately does *not* force a sync."""
+        with self._dirty_lock:
+            pending = len(self._dirty)
+        return {
+            "tables": len(self._tables),
+            "edges": len(self._edges),
+            "edge_threshold": self.edge_threshold,
+            "semantic_weight": self.semantic_weight,
+            "synced_generation": self._synced_generation,
+            "pending_invalidations": pending,
+            "table_rebuilds": self._rebuilds,
+            "signatures_cached": len(self._signatures),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _node(self, table: TableKey | str) -> TableKey:
+        key = parse_table(table) if isinstance(table, str) else tuple(table)
+        if key not in self._tables:
+            from repro.errors import TableNotFoundError
+
+            raise TableNotFoundError(key[1], key[0] or None)
+        return key
+
+    def _best_edges_from(self, key: TableKey) -> dict[TableKey, JoinEdge]:
+        best: dict[TableKey, JoinEdge] = {}
+        for pair in self._incident.get(key, ()):
+            edge = self._edges[pair]
+            other = edge.other_table(key)
+            kept = best.get(other)
+            if (
+                kept is None
+                or edge.confidence > kept.confidence
+                or (
+                    edge.confidence == kept.confidence
+                    and (str(edge.left), str(edge.right)) < (str(kept.left), str(kept.right))
+                )
+            ):
+                best[other] = edge
+        return best
+
+    def _adjacency(self) -> dict[TableKey, dict[TableKey, JoinEdge]]:
+        """Best-edge-per-table-pair view; cached until the edge set changes."""
+        if self._adjacency_cache is None:
+            self._adjacency_cache = {
+                key: self._best_edges_from(key) for key in self._tables
+            }
+        return self._adjacency_cache
+
+
+def bulk_graph(engine: "WarpGate", **kwargs) -> JoinGraph:
+    """Convenience: a fresh, fully-built graph over an already-indexed engine."""
+    graph = JoinGraph(engine, **kwargs)
+    graph.ensure_current()
+    return graph

@@ -1,0 +1,199 @@
+"""Join-path primitives: edges, paths, and bounded path enumeration.
+
+A :class:`JoinEdge` records one high-confidence joinable column pair
+between two distinct tables; a :class:`JoinPath` is a chain of such
+edges scored by a pluggable combiner.  The enumeration here is pure —
+it walks an adjacency mapping produced by
+:class:`repro.graph.joingraph.JoinGraph` and never touches the engine,
+so it is trivially testable and reusable over exported graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.storage.schema import ColumnRef
+
+TableKey = tuple[str, str]
+
+
+def format_table(key: TableKey) -> str:
+    """Render ``(database, table)`` as ``database.table`` (or bare name)."""
+    database, table = key
+    return f"{database}.{table}" if database else table
+
+
+def parse_table(text: str) -> TableKey:
+    """Parse ``database.table`` (or a bare table name) into a key."""
+    cleaned = text.strip()
+    if not cleaned:
+        raise ValueError("table name must be non-empty")
+    if "." in cleaned:
+        database, _, table = cleaned.partition(".")
+        return (database, table)
+    return ("", cleaned)
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One joinable column pair; ``left < right`` by string order.
+
+    ``confidence`` blends the cosine score with a MinHash Jaccard
+    estimate when column values were scanned; membership in the graph
+    is decided by ``cosine`` alone so the edge set is independent of
+    whether a connector is attached.
+    """
+
+    left: ColumnRef
+    right: ColumnRef
+    cosine: float
+    jaccard: float | None
+    confidence: float
+
+    @property
+    def tables(self) -> tuple[TableKey, TableKey]:
+        return (self.left.table_key, self.right.table_key)
+
+    def other_table(self, key: TableKey) -> TableKey:
+        """The endpoint table that is not ``key``."""
+        left_key, right_key = self.tables
+        if key == left_key:
+            return right_key
+        if key == right_key:
+            return left_key
+        raise KeyError(key)
+
+    def to_dict(self) -> dict:
+        return {
+            "left": str(self.left),
+            "right": str(self.right),
+            "cosine": self.cosine,
+            "jaccard": self.jaccard,
+            "confidence": self.confidence,
+        }
+
+
+@dataclass(frozen=True)
+class JoinPath:
+    """A ranked chain of join edges from ``tables[0]`` to ``tables[-1]``."""
+
+    tables: tuple[TableKey, ...]
+    edges: tuple[JoinEdge, ...]
+    score: float
+
+    @property
+    def hops(self) -> int:
+        return len(self.edges)
+
+    def describe(self) -> str:
+        """Human-oriented one-liner: ``a.t -[0.97]- b.u -[0.91]- c.v``."""
+        parts = [format_table(self.tables[0])]
+        for edge, table in zip(self.edges, self.tables[1:]):
+            parts.append(f"-[{edge.confidence:.3f}]-")
+            parts.append(format_table(table))
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "tables": [format_table(key) for key in self.tables],
+            "edges": [edge.to_dict() for edge in self.edges],
+            "hops": self.hops,
+            "score": self.score,
+        }
+
+
+def _product(scores: Iterable[float]) -> float:
+    return math.prod(scores)
+
+
+COMBINERS: dict[str, Callable[[Iterable[float]], float]] = {
+    "product": _product,
+    "min": min,
+}
+
+Adjacency = Mapping[TableKey, Mapping[TableKey, JoinEdge]]
+
+
+def resolve_combiner(
+    combiner: str | Callable[[Iterable[float]], float],
+) -> Callable[[Iterable[float]], float]:
+    """Look up a named combiner, or pass a callable through."""
+    if callable(combiner):
+        return combiner
+    try:
+        return COMBINERS[combiner]
+    except KeyError:
+        known = ", ".join(sorted(COMBINERS))
+        raise ValueError(f"unknown combiner {combiner!r} (expected one of: {known})") from None
+
+
+def enumerate_paths(
+    adjacency: Adjacency,
+    src: TableKey,
+    dst: TableKey,
+    *,
+    max_hops: int = 3,
+    limit: int | None = 5,
+    combiner: str | Callable[[Iterable[float]], float] = "product",
+) -> list[JoinPath]:
+    """All simple paths from ``src`` to ``dst`` within ``max_hops`` edges.
+
+    Paths are ranked by descending combined score, ties broken by the
+    lexical table sequence so results are deterministic.
+    """
+    if max_hops < 1:
+        raise ValueError("max_hops must be >= 1")
+    if src == dst:
+        raise ValueError("src and dst must name different tables")
+    combine = resolve_combiner(combiner)
+    found: list[JoinPath] = []
+    visited: list[TableKey] = [src]
+    edges: list[JoinEdge] = []
+    on_path = {src}
+
+    def walk(node: TableKey) -> None:
+        for neighbor in sorted(adjacency.get(node, {})):
+            edge = adjacency[node][neighbor]
+            if neighbor == dst:
+                chain = (*edges, edge)
+                score = float(combine([step.confidence for step in chain]))
+                found.append(JoinPath((*visited, dst), chain, score))
+            elif len(edges) + 1 < max_hops and neighbor not in on_path:
+                visited.append(neighbor)
+                edges.append(edge)
+                on_path.add(neighbor)
+                walk(neighbor)
+                on_path.discard(neighbor)
+                edges.pop()
+                visited.pop()
+
+    walk(src)
+    found.sort(key=lambda path: (-path.score, tuple(map(format_table, path.tables))))
+    return found if limit is None else found[:limit]
+
+
+def reachable_tables(
+    adjacency: Adjacency,
+    src: TableKey,
+    *,
+    max_hops: int = 3,
+) -> dict[TableKey, int]:
+    """Tables reachable from ``src`` within ``max_hops``, with hop counts."""
+    if max_hops < 1:
+        raise ValueError("max_hops must be >= 1")
+    hops: dict[TableKey, int] = {}
+    frontier: deque[tuple[TableKey, int]] = deque([(src, 0)])
+    seen = {src}
+    while frontier:
+        node, depth = frontier.popleft()
+        if depth == max_hops:
+            continue
+        for neighbor in sorted(adjacency.get(node, {})):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                hops[neighbor] = depth + 1
+                frontier.append((neighbor, depth + 1))
+    return hops

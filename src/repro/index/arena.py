@@ -352,6 +352,15 @@ class VectorArena:
             return True
         return False
 
+    def touch(self) -> None:
+        """Bump :attr:`mutation_generation` without changing any content.
+
+        For owners that must signal "derived state is stale" when a
+        logical mutation leaves the stored rows untouched — e.g.
+        dropping a table whose columns were already all evicted.
+        """
+        self.mutation_generation += 1
+
     def compact(self) -> None:
         """Rewrite live rows densely, preserving order; bumps ``generation``.
 
@@ -547,6 +556,10 @@ class ColumnarIndex:
         :class:`~repro.service.qcache.QueryResultCache` key contract).
         """
         return self._arena.mutation_generation
+
+    def touch(self) -> None:
+        """Advance :attr:`mutation_generation` without a content change."""
+        self._arena.touch()
 
     def keys(self) -> list[object]:
         """Live keys in insertion order."""

@@ -151,6 +151,10 @@ class ShardedIndex:
         """
         return sum(shard.mutation_generation for shard in self.shards)
 
+    def touch(self) -> None:
+        """Advance :attr:`mutation_generation` without a content change."""
+        self.shards[0].touch()
+
     def keys(self) -> list[object]:
         """Live keys in global insertion order."""
         return list(self._owner)

@@ -16,6 +16,10 @@ evolving* warehouse, so this facade adds what serving requires:
   request batch, returning results identical to per-query :meth:`search`;
 * **a thread-safe read path** — a writer-preferring RW lock lets any
   number of searches run concurrently while mutations are exclusive;
+* **multi-hop discovery** — :meth:`find_paths` / :meth:`neighbors`
+  query a lazily-maintained :class:`~repro.graph.joingraph.JoinGraph`
+  whose edges are rebuilt per table off ``index_generation``, with
+  path results cached under the same generation-keyed scheme;
 * **a concurrent serving engine** — :meth:`search_coalesced` routes
   requests through a :class:`~repro.service.coalesce.QueryCoalescer`
   (concurrent in-flight searches execute as one batched index probe,
@@ -52,6 +56,9 @@ from repro.errors import (
     ReproError,
     TableNotFoundError,
 )
+from repro.embedding.base import LRUCache
+from repro.graph.joingraph import JoinGraph
+from repro.graph.paths import JoinEdge, JoinPath, TableKey, parse_table
 from repro.service.coalesce import QueryCoalescer
 from repro.service.qcache import QueryResultCache
 from repro.service.rwlock import ReadWriteLock
@@ -131,6 +138,20 @@ class DiscoveryService:
             if serving.coalesce
             else None
         )
+        # The join graph syncs lazily against the engine under its own
+        # mutex (graph queries run beneath the *shared* read lock, so
+        # they need a second serialization layer); mutators only touch
+        # its dirty set, which has its own lock inside JoinGraph, so a
+        # writer never acquires _graph_lock.  Path results are cached
+        # under the index generation, mirroring the query cache.
+        self._graph = JoinGraph(self.engine, edge_threshold=serving.threshold)
+        self._graph_lock = threading.Lock()
+        self._path_cache = (
+            LRUCache(serving.query_cache_size)
+            if serving.query_cache_size > 0
+            else None
+        )
+        self._path_queries = 0
 
     def __repr__(self) -> str:
         return (
@@ -189,6 +210,9 @@ class DiscoveryService:
         """Attach a live connector (e.g. after restoring a saved artifact)."""
         with self._lock.write():
             self.engine.attach_connector(connector)
+            # Edge confidences blend in MinHash signatures only when a
+            # connector is available, so a late attach restarts the graph.
+            self._graph.invalidate_all()
 
     def save(self, path: str | Path) -> Path:
         """Persist the index artifact (see :mod:`repro.core.persistence`)."""
@@ -247,6 +271,7 @@ class DiscoveryService:
             # a zero vector.
             for ref in before - kept:
                 self.engine.remove_column(ref)
+            self._graph.invalidate_table((database, table.name))
             self._record_mutation()
             return self._stats_locked()
 
@@ -255,8 +280,16 @@ class DiscoveryService:
         with self._lock.write(), self._scan_lock, self._boundary():
             warehouse = self.engine.connector.warehouse
             warehouse.drop_table(database, table_name)
-            for ref in self._table_refs(database, table_name):
+            evicted = self._table_refs(database, table_name)
+            for ref in evicted:
                 self.engine.remove_column(ref)
+            if not evicted:
+                # Every column was already evicted (e.g. refreshed away
+                # during churn), so removing the catalog entry changes no
+                # index content — but generation-keyed consumers (query
+                # cache, join graph) must still observe the drop.
+                self.engine.bump_generation()
+            self._graph.invalidate_table((database, table_name))
             self._record_mutation()
             return self._stats_locked()
 
@@ -275,6 +308,7 @@ class DiscoveryService:
             if not self.engine.is_column_indexed(request_ref):
                 raise ServiceError.not_found(f"{request_ref} is not indexed")
             self.engine.refresh_column(request_ref, sampler=sampler)
+            self._graph.invalidate_table(request_ref.table_key)
             self._record_mutation()
             return self._stats_locked()
 
@@ -557,6 +591,124 @@ class DiscoveryService:
         self._record_searches(succeeded)
         return outcomes
 
+    # -- join-path graph -----------------------------------------------------------
+
+    def _resolve_table(self, table: str | TableKey) -> TableKey:
+        """Qualify a bare table name into ``(database, table)`` when unambiguous."""
+        if isinstance(table, str):
+            key = parse_table(table)
+        else:
+            key = (str(table[0]), str(table[1]))
+        if key[0]:
+            return key
+        connector = self.engine.connector_or_none
+        names = connector.warehouse.database_names if connector is not None else ()
+        if len(names) == 1:
+            return (names[0], key[1])
+        raise ServiceError.bad_request(
+            f"table {key[1]!r} omits the database and the warehouse has "
+            f"{len(names)} database(s); use db.table"
+        )
+
+    def _graph_sync_locked(self) -> None:
+        """Bring the graph current; caller holds the read and graph locks.
+
+        Edge sweeps probe the index (safe under the shared lock); MinHash
+        signature scans go through the connector, so the sync runs under
+        the scan mutex like every other warehouse access.
+        """
+        with self._scan_lock:
+            self._graph.ensure_current()
+
+    def find_paths(
+        self,
+        src: str | TableKey,
+        dst: str | TableKey,
+        *,
+        max_hops: int = 3,
+        limit: int | None = 5,
+        combiner: str = "product",
+    ) -> list[JoinPath]:
+        """Ranked multi-hop join paths between two tables.
+
+        Tables are named ``db.table`` (or bare when the warehouse has one
+        database).  Results are cached under the index generation, so a
+        repeated query is a dictionary hit until any mutation lands.
+        """
+        with self._boundary():
+            src_key = self._resolve_table(src)
+            dst_key = self._resolve_table(dst)
+            with self._lock.read(), self._graph_lock:
+                self._graph_sync_locked()
+                paths: tuple[JoinPath, ...] | None = None
+                key = None
+                if self._path_cache is not None and isinstance(combiner, str):
+                    key = (
+                        src_key,
+                        dst_key,
+                        max_hops,
+                        limit,
+                        combiner,
+                        self.engine.index_generation,
+                    )
+                    paths = self._path_cache.get(key)
+                if paths is None:
+                    try:
+                        paths = tuple(
+                            self._graph.find_paths(
+                                src_key,
+                                dst_key,
+                                max_hops=max_hops,
+                                limit=limit,
+                                combiner=combiner,
+                            )
+                        )
+                    except ValueError as error:
+                        raise ServiceError.bad_request(str(error)) from error
+                    if key is not None:
+                        self._path_cache.put(key, paths)
+        with self._counter_lock:
+            self._path_queries += 1
+        return list(paths)
+
+    def neighbors(self, table: str | TableKey) -> list[tuple[TableKey, JoinEdge]]:
+        """Directly joinable tables with the best edge to each, ranked."""
+        with self._boundary():
+            key = self._resolve_table(table)
+            with self._lock.read(), self._graph_lock:
+                self._graph_sync_locked()
+                ranked = self._graph.neighbors(key)
+        with self._counter_lock:
+            self._path_queries += 1
+        return ranked
+
+    def graph_stats(self) -> dict[str, object]:
+        """Join-graph counters after forcing a sync (``GET /graph/stats``)."""
+        with self._boundary(), self._lock.read(), self._graph_lock:
+            self._graph_sync_locked()
+            payload = self._graph.stats()
+        with self._counter_lock:
+            payload["path_queries"] = self._path_queries
+        if self._path_cache is not None:
+            payload["path_cache"] = self._path_cache.stats()
+        return payload
+
+    def export_graph(self, fmt: str = "dot") -> str:
+        """The synced graph as DOT or JSON text (CLI export path)."""
+        from repro.graph.export import export_graph
+
+        with self._boundary(), self._lock.read(), self._graph_lock:
+            self._graph_sync_locked()
+            try:
+                return export_graph(self._graph, fmt)
+            except ValueError as error:
+                raise ServiceError.bad_request(str(error)) from error
+
+    @property
+    def join_graph(self) -> JoinGraph:
+        """The underlying graph (synchronize access through this service)."""
+        return self._graph
+
     # -- introspection -------------------------------------------------------------
 
     def _stats_locked(self) -> IndexStats:
@@ -569,6 +721,10 @@ class DiscoveryService:
         config = self.engine.config
         with self._counter_lock:
             searches, mutations = self._searches, self._mutations
+            path_queries = self._path_queries
+        # Counters only — never forces a graph sync (stats must stay cheap).
+        graph = self._graph.stats()
+        graph["path_queries"] = path_queries
         caches = self.engine.embedding_cache_stats()
         if self._qcache is not None:
             caches["query_cache"] = self._qcache.stats()
@@ -586,6 +742,7 @@ class DiscoveryService:
             caches=caches,
             shards=config.n_shards,
             quantized=config.quantize,
+            graph=graph,
         )
 
     def stats(self) -> IndexStats:

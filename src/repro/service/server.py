@@ -23,7 +23,9 @@ Routes
 ------
 ``GET  /healthz``        liveness; lock-free, never blocked by writers
 ``GET  /stats``          :class:`IndexStats` snapshot
+``GET  /graph/stats``    join-graph counters (forces a graph sync)
 ``POST /search``         one :class:`SearchRequest` body (coalesced)
+``POST /paths``          ``{"src": "db.t", "dst": "db.u", "max_hops": 3}``
 ``POST /search/batch``   ``{"requests": [...]}``, amortized
 ``POST /index/add``      ``{"database": ..., "table": {"name": ..., "columns": [...]}}``
 ``POST /index/drop``     ``{"database": ..., "table": ...}``
@@ -168,6 +170,7 @@ class _Handler(BaseHTTPRequestHandler):
         routes = {
             "/healthz": self._route_healthz,
             "/stats": self._route_stats,
+            "/graph/stats": self._route_graph_stats,
         }
         handler = routes.get(self.path)
         if handler is None:
@@ -181,6 +184,7 @@ class _Handler(BaseHTTPRequestHandler):
         routes = {
             "/search": self._route_search,
             "/search/batch": self._route_search_batch,
+            "/paths": self._route_paths,
             "/index/add": self._route_index_add,
             "/index/drop": self._route_index_drop,
             "/index/refresh": self._route_index_refresh,
@@ -207,6 +211,37 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_stats(self) -> tuple[int, dict[str, object]]:
         return 200, self.server.service.stats().to_dict()
+
+    def _route_graph_stats(self) -> tuple[int, dict[str, object]]:
+        return 200, self.server.service.graph_stats()
+
+    def _route_paths(self) -> tuple[int, dict[str, object]]:
+        payload = self._read_json()
+        src, dst = payload.get("src"), payload.get("dst")
+        if not isinstance(src, str) or not isinstance(dst, str):
+            raise ServiceError.bad_request("'src' and 'dst' must be 'db.table' strings")
+        max_hops = payload.get("max_hops", 3)
+        limit = payload.get("limit", 5)
+        combiner = payload.get("combiner", "product")
+        if not isinstance(max_hops, int) or isinstance(max_hops, bool):
+            raise ServiceError.bad_request("'max_hops' must be an integer")
+        if limit is not None and (not isinstance(limit, int) or isinstance(limit, bool)):
+            raise ServiceError.bad_request("'limit' must be an integer or null")
+        if not isinstance(combiner, str):
+            raise ServiceError.bad_request("'combiner' must be a string")
+        unknown = set(payload) - {"src", "dst", "max_hops", "limit", "combiner"}
+        if unknown:
+            raise ServiceError.bad_request(
+                f"unknown field(s): {', '.join(sorted(unknown))}"
+            )
+        paths = self.server.service.find_paths(
+            src, dst, max_hops=max_hops, limit=limit, combiner=combiner
+        )
+        return 200, {
+            "src": src,
+            "dst": dst,
+            "paths": [path.to_dict() for path in paths],
+        }
 
     def _route_search(self) -> tuple[int, dict[str, object]]:
         request = SearchRequest.from_dict(self._read_json())

@@ -210,10 +210,11 @@ class IndexStats:
     caches: dict[str, object] = field(default_factory=dict)
     shards: int = 1
     quantized: bool = False
+    graph: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         """The wire form of this snapshot."""
-        return {
+        payload: dict[str, object] = {
             "backend": self.backend,
             "dim": self.dim,
             "threshold": self.threshold,
@@ -226,3 +227,6 @@ class IndexStats:
             "shards": self.shards,
             "quantized": self.quantized,
         }
+        if self.graph is not None:
+            payload["graph"] = dict(self.graph)
+        return payload

@@ -1,0 +1,218 @@
+"""Bench-trajectory comparison: noise band, profile filtering, CLI gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.eval.compare import (
+    DEFAULT_TOLERANCE,
+    compare_entries,
+    compare_history,
+    load_history,
+    render_comparison,
+)
+
+
+def entry(profile="full", **metrics) -> dict:
+    payload = {"profile": profile, "git_sha": "abcdef1234567890", "schema": 5}
+    payload.update(metrics)
+    return payload
+
+
+def write_history(path, entries) -> None:
+    path.write_text(
+        "".join(json.dumps(item) + "\n" for item in entries), encoding="utf-8"
+    )
+
+
+class TestCompareEntries:
+    def test_drift_inside_band_passes(self):
+        # The motivating case: artifact_load_speedup 12.4x -> 9.0x is a
+        # 27% drop — noisy CI hardware, not a regression at the 35% band.
+        rows = compare_entries(
+            entry(artifact_load_speedup=12.4), entry(artifact_load_speedup=9.0)
+        )
+        (row,) = rows
+        assert row["ratio"] == pytest.approx(9.0 / 12.4)
+        assert row["regressed"] is False
+
+    def test_cliff_outside_band_fails(self):
+        rows = compare_entries(
+            entry(artifact_load_speedup=12.4), entry(artifact_load_speedup=4.0)
+        )
+        assert rows[0]["regressed"] is True
+
+    def test_lower_is_better_direction(self):
+        ok = compare_entries(
+            entry(graph_path_query_ms=5.0), entry(graph_path_query_ms=6.0)
+        )
+        assert ok[0]["direction"] == "lower" and ok[0]["regressed"] is False
+        bad = compare_entries(
+            entry(graph_path_query_ms=5.0), entry(graph_path_query_ms=9.0)
+        )
+        assert bad[0]["regressed"] is True
+
+    def test_improvement_never_regresses(self):
+        rows = compare_entries(
+            entry(graph_incremental_speedup=6.0, graph_path_query_ms=8.0),
+            entry(graph_incremental_speedup=60.0, graph_path_query_ms=1.0),
+        )
+        assert not any(row["regressed"] for row in rows)
+
+    def test_missing_metric_skipped(self):
+        # Old entries predate the graph stage: no graph metrics, no rows.
+        rows = compare_entries(
+            entry(batch_speedup=3.0),
+            entry(batch_speedup=3.1, graph_incremental_speedup=20.0),
+        )
+        assert [row["metric"] for row in rows] == ["batch_speedup"]
+
+    def test_null_metric_skipped(self):
+        rows = compare_entries(
+            entry(batch_speedup=None), entry(batch_speedup=3.0)
+        )
+        assert rows == []
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ReproError):
+            compare_entries(entry(), entry(), tolerance=1.5)
+
+
+class TestCompareHistory:
+    def test_compares_last_two_of_same_profile(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_history(
+            path,
+            [
+                entry(profile="full", batch_speedup=3.0),
+                entry(profile="fast", batch_speedup=90.0),  # must be ignored
+                entry(profile="full", batch_speedup=2.9),
+            ],
+        )
+        outcome = compare_history(path)
+        assert outcome["profile"] == "full"
+        assert outcome["previous"]["batch_speedup"] == 3.0
+        assert outcome["current"]["batch_speedup"] == 2.9
+        assert outcome["regressions"] == []
+
+    def test_profile_defaults_to_newest_entry(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_history(
+            path,
+            [
+                entry(profile="full", batch_speedup=3.0),
+                entry(profile="fast", batch_speedup=5.0),
+                entry(profile="fast", batch_speedup=1.0),
+            ],
+        )
+        outcome = compare_history(path)
+        assert outcome["profile"] == "fast"
+        assert outcome["regressions"] == ["batch_speedup"]
+
+    def test_explicit_profile_override(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_history(
+            path,
+            [
+                entry(profile="full", batch_speedup=3.0),
+                entry(profile="full", batch_speedup=3.2),
+                entry(profile="fast", batch_speedup=1.0),
+                entry(profile="fast", batch_speedup=1.1),
+            ],
+        )
+        outcome = compare_history(path, profile="full")
+        assert outcome["current"]["batch_speedup"] == 3.2
+
+    def test_single_entry_is_error(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_history(path, [entry(profile="full")])
+        with pytest.raises(ReproError, match="at least two"):
+            compare_history(path)
+
+    def test_missing_file_is_error(self, tmp_path):
+        with pytest.raises(ReproError, match="no bench history"):
+            compare_history(tmp_path / "nope.jsonl")
+
+    def test_malformed_line_is_error(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"profile": "full"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ReproError, match="invalid JSON"):
+            load_history(path)
+
+    def test_render_mentions_shas_and_band(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_history(
+            path,
+            [entry(batch_speedup=3.0), entry(batch_speedup=2.9)],
+        )
+        text = render_comparison(compare_history(path))
+        assert "abcdef123456" in text
+        assert f"{DEFAULT_TOLERANCE:.0%}" in text
+        assert "batch_speedup" in text
+
+
+class TestCLIGate:
+    def test_clean_trajectory_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        write_history(
+            path,
+            [
+                entry(artifact_load_speedup=12.4, graph_incremental_speedup=18.0),
+                entry(artifact_load_speedup=9.0, graph_incremental_speedup=17.0),
+            ],
+        )
+        code = main(["bench-compare", "--history", str(path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "artifact_load_speedup" in output and "REGRESSED" not in output
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        write_history(
+            path,
+            [
+                entry(artifact_load_speedup=12.4),
+                entry(artifact_load_speedup=4.0),
+            ],
+        )
+        code = main(["bench-compare", "--history", str(path)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "artifact_load_speedup" in captured.err
+
+    def test_tolerance_flag(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        write_history(
+            path,
+            [entry(batch_speedup=3.0), entry(batch_speedup=2.7)],
+        )
+        assert main(["bench-compare", "--history", str(path)]) == 0
+        assert (
+            main(["bench-compare", "--history", str(path), "--tolerance", "0.05"])
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_missing_history_is_error(self, tmp_path, capsys):
+        code = main(["bench-compare", "--history", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "no bench history" in capsys.readouterr().err
+
+    def test_profile_flag(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        write_history(
+            path,
+            [
+                entry(profile="full", batch_speedup=3.0),
+                entry(profile="full", batch_speedup=2.9),
+                entry(profile="fast", batch_speedup=9.0),
+            ],
+        )
+        code = main(["bench-compare", "--history", str(path), "--profile", "full"])
+        assert code == 0
+        assert "full profile" in capsys.readouterr().out

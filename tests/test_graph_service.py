@@ -1,0 +1,224 @@
+"""Join-graph behavior at the service boundary: Python API and HTTP routes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WarpGateConfig
+from repro.service import DiscoveryService, ServiceError, make_server
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.warehouse.connector import WarehouseConnector
+
+from tests.test_service_http import request
+
+CUSTOMERS, VENDORS, COLORS = ("db", "customers"), ("db", "vendors"), ("db", "colors")
+
+
+@pytest.fixture()
+def service(toy_warehouse):
+    """An open service over the toy warehouse at a permissive threshold.
+
+    threshold=0.3 matches the HTTP suite: low enough that the unrelated
+    ``colors`` table still picks up weak edges, giving multi-hop routes.
+    """
+    svc = DiscoveryService(WarpGateConfig(threshold=0.3))
+    svc.open(WarehouseConnector(toy_warehouse))
+    return svc
+
+
+class TestFindPaths:
+    def test_direct_join_ranked_first(self, service):
+        paths = service.find_paths("db.customers", "db.vendors", max_hops=2)
+        assert paths, "customers/vendors share company values: must join"
+        best = paths[0]
+        assert best.tables == (CUSTOMERS, VENDORS)
+        assert best.hops == 1
+        # company <-> vendor_name: identical values, so both cosine and
+        # jaccard saturate and the blended confidence is ~1.
+        assert best.score > 0.95
+        assert best.edges[0].jaccard == pytest.approx(1.0)
+
+    def test_two_hop_route_through_weak_table(self, service):
+        paths = service.find_paths("db.customers", "db.vendors", max_hops=2, limit=None)
+        routed = [path for path in paths if path.hops == 2]
+        assert routed, "threshold 0.3 admits a detour via db.colors"
+        assert routed[0].tables == (CUSTOMERS, COLORS, VENDORS)
+        assert routed[0].score < paths[0].score
+
+    def test_bare_names_qualified_for_single_database(self, service):
+        paths = service.find_paths("customers", "vendors", max_hops=1)
+        assert paths and paths[0].tables == (CUSTOMERS, VENDORS)
+
+    def test_min_combiner(self, service):
+        product = service.find_paths("customers", "vendors", combiner="product")
+        weakest = service.find_paths("customers", "vendors", combiner="min")
+        assert [p.tables for p in product] == [p.tables for p in weakest]
+        two_hop = next(p for p in weakest if p.hops == 2)
+        assert two_hop.score == pytest.approx(min(e.confidence for e in two_hop.edges))
+
+    def test_unknown_table_is_not_found(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.find_paths("db.customers", "db.nonexistent")
+        assert excinfo.value.code == "not_found"
+
+    def test_same_table_is_bad_request(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.find_paths("db.customers", "db.customers")
+        assert excinfo.value.code == "bad_request"
+
+    def test_unknown_combiner_is_bad_request(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.find_paths("db.customers", "db.vendors", combiner="median")
+        assert excinfo.value.code == "bad_request"
+
+    def test_neighbors_ranked(self, service):
+        ranked = service.neighbors("db.customers")
+        assert ranked[0][0] == VENDORS
+        assert ranked[0][1].confidence == max(edge.confidence for _, edge in ranked)
+
+
+class TestPathCacheAndStats:
+    def test_repeat_query_hits_cache(self, service):
+        service.find_paths("customers", "vendors")
+        before = service.graph_stats()["path_cache"]["hits"]
+        service.find_paths("customers", "vendors")
+        after = service.graph_stats()["path_cache"]["hits"]
+        assert after == before + 1
+
+    def test_mutation_invalidates_cached_paths(self, service, toy_warehouse):
+        service.find_paths("customers", "vendors")
+        hits = service.graph_stats()["path_cache"]["hits"]
+        service.drop_table("db", "colors")
+        # Same query, new generation: must recompute, not hit.
+        paths = service.find_paths("customers", "vendors", limit=None)
+        assert service.graph_stats()["path_cache"]["hits"] == hits
+        assert all(COLORS not in path.tables for path in paths)
+
+    def test_graph_counters_in_index_stats(self, service):
+        service.find_paths("customers", "vendors")
+        payload = service.stats().to_dict()
+        graph = payload["graph"]
+        assert graph["tables"] == 3
+        assert graph["edges"] >= 1
+        assert graph["path_queries"] >= 1
+        assert graph["synced_generation"] == service.engine.index_generation
+
+    def test_export_formats(self, service):
+        dot = service.export_graph("dot")
+        assert dot.startswith("graph joingraph") and '"db.customers"' in dot
+        with pytest.raises(ServiceError) as excinfo:
+            service.export_graph("graphml")
+        assert excinfo.value.code == "bad_request"
+
+
+class TestMutationConsistency:
+    def test_add_table_grows_graph(self, service):
+        clone = Table(
+            "partners",
+            [
+                Column("partner_name", [
+                    "Acme Dynamics Corp", "Global Logistics Inc",
+                    "Nova Analytics Llc", "Summit Robotics Ltd",
+                    "Vertex Energy Group",
+                ]),
+            ],
+        )
+        service.add_table("db", clone)
+        paths = service.find_paths("db.partners", "db.customers", max_hops=1)
+        assert paths and paths[0].score > 0.95
+
+    def test_drop_table_removes_node(self, service):
+        service.drop_table("db", "colors")
+        assert COLORS not in service.join_graph.tables()
+        with pytest.raises(ServiceError) as excinfo:
+            service.neighbors("db.colors")
+        assert excinfo.value.code == "not_found"
+
+    def test_refresh_column_keeps_graph_consistent(self, service, toy_warehouse):
+        before = service.find_paths("customers", "vendors", limit=None)
+        column = toy_warehouse.database("db").table("vendors").column("vendor_name")
+        column._values = ("Zephyr Corp",) + column._values[1:]
+        service.refresh_column("db.vendors.vendor_name")
+        after = service.find_paths("customers", "vendors", limit=None)
+        direct = next(path for path in after if path.hops == 1)
+        # One of five values diverged: the join is weaker but still present.
+        assert direct.edges[0].jaccard < 1.0
+        assert direct.score < before[0].score
+
+    def test_drop_of_fully_evicted_table_leaves_no_dangling_node(self, service):
+        """Regression: drop_table on a zero-indexed-column table must still
+        bump the generation so the graph (and query caches) observe it."""
+        refs = [
+            ref for ref in service.engine.indexed_refs if ref.table_key == COLORS
+        ]
+        assert refs, "toy colors table indexes at least one column"
+        for ref in refs:
+            service.engine.remove_column(ref)
+        # The graph syncs past the manual eviction (membership diff).
+        assert COLORS not in service.join_graph.tables()
+        generation = service.engine.index_generation
+        service.drop_table("db", "colors")
+        assert service.engine.index_generation > generation
+        assert COLORS not in service.join_graph.tables()
+        stats = service.graph_stats()
+        assert stats["tables"] == 2
+        assert stats["synced_generation"] == service.engine.index_generation
+
+
+class TestHTTPRoutes:
+    @pytest.fixture()
+    def served(self, toy_warehouse):
+        service = DiscoveryService(WarpGateConfig(threshold=0.3))
+        service.open(WarehouseConnector(toy_warehouse))
+        with make_server(service, "127.0.0.1", 0, workers=4) as server:
+            yield service, server.server_address[1]
+
+    def test_paths_roundtrip(self, served):
+        _, port = served
+        status, payload = request(
+            port, "POST", "/paths",
+            {"src": "db.customers", "dst": "db.vendors", "max_hops": 2},
+        )
+        assert status == 200
+        assert payload["src"] == "db.customers"
+        assert payload["dst"] == "db.vendors"
+        best = payload["paths"][0]
+        assert best["tables"] == ["db.customers", "db.vendors"]
+        assert best["hops"] == 1
+        assert best["score"] > 0.95
+
+    def test_paths_matches_python_api(self, served):
+        service, port = served
+        _, payload = request(
+            port, "POST", "/paths", {"src": "customers", "dst": "vendors"}
+        )
+        direct = service.find_paths("customers", "vendors")
+        assert payload["paths"] == [path.to_dict() for path in direct]
+
+    def test_paths_validation(self, served):
+        _, port = served
+        status, payload = request(port, "POST", "/paths", {"src": "db.customers"})
+        assert status == 400 and payload["error"]["code"] == "bad_request"
+        status, payload = request(
+            port, "POST", "/paths",
+            {"src": "db.customers", "dst": "db.vendors", "max_hops": "three"},
+        )
+        assert status == 400
+        status, payload = request(
+            port, "POST", "/paths",
+            {"src": "db.customers", "dst": "db.vendors", "surprise": 1},
+        )
+        assert status == 400
+        status, payload = request(
+            port, "POST", "/paths", {"src": "db.customers", "dst": "db.missing"}
+        )
+        assert status == 404 and payload["error"]["code"] == "not_found"
+
+    def test_graph_stats_route(self, served):
+        _, port = served
+        status, payload = request(port, "GET", "/graph/stats")
+        assert status == 200
+        assert payload["tables"] == 3
+        assert payload["edges"] >= 1
+        assert payload["edge_threshold"] == pytest.approx(0.3)
