@@ -13,17 +13,26 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.eval.perf import (
+    ALL_STAGES,
     append_history,
     run_perf_suite,
     validate_report,
     write_report,
 )
 
+# Every stage except the quality matrix: the per-stage tests below pin
+# perf contracts and should not pay for a (deterministic) quality run
+# each — the quality stage has its own tests at the end of this module.
+_PERF_STAGES = ("results", "embed", "shard", "quant", "artifact", "serve", "graph")
+
 
 def test_fast_profile_report_is_valid(tmp_path):
     """The fast profile produces a well-formed, complete report."""
     report = run_perf_suite(profile="fast", repeats=1)
+    assert report["stages"] == list(ALL_STAGES)
     assert validate_report(report) == []
     path = write_report(report, tmp_path / "BENCH_index.json")
     assert path.exists()
@@ -33,6 +42,7 @@ def test_stage_rows_record_warmup_runs():
     """Every timed stage reports its warm-up-excluded protocol."""
     report = run_perf_suite(
         profile="fast",
+        stages=_PERF_STAGES,
         sizes=(200, 300, 400),
         shard_sizes=(300,),
         quant_sizes=(300,),
@@ -57,6 +67,7 @@ def test_serve_stage_reports_engine_throughput():
     """The serving engine beats thread-per-request even at smoke scale."""
     report = run_perf_suite(
         profile="fast",
+        stages=_PERF_STAGES,
         sizes=(500, 1_000, 2_000),
         shard_sizes=(500,),
         quant_sizes=(500,),
@@ -89,6 +100,7 @@ def test_batched_search_amortizes(tmp_path):
     """Even at smoke scale, batched search beats sequential single queries."""
     report = run_perf_suite(
         profile="fast",
+        stages=_PERF_STAGES,
         sizes=(1_000, 2_000, 4_000),
         serve_sizes=(),
         graph_sizes=(),
@@ -103,6 +115,7 @@ def test_shard_stage_merges_exactly(tmp_path):
     """Sharded batched search returns result lists identical to 1-shard."""
     report = run_perf_suite(
         profile="fast",
+        stages=_PERF_STAGES,
         sizes=(500, 1_000, 2_000),
         shard_sizes=(2_000,),
         quant_sizes=(1_000,),
@@ -124,6 +137,7 @@ def test_quant_stage_recall_meets_bar(tmp_path):
     """Int8 + exact re-rank holds recall@k even at smoke scale."""
     report = run_perf_suite(
         profile="fast",
+        stages=_PERF_STAGES,
         sizes=(500, 1_000, 2_000),
         shard_sizes=(500,),
         quant_sizes=(2_000,),
@@ -144,6 +158,7 @@ def test_artifact_stage_mmap_load_wins(tmp_path):
     """Format-3 mmap cold load beats the compressed format-2 load."""
     report = run_perf_suite(
         profile="fast",
+        stages=_PERF_STAGES,
         sizes=(500, 1_000, 2_000),
         shard_sizes=(500,),
         quant_sizes=(500,),
@@ -164,6 +179,7 @@ def test_history_appends_one_line_per_run(tmp_path):
     """The bench trajectory file gains one well-formed JSON line per run."""
     report = run_perf_suite(
         profile="fast",
+        stages=_PERF_STAGES,
         sizes=(200, 300, 400),
         shard_sizes=(300,),
         quant_sizes=(300,),
@@ -193,12 +209,17 @@ def test_history_appends_one_line_per_run(tmp_path):
     assert isinstance(entry["serve_coalesced_speedup"], (int, float))
     assert isinstance(entry["graph_incremental_speedup"], (int, float))
     assert isinstance(entry["graph_path_query_ms"], (int, float))
+    # Quality headline keys ride every entry; a perf-only run leaves them
+    # null and bench-compare skips null metrics.
+    assert "quality_hybrid_recall_at_10" in entry
+    assert entry["quality_hybrid_recall_at_10"] is None
 
 
 def test_graph_stage_incremental_beats_full(tmp_path):
     """One-table maintenance must beat a from-scratch rebuild at smoke scale."""
     report = run_perf_suite(
         profile="fast",
+        stages=_PERF_STAGES,
         sizes=(500, 1_000, 2_000),
         shard_sizes=(500,),
         quant_sizes=(500,),
@@ -224,6 +245,7 @@ def test_batched_embedding_amortizes(tmp_path):
     """Batched encode beats the sequential loop and the caches pull weight."""
     report = run_perf_suite(
         profile="fast",
+        stages=_PERF_STAGES,
         sizes=(500, 1_000, 2_000),
         embed_sizes=(1_000,),
         serve_sizes=(),
@@ -235,3 +257,63 @@ def test_batched_embedding_amortizes(tmp_path):
     assert row["speedup"] > 1.0
     assert row["cache_hit_rate"] > 0.5
     assert row["batched_cols_per_s"] > row["sequential_cols_per_s"]
+
+
+@pytest.fixture(scope="module")
+def quality_only_report():
+    """One quality-stage-only run shared by the stage-subset tests."""
+    return run_perf_suite(profile="fast", stages=("quality",))
+
+
+def test_unknown_stage_rejected():
+    with pytest.raises(ValueError):
+        run_perf_suite(profile="fast", stages=("nope",))
+
+
+def test_stage_subset_skips_other_stages(quality_only_report):
+    """A subset run executes and records only the requested stages."""
+    report = quality_only_report
+    assert report["stages"] == ["quality"]
+    for stage in _PERF_STAGES:
+        assert report[stage] == []
+    assert validate_report(report) == []
+
+
+def test_quality_stage_reports_the_matrix(quality_only_report):
+    """Every matrix cell carries the full metric set, exact backend."""
+    report = quality_only_report
+    assert report["config"]["quality"]["backend"] == "exact"
+    assert report["config"]["quality"]["profile"] == "small"
+    rows = report["quality"]
+    assert rows
+    for row in rows:
+        assert isinstance(row["dataset_key"], str)
+        assert isinstance(row["system"], str)
+        assert isinstance(row["arm"], str)
+        for k in (2, 3, 5, 10):
+            assert 0.0 <= row[f"p_at_{k}"] <= 1.0
+            assert 0.0 <= row[f"r_at_{k}"] <= 1.0
+        assert 0.0 <= row["map"] <= 1.0
+        assert 0.0 <= row["mrr"] <= 1.0
+
+
+def test_quality_rows_validated(quality_only_report):
+    """Tampered quality rows fail validation with an addressable label."""
+    import copy
+
+    broken = copy.deepcopy(quality_only_report)
+    broken["quality"][0]["r_at_10"] = None
+    problems = validate_report(broken)
+    assert any("quality" in problem and "r_at_10" in problem for problem in problems)
+
+
+def test_quality_headlines_ride_the_history(quality_only_report, tmp_path):
+    """A run with quality results lands real numbers in the trajectory."""
+    history = tmp_path / "BENCH_history.jsonl"
+    append_history(quality_only_report, history)
+    entry = json.loads(history.read_text(encoding="utf-8").splitlines()[0])
+    assert isinstance(entry["quality_warpgate_recall_at_10"], (int, float))
+    assert isinstance(entry["quality_hybrid_recall_at_10"], (int, float))
+    assert isinstance(entry["quality_aurum_recall_at_10"], (int, float))
+    assert isinstance(entry["quality_d3l_recall_at_10"], (int, float))
+    assert isinstance(entry["quality_hybrid_map"], (int, float))

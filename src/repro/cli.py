@@ -162,7 +162,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     sizes = (
         tuple(int(size) for size in args.sizes.split(",")) if args.sizes else None
     )
-    if sizes is not None and len(sizes) < 3:
+    stages = (
+        tuple(stage.strip() for stage in args.stages.split(",") if stage.strip())
+        if args.stages
+        else None
+    )
+    if sizes is not None and len(sizes) < 3 and (stages is None or "results" in stages):
         # Fail before the (potentially multi-minute) run, not after it:
         # the report contract requires >= 3 corpus sizes.
         print(
@@ -177,6 +182,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         k=args.k,
         repeats=args.repeats,
+        stages=stages,
         progress=print,
     )
     problems = validate_report(report)
@@ -196,13 +202,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ]
         for row in report["results"]
     ]
-    print(
-        render_table(
-            ["columns", "build s", "1-query ms", "batch ms/q", "speedup", "cand %"],
-            rows,
-            title=f"Index perf suite ({args.profile} profile)",
+    if rows:
+        print(
+            render_table(
+                ["columns", "build s", "1-query ms", "batch ms/q", "speedup", "cand %"],
+                rows,
+                title=f"Index perf suite ({args.profile} profile)",
+            )
         )
-    )
     embed_rows = [
         [
             row["n_columns"],
@@ -213,13 +220,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ]
         for row in report["embed"]
     ]
-    print(
-        render_table(
-            ["columns", "seq cols/s", "batch cols/s", "speedup", "cache hit %"],
-            embed_rows,
-            title="Embedding throughput (sequential vs batched encode)",
+    if embed_rows:
+        print(
+            render_table(
+                ["columns", "seq cols/s", "batch cols/s", "speedup", "cache hit %"],
+                embed_rows,
+                title="Embedding throughput (sequential vs batched encode)",
+            )
         )
-    )
     shard_rows = [
         [
             row["n_columns"],
@@ -231,13 +239,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ]
         for row in report["shard"]
     ]
-    print(
-        render_table(
-            ["columns", "shards", "1-arena ms", "sharded ms", "speedup", "merge ="],
-            shard_rows,
-            title=f"Sharded search ({report['environment']['cpus']} cpu core(s))",
+    if shard_rows:
+        print(
+            render_table(
+                ["columns", "shards", "1-arena ms", "sharded ms", "speedup", "merge ="],
+                shard_rows,
+                title=f"Sharded search ({report['environment']['cpus']} cpu core(s))",
+            )
         )
-    )
     quant_rows = [
         [
             row["n_columns"],
@@ -249,13 +258,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ]
         for row in report["quant"]
     ]
-    print(
-        render_table(
-            ["columns", "f32 ms", "int8 ms", "speedup", "recall@k", "mem"],
-            quant_rows,
-            title="Int8 candidate scoring + exact re-rank (exact backend)",
+    if quant_rows:
+        print(
+            render_table(
+                ["columns", "f32 ms", "int8 ms", "speedup", "recall@k", "mem"],
+                quant_rows,
+                title="Int8 candidate scoring + exact re-rank (exact backend)",
+            )
         )
-    )
     artifact_rows = [
         [
             row["n_columns"],
@@ -265,13 +275,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ]
         for row in report["artifact"]
     ]
-    print(
-        render_table(
-            ["columns", "v2 load ms", "v3 mmap load ms", "speedup"],
-            artifact_rows,
-            title="Artifact cold load (compressed v2 vs mmap v3)",
+    if artifact_rows:
+        print(
+            render_table(
+                ["columns", "v2 load ms", "v3 mmap load ms", "speedup"],
+                artifact_rows,
+                title="Artifact cold load (compressed v2 vs mmap v3)",
+            )
         )
-    )
     serve_rows = [
         [
             row["n_columns"],
@@ -285,22 +296,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ]
         for row in report["serve"]
     ]
-    print(
-        render_table(
-            [
-                "columns",
-                "clients",
-                "base qps",
-                "engine qps",
-                "speedup",
-                "p99 ms",
-                "cache hit",
-                "batch",
-            ],
-            serve_rows,
-            title="HTTP serving engine (thread-per-request vs pool+coalesce+cache)",
+    if serve_rows:
+        print(
+            render_table(
+                [
+                    "columns",
+                    "clients",
+                    "base qps",
+                    "engine qps",
+                    "speedup",
+                    "p99 ms",
+                    "cache hit",
+                    "batch",
+                ],
+                serve_rows,
+                title="HTTP serving engine (thread-per-request vs pool+coalesce+cache)",
+            )
         )
-    )
     graph_rows = [
         [
             row["n_columns"],
@@ -313,24 +325,51 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ]
         for row in report["graph"]
     ]
-    print(
-        render_table(
-            [
-                "columns",
-                "tables",
-                "edges",
-                "full build s",
-                "incr ms",
-                "speedup",
-                "path q ms",
-            ],
-            graph_rows,
-            title="Join graph (full rebuild vs incremental table update)",
+    if graph_rows:
+        print(
+            render_table(
+                [
+                    "columns",
+                    "tables",
+                    "edges",
+                    "full build s",
+                    "incr ms",
+                    "speedup",
+                    "path q ms",
+                ],
+                graph_rows,
+                title="Join graph (full rebuild vs incremental table update)",
+            )
         )
-    )
+    quality_rows = [
+        [
+            row["dataset_key"],
+            row["system"] + ("" if row["arm"] == "default" else f"[{row['arm']}]"),
+            row["n_queries"],
+            f"{row['p_at_10']:.3f}",
+            f"{row['r_at_10']:.3f}",
+            f"{row['map']:.3f}",
+            f"{row['mrr']:.3f}",
+        ]
+        for row in report.get("quality", [])
+    ]
+    if quality_rows:
+        quality_profile = report["config"]["quality"]["profile"]
+        print(
+            render_table(
+                ["dataset", "system", "queries", "P@10", "R@10", "MAP", "MRR"],
+                quality_rows,
+                title=f"Join quality matrix ({quality_profile} profile, exact backend)",
+            )
+        )
     print(f"report written to {path}")
-    from repro.eval.perf import BENCH_HISTORY_NAME
+    from repro.eval.perf import ALL_STAGES, BENCH_HISTORY_NAME
 
+    if set(report["stages"]) != set(ALL_STAGES):
+        # A partial run would commit a trajectory entry whose headline
+        # numbers are mostly null; keep the history full-suite only.
+        print("stage subset run: skipping history append")
+        return 0
     history_target = (
         args.history
         if args.history is not None
@@ -607,6 +646,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes",
         default="",
         help="comma-separated corpus sizes overriding the profile (need >= 3)",
+    )
+    bench.add_argument(
+        "--stages",
+        default="",
+        help="comma-separated subset of stages to run (default: all); "
+        "choices: results, embed, shard, quant, artifact, serve, graph, "
+        "quality; subset runs skip the history append",
     )
     bench.add_argument("--dim", type=int, default=256, help="embedding dimensionality")
     bench.add_argument(

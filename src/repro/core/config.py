@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 __all__ = ["WarpGateConfig"]
 
 _SEARCH_BACKENDS = ("lsh", "exact", "pivot")
+_SCORING_MODES = ("cosine", "hybrid")
 _AGGREGATIONS = ("mean", "tfidf")
 _SAMPLING_STRATEGIES = ("head", "uniform", "reservoir", "distinct")
 _SHARD_PLACEMENTS = ("hash", "round_robin")
@@ -82,6 +83,27 @@ class WarpGateConfig:
         Entries in the serving layer's generation-keyed query-result LRU
         (see :class:`repro.service.qcache.QueryResultCache`); 0 disables
         result caching.
+    scoring:
+        ``cosine`` (paper default: rank and filter on index cosine alone)
+        or ``hybrid``: blend cosine with a MinHash *containment* estimate
+        of the candidate's value overlap —
+        ``hybrid_semantic_weight * cosine + (1 - weight) * containment``
+        — and rank/filter on the blend.  Containment is the NextiaJD
+        joinability proxy, so hybrid recovers high-containment pairs
+        whose embeddings sit below the cosine threshold (dirty or
+        mixed-vocabulary columns).  Ref-based :meth:`WarpGate.search`
+        only: raw-vector searches have no value sets to sketch and stay
+        cosine-ranked.
+    hybrid_semantic_weight:
+        Cosine's share of the hybrid blend, in ``(0, 1]`` (1.0 degenerates
+        to cosine scores filtered at ``hybrid_floor``).
+    hybrid_floor:
+        Score floor applied to the *blended* score in hybrid mode (the
+        cosine ``threshold`` is calibrated for pure-cosine scores and
+        would discard exactly the moderate-cosine/high-containment pairs
+        hybrid exists to keep).  Candidate generation probes the index
+        down to the cosine that could still clear the floor under perfect
+        containment: ``(hybrid_floor - (1 - weight)) / weight``.
     """
 
     model_name: str = "webtable"
@@ -106,6 +128,9 @@ class WarpGateConfig:
     coalesce_max_batch: int = 32
     coalesce_max_wait_us: int = 500
     query_cache_size: int = 4096
+    scoring: str = "cosine"
+    hybrid_semantic_weight: float = 0.6
+    hybrid_floor: float = 0.35
 
     def __post_init__(self) -> None:
         if self.search_backend not in _SEARCH_BACKENDS:
@@ -157,6 +182,19 @@ class WarpGateConfig:
             raise ValueError(
                 f"query_cache_size must be >= 0, got {self.query_cache_size}"
             )
+        if self.scoring not in _SCORING_MODES:
+            raise ValueError(
+                f"unknown scoring {self.scoring!r}; choose from {_SCORING_MODES}"
+            )
+        if not 0.0 < self.hybrid_semantic_weight <= 1.0:
+            raise ValueError(
+                "hybrid_semantic_weight must be in (0, 1], got "
+                f"{self.hybrid_semantic_weight}"
+            )
+        if not -1.0 <= self.hybrid_floor <= 1.0:
+            raise ValueError(
+                f"hybrid_floor must be in [-1, 1], got {self.hybrid_floor}"
+            )
 
     def with_sampling(self, sample_size: int | None, strategy: str | None = None) -> "WarpGateConfig":
         """Copy of this config with a different sampling setup."""
@@ -200,6 +238,25 @@ class WarpGateConfig:
             rerank_factor=(
                 rerank_factor if rerank_factor is not None else self.rerank_factor
             ),
+        )
+
+    def with_scoring(
+        self,
+        scoring: str,
+        *,
+        semantic_weight: float | None = None,
+        floor: float | None = None,
+    ) -> "WarpGateConfig":
+        """Copy of this config with a different scoring mode."""
+        return replace(
+            self,
+            scoring=scoring,
+            hybrid_semantic_weight=(
+                semantic_weight
+                if semantic_weight is not None
+                else self.hybrid_semantic_weight
+            ),
+            hybrid_floor=floor if floor is not None else self.hybrid_floor,
         )
 
     def with_serving(

@@ -26,8 +26,10 @@ from repro.embedding.encoder import ColumnEncoder, EncodeStats
 from repro.embedding.registry import get_model
 from repro.index.exact import ExactCosineIndex
 from repro.index.lsh import SimHashLSHIndex
+from repro.index.minhash import MinHashSignature
 from repro.index.pivot import PivotFilterIndex
 from repro.index.sharding import ShardedIndex
+from repro.storage.column import Column
 from repro.storage.schema import ColumnRef
 from repro.warehouse.connector import WarehouseConnector
 from repro.warehouse.sampling import Sampler, make_sampler
@@ -69,6 +71,10 @@ class WarpGate(JoinDiscoverySystem):
             numeric_profile_weight=self.config.numeric_profile_weight,
         )
         self._index = self._build_index()
+        # Hybrid-scoring sketch cache: ref -> (MinHash signature, distinct
+        # count) of the scanned values, captured during indexing so search
+        # time pays no extra warehouse scans for candidates.
+        self._signatures: dict[ColumnRef, tuple[MinHashSignature, int]] = {}
 
     def _build_index(self):
         """Instantiate the configured search backend.
@@ -153,6 +159,7 @@ class WarpGate(JoinDiscoverySystem):
                 if not np.any(vector):
                     report.columns_skipped += 1
                     continue
+                self._sketch(ref, columns[position])
                 if ref in self._index:
                     # Re-indexing over an existing corpus replaces in place.
                     self._store(ref, vector)
@@ -182,6 +189,38 @@ class WarpGate(JoinDiscoverySystem):
         report.notes["backend"] = self.config.search_backend
         self._indexed = True
         return report
+
+    # -- hybrid-scoring sketches --------------------------------------------------------
+
+    def _sketch(self, ref: ColumnRef, column: Column) -> None:
+        """Capture the column's MinHash sketch + distinct count (hybrid only)."""
+        if self.config.scoring != "hybrid":
+            return
+        distinct = {
+            str(value) for value in column.distinct_values if value is not None
+        }
+        self._signatures[ref] = (MinHashSignature.of(distinct), len(distinct))
+
+    def _query_signature(self, query: ColumnRef) -> tuple[MinHashSignature, int] | None:
+        """Sketch of the query column's values; None without a connector.
+
+        Indexed queries reuse the sketch captured at indexing time; fresh
+        query columns are scanned once and their sketch cached alongside.
+        """
+        cached = self._signatures.get(query)
+        if cached is not None:
+            return cached
+        if self._connector is None:
+            return None
+        column, _measured, _simulated = self.load_column(
+            query, self._default_sampler()
+        )
+        distinct = {
+            str(value) for value in column.distinct_values if value is not None
+        }
+        sketch = (MinHashSignature.of(distinct), len(distinct))
+        self._signatures[query] = sketch
+        return sketch
 
     # -- incremental mutation -----------------------------------------------------------
 
@@ -224,6 +263,7 @@ class WarpGate(JoinDiscoverySystem):
             vector = matrix[position]
             if not np.any(vector):
                 continue
+            self._sketch(ref, columns[position])
             self._store(ref, vector)
             kept.append(ref)
         if kept:
@@ -235,6 +275,7 @@ class WarpGate(JoinDiscoverySystem):
         if ref not in self._index:
             raise KeyError(f"{ref} is not indexed")
         self._index.remove(ref)
+        self._signatures.pop(ref, None)
         if self.cache is not None:
             self.cache.invalidate(ref)
         if len(self._index) == 0:
@@ -294,14 +335,82 @@ class WarpGate(JoinDiscoverySystem):
         *,
         threshold: float | None = None,
     ) -> DiscoveryResult:
-        """Top-k semantic join discovery (Figure 2, right half)."""
+        """Top-k semantic join discovery (Figure 2, right half).
+
+        With ``config.scoring == "hybrid"`` results are ranked by the
+        blended semantic+syntactic score instead of raw cosine, and
+        ``threshold`` (when given) overrides the *blend* floor
+        (``config.hybrid_floor``), not the cosine threshold.
+        """
         self._require_indexed()
         vector, timing = self.embed_query(query)
         if not np.any(vector):
             return DiscoveryResult(query=query, candidates=[], timing=timing)
-        result = self.search_vector(vector, k, threshold=threshold, exclude=query)
+        if self.config.scoring == "hybrid":
+            result = self._search_hybrid(query, vector, k, threshold)
+        else:
+            result = self.search_vector(vector, k, threshold=threshold, exclude=query)
         result.timing = timing + result.timing
         return result
+
+    def _search_hybrid(
+        self,
+        query: ColumnRef,
+        vector: np.ndarray,
+        k: int | None,
+        threshold: float | None,
+    ) -> DiscoveryResult:
+        """Rank candidates by ``w·cosine + (1-w)·containment``.
+
+        Candidate generation probes the index down to the lowest cosine
+        that could still clear the blend floor under perfect containment
+        (``(floor - (1 - w)) / w``), over-fetching past ``k`` because the
+        blend re-orders the cosine ranking.  The cosine-calibrated
+        ``config.threshold`` is deliberately *not* applied to blended
+        scores — it would discard exactly the moderate-cosine /
+        high-containment pairs hybrid scoring exists to keep.
+
+        Degrades to pure cosine scoring when the query's value set cannot
+        be sketched (no connector and no indexed sketch, or an empty
+        column).  Candidates indexed without a sketch (e.g. bulk-loaded
+        vectors) contribute zero syntactic evidence.
+        """
+        k = k if k is not None else self.config.default_k
+        if k <= 0:
+            return DiscoveryResult(query=query, candidates=[], timing=TimingBreakdown())
+        query_sketch = self._query_signature(query)
+        if query_sketch is None or query_sketch[0].is_empty:
+            return self.search_vector(vector, k, threshold=threshold, exclude=query)
+        floor = self.config.hybrid_floor if threshold is None else threshold
+        weight = self.config.hybrid_semantic_weight
+        cosine_floor = max(-1.0, (floor - (1.0 - weight)) / weight)
+        timing = TimingBreakdown()
+        lookup_start = time.perf_counter()
+        raw = self._probe(
+            np.asarray(vector, dtype=np.float64),
+            max(4 * k, 32),
+            cosine_floor,
+            query,
+        )
+        query_sig, query_size = query_sketch
+        scored: list[tuple[ColumnRef, float]] = []
+        for ref, cosine in raw:
+            sketch = self._signatures.get(ref)
+            containment = (
+                query_sig.containment_estimate(sketch[0], query_size, sketch[1])
+                if sketch is not None
+                else 0.0
+            )
+            blended = weight * float(cosine) + (1.0 - weight) * containment
+            if blended >= floor:
+                scored.append((ref, blended))
+        scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        timing.lookup_s = time.perf_counter() - lookup_start
+        return DiscoveryResult(
+            query=query,
+            candidates=[JoinCandidate(ref, score) for ref, score in scored[:k]],
+            timing=timing,
+        )
 
     def _probe(
         self,
@@ -518,6 +627,19 @@ class WarpGate(JoinDiscoverySystem):
             "cosine": round(cosine, 4),
             "above_threshold": cosine >= self.config.threshold,
         }
+        if self.config.scoring == "hybrid":
+            query_sketch = self._signatures.get(query)
+            candidate_sketch = self._signatures.get(candidate)
+            if query_sketch is not None and candidate_sketch is not None:
+                weight = self.config.hybrid_semantic_weight
+                containment = query_sketch[0].containment_estimate(
+                    candidate_sketch[0], query_sketch[1], candidate_sketch[1]
+                )
+                blended = weight * cosine + (1.0 - weight) * containment
+                explanation["scoring"] = "hybrid"
+                explanation["containment"] = round(containment, 4)
+                explanation["blended"] = round(blended, 4)
+                explanation["above_floor"] = blended >= self.config.hybrid_floor
         lsh = self._index
         if isinstance(lsh, ShardedIndex):
             # Shards share one banding configuration, so any shard's

@@ -24,7 +24,12 @@ from repro.storage.schema import ColumnRef
 from repro.storage.store import ColumnStore
 from repro.storage.types import DataType
 
-__all__ = ["JoinQuality", "label_quality", "compute_ground_truth"]
+__all__ = [
+    "JoinQuality",
+    "cardinality_proportion",
+    "label_quality",
+    "compute_ground_truth",
+]
 
 
 class JoinQuality(IntEnum):
@@ -44,6 +49,17 @@ _QUALITY_RULES: tuple[tuple[JoinQuality, float, float], ...] = (
     (JoinQuality.MODERATE, 0.25, 0.05),
     (JoinQuality.POOR, 0.10, 0.0),
 )
+
+
+def cardinality_proportion(size_left: int, size_right: int) -> float:
+    """``K(A, B) = min(|A|, |B|) / max(|A|, |B|)`` — symmetric, in [0, 1].
+
+    0.0 when either side is empty (an empty column is joinable with
+    nothing, matching the NONE label).
+    """
+    if size_left <= 0 or size_right <= 0:
+        return 0.0
+    return min(size_left, size_right) / max(size_left, size_right)
 
 
 def label_quality(containment: float, cardinality_proportion: float) -> JoinQuality:
@@ -116,7 +132,7 @@ def compute_ground_truth(
             continue
         size_left = len(distinct_sets[left_ref])
         size_right = len(distinct_sets[right_ref])
-        proportion = min(size_left, size_right) / max(size_left, size_right)
+        proportion = cardinality_proportion(size_left, size_right)
         # Quality is directional: label both directions independently.
         if label_quality(shared / size_left, proportion) >= minimum_quality:
             truth.add(left_ref, right_ref)

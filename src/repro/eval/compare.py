@@ -44,6 +44,11 @@ HIGHER_IS_BETTER = (
     "serve_coalesced_speedup",
     "serve_cache_hit_rate",
     "graph_incremental_speedup",
+    "quality_warpgate_recall_at_10",
+    "quality_hybrid_recall_at_10",
+    "quality_aurum_recall_at_10",
+    "quality_d3l_recall_at_10",
+    "quality_hybrid_map",
 )
 
 #: Headline metrics where a *rise* is a regression.

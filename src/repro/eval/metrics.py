@@ -6,6 +6,16 @@ convention: precision@k divides by k (not by the number of returned
 results), so a system that returns fewer than k candidates is penalized —
 matching how sparse answer sets cap the achievable precision in the paper's
 plots.
+
+Empty-answer convention
+-----------------------
+A query with no ground-truth answers is *unanswerable* — no ranking can
+score on it, and precision/recall are undefined rather than zero.  The
+per-query functions return 0.0 for such queries as a neutral sentinel
+(callers indexing single queries need a total function), but the
+aggregators (:func:`pr_curve`, :func:`mean_average_precision`) **exclude**
+unanswerable queries from their averages instead of letting defined-as-zero
+scores silently drag real system quality down.
 """
 
 from __future__ import annotations
@@ -26,7 +36,11 @@ __all__ = [
 
 
 def precision_at_k(ranked: Sequence[ColumnRef], answers: Set, k: int) -> float:
-    """|relevant ∩ top-k| / k."""
+    """|relevant ∩ top-k| / k.
+
+    0.0 on an empty answer set (unanswerable query — see the module
+    docstring; aggregators skip such queries entirely).
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     if not answers:
@@ -36,7 +50,11 @@ def precision_at_k(ranked: Sequence[ColumnRef], answers: Set, k: int) -> float:
 
 
 def recall_at_k(ranked: Sequence[ColumnRef], answers: Set, k: int) -> float:
-    """|relevant ∩ top-k| / |relevant|."""
+    """|relevant ∩ top-k| / |relevant|.
+
+    0.0 on an empty answer set (unanswerable query — see the module
+    docstring; aggregators skip such queries entirely).
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     if not answers:
@@ -69,8 +87,10 @@ def average_precision(ranked: Sequence[ColumnRef], answers: Set) -> float:
 def mean_average_precision(
     runs: Iterable[tuple[Sequence[ColumnRef], Set]]
 ) -> float:
-    """MAP over (ranked, answers) pairs."""
-    values = [average_precision(ranked, answers) for ranked, answers in runs]
+    """MAP over (ranked, answers) pairs; unanswerable queries are skipped."""
+    values = [
+        average_precision(ranked, answers) for ranked, answers in runs if answers
+    ]
     return sum(values) / len(values) if values else 0.0
 
 
@@ -90,12 +110,19 @@ def pr_curve(
     runs: Sequence[tuple[Sequence[ColumnRef], Set]],
     ks: Sequence[int] = (2, 3, 5, 10),
 ) -> list[PRPoint]:
-    """Average precision/recall over queries at each k (Figure 4 series)."""
-    if not runs:
+    """Average precision/recall over queries at each k (Figure 4 series).
+
+    Unanswerable queries (empty answer set) are excluded from the
+    averages — see the module docstring's empty-answer convention.
+    """
+    answered = [(ranked, answers) for ranked, answers in runs if answers]
+    if not answered:
         return [PRPoint(k, 0.0, 0.0) for k in ks]
     points = []
     for k in ks:
-        precision = sum(precision_at_k(ranked, answers, k) for ranked, answers in runs)
-        recall = sum(recall_at_k(ranked, answers, k) for ranked, answers in runs)
-        points.append(PRPoint(k, precision / len(runs), recall / len(runs)))
+        precision = sum(
+            precision_at_k(ranked, answers, k) for ranked, answers in answered
+        )
+        recall = sum(recall_at_k(ranked, answers, k) for ranked, answers in answered)
+        points.append(PRPoint(k, precision / len(answered), recall / len(answered)))
     return points

@@ -71,6 +71,7 @@ from repro._util import chunked, rng_for
 from repro.index.lsh import SimHashLSHIndex
 
 __all__ = [
+    "ALL_STAGES",
     "BENCH_HISTORY_NAME",
     "BENCH_REPORT_NAME",
     "PROFILES",
@@ -84,7 +85,22 @@ __all__ = [
 
 BENCH_REPORT_NAME = "BENCH_index.json"
 BENCH_HISTORY_NAME = "BENCH_history.jsonl"
-_SCHEMA_VERSION = 5
+_SCHEMA_VERSION = 6
+
+#: Every stage the suite can run, in run order.  ``run_perf_suite``'s
+#: ``stages`` parameter selects a subset (``python -m repro bench
+#: --stages quality``); the report records which subset ran so
+#: :func:`validate_report` only enforces contracts for stages present.
+ALL_STAGES = (
+    "results",
+    "embed",
+    "shard",
+    "quant",
+    "artifact",
+    "serve",
+    "graph",
+    "quality",
+)
 
 #: Named suite profiles: corpus sizes and repeat counts.  ``full`` is the
 #: committed baseline; ``fast`` keeps the CI smoke job in single-digit
@@ -107,6 +123,7 @@ PROFILES: dict[str, dict] = {
         "serve_clients": 16,
         "serve_requests_per_client": 64,
         "graph_sizes": (10_000,),
+        "quality_profile": "full",
     },
     "fast": {
         "sizes": (500, 1_000, 2_000),
@@ -121,6 +138,7 @@ PROFILES: dict[str, dict] = {
         "serve_clients": 8,
         "serve_requests_per_client": 16,
         "graph_sizes": (2_000,),
+        "quality_profile": "small",
     },
 }
 
@@ -217,6 +235,25 @@ _SERVE_FIELDS = (
     "cache_hit_rate",
     "mean_batch",
     "warmup_runs",
+)
+
+# Fields every quality-stage row must carry: one (dataset, system, arm)
+# cell of the join-quality matrix (see repro.eval.quality) — Figure-4
+# precision/recall at every cutoff plus MAP/MRR and wall times.
+_QUALITY_FIELDS = (
+    "n_queries",
+    "p_at_2",
+    "p_at_3",
+    "p_at_5",
+    "p_at_10",
+    "r_at_2",
+    "r_at_3",
+    "r_at_5",
+    "r_at_10",
+    "map",
+    "mrr",
+    "index_s",
+    "eval_s",
 )
 
 # Fields every graph-stage row must carry: full join-graph rebuild vs the
@@ -1015,6 +1052,8 @@ def run_perf_suite(
     serve_requests_per_client: int | None = None,
     graph_sizes: tuple[int, ...] | None = None,
     graph_edge_threshold: float = 0.7,
+    quality_profile: str | None = None,
+    stages: tuple[str, ...] | None = None,
     progress=None,
 ) -> dict:
     """Time index search paths and embedding throughput per corpus size.
@@ -1024,16 +1063,31 @@ def run_perf_suite(
     batched encode), ``shard`` rows ``_SHARD_FIELDS`` (1-arena vs
     partitioned search), ``quant`` rows ``_QUANT_FIELDS`` (float32 vs
     int8+re-rank, with recall@k), ``artifact`` rows ``_ARTIFACT_FIELDS``
-    (format-2 vs format-3 cold loads), and ``serve`` rows
-    ``_SERVE_FIELDS`` (concurrent HTTP clients against the live serving
-    engine vs the thread-per-request baseline), and ``graph`` rows
-    ``_GRAPH_FIELDS`` (full join-graph rebuild vs incremental one-table
-    update, plus multi-hop path-query latency).  Pass ``progress`` (a
-    callable taking one string) for per-size console feedback.
+    (format-2 vs format-3 cold loads), ``serve`` rows ``_SERVE_FIELDS``
+    (concurrent HTTP clients against the live serving engine vs the
+    thread-per-request baseline), ``graph`` rows ``_GRAPH_FIELDS`` (full
+    join-graph rebuild vs incremental one-table update, plus multi-hop
+    path-query latency), and ``quality`` rows ``_QUALITY_FIELDS`` (the
+    join-quality matrix of :mod:`repro.eval.quality` — precision/recall@k,
+    MAP, MRR per (dataset, system, arm) cell).  ``stages`` selects a
+    subset of :data:`ALL_STAGES` (default: all); skipped stages appear as
+    empty lists and the report's ``stages`` key records what ran.  Pass
+    ``progress`` (a callable taking one string) for per-size console
+    feedback.
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}")
     spec = PROFILES[profile]
+    if stages is None:
+        stages = ALL_STAGES
+    else:
+        stages = tuple(stages)
+        unknown = sorted(set(stages) - set(ALL_STAGES))
+        if unknown:
+            raise ValueError(
+                f"unknown stage(s) {unknown}; choose from {list(ALL_STAGES)}"
+            )
+        stages = tuple(stage for stage in ALL_STAGES if stage in stages)
     sizes = tuple(sizes) if sizes is not None else spec["sizes"]
     repeats = repeats if repeats is not None else spec["repeats"]
     embed_sizes = (
@@ -1070,8 +1124,13 @@ def run_perf_suite(
     graph_sizes = (
         tuple(graph_sizes) if graph_sizes is not None else spec["graph_sizes"]
     )
+    quality_profile = (
+        quality_profile
+        if quality_profile is not None
+        else spec.get("quality_profile", "small")
+    )
     results = []
-    for n in sizes:
+    for n in sizes if "results" in stages else ():
         if progress is not None:
             progress(f"benchmarking {n} columns ...")
         results.append(
@@ -1087,7 +1146,7 @@ def run_perf_suite(
             )
         )
     embed_results = []
-    for n in embed_sizes:
+    for n in embed_sizes if "embed" in stages else ():
         if progress is not None:
             progress(f"benchmarking embed throughput at {n} columns ...")
         embed_results.append(
@@ -1101,7 +1160,7 @@ def run_perf_suite(
             )
         )
     shard_results = []
-    for n in shard_sizes:
+    for n in shard_sizes if "shard" in stages else ():
         if progress is not None:
             progress(f"benchmarking {n_shards}-shard search at {n} columns ...")
         shard_results.append(
@@ -1118,7 +1177,7 @@ def run_perf_suite(
             )
         )
     quant_results = []
-    for n in quant_sizes:
+    for n in quant_sizes if "quant" in stages else ():
         if progress is not None:
             progress(f"benchmarking int8 scoring at {n} columns ...")
         quant_results.append(
@@ -1132,14 +1191,14 @@ def run_perf_suite(
             )
         )
     artifact_results = []
-    for n in artifact_sizes:
+    for n in artifact_sizes if "artifact" in stages else ():
         if progress is not None:
             progress(f"benchmarking artifact formats at {n} columns ...")
         artifact_results.append(
             _bench_artifact_one_size(n, dim=dim, repeats=stage_repeats)
         )
     serve_results = []
-    for n in serve_sizes:
+    for n in serve_sizes if "serve" in stages else ():
         if progress is not None:
             progress(
                 f"benchmarking HTTP serving with {serve_clients} clients "
@@ -1155,7 +1214,7 @@ def run_perf_suite(
             )
         )
     graph_results = []
-    for n in graph_sizes:
+    for n in graph_sizes if "graph" in stages else ():
         if progress is not None:
             progress(f"benchmarking join graph at {n} columns ...")
         graph_results.append(
@@ -1166,10 +1225,22 @@ def run_perf_suite(
                 repeats=stage_repeats,
             )
         )
+    quality_results = []
+    if "quality" in stages:
+        from repro.eval.quality import run_quality_suite
+
+        if progress is not None:
+            progress(
+                f"benchmarking join quality ({quality_profile} matrix) ..."
+            )
+        quality_results = run_quality_suite(
+            profile=quality_profile, progress=progress
+        )["rows"]
     return {
         "schema_version": _SCHEMA_VERSION,
         "suite": "index-perf",
         "profile": profile,
+        "stages": list(stages),
         "config": {
             "backend": "lsh",
             "dim": dim,
@@ -1198,6 +1269,11 @@ def run_perf_suite(
                 "edge_threshold": graph_edge_threshold,
                 "columns_per_table": 64,
             },
+            "quality": {
+                "profile": quality_profile,
+                "ks": [2, 3, 5, 10],
+                "backend": "exact",
+            },
         },
         "environment": {
             "python": platform.python_version(),
@@ -1212,6 +1288,7 @@ def run_perf_suite(
         "artifact": artifact_results,
         "serve": serve_results,
         "graph": graph_results,
+        "quality": quality_results,
     }
 
 
@@ -1234,24 +1311,32 @@ def validate_report(payload: dict) -> list[str]:
         problems.append("suite != 'index-perf'")
     if not isinstance(payload.get("config"), dict):
         problems.append("missing config object")
-    results = payload.get("results")
-    if not isinstance(results, list) or len(results) < 3:
-        problems.append("results must list >= 3 corpus sizes")
+    ran = payload.get("stages")
+    if ran is None:
+        ran = list(ALL_STAGES)  # pre-v6 reports carried every stage
+    elif not isinstance(ran, list) or not ran:
+        problems.append("stages must be a non-empty list")
         return problems
-    for row in results:
-        for field in _RESULT_FIELDS:
-            value = row.get(field)
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
-                problems.append(f"result {row.get('n_columns')}: bad {field!r}")
-    embed = payload.get("embed")
-    if not isinstance(embed, list) or not embed:
-        problems.append("embed must list >= 1 corpus sizes")
-        return problems
-    for row in embed:
-        for field in _EMBED_FIELDS:
-            value = row.get(field)
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
-                problems.append(f"embed {row.get('n_columns')}: bad {field!r}")
+    if "results" in ran:
+        results = payload.get("results")
+        if not isinstance(results, list) or len(results) < 3:
+            problems.append("results must list >= 3 corpus sizes")
+            return problems
+        for row in results:
+            for field in _RESULT_FIELDS:
+                value = row.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"result {row.get('n_columns')}: bad {field!r}")
+    if "embed" in ran:
+        embed = payload.get("embed")
+        if not isinstance(embed, list) or not embed:
+            problems.append("embed must list >= 1 corpus sizes")
+            return problems
+        for row in embed:
+            for field in _EMBED_FIELDS:
+                value = row.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"embed {row.get('n_columns')}: bad {field!r}")
     for stage, fields in (
         ("shard", _SHARD_FIELDS),
         ("quant", _QUANT_FIELDS),
@@ -1259,6 +1344,8 @@ def validate_report(payload: dict) -> list[str]:
         ("serve", _SERVE_FIELDS),
         ("graph", _GRAPH_FIELDS),
     ):
+        if stage not in ran:
+            continue
         rows = payload.get(stage)
         if not isinstance(rows, list) or not rows:
             problems.append(f"{stage} must list >= 1 corpus sizes")
@@ -1268,6 +1355,23 @@ def validate_report(payload: dict) -> list[str]:
                 value = row.get(field)
                 if not isinstance(value, (int, float)) or isinstance(value, bool):
                     problems.append(f"{stage} {row.get('n_columns')}: bad {field!r}")
+    if "quality" in ran:
+        rows = payload.get("quality")
+        if not isinstance(rows, list) or not rows:
+            problems.append("quality must list >= 1 matrix cells")
+        else:
+            for row in rows:
+                cell = (
+                    f"{row.get('dataset_key')}/{row.get('system')}"
+                    f"[{row.get('arm')}]"
+                )
+                for field in ("dataset_key", "system", "arm"):
+                    if not isinstance(row.get(field), str):
+                        problems.append(f"quality {cell}: bad {field!r}")
+                for field in _QUALITY_FIELDS:
+                    value = row.get(field)
+                    if not isinstance(value, (int, float)) or isinstance(value, bool):
+                        problems.append(f"quality {cell}: bad {field!r}")
     return problems
 
 
@@ -1335,6 +1439,9 @@ def append_history(report: dict, path: str | Path) -> Path:
         "graph_incremental_speedup": graph.get("incremental_speedup"),
         "graph_path_query_ms": graph.get("path_query_ms"),
     }
+    from repro.eval.quality import quality_headline
+
+    entry.update(quality_headline(report.get("quality") or []))
     with path.open("a", encoding="utf-8") as handle:
         handle.write(json.dumps(entry) + "\n")
     return path

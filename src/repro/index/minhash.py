@@ -108,6 +108,28 @@ class MinHashSignature:
             return 1.0
         return float(np.mean(self.values == other.values))
 
+    def containment_estimate(
+        self, other: "MinHashSignature", self_size: int, other_size: int
+    ) -> float:
+        """Estimated containment ``C = |self ∩ other| / |self|``.
+
+        MinHash sketches estimate Jaccard directly; containment follows
+        from it once the true distinct counts are known:
+        ``|A ∩ B| = J / (1 + J) · (|A| + |B|)``.  The estimate is clipped
+        to ``[0, 1]`` (the Jaccard estimator's variance can push the raw
+        ratio past 1 on near-identical sets).  ``self_size`` /
+        ``other_size`` are the *distinct* value counts of the sketched
+        sets; a non-positive ``self_size`` yields 0.0 (an empty query
+        column is contained in nothing).
+        """
+        if self_size <= 0 or other_size <= 0:
+            return 0.0
+        jaccard = self.jaccard_estimate(other)
+        if jaccard <= 0.0:
+            return 0.0
+        intersection = jaccard / (1.0 + jaccard) * (self_size + other_size)
+        return min(1.0, intersection / self_size)
+
     def band_keys(self, n_bands: int) -> list[bytes]:
         """Split the signature into hashable band keys."""
         if self.n_perm % n_bands != 0:

@@ -1,0 +1,82 @@
+"""Shared search-protocol conformance: every discovery system, one contract.
+
+The quality harness (:mod:`repro.eval.quality`) compares WarpGate, Aurum,
+and D3L head-to-head, which is only meaningful if they all honour the same
+:class:`~repro.core.candidates.DiscoveryResult` invariants: the query is
+echoed back, the query itself and its table-mates never appear as
+candidates, scores come ranked best-first, and ``k`` bounds the result.
+Each system has its own unit suite; this one pins the *shared* protocol so
+a new baseline (or a scoring-mode change) cannot silently drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.aurum import Aurum
+from repro.baselines.d3l import D3L
+from repro.core.candidates import DiscoveryResult
+from repro.core.config import WarpGateConfig
+from repro.core.warpgate import WarpGate
+from repro.storage.schema import ColumnRef
+
+# Factories, not instances: each test gets a fresh system so mutation in
+# one parametrization cannot leak into another.
+_SYSTEMS = {
+    "aurum": lambda: Aurum(edge_threshold=0.5),
+    "d3l": lambda: D3L(),
+    "warpgate-cosine": lambda: WarpGate(WarpGateConfig(search_backend="exact")),
+    "warpgate-hybrid": lambda: WarpGate(
+        WarpGateConfig(search_backend="exact").with_scoring("hybrid")
+    ),
+}
+
+
+@pytest.fixture(params=sorted(_SYSTEMS))
+def indexed_system(request, toy_connector):
+    system = _SYSTEMS[request.param]()
+    system.index_corpus(toy_connector)
+    return system
+
+
+def query_ref() -> ColumnRef:
+    return ColumnRef("db", "customers", "company")
+
+
+class TestSearchProtocol:
+    def test_returns_discovery_result_echoing_query(self, indexed_system):
+        result = indexed_system.search(query_ref(), 5)
+        assert isinstance(result, DiscoveryResult)
+        assert result.query == query_ref()
+
+    def test_query_is_never_its_own_candidate(self, indexed_system):
+        result = indexed_system.search(query_ref(), 10)
+        assert query_ref() not in result.refs
+
+    def test_same_table_columns_excluded(self, indexed_system):
+        result = indexed_system.search(query_ref(), 10)
+        assert all(not ref.same_table(query_ref()) for ref in result.refs)
+
+    def test_scores_ranked_descending(self, indexed_system):
+        scores = [c.score for c in indexed_system.search(query_ref(), 10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_bounds_the_result(self, indexed_system):
+        assert len(indexed_system.search(query_ref(), 1)) <= 1
+        assert len(indexed_system.search(query_ref(), 3)) <= 3
+
+    def test_finds_the_identical_extent(self, indexed_system):
+        # The toy warehouse's one obvious join: customers.company and
+        # vendors.vendor_name share all five values.
+        result = indexed_system.search(query_ref(), 5)
+        assert ColumnRef("db", "vendors", "vendor_name") in result.refs
+
+    def test_candidates_are_indexed_refs(self, indexed_system, toy_warehouse):
+        known = {
+            ColumnRef(database.name, table.name, column.name)
+            for database in toy_warehouse.databases()
+            for table in database.tables()
+            for column in table.columns
+        }
+        result = indexed_system.search(query_ref(), 10)
+        assert set(result.refs) <= known

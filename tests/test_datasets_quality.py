@@ -3,8 +3,15 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.datasets.quality import JoinQuality, compute_ground_truth, label_quality
+from repro.datasets.quality import (
+    JoinQuality,
+    cardinality_proportion,
+    compute_ground_truth,
+    label_quality,
+)
 from repro.storage.column import Column
 from repro.storage.schema import ColumnRef
 from repro.storage.store import ColumnStore
@@ -37,6 +44,58 @@ class TestLabelQuality:
     def test_boundaries_inclusive(self):
         assert label_quality(0.75, 0.25) is JoinQuality.HIGH
         assert label_quality(0.5, 0.1) is JoinQuality.GOOD
+
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+sizes = st.integers(min_value=0, max_value=1_000_000)
+
+
+class TestLabelQualityProperties:
+    """The labelling rule's algebra, pinned over the whole input space."""
+
+    @given(unit, unit, unit)
+    def test_monotone_in_containment(self, low, high, proportion):
+        low, high = min(low, high), max(low, high)
+        assert label_quality(low, proportion) <= label_quality(high, proportion)
+
+    @given(unit, unit, unit)
+    def test_monotone_in_proportion(self, containment, low, high):
+        low, high = min(low, high), max(low, high)
+        assert label_quality(containment, low) <= label_quality(containment, high)
+
+    @given(unit, unit)
+    def test_label_is_a_quality_level(self, containment, proportion):
+        assert isinstance(label_quality(containment, proportion), JoinQuality)
+
+    @pytest.mark.parametrize(
+        ("level", "containment_floor", "proportion_floor"),
+        [
+            (JoinQuality.HIGH, 0.75, 0.25),
+            (JoinQuality.GOOD, 0.50, 0.10),
+            (JoinQuality.MODERATE, 0.25, 0.05),
+            (JoinQuality.POOR, 0.10, 0.0),
+        ],
+    )
+    def test_threshold_boundary_exact(self, level, containment_floor, proportion_floor):
+        # Floors are inclusive: landing exactly on one grants the level,
+        # and any drop below the containment floor loses it.
+        assert label_quality(containment_floor, proportion_floor) is level
+        assert label_quality(containment_floor - 1e-6, proportion_floor) < level
+
+    @given(sizes, sizes)
+    def test_cardinality_proportion_symmetric_and_bounded(self, left, right):
+        proportion = cardinality_proportion(left, right)
+        assert proportion == cardinality_proportion(right, left)
+        assert 0.0 <= proportion <= 1.0
+
+    @given(st.integers(min_value=1, max_value=1_000_000))
+    def test_cardinality_proportion_identity(self, size):
+        assert cardinality_proportion(size, size) == 1.0
+
+    @given(sizes)
+    def test_cardinality_proportion_empty_side_is_zero(self, size):
+        assert cardinality_proportion(0, size) == 0.0
+        assert cardinality_proportion(size, 0) == 0.0
 
 
 def store_with(pairs: dict[str, list[str]]) -> ColumnStore:

@@ -89,6 +89,15 @@ class TestAveragePrecision:
     def test_map_empty(self):
         assert mean_average_precision([]) == 0.0
 
+    def test_map_skips_unanswerable_queries(self):
+        # An empty answer set is undefined, not zero: the perfect run's
+        # MAP must not be dragged down by the unanswerable one.
+        runs = [(refs("a", "b"), ANSWERS), (refs("x"), frozenset())]
+        assert mean_average_precision(runs) == 1.0
+
+    def test_map_all_unanswerable(self):
+        assert mean_average_precision([(refs("x"), frozenset())]) == 0.0
+
 
 class TestPrCurve:
     def test_points_per_k(self):
@@ -103,6 +112,16 @@ class TestPrCurve:
 
     def test_empty_runs(self):
         curve = pr_curve([], ks=(2,))
+        assert curve == [PRPoint(2, 0.0, 0.0)]
+
+    def test_skips_unanswerable_queries(self):
+        # Averages run over answered queries only (empty-answer convention).
+        runs = [(refs("a", "b"), ANSWERS), (refs("a", "b"), frozenset())]
+        curve = pr_curve(runs, ks=(2,))
+        assert curve[0] == PRPoint(2, 1.0, 1.0)
+
+    def test_all_unanswerable_collapses_to_zero(self):
+        curve = pr_curve([(refs("a"), frozenset())], ks=(2,))
         assert curve == [PRPoint(2, 0.0, 0.0)]
 
     def test_str(self):

@@ -1,0 +1,182 @@
+"""Tests for hybrid semantic+syntactic scoring in WarpGate.
+
+Hybrid mode blends cosine with a MinHash containment estimate
+(``w · cosine + (1 - w) · containment``) and ranks/filters on the blend —
+recovering high-containment pairs whose embeddings fall below the cosine
+threshold.  These tests pin the config surface, the sketch lifecycle, the
+blend arithmetic, and the recovery behaviour itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WarpGateConfig
+from repro.core.warpgate import WarpGate
+from repro.storage.column import Column
+from repro.storage.schema import ColumnRef
+from repro.storage.table import Table
+from repro.warehouse.catalog import Warehouse
+from repro.warehouse.connector import WarehouseConnector
+
+
+def hybrid_config(**overrides) -> WarpGateConfig:
+    return WarpGateConfig(search_backend="exact", **overrides).with_scoring("hybrid")
+
+
+def containment_warehouse() -> Warehouse:
+    """A high-containment / moderate-cosine pair plus an unrelated table.
+
+    ``orders.code`` is fully contained in ``catalog.all_codes``, but the
+    catalog column's 60 extra tokens dilute its mean embedding to a cosine
+    around 0.46 — well under the 0.7 threshold.  The regime hybrid
+    scoring exists for.
+    """
+    warehouse = Warehouse("contain")
+    codes = [f"zq{i:02d}" for i in range(20)]
+    noisy = codes + [f"wx{i:02d}" for i in range(60)]
+    cities = [
+        "boston", "chicago", "denver", "austin", "seattle",
+        "portland", "atlanta", "dallas", "miami", "phoenix",
+    ]
+    warehouse.add_table("db", Table("orders", [Column("code", codes)]))
+    warehouse.add_table("db", Table("catalog", [Column("all_codes", noisy)]))
+    warehouse.add_table("db", Table("cities", [Column("city", cities)]))
+    return warehouse
+
+
+QUERY = ColumnRef("db", "orders", "code")
+CONTAINED = ColumnRef("db", "catalog", "all_codes")
+
+
+class TestConfig:
+    def test_unknown_scoring_rejected(self):
+        with pytest.raises(ValueError):
+            WarpGateConfig(scoring="jaccard")
+
+    @pytest.mark.parametrize("weight", [0.0, -0.5, 1.5])
+    def test_semantic_weight_bounds(self, weight):
+        with pytest.raises(ValueError):
+            WarpGateConfig(hybrid_semantic_weight=weight)
+
+    @pytest.mark.parametrize("floor", [-1.5, 1.01])
+    def test_floor_bounds(self, floor):
+        with pytest.raises(ValueError):
+            WarpGateConfig(hybrid_floor=floor)
+
+    def test_with_scoring_copies_knobs(self):
+        config = WarpGateConfig().with_scoring(
+            "hybrid", semantic_weight=0.8, floor=0.5
+        )
+        assert config.scoring == "hybrid"
+        assert config.hybrid_semantic_weight == 0.8
+        assert config.hybrid_floor == 0.5
+
+    def test_with_scoring_keeps_defaults(self):
+        config = WarpGateConfig().with_scoring("hybrid")
+        assert config.hybrid_semantic_weight == 0.6
+        assert config.hybrid_floor == 0.35
+
+
+class TestSketchLifecycle:
+    def test_cosine_mode_captures_no_sketches(self, toy_connector):
+        system = WarpGate(WarpGateConfig(search_backend="exact"))
+        system.index_corpus(toy_connector)
+        assert system._signatures == {}
+
+    def test_hybrid_mode_sketches_every_indexed_column(self, toy_connector):
+        system = WarpGate(hybrid_config())
+        system.index_corpus(toy_connector)
+        assert set(system._signatures) == set(system.indexed_refs)
+
+    def test_add_columns_sketches(self, toy_connector):
+        system = WarpGate(hybrid_config())
+        system.index_corpus(toy_connector)
+        ref = ColumnRef("db", "customers", "company")
+        system.remove_column(ref)
+        assert ref not in system._signatures
+        system.add_columns([ref])
+        assert ref in system._signatures
+
+    def test_remove_column_drops_the_sketch(self, toy_connector):
+        system = WarpGate(hybrid_config())
+        system.index_corpus(toy_connector)
+        ref = ColumnRef("db", "colors", "color")
+        system.remove_column(ref)
+        assert ref not in system._signatures
+
+
+class TestHybridSearch:
+    @pytest.fixture()
+    def contained_system(self):
+        system = WarpGate(hybrid_config())
+        system.index_corpus(WarehouseConnector(containment_warehouse()))
+        return system
+
+    def test_cosine_misses_the_contained_pair(self):
+        system = WarpGate(WarpGateConfig(search_backend="exact"))
+        system.index_corpus(WarehouseConnector(containment_warehouse()))
+        # Premise: the pair really does sit below the cosine threshold.
+        assert system.similarity(QUERY, CONTAINED) < system.config.threshold
+        assert CONTAINED not in system.search(QUERY, 10).refs
+
+    def test_hybrid_recovers_the_contained_pair(self, contained_system):
+        result = contained_system.search(QUERY, 10)
+        assert CONTAINED in result.refs
+
+    def test_blend_arithmetic(self, contained_system):
+        explanation = contained_system.explain(QUERY, CONTAINED)
+        assert explanation["scoring"] == "hybrid"
+        weight = contained_system.config.hybrid_semantic_weight
+        expected = (
+            weight * explanation["cosine"]
+            + (1.0 - weight) * explanation["containment"]
+        )
+        assert explanation["blended"] == pytest.approx(expected, abs=1e-3)
+        assert explanation["above_floor"] is True
+
+    def test_containment_of_identical_extents_is_one(self, toy_connector):
+        system = WarpGate(hybrid_config())
+        system.index_corpus(toy_connector)
+        explanation = system.explain(
+            ColumnRef("db", "customers", "company"),
+            ColumnRef("db", "vendors", "vendor_name"),
+        )
+        # Identical value sets produce identical signatures: the estimate
+        # is exact, no MinHash noise.
+        assert explanation["containment"] == 1.0
+
+    def test_threshold_overrides_the_blend_floor(self, contained_system):
+        # The contained pair blends to ~0.62: a floor above that hides it.
+        assert CONTAINED not in contained_system.search(QUERY, 10, threshold=0.9).refs
+        assert CONTAINED in contained_system.search(QUERY, 10, threshold=0.1).refs
+
+    def test_scores_sorted_and_k_respected(self, toy_connector):
+        system = WarpGate(hybrid_config())
+        system.index_corpus(toy_connector)
+        result = system.search(ColumnRef("db", "customers", "company"), 2)
+        assert len(result) <= 2
+        scores = [candidate.score for candidate in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_vector_search_stays_cosine_ranked(self, contained_system):
+        # Raw vectors carry no value set to sketch: documented degradation.
+        vector = contained_system.vector_of(QUERY)
+        result = contained_system.search_vector(vector, 10, exclude=QUERY)
+        for candidate in result:
+            assert candidate.score == pytest.approx(
+                contained_system.similarity(QUERY, candidate.ref)
+            )
+
+    def test_falls_back_to_cosine_without_a_sketch(self):
+        # A restored-artifact-style engine: embeddings cached, but no
+        # sketches and no connector to scan value sets from.
+        from repro.core.profiles import EmbeddingCache
+
+        system = WarpGate(hybrid_config(), cache=EmbeddingCache())
+        system.index_corpus(WarehouseConnector(containment_warehouse()))
+        system._signatures.clear()
+        system._connector = None
+        result = system.search(QUERY, 10)
+        # Pure cosine at threshold 0.7: the contained pair is lost again.
+        assert CONTAINED not in result.refs
