@@ -79,6 +79,8 @@ def _config_from_args(args: argparse.Namespace) -> WarpGateConfig:
         coalesce_max_batch=getattr(args, "max_batch", 32),
         coalesce_max_wait_us=getattr(args, "max_wait_us", 500),
         query_cache_size=getattr(args, "query_cache_size", 4096),
+        shard_workers=getattr(args, "shard_workers", 0),
+        worker_transport=getattr(args, "worker_transport", "pipe"),
     )
 
 
@@ -129,7 +131,23 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     warehouse = _warehouse_from_csv_dir(Path(args.directory))
-    service = DiscoveryService(_config_from_args(args))
+    config = _config_from_args(args)
+    if args.procs > 1:
+        from repro.service import serve_multiprocess
+
+        # The warehouse is loaded once pre-fork (copy-on-write pages);
+        # each child builds its own service so the whole request path
+        # runs GIL-free in parallel across processes.
+        def factory() -> DiscoveryService:
+            service = DiscoveryService(config)
+            service.open(WarehouseConnector(warehouse))
+            return service
+
+        serve_multiprocess(
+            factory, args.host, args.port, procs=args.procs, workers=args.workers
+        )
+        return 0
+    service = DiscoveryService(config)
     report = service.open(WarehouseConnector(warehouse))
     print(f"indexed {report.columns_indexed} columns from {args.directory}")
     serve(service, args.host, args.port, workers=args.workers)
@@ -159,6 +177,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     from repro.eval.report import render_table
 
+    if args.pin_cpus:
+        import os
+
+        if not hasattr(os, "sched_setaffinity"):
+            print("error: --pin-cpus is not supported on this platform", file=sys.stderr)
+            return 2
+        pinned = {int(cpu) for cpu in args.pin_cpus.split(",")}
+        os.sched_setaffinity(0, pinned)
+        print(f"pinned to cpu(s) {sorted(pinned)}")
     sizes = (
         tuple(int(size) for size in args.sizes.split(",")) if args.sizes else None
     )
@@ -313,6 +340,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 title="HTTP serving engine (thread-per-request vs pool+coalesce+cache)",
             )
         )
+    mpserve_rows = [
+        [
+            row["n_columns"],
+            row["n_workers"],
+            f"{row['batch_ms_inproc']:.1f}",
+            f"{row['batch_ms_proc']:.1f}",
+            f"{row['proc_shard_speedup']:.2f}x",
+            f"{row['merge_equal_fraction']:.0%}",
+            f"{row['qps_one_proc']:.0f}",
+            f"{row['qps_two_proc']:.0f}",
+            f"{row['http_speedup']:.2f}x",
+        ]
+        for row in report["mpserve"]
+    ]
+    if mpserve_rows:
+        print(
+            render_table(
+                [
+                    "columns",
+                    "workers",
+                    "thread ms",
+                    "proc ms",
+                    "speedup",
+                    "merge =",
+                    "1-proc qps",
+                    "2-proc qps",
+                    "http x",
+                ],
+                mpserve_rows,
+                title=(
+                    "Multi-process engines "
+                    f"({report['environment']['cpus']} cpu core(s), "
+                    f"{report['config']['mpserve']['transport']} transport)"
+                ),
+            )
+        )
     graph_rows = [
         [
             row["n_columns"],
@@ -322,6 +385,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{row['incremental_update_s'] * 1e3:.1f}",
             f"{row['incremental_speedup']:.0f}x",
             f"{row['path_query_ms']:.2f}",
+            f"{row['path_prune_speedup']:.1f}x",
         ]
         for row in report["graph"]
     ]
@@ -336,6 +400,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     "incr ms",
                     "speedup",
                     "path q ms",
+                    "prune x",
                 ],
                 graph_rows,
                 title="Join graph (full rebuild vs incremental table update)",
@@ -526,6 +591,20 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="score candidates on int8 codes with exact float32 re-rank",
         )
+        sub.add_argument(
+            "--shard-workers",
+            type=int,
+            default=0,
+            help="shard worker processes fanning queries out over shared "
+            "mmap segments (0 = in-process index)",
+        )
+        sub.add_argument(
+            "--worker-transport",
+            default="pipe",
+            choices=("pipe", "shm"),
+            help="query-vector transport to shard workers (shm = POSIX "
+            "shared memory for large batches)",
+        )
 
     discover = subparsers.add_parser(
         "discover", help="find joinable columns in a directory of CSV files"
@@ -564,6 +643,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=32,
         help="fixed HTTP worker pool size (concurrent persistent connections)",
+    )
+    serve_cmd.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="server processes sharing the port via SO_REUSEPORT "
+        "(1 = single process; >1 forks one full server per process)",
     )
     serve_cmd.add_argument(
         "--no-coalesce",
@@ -651,8 +737,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--stages",
         default="",
         help="comma-separated subset of stages to run (default: all); "
-        "choices: results, embed, shard, quant, artifact, serve, graph, "
-        "quality; subset runs skip the history append",
+        "choices: results, embed, shard, quant, artifact, serve, mpserve, "
+        "graph, quality; subset runs skip the history append",
     )
     bench.add_argument("--dim", type=int, default=256, help="embedding dimensionality")
     bench.add_argument(
@@ -661,6 +747,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("-k", type=int, default=10, help="results per query")
     bench.add_argument(
         "--repeats", type=int, default=None, help="best-of-N timing repeats"
+    )
+    bench.add_argument(
+        "--pin-cpus",
+        default="",
+        help="comma-separated CPU ids to pin the suite to "
+        "(sched_setaffinity; recorded in environment.cpu_affinity)",
     )
     bench.add_argument(
         "--output", default="BENCH_index.json", help="report path (JSON)"

@@ -113,6 +113,22 @@ class DimensionMismatchError(IndexError_):
         )
 
 
+class WorkerCrashError(IndexError_):
+    """Raised when a shard worker process dies (or stalls) mid-request.
+
+    Carries the shard id so the pool's restart path and the serving
+    layer's error envelope can name the failed partition.  The pool
+    reaps the dead worker before raising, so the next query respawns it
+    from the last published segment — callers see one failed request,
+    never a hang.
+    """
+
+    def __init__(self, shard_id: int, reason: str) -> None:
+        self.shard_id = shard_id
+        self.reason = reason
+        super().__init__(f"shard worker {shard_id} crashed: {reason}")
+
+
 class DiscoveryError(ReproError):
     """Base class for errors in the discovery layer (WarpGate + baselines)."""
 

@@ -34,6 +34,15 @@ cache's steady-state hit rate.  A single-client probe pins the
 coalescer's fast-path contract: p50 latency with coalescing on stays
 within 10% of the uncoalesced path.
 
+The ``mpserve`` stage tracks the multi-process engines against their
+in-process twins: :class:`~repro.index.procpool.ProcessShardedIndex`
+batched search vs :class:`~repro.index.sharding.ShardedIndex` (with the
+same merge-exactness probe), and the ``SO_REUSEPORT`` HTTP front at 1
+vs 2 processes.  ``environment.cpus`` and ``environment.cpu_affinity``
+record the hardware; on a single-core host the honest assertion is
+result parity, not speedup — CI gates ``proc_shard_speedup`` only when
+``cpus > 1``.
+
 Stage timers are warm-up-excluded medians (``_timed_median``): every
 timed arm first runs untimed ``warmup_runs`` times (JIT, lazy imports,
 BLAS thread spin-up, cache fill), then reports the median of the timed
@@ -56,6 +65,7 @@ paper describes rather than a best case.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import statistics
@@ -85,7 +95,7 @@ __all__ = [
 
 BENCH_REPORT_NAME = "BENCH_index.json"
 BENCH_HISTORY_NAME = "BENCH_history.jsonl"
-_SCHEMA_VERSION = 6
+_SCHEMA_VERSION = 7
 
 #: Every stage the suite can run, in run order.  ``run_perf_suite``'s
 #: ``stages`` parameter selects a subset (``python -m repro bench
@@ -98,6 +108,7 @@ ALL_STAGES = (
     "quant",
     "artifact",
     "serve",
+    "mpserve",
     "graph",
     "quality",
 )
@@ -122,6 +133,9 @@ PROFILES: dict[str, dict] = {
         "serve_sizes": (10_000,),
         "serve_clients": 16,
         "serve_requests_per_client": 64,
+        "mpserve_sizes": (10_000, 50_000),
+        "mpserve_clients": 8,
+        "mpserve_requests_per_client": 32,
         "graph_sizes": (10_000,),
         "quality_profile": "full",
     },
@@ -137,6 +151,9 @@ PROFILES: dict[str, dict] = {
         "serve_sizes": (2_000,),
         "serve_clients": 8,
         "serve_requests_per_client": 16,
+        "mpserve_sizes": (2_000,),
+        "mpserve_clients": 4,
+        "mpserve_requests_per_client": 8,
         "graph_sizes": (2_000,),
         "quality_profile": "small",
     },
@@ -237,6 +254,26 @@ _SERVE_FIELDS = (
     "warmup_runs",
 )
 
+# Fields every mpserve-stage row must carry: the multi-process engines vs
+# their in-process twins — ProcessShardedIndex search_batch against
+# ShardedIndex (with the same merge-exactness probe the shard stage
+# runs), and the SO_REUSEPORT HTTP front at 1 vs 2 processes.
+# ``transport`` rides along as a string and is validated separately.
+_MPSERVE_FIELDS = (
+    "n_columns",
+    "n_workers",
+    "batch_ms_inproc",
+    "batch_ms_proc",
+    "proc_shard_speedup",
+    "merge_equal_fraction",
+    "http_clients",
+    "http_requests",
+    "qps_one_proc",
+    "qps_two_proc",
+    "http_speedup",
+    "warmup_runs",
+)
+
 # Fields every quality-stage row must carry: one (dataset, system, arm)
 # cell of the join-quality matrix (see repro.eval.quality) — Figure-4
 # precision/recall at every cutoff plus MAP/MRR and wall times.
@@ -266,6 +303,8 @@ _GRAPH_FIELDS = (
     "incremental_update_s",
     "incremental_speedup",
     "path_query_ms",
+    "path_query_unpruned_ms",
+    "path_prune_speedup",
     "warmup_runs",
 )
 
@@ -732,8 +771,26 @@ def _bench_graph_one_size(
         for src, dst in pairs:
             graph.find_paths(src, dst, max_hops=3, limit=5)
 
+    def run_paths_unpruned() -> None:
+        # A callable combiner disables the best-possible-score prune in
+        # enumerate_paths, so this arm measures the exhaustive DFS the
+        # named "product" combiner used to pay.
+        for src, dst in pairs:
+            graph.find_paths(
+                src,
+                dst,
+                max_hops=3,
+                limit=5,
+                combiner=lambda scores: math.prod(list(scores)),
+            )
+
     path_query_ms = (
         _timed_median(repeats, run_paths) * 1e3 / len(pairs) if pairs else 0.0
+    )
+    path_query_unpruned_ms = (
+        _timed_median(repeats, run_paths_unpruned) * 1e3 / len(pairs)
+        if pairs
+        else 0.0
     )
 
     # One extra table of jittered copies of existing rows joins the
@@ -765,6 +822,10 @@ def _bench_graph_one_size(
             build_full_s / max(incremental_update_s, 1e-9), 1
         ),
         "path_query_ms": round(path_query_ms, 4),
+        "path_query_unpruned_ms": round(path_query_unpruned_ms, 4),
+        "path_prune_speedup": round(
+            path_query_unpruned_ms / max(path_query_ms, 1e-9), 2
+        ),
         "warmup_runs": _WARMUP_RUNS,
     }
 
@@ -1024,6 +1085,121 @@ def _bench_serve_one_size(
     }
 
 
+def _bench_mpserve_one_size(
+    n: int,
+    *,
+    dim: int,
+    n_bits: int,
+    n_bands: int,
+    threshold: float,
+    batch_size: int,
+    k: int,
+    n_workers: int,
+    transport: str,
+    repeats: int,
+    clients: int,
+    requests_per_client: int,
+    query_pool: int = 128,
+) -> dict:
+    """Multi-process engines vs their in-process twins at one corpus size.
+
+    Two arms, both exactness-checked:
+
+    * **index fan-out** — the identical corpus partitioned across
+      ``n_workers``, batched search on the in-process
+      :class:`~repro.index.sharding.ShardedIndex` (thread fan-out, GIL
+      released only inside the GEMMs) vs the
+      :class:`~repro.index.procpool.ProcessShardedIndex` (one worker
+      process per shard, shared-mmap segments, GIL-free end to end).
+      ``merge_equal_fraction`` re-verifies at benchmark scale the
+      bitwise-identical merge the property tests pin: both engines must
+      return the *same* ranked lists.
+    * **HTTP front** — the same pre-built synthetic service behind the
+      ``SO_REUSEPORT`` :class:`~repro.service.mpserve.MultiProcessServer`
+      at 1 vs 2 processes, driven by ``clients`` keep-alive connections.
+
+    On a single-core host both speedups hover near (or below) 1x — the
+    IPC and fork overhead buys nothing without parallel hardware — which
+    is why the CI gate on ``proc_shard_speedup`` is conditional on
+    ``environment.cpus > 1``; the single-core assertion is parity of
+    *results*, not of speed.
+    """
+    from repro.index.procpool import ProcessShardedIndex
+    from repro.index.sharding import ShardedIndex
+    from repro.service.mpserve import MultiProcessServer
+    from repro.storage.schema import ColumnRef
+
+    corpus, queries = _corpus_and_queries(n, dim, batch_size)
+    keys = list(range(n))
+
+    def make_backend() -> SimHashLSHIndex:
+        return SimHashLSHIndex(
+            dim, n_bits=n_bits, n_bands=n_bands, threshold=threshold
+        )
+
+    inproc = ShardedIndex(dim, make_backend, n_shards=n_workers)
+    inproc.bulk_load(keys, corpus)
+    inproc.build()
+    inproc_results = inproc.search_batch(queries, k)
+    inproc_s = _timed_median(repeats, lambda: inproc.search_batch(queries, k))
+
+    with ProcessShardedIndex(
+        dim, make_backend, n_shards=n_workers, transport=transport
+    ) as proc:
+        proc.bulk_load(keys, corpus)
+        proc.build()
+        # Parity probe (also publishes segments and warms the workers).
+        proc_results = proc.search_batch(queries, k)
+        equal = sum(
+            1 for got, want in zip(proc_results, inproc_results) if got == want
+        )
+        proc_s = _timed_median(repeats, lambda: proc.search_batch(queries, k))
+
+    # HTTP arm: identical service factory, 1 vs 2 SO_REUSEPORT processes.
+    _, query_vectors = _corpus_and_queries(n, dim, query_pool)
+    refs = [ColumnRef("bench", f"table_{i // 64}", f"col_{i % 64}") for i in range(n)]
+    query_names = [f"bench.queries.q{position}" for position in range(query_pool)]
+    total = clients * requests_per_client
+    stream = [query_names[position % query_pool] for position in range(total)]
+    warm_stream = stream[: max(clients * 4, 32)]
+
+    def factory():
+        return _serve_service(
+            refs,
+            corpus,
+            query_names,
+            query_vectors,
+            dim=dim,
+            coalesce=True,
+            query_cache_size=4096,
+        )
+
+    drive = dict(clients=clients, k=k, threshold=0.5, keepalive=True)
+    walls: dict[int, float] = {}
+    for procs in (1, 2):
+        with MultiProcessServer(
+            factory, port=0, procs=procs, workers=clients + 2
+        ) as front:
+            _drive_clients(front.port, warm_stream, **drive)
+            walls[procs], _latencies = _drive_clients(front.port, stream, **drive)
+
+    return {
+        "n_columns": n,
+        "n_workers": n_workers,
+        "transport": transport,
+        "batch_ms_inproc": round(inproc_s * 1e3, 3),
+        "batch_ms_proc": round(proc_s * 1e3, 3),
+        "proc_shard_speedup": round(inproc_s / proc_s, 2),
+        "merge_equal_fraction": round(equal / batch_size, 4),
+        "http_clients": clients,
+        "http_requests": total,
+        "qps_one_proc": round(total / walls[1], 1),
+        "qps_two_proc": round(total / walls[2], 1),
+        "http_speedup": round(walls[1] / walls[2], 2),
+        "warmup_runs": _WARMUP_RUNS,
+    }
+
+
 def run_perf_suite(
     *,
     profile: str = "full",
@@ -1050,6 +1226,10 @@ def run_perf_suite(
     serve_sizes: tuple[int, ...] | None = None,
     serve_clients: int | None = None,
     serve_requests_per_client: int | None = None,
+    mpserve_sizes: tuple[int, ...] | None = None,
+    mpserve_clients: int | None = None,
+    mpserve_requests_per_client: int | None = None,
+    worker_transport: str = "pipe",
     graph_sizes: tuple[int, ...] | None = None,
     graph_edge_threshold: float = 0.7,
     quality_profile: str | None = None,
@@ -1120,6 +1300,21 @@ def run_perf_suite(
         serve_requests_per_client
         if serve_requests_per_client is not None
         else spec.get("serve_requests_per_client", 64)
+    )
+    mpserve_sizes = (
+        tuple(mpserve_sizes)
+        if mpserve_sizes is not None
+        else spec["mpserve_sizes"]
+    )
+    mpserve_clients = (
+        mpserve_clients
+        if mpserve_clients is not None
+        else spec.get("mpserve_clients", 8)
+    )
+    mpserve_requests_per_client = (
+        mpserve_requests_per_client
+        if mpserve_requests_per_client is not None
+        else spec.get("mpserve_requests_per_client", 32)
     )
     graph_sizes = (
         tuple(graph_sizes) if graph_sizes is not None else spec["graph_sizes"]
@@ -1213,6 +1408,29 @@ def run_perf_suite(
                 requests_per_client=serve_requests_per_client,
             )
         )
+    mpserve_results = []
+    for n in mpserve_sizes if "mpserve" in stages else ():
+        if progress is not None:
+            progress(
+                f"benchmarking {n_shards} shard worker processes at "
+                f"{n} columns ..."
+            )
+        mpserve_results.append(
+            _bench_mpserve_one_size(
+                n,
+                dim=dim,
+                n_bits=n_bits,
+                n_bands=n_bands,
+                threshold=threshold,
+                batch_size=batch_size,
+                k=k,
+                n_workers=n_shards,
+                transport=worker_transport,
+                repeats=stage_repeats,
+                clients=mpserve_clients,
+                requests_per_client=mpserve_requests_per_client,
+            )
+        )
     graph_results = []
     for n in graph_sizes if "graph" in stages else ():
         if progress is not None:
@@ -1265,6 +1483,12 @@ def run_perf_suite(
                 "threshold": 0.5,
                 "query_pool": 256,
             },
+            "mpserve": {
+                "workers": n_shards,
+                "transport": worker_transport,
+                "clients": mpserve_clients,
+                "requests_per_client": mpserve_requests_per_client,
+            },
             "graph": {
                 "edge_threshold": graph_edge_threshold,
                 "columns_per_table": 64,
@@ -1280,6 +1504,14 @@ def run_perf_suite(
             "numpy": np.__version__,
             "machine": platform.machine(),
             "cpus": os.cpu_count() or 1,
+            # The CPUs this process may actually run on (sched affinity):
+            # a pinned bench (``--pin-cpus``) records its pin set here so
+            # a committed baseline is honest about the hardware it saw.
+            "cpu_affinity": (
+                sorted(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity")
+                else None
+            ),
         },
         "results": results,
         "embed": embed_results,
@@ -1287,6 +1519,7 @@ def run_perf_suite(
         "quant": quant_results,
         "artifact": artifact_results,
         "serve": serve_results,
+        "mpserve": mpserve_results,
         "graph": graph_results,
         "quality": quality_results,
     }
@@ -1337,11 +1570,18 @@ def validate_report(payload: dict) -> list[str]:
                 value = row.get(field)
                 if not isinstance(value, (int, float)) or isinstance(value, bool):
                     problems.append(f"embed {row.get('n_columns')}: bad {field!r}")
+    if "mpserve" in ran:
+        for row in payload.get("mpserve") or []:
+            if not isinstance(row.get("transport"), str):
+                problems.append(
+                    f"mpserve {row.get('n_columns')}: bad 'transport'"
+                )
     for stage, fields in (
         ("shard", _SHARD_FIELDS),
         ("quant", _QUANT_FIELDS),
         ("artifact", _ARTIFACT_FIELDS),
         ("serve", _SERVE_FIELDS),
+        ("mpserve", _MPSERVE_FIELDS),
         ("graph", _GRAPH_FIELDS),
     ):
         if stage not in ran:
@@ -1417,6 +1657,7 @@ def append_history(report: dict, path: str | Path) -> Path:
     artifact = report["artifact"][-1] if report.get("artifact") else {}
     embed = report["embed"][-1] if report.get("embed") else {}
     serve = report["serve"][-1] if report.get("serve") else {}
+    mpserve = report["mpserve"][-1] if report.get("mpserve") else {}
     graph = report["graph"][-1] if report.get("graph") else {}
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -1435,6 +1676,8 @@ def append_history(report: dict, path: str | Path) -> Path:
         "serve_qps_engine": serve.get("qps_engine"),
         "serve_coalesced_speedup": serve.get("coalesced_speedup"),
         "serve_cache_hit_rate": serve.get("cache_hit_rate"),
+        "proc_shard_speedup": mpserve.get("proc_shard_speedup"),
+        "mpserve_http_speedup": mpserve.get("http_speedup"),
         "graph_edges": graph.get("n_edges"),
         "graph_incremental_speedup": graph.get("incremental_speedup"),
         "graph_path_query_ms": graph.get("path_query_ms"),

@@ -10,6 +10,7 @@ so it is trivially testable and reusable over exported graphs.
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import deque
 from dataclasses import dataclass
@@ -143,16 +144,43 @@ def enumerate_paths(
 
     Paths are ranked by descending combined score, ties broken by the
     lexical table sequence so results are deterministic.
+
+    With a ``limit`` and a named monotone combiner (``product`` over
+    confidences ≤ 1, or ``min``), the DFS prunes by best-possible score:
+    once ``limit`` paths are known, a subtree whose prefix score already
+    sits *strictly* below the current ``limit``-th best cannot contribute
+    — extending a path can never raise a monotone combiner's score — so
+    it is skipped wholesale.  Ties with the boundary are always expanded
+    (the lexical tie-break needs them), and the returned list is
+    identical to the unpruned enumeration (property-tested).  Custom
+    callable combiners disable pruning.
     """
     if max_hops < 1:
         raise ValueError("max_hops must be >= 1")
     if src == dst:
         raise ValueError("src and dst must name different tables")
     combine = resolve_combiner(combiner)
+    # Monotone combiners admit a prefix bound: "min" unconditionally,
+    # "product" only while every factor is ≤ 1 (true for confidences by
+    # construction, but the enumeration is pure — verify, don't assume).
+    prune_mode = combiner if limit is not None and combiner in ("product", "min") else None
+    if prune_mode == "product" and any(
+        edge.confidence > 1.0
+        for neighbors in adjacency.values()
+        for edge in neighbors.values()
+    ):
+        prune_mode = None
     found: list[JoinPath] = []
+    # Min-heap of the `limit` best completed scores; its root is the
+    # pruning boundary once full.
+    best_scores: list[float] = []
     visited: list[TableKey] = [src]
     edges: list[JoinEdge] = []
     on_path = {src}
+    # Running prefix score, multiplied/min-ed edge by edge in the same
+    # left-to-right order combine() uses, so bound arithmetic is
+    # bit-identical to the final scores.
+    prefix = [1.0 if prune_mode == "product" else math.inf]
 
     def walk(node: TableKey) -> None:
         for neighbor in sorted(adjacency.get(node, {})):
@@ -161,11 +189,34 @@ def enumerate_paths(
                 chain = (*edges, edge)
                 score = float(combine([step.confidence for step in chain]))
                 found.append(JoinPath((*visited, dst), chain, score))
+                if prune_mode is not None:
+                    if len(best_scores) < limit:
+                        heapq.heappush(best_scores, score)
+                    else:
+                        heapq.heappushpop(best_scores, score)
             elif len(edges) + 1 < max_hops and neighbor not in on_path:
+                if prune_mode == "product":
+                    bound = prefix[-1] * edge.confidence
+                elif prune_mode == "min":
+                    bound = min(prefix[-1], edge.confidence)
+                else:
+                    bound = None
+                if (
+                    bound is not None
+                    and len(best_scores) >= limit
+                    and bound < best_scores[0]
+                ):
+                    # No completion through this subtree can reach the
+                    # current top-`limit` (strict: boundary ties expand).
+                    continue
                 visited.append(neighbor)
                 edges.append(edge)
                 on_path.add(neighbor)
+                if bound is not None:
+                    prefix.append(bound)
                 walk(neighbor)
+                if bound is not None:
+                    prefix.pop()
                 on_path.discard(neighbor)
                 edges.pop()
                 visited.pop()

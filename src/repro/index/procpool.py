@@ -1,0 +1,546 @@
+"""Multi-process shard workers over shared mmap artifacts.
+
+:class:`~repro.index.sharding.ShardedIndex` fans queries out on a thread
+pool, but the scoring path is numpy-bound work under one interpreter, so
+``shard_speedup`` has sat at ~1.0x in every committed bench run — threads
+buy nothing here.  :class:`ProcessShardedIndex` breaks the GIL instead:
+
+* **single writer, many readers.**  The pool *is* a
+  :class:`~repro.index.sharding.ShardedIndex` (it subclasses it), so every
+  mutation — add, remove, update, bulk load, quantization toggles — lands
+  on the in-process writer shards exactly as before, and persistence,
+  stats, and ``explain`` see a regular sharded engine.  What changes is
+  the read path: ``query`` / ``search_batch`` fan out to one worker
+  *process* per shard.
+* **shared mmap segments.**  A mutated shard is republished lazily on the
+  next read: the writer saves the shard's arena as an uncompressed
+  ``.npz`` segment (:meth:`~repro.index.arena.VectorArena.save` with
+  ``preserve_layout=True`` — the writer's physical row layout ships
+  verbatim, tombstones and alive mask included, because BLAS reduction
+  order follows matrix shape and a compacted copy would drift from the
+  writer by one ulp after churn) under a generation-suffixed name and
+  tells the worker to reload.  The worker rebuilds its backend from the
+  segment via :func:`~repro.index.mmapio.load_npz_arrays` —
+  :meth:`~repro.index.arena.ColumnarIndex.adopt_rows` over read-only
+  ``np.memmap`` views, so vector pages are shared with the page cache and
+  never copied per process.  Saved signatures ride along, so LSH band
+  keys are bit-identical to the writer's.
+* **exact merge.**  Workers return their shard-local top-k over the same
+  floor; the pool merges with the inherited single-``argpartition``
+  :meth:`~repro.index.sharding.ShardedIndex._merge_topk`, so results are
+  bitwise-identical to the in-process engine (pinned by property tests
+  across all three backends, including churn).
+* **crash containment.**  Every RPC runs under a deadline with liveness
+  polling: a worker that dies or stalls mid-request is reaped and the
+  request fails with :class:`~repro.errors.WorkerCrashError` — never a
+  hang.  The next read respawns the worker from the last published
+  segment automatically.
+
+Transports: ``pipe`` (default) pickles the query block over the request
+pipe; ``shm`` stages it in a :class:`multiprocessing.shared_memory`
+buffer and sends only the descriptor — same results, no query-block
+pickling on the hot path.
+
+Linux-oriented: workers are started with the ``fork`` context so the
+backend factory (a closure over the engine config) needs no pickling and
+spawn cost is one page-table copy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, IndexError_, WorkerCrashError
+from repro.index.mmapio import load_npz_arrays
+from repro.index.sharding import ShardedIndex
+
+__all__ = ["ProcessShardedIndex"]
+
+_TRANSPORTS = ("pipe", "shm")
+
+#: Seconds between liveness checks while waiting on a worker response.
+_POLL_INTERVAL_S = 0.05
+#: Grace window to drain a response a worker sent just before exiting.
+_DRAIN_WINDOW_S = 0.2
+
+
+@dataclass
+class _ShardWorker:
+    """One worker process plus its request pipe and serialization lock."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    #: Segment generation the worker last adopted (0 = nothing loaded).
+    loaded_generation: int = 0
+    #: Held across one send+recv pair so requests never interleave.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+def _decode_block(payload) -> np.ndarray:
+    """Materialize a query block shipped by either transport."""
+    if payload[0] == "raw":
+        return payload[1]
+    _kind, name, shape, dtype = payload
+    view = shared_memory.SharedMemory(name=name)
+    try:
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=view.buf).copy()
+    finally:
+        view.close()
+        try:
+            # Attaching registers the segment with this process's resource
+            # tracker (fixed only in 3.13's track=False); the *parent*
+            # owns unlinking, so drop the bogus registration or the
+            # worker warns about an already-unlinked segment at exit.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(view._name, "shared_memory")
+        except Exception:  # noqa: BLE001 — best-effort, private API
+            pass
+
+
+def _worker_main(conn, factory) -> None:
+    """Shard worker loop: adopt published segments, serve search RPCs.
+
+    The worker owns one backend instance rebuilt from the factory on
+    every ``reload`` — adoption requires an empty index, and a fresh
+    backend guarantees no state leaks across republishes.  Errors raised
+    while handling a request are reported back as ``("error", text)``;
+    only a broken pipe (parent gone) ends the loop.
+    """
+    backend = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        try:
+            if command == "stop":
+                conn.send(("ok", None))
+                break
+            if command == "ping":
+                conn.send(("ok", os.getpid()))
+                continue
+            if command == "reload":
+                _path, rerank = message[1], message[2]
+                backend = factory()
+                payload = load_npz_arrays(Path(_path), allow_pickle=True)
+                keys = list(payload["keys"])
+                if keys:
+                    backend.adopt_rows(
+                        keys,
+                        payload["matrix"],
+                        payload.get("signatures"),
+                        alive=payload.get("alive"),
+                    )
+                if rerank is not None:
+                    backend.enable_quantization(rerank)
+                backend.build()
+                conn.send(("ok", len(keys)))
+                continue
+            if command == "query":
+                block, k, floor, exclude, delay = message[1:]
+                if delay:
+                    time.sleep(delay)
+                vector = _decode_block(block)
+                conn.send(
+                    ("ok", backend.query(vector, k, threshold=floor, exclude=exclude))
+                )
+                continue
+            if command == "search_batch":
+                block, k, floor, excludes, delay = message[1:]
+                if delay:
+                    time.sleep(delay)
+                queries = _decode_block(block)
+                conn.send(
+                    (
+                        "ok",
+                        backend.search_batch(
+                            queries, k, threshold=floor, excludes=excludes
+                        ),
+                    )
+                )
+                continue
+            conn.send(("error", f"unknown command {command!r}"))
+        except Exception as error:  # noqa: BLE001 — reported to the parent
+            try:
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+def _shutdown_pool(workers: list, segment_dir: Path) -> None:
+    """Terminate every live worker and remove the segment directory.
+
+    Module-level (not a method) so ``weakref.finalize`` can run it after
+    the pool itself is gone; ``workers`` is the pool's own mutable list,
+    so late spawns are still covered.
+    """
+    for worker in workers:
+        if worker is None:
+            continue
+        try:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+            worker.conn.close()
+        except (OSError, ValueError):
+            pass
+    shutil.rmtree(segment_dir, ignore_errors=True)
+
+
+class ProcessShardedIndex(ShardedIndex):
+    """Sharded index whose read path fans out to worker processes.
+
+    Parameters
+    ----------
+    dim, factory, n_shards, placement:
+        As for :class:`~repro.index.sharding.ShardedIndex`.  The factory
+        also runs inside each worker (inherited through ``fork``) to
+        rebuild the shard backend around the adopted segment.
+    transport:
+        ``pipe`` (pickle query blocks over the request pipe) or ``shm``
+        (stage them in a shared-memory buffer, ship the descriptor).
+    request_timeout_s:
+        Deadline for one worker RPC; past it the worker is declared
+        crashed, reaped, and :class:`~repro.errors.WorkerCrashError`
+        raised.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        factory,
+        *,
+        n_shards: int,
+        placement: str = "hash",
+        transport: str = "pipe",
+        request_timeout_s: float = 30.0,
+    ) -> None:
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {_TRANSPORTS}"
+            )
+        if request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be positive, got {request_timeout_s}"
+            )
+        super().__init__(dim, factory, n_shards=n_shards, placement=placement)
+        self.transport = transport
+        self._factory = factory
+        self._request_timeout_s = float(request_timeout_s)
+        self._ctx = multiprocessing.get_context("fork")
+        self._segment_dir = Path(tempfile.mkdtemp(prefix="repro-procpool-"))
+        self._workers: list[_ShardWorker | None] = [None] * n_shards
+        # Shards start dirty: nothing is published until the first read.
+        self._dirty = [True] * n_shards
+        self._segment_gen = [0] * n_shards
+        self._segment_path: list[Path | None] = [None] * n_shards
+        self._rerank: int | None = None
+        self._closed = False
+        # Test hook: workers sleep this long before serving each search
+        # RPC, so crash tests can kill one deterministically mid-query.
+        self._test_query_delay_s = 0.0
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self._workers, self._segment_dir
+        )
+
+    def __repr__(self) -> str:
+        sizes = ",".join(str(len(shard)) for shard in self.shards)
+        live = sum(
+            1
+            for worker in self._workers
+            if worker is not None and worker.process.is_alive()
+        )
+        return (
+            f"ProcessShardedIndex(n={len(self)}, shards={self.n_shards}[{sizes}], "
+            f"workers={live}/{self.n_shards}, transport={self.transport!r})"
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Terminate every worker and delete the published segments."""
+        self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "ProcessShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def worker_pids(self) -> list[int | None]:
+        """Per-shard worker pid (``None`` when not currently spawned)."""
+        return [
+            worker.process.pid
+            if worker is not None and worker.process.is_alive()
+            else None
+            for worker in self._workers
+        ]
+
+    # -- mutation (writer-side; marks shards for republish) -----------------------
+
+    def add(self, key: object, vector: np.ndarray) -> None:
+        super().add(key, vector)
+        self._dirty[self._owner[key]] = True
+
+    def bulk_load(
+        self,
+        keys: list[object],
+        matrix: np.ndarray,
+        *,
+        signatures: np.ndarray | None = None,
+    ) -> None:
+        super().bulk_load(keys, matrix, signatures=signatures)
+        for shard_id in {self._owner[key] for key in keys}:
+            self._dirty[shard_id] = True
+
+    def remove(self, key: object) -> None:
+        shard_id = self._owner.get(key)
+        super().remove(key)
+        if shard_id is not None:
+            self._dirty[shard_id] = True
+
+    def update(self, key: object, vector: np.ndarray) -> None:
+        super().update(key, vector)
+        self._dirty[self._owner[key]] = True
+
+    def enable_quantization(self, rerank_factor: int = 4, **kwargs) -> None:
+        super().enable_quantization(rerank_factor, **kwargs)
+        self._rerank = rerank_factor
+        self._dirty = [True] * self.n_shards
+
+    def disable_quantization(self) -> None:
+        super().disable_quantization()
+        self._rerank = None
+        self._dirty = [True] * self.n_shards
+
+    # -- segment publish + worker supervision -------------------------------------
+
+    def _spawn(self, shard_id: int) -> _ShardWorker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._factory),
+            daemon=True,
+            name=f"procshard-{shard_id}",
+        )
+        process.start()
+        child_conn.close()
+        worker = _ShardWorker(process=process, conn=parent_conn)
+        self._workers[shard_id] = worker
+        return worker
+
+    def _reap(self, shard_id: int, worker: _ShardWorker) -> None:
+        """Kill and forget a misbehaving worker (respawned on next read)."""
+        try:
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=1.0)
+            worker.conn.close()
+        except (OSError, ValueError):
+            pass
+        if self._workers[shard_id] is worker:
+            self._workers[shard_id] = None
+
+    def _publish(self, shard_id: int) -> None:
+        """Write the shard's arena as a fresh mmap segment, layout intact.
+
+        ``preserve_layout=True`` ships the writer's physical row layout —
+        tombstones included (bounded ≤~25% by arena compaction) — because
+        BLAS picks its reduction order from the matrix shape: a worker
+        scoring a *compacted* copy of a churned shard would drift from
+        the writer by one ulp.  Identical layout ⇒ identical arithmetic
+        ⇒ the bitwise-parity contract survives add/remove churn.
+        """
+        generation = self._segment_gen[shard_id] + 1
+        path = self._segment_dir / f"shard{shard_id}-g{generation}.npz"
+        self.shards[shard_id].arena.save(path, preserve_layout=True)
+        self._segment_gen[shard_id] = generation
+        self._dirty[shard_id] = False
+
+    def _ensure_current(self, shard_id: int) -> None:
+        """Make the shard's worker live and loaded with the newest segment.
+
+        Republish is lazy (write amplification only when a mutated shard
+        is actually read) and the old segment file is unlinked only after
+        the worker adopted the new one — an unlinked-but-mapped file stays
+        readable, so a worker mid-query on the old generation is safe.
+        """
+        if self._closed:
+            raise IndexError_("ProcessShardedIndex is closed")
+        if self._dirty[shard_id]:
+            self._publish(shard_id)
+        worker = self._workers[shard_id]
+        if worker is None or not worker.process.is_alive():
+            worker = self._spawn(shard_id)
+        if worker.loaded_generation != self._segment_gen[shard_id]:
+            generation = self._segment_gen[shard_id]
+            path = self._segment_dir / f"shard{shard_id}-g{generation}.npz"
+            previous = self._segment_path[shard_id]
+            self._rpc(shard_id, worker, ("reload", str(path), self._rerank))
+            worker.loaded_generation = generation
+            self._segment_path[shard_id] = path
+            if previous is not None and previous != path:
+                previous.unlink(missing_ok=True)
+
+    # -- transport ----------------------------------------------------------------
+
+    def _encode_block(self, block: np.ndarray):
+        """Stage one query array for shipping; returns (payload, shm|None)."""
+        if self.transport == "shm":
+            block = np.ascontiguousarray(block)
+            staged = shared_memory.SharedMemory(
+                create=True, size=max(1, block.nbytes)
+            )
+            view = np.ndarray(block.shape, dtype=block.dtype, buffer=staged.buf)
+            view[:] = block
+            return ("shm", staged.name, block.shape, block.dtype.str), staged
+        return ("raw", block), None
+
+    def _rpc(self, shard_id: int, worker: _ShardWorker, message: tuple):
+        """One send+recv round with crash containment.
+
+        The per-worker lock keeps concurrent requests from interleaving
+        on one pipe; the wait loop polls worker liveness so a killed
+        process surfaces in ~``_POLL_INTERVAL_S``, not at the deadline.
+        """
+        with worker.lock:
+            try:
+                worker.conn.send(message)
+                deadline = time.monotonic() + self._request_timeout_s
+                while True:
+                    if worker.conn.poll(_POLL_INTERVAL_S):
+                        status, payload = worker.conn.recv()
+                        break
+                    if not worker.process.is_alive():
+                        # Drain a response sent in the worker's last breath.
+                        if worker.conn.poll(_DRAIN_WINDOW_S):
+                            status, payload = worker.conn.recv()
+                            break
+                        raise EOFError("worker process died")
+                    if time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"no response within {self._request_timeout_s}s"
+                        )
+            except (
+                EOFError,
+                BrokenPipeError,
+                ConnectionResetError,
+                TimeoutError,
+                OSError,
+            ) as error:
+                self._reap(shard_id, worker)
+                raise WorkerCrashError(
+                    shard_id, str(error) or type(error).__name__
+                ) from error
+        if status == "error":
+            raise IndexError_(f"shard worker {shard_id} failed: {payload}")
+        return payload
+
+    def _search_rpc(self, shard_id: int, command: str, block: np.ndarray, args: tuple):
+        worker = self._workers[shard_id]
+        payload, staged = self._encode_block(block)
+        try:
+            return self._rpc(
+                shard_id,
+                worker,
+                (command, payload, *args, self._test_query_delay_s),
+            )
+        finally:
+            if staged is not None:
+                staged.close()
+                staged.unlink()
+
+    # -- search -------------------------------------------------------------------
+
+    def _live_shard_ids(self) -> list[int]:
+        return [
+            shard_id
+            for shard_id, shard in enumerate(self.shards)
+            if len(shard) > 0
+        ]
+
+    def query(
+        self,
+        vector: np.ndarray,
+        k: int,
+        *,
+        threshold: float | None = None,
+        exclude: object = None,
+    ) -> list[tuple[object, float]]:
+        """Top-``k`` across all shard workers; identical to the in-process result."""
+        self._check_query(k)
+        vector = np.asarray(vector)
+        if vector.ndim != 1 or vector.shape != (self.dim,):
+            raise DimensionMismatchError(self.dim, int(np.prod(vector.shape)))
+        floor = self.threshold if threshold is None else threshold
+        live = self._live_shard_ids()
+        for shard_id in live:
+            self._ensure_current(shard_id)
+        per_shard = self._fan_out(
+            [
+                (
+                    lambda shard_id=shard_id: self._search_rpc(
+                        shard_id, "query", vector, (k, floor, exclude)
+                    )
+                )
+                for shard_id in live
+            ]
+        )
+        return self._merge_topk(per_shard, k)
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        threshold: float | None = None,
+        excludes: list[object] | None = None,
+    ) -> list[list[tuple[object, float]]]:
+        """Batched top-``k``: one worker-process GEMM block per shard."""
+        self._check_query(k)
+        queries = np.asarray(queries)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                self.dim, queries.shape[-1] if queries.ndim else 0
+            )
+        n_queries = queries.shape[0]
+        if excludes is not None and len(excludes) != n_queries:
+            raise ValueError(f"{len(excludes)} excludes for {n_queries} queries")
+        if n_queries == 0:
+            return []
+        floor = self.threshold if threshold is None else threshold
+        live = self._live_shard_ids()
+        for shard_id in live:
+            self._ensure_current(shard_id)
+        per_shard = self._fan_out(
+            [
+                (
+                    lambda shard_id=shard_id: self._search_rpc(
+                        shard_id, "search_batch", queries, (k, floor, excludes)
+                    )
+                )
+                for shard_id in live
+            ]
+        )
+        return [
+            self._merge_topk([shard_block[q] for shard_block in per_shard], k)
+            for q in range(n_queries)
+        ]

@@ -11,6 +11,7 @@ dependency-free JSON-over-HTTP server (``python -m repro serve``).
 
 from repro.service.coalesce import QueryCoalescer
 from repro.service.discovery import DiscoveryService
+from repro.service.mpserve import MultiProcessServer, serve_multiprocess
 from repro.service.qcache import QueryResultCache
 from repro.service.rwlock import ReadWriteLock
 from repro.service.server import DiscoveryHTTPServer, make_server, serve
@@ -20,6 +21,7 @@ __all__ = [
     "DiscoveryHTTPServer",
     "DiscoveryService",
     "IndexStats",
+    "MultiProcessServer",
     "QueryCoalescer",
     "QueryResultCache",
     "ReadWriteLock",
@@ -28,4 +30,5 @@ __all__ = [
     "ServiceError",
     "make_server",
     "serve",
+    "serve_multiprocess",
 ]

@@ -55,6 +55,7 @@ from repro.errors import (
     NotIndexedError,
     ReproError,
     TableNotFoundError,
+    WorkerCrashError,
 )
 from repro.embedding.base import LRUCache
 from repro.graph.joingraph import JoinGraph
@@ -172,6 +173,11 @@ class DiscoveryService:
             raise ServiceError.not_found(str(error)) from error
         except (NotIndexedError, EmptyIndexError) as error:
             raise ServiceError.not_indexed(str(error)) from error
+        except WorkerCrashError as error:
+            # A shard worker died mid-request: the pool has already reaped
+            # it and will respawn on the next read, so this is a transient
+            # server-side fault (retryable), not a caller mistake.
+            raise ServiceError.internal(str(error)) from error
 
     def _record_mutation(self) -> None:
         """Bump the mutation counter and refresh derived structures."""
@@ -205,6 +211,10 @@ class DiscoveryService:
             report = self.engine.index_corpus(connector, sampler=sampler)
             self.engine.rebuild_index()
             return report
+
+    def close(self) -> None:
+        """Release engine resources (shard worker processes; idempotent)."""
+        self.engine.close()
 
     def attach_connector(self, connector: WarehouseConnector) -> None:
         """Attach a live connector (e.g. after restoring a saved artifact)."""
@@ -740,9 +750,14 @@ class DiscoveryService:
             searches=searches,
             mutations=mutations,
             caches=caches,
-            shards=config.n_shards,
+            shards=(
+                config.shard_workers
+                if config.shard_workers > 0
+                else config.n_shards
+            ),
             quantized=config.quantize,
             graph=graph,
+            workers=config.shard_workers,
         )
 
     def stats(self) -> IndexStats:

@@ -1,0 +1,285 @@
+"""Multi-process HTTP serving over one ``SO_REUSEPORT`` listen address.
+
+The worker-pool :class:`~repro.service.server.DiscoveryHTTPServer` scales
+request handling across threads, but accept/parse/encode and every index
+probe still run under one interpreter.  :class:`MultiProcessServer` is
+the pre-fork upgrade: ``procs`` child processes each run a complete
+server (own service instance, own worker pool) bound to the *same*
+``host:port`` with ``SO_REUSEPORT``, so the kernel load-balances incoming
+connections across processes and the whole request path — JSON parsing,
+embedding lookups, index GEMMs, response encoding — runs GIL-free in
+parallel.  ``python -m repro serve --procs N`` routes here.
+
+Design notes:
+
+* **one service per child.**  Children are forked, each builds its own
+  :class:`~repro.service.discovery.DiscoveryService` from the supplied
+  ``service_factory`` — typically an artifact loader, so every child
+  memory-maps the same artifact file and the page cache shares the
+  vector data across processes (the same shared-mmap economics the
+  :class:`~repro.index.procpool.ProcessShardedIndex` workers use).
+  Mutating routes still work, but mutate one child's replica only — the
+  multi-process front is for read-heavy serving; route writes to a
+  single-process deployment (or republish the artifact).
+* **ephemeral ports.**  ``port=0`` is resolved by the parent binding a
+  placeholder ``SO_REUSEPORT`` socket first; children bind the resolved
+  port and the placeholder closes once every child reports ready.  The
+  placeholder never listens, so it receives no connections.
+* **supervision.**  A parent thread respawns any child that dies until
+  :meth:`shutdown`, which SIGTERMs the children (each shuts its server
+  down cleanly) and joins them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+
+from repro.errors import ReproError
+from repro.service.server import make_server
+
+__all__ = ["MultiProcessServer", "serve_multiprocess"]
+
+#: Seconds the parent waits for one child to report readiness.
+_READY_TIMEOUT_S = 30.0
+#: Supervisor poll cadence for dead-child detection.
+_SUPERVISE_INTERVAL_S = 0.5
+
+
+def _child_main(
+    service_factory,
+    host: str,
+    port: int,
+    workers: int,
+    keepalive_idle_s: float,
+    verbose: bool,
+    ready_conn,
+) -> None:
+    """One serving child: build the service, serve until SIGTERM."""
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    # The parent's foreground Ctrl-C delivers SIGINT to the whole group;
+    # shutdown is the parent's job (it SIGTERMs us), so ignore it here.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        service = service_factory()
+        server = make_server(
+            service,
+            host,
+            port,
+            verbose=verbose,
+            workers=workers,
+            keepalive_idle_s=keepalive_idle_s,
+            reuse_port=True,
+        )
+    except Exception as error:  # noqa: BLE001 — reported to the parent
+        try:
+            ready_conn.send(("error", f"{type(error).__name__}: {error}"))
+        finally:
+            ready_conn.close()
+        return
+    with server:
+        ready_conn.send(("ready", os.getpid()))
+        ready_conn.close()
+        stop.wait()
+    server.server_close()
+
+
+class MultiProcessServer:
+    """``procs`` forked HTTP servers sharing one SO_REUSEPORT address.
+
+    Parameters
+    ----------
+    service_factory:
+        Zero-argument callable building one
+        :class:`~repro.service.discovery.DiscoveryService`; runs inside
+        each child after fork (closures are fine — nothing is pickled).
+    host, port:
+        Listen address; ``port=0`` resolves to a free port shared by
+        every child (see :attr:`port` after :meth:`start`).
+    procs:
+        Child server processes.
+    workers, keepalive_idle_s, verbose:
+        Forwarded to each child's
+        :class:`~repro.service.server.DiscoveryHTTPServer`.
+    """
+
+    def __init__(
+        self,
+        service_factory,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        procs: int = 2,
+        workers: int = 32,
+        keepalive_idle_s: float = 5.0,
+        verbose: bool = False,
+    ) -> None:
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise ReproError(
+                "multi-process serving needs SO_REUSEPORT, which this "
+                "platform does not provide"
+            )
+        self._factory = service_factory
+        self.host = host
+        self.port = port
+        self.procs = procs
+        self._workers = workers
+        self._keepalive_idle_s = keepalive_idle_s
+        self._verbose = verbose
+        self._ctx = multiprocessing.get_context("fork")
+        self._children: list[multiprocessing.process.BaseProcess | None] = (
+            [None] * procs
+        )
+        self._placeholder: socket.socket | None = None
+        self._supervisor: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _spawn_child(self, slot: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_child_main,
+            args=(
+                self._factory,
+                self.host,
+                self.port,
+                self._workers,
+                self._keepalive_idle_s,
+                self._verbose,
+                child_conn,
+            ),
+            name=f"mpserve-{slot}",
+        )
+        process.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(_READY_TIMEOUT_S):
+                raise ReproError(
+                    f"serving child {slot} did not report ready within "
+                    f"{_READY_TIMEOUT_S}s"
+                )
+            status, detail = parent_conn.recv()
+        except EOFError as error:
+            raise ReproError(
+                f"serving child {slot} died before reporting ready"
+            ) from error
+        finally:
+            parent_conn.close()
+        if status != "ready":
+            process.join(timeout=2.0)
+            raise ReproError(f"serving child {slot} failed to start: {detail}")
+        self._children[slot] = process
+
+    def _supervise(self) -> None:
+        """Respawn dead children until shutdown begins."""
+        while not self._stopping.wait(_SUPERVISE_INTERVAL_S):
+            for slot, child in enumerate(self._children):
+                if self._stopping.is_set():
+                    return
+                if child is not None and not child.is_alive():
+                    try:
+                        self._spawn_child(slot)
+                    except ReproError:
+                        # Leave the slot for the next sweep; a persistent
+                        # failure keeps the surviving children serving.
+                        self._children[slot] = child
+
+    def start(self) -> "MultiProcessServer":
+        """Resolve the port, fork the children, begin supervising."""
+        if self._started:
+            return self
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        try:
+            placeholder.bind((self.host, self.port))
+            self.port = placeholder.getsockname()[1]
+            self._placeholder = placeholder
+            for slot in range(self.procs):
+                self._spawn_child(slot)
+        except BaseException:
+            self._placeholder = None
+            placeholder.close()
+            self._terminate_children()
+            raise
+        # Children all hold the port now; the never-listening placeholder
+        # only existed to reserve it (and to resolve port=0).
+        self._placeholder = None
+        placeholder.close()
+        self._started = True
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="mpserve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def _terminate_children(self) -> None:
+        for child in self._children:
+            if child is not None and child.is_alive():
+                child.terminate()
+        deadline = time.monotonic() + 10.0
+        for slot, child in enumerate(self._children):
+            if child is None:
+                continue
+            child.join(timeout=max(0.1, deadline - time.monotonic()))
+            if child.is_alive():
+                child.kill()
+                child.join(timeout=2.0)
+            self._children[slot] = None
+
+    def shutdown(self) -> None:
+        """Stop supervising, SIGTERM every child, join them (idempotent)."""
+        self._stopping.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10)
+            self._supervisor = None
+        self._terminate_children()
+        self._started = False
+
+    def child_pids(self) -> list[int | None]:
+        """Live child pids by slot (``None`` for a dead/unspawned slot)."""
+        return [
+            child.pid if child is not None and child.is_alive() else None
+            for child in self._children
+        ]
+
+    def __enter__(self) -> "MultiProcessServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve_multiprocess(
+    service_factory,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    procs: int = 2,
+    workers: int = 32,
+) -> None:
+    """Serve forever across ``procs`` processes (blocking); Ctrl-C stops."""
+    front = MultiProcessServer(
+        service_factory, host, port, procs=procs, workers=workers, verbose=True
+    )
+    front.start()
+    print(
+        f"serving join discovery on http://{front.host}:{front.port} "
+        f"across {procs} process(es)"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        front.shutdown()

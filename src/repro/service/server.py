@@ -319,9 +319,15 @@ class DiscoveryHTTPServer(HTTPServer):
         verbose: bool = False,
         workers: int = 32,
         keepalive_idle_s: float = 5.0,
+        reuse_port: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        # Must be set before super().__init__ binds the socket: the
+        # SO_REUSEPORT flag lets N server processes share one listen
+        # address, with the kernel load-balancing accepts across them
+        # (the multi-process serving front, see repro.service.mpserve).
+        self.allow_reuse_port = reuse_port
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
@@ -530,6 +536,7 @@ def make_server(
     verbose: bool = False,
     workers: int = 32,
     keepalive_idle_s: float = 5.0,
+    reuse_port: bool = False,
 ) -> DiscoveryHTTPServer:
     """Bind (but do not start) a server; ``port=0`` picks a free port."""
     return DiscoveryHTTPServer(
@@ -538,6 +545,7 @@ def make_server(
         verbose=verbose,
         workers=workers,
         keepalive_idle_s=keepalive_idle_s,
+        reuse_port=reuse_port,
     )
 
 

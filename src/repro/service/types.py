@@ -211,6 +211,8 @@ class IndexStats:
     shards: int = 1
     quantized: bool = False
     graph: dict[str, object] | None = None
+    #: Shard worker processes behind the query fan-out (0 = in-process).
+    workers: int = 0
 
     def to_dict(self) -> dict[str, object]:
         """The wire form of this snapshot."""
@@ -226,6 +228,7 @@ class IndexStats:
             "caches": dict(self.caches),
             "shards": self.shards,
             "quantized": self.quantized,
+            "workers": self.workers,
         }
         if self.graph is not None:
             payload["graph"] = dict(self.graph)

@@ -12,6 +12,7 @@ from repro.eval.compare import (
     DEFAULT_TOLERANCE,
     compare_entries,
     compare_history,
+    detect_drift,
     load_history,
     render_comparison,
 )
@@ -216,3 +217,85 @@ class TestCLIGate:
         code = main(["bench-compare", "--history", str(path), "--profile", "full"])
         assert code == 0
         assert "full profile" in capsys.readouterr().out
+
+
+class TestWindowedDrift:
+    """The windowed gate catches the leak the pairwise band waved through."""
+
+    def test_historical_slide_is_caught(self):
+        # The real committed trajectory: 12.4 -> 9.0 -> 8.4 -> 7.8, every
+        # adjacent step inside the 35% pairwise band.  Against the window
+        # best (12.4) the 7.8 entry is a 37% cumulative loss — drift.
+        window = [entry(artifact_load_speedup=value) for value in (12.4, 9.0, 8.4)]
+        (row,) = detect_drift(window, entry(artifact_load_speedup=7.8))
+        assert row["window_best"] == pytest.approx(12.4)
+        assert row["ratio"] == pytest.approx(7.8 / 12.4)
+        assert row["drifted"] is True
+
+    def test_recovered_window_passes(self):
+        # Once the 12.4 entry ages out, the same 7.8 sits within 25% of
+        # the surviving window best (9.0) — the gate arms for the future
+        # without failing every subsequent run forever.
+        window = [entry(artifact_load_speedup=value) for value in (9.0, 8.4, 7.8)]
+        (row,) = detect_drift(window, entry(artifact_load_speedup=7.8))
+        assert row["drifted"] is False
+
+    def test_entries_missing_metric_are_skipped(self):
+        window = [entry(), entry(artifact_load_speedup=None), entry(artifact_load_speedup=10.0)]
+        (row,) = detect_drift(
+            window, entry(artifact_load_speedup=9.0), min_entries=1
+        )
+        assert row["window_size"] == 1
+        assert row["window_best"] == pytest.approx(10.0)
+
+    def test_short_window_does_not_arm(self):
+        # One prior entry is the pairwise gate's comparison; the tighter
+        # drift band must not overrule its noise verdict (12.4 -> 9.0 is
+        # a pass there).
+        assert (
+            detect_drift(
+                [entry(artifact_load_speedup=12.4)],
+                entry(artifact_load_speedup=9.0),
+            )
+            == []
+        )
+
+    def test_empty_window_yields_no_rows(self):
+        assert detect_drift([entry()], entry(artifact_load_speedup=9.0)) == []
+
+    def test_non_higher_is_better_metric_rejected(self):
+        with pytest.raises(ReproError):
+            detect_drift([entry()], entry(), metrics=("batch_per_query_ms",))
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ReproError):
+            detect_drift([entry()], entry(), tolerance=1.5)
+
+    def test_compare_history_tags_drift_regressions(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_history(
+            path,
+            [entry(artifact_load_speedup=value) for value in (12.4, 9.0, 8.4, 7.8)],
+        )
+        outcome = compare_history(path)
+        # Pairwise (8.4 -> 7.8) is clean; only the windowed gate fires.
+        assert outcome["regressions"] == ["artifact_load_speedup (drift)"]
+        assert outcome["drift"][0]["drifted"] is True
+        rendered = render_comparison(outcome)
+        assert "Windowed drift" in rendered
+        assert "DRIFTED" in rendered
+
+    def test_window_looks_back_only_drift_window_entries(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        # The 12.4 high-water mark is 4 entries back — outside the
+        # 3-entry window — so the gate anchors on 9.0 and passes.
+        write_history(
+            path,
+            [
+                entry(artifact_load_speedup=value)
+                for value in (12.4, 9.0, 8.4, 7.8, 7.8)
+            ],
+        )
+        outcome = compare_history(path)
+        assert outcome["regressions"] == []
+        assert outcome["drift"][0]["window_best"] == pytest.approx(9.0)

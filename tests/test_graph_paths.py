@@ -260,3 +260,73 @@ class TestChurnEquivalence:
         fresh = JoinGraph(engine, edge_threshold=0.0)
         fresh.ensure_current()
         assert graph_snapshot(graph) == graph_snapshot(fresh)
+
+
+class TestPruneEquivalence:
+    """Branch-and-bound pruning must be invisible in the results.
+
+    A named monotone combiner with a ``limit`` activates the
+    best-possible-score prune inside :func:`enumerate_paths`; an
+    arithmetically identical *callable* combiner disables it.  Over
+    random graphs — including heavy score ties, which exercise the
+    strict-inequality boundary the lexical tie-break depends on — both
+    enumerations must return identical paths and identical float scores.
+    """
+
+    @staticmethod
+    def random_adjacency(rng: np.random.Generator, tie_pool: list[float] | None):
+        tables = [f"db.t{i}" for i in range(int(rng.integers(4, 9)))]
+        edges = []
+        for i, left in enumerate(tables):
+            for right in tables[i + 1 :]:
+                if rng.random() < 0.55:
+                    if tie_pool is not None:
+                        confidence = float(tie_pool[int(rng.integers(len(tie_pool)))])
+                    else:
+                        confidence = float(rng.uniform(0.05, 1.0))
+                    edges.append(edge(f"{left}.x", f"{right}.y", confidence))
+        return tables, adjacency_of(*edges)
+
+    @staticmethod
+    def unpruned(adjacency, src, dst, *, max_hops, limit, combiner):
+        reference = dict(COMBINERS)  # named → equivalent plain callable
+        return enumerate_paths(
+            adjacency,
+            src,
+            dst,
+            max_hops=max_hops,
+            limit=limit,
+            combiner=lambda scores, name=combiner: reference[name](list(scores)),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.booleans(), st.sampled_from(["product", "min"]))
+    def test_pruned_equals_unpruned(self, seed, ties, combiner):
+        rng = np.random.default_rng(seed)
+        tie_pool = [0.3, 0.7, 0.9] if ties else None
+        tables, adjacency = self.random_adjacency(rng, tie_pool)
+        src, dst = parse_table(tables[0]), parse_table(tables[-1])
+        for limit in (1, 3, None):
+            got = enumerate_paths(
+                adjacency, src, dst, max_hops=4, limit=limit, combiner=combiner
+            )
+            want = self.unpruned(
+                adjacency, src, dst, max_hops=4, limit=limit, combiner=combiner
+            )
+            assert [(p.tables, p.score) for p in got] == [
+                (p.tables, p.score) for p in want
+            ]
+
+    def test_product_prune_disabled_for_super_unit_confidence(self):
+        """Confidences > 1 break product monotonicity; prune must stand down."""
+        grid = adjacency_of(
+            edge("db.a.x", "db.b.y", 0.4),
+            edge("db.b.y", "db.d.y", 1.5),
+            edge("db.a.x", "db.c.y", 0.9),
+            edge("db.c.y", "db.d.y", 0.1),
+        )
+        got = enumerate_paths(grid, A, D, max_hops=2, limit=1, combiner="product")
+        # a-b-d scores 0.4*1.5=0.6 and would be pruned at the 0.4 prefix
+        # if the bound assumed factors <= 1; correctness requires it wins.
+        assert got[0].tables == (A, B, D)
+        assert got[0].score == pytest.approx(0.6)

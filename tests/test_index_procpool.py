@@ -1,0 +1,334 @@
+"""Process-pool fan-out correctness: ProcessShardedIndex ≡ ShardedIndex.
+
+The multi-process engine's contract is the in-process sharded engine's,
+verbatim: one worker process per shard over shared mmap'd segments must
+return bitwise-identical ranked lists — same keys, same float32 scores,
+same canonical tie order — for every backend, both transports, with
+quantization, and across add/remove churn that forces segment republish
+and worker remaps.  On top of exactness it adds a liveness contract: a
+worker killed mid-query surfaces :class:`~repro.errors.WorkerCrashError`
+(never a hang), the pool respawns the worker from the last published
+segment, and the very next query is exact again.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import rng_for
+from repro.errors import IndexError_, WorkerCrashError
+from repro.index.exact import ExactCosineIndex
+from repro.index.lsh import SimHashLSHIndex
+from repro.index.pivot import PivotFilterIndex
+from repro.index.procpool import ProcessShardedIndex
+from repro.index.sharding import ShardedIndex
+
+DIM = 24
+BACKENDS = ["lsh", "exact", "pivot"]
+
+
+def cloud(n: int, key: object) -> np.ndarray:
+    matrix = rng_for("procpool-test", key).standard_normal((n, DIM))
+    return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+
+def backend_factory(backend: str, threshold: float = 0.2):
+    if backend == "lsh":
+        return lambda: SimHashLSHIndex(DIM, n_bits=64, n_bands=32, threshold=threshold)
+    if backend == "exact":
+        return lambda: ExactCosineIndex(DIM)
+    return lambda: PivotFilterIndex(DIM, n_pivots=5, threshold=threshold)
+
+
+def make_pair(backend: str, n_shards: int = 3, transport: str = "pipe"):
+    factory = backend_factory(backend)
+    reference = ShardedIndex(DIM, factory, n_shards=n_shards)
+    pool = ProcessShardedIndex(
+        DIM, factory, n_shards=n_shards, transport=transport
+    )
+    return reference, pool
+
+
+def assert_bitwise_equal(reference, pool, queries, k, **kwargs):
+    """The pool's results must equal the in-process engine's *exactly*.
+
+    No approx: segments are published layout-preserving (tombstones and
+    alive mask ship verbatim), so worker arenas are physically identical
+    to the writer's — same matrix shape, same BLAS reduction order, same
+    float32 scores bit for bit — and the merge is the same
+    single-argpartition top-k.
+    """
+    excludes = kwargs.pop("excludes", None)
+    for position in range(queries.shape[0]):
+        exclude = excludes[position] if excludes is not None else None
+        want = reference.query(queries[position], k, exclude=exclude, **kwargs)
+        got = pool.query(queries[position], k, exclude=exclude, **kwargs)
+        assert got == want
+    want_batch = reference.search_batch(queries, k, excludes=excludes, **kwargs)
+    got_batch = pool.search_batch(queries, k, excludes=excludes, **kwargs)
+    assert got_batch == want_batch
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestProcessShardedEqualsInProcess:
+    def test_bulk_load_parity(self, backend):
+        reference, pool = make_pair(backend)
+        with pool:
+            points = cloud(120, "bulk")
+            reference.bulk_load(list(range(120)), points)
+            pool.bulk_load(list(range(120)), points)
+            assert len(pool) == len(reference) == 120
+            assert_bitwise_equal(reference, pool, cloud(7, "bulk-q"), 10)
+
+    def test_excludes_and_threshold_parity(self, backend):
+        reference, pool = make_pair(backend)
+        with pool:
+            points = cloud(80, "excl")
+            reference.bulk_load(list(range(80)), points)
+            pool.bulk_load(list(range(80)), points)
+            assert_bitwise_equal(
+                reference,
+                pool,
+                points[:5],
+                5,
+                threshold=0.4,
+                excludes=list(range(5)),
+            )
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_churn_republish_parity(self, backend, seed):
+        """Adds/removes dirty shards; republished segments stay exact.
+
+        Mutations land on the parent writer; each touched shard is saved
+        to a fresh generation-suffixed segment and the worker remaps it
+        lazily on the next read — after which results must still equal
+        the in-process engine bit for bit.
+        """
+        rng = np.random.default_rng(seed)
+        reference, pool = make_pair(backend)
+        with pool:
+            points = cloud(200, ("churn", seed))
+            reference.bulk_load(list(range(100)), points[:100])
+            pool.bulk_load(list(range(100)), points[:100])
+            queries = cloud(6, ("churn-q", seed))
+            assert_bitwise_equal(reference, pool, queries, 9)
+            live = set(range(100))
+            for step in range(100, 160):
+                if live and rng.random() < 0.45:
+                    victim = sorted(live)[int(rng.integers(len(live)))]
+                    reference.remove(victim)
+                    pool.remove(victim)
+                    live.discard(victim)
+                else:
+                    reference.add(step, points[step])
+                    pool.add(step, points[step])
+                    live.add(step)
+            assert sorted(pool.keys()) == sorted(reference.keys())
+            assert_bitwise_equal(reference, pool, queries, 9)
+
+    def test_update_parity(self, backend):
+        reference, pool = make_pair(backend)
+        with pool:
+            points = cloud(50, "upd")
+            reference.bulk_load(list(range(40)), points[:40])
+            pool.bulk_load(list(range(40)), points[:40])
+            queries = cloud(4, "upd-q")
+            assert_bitwise_equal(reference, pool, queries, 8)
+            reference.update(7, points[41])
+            pool.update(7, points[41])
+            assert_bitwise_equal(reference, pool, queries, 8)
+
+
+def test_shm_transport_parity():
+    reference, pool = make_pair("exact", transport="shm")
+    with pool:
+        points = cloud(90, "shm")
+        reference.bulk_load(list(range(90)), points)
+        pool.bulk_load(list(range(90)), points)
+        assert_bitwise_equal(reference, pool, cloud(6, "shm-q"), 10)
+
+
+def test_quantized_parity_including_churn():
+    """Int8 + re-rank parity survives removes: codes follow row layout,
+    and layout-preserving publish keeps worker layout equal to the
+    writer's, so even the approximate preselect is bit-identical."""
+    reference, pool = make_pair("exact")
+    with pool:
+        points = cloud(110, "quant")
+        reference.bulk_load(list(range(100)), points[:100])
+        pool.bulk_load(list(range(100)), points[:100])
+        reference.enable_quantization(4)
+        pool.enable_quantization(4)
+        reference.build()
+        pool.build()
+        queries = cloud(6, "quant-q")
+        assert_bitwise_equal(reference, pool, queries, 10)
+        for victim in (3, 17, 41):
+            reference.remove(victim)
+            pool.remove(victim)
+        for step in (100, 105):
+            reference.add(step, points[step])
+            pool.add(step, points[step])
+        reference.build()
+        pool.build()
+        assert_bitwise_equal(reference, pool, queries, 10)
+
+
+def test_worker_crash_surfaces_error_then_restarts():
+    """SIGKILL mid-query => WorkerCrashError fast, then exact recovery."""
+    reference, pool = make_pair("exact", n_shards=2)
+    with pool:
+        points = cloud(60, "crash")
+        reference.bulk_load(list(range(60)), points)
+        pool.bulk_load(list(range(60)), points)
+        queries = cloud(4, "crash-q")
+        assert pool.search_batch(queries, 5) == reference.search_batch(queries, 5)
+        pids = pool.worker_pids()
+        assert all(pid is not None for pid in pids)
+
+        pool._test_query_delay_s = 0.6  # hold workers mid-request
+        outcome: dict[str, object] = {}
+
+        def probe() -> None:
+            try:
+                pool.search_batch(queries, 5)
+                outcome["result"] = "completed"
+            except WorkerCrashError as error:
+                outcome["error"] = error
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        time.sleep(0.2)
+        os.kill(pids[0], signal.SIGKILL)
+        thread.join(timeout=15)
+        assert not thread.is_alive(), "crashed worker hung the query"
+        error = outcome.get("error")
+        assert isinstance(error, WorkerCrashError)
+        assert error.shard_id == 0
+
+        # The next read respawns the worker from the last published
+        # segment and is bitwise-exact again.
+        pool._test_query_delay_s = 0.0
+        assert pool.search_batch(queries, 5) == reference.search_batch(queries, 5)
+        assert pool.worker_pids()[0] not in (None, pids[0])
+
+
+def test_service_translates_worker_crash_and_recovers():
+    """Service boundary: crash => ServiceError(internal), then recovery."""
+    from repro.core.config import WarpGateConfig
+    from repro.core.profiles import EmbeddingCache
+    from repro.core.warpgate import WarpGate
+    from repro.service.discovery import DiscoveryService
+    from repro.service.types import ServiceError
+    from repro.storage.schema import ColumnRef
+
+    cache = EmbeddingCache()
+    config = WarpGateConfig(model_name="hashing", dim=DIM).with_workers(2)
+    engine = WarpGate(config, cache=cache)
+    refs = [ColumnRef("db", f"t{i // 8}", f"c{i % 8}") for i in range(40)]
+    engine._index.bulk_load(refs, cloud(40, "svc"))
+    engine._indexed = True
+    query_ref = ColumnRef("db", "probe", "col")
+    cache.put(query_ref, cloud(1, "svc-q")[0])
+    service = DiscoveryService(engine=engine)
+    try:
+        assert service.stats().workers == 2
+        first = service.search(query_ref, 5)  # warms the workers
+        pids = engine._index.worker_pids()
+
+        engine._index._test_query_delay_s = 0.6
+        outcome: dict[str, object] = {}
+
+        def probe() -> None:
+            # k=6: a fresh query-cache key, so the request must reach the
+            # workers instead of being served from the generation-keyed
+            # result cache the k=5 warm-up populated.
+            try:
+                service.search(query_ref, 6)
+                outcome["result"] = "completed"
+            except ServiceError as error:
+                outcome["error"] = error
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        time.sleep(0.2)
+        for pid in pids:
+            if pid is not None:
+                os.kill(pid, signal.SIGKILL)
+                break
+        thread.join(timeout=15)
+        assert not thread.is_alive(), "crashed worker hung the service"
+        error = outcome.get("error")
+        assert isinstance(error, ServiceError) and error.code == "internal"
+
+        engine._index._test_query_delay_s = 0.0
+        # k=7 misses the cache again: recovery is proven through the
+        # respawned workers, and its top-5 prefix must match the
+        # pre-crash ranking.
+        recovered = service.search(query_ref, 7)
+        assert [c.ref for c in recovered.candidates][: len(first.candidates)] == [
+            c.ref for c in first.candidates
+        ]
+    finally:
+        service.close()
+
+
+class TestPoolSurface:
+    def test_invalid_construction(self):
+        factory = backend_factory("exact")
+        with pytest.raises(ValueError):
+            ProcessShardedIndex(DIM, factory, n_shards=2, transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            ProcessShardedIndex(DIM, factory, n_shards=2, request_timeout_s=0)
+
+    def test_closed_pool_refuses_queries(self):
+        _, pool = make_pair("exact", n_shards=2)
+        pool.bulk_load(list(range(10)), cloud(10, "closed"))
+        pool.close()
+        with pytest.raises(IndexError_):
+            pool.query(cloud(1, "closed-q")[0], 3)
+
+    def test_close_is_idempotent_and_kills_workers(self):
+        _, pool = make_pair("exact", n_shards=2)
+        pool.bulk_load(list(range(10)), cloud(10, "kill"))
+        pool.search_batch(cloud(2, "kill-q"), 3)
+        pids = [pid for pid in pool.worker_pids() if pid is not None]
+        assert pids
+        pool.close()
+        pool.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if all(not _pid_alive(pid) for pid in pids):
+                break
+            time.sleep(0.05)
+        assert all(not _pid_alive(pid) for pid in pids)
+
+    def test_stale_segments_unlinked_after_remap(self):
+        _, pool = make_pair("exact", n_shards=2)
+        with pool:
+            pool.bulk_load(list(range(20)), cloud(20, "seg"))
+            pool.search_batch(cloud(2, "seg-q"), 3)  # publish gen 1
+            pool.add(99, cloud(1, "seg-extra")[0])  # dirties one shard
+            pool.search_batch(cloud(2, "seg-q"), 3)  # publish gen 2, remap
+            segments = sorted(p.name for p in pool._segment_dir.glob("*.npz"))
+            # One current segment per shard; no stale generations linger.
+            assert len(segments) == 2
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True

@@ -1,0 +1,140 @@
+"""Multi-process HTTP front: SO_REUSEPORT sharing, supervision, shutdown.
+
+:class:`~repro.service.mpserve.MultiProcessServer` forks ``procs``
+complete servers onto one listen address; the kernel load-balances
+connections across them.  These tests pin the lifecycle contract —
+port-0 resolution, every child answering real HTTP, a SIGKILLed child
+respawned by the supervisor, idempotent shutdown that leaves no live
+pids — plus the ``reuse_port`` plumbing in ``make_server`` that makes
+address sharing possible at all.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.core.config import WarpGateConfig
+from repro.service import DiscoveryService, MultiProcessServer, make_server
+from repro.warehouse.connector import WarehouseConnector
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="multi-process serving needs SO_REUSEPORT",
+)
+
+
+def request(port: int, method: str, path: str, body: dict | None = None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+@pytest.fixture()
+def factory(toy_warehouse):
+    """Service factory as ``cmd_serve`` builds it: one full service per child."""
+
+    def build() -> DiscoveryService:
+        service = DiscoveryService(WarpGateConfig(threshold=0.3))
+        service.open(WarehouseConnector(toy_warehouse))
+        return service
+
+    return build
+
+
+class TestReusePortPlumbing:
+    def test_two_servers_share_one_port(self, factory):
+        """``reuse_port=True`` lets two full servers bind one address."""
+        first = make_server(factory(), "127.0.0.1", 0, workers=2, reuse_port=True)
+        port = first.server_address[1]
+        second = make_server(factory(), "127.0.0.1", port, workers=2, reuse_port=True)
+        with first, second:
+            status, payload = request(port, "GET", "/healthz")
+            assert status == 200 and payload["status"] == "ok"
+        first.server_close()
+        second.server_close()
+
+    def test_default_server_still_rejects_bound_port(self, factory):
+        """Without the flag the second bind fails — no silent sharing."""
+        first = make_server(factory(), "127.0.0.1", 0, workers=2)
+        port = first.server_address[1]
+        with first:
+            with pytest.raises(OSError):
+                make_server(factory(), "127.0.0.1", port, workers=2)
+        first.server_close()
+
+
+class TestMultiProcessServer:
+    def test_rejects_bad_procs(self, factory):
+        with pytest.raises(ValueError):
+            MultiProcessServer(factory, procs=0)
+
+    def test_serves_http_across_children(self, factory):
+        with MultiProcessServer(factory, port=0, procs=2, workers=4) as front:
+            assert front.port > 0
+            pids = front.child_pids()
+            assert len(pids) == 2 and all(pid is not None for pid in pids)
+            for _ in range(6):  # kernel-balanced, so hit the port repeatedly
+                status, payload = request(front.port, "GET", "/healthz")
+                assert status == 200 and payload["indexed"] is True
+            status, payload = request(
+                front.port,
+                "POST",
+                "/search",
+                {"query": "db.customers.company", "k": 3},
+            )
+            assert status == 200
+            assert payload["candidates"][0]["ref"] == "db.vendors.vendor_name"
+
+    def test_supervisor_respawns_killed_child(self, factory):
+        with MultiProcessServer(factory, port=0, procs=2, workers=4) as front:
+            victim = front.child_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                replacement = front.child_pids()[0]
+                if replacement is not None and replacement != victim:
+                    break
+                time.sleep(0.1)
+            replacement = front.child_pids()[0]
+            assert replacement is not None and replacement != victim
+            status, _ = request(front.port, "GET", "/healthz")
+            assert status == 200
+
+    def test_shutdown_is_idempotent_and_reaps_children(self, factory):
+        front = MultiProcessServer(factory, port=0, procs=2, workers=4)
+        front.start()
+        front.start()  # idempotent
+        pids = [pid for pid in front.child_pids() if pid is not None]
+        assert len(pids) == 2
+        front.shutdown()
+        front.shutdown()
+        assert front.child_pids() == [None, None]
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if all(not _pid_alive(pid) for pid in pids):
+                break
+            time.sleep(0.05)
+        assert all(not _pid_alive(pid) for pid in pids)
