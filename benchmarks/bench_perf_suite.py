@@ -210,10 +210,13 @@ def test_history_appends_one_line_per_run(tmp_path):
     assert isinstance(entry["serve_coalesced_speedup"], (int, float))
     assert isinstance(entry["graph_incremental_speedup"], (int, float))
     assert isinstance(entry["graph_path_query_ms"], (int, float))
-    # Quality headline keys ride every entry; a perf-only run leaves them
-    # null and bench-compare skips null metrics.
+    # Quality and durability headline keys ride every entry; a run that
+    # skipped those stages leaves them null and bench-compare skips
+    # null metrics.
     assert "quality_hybrid_recall_at_10" in entry
     assert entry["quality_hybrid_recall_at_10"] is None
+    assert "durability_recovery_s" in entry
+    assert entry["durability_recovery_s"] is None
 
 
 def test_graph_stage_incremental_beats_full(tmp_path):
@@ -278,6 +281,39 @@ def test_mpserve_stage_contract(tmp_path):
     entry = json.loads(history.read_text(encoding="utf-8").splitlines()[0])
     assert isinstance(entry["proc_shard_speedup"], (int, float))
     assert isinstance(entry["mpserve_http_speedup"], (int, float))
+
+
+def test_durability_stage_contract(tmp_path):
+    """The WAL/checkpoint/recovery arms all answer and recovery is lossless.
+
+    Absolute timings are *recorded, not gated*: fsync latency is pure
+    hardware.  What is structural — and asserted — is that every arm
+    produced a positive timing and that recovery restored every column.
+    """
+    report = run_perf_suite(
+        profile="fast",
+        stages=("durability",),
+        durability_sizes=(1_000,),
+        stage_repeats=1,
+    )
+    assert report["stages"] == ["durability"]
+    assert validate_report(report) == []
+    assert report["config"]["durability"]["fsync"] == "always"
+    row = report["durability"][-1]
+    assert row["warmup_runs"] >= 1
+    assert row["wal_records"] >= 1
+    assert row["wal_append_ms"] > 0.0
+    assert row["wal_append_nofsync_ms"] > 0.0
+    assert row["inmem_update_ms"] > 0.0
+    assert row["wal_overhead_x"] > 0.0
+    assert row["checkpoint_s"] > 0.0
+    assert row["recovery_s"] > 0.0
+    assert row["recovered_columns"] == row["n_columns"]
+    history = tmp_path / "BENCH_history.jsonl"
+    append_history(report, history)
+    entry = json.loads(history.read_text(encoding="utf-8").splitlines()[0])
+    assert isinstance(entry["durability_wal_overhead_x"], (int, float))
+    assert isinstance(entry["durability_recovery_s"], (int, float))
 
 
 def test_batched_embedding_amortizes(tmp_path):

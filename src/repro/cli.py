@@ -81,6 +81,9 @@ def _config_from_args(args: argparse.Namespace) -> WarpGateConfig:
         query_cache_size=getattr(args, "query_cache_size", 4096),
         shard_workers=getattr(args, "shard_workers", 0),
         worker_transport=getattr(args, "worker_transport", "pipe"),
+        durable_dir=getattr(args, "durable_dir", "") or None,
+        durable_fsync=getattr(args, "fsync", "always"),
+        checkpoint_every=getattr(args, "checkpoint_every", 256),
     )
 
 
@@ -132,6 +135,15 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     warehouse = _warehouse_from_csv_dir(Path(args.directory))
     config = _config_from_args(args)
+    if config.durable_dir and args.procs > 1:
+        # The durable store is single-writer (one WAL, one manifest);
+        # forked children would race their appends and checkpoints.
+        print(
+            "error: --durable-dir requires --procs 1 (the WAL is "
+            "single-writer)",
+            file=sys.stderr,
+        )
+        return 2
     if args.procs > 1:
         from repro.service import serve_multiprocess
 
@@ -147,11 +159,66 @@ def cmd_serve(args: argparse.Namespace) -> int:
             factory, args.host, args.port, procs=args.procs, workers=args.workers
         )
         return 0
-    service = DiscoveryService(config)
-    report = service.open(WarehouseConnector(warehouse))
-    print(f"indexed {report.columns_indexed} columns from {args.directory}")
+    if config.durable_dir and (Path(config.durable_dir) / "MANIFEST").exists():
+        # A previous run (clean or crashed) left a durable store here:
+        # recover it instead of re-indexing the corpus over it.
+        service = DiscoveryService.load_durable(
+            config.durable_dir, connector=WarehouseConnector(warehouse)
+        )
+        report = service.recovery_report or {}
+        print(
+            f"recovered {report.get('recovered_columns', 0)} columns from "
+            f"{config.durable_dir} (replayed "
+            f"{report.get('wal_records_replayed', 0)} WAL record(s), "
+            f"discarded {report.get('torn_tail_bytes', 0)} torn byte(s))"
+        )
+    else:
+        service = DiscoveryService(config)
+        report = service.open(WarehouseConnector(warehouse))
+        print(f"indexed {report.columns_indexed} columns from {args.directory}")
+        if config.durable_dir:
+            print(f"durable store established at {config.durable_dir}")
     serve(service, args.host, args.port, workers=args.workers)
     return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.durability import fsck_store
+
+    report = fsck_store(args.directory)
+    manifest = report["manifest"]
+    if manifest is not None:
+        print(
+            f"manifest seq {manifest['manifest_seq']}: "
+            f"{manifest['segments']} segment(s), "
+            f"wal_applied_seq {manifest['wal_applied_seq']}"
+        )
+    wal = report["wal"]
+    print(
+        f"wal: {wal['records']} replayable record(s), "
+        f"torn tail {wal['torn_tail_bytes']} byte(s)"
+    )
+    for warning in report["warnings"]:
+        print(f"warning: {warning}")
+    for problem in report["problems"]:
+        print(f"problem: {problem}")
+    if args.recover and not report["problems"]:
+        service = DiscoveryService.load_durable(args.directory)
+        recovery = service.recovery_report or {}
+        print(
+            f"recovery ok: {recovery.get('recovered_columns', 0)} columns "
+            f"({recovery.get('wal_records_replayed', 0)} WAL record(s) "
+            "replayed)"
+        )
+        if args.checkpoint:
+            manifest = service.checkpoint()
+            print(
+                f"checkpointed: manifest seq {manifest['manifest_seq']}, "
+                "WAL truncated"
+            )
+        service.close()
+    print("store is clean" if report["clean"] else "store needs attention")
+    return 0 if not report["problems"] else 1
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -404,6 +471,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 ],
                 graph_rows,
                 title="Join graph (full rebuild vs incremental table update)",
+            )
+        )
+    durability_rows = [
+        [
+            row["n_columns"],
+            row["wal_records"],
+            f"{row['wal_append_ms']:.3f}",
+            f"{row['wal_append_nofsync_ms']:.3f}",
+            f"{row['inmem_update_ms']:.3f}",
+            f"{row['wal_overhead_x']:.1f}x",
+            f"{row['checkpoint_s']:.3f}",
+            f"{row['recovery_s']:.3f}",
+        ]
+        for row in report.get("durability", [])
+    ]
+    if durability_rows:
+        print(
+            render_table(
+                [
+                    "columns",
+                    "wal recs",
+                    "append ms",
+                    "nofsync ms",
+                    "in-mem ms",
+                    "overhead",
+                    "ckpt s",
+                    "recover s",
+                ],
+                durability_rows,
+                title="Durable store (WAL append overhead, recovery wall time)",
             )
         )
     quality_rows = [
@@ -674,8 +771,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="entries in the generation-keyed query-result cache (0 disables)",
     )
+    serve_cmd.add_argument(
+        "--durable-dir",
+        default="",
+        help="directory for the crash-safe index store (WAL + segments + "
+        "manifest); mutations are durable once acknowledged, and a "
+        "restart recovers the store instead of re-indexing "
+        "(single-process only)",
+    )
+    serve_cmd.add_argument(
+        "--fsync",
+        default="always",
+        choices=("always", "never"),
+        help="WAL fsync policy: 'always' makes every acknowledged "
+        "mutation crash-durable, 'never' leaves appends OS-buffered",
+    )
+    serve_cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=256,
+        help="WAL records between automatic checkpoints (0 = never "
+        "auto-compact)",
+    )
     add_model_args(serve_cmd)
     serve_cmd.set_defaults(handler=cmd_serve)
+
+    fsck = subparsers.add_parser(
+        "fsck",
+        help="validate a durable index store (manifest, segment checksums, "
+        "WAL); exit 1 on hard corruption",
+    )
+    fsck.add_argument("directory", help="durable store directory")
+    fsck.add_argument(
+        "--recover",
+        action="store_true",
+        help="additionally run full recovery (segment load + WAL replay) "
+        "and report what it rebuilds",
+    )
+    fsck.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="with --recover: compact the recovered state into a fresh "
+        "segment and truncate the WAL (clears torn tails and orphans)",
+    )
+    fsck.set_defaults(handler=cmd_fsck)
 
     graph = subparsers.add_parser(
         "graph", help="build, query, or export the join graph of a CSV directory"
@@ -738,7 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="comma-separated subset of stages to run (default: all); "
         "choices: results, embed, shard, quant, artifact, serve, mpserve, "
-        "graph, quality; subset runs skip the history append",
+        "graph, durability, quality; subset runs skip the history append",
     )
     bench.add_argument("--dim", type=int, default=256, help="embedding dimensionality")
     bench.add_argument(

@@ -19,6 +19,7 @@ _AGGREGATIONS = ("mean", "tfidf")
 _SAMPLING_STRATEGIES = ("head", "uniform", "reservoir", "distinct")
 _SHARD_PLACEMENTS = ("hash", "round_robin")
 _WORKER_TRANSPORTS = ("pipe", "shm")
+_FSYNC_POLICIES = ("always", "never")
 
 
 @dataclass(frozen=True)
@@ -118,6 +119,18 @@ class WarpGateConfig:
         hybrid exists to keep).  Candidate generation probes the index
         down to the cosine that could still clear the floor under perfect
         containment: ``(hybrid_floor - (1 - weight)) / weight``.
+    durable_dir:
+        Root of the crash-safe durable store
+        (:class:`repro.durability.DurableIndexStore`): WAL + checksummed
+        segments + atomically-published manifest.  ``None`` (default)
+        keeps the engine purely in-memory between explicit saves.
+    durable_fsync:
+        WAL fsync policy: ``always`` (every acknowledged mutation is
+        fsync'd before the call returns) or ``never`` (OS-buffered; a
+        crash may lose the tail — benchmarks and tests only).
+    checkpoint_every:
+        Auto-compact the WAL into a fresh segment after this many
+        records (0 = only on explicit checkpoint).
     """
 
     model_name: str = "webtable"
@@ -147,6 +160,9 @@ class WarpGateConfig:
     scoring: str = "cosine"
     hybrid_semantic_weight: float = 0.6
     hybrid_floor: float = 0.35
+    durable_dir: str | None = None
+    durable_fsync: str = "always"
+    checkpoint_every: int = 256
 
     def __post_init__(self) -> None:
         if self.search_backend not in _SEARCH_BACKENDS:
@@ -230,6 +246,15 @@ class WarpGateConfig:
             raise ValueError(
                 f"hybrid_floor must be in [-1, 1], got {self.hybrid_floor}"
             )
+        if self.durable_fsync not in _FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown durable_fsync {self.durable_fsync!r}; "
+                f"choose from {_FSYNC_POLICIES}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
 
     def with_sampling(self, sample_size: int | None, strategy: str | None = None) -> "WarpGateConfig":
         """Copy of this config with a different sampling setup."""
@@ -304,6 +329,25 @@ class WarpGateConfig:
                 else self.hybrid_semantic_weight
             ),
             hybrid_floor=floor if floor is not None else self.hybrid_floor,
+        )
+
+    def with_durability(
+        self,
+        durable_dir: str | None,
+        *,
+        fsync: str | None = None,
+        checkpoint_every: int | None = None,
+    ) -> "WarpGateConfig":
+        """Copy of this config with the durable store re-targeted."""
+        return replace(
+            self,
+            durable_dir=durable_dir,
+            durable_fsync=fsync if fsync is not None else self.durable_fsync,
+            checkpoint_every=(
+                checkpoint_every
+                if checkpoint_every is not None
+                else self.checkpoint_every
+            ),
         )
 
     def with_serving(

@@ -34,6 +34,9 @@ All three load; only format 3 is written.
 from __future__ import annotations
 
 import json
+import os
+import zipfile
+import zlib
 from dataclasses import asdict
 from pathlib import Path
 
@@ -41,15 +44,45 @@ import numpy as np
 
 from repro.core.config import WarpGateConfig
 from repro.core.warpgate import WarpGate
-from repro.errors import DiscoveryError
+from repro.durability import faultpoints
+from repro.errors import ArtifactCorruptionError, DiscoveryError
 from repro.index.mmapio import load_npz_arrays
 from repro.index.sharding import ShardedIndex
 from repro.storage.schema import ColumnRef
 
-__all__ = ["save_index", "load_index", "load_service"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "load_service",
+    "save_index_durable",
+    "load_index_durable",
+]
 
 _FORMAT_VERSION = 3
 _SUPPORTED_VERSIONS = (1, 2, 3)
+
+
+def _write_npz_atomic(path: Path, payload: dict, *, compress: bool) -> Path:
+    """Write an ``.npz`` artifact atomically: temp + fsync + ``os.replace``.
+
+    The temp file lives in the target directory (``os.replace`` must not
+    cross filesystems), so a crash mid-save leaves at worst a stale
+    ``.tmp`` file — the previous artifact at ``path`` is never clobbered
+    until the new bytes are durable.  ``np.savez`` appends ``.npz`` to
+    bare *paths* but not to open file objects, so the final suffix is
+    normalized first and the archive written through a handle.
+    """
+    final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    tmp = final.with_name(f".{final.name}.tmp")
+    writer = np.savez_compressed if compress else np.savez
+    with tmp.open("wb") as handle:
+        writer(handle, **payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    faultpoints.fire("artifact.save.before_replace")
+    os.replace(tmp, final)
+    faultpoints.fire("artifact.save.after_replace")
+    return final
 
 
 def _export_sorted(system) -> tuple[list[ColumnRef], np.ndarray, np.ndarray | None]:
@@ -84,10 +117,6 @@ def save_index(system, path: str | Path, *, compress: bool = False) -> Path:
         raise DiscoveryError("cannot save an unindexed WarpGate")
     path = Path(path)
     refs, vectors, signatures = _export_sorted(system)
-    header = {
-        "format_version": _FORMAT_VERSION,
-        "config": asdict(system.config),
-    }
     # Refs ship as a fixed-width unicode member (not pickled objects, not
     # JSON): it loads without allow_pickle, memory-maps like any numeric
     # member, and converts back to Python strings in one C-speed tolist.
@@ -95,16 +124,27 @@ def save_index(system, path: str | Path, *, compress: bool = False) -> Path:
         [[ref.database, ref.table, ref.column] for ref in refs], dtype=np.str_
     ).reshape(len(refs), 3)
     payload: dict[str, np.ndarray] = {
-        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
         "refs": ref_parts,
         "vectors": np.ascontiguousarray(vectors, dtype=np.float32),
     }
     if signatures is not None:
         payload["signatures"] = np.ascontiguousarray(signatures, dtype=np.uint64)
-    writer = np.savez_compressed if compress else np.savez
-    writer(path, **payload)
-    # np.savez appends .npz when absent; normalize the returned path.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(system.config),
+        # Per-member CRC32 of the raw array bytes; loaders verify any
+        # member they materialize in memory (mmap'd members stay lazy —
+        # hashing them would force a full page-in).
+        "member_crc32": {
+            name: zlib.crc32(np.ascontiguousarray(array).tobytes())
+            for name, array in payload.items()
+        },
+    }
+    payload = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        **payload,
+    }
+    return _write_npz_atomic(path, payload, compress=compress)
 
 
 def _save_legacy(system, path: str | Path, *, version: int) -> Path:
@@ -133,8 +173,7 @@ def _save_legacy(system, path: str | Path, *, version: int) -> Path:
     }
     if version == 2 and signatures is not None:
         payload["signatures"] = signatures
-    np.savez_compressed(path, **payload)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return _write_npz_atomic(path, payload, compress=True)
 
 
 def load_index(path: str | Path) -> WarpGate:
@@ -156,14 +195,50 @@ def load_index(path: str | Path) -> WarpGate:
     path = Path(path)
     if not path.exists():
         raise DiscoveryError(f"no index artifact at {path}")
-    payload = load_npz_arrays(path, allow_pickle=True)
-    header = json.loads(bytes(np.asarray(payload["header"]).tobytes()).decode("utf-8"))
+    # A truncated download, a bit flip, or a non-archive file must
+    # surface as one typed error naming the path (and, when known, the
+    # member) — never a raw zipfile/numpy traceback from the loader's
+    # guts, and never a silently wrong index.
+    try:
+        payload = load_npz_arrays(path, allow_pickle=True)
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as error:
+        raise ArtifactCorruptionError(path, detail=str(error)) from error
+    if "header" not in payload:
+        raise ArtifactCorruptionError(path, member="header", detail="missing")
+    try:
+        header = json.loads(
+            bytes(np.asarray(payload["header"]).tobytes()).decode("utf-8")
+        )
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ArtifactCorruptionError(
+            path, member="header", detail=str(error)
+        ) from error
     version = header.get("format_version")
     if version not in _SUPPORTED_VERSIONS:
         raise DiscoveryError(f"unsupported index format {version!r}")
     config = WarpGateConfig(**header["config"])
+    for member in ("refs", "vectors"):
+        if member not in payload:
+            raise ArtifactCorruptionError(path, member=member, detail="missing")
     vectors = payload["vectors"]
     signatures = payload.get("signatures")
+    # Per-member CRC (format-3 headers): verify every member the loader
+    # materialized in memory.  Memory-mapped members stay lazy — the OS
+    # pages them in on demand, and hashing would defeat the zero-copy
+    # load — so mmap'd artifacts rely on the durable store's
+    # segment-level checksums instead.
+    expected_crcs = header.get("member_crc32") or {}
+    for member, expected in expected_crcs.items():
+        array = payload.get(member)
+        if array is None or isinstance(array, np.memmap):
+            continue
+        actual = zlib.crc32(np.ascontiguousarray(array).tobytes())
+        if actual != int(expected):
+            raise ArtifactCorruptionError(
+                path,
+                member=member,
+                detail=f"CRC mismatch ({actual:#010x} != {int(expected):#010x})",
+            )
     if version >= 3:
         # Fixed-width unicode member → three Python string lists in one
         # C-speed pass; this loop is on the cold-start critical path.
@@ -210,3 +285,67 @@ def load_service(path: str | Path, *, connector=None):
     from repro.service.discovery import DiscoveryService
 
     return DiscoveryService.load(path, connector=connector)
+
+
+def save_index_durable(system, directory: str | Path):
+    """Checkpoint an indexed system into a durable store at ``directory``.
+
+    The directory-based counterpart of :func:`save_index`: state lands as
+    an immutable checksummed segment plus an atomically-published
+    manifest (see :mod:`repro.durability.store`), so a crash mid-save
+    never clobbers the previous state.  Returns the open
+    :class:`~repro.durability.DurableIndexStore` — subsequent mutations
+    can be WAL-logged through it.
+    """
+    from repro.durability.store import DurableIndexStore
+
+    system = getattr(system, "engine", system)
+    if not system.is_indexed:
+        raise DiscoveryError("cannot save an unindexed WarpGate")
+    config = system.config
+    store = DurableIndexStore(
+        directory,
+        fsync=config.durable_fsync,
+        checkpoint_every=config.checkpoint_every,
+    )
+    store.checkpoint(system)
+    return store
+
+
+def load_index_durable(directory: str | Path):
+    """Recover a WarpGate from a durable store: validate, replay, rebuild.
+
+    Runs the full recovery algorithm — manifest parse, segment checksum
+    validation, torn-tail discard, WAL replay past ``wal_applied_seq`` —
+    and rebuilds a searchable engine holding exactly the
+    last-acknowledged mutation set.  Returns ``(system, store, report)``
+    where ``report`` says what recovery found (segments loaded, records
+    replayed/skipped, torn bytes).  Checksum failures raise the typed
+    :mod:`repro.errors` durability errors, never a silent wrong answer.
+    """
+    from dataclasses import replace
+
+    from repro.durability.store import DurableIndexStore
+
+    directory = Path(directory)
+    store = DurableIndexStore(directory, fsync="never")
+    config_dict, refs, vectors, report = store.recover()
+    config = WarpGateConfig(**config_dict)
+    # The store may have been moved/copied since the manifest was
+    # written; the directory actually recovered from is the truth.
+    config = replace(config, durable_dir=str(directory))
+    # Reopen the WAL under the recovered fsync policy for future appends.
+    store.close()
+    store = DurableIndexStore(
+        directory,
+        fsync=config.durable_fsync,
+        checkpoint_every=config.checkpoint_every,
+    )
+    system = WarpGate(config)
+    if refs:
+        # Replay rebuilds vectors bitwise; SimHash signatures rehash
+        # deterministically from them inside bulk_load.
+        system._index.bulk_load(refs, vectors)
+        system._indexed = True
+    system.rebuild_index()
+    return system, store, report

@@ -1,0 +1,19 @@
+"""Crash-safe durability: WAL + checksummed segments + atomic manifest.
+
+See :mod:`repro.durability.store` for the design narrative, and
+:mod:`repro.durability.faultpoints` for the deterministic crash-point
+registry the fault-injection tests drive.
+"""
+
+from repro.durability.faultpoints import CRASH_POINTS, InjectedCrash
+from repro.durability.store import DurableIndexStore, fsck_store
+from repro.durability.wal import WriteAheadLog, scan_wal
+
+__all__ = [
+    "CRASH_POINTS",
+    "DurableIndexStore",
+    "InjectedCrash",
+    "WriteAheadLog",
+    "fsck_store",
+    "scan_wal",
+]

@@ -1,0 +1,180 @@
+"""Append-only write-ahead log with length+CRC framing.
+
+One fsync'd record per acknowledged index mutation.  A record is one
+frame::
+
+    <u32 payload length, little-endian> <u32 crc32(payload)> <payload>
+
+where the payload is UTF-8 JSON describing the mutation's *effect* (the
+refs and exact float32 vector bytes, not the command that produced
+them), so replay needs no warehouse access and is bitwise-deterministic.
+
+Frames are appended with a single ``os.write`` call; a crash mid-append
+therefore leaves a *short* final frame (torn tail), never a complete
+frame with garbage inside it.  :func:`scan_wal` exploits that asymmetry:
+
+* a frame whose header or payload extends past EOF is a **torn tail** —
+  expected crash damage, reported and discarded;
+* a *complete* frame whose CRC mismatches is **corruption** — a typed
+  :class:`~repro.errors.WalCorruptionError`, never silently skipped.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.durability import faultpoints
+from repro.errors import WalCorruptionError
+
+__all__ = ["WriteAheadLog", "decode_vectors", "encode_vectors", "scan_wal"]
+
+_HEADER = struct.Struct("<II")
+#: Upper bound on one record's payload; a complete frame claiming more is
+#: corruption (the biggest legitimate record is one table's worth of
+#: float32 vectors — far below this).
+_MAX_PAYLOAD = 256 * 1024 * 1024
+_FSYNC_POLICIES = ("always", "never")
+
+
+def encode_vectors(vectors: np.ndarray) -> str:
+    """Base64 of the exact float32 bytes (replay is bitwise-faithful)."""
+    array = np.ascontiguousarray(vectors, dtype=np.float32)
+    return base64.b64encode(array.tobytes()).decode("ascii")
+
+
+def decode_vectors(encoded: str, n_rows: int, dim: int) -> np.ndarray:
+    """Inverse of :func:`encode_vectors`."""
+    raw = base64.b64decode(encoded.encode("ascii"))
+    return np.frombuffer(raw, dtype=np.float32).reshape(n_rows, dim).copy()
+
+
+class WriteAheadLog:
+    """The store's append-only log; one instance owns the file handle.
+
+    Parameters
+    ----------
+    path:
+        Log file location (created empty on first append).
+    fsync:
+        ``always`` (default: every append is fsync'd before it returns —
+        the acknowledged-mutation durability contract) or ``never``
+        (OS-buffered appends; crash may lose the tail — bench/test use).
+    """
+
+    def __init__(self, path: str | Path, *, fsync: str = "always") -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; choose from {_FSYNC_POLICIES}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fd: int | None = None
+
+    # -- handle management --------------------------------------------------------
+
+    def _handle(self) -> int:
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        return self._fd
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- append -------------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Frame, write, and (policy permitting) fsync one record.
+
+        The frame ships in a single ``os.write`` so a crash leaves a
+        short tail, not an interleaved half-frame.  The caller must not
+        acknowledge the mutation until this returns.
+        """
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        faultpoints.fire("wal.append.before_write")
+        fd = self._handle()
+        os.write(fd, frame)
+        faultpoints.fire("wal.append.after_write")
+        if self.fsync == "always":
+            os.fsync(fd)
+        faultpoints.fire("wal.append.after_fsync")
+
+    # -- truncation (checkpoint) --------------------------------------------------
+
+    def truncate(self) -> None:
+        """Discard every record (the manifest has absorbed them)."""
+        faultpoints.fire("wal.truncate.before")
+        self.close()
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        faultpoints.fire("wal.truncate.after")
+
+
+def scan_wal(path: str | Path) -> tuple[list[dict], dict]:
+    """Parse every complete record; report (and tolerate) a torn tail.
+
+    Returns ``(records, info)`` where ``info`` carries ``torn_tail_bytes``
+    (0 when the log ends on a frame boundary) and ``scanned_bytes``.
+    Raises :class:`WalCorruptionError` for a complete frame with a CRC
+    mismatch, an over-limit length on a complete frame, unparseable
+    JSON, or out-of-order sequence numbers.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], {"torn_tail_bytes": 0, "scanned_bytes": 0}
+    data = path.read_bytes()
+    records: list[dict] = []
+    offset = 0
+    last_seq = None
+    while offset < len(data):
+        if len(data) - offset < _HEADER.size:
+            break  # torn header
+        length, crc = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if end > len(data):
+            break  # torn payload (covers a garbage length at the tail too)
+        if length > _MAX_PAYLOAD:
+            raise WalCorruptionError(
+                path, offset, f"frame claims {length} payload bytes"
+            )
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            raise WalCorruptionError(path, offset, "payload CRC mismatch")
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WalCorruptionError(path, offset, str(error)) from error
+        if not isinstance(record, dict) or "seq" not in record:
+            raise WalCorruptionError(path, offset, "record is not a mutation")
+        seq = record["seq"]
+        if last_seq is not None and seq <= last_seq:
+            raise WalCorruptionError(
+                path, offset, f"sequence went backwards ({last_seq} -> {seq})"
+            )
+        last_seq = seq
+        records.append(record)
+        offset = end
+    return records, {
+        "torn_tail_bytes": len(data) - offset,
+        "scanned_bytes": offset,
+    }

@@ -141,6 +141,89 @@ class InvalidQueryError(DiscoveryError):
     """Raised when a join query references unknown tables or columns."""
 
 
+class PersistenceError(DiscoveryError):
+    """Base class for errors loading or saving index artifacts."""
+
+
+class ArtifactCorruptionError(PersistenceError):
+    """Raised when an index artifact fails structural or checksum validation.
+
+    Carries the artifact path and, when known, the archive member whose
+    bytes failed — a truncated download and a bit-flipped vector block
+    produce the same typed error instead of a raw ``zipfile``/``numpy``
+    traceback deep inside the loader.
+    """
+
+    def __init__(self, path, member: str | None = None, detail: str = "") -> None:
+        self.path = str(path)
+        self.member = member
+        suspect = f" (member {member!r})" if member else ""
+        tail = f": {detail}" if detail else ""
+        super().__init__(f"corrupt index artifact {self.path}{suspect}{tail}")
+
+
+class DurabilityError(PersistenceError):
+    """Base class for errors in the durable (WAL + segment) store."""
+
+
+class WalCorruptionError(DurabilityError):
+    """Raised when a *complete* WAL frame fails its CRC or framing checks.
+
+    A torn tail (crash mid-append) is expected damage and is discarded
+    silently during recovery; a full frame whose checksum mismatches is
+    real corruption and must surface, never be skipped.
+    """
+
+    def __init__(self, path, offset: int, detail: str = "") -> None:
+        self.path = str(path)
+        self.offset = offset
+        tail = f": {detail}" if detail else ""
+        super().__init__(
+            f"corrupt WAL record in {self.path} at byte {offset}{tail}"
+        )
+
+
+class SegmentChecksumError(DurabilityError):
+    """Raised when a manifest-listed segment fails its size/CRC check."""
+
+    def __init__(self, path, expected: int, actual: int) -> None:
+        self.path = str(path)
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"segment {self.path} failed its checksum: manifest says "
+            f"{expected:#010x}, file hashes to {actual:#010x}"
+        )
+
+
+class ManifestError(DurabilityError):
+    """Raised when the store manifest is missing, unparseable, or invalid."""
+
+    def __init__(self, path, detail: str) -> None:
+        self.path = str(path)
+        super().__init__(f"bad manifest {self.path}: {detail}")
+
+
+class RespawnLimitError(IndexError_):
+    """Raised when a worker's respawn circuit breaker trips.
+
+    A worker crash-looping on a poisoned artifact would otherwise respawn
+    in a hot spin; past ``max_respawns`` failures inside the breaker
+    window the slot is disabled and this error names the budget that ran
+    out, so the operator sees one clear failure instead of a busy loop.
+    """
+
+    def __init__(self, what: str, failures: int, window_s: float) -> None:
+        self.what = what
+        self.failures = failures
+        self.window_s = window_s
+        super().__init__(
+            f"{what}: respawn circuit breaker open after {failures} "
+            f"crash(es) within {window_s:.0f}s; not respawning "
+            "(suspect a poisoned artifact or persistent startup failure)"
+        )
+
+
 class EvaluationError(ReproError):
     """Base class for errors in the evaluation harness."""
 

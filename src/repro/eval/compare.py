@@ -80,6 +80,7 @@ HIGHER_IS_BETTER = (
 LOWER_IS_BETTER = (
     "batch_per_query_ms",
     "graph_path_query_ms",
+    "durability_recovery_s",
 )
 
 

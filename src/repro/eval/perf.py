@@ -95,7 +95,7 @@ __all__ = [
 
 BENCH_REPORT_NAME = "BENCH_index.json"
 BENCH_HISTORY_NAME = "BENCH_history.jsonl"
-_SCHEMA_VERSION = 7
+_SCHEMA_VERSION = 8
 
 #: Every stage the suite can run, in run order.  ``run_perf_suite``'s
 #: ``stages`` parameter selects a subset (``python -m repro bench
@@ -110,6 +110,7 @@ ALL_STAGES = (
     "serve",
     "mpserve",
     "graph",
+    "durability",
     "quality",
 )
 
@@ -137,6 +138,7 @@ PROFILES: dict[str, dict] = {
         "mpserve_clients": 8,
         "mpserve_requests_per_client": 32,
         "graph_sizes": (10_000,),
+        "durability_sizes": (10_000,),
         "quality_profile": "full",
     },
     "fast": {
@@ -155,6 +157,7 @@ PROFILES: dict[str, dict] = {
         "mpserve_clients": 4,
         "mpserve_requests_per_client": 8,
         "graph_sizes": (2_000,),
+        "durability_sizes": (2_000,),
         "quality_profile": "small",
     },
 }
@@ -291,6 +294,22 @@ _QUALITY_FIELDS = (
     "mrr",
     "index_s",
     "eval_s",
+)
+
+# Fields every durability-stage row must carry: per-record WAL append
+# cost (fsync'd vs OS-buffered) against the bare in-memory mutation it
+# guards, plus checkpoint and full-recovery wall time at scale.
+_DURABILITY_FIELDS = (
+    "n_columns",
+    "wal_records",
+    "wal_append_ms",
+    "wal_append_nofsync_ms",
+    "inmem_update_ms",
+    "wal_overhead_x",
+    "checkpoint_s",
+    "recovery_s",
+    "recovered_columns",
+    "warmup_runs",
 )
 
 # Fields every graph-stage row must carry: full join-graph rebuild vs the
@@ -728,6 +747,87 @@ def _bench_artifact_one_size(n: int, *, dim: int, repeats: int) -> dict:
         "load_speedup": round(load_v2_s / load_v3_s, 1),
         "artifact_v2_bytes": v2_bytes,
         "artifact_v3_bytes": v3_bytes,
+        "warmup_runs": _WARMUP_RUNS,
+    }
+
+
+def _bench_durability_one_size(n: int, *, dim: int, repeats: int) -> dict:
+    """Durability stage: WAL append overhead and recovery wall time.
+
+    The append arms time one acknowledged single-column mutation each:
+    ``wal_append_ms`` is the full ack barrier (frame + write + fsync),
+    ``wal_append_nofsync_ms`` drops the fsync (OS-buffered), and
+    ``inmem_update_ms`` is the bare in-memory index update the WAL record
+    guards — ``wal_overhead_x`` is what crash-durability multiplies onto
+    a mutation.  ``recovery_s`` times :func:`load_index_durable` end to
+    end (manifest parse, segment checksum + load, WAL replay, engine
+    rebuild) on a store holding ``n`` columns plus a replayable WAL tail.
+    """
+    import tempfile
+
+    from repro.core.config import WarpGateConfig
+    from repro.core.persistence import load_index_durable
+    from repro.core.warpgate import WarpGate
+    from repro.durability.store import DurableIndexStore
+    from repro.storage.schema import ColumnRef
+
+    corpus, _queries = _corpus_and_queries(n, dim, 1)
+    refs = [ColumnRef("bench", f"table_{i // 64}", f"col_{i % 64}") for i in range(n)]
+    system = WarpGate(WarpGateConfig(model_name="hashing", dim=dim))
+    system._index.bulk_load(refs, corpus)
+    system._indexed = True
+
+    wal_records = min(256, n)
+    churn = refs[:wal_records]
+    with tempfile.TemporaryDirectory() as workdir:
+        workdir = Path(workdir)
+
+        def _append_run(store: DurableIndexStore) -> None:
+            for position, ref in enumerate(churn):
+                store.log_upsert([ref], corpus[position : position + 1])
+
+        with DurableIndexStore(workdir / "wal-fsync", fsync="always") as store:
+            append_s = _timed_median(repeats, lambda: _append_run(store))
+        with DurableIndexStore(workdir / "wal-buffered", fsync="never") as store:
+            buffered_s = _timed_median(repeats, lambda: _append_run(store))
+
+        def _inmem_run() -> None:
+            for position, ref in enumerate(churn):
+                system._index.update(ref, corpus[position])
+
+        inmem_s = _timed_median(repeats, _inmem_run)
+
+        with DurableIndexStore(workdir / "ckpt", fsync="always") as store:
+            checkpoint_s = _timed_median(repeats, lambda: store.checkpoint(system))
+
+        # Recovery target: a checkpointed base plus a replayable WAL tail
+        # (single-column upserts of existing refs, the serving churn shape).
+        recover_dir = workdir / "recover"
+        with DurableIndexStore(recover_dir, fsync="never") as store:
+            store.checkpoint(system)
+            _append_run(store)
+        recovered: dict = {}
+
+        def _recover_run() -> None:
+            engine, store, report = load_index_durable(recover_dir)
+            store.close()
+            recovered.update(report)
+
+        recovery_s = _timed_median(repeats, _recover_run)
+
+    per_record = 1e3 / wal_records
+    append_ms = append_s * per_record
+    inmem_ms = inmem_s * per_record
+    return {
+        "n_columns": n,
+        "wal_records": wal_records,
+        "wal_append_ms": round(append_ms, 4),
+        "wal_append_nofsync_ms": round(buffered_s * per_record, 4),
+        "inmem_update_ms": round(inmem_ms, 4),
+        "wal_overhead_x": round(append_ms / inmem_ms, 1) if inmem_ms else 0.0,
+        "checkpoint_s": round(checkpoint_s, 4),
+        "recovery_s": round(recovery_s, 4),
+        "recovered_columns": int(recovered.get("recovered_columns", 0)),
         "warmup_runs": _WARMUP_RUNS,
     }
 
@@ -1232,6 +1332,7 @@ def run_perf_suite(
     worker_transport: str = "pipe",
     graph_sizes: tuple[int, ...] | None = None,
     graph_edge_threshold: float = 0.7,
+    durability_sizes: tuple[int, ...] | None = None,
     quality_profile: str | None = None,
     stages: tuple[str, ...] | None = None,
     progress=None,
@@ -1318,6 +1419,11 @@ def run_perf_suite(
     )
     graph_sizes = (
         tuple(graph_sizes) if graph_sizes is not None else spec["graph_sizes"]
+    )
+    durability_sizes = (
+        tuple(durability_sizes)
+        if durability_sizes is not None
+        else spec["durability_sizes"]
     )
     quality_profile = (
         quality_profile
@@ -1443,6 +1549,13 @@ def run_perf_suite(
                 repeats=stage_repeats,
             )
         )
+    durability_results = []
+    for n in durability_sizes if "durability" in stages else ():
+        if progress is not None:
+            progress(f"benchmarking durable store at {n} columns ...")
+        durability_results.append(
+            _bench_durability_one_size(n, dim=dim, repeats=stage_repeats)
+        )
     quality_results = []
     if "quality" in stages:
         from repro.eval.quality import run_quality_suite
@@ -1493,6 +1606,10 @@ def run_perf_suite(
                 "edge_threshold": graph_edge_threshold,
                 "columns_per_table": 64,
             },
+            "durability": {
+                "fsync": "always",
+                "wal_record_cap": 256,
+            },
             "quality": {
                 "profile": quality_profile,
                 "ks": [2, 3, 5, 10],
@@ -1521,6 +1638,7 @@ def run_perf_suite(
         "serve": serve_results,
         "mpserve": mpserve_results,
         "graph": graph_results,
+        "durability": durability_results,
         "quality": quality_results,
     }
 
@@ -1583,6 +1701,7 @@ def validate_report(payload: dict) -> list[str]:
         ("serve", _SERVE_FIELDS),
         ("mpserve", _MPSERVE_FIELDS),
         ("graph", _GRAPH_FIELDS),
+        ("durability", _DURABILITY_FIELDS),
     ):
         if stage not in ran:
             continue
@@ -1659,6 +1778,7 @@ def append_history(report: dict, path: str | Path) -> Path:
     serve = report["serve"][-1] if report.get("serve") else {}
     mpserve = report["mpserve"][-1] if report.get("mpserve") else {}
     graph = report["graph"][-1] if report.get("graph") else {}
+    durability = report["durability"][-1] if report.get("durability") else {}
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_sha": _git_sha(path.resolve()),
@@ -1681,6 +1801,8 @@ def append_history(report: dict, path: str | Path) -> Path:
         "graph_edges": graph.get("n_edges"),
         "graph_incremental_speedup": graph.get("incremental_speedup"),
         "graph_path_query_ms": graph.get("path_query_ms"),
+        "durability_wal_overhead_x": durability.get("wal_overhead_x"),
+        "durability_recovery_s": durability.get("recovery_s"),
     }
     from repro.eval.quality import quality_headline
 

@@ -61,7 +61,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError, IndexError_, WorkerCrashError
+from repro._util import RespawnGovernor
+from repro.errors import (
+    DimensionMismatchError,
+    IndexError_,
+    RespawnLimitError,
+    WorkerCrashError,
+)
 from repro.index.mmapio import load_npz_arrays
 from repro.index.sharding import ShardedIndex
 
@@ -247,6 +253,11 @@ class ProcessShardedIndex(ShardedIndex):
         self._ctx = multiprocessing.get_context("fork")
         self._segment_dir = Path(tempfile.mkdtemp(prefix="repro-procpool-"))
         self._workers: list[_ShardWorker | None] = [None] * n_shards
+        # Per-shard respawn governor: exponential backoff between worker
+        # respawns and a circuit breaker against crash loops (a worker
+        # dying instantly on a poisoned segment would otherwise respawn
+        # in a hot spin).  Tests swap in governors with injected clocks.
+        self._governors = [RespawnGovernor() for _ in range(n_shards)]
         # Shards start dirty: nothing is published until the first read.
         self._dirty = [True] * n_shards
         self._segment_gen = [0] * n_shards
@@ -358,6 +369,7 @@ class ProcessShardedIndex(ShardedIndex):
             pass
         if self._workers[shard_id] is worker:
             self._workers[shard_id] = None
+        self._governors[shard_id].record_failure()
 
     def _publish(self, shard_id: int) -> None:
         """Write the shard's arena as a fresh mmap segment, layout intact.
@@ -388,7 +400,21 @@ class ProcessShardedIndex(ShardedIndex):
         if self._dirty[shard_id]:
             self._publish(shard_id)
         worker = self._workers[shard_id]
-        if worker is None or not worker.process.is_alive():
+        if worker is not None and not worker.process.is_alive():
+            # Died silently since the last RPC (no reap happened yet).
+            self._reap(shard_id, worker)
+            worker = None
+        if worker is None:
+            governor = self._governors[shard_id]
+            if not governor.allow():
+                raise RespawnLimitError(
+                    f"shard worker {shard_id}",
+                    governor.recent_failures,
+                    governor.window_s,
+                )
+            delay = governor.next_delay_s()
+            if delay > 0.0:
+                time.sleep(delay)
             worker = self._spawn(shard_id)
         if worker.loaded_generation != self._segment_gen[shard_id]:
             generation = self._segment_gen[shard_id]
@@ -452,6 +478,9 @@ class ProcessShardedIndex(ShardedIndex):
                 ) from error
         if status == "error":
             raise IndexError_(f"shard worker {shard_id} failed: {payload}")
+        # A served request proves the worker healthy: close the breaker
+        # window so isolated crashes spread over time never accumulate.
+        self._governors[shard_id].record_success()
         return payload
 
     def _search_rpc(self, shard_id: int, command: str, block: np.ndarray, args: tuple):

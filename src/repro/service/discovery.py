@@ -54,6 +54,7 @@ from repro.errors import (
     EmptyIndexError,
     NotIndexedError,
     ReproError,
+    RespawnLimitError,
     TableNotFoundError,
     WorkerCrashError,
 )
@@ -86,6 +87,11 @@ class DiscoveryService:
         An existing :class:`WarpGate` to serve (e.g. restored via
         :func:`repro.core.persistence.load_index`); mutually exclusive
         with ``config``.
+    durable_store:
+        An already-open :class:`~repro.durability.DurableIndexStore` to
+        log mutations into (the :meth:`load_durable` path).  When absent
+        and the engine's config names a ``durable_dir``, the service
+        opens a store there itself.
 
     Usage::
 
@@ -102,10 +108,24 @@ class DiscoveryService:
         *,
         cache: EmbeddingCache | None = None,
         engine: WarpGate | None = None,
+        durable_store=None,
     ) -> None:
         if engine is not None and (config is not None or cache is not None):
             raise ValueError("pass either engine or config/cache, not both")
         self.engine = engine if engine is not None else WarpGate(config, cache=cache)
+        # Durable mutation log: every acknowledged mutation appends one
+        # fsync'd WAL record *before* the mutator returns (the ack
+        # barrier); see repro.durability.store for the crash-safety story.
+        effective = self.engine.config
+        self._store = durable_store
+        if self._store is None and effective.durable_dir:
+            from repro.durability import DurableIndexStore
+
+            self._store = DurableIndexStore(
+                effective.durable_dir,
+                fsync=effective.durable_fsync,
+                checkpoint_every=effective.checkpoint_every,
+            )
         self._lock = ReadWriteLock()
         # Warehouse scans + embedding mutate connector/cache counters that
         # are not thread-safe, so every scan the service issues (query
@@ -153,6 +173,8 @@ class DiscoveryService:
             else None
         )
         self._path_queries = 0
+        #: Set by :meth:`load_durable` — what recovery found on disk.
+        self.recovery_report: dict | None = None
 
     def __repr__(self) -> str:
         return (
@@ -173,10 +195,10 @@ class DiscoveryService:
             raise ServiceError.not_found(str(error)) from error
         except (NotIndexedError, EmptyIndexError) as error:
             raise ServiceError.not_indexed(str(error)) from error
-        except WorkerCrashError as error:
-            # A shard worker died mid-request: the pool has already reaped
-            # it and will respawn on the next read, so this is a transient
-            # server-side fault (retryable), not a caller mistake.
+        except (WorkerCrashError, RespawnLimitError) as error:
+            # A shard worker died mid-request (or its respawn breaker is
+            # open): the pool has already reaped it, so this is a
+            # server-side fault, not a caller mistake.
             raise ServiceError.internal(str(error)) from error
 
     def _record_mutation(self) -> None:
@@ -188,6 +210,49 @@ class DiscoveryService:
     def _record_searches(self, count: int) -> None:
         with self._counter_lock:
             self._searches += count
+
+    # -- durability ---------------------------------------------------------------
+
+    @staticmethod
+    def _ref_order(refs) -> list[ColumnRef]:
+        return sorted(refs, key=lambda ref: (ref.database, ref.table, ref.column))
+
+    def _log_mutation(self, *, upserts=(), removes=()) -> None:
+        """Durably record a mutation's effect before acknowledging it.
+
+        Called by the mutators after the engine change but before the
+        response is built: the WAL append (fsync'd under the default
+        policy) is the ack barrier — a crash before it loses only the
+        unacknowledged mutation, a crash after it loses nothing.  Refs
+        are logged in sorted order so replay is deterministic.
+        """
+        if self._store is None:
+            return
+        self._store.ensure_base(self.engine)
+        removes = self._ref_order(removes)
+        if removes:
+            self._store.log_remove(removes)
+        upserts = self._ref_order(upserts)
+        if upserts:
+            vectors = np.stack([self.engine.vector_of(ref) for ref in upserts])
+            self._store.log_upsert(upserts, vectors)
+        self._store.maybe_checkpoint(self.engine)
+
+    def checkpoint(self) -> dict | None:
+        """Compact the durable store now (no-op without one).
+
+        Returns the published manifest, or ``None`` when the service is
+        in-memory only.
+        """
+        if self._store is None:
+            return None
+        with self._lock.write(), self._boundary():
+            return self._store.checkpoint(self.engine)
+
+    @property
+    def durable_store(self):
+        """The backing :class:`DurableIndexStore` (``None`` when in-memory)."""
+        return self._store
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -208,13 +273,25 @@ class DiscoveryService:
                     "service is already open; create a new DiscoveryService "
                     "to index a different corpus"
                 )
+            if self._store is not None and self._store.has_manifest:
+                raise ServiceError.bad_request(
+                    f"durable store at {self._store.directory} already holds "
+                    "a checkpoint; recover it with DiscoveryService."
+                    "load_durable instead of re-indexing over it"
+                )
             report = self.engine.index_corpus(connector, sampler=sampler)
             self.engine.rebuild_index()
+            if self._store is not None:
+                # Establish the durable base: the bulk-indexed corpus as
+                # segment + manifest, before any mutation is acknowledged.
+                self._store.checkpoint(self.engine)
             return report
 
     def close(self) -> None:
         """Release engine resources (shard worker processes; idempotent)."""
         self.engine.close()
+        if self._store is not None:
+            self._store.close()
 
     def attach_connector(self, connector: WarehouseConnector) -> None:
         """Attach a live connector (e.g. after restoring a saved artifact)."""
@@ -242,6 +319,29 @@ class DiscoveryService:
         if connector is not None:
             service.engine.attach_connector(connector)
         service.engine.rebuild_index()
+        return service
+
+    @classmethod
+    def load_durable(
+        cls,
+        directory: str | Path,
+        *,
+        connector: WarehouseConnector | None = None,
+    ) -> "DiscoveryService":
+        """Recover a service from a durable store (crash or clean restart).
+
+        Validates the manifest and segment checksums, discards a torn
+        WAL tail, and replays acknowledged records — the rebuilt index
+        holds exactly the last-acknowledged mutation set.  The recovery
+        report is exposed as :attr:`recovery_report`.
+        """
+        from repro.core.persistence import load_index_durable
+
+        engine, store, report = load_index_durable(directory)
+        service = cls(engine=engine, durable_store=store)
+        service.recovery_report = report
+        if connector is not None:
+            service.engine.attach_connector(connector)
         return service
 
     # -- incremental mutation ------------------------------------------------------
@@ -281,6 +381,7 @@ class DiscoveryService:
             # a zero vector.
             for ref in before - kept:
                 self.engine.remove_column(ref)
+            self._log_mutation(upserts=kept, removes=before - kept)
             self._graph.invalidate_table((database, table.name))
             self._record_mutation()
             return self._stats_locked()
@@ -299,6 +400,7 @@ class DiscoveryService:
                 # index content — but generation-keyed consumers (query
                 # cache, join graph) must still observe the drop.
                 self.engine.bump_generation()
+            self._log_mutation(removes=evicted)
             self._graph.invalidate_table((database, table_name))
             self._record_mutation()
             return self._stats_locked()
@@ -318,6 +420,11 @@ class DiscoveryService:
             if not self.engine.is_column_indexed(request_ref):
                 raise ServiceError.not_found(f"{request_ref} is not indexed")
             self.engine.refresh_column(request_ref, sampler=sampler)
+            if self.engine.is_column_indexed(request_ref):
+                self._log_mutation(upserts=[request_ref])
+            else:
+                # The refresh evicted the column (it embeds to zero now).
+                self._log_mutation(removes=[request_ref])
             self._graph.invalidate_table(request_ref.table_key)
             self._record_mutation()
             return self._stats_locked()
@@ -758,6 +865,7 @@ class DiscoveryService:
             quantized=config.quantize,
             graph=graph,
             workers=config.shard_workers,
+            durability=self._store.stats() if self._store is not None else None,
         )
 
     def stats(self) -> IndexStats:

@@ -39,7 +39,8 @@ import socket
 import threading
 import time
 
-from repro.errors import ReproError
+from repro._util import RespawnGovernor
+from repro.errors import ReproError, RespawnLimitError
 from repro.service.server import make_server
 
 __all__ = ["MultiProcessServer", "serve_multiprocess"]
@@ -106,6 +107,12 @@ class MultiProcessServer:
     workers, keepalive_idle_s, verbose:
         Forwarded to each child's
         :class:`~repro.service.server.DiscoveryHTTPServer`.
+    max_respawns, respawn_window_s:
+        Per-slot circuit breaker: a child that crashes ``max_respawns``
+        times within ``respawn_window_s`` seconds stops being respawned
+        (its slot is disabled with one clear message); the surviving
+        children keep serving.  Respawns back off exponentially with
+        jitter between attempts.
     """
 
     def __init__(
@@ -118,6 +125,8 @@ class MultiProcessServer:
         workers: int = 32,
         keepalive_idle_s: float = 5.0,
         verbose: bool = False,
+        max_respawns: int = 5,
+        respawn_window_s: float = 30.0,
     ) -> None:
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
@@ -137,6 +146,20 @@ class MultiProcessServer:
         self._children: list[multiprocessing.process.BaseProcess | None] = (
             [None] * procs
         )
+        # One respawn governor per slot: exponential backoff with jitter
+        # between respawns, breaker open after max_respawns crashes in
+        # the window (a child crash-looping on a poisoned artifact would
+        # otherwise respawn every _SUPERVISE_INTERVAL_S forever).
+        self._governors = [
+            RespawnGovernor(
+                base_delay_s=0.1,
+                max_delay_s=5.0,
+                max_failures=max_respawns,
+                window_s=respawn_window_s,
+            )
+            for _ in range(procs)
+        ]
+        self._disabled: set[int] = set()
         self._placeholder: socket.socket | None = None
         self._supervisor: threading.Thread | None = None
         self._stopping = threading.Event()
@@ -180,18 +203,38 @@ class MultiProcessServer:
         self._children[slot] = process
 
     def _supervise(self) -> None:
-        """Respawn dead children until shutdown begins."""
+        """Respawn dead children (with backoff + breaker) until shutdown."""
         while not self._stopping.wait(_SUPERVISE_INTERVAL_S):
             for slot, child in enumerate(self._children):
                 if self._stopping.is_set():
                     return
-                if child is not None and not child.is_alive():
-                    try:
-                        self._spawn_child(slot)
-                    except ReproError:
-                        # Leave the slot for the next sweep; a persistent
-                        # failure keeps the surviving children serving.
-                        self._children[slot] = child
+                if child is None or child.is_alive() or slot in self._disabled:
+                    continue
+                governor = self._governors[slot]
+                governor.record_failure()
+                if not governor.allow():
+                    # Breaker open: disable the slot with one clear
+                    # message instead of a hot respawn loop; surviving
+                    # children keep serving.
+                    self._disabled.add(slot)
+                    error = RespawnLimitError(
+                        f"serving child {slot}",
+                        governor.recent_failures,
+                        governor.window_s,
+                    )
+                    print(f"mpserve: {error}")
+                    continue
+                # Interruptible backoff sleep (shutdown must not wait out
+                # a multi-second delay).
+                if self._stopping.wait(governor.next_delay_s()):
+                    return
+                try:
+                    self._spawn_child(slot)
+                except ReproError:
+                    # Spawn itself failed (not ready / died at startup):
+                    # counts toward the breaker like any other crash.
+                    governor.record_failure()
+                    self._children[slot] = child
 
     def start(self) -> "MultiProcessServer":
         """Resolve the port, fork the children, begin supervising."""

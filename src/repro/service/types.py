@@ -213,6 +213,8 @@ class IndexStats:
     graph: dict[str, object] | None = None
     #: Shard worker processes behind the query fan-out (0 = in-process).
     workers: int = 0
+    #: Durable-store counters (``None`` when the service is in-memory only).
+    durability: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         """The wire form of this snapshot."""
@@ -232,4 +234,6 @@ class IndexStats:
         }
         if self.graph is not None:
             payload["graph"] = dict(self.graph)
+        if self.durability is not None:
+            payload["durability"] = dict(self.durability)
         return payload
