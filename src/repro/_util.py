@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 import time
 from collections.abc import Iterable, Iterator, Sequence
 from contextlib import contextmanager
@@ -26,6 +27,7 @@ __all__ = [
     "chunked",
     "format_bytes",
     "format_seconds",
+    "DegradationPolicy",
     "RespawnGovernor",
 ]
 
@@ -262,6 +264,149 @@ class RespawnGovernor:
             return 0.0
         delay = min(self.max_delay_s, self.base_delay_s * (2.0 ** (count - 1)))
         return float(delay * (1.0 + self._rng.uniform(0.0, self.jitter)))
+
+
+class DegradationPolicy:
+    """Hysteretic degraded-mode controller driven by load-shed events.
+
+    The serving stack's overload signal is admission-control sheds: each
+    one is timestamped into a sliding window (the same shape as
+    :class:`RespawnGovernor`'s failure window).  The window drives a
+    three-tier state machine:
+
+    * **tier 0 (normal)** — full-fidelity service;
+    * **tier 1 (degraded)** — sustained shedding
+      (``>= shed_threshold`` sheds inside ``window_s``): consumers
+      should shed expensive work first (reduced quantization
+      ``rerank_factor``, multi-hop path queries capped to one hop)
+      while cache hits keep answering at full fidelity;
+    * **tier 2 (critical)** — ``>= 2 * shed_threshold`` sheds: tier-1
+      downshifts plus a not-ready readiness signal, so load balancers
+      drain the replica instead of feeding the collapse.
+
+    Escalation is immediate; **recovery is hysteretic**: the policy
+    steps *down* one tier at a time, each step requiring
+    ``recovery_s`` consecutive shed-free seconds, so a service at the
+    overload boundary settles instead of flapping.  All methods are
+    thread-safe (sheds arrive from the accept path while probes read
+    the tier concurrently); ``clock`` is injectable for deterministic
+    tests.
+    """
+
+    TIER_NORMAL = 0
+    TIER_DEGRADED = 1
+    TIER_CRITICAL = 2
+
+    def __init__(
+        self,
+        *,
+        shed_threshold: int = 16,
+        window_s: float = 10.0,
+        recovery_s: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        if shed_threshold < 1:
+            raise ValueError(f"shed_threshold must be >= 1, got {shed_threshold}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if recovery_s < 0:
+            raise ValueError(f"recovery_s must be >= 0, got {recovery_s}")
+        self.shed_threshold = shed_threshold
+        self.window_s = window_s
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sheds: list[float] = []
+        self._shed_total = 0
+        self._tier = self.TIER_NORMAL
+        self._transitions = 0
+        # Recovery anchor: the last moment the window was "dirty" — a
+        # shed landed or a step-down consumed the elapsed clean time.
+        self._quiet_since = 0.0
+
+    def record_shed(self) -> None:
+        """Note one admission-control shed (called from the accept path)."""
+        with self._lock:
+            now = self._clock()
+            self._prune_locked(now)
+            self._sheds.append(now)
+            self._shed_total += 1
+            self._quiet_since = now
+            self._evaluate_locked(now)
+
+    def _prune_locked(self, now: float) -> None:
+        horizon = now - self.window_s
+        self._sheds = [stamp for stamp in self._sheds if stamp > horizon]
+
+    def _evaluate_locked(self, now: float) -> None:
+        """Advance the tier state machine; caller holds the lock."""
+        count = len(self._sheds)
+        if count >= 2 * self.shed_threshold:
+            target = self.TIER_CRITICAL
+        elif count >= self.shed_threshold:
+            target = self.TIER_DEGRADED
+        else:
+            target = self.TIER_NORMAL
+        if target > self._tier:
+            self._tier = target
+            self._transitions += 1
+            self._quiet_since = now
+        elif (
+            self._tier > self.TIER_NORMAL
+            and target < self._tier
+            and now - self._quiet_since >= self.recovery_s
+        ):
+            # One step down per recovery period, never straight to the
+            # target: the next step requires another full quiet stretch.
+            self._tier -= 1
+            self._transitions += 1
+            self._quiet_since = now
+
+    def tier(self) -> int:
+        """Current degradation tier (evaluates pending transitions)."""
+        with self._lock:
+            now = self._clock()
+            self._prune_locked(now)
+            self._evaluate_locked(now)
+            return self._tier
+
+    @property
+    def is_degraded(self) -> bool:
+        """True at any tier above normal."""
+        return self.tier() > self.TIER_NORMAL
+
+    def rerank_factor_for(self, base: int) -> int:
+        """The quantization re-rank factor to run at the current tier.
+
+        Tier 1 halves the configured factor; tier 2 drops to the floor
+        of 1 (approximate-order results, cheapest legal probe).
+        """
+        tier = self.tier()
+        if tier == self.TIER_NORMAL:
+            return base
+        if tier == self.TIER_DEGRADED:
+            return max(1, base // 2)
+        return 1
+
+    def max_hops_cap(self) -> int | None:
+        """Hop cap for path queries (``None`` = uncapped, tiers > 0 = 1)."""
+        return 1 if self.tier() > self.TIER_NORMAL else None
+
+    def snapshot(self) -> dict[str, object]:
+        """Machine-readable state for ``IndexStats`` / ``/stats``."""
+        with self._lock:
+            now = self._clock()
+            self._prune_locked(now)
+            self._evaluate_locked(now)
+            return {
+                "tier": self._tier,
+                "recent_sheds": len(self._sheds),
+                "shed_total": self._shed_total,
+                "transitions": self._transitions,
+                "shed_threshold": self.shed_threshold,
+                "window_s": self.window_s,
+                "recovery_s": self.recovery_s,
+            }
 
 
 def mean_or_zero(values: Iterable[float]) -> float:

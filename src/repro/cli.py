@@ -84,6 +84,7 @@ def _config_from_args(args: argparse.Namespace) -> WarpGateConfig:
         durable_dir=getattr(args, "durable_dir", "") or None,
         durable_fsync=getattr(args, "fsync", "always"),
         checkpoint_every=getattr(args, "checkpoint_every", 256),
+        default_deadline_ms=getattr(args, "deadline_ms", 0),
     )
 
 
@@ -156,7 +157,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             return service
 
         serve_multiprocess(
-            factory, args.host, args.port, procs=args.procs, workers=args.workers
+            factory,
+            args.host,
+            args.port,
+            procs=args.procs,
+            workers=args.workers,
+            admission_queue_depth=args.admission_queue_depth,
+            max_body_bytes=args.max_body_bytes,
+            body_read_timeout_s=args.body_timeout,
         )
         return 0
     if config.durable_dir and (Path(config.durable_dir) / "MANIFEST").exists():
@@ -178,7 +186,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"indexed {report.columns_indexed} columns from {args.directory}")
         if config.durable_dir:
             print(f"durable store established at {config.durable_dir}")
-    serve(service, args.host, args.port, workers=args.workers)
+    serve(
+        service,
+        args.host,
+        args.port,
+        workers=args.workers,
+        admission_queue_depth=args.admission_queue_depth,
+        max_body_bytes=args.max_body_bytes,
+        body_read_timeout_s=args.body_timeout,
+    )
     return 0
 
 
@@ -441,6 +457,38 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     f"({report['environment']['cpus']} cpu core(s), "
                     f"{report['config']['mpserve']['transport']} transport)"
                 ),
+            )
+        )
+    overload_rows = [
+        [
+            row["n_columns"],
+            f"{row['workers']}/{row['queue_depth']}",
+            f"{row['p99_unsat_ms']:.1f}",
+            f"{row['goodput_4x']:.0f}",
+            f"{row['shed_rate_4x']:.0%}",
+            f"{row['shed_p99_4x_ms']:.2f}",
+            f"{row['deadline_miss_rate_4x']:.1%}",
+            f"{row['accepted_p99_4x_ms']:.1f}",
+            "yes" if row["recovered"] else "NO",
+        ]
+        for row in report.get("overload", [])
+    ]
+    if overload_rows:
+        print(
+            render_table(
+                [
+                    "columns",
+                    "wrk/queue",
+                    "1x p99 ms",
+                    "4x goodput",
+                    "4x shed",
+                    "shed p99 ms",
+                    "miss 504",
+                    "4x p99 ms",
+                    "recovered",
+                ],
+                overload_rows,
+                title="Overload shedding (admission control at 4x offered load)",
             )
         )
     graph_rows = [
@@ -749,6 +797,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = single process; >1 forks one full server per process)",
     )
     serve_cmd.add_argument(
+        "--admission-queue-depth",
+        type=int,
+        default=None,
+        help="accepted connections the admission queue holds before the "
+        "server sheds new ones with 503 + Retry-After (default: 2x "
+        "--workers; health probes are always answered)",
+    )
+    serve_cmd.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="largest accepted request body; a bigger Content-Length is "
+        "rejected with 413 before any of it is read",
+    )
+    serve_cmd.add_argument(
+        "--body-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a client gets to deliver its declared request body "
+        "before the read is abandoned with 408 (slow-client defense)",
+    )
+    serve_cmd.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=0,
+        help="default per-request deadline in milliseconds; expiry "
+        "answers 504 without probing the index (0 = no deadline; "
+        "clients override per request via X-Deadline-Ms or "
+        "deadline_ms in the body)",
+    )
+    serve_cmd.add_argument(
         "--no-coalesce",
         action="store_true",
         help="serve each /search alone instead of micro-batching concurrent ones",
@@ -876,7 +955,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stages",
         default="",
         help="comma-separated subset of stages to run (default: all); "
-        "choices: results, embed, shard, quant, artifact, serve, mpserve, "
+        "choices: results, embed, shard, quant, artifact, serve, mpserve, overload, "
         "graph, durability, quality; subset runs skip the history append",
     )
     bench.add_argument("--dim", type=int, default=256, help="embedding dimensionality")

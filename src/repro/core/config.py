@@ -131,6 +131,23 @@ class WarpGateConfig:
     checkpoint_every:
         Auto-compact the WAL into a fresh segment after this many
         records (0 = only on explicit checkpoint).
+    default_deadline_ms:
+        Per-request time budget applied when a request names none (via
+        ``SearchRequest.deadline_ms`` or the ``X-Deadline-Ms`` header).
+        A request whose budget expires before its index probe runs is
+        answered ``deadline_exceeded`` (HTTP 504) without touching the
+        GEMM path.  0 (default) disables deadlines.
+    degrade_shed_threshold:
+        Admission-control sheds inside ``degrade_window_s`` that push the
+        service into degraded tier 1 (reduced ``rerank_factor``, path
+        queries capped to one hop); twice the threshold reaches tier 2
+        (additionally reported not-ready by ``GET /readyz``).
+    degrade_window_s:
+        Sliding window (seconds) over which sheds are counted.
+    degrade_recovery_s:
+        Shed-free seconds required before the service steps *down* one
+        degradation tier (hysteresis: recovery is deliberately slower
+        than escalation so the service does not flap at the boundary).
     """
 
     model_name: str = "webtable"
@@ -163,6 +180,10 @@ class WarpGateConfig:
     durable_dir: str | None = None
     durable_fsync: str = "always"
     checkpoint_every: int = 256
+    default_deadline_ms: int = 0
+    degrade_shed_threshold: int = 16
+    degrade_window_s: float = 10.0
+    degrade_recovery_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.search_backend not in _SEARCH_BACKENDS:
@@ -254,6 +275,23 @@ class WarpGateConfig:
         if self.checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.default_deadline_ms < 0:
+            raise ValueError(
+                f"default_deadline_ms must be >= 0, got {self.default_deadline_ms}"
+            )
+        if self.degrade_shed_threshold < 1:
+            raise ValueError(
+                "degrade_shed_threshold must be >= 1, got "
+                f"{self.degrade_shed_threshold}"
+            )
+        if self.degrade_window_s <= 0:
+            raise ValueError(
+                f"degrade_window_s must be positive, got {self.degrade_window_s}"
+            )
+        if self.degrade_recovery_s < 0:
+            raise ValueError(
+                f"degrade_recovery_s must be >= 0, got {self.degrade_recovery_s}"
             )
 
     def with_sampling(self, sample_size: int | None, strategy: str | None = None) -> "WarpGateConfig":
@@ -376,5 +414,38 @@ class WarpGateConfig:
                 query_cache_size
                 if query_cache_size is not None
                 else self.query_cache_size
+            ),
+        )
+
+    def with_overload(
+        self,
+        *,
+        default_deadline_ms: int | None = None,
+        degrade_shed_threshold: int | None = None,
+        degrade_window_s: float | None = None,
+        degrade_recovery_s: float | None = None,
+    ) -> "WarpGateConfig":
+        """Copy of this config with different overload-protection knobs."""
+        return replace(
+            self,
+            default_deadline_ms=(
+                default_deadline_ms
+                if default_deadline_ms is not None
+                else self.default_deadline_ms
+            ),
+            degrade_shed_threshold=(
+                degrade_shed_threshold
+                if degrade_shed_threshold is not None
+                else self.degrade_shed_threshold
+            ),
+            degrade_window_s=(
+                degrade_window_s
+                if degrade_window_s is not None
+                else self.degrade_window_s
+            ),
+            degrade_recovery_s=(
+                degrade_recovery_s
+                if degrade_recovery_s is not None
+                else self.degrade_recovery_s
             ),
         )

@@ -141,6 +141,21 @@ class InvalidQueryError(DiscoveryError):
     """Raised when a join query references unknown tables or columns."""
 
 
+class DeadlineExceededError(DiscoveryError):
+    """Raised when a request's deadline expires before its work completes.
+
+    Carries how far past the deadline the request was when the expiry
+    was observed; the serving boundary maps this to HTTP 504.
+    """
+
+    def __init__(self, message: str = "", *, overrun_s: float = 0.0) -> None:
+        self.overrun_s = overrun_s
+        detail = message or (
+            f"request deadline exceeded by {overrun_s * 1e3:.1f} ms"
+        )
+        super().__init__(detail)
+
+
 class PersistenceError(DiscoveryError):
     """Base class for errors loading or saving index artifacts."""
 

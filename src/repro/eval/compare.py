@@ -68,6 +68,7 @@ HIGHER_IS_BETTER = (
     "serve_qps_engine",
     "serve_coalesced_speedup",
     "serve_cache_hit_rate",
+    "overload_goodput_4x",
     "graph_incremental_speedup",
     "quality_warpgate_recall_at_10",
     "quality_hybrid_recall_at_10",
@@ -81,6 +82,8 @@ LOWER_IS_BETTER = (
     "batch_per_query_ms",
     "graph_path_query_ms",
     "durability_recovery_s",
+    "overload_shed_p99_ms",
+    "overload_deadline_miss_rate",
 )
 
 

@@ -95,7 +95,7 @@ __all__ = [
 
 BENCH_REPORT_NAME = "BENCH_index.json"
 BENCH_HISTORY_NAME = "BENCH_history.jsonl"
-_SCHEMA_VERSION = 8
+_SCHEMA_VERSION = 9
 
 #: Every stage the suite can run, in run order.  ``run_perf_suite``'s
 #: ``stages`` parameter selects a subset (``python -m repro bench
@@ -109,6 +109,7 @@ ALL_STAGES = (
     "artifact",
     "serve",
     "mpserve",
+    "overload",
     "graph",
     "durability",
     "quality",
@@ -137,6 +138,8 @@ PROFILES: dict[str, dict] = {
         "mpserve_sizes": (10_000, 50_000),
         "mpserve_clients": 8,
         "mpserve_requests_per_client": 32,
+        "overload_sizes": (10_000,),
+        "overload_requests_per_client": 64,
         "graph_sizes": (10_000,),
         "durability_sizes": (10_000,),
         "quality_profile": "full",
@@ -156,6 +159,8 @@ PROFILES: dict[str, dict] = {
         "mpserve_sizes": (2_000,),
         "mpserve_clients": 4,
         "mpserve_requests_per_client": 8,
+        "overload_sizes": (2_000,),
+        "overload_requests_per_client": 16,
         "graph_sizes": (2_000,),
         "durability_sizes": (2_000,),
         "quality_profile": "small",
@@ -274,6 +279,30 @@ _MPSERVE_FIELDS = (
     "qps_one_proc",
     "qps_two_proc",
     "http_speedup",
+    "warmup_runs",
+)
+
+# Fields every overload-stage row must carry: admission control and
+# graceful degradation under 2x and 4x offered load — goodput (accepted
+# requests per second), shed rate and shed-response latency (fast-fail
+# 503s must stay cheap), deadline-miss rate, accepted-request p99, and
+# whether the server returned to full non-degraded service afterwards.
+_OVERLOAD_FIELDS = (
+    "n_columns",
+    "workers",
+    "queue_depth",
+    "clients_1x",
+    "p99_unsat_ms",
+    "goodput_2x",
+    "shed_rate_2x",
+    "shed_p99_2x_ms",
+    "deadline_miss_rate_2x",
+    "goodput_4x",
+    "shed_rate_4x",
+    "shed_p99_4x_ms",
+    "deadline_miss_rate_4x",
+    "accepted_p99_4x_ms",
+    "recovered",
     "warmup_runs",
 )
 
@@ -939,6 +968,7 @@ def _serve_service(
     dim: int,
     coalesce: bool,
     query_cache_size: int,
+    overload: dict | None = None,
 ):
     """A DiscoveryService over a pre-built synthetic index.
 
@@ -946,6 +976,8 @@ def _serve_service(
     benchmark query ref is pre-seeded into the engine's embedding cache,
     so serving requests exercise exactly the request → probe → respond
     path the stage measures — never CSV parsing or column encoding.
+    ``overload`` optionally overrides the config's overload-protection
+    knobs (``with_overload`` keywords) for the overload stage.
     """
     from repro.core.config import WarpGateConfig
     from repro.core.profiles import EmbeddingCache
@@ -957,6 +989,8 @@ def _serve_service(
     config = WarpGateConfig(model_name="hashing", dim=dim).with_serving(
         coalesce=coalesce, query_cache_size=query_cache_size
     )
+    if overload:
+        config = config.with_overload(**overload)
     engine = WarpGate(config, cache=cache)
     engine._index.bulk_load(refs, corpus)
     engine._indexed = True
@@ -1185,6 +1219,221 @@ def _bench_serve_one_size(
     }
 
 
+def _drive_overload_clients(
+    port: int,
+    names: list[str],
+    *,
+    clients: int,
+    k: int,
+    threshold: float,
+    deadline_ms: int | None,
+) -> tuple[float, list[tuple[int, float]]]:
+    """Fire ``names`` connection-per-request and keep *every* outcome.
+
+    Unlike :func:`_drive_clients` (which treats any non-200 as a broken
+    bench), the overload stage drives the server past saturation on
+    purpose: 503 (shed) and 504 (deadline) are the behaviors under
+    measurement.  Connection-per-request traffic is what exercises
+    admission control — keep-alive clients would pin workers and never
+    touch the queue.  Returns ``(wall_s, [(status, latency_s), ...])``;
+    a connection torn down before a response parses is recorded as
+    status 0 (it neither counts as goodput nor as a clean shed).
+    """
+    import http.client
+    import socket
+
+    chunks = [names[position::clients] for position in range(clients)]
+    outcomes: list[list[tuple[int, float]]] = [[] for _ in range(clients)]
+
+    def run_client(chunk: list[str], sink: list[tuple[int, float]]) -> None:
+        headers = {"Content-Type": "application/json", "Connection": "close"}
+        for name in chunk:
+            body = {"query": name, "k": k, "threshold": threshold}
+            if deadline_ms is not None:
+                body["deadline_ms"] = deadline_ms
+            encoded = json.dumps(body)
+            start = time.perf_counter()
+            try:
+                connection = http.client.HTTPConnection(
+                    "127.0.0.1", port, timeout=30
+                )
+                connection.connect()
+                connection.sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+                connection.request(
+                    "POST", "/search", body=encoded, headers=headers
+                )
+                response = connection.getresponse()
+                response.read()
+                status = response.status
+                connection.close()
+            except (OSError, http.client.HTTPException):
+                status = 0
+            sink.append((status, time.perf_counter() - start))
+
+    threads = [
+        threading.Thread(target=run_client, args=(chunk, sink))
+        for chunk, sink in zip(chunks, outcomes)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return wall, [entry for sink in outcomes for entry in sink]
+
+
+def _bench_overload_one_size(
+    n: int,
+    *,
+    dim: int,
+    k: int,
+    requests_per_client: int,
+    threshold: float = 0.5,
+    query_pool: int = 256,
+    workers: int = 4,
+    queue_depth: int = 4,
+    deadline_ms: int = 10_000,
+) -> dict:
+    """Overload behavior at 1x, 2x, and 4x offered load.
+
+    One deliberately small serving engine (``workers`` pool threads, an
+    admission queue of ``queue_depth``) faces connection-per-request
+    client fleets at the worker count (unsaturated), twice it, and four
+    times it.  The stage records what the overload-protection layer
+    promises: goodput holds up, excess load is shed with fast 503s (shed
+    p99 is the latency of *rejection*, which must stay far below the
+    latency of service), deadline misses stay rare with a sane budget,
+    and after the burst the server walks back to full non-degraded
+    service (``recovered``).
+    """
+    from repro.service.server import make_server
+    from repro.storage.schema import ColumnRef
+
+    corpus, query_vectors = _corpus_and_queries(n, dim, query_pool)
+    refs = [ColumnRef("bench", f"table_{i // 64}", f"col_{i % 64}") for i in range(n)]
+    query_names = [f"bench.queries.q{position}" for position in range(query_pool)]
+    # Aggressive degradation thresholds + a short recovery window keep the
+    # post-burst recovery check inside bench-scale wall time.
+    service = _serve_service(
+        refs,
+        corpus,
+        query_names,
+        query_vectors,
+        dim=dim,
+        coalesce=True,
+        query_cache_size=4096,
+        overload={
+            "degrade_shed_threshold": max(4, queue_depth),
+            "degrade_window_s": 5.0,
+            "degrade_recovery_s": 0.4,
+        },
+    )
+    clients_1x = workers
+
+    def offered(multiple: int) -> list[str]:
+        total = clients_1x * multiple * requests_per_client
+        return [query_names[position % query_pool] for position in range(total)]
+
+    def pass_at(multiple: int) -> tuple[float, list[tuple[int, float]]]:
+        return _drive_overload_clients(
+            port,
+            offered(multiple),
+            clients=clients_1x * multiple,
+            k=k,
+            threshold=threshold,
+            deadline_ms=deadline_ms,
+        )
+
+    def split(outcomes: list[tuple[int, float]]):
+        accepted = [latency for status, latency in outcomes if status == 200]
+        shed = [latency for status, latency in outcomes if status == 503]
+        missed = [latency for status, latency in outcomes if status == 504]
+        return accepted, shed, missed
+
+    with make_server(
+        service,
+        port=0,
+        workers=workers,
+        admission_queue_depth=queue_depth,
+    ) as server:
+        port = server.server_address[1]
+        # Warm-up at 1x (connection ramp, cache fill), then the measured
+        # unsaturated pass that sets the accepted-latency yardstick.
+        _drive_overload_clients(
+            port,
+            offered(1)[: clients_1x * 8],
+            clients=clients_1x,
+            k=k,
+            threshold=threshold,
+            deadline_ms=deadline_ms,
+        )
+        _wall, unsat = pass_at(1)
+        unsat_accepted, _, _ = split(unsat)
+        p99_unsat = _percentile_ms(unsat_accepted, 0.99) if unsat_accepted else 0.0
+        results: dict[int, dict] = {}
+        for multiple in (2, 4):
+            wall, outcomes = pass_at(multiple)
+            accepted, shed, missed = split(outcomes)
+            results[multiple] = {
+                "goodput": round(len(accepted) / wall, 1),
+                "shed_rate": round(len(shed) / max(1, len(outcomes)), 4),
+                "shed_p99_ms": round(
+                    _percentile_ms(shed, 0.99) if shed else 0.0, 3
+                ),
+                "deadline_miss_rate": round(
+                    len(missed) / max(1, len(outcomes)), 4
+                ),
+                "accepted_p99_ms": round(
+                    _percentile_ms(accepted, 0.99) if accepted else 0.0, 3
+                ),
+            }
+        # Recovery: the degradation tier must walk back to normal and a
+        # fresh request must be admitted and served at full fidelity.
+        deadline = time.monotonic() + 15.0
+        while (
+            service.degradation.tier() != 0 and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        _wall, after = _drive_overload_clients(
+            port,
+            offered(1)[:clients_1x],
+            clients=clients_1x,
+            k=k,
+            threshold=threshold,
+            deadline_ms=deadline_ms,
+        )
+        recovered = (
+            service.degradation.tier() == 0
+            and all(status == 200 for status, _latency in after)
+        )
+        admission = server.admission_stats()
+
+    return {
+        "n_columns": n,
+        "workers": workers,
+        "queue_depth": queue_depth,
+        "clients_1x": clients_1x,
+        "requests_per_client": requests_per_client,
+        "deadline_ms": deadline_ms,
+        "p99_unsat_ms": round(p99_unsat, 3),
+        "goodput_2x": results[2]["goodput"],
+        "shed_rate_2x": results[2]["shed_rate"],
+        "shed_p99_2x_ms": results[2]["shed_p99_ms"],
+        "deadline_miss_rate_2x": results[2]["deadline_miss_rate"],
+        "goodput_4x": results[4]["goodput"],
+        "shed_rate_4x": results[4]["shed_rate"],
+        "shed_p99_4x_ms": results[4]["shed_p99_ms"],
+        "deadline_miss_rate_4x": results[4]["deadline_miss_rate"],
+        "accepted_p99_4x_ms": results[4]["accepted_p99_ms"],
+        "sheds_total": admission["sheds"],
+        "recovered": 1.0 if recovered else 0.0,
+        "warmup_runs": _WARMUP_RUNS,
+    }
+
+
 def _bench_mpserve_one_size(
     n: int,
     *,
@@ -1329,6 +1578,8 @@ def run_perf_suite(
     mpserve_sizes: tuple[int, ...] | None = None,
     mpserve_clients: int | None = None,
     mpserve_requests_per_client: int | None = None,
+    overload_sizes: tuple[int, ...] | None = None,
+    overload_requests_per_client: int | None = None,
     worker_transport: str = "pipe",
     graph_sizes: tuple[int, ...] | None = None,
     graph_edge_threshold: float = 0.7,
@@ -1416,6 +1667,16 @@ def run_perf_suite(
         mpserve_requests_per_client
         if mpserve_requests_per_client is not None
         else spec.get("mpserve_requests_per_client", 32)
+    )
+    overload_sizes = (
+        tuple(overload_sizes)
+        if overload_sizes is not None
+        else spec.get("overload_sizes", (10_000,))
+    )
+    overload_requests_per_client = (
+        overload_requests_per_client
+        if overload_requests_per_client is not None
+        else spec.get("overload_requests_per_client", 64)
     )
     graph_sizes = (
         tuple(graph_sizes) if graph_sizes is not None else spec["graph_sizes"]
@@ -1537,6 +1798,21 @@ def run_perf_suite(
                 requests_per_client=mpserve_requests_per_client,
             )
         )
+    overload_results = []
+    for n in overload_sizes if "overload" in stages else ():
+        if progress is not None:
+            progress(
+                f"benchmarking overload shedding at {n} columns "
+                f"(2x and 4x offered load) ..."
+            )
+        overload_results.append(
+            _bench_overload_one_size(
+                n,
+                dim=dim,
+                k=k,
+                requests_per_client=overload_requests_per_client,
+            )
+        )
     graph_results = []
     for n in graph_sizes if "graph" in stages else ():
         if progress is not None:
@@ -1602,6 +1878,13 @@ def run_perf_suite(
                 "clients": mpserve_clients,
                 "requests_per_client": mpserve_requests_per_client,
             },
+            "overload": {
+                "workers": 4,
+                "queue_depth": 4,
+                "requests_per_client": overload_requests_per_client,
+                "deadline_ms": 10_000,
+                "load_multiples": [2, 4],
+            },
             "graph": {
                 "edge_threshold": graph_edge_threshold,
                 "columns_per_table": 64,
@@ -1637,6 +1920,7 @@ def run_perf_suite(
         "artifact": artifact_results,
         "serve": serve_results,
         "mpserve": mpserve_results,
+        "overload": overload_results,
         "graph": graph_results,
         "durability": durability_results,
         "quality": quality_results,
@@ -1700,6 +1984,7 @@ def validate_report(payload: dict) -> list[str]:
         ("artifact", _ARTIFACT_FIELDS),
         ("serve", _SERVE_FIELDS),
         ("mpserve", _MPSERVE_FIELDS),
+        ("overload", _OVERLOAD_FIELDS),
         ("graph", _GRAPH_FIELDS),
         ("durability", _DURABILITY_FIELDS),
     ):
@@ -1777,6 +2062,7 @@ def append_history(report: dict, path: str | Path) -> Path:
     embed = report["embed"][-1] if report.get("embed") else {}
     serve = report["serve"][-1] if report.get("serve") else {}
     mpserve = report["mpserve"][-1] if report.get("mpserve") else {}
+    overload = report["overload"][-1] if report.get("overload") else {}
     graph = report["graph"][-1] if report.get("graph") else {}
     durability = report["durability"][-1] if report.get("durability") else {}
     entry = {
@@ -1798,6 +2084,10 @@ def append_history(report: dict, path: str | Path) -> Path:
         "serve_cache_hit_rate": serve.get("cache_hit_rate"),
         "proc_shard_speedup": mpserve.get("proc_shard_speedup"),
         "mpserve_http_speedup": mpserve.get("http_speedup"),
+        "overload_goodput_4x": overload.get("goodput_4x"),
+        "overload_shed_rate_4x": overload.get("shed_rate_4x"),
+        "overload_shed_p99_ms": overload.get("shed_p99_4x_ms"),
+        "overload_deadline_miss_rate": overload.get("deadline_miss_rate_4x"),
         "graph_edges": graph.get("n_edges"),
         "graph_incremental_speedup": graph.get("incremental_speedup"),
         "graph_path_query_ms": graph.get("path_query_ms"),

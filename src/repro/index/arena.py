@@ -672,6 +672,19 @@ class ColumnarIndex:
         """The active int8 quantizer, or ``None``."""
         return self._quant
 
+    def set_rerank_factor(self, rerank_factor: int) -> None:
+        """Retune the live quantizer's re-rank breadth (no-op when off).
+
+        ``rerank_factor`` is read fresh on every query, so a plain
+        attribute swap takes effect on the next probe without touching
+        the codes — cheap enough for degraded-mode serving to downshift
+        and recover at will, and safe under concurrent readers.
+        """
+        if rerank_factor < 1:
+            raise ValueError(f"rerank_factor must be >= 1, got {rerank_factor}")
+        if self._quant is not None:
+            self._quant.rerank_factor = rerank_factor
+
     # -- construction -------------------------------------------------------------
 
     def _signature_for(self, unit: np.ndarray) -> np.ndarray | None:

@@ -342,6 +342,16 @@ class ProcessShardedIndex(ShardedIndex):
         self._rerank = None
         self._dirty = [True] * self.n_shards
 
+    def set_rerank_factor(self, rerank_factor: int) -> None:
+        """No-op: worker processes own their quantizers.
+
+        Workers adopt the spawn-time re-rank factor with each published
+        segment; retuning live would force a full segment republish per
+        shard — exactly the wrong work under overload, which is when
+        degraded-mode serving calls this.  Worker-backed engines keep
+        their configured factor instead.
+        """
+
     # -- segment publish + worker supervision -------------------------------------
 
     def _spawn(self, shard_id: int) -> _ShardWorker:

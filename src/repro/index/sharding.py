@@ -292,6 +292,11 @@ class ShardedIndex:
         """Shard 0's quantizer (``None`` when quantization is off)."""
         return self.shards[0].quantizer
 
+    def set_rerank_factor(self, rerank_factor: int) -> None:
+        """Retune re-rank breadth on every shard (no-op when off)."""
+        for shard in self.shards:
+            shard.set_rerank_factor(rerank_factor)
+
     # -- export -------------------------------------------------------------------
 
     def export_rows(self) -> tuple[list[object], np.ndarray, np.ndarray | None]:

@@ -42,7 +42,13 @@ import threading
 import time
 from collections import deque
 
+from repro.errors import DeadlineExceededError
+
 __all__ = ["QueryCoalescer"]
+
+#: Marker for the urgent path: a request whose remaining deadline budget
+#: is below the batching wait window executes alone instead of queueing.
+_URGENT = object()
 
 
 class _Pending:
@@ -85,6 +91,17 @@ class QueryCoalescer:
         Fill window in microseconds: how long a leader with a non-full
         batch waits for stragglers before executing.  Never paid on the
         fast path, so it bounds *added* latency under load only.
+    deadline_of:
+        Optional ``deadline_of(request) -> float | None`` returning the
+        request's absolute ``time.monotonic`` deadline.  With it set,
+        the coalescer enforces deadlines at its boundaries: an already-
+        expired submission raises :class:`DeadlineExceededError` without
+        executing anything, a request whose remaining budget is below
+        the ``max_wait_us`` window takes the **urgent** path (executes
+        alone immediately — joining a batch could expire it in queue),
+        and an entry that expires *while queued* is resolved with the
+        deadline error at batch-snap time, never reaching the executor's
+        GEMM path.
     """
 
     def __init__(
@@ -94,6 +111,7 @@ class QueryCoalescer:
         execute_one=None,
         max_batch: int = 32,
         max_wait_us: int = 500,
+        deadline_of=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -103,6 +121,7 @@ class QueryCoalescer:
         self._execute_one = execute_one
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
+        self._deadline_of = deadline_of
         self._cond = threading.Condition()
         self._queue: deque[_Pending] = deque()
         # True while some thread owns execution: a fast-path request is
@@ -111,6 +130,8 @@ class QueryCoalescer:
         # Traffic counters (all mutated under the condition lock).
         self._requests = 0
         self._fastpath = 0
+        self._urgent = 0
+        self._expired = 0
         self._batches = 0
         self._coalesced = 0
         self._histogram: dict[int, int] = {}
@@ -132,6 +153,13 @@ class QueryCoalescer:
         identical to executing the request alone — batching changes
         scheduling, never semantics.
         """
+        deadline = (
+            self._deadline_of(request) if self._deadline_of is not None else None
+        )
+        if deadline is not None:
+            overrun = time.monotonic() - deadline
+            if overrun >= 0:
+                raise DeadlineExceededError(overrun_s=overrun)
         with self._cond:
             self._requests += 1
             if not self._draining and not self._queue:
@@ -141,6 +169,16 @@ class QueryCoalescer:
                 self._draining = True
                 self._fastpath += 1
                 entry = None
+            elif (
+                deadline is not None
+                and deadline - time.monotonic() <= self.max_wait_us / 1e6
+            ):
+                # Remaining budget is below the batching wait window:
+                # queueing would likely expire this request, so it runs
+                # alone, concurrently with whatever batch is in flight
+                # (the executor's probe path is shared-lock safe).
+                self._urgent += 1
+                entry = _URGENT
             else:
                 entry = _Pending(request)
                 self._queue.append(entry)
@@ -154,6 +192,11 @@ class QueryCoalescer:
                 return self._unwrap(outcomes, 0)
             finally:
                 self._release()
+        if entry is _URGENT:
+            # No ownership taken, so nothing to release.
+            if self._execute_one is not None:
+                return self._execute_one(request)
+            return self._unwrap(self._execute([request]), 0)
         # Follower: wait until resolved, claiming leadership whenever
         # execution is unowned while our entry is still pending.
         while True:
@@ -201,13 +244,37 @@ class QueryCoalescer:
                 self._cond.wait(remaining)
         count = min(len(self._queue), self.max_batch)
         batch = [self._queue.popleft() for _ in range(count)]
-        self._batches += 1
-        self._coalesced += count
-        self._histogram[count] = self._histogram.get(count, 0) + 1
+        if self._deadline_of is not None:
+            # Entries that expired while queued are answered right here
+            # with the deadline error — they never reach the executor,
+            # so a doomed request costs the GEMM path nothing.
+            now = time.monotonic()
+            live: list[_Pending] = []
+            expired = 0
+            for entry in batch:
+                entry_deadline = self._deadline_of(entry.request)
+                if entry_deadline is not None and now >= entry_deadline:
+                    entry.error = DeadlineExceededError(
+                        overrun_s=now - entry_deadline
+                    )
+                    entry.done = True
+                    expired += 1
+                else:
+                    live.append(entry)
+            if expired:
+                self._expired += expired
+                self._cond.notify_all()  # wake the expired waiters now
+            batch = live
+        if batch:
+            self._batches += 1
+            self._coalesced += len(batch)
+            self._histogram[len(batch)] = self._histogram.get(len(batch), 0) + 1
         return batch
 
     def _run_batch(self, batch: list[_Pending]) -> None:
         """Execute one batch and resolve every entry (never raises)."""
+        if not batch:
+            return  # every snapped entry expired in queue
         try:
             outcomes = self._execute([entry.request for entry in batch])
             if len(outcomes) != len(batch):
@@ -239,6 +306,8 @@ class QueryCoalescer:
             return {
                 "requests": self._requests,
                 "fastpath": self._fastpath,
+                "urgent": self._urgent,
+                "expired": self._expired,
                 "batches": self._batches,
                 "coalesced_requests": self._coalesced,
                 "mean_batch": round(mean, 2),

@@ -28,7 +28,16 @@ evolving* warehouse, so this facade adds what serving requires:
   :class:`~repro.service.qcache.QueryResultCache` — index mutations
   invalidate implicitly because the index's monotonic
   ``mutation_generation`` is part of the cache key, so a stale result
-  can never be served.
+  can never be served;
+* **overload protection** — per-request deadlines (from
+  ``SearchRequest.deadline_ms`` or the config's ``default_deadline_ms``)
+  are enforced at every expensive boundary (before the warehouse scan,
+  after embedding, before the probe) and surface as ``deadline_exceeded``
+  (HTTP 504); the HTTP layer reports shed connections into a
+  :class:`~repro._util.DegradationPolicy`, and sustained shedding
+  downshifts serving fidelity (narrower int8 re-rank, path queries
+  capped to one hop) until traffic quiets — cache hits always stay
+  full-fidelity, and :attr:`readiness` reports ``/readyz`` state.
 
 The facade is deliberately thin: every search still runs WarpGate's
 embed → probe → rank pipeline, so library results and service results
@@ -38,11 +47,13 @@ never diverge.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
 
+from repro._util import DegradationPolicy
 from repro.core.candidates import DiscoveryResult, JoinCandidate, TimingBreakdown
 from repro.core.config import WarpGateConfig
 from repro.core.profiles import EmbeddingCache
@@ -51,6 +62,7 @@ from repro.core.warpgate import WarpGate
 from repro.errors import (
     ColumnNotFoundError,
     DatabaseNotFoundError,
+    DeadlineExceededError,
     EmptyIndexError,
     NotIndexedError,
     ReproError,
@@ -71,6 +83,22 @@ from repro.warehouse.connector import WarehouseConnector
 from repro.warehouse.sampling import Sampler
 
 __all__ = ["DiscoveryService"]
+
+
+class _TimedRequest:
+    """A request paired with its absolute monotonic deadline (or ``None``).
+
+    The coalescer's unit of work on the serving path: carrying the
+    deadline alongside the request lets the coalescer enforce it at its
+    own boundaries (urgent bypass, expired-in-queue) via ``deadline_of``
+    without knowing anything about :class:`SearchRequest`.
+    """
+
+    __slots__ = ("request", "deadline")
+
+    def __init__(self, request: SearchRequest, deadline: float | None) -> None:
+        self.request = request
+        self.deadline = deadline
 
 
 class DiscoveryService:
@@ -152,9 +180,10 @@ class DiscoveryService:
                 # Fast path = the plain search path, verbatim: a request
                 # hitting an idle coalescer costs exactly what search()
                 # costs (the serve bench pins single-client p50 parity).
-                execute_one=self.search,
+                execute_one=self._execute_one_timed,
                 max_batch=serving.coalesce_max_batch,
                 max_wait_us=serving.coalesce_max_wait_us,
+                deadline_of=lambda timed: timed.deadline,
             )
             if serving.coalesce
             else None
@@ -173,6 +202,19 @@ class DiscoveryService:
             else None
         )
         self._path_queries = 0
+        # Overload protection: the HTTP layer reports every shed
+        # connection here; sustained shedding downshifts serving fidelity
+        # (narrower re-rank, capped path hops) and recovers hysteretically
+        # once traffic quiets.  The tier is *applied* lazily on the probe
+        # path so cache hits never pay for the reconciliation.
+        self._degradation = DegradationPolicy(
+            shed_threshold=serving.degrade_shed_threshold,
+            window_s=serving.degrade_window_s,
+            recovery_s=serving.degrade_recovery_s,
+        )
+        self._applied_tier = DegradationPolicy.TIER_NORMAL
+        self._effective_rerank = serving.rerank_factor
+        self._deadline_misses = 0
         #: Set by :meth:`load_durable` — what recovery found on disk.
         self.recovery_report: dict | None = None
 
@@ -191,6 +233,10 @@ class DiscoveryService:
             yield
         except ServiceError:
             raise
+        except DeadlineExceededError as error:
+            with self._counter_lock:
+                self._deadline_misses += 1
+            raise ServiceError.deadline_exceeded(str(error)) from error
         except (DatabaseNotFoundError, TableNotFoundError, ColumnNotFoundError) as error:
             raise ServiceError.not_found(str(error)) from error
         except (NotIndexedError, EmptyIndexError) as error:
@@ -450,6 +496,37 @@ class DiscoveryService:
             f"{len(names)} database(s); use db.table.column"
         )
 
+    def _absolute_deadline(self, deadline_ms: int | None) -> float | None:
+        """Translate a millisecond budget into an absolute monotonic deadline.
+
+        ``None`` falls back to the config's ``default_deadline_ms``;
+        a resolved budget of 0 means *no deadline*.
+        """
+        if deadline_ms is None:
+            deadline_ms = self.engine.config.default_deadline_ms
+        if not deadline_ms:
+            return None
+        return time.monotonic() + deadline_ms / 1e3
+
+    def _deadline_for(self, request: SearchRequest) -> float | None:
+        """This request's absolute deadline (its budget starts now)."""
+        return self._absolute_deadline(request.deadline_ms)
+
+    @staticmethod
+    def _check_deadline(deadline: float | None) -> None:
+        """Raise :class:`DeadlineExceededError` when ``deadline`` has passed.
+
+        Called at every expensive boundary on the search path so a doomed
+        request is answered instead of burning scan/embed/GEMM work it
+        can no longer use.  Always called inside :meth:`_boundary`, which
+        translates the raise into a 504 envelope and counts the miss.
+        """
+        if deadline is None:
+            return
+        overrun = time.monotonic() - deadline
+        if overrun >= 0:
+            raise DeadlineExceededError(overrun_s=overrun)
+
     def _effective_params(self, request: SearchRequest) -> tuple[int, float]:
         """Resolve ``(k, threshold)`` against the engine configuration.
 
@@ -474,7 +551,11 @@ class DiscoveryService:
         )
 
     def _embed_then_probe(
-        self, query: ColumnRef, request: SearchRequest
+        self,
+        query: ColumnRef,
+        request: SearchRequest,
+        *,
+        deadline: float | None = None,
     ) -> SearchResponse:
         """The locked embed → probe pipeline of the single-search path.
 
@@ -488,11 +569,13 @@ class DiscoveryService:
         single-query probe, not a full-arena GEMM).
         """
         with self._scan_lock:
+            self._check_deadline(deadline)
             vector, timing = self.engine.embed_query(query)
         if not np.any(vector):
             return SearchResponse.from_result(
                 DiscoveryResult(query=query, candidates=[], timing=timing)
             )
+        self._check_deadline(deadline)
         k, threshold = self._effective_params(request)
         responses: list[SearchResponse | None] = [None]
         with self._lock.read():
@@ -513,12 +596,35 @@ class DiscoveryService:
         """
         request = self._coerce(request, k, threshold)
         with self._boundary():
-            response = self._embed_then_probe(self._resolve_ref(request.query), request)
+            response = self._embed_then_probe(
+                self._resolve_ref(request.query),
+                request,
+                deadline=self._deadline_for(request),
+            )
+        self._record_searches(1)
+        return response
+
+    def _execute_one_timed(self, timed: _TimedRequest) -> SearchResponse:
+        """The coalescer's fast path: plain search under a carried deadline.
+
+        Identical to :meth:`search` except the deadline was fixed at
+        submission time (``_TimedRequest``), so time spent reaching the
+        fast path counts against the budget.
+        """
+        request = timed.request
+        with self._boundary():
+            self._check_deadline(timed.deadline)
+            response = self._embed_then_probe(
+                self._resolve_ref(request.query), request, deadline=timed.deadline
+            )
         self._record_searches(1)
         return response
 
     def search_many(
-        self, requests: list[SearchRequest | ColumnRef | str]
+        self,
+        requests: list[SearchRequest | ColumnRef | str],
+        *,
+        deadline_ms: int | None = None,
     ) -> list[SearchResponse]:
         """Batch search: one lock round, one embedding per unique query,
         and one batched index probe per parameter group.
@@ -538,21 +644,31 @@ class DiscoveryService:
 
         The batch is all-or-nothing: if any request's query cannot be
         resolved or scanned, the whole call raises one
-        :class:`ServiceError` and no partial results are returned.
+        :class:`ServiceError` and no partial results are returned —
+        including deadlines: the batch shares its *tightest* deadline
+        (``deadline_ms`` here, any request's own ``deadline_ms``, or the
+        config default), and expiry fails the whole call with 504.
         """
         coerced = [self._coerce(request, None, None) for request in requests]
         responses: list[SearchResponse | None] = [None] * len(coerced)
         with self._boundary():
+            bounds = [self._deadline_for(request) for request in coerced]
+            if deadline_ms is not None:
+                bounds.append(self._absolute_deadline(deadline_ms))
+            bounds = [bound for bound in bounds if bound is not None]
+            deadline = min(bounds) if bounds else None
             resolved = [self._resolve_ref(request.query) for request in coerced]
             embedded: dict[ColumnRef, tuple] = {}
             with self._scan_lock:
                 for query in resolved:
+                    self._check_deadline(deadline)
                     if query not in embedded:
                         embedded[query] = self.engine.embed_query(query)
             groups: dict[tuple, list[int]] = {}
             for position, request in enumerate(coerced):
                 groups.setdefault(self._effective_params(request), []).append(position)
             with self._lock.read():
+                self._check_deadline(deadline)
                 for (k, threshold), positions in groups.items():
                     block = [
                         (
@@ -580,6 +696,7 @@ class DiscoveryService:
         (mutations need the exclusive side, so it cannot move mid-block).
         """
         misses: list[tuple] = []
+        self._apply_degradation_locked()
         if self._qcache is not None:
             generation = self.engine.index_generation
             for position, vector, exclude, embed_timing in block:
@@ -622,6 +739,24 @@ class DiscoveryService:
             result.timing = embed_timing + result.timing
             responses[position] = SearchResponse.from_result(result)
 
+    def _apply_degradation_locked(self) -> None:
+        """Reconcile the engine's re-rank breadth with the degradation tier.
+
+        Called on the probe path only — cache hits skip it, so cached
+        answers stay full-fidelity for free even while degraded.  The
+        setter is an idempotent attribute swap inside the engine, so
+        concurrent readers racing here converge on the same value.
+        """
+        tier = self._degradation.tier()
+        if tier == self._applied_tier:
+            return
+        base = self.engine.config.rerank_factor
+        effective = self._degradation.rerank_factor_for(base)
+        self.engine.set_rerank_factor(effective)
+        with self._counter_lock:
+            self._applied_tier = tier
+            self._effective_rerank = effective
+
     # -- coalesced serving path ----------------------------------------------------
 
     def search_coalesced(
@@ -643,17 +778,24 @@ class DiscoveryService:
         request = self._coerce(request, k, threshold)
         if self._coalescer is None:
             return self.search(request)
-        return self._coalescer.submit(request)  # type: ignore[return-value]
+        timed = _TimedRequest(request, self._deadline_for(request))
+        with self._boundary():
+            return self._coalescer.submit(timed)  # type: ignore[return-value]
 
-    def _execute_coalesced(self, requests: list) -> list:
+    def _execute_coalesced(self, batch: list) -> list:
         """Batch executor behind the coalescer: one outcome per request.
 
         Unlike :meth:`search_many` (all-or-nothing by contract), coalesced
         requests are independent strangers sharing a batch, so failures
         are isolated: each position gets either a :class:`SearchResponse`
-        or the :class:`ServiceError` that request alone would have raised.
+        or the :class:`ServiceError` that request alone would have raised
+        — deadlines included: a position that expires while its
+        batchmates embed is answered 504 right there and never joins the
+        probe block.
         """
-        count = len(requests)
+        count = len(batch)
+        requests = [timed.request for timed in batch]
+        deadlines = [timed.deadline for timed in batch]
         outcomes: list[object] = [None] * count
         resolved: list[ColumnRef | None] = [None] * count
         embedded: dict[ColumnRef, tuple] = {}
@@ -661,6 +803,7 @@ class DiscoveryService:
             for position, request in enumerate(requests):
                 try:
                     with self._boundary():
+                        self._check_deadline(deadlines[position])
                         query = self._resolve_ref(request.query)
                         if query not in embedded:
                             embedded[query] = self.engine.embed_query(query)
@@ -678,6 +821,12 @@ class DiscoveryService:
             for (k_eff, threshold_eff), positions in groups.items():
                 live: list[tuple] = []
                 for position in positions:
+                    try:
+                        with self._boundary():
+                            self._check_deadline(deadlines[position])
+                    except ServiceError as error:
+                        outcomes[position] = error
+                        continue
                     query = resolved[position]
                     vector, embed_timing = embedded[query]
                     if not np.any(vector):
@@ -745,25 +894,34 @@ class DiscoveryService:
         max_hops: int = 3,
         limit: int | None = 5,
         combiner: str = "product",
+        deadline_ms: int | None = None,
     ) -> list[JoinPath]:
         """Ranked multi-hop join paths between two tables.
 
         Tables are named ``db.table`` (or bare when the warehouse has one
         database).  Results are cached under the index generation, so a
         repeated query is a dictionary hit until any mutation lands.
+        ``deadline_ms`` bounds the query like the search path (expiry is
+        a 504); while the service is degraded, path exploration is capped
+        to one hop regardless of ``max_hops`` (the cap is part of the
+        cache key, so degraded and full answers never mix).
         """
         with self._boundary():
+            deadline = self._absolute_deadline(deadline_ms)
             src_key = self._resolve_table(src)
             dst_key = self._resolve_table(dst)
+            cap = self._degradation.max_hops_cap()
+            effective_hops = min(max_hops, cap) if cap is not None else max_hops
             with self._lock.read(), self._graph_lock:
                 self._graph_sync_locked()
+                self._check_deadline(deadline)
                 paths: tuple[JoinPath, ...] | None = None
                 key = None
                 if self._path_cache is not None and isinstance(combiner, str):
                     key = (
                         src_key,
                         dst_key,
-                        max_hops,
+                        effective_hops,
                         limit,
                         combiner,
                         self.engine.index_generation,
@@ -775,7 +933,7 @@ class DiscoveryService:
                             self._graph.find_paths(
                                 src_key,
                                 dst_key,
-                                max_hops=max_hops,
+                                max_hops=effective_hops,
                                 limit=limit,
                                 combiner=combiner,
                             )
@@ -839,6 +997,8 @@ class DiscoveryService:
         with self._counter_lock:
             searches, mutations = self._searches, self._mutations
             path_queries = self._path_queries
+            deadline_misses = self._deadline_misses
+            effective_rerank = self._effective_rerank
         # Counters only — never forces a graph sync (stats must stay cheap).
         graph = self._graph.stats()
         graph["path_queries"] = path_queries
@@ -866,6 +1026,15 @@ class DiscoveryService:
             graph=graph,
             workers=config.shard_workers,
             durability=self._store.stats() if self._store is not None else None,
+            degradation={
+                **self._degradation.snapshot(),
+                "rerank_factor_effective": effective_rerank,
+                "max_hops_cap": self._degradation.max_hops_cap(),
+            },
+            deadlines={
+                "default_deadline_ms": config.default_deadline_ms,
+                "misses": deadline_misses,
+            },
         )
 
     def stats(self) -> IndexStats:
@@ -877,6 +1046,27 @@ class DiscoveryService:
     def is_indexed(self) -> bool:
         """True once the service holds a searchable index."""
         return self.engine.is_indexed
+
+    @property
+    def degradation(self) -> DegradationPolicy:
+        """The overload degradation policy (the HTTP layer reports sheds here)."""
+        return self._degradation
+
+    @property
+    def readiness(self) -> tuple[bool, str]:
+        """``(ready, reason)`` for the ``/readyz`` probe.
+
+        Liveness (``/healthz``) answers "is the process up"; readiness
+        answers "should a balancer send traffic here" — ``False`` while
+        the service has no searchable index yet (still recovering, or
+        never opened) and while degraded-mode sits at its deepest tier,
+        where adding traffic only deepens the overload.
+        """
+        if not self.engine.is_indexed:
+            return False, "index not loaded"
+        if self._degradation.tier() >= DegradationPolicy.TIER_CRITICAL:
+            return False, "degraded: critical tier"
+        return True, "ready"
 
     @property
     def coalescer(self) -> QueryCoalescer | None:

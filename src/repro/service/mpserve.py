@@ -59,6 +59,9 @@ def _child_main(
     keepalive_idle_s: float,
     verbose: bool,
     ready_conn,
+    admission_queue_depth: int | None = None,
+    max_body_bytes: int | None = None,
+    body_read_timeout_s: float | None = None,
 ) -> None:
     """One serving child: build the service, serve until SIGTERM."""
     stop = threading.Event()
@@ -66,6 +69,11 @@ def _child_main(
     # The parent's foreground Ctrl-C delivers SIGINT to the whole group;
     # shutdown is the parent's job (it SIGTERMs us), so ignore it here.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    overrides = {}
+    if max_body_bytes is not None:
+        overrides["max_body_bytes"] = max_body_bytes
+    if body_read_timeout_s is not None:
+        overrides["body_read_timeout_s"] = body_read_timeout_s
     try:
         service = service_factory()
         server = make_server(
@@ -76,6 +84,8 @@ def _child_main(
             workers=workers,
             keepalive_idle_s=keepalive_idle_s,
             reuse_port=True,
+            admission_queue_depth=admission_queue_depth,
+            **overrides,
         )
     except Exception as error:  # noqa: BLE001 — reported to the parent
         try:
@@ -107,6 +117,12 @@ class MultiProcessServer:
     workers, keepalive_idle_s, verbose:
         Forwarded to each child's
         :class:`~repro.service.server.DiscoveryHTTPServer`.
+    admission_queue_depth, max_body_bytes, body_read_timeout_s:
+        Per-child overload-protection knobs, forwarded verbatim: each
+        child runs its own bounded admission queue (kernel REUSEPORT
+        balancing spreads connections, so per-child shedding bounds the
+        whole deployment) and the same body-size / slow-client limits as
+        a single-process server.  ``None`` keeps the server defaults.
     max_respawns, respawn_window_s:
         Per-slot circuit breaker: a child that crashes ``max_respawns``
         times within ``respawn_window_s`` seconds stops being respawned
@@ -127,6 +143,9 @@ class MultiProcessServer:
         verbose: bool = False,
         max_respawns: int = 5,
         respawn_window_s: float = 30.0,
+        admission_queue_depth: int | None = None,
+        max_body_bytes: int | None = None,
+        body_read_timeout_s: float | None = None,
     ) -> None:
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
@@ -142,6 +161,9 @@ class MultiProcessServer:
         self._workers = workers
         self._keepalive_idle_s = keepalive_idle_s
         self._verbose = verbose
+        self._admission_queue_depth = admission_queue_depth
+        self._max_body_bytes = max_body_bytes
+        self._body_read_timeout_s = body_read_timeout_s
         self._ctx = multiprocessing.get_context("fork")
         self._children: list[multiprocessing.process.BaseProcess | None] = (
             [None] * procs
@@ -179,6 +201,9 @@ class MultiProcessServer:
                 self._keepalive_idle_s,
                 self._verbose,
                 child_conn,
+                self._admission_queue_depth,
+                self._max_body_bytes,
+                self._body_read_timeout_s,
             ),
             name=f"mpserve-{slot}",
         )
@@ -309,10 +334,21 @@ def serve_multiprocess(
     *,
     procs: int = 2,
     workers: int = 32,
+    admission_queue_depth: int | None = None,
+    max_body_bytes: int | None = None,
+    body_read_timeout_s: float | None = None,
 ) -> None:
     """Serve forever across ``procs`` processes (blocking); Ctrl-C stops."""
     front = MultiProcessServer(
-        service_factory, host, port, procs=procs, workers=workers, verbose=True
+        service_factory,
+        host,
+        port,
+        procs=procs,
+        workers=workers,
+        verbose=True,
+        admission_queue_depth=admission_queue_depth,
+        max_body_bytes=max_body_bytes,
+        body_read_timeout_s=body_read_timeout_s,
     )
     front.start()
     print(

@@ -22,7 +22,8 @@ concurrent traffic rather than thread-per-request churn:
 Routes
 ------
 ``GET  /healthz``        liveness; lock-free, never blocked by writers
-``GET  /stats``          :class:`IndexStats` snapshot
+``GET  /readyz``         readiness; 503 until indexed / while critical-degraded
+``GET  /stats``          :class:`IndexStats` snapshot (+ admission counters)
 ``GET  /graph/stats``    join-graph counters (forces a graph sync)
 ``POST /search``         one :class:`SearchRequest` body (coalesced)
 ``POST /paths``          ``{"src": "db.t", "dst": "db.u", "max_hops": 3}``
@@ -33,14 +34,28 @@ Routes
 
 Failures return the :class:`ServiceError` envelope
 ``{"error": {"code": ..., "message": ...}}`` with a matching HTTP status.
+
+Overload protection (see DESIGN.md "Overload protection & graceful
+degradation"): accepted connections enter a **bounded admission queue**;
+when it is full the connection is *shed* — a sub-millisecond ``503`` +
+``Retry-After`` written straight from the accept path, never a silent
+block — except health/readiness probes, which are recognized by peeking
+the request line and answered inline even at saturation.  Per-request
+work is bounded by the ``X-Deadline-Ms`` deadline (HTTP ``504`` on
+expiry), a ``Content-Length`` cap (``413``), and an absolute body-read
+budget (``408`` against slow-drip clients).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import queue
 import socket
+import sys
 import threading
+import time
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
 
 from repro.errors import ReproError
@@ -60,6 +75,11 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024
 # A batch embeds under the scan mutex and probes under the shared read
 # lock; capping its size bounds how long one request can occupy both.
 _MAX_BATCH_REQUESTS = 256
+# Total wall-clock budget for reading one request body: a client may
+# drip bytes, but never stretch a single read past this (slowloris).
+_BODY_READ_TIMEOUT_S = 10.0
+# Retry-After advertised on shed responses.
+_SHED_RETRY_AFTER_S = 1.0
 
 
 def _table_from_payload(payload: object) -> Table:
@@ -114,11 +134,19 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, object],
+        *,
+        retry_after_s: float | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after_s))))
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
@@ -129,28 +157,128 @@ class _Handler(BaseHTTPRequestHandler):
         # unknown route); under keep-alive the unread bytes would then be
         # parsed as the next request line, so drop the connection.
         self.close_connection = True
-        self._send_json(error.status, error.to_dict())
+        self._send_json(
+            error.status, error.to_dict(), retry_after_s=error.retry_after_s
+        )
+
+    def send_error(self, code: int, message=None, explain=None) -> None:  # noqa: ARG002
+        """Protocol-level failures speak the routes' JSON envelope.
+
+        ``http.server`` calls this for malformed request lines, oversized
+        headers, unsupported methods/versions — every path a garbage-byte
+        client can reach before routing.  The stock implementation emits
+        an HTML page (and, for a pre-parse failure, no status line at
+        all); clients of a JSON API deserve the same envelope and a
+        defined connection state everywhere, so this closes and answers
+        in JSON.
+        """
+        self.close_connection = True
+        # A pre-parse failure leaves request_version at HTTP/0.9, which
+        # would suppress the status line entirely; the response we write
+        # is self-contained, so pin the version we actually speak.
+        self.request_version = "HTTP/1.1"
+        codes = {
+            400: "bad_request",
+            404: "not_found",
+            408: "timeout",
+            413: "payload_too_large",
+            414: "bad_request",
+            501: "bad_request",
+            505: "bad_request",
+        }
+        default = "internal" if code >= 500 else "bad_request"
+        detail = message or self.responses.get(code, (f"HTTP {code}",))[0]
+        try:
+            self._send_json(
+                code,
+                {"error": {"code": codes.get(code, default), "message": detail}},
+            )
+        except OSError:
+            pass  # client already gone; nothing to tell it
+
+    def _read_body(self, length: int) -> bytes:
+        """Read exactly ``length`` body bytes under an absolute time budget.
+
+        The per-read socket timeout alone cannot stop a slow-drip client
+        (each dripped byte resets it), so the read loop checks a wall
+        deadline between chunks and never waits in one ``recv`` longer
+        than the remaining budget.
+        """
+        deadline = time.monotonic() + self.server.body_read_timeout_s
+        chunks: list[bytes] = []
+        remaining = length
+        sock = self.connection
+        original_timeout = sock.gettimeout()
+        try:
+            while remaining > 0:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise ServiceError.timeout(
+                        "request body arrived too slowly; "
+                        f"budget is {self.server.body_read_timeout_s:.1f}s"
+                    )
+                sock.settimeout(min(1.0, budget))
+                try:
+                    # read1 = at most one recv: returns whatever arrived,
+                    # so the deadline is re-checked per network delivery.
+                    chunk = self.rfile.read1(min(remaining, 65536))
+                except TimeoutError:
+                    continue
+                if not chunk:
+                    raise ServiceError.bad_request(
+                        "client closed the connection mid-body"
+                    )
+                chunks.append(chunk)
+                remaining -= len(chunk)
+        finally:
+            sock.settimeout(original_timeout)
+        return b"".join(chunks)
 
     def _read_json(self) -> dict[str, object]:
+        raw = self.headers.get("Content-Length")
         try:
-            length = int(self.headers.get("Content-Length", 0) or 0)
+            length = int(raw if raw is not None else 0)
         except ValueError as error:
             raise ServiceError.bad_request(
                 "Content-Length header must be an integer"
             ) from error
-        if length <= 0:
-            raise ServiceError.bad_request("request body required")
-        if length > _MAX_BODY_BYTES:
+        if raw is not None and length < 0:
             raise ServiceError.bad_request(
-                f"request body exceeds {_MAX_BODY_BYTES} bytes"
+                f"Content-Length must be non-negative, got {length}"
+            )
+        if length == 0:
+            raise ServiceError.bad_request("request body required")
+        if length > self.server.max_body_bytes:
+            # Rejected on the *declared* size, before a single body byte
+            # is read — an oversized upload costs the server nothing.
+            raise ServiceError.payload_too_large(
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte cap"
             )
         try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            payload = json.loads(self._read_body(length).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise ServiceError.bad_request(f"invalid JSON body: {error}") from error
         if not isinstance(payload, dict):
             raise ServiceError.bad_request("request body must be a JSON object")
         return payload
+
+    def _deadline_header_ms(self) -> int | None:
+        """Parse the optional ``X-Deadline-Ms`` request header."""
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            value = int(raw)
+        except ValueError as error:
+            raise ServiceError.bad_request(
+                "X-Deadline-Ms header must be an integer"
+            ) from error
+        if value <= 0:
+            raise ServiceError.bad_request(
+                f"X-Deadline-Ms must be positive, got {value}"
+            )
+        return value
 
     def _dispatch(self, handler) -> None:
         try:
@@ -169,6 +297,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         routes = {
             "/healthz": self._route_healthz,
+            "/readyz": self._route_readyz,
             "/stats": self._route_stats,
             "/graph/stats": self._route_graph_stats,
         }
@@ -209,13 +338,27 @@ class _Handler(BaseHTTPRequestHandler):
             "indexed_columns": service.engine.indexed_count,
         }
 
+    def _route_readyz(self) -> tuple[int, dict[str, object]]:
+        # Readiness, distinct from liveness: a live server is not ready
+        # while it has nothing to serve (pre-open / durable recovery
+        # still replaying) or while degraded-mode sits at its critical
+        # tier — load balancers drain it; /healthz keeps it un-killed.
+        # Same lock-free discipline as /healthz.
+        ready, reason = self.server.service.readiness
+        return (200 if ready else 503), {"ready": ready, "reason": reason}
+
     def _route_stats(self) -> tuple[int, dict[str, object]]:
-        return 200, self.server.service.stats().to_dict()
+        payload = self.server.service.stats().to_dict()
+        admission = getattr(self.server, "admission_stats", None)
+        if callable(admission):
+            payload["admission"] = admission()
+        return 200, payload
 
     def _route_graph_stats(self) -> tuple[int, dict[str, object]]:
         return 200, self.server.service.graph_stats()
 
     def _route_paths(self) -> tuple[int, dict[str, object]]:
+        deadline_ms = self._deadline_header_ms()
         payload = self._read_json()
         src, dst = payload.get("src"), payload.get("dst")
         if not isinstance(src, str) or not isinstance(dst, str):
@@ -235,7 +378,12 @@ class _Handler(BaseHTTPRequestHandler):
                 f"unknown field(s): {', '.join(sorted(unknown))}"
             )
         paths = self.server.service.find_paths(
-            src, dst, max_hops=max_hops, limit=limit, combiner=combiner
+            src,
+            dst,
+            max_hops=max_hops,
+            limit=limit,
+            combiner=combiner,
+            deadline_ms=deadline_ms,
         )
         return 200, {
             "src": src,
@@ -244,11 +392,16 @@ class _Handler(BaseHTTPRequestHandler):
         }
 
     def _route_search(self) -> tuple[int, dict[str, object]]:
+        deadline_ms = self._deadline_header_ms()
         request = SearchRequest.from_dict(self._read_json())
+        if request.deadline_ms is None and deadline_ms is not None:
+            # Body wins over header wins over the config default.
+            request = replace(request, deadline_ms=deadline_ms)
         response = self.server.service.search_coalesced(request)
         return 200, response.to_dict()
 
     def _route_search_batch(self) -> tuple[int, dict[str, object]]:
+        deadline_ms = self._deadline_header_ms()
         payload = self._read_json()
         requests_payload = payload.get("requests")
         if not isinstance(requests_payload, list):
@@ -258,7 +411,7 @@ class _Handler(BaseHTTPRequestHandler):
                 f"batch exceeds {_MAX_BATCH_REQUESTS} requests; split it"
             )
         requests = [SearchRequest.from_dict(entry) for entry in requests_payload]
-        responses = self.server.service.search_many(requests)
+        responses = self.server.service.search_many(requests, deadline_ms=deadline_ms)
         return 200, {"responses": [response.to_dict() for response in responses]}
 
     def _route_index_add(self) -> tuple[int, dict[str, object]]:
@@ -320,9 +473,23 @@ class DiscoveryHTTPServer(HTTPServer):
         workers: int = 32,
         keepalive_idle_s: float = 5.0,
         reuse_port: bool = False,
+        admission_queue_depth: int | None = None,
+        max_body_bytes: int = _MAX_BODY_BYTES,
+        body_read_timeout_s: float = _BODY_READ_TIMEOUT_S,
+        shed_retry_after_s: float = _SHED_RETRY_AFTER_S,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if admission_queue_depth is not None and admission_queue_depth < 1:
+            raise ValueError(
+                f"admission_queue_depth must be >= 1, got {admission_queue_depth}"
+            )
+        if max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        if body_read_timeout_s <= 0:
+            raise ValueError(
+                f"body_read_timeout_s must be positive, got {body_read_timeout_s}"
+            )
         # Must be set before super().__init__ binds the socket: the
         # SO_REUSEPORT flag lets N server processes share one listen
         # address, with the kernel load-balancing accepts across them
@@ -332,17 +499,34 @@ class DiscoveryHTTPServer(HTTPServer):
         self.service = service
         self.verbose = verbose
         self.keepalive_idle_s = keepalive_idle_s
-        # Bounded hand-off: once the pool and this buffer are saturated
-        # the accept loop stalls in process_request, new connections pile
-        # into the kernel listen backlog, and past that the kernel
-        # refuses them — overload backpressures clients instead of
-        # accumulating accepted-but-never-served sockets in memory.
-        self._connections: queue.Queue = queue.Queue(maxsize=2 * workers)
+        self.max_body_bytes = max_body_bytes
+        self.body_read_timeout_s = body_read_timeout_s
+        self.shed_retry_after_s = shed_retry_after_s
+        # Bounded admission queue: connections the pool has not picked up
+        # yet.  When it is full the accept path *sheds* (fast 503 +
+        # Retry-After, see _shed_connection) instead of blocking — the
+        # overload answer is explicit and sub-millisecond, never a
+        # client-invisible stall.
+        self._connections: queue.Queue = queue.Queue(
+            maxsize=(
+                admission_queue_depth
+                if admission_queue_depth is not None
+                else 2 * workers
+            )
+        )
         self._active_lock = threading.Lock()
         self._active: set[socket.socket] = set()
         self._closed = False
         self._serving = threading.Event()
         self._serve_thread: threading.Thread | None = None
+        # Admission/containment telemetry (shared with the accept path).
+        self._admission_lock = threading.Lock()
+        self._admitted = 0
+        self._sheds = 0
+        self._health_inline = 0
+        self._connection_errors = 0
+        self._queue_wait_total_s = 0.0
+        self._queue_wait_max_s = 0.0
         # Workers spawn lazily on the first serve_forever() call — the
         # constructor (and make_server) only *binds*, per its contract.
         self._n_workers = workers
@@ -368,27 +552,138 @@ class DiscoveryHTTPServer(HTTPServer):
                 self._workers.append(worker)
 
     def process_request(self, request, client_address) -> None:
-        """Hand an accepted connection to the pool (called by serve_forever).
+        """Admit an accepted connection or shed it (called by serve_forever).
 
-        Blocks while the bounded hand-off is full (that *is* the
-        backpressure), but wakes every 500 ms so a concurrent shutdown
-        is never stalled behind a saturated pool.
+        Admission control: the hand-off queue is bounded, and a full
+        queue means the pool is saturated *and* a backlog of admitted
+        connections is already waiting.  Queueing deeper would only
+        manufacture doomed work, so the connection is answered ``503 +
+        Retry-After`` right here on the accept thread — a fast fail the
+        client can act on, instead of the silent open-ended stall this
+        method used to be.  Health and readiness probes are recognized
+        (request-line peek) and answered inline even while shedding.
         """
-        while True:
-            try:
-                self._connections.put((request, client_address), timeout=0.5)
-                return
-            except queue.Full:
-                if self._closed:
-                    self.shutdown_request(request)
-                    return
+        if self._closed:
+            self.shutdown_request(request)
+            return
+        try:
+            self._connections.put_nowait((request, client_address, time.monotonic()))
+        except queue.Full:
+            self._shed_connection(request)
+
+    def _shed_connection(self, request) -> None:
+        """Answer a connection the admission queue rejected, then close it.
+
+        Never touches the service's lock/GEMM paths: sheds must stay
+        cheap precisely when the service is busiest.  The one exception
+        is lock-free health state — ``/healthz`` and ``/readyz`` are
+        always admitted (answered inline), so probes keep working while
+        the service is saturated.
+        """
+        try:
+            path = self._peek_health_path(request)
+            if path == "/healthz":
+                service = self.service
+                payload: dict[str, object] = {
+                    "status": "ok",
+                    "indexed": service.is_indexed,
+                    "indexed_columns": service.engine.indexed_count,
+                }
+                with self._admission_lock:
+                    self._health_inline += 1
+                self._respond_inline(request, 200, "OK", payload)
+            elif path == "/readyz":
+                ready, reason = self.service.readiness
+                with self._admission_lock:
+                    self._health_inline += 1
+                self._respond_inline(
+                    request,
+                    200 if ready else 503,
+                    "OK" if ready else "Service Unavailable",
+                    {"ready": ready, "reason": reason},
+                )
+            else:
+                with self._admission_lock:
+                    self._sheds += 1
+                self.service.degradation.record_shed()
+                error = ServiceError.overloaded(
+                    "admission queue is full; retry shortly",
+                    retry_after_s=self.shed_retry_after_s,
+                )
+                self._respond_inline(
+                    request,
+                    503,
+                    "Service Unavailable",
+                    error.to_dict(),
+                    retry_after_s=self.shed_retry_after_s,
+                )
+        finally:
+            self.shutdown_request(request)
+
+    @staticmethod
+    def _peek_health_path(request) -> str | None:
+        """Peek the request line of a to-be-shed connection for a probe.
+
+        ``MSG_PEEK`` leaves the bytes in the kernel buffer, so this never
+        corrupts the (discarded) stream; the timeout is tiny because a
+        real prober writes its GET immediately — anything slower is
+        treated as sheddable traffic.
+        """
+        try:
+            request.settimeout(0.02)
+            head = request.recv(32, socket.MSG_PEEK)
+        except (OSError, ValueError):
+            return None
+        if head.startswith(b"GET /healthz"):
+            return "/healthz"
+        if head.startswith(b"GET /readyz"):
+            return "/readyz"
+        return None
+
+    @staticmethod
+    def _respond_inline(
+        request,
+        status: int,
+        reason: str,
+        payload: dict[str, object],
+        *,
+        retry_after_s: float | None = None,
+    ) -> None:
+        """Write one complete HTTP/1.1 response straight to the socket.
+
+        Used from the accept path (no handler, no worker); a short send
+        timeout keeps a slow or dead client from stalling the accept
+        loop, and errors are swallowed — the connection is being closed
+        either way.
+        """
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        if retry_after_s is not None:
+            lines.append(f"Retry-After: {max(1, math.ceil(retry_after_s))}")
+        data = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+        try:
+            request.settimeout(0.5)
+            request.sendall(data)
+        except OSError:
+            pass
 
     def _worker(self) -> None:
         while True:
             item = self._connections.get()
             if item is None:
                 return
-            request, client_address = item
+            request, client_address, enqueued_at = item
+            wait_s = time.monotonic() - enqueued_at
+            with self._admission_lock:
+                self._admitted += 1
+                self._queue_wait_total_s += wait_s
+                if wait_s > self._queue_wait_max_s:
+                    self._queue_wait_max_s = wait_s
             with self._active_lock:
                 if self._closed:
                     self.shutdown_request(request)
@@ -402,6 +697,41 @@ class DiscoveryHTTPServer(HTTPServer):
                 with self._active_lock:
                     self._active.discard(request)
                 self.shutdown_request(request)
+
+    def handle_error(self, request, client_address) -> None:
+        """Per-connection containment: count, stay quiet, never escalate.
+
+        A client that vanishes mid-request (reset, broken pipe, timeout)
+        is routine abuse-adjacent traffic — it must not traceback-spam
+        the log or take the worker down.  Non-I/O failures are real bugs
+        and keep the stock traceback.
+        """
+        error = sys.exc_info()[1]
+        with self._admission_lock:
+            self._connection_errors += 1
+        if isinstance(error, (TimeoutError, OSError)):
+            if self.verbose:
+                print(f"connection error from {client_address}: {error!r}")
+            return
+        super().handle_error(request, client_address)
+
+    def admission_stats(self) -> dict[str, object]:
+        """Admission-control counters (merged into ``GET /stats``)."""
+        with self._admission_lock:
+            admitted = self._admitted
+            mean_ms = (
+                self._queue_wait_total_s / admitted * 1e3 if admitted else 0.0
+            )
+            return {
+                "queue_depth": self._connections.maxsize,
+                "queued_now": self._connections.qsize(),
+                "admitted": admitted,
+                "sheds": self._sheds,
+                "health_inline": self._health_inline,
+                "connection_errors": self._connection_errors,
+                "queue_wait_mean_ms": round(mean_ms, 3),
+                "queue_wait_max_ms": round(self._queue_wait_max_s * 1e3, 3),
+            }
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -526,6 +856,8 @@ class ThreadPerRequestHTTPServer(ThreadingHTTPServer):
         self.service = service
         self.verbose = verbose
         self.keepalive_idle_s = keepalive_idle_s
+        self.max_body_bytes = _MAX_BODY_BYTES
+        self.body_read_timeout_s = _BODY_READ_TIMEOUT_S
 
 
 def make_server(
@@ -537,6 +869,9 @@ def make_server(
     workers: int = 32,
     keepalive_idle_s: float = 5.0,
     reuse_port: bool = False,
+    admission_queue_depth: int | None = None,
+    max_body_bytes: int = _MAX_BODY_BYTES,
+    body_read_timeout_s: float = _BODY_READ_TIMEOUT_S,
 ) -> DiscoveryHTTPServer:
     """Bind (but do not start) a server; ``port=0`` picks a free port."""
     return DiscoveryHTTPServer(
@@ -546,6 +881,9 @@ def make_server(
         workers=workers,
         keepalive_idle_s=keepalive_idle_s,
         reuse_port=reuse_port,
+        admission_queue_depth=admission_queue_depth,
+        max_body_bytes=max_body_bytes,
+        body_read_timeout_s=body_read_timeout_s,
     )
 
 
@@ -555,9 +893,21 @@ def serve(
     port: int = 8080,
     *,
     workers: int = 32,
+    admission_queue_depth: int | None = None,
+    max_body_bytes: int = _MAX_BODY_BYTES,
+    body_read_timeout_s: float = _BODY_READ_TIMEOUT_S,
 ) -> None:
     """Serve forever (blocking); Ctrl-C shuts down cleanly."""
-    server = make_server(service, host, port, verbose=True, workers=workers)
+    server = make_server(
+        service,
+        host,
+        port,
+        verbose=True,
+        workers=workers,
+        admission_queue_depth=admission_queue_depth,
+        max_body_bytes=max_body_bytes,
+        body_read_timeout_s=body_read_timeout_s,
+    )
     bound_host, bound_port = server.server_address[:2]
     print(f"serving join discovery on http://{bound_host}:{bound_port}")
     try:

@@ -25,14 +25,26 @@ class ServiceError(DiscoveryError):
     """Service-boundary failure with a stable machine-readable code.
 
     ``code`` is one of ``bad_request`` / ``not_found`` / ``not_indexed`` /
-    ``internal``; ``status`` is the matching HTTP status.  ``to_dict``
-    renders the wire envelope ``{"error": {"code": ..., "message": ...}}``.
+    ``timeout`` / ``payload_too_large`` / ``internal`` / ``overloaded`` /
+    ``deadline_exceeded``; ``status`` is the matching HTTP status.
+    ``to_dict`` renders the wire envelope
+    ``{"error": {"code": ..., "message": ...}}``.  ``retry_after_s`` is
+    non-``None`` only for retryable overload rejections, where the HTTP
+    layer surfaces it as a ``Retry-After`` header.
     """
 
-    def __init__(self, code: str, message: str, *, status: int = 400) -> None:
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        status: int = 400,
+        retry_after_s: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.status = status
+        self.retry_after_s = retry_after_s
 
     @classmethod
     def bad_request(cls, message: str) -> "ServiceError":
@@ -50,9 +62,31 @@ class ServiceError(DiscoveryError):
         return cls("not_indexed", message, status=409)
 
     @classmethod
+    def timeout(cls, message: str) -> "ServiceError":
+        """The client fed the request too slowly (HTTP 408)."""
+        return cls("timeout", message, status=408)
+
+    @classmethod
+    def payload_too_large(cls, message: str) -> "ServiceError":
+        """Declared request body exceeds the server's cap (HTTP 413)."""
+        return cls("payload_too_large", message, status=413)
+
+    @classmethod
     def internal(cls, message: str) -> "ServiceError":
         """Unexpected server-side failure (HTTP 500)."""
         return cls("internal", message, status=500)
+
+    @classmethod
+    def overloaded(
+        cls, message: str, *, retry_after_s: float = 1.0
+    ) -> "ServiceError":
+        """Admission control shed this request (HTTP 503, retryable)."""
+        return cls("overloaded", message, status=503, retry_after_s=retry_after_s)
+
+    @classmethod
+    def deadline_exceeded(cls, message: str) -> "ServiceError":
+        """The request's deadline expired before completion (HTTP 504)."""
+        return cls("deadline_exceeded", message, status=504)
 
     def to_dict(self) -> dict[str, object]:
         """The wire envelope."""
@@ -83,11 +117,16 @@ class SearchRequest:
     string, normalized at construction (``"table.column"`` also works when
     the serving warehouse holds exactly one database); ``k`` and
     ``threshold`` fall back to the service configuration when ``None``.
+    ``deadline_ms`` is this request's total time budget — when it expires
+    before the probe runs, the service answers ``deadline_exceeded``
+    (HTTP 504) instead of doing doomed work; ``None`` falls back to the
+    service configuration's ``default_deadline_ms`` (0 = no deadline).
     """
 
     query: ColumnRef
     k: int | None = None
     threshold: float | None = None
+    deadline_ms: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "query", _parse_ref(self.query))
@@ -97,13 +136,17 @@ class SearchRequest:
             raise ServiceError.bad_request(
                 f"threshold must be in [-1, 1], got {self.threshold}"
             )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ServiceError.bad_request(
+                f"deadline_ms must be positive, got {self.deadline_ms}"
+            )
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "SearchRequest":
         """Build a request from a decoded JSON body."""
         if not isinstance(payload, Mapping):
             raise ServiceError.bad_request("request body must be a JSON object")
-        unknown = set(payload) - {"query", "k", "threshold"}
+        unknown = set(payload) - {"query", "k", "threshold", "deadline_ms"}
         if unknown:
             raise ServiceError.bad_request(
                 f"unknown request fields: {sorted(unknown)}"
@@ -118,10 +161,18 @@ class SearchRequest:
             raise ServiceError.bad_request(
                 f"threshold must be a number, got {threshold!r}"
             )
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            isinstance(deadline_ms, bool) or not isinstance(deadline_ms, int)
+        ):
+            raise ServiceError.bad_request(
+                f"deadline_ms must be an integer, got {deadline_ms!r}"
+            )
         return cls(
             query=payload.get("query"),
             k=k,
             threshold=float(threshold) if threshold is not None else None,
+            deadline_ms=deadline_ms,
         )
 
     def to_dict(self) -> dict[str, object]:
@@ -131,6 +182,8 @@ class SearchRequest:
             payload["k"] = self.k
         if self.threshold is not None:
             payload["threshold"] = self.threshold
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         return payload
 
 
@@ -215,6 +268,11 @@ class IndexStats:
     workers: int = 0
     #: Durable-store counters (``None`` when the service is in-memory only).
     durability: dict[str, object] | None = None
+    #: Degraded-mode snapshot (tier, recent sheds, effective rerank) —
+    #: ``None`` only for stats built by pre-degradation callers.
+    degradation: dict[str, object] | None = None
+    #: Deadline-expiry counters for the serving path.
+    deadlines: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         """The wire form of this snapshot."""
@@ -236,4 +294,8 @@ class IndexStats:
             payload["graph"] = dict(self.graph)
         if self.durability is not None:
             payload["durability"] = dict(self.durability)
+        if self.degradation is not None:
+            payload["degradation"] = dict(self.degradation)
+        if self.deadlines is not None:
+            payload["deadlines"] = dict(self.deadlines)
         return payload

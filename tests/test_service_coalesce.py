@@ -18,6 +18,7 @@ Three layers of evidence:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -26,6 +27,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import WarpGateConfig
+from repro.errors import DeadlineExceededError
 from repro.core.profiles import EmbeddingCache
 from repro.core.warpgate import WarpGate
 from repro.eval.perf import synthetic_corpus
@@ -299,3 +301,113 @@ def test_coalesced_search_matches_engine_under_churn(ops):
         elif action == "refresh":
             service.refresh_column(query)
         check()
+
+
+class TestCoalescerDeadlines:
+    """Deadline enforcement at the coalescer's three boundaries."""
+
+    def test_pre_expired_submit_raises_without_executing(self):
+        executed = []
+
+        def execute(batch):
+            executed.append(batch)
+            return list(batch)
+
+        coalescer = QueryCoalescer(
+            execute, deadline_of=lambda request: time.monotonic() - 0.1
+        )
+        with pytest.raises(DeadlineExceededError) as info:
+            coalescer.submit("doomed")
+        assert info.value.overrun_s >= 0.1
+        assert executed == []  # never reached the executor
+        assert coalescer.stats()["requests"] == 0
+
+    def test_no_deadline_requests_unaffected(self):
+        coalescer = QueryCoalescer(
+            lambda batch: [f"ok:{r}" for r in batch],
+            deadline_of=lambda request: None,
+        )
+        assert coalescer.submit("a") == "ok:a"
+        stats = coalescer.stats()
+        assert stats["urgent"] == 0 and stats["expired"] == 0
+
+    def test_tight_budget_takes_urgent_path_while_busy(self):
+        """A near-deadline arrival during an in-flight execution runs
+        alone immediately instead of queueing behind the batch."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def execute(batch):
+            return [f"batched:{r}" for r in batch]
+
+        def execute_one(request):
+            # The fast path routes through execute_one; blocking "slow"
+            # here keeps the coalescer owned while "urgent" arrives.
+            if request == "slow":
+                started.set()
+                release.wait(timeout=5)
+            return f"solo:{request}"
+
+        deadlines = {"urgent": time.monotonic() + 10.0}
+
+        def deadline_of(request):
+            # Re-anchor the urgent request's deadline lazily so the
+            # remaining budget is tiny at decision time, generous before.
+            if request == "urgent":
+                return time.monotonic() + 100e-6
+            return deadlines.get(request)
+
+        coalescer = QueryCoalescer(
+            execute,
+            execute_one=execute_one,
+            max_wait_us=5_000,
+            deadline_of=deadline_of,
+        )
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            slow = pool.submit(coalescer.submit, "slow")  # fast path, blocks
+            assert started.wait(timeout=5)
+            # Budget (100us) < wait window (5000us): must not queue.
+            result = coalescer.submit("urgent")
+            assert result == "solo:urgent"
+            assert not slow.done()  # returned while the batch still ran
+            release.set()
+            assert slow.result(timeout=5) == "solo:slow"
+        assert coalescer.stats()["urgent"] == 1
+
+    def test_expired_in_queue_resolved_without_executor(self):
+        """An entry whose deadline passes while it waits in the queue is
+        answered with the deadline error at batch-snap time; the
+        executor never sees it."""
+        release = threading.Event()
+        started = threading.Event()
+        seen: list[object] = []
+
+        def execute(batch):
+            seen.extend(batch)
+            started.set()
+            release.wait(timeout=5)
+            return list(batch)
+
+        deadlines = {"short": 0.15, "long": 30.0}
+        anchors: dict[object, float] = {}
+
+        def deadline_of(request):
+            # Anchor each request's absolute deadline at first sight.
+            if request not in anchors:
+                anchors[request] = time.monotonic() + deadlines[request]
+            return anchors[request]
+
+        coalescer = QueryCoalescer(execute, deadline_of=deadline_of)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            blocker = pool.submit(coalescer.submit, "long")  # fast path
+            assert started.wait(timeout=5)
+            doomed = pool.submit(coalescer.submit, "short")  # queues
+            time.sleep(0.3)  # "short" expires while queued
+            release.set()
+            blocker.result(timeout=5)
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=5)
+        assert "short" not in seen
+        stats = coalescer.stats()
+        assert stats["expired"] == 1
+        assert stats["batches"] == 0  # the snapped batch was all-expired

@@ -6,6 +6,7 @@ import http.client
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -282,9 +283,13 @@ class TestServerLifecycle:
         ]
         assert leaked == []
 
-    def test_overload_handoff_is_bounded(self, toy_warehouse):
-        """The accept→pool hand-off is bounded, and a blocked hand-off
-        still yields to shutdown (closing the undeliverable connection)."""
+    def test_overload_handoff_sheds_instead_of_blocking(self, toy_warehouse):
+        """A full admission queue fast-fails new connections with 503.
+
+        The accept thread must never block on hand-off (a blocked accept
+        loop stalls *every* client, including health probes): past the
+        bound it answers 503 + Retry-After inline and closes.
+        """
         service = self.make_service(toy_warehouse)
         server = make_server(service, "127.0.0.1", 0, workers=2)
         pairs = [socket.socketpair() for _ in range(5)]
@@ -295,19 +300,54 @@ class TestServerLifecycle:
             for left, _right in pairs[:4]:
                 server.process_request(left, ("127.0.0.1", 0))
             assert server._connections.full()
-            # ...and a fifth blocks — the backpressure — until shutdown
-            # releases it.
-            blocked = threading.Thread(
-                target=server.process_request,
-                args=(pairs[4][0], ("127.0.0.1", 0)),
-                daemon=True,
-            )
-            blocked.start()
-            blocked.join(timeout=0.2)
-            assert blocked.is_alive()  # genuinely blocked on the full queue
+            # ...and a fifth is shed inline — no blocking, 503 on the wire.
+            start = time.monotonic()
+            server.process_request(pairs[4][0], ("127.0.0.1", 0))
+            assert time.monotonic() - start < 2.0
+            pairs[4][1].settimeout(5)
+            raw = pairs[4][1].recv(65536)
+            head, _, body = raw.partition(b"\r\n\r\n")
+            assert b"503" in head.split(b"\r\n")[0]
+            assert b"Retry-After:" in head
+            payload = json.loads(body)
+            assert payload["error"]["code"] == "overloaded"
+            stats = server.admission_stats()
+            assert stats["sheds"] == 1
+            assert service.degradation.snapshot()["shed_total"] == 1
             server.shutdown()
-            blocked.join(timeout=5)
-            assert not blocked.is_alive()
+        finally:
+            server.server_close()
+            for left, right in pairs:
+                left.close()
+                right.close()
+
+    def test_shed_still_answers_health_probes(self, toy_warehouse):
+        """/healthz and /readyz are answered inline even while shedding."""
+        service = self.make_service(toy_warehouse)
+        server = make_server(service, "127.0.0.1", 0, workers=2)
+        pairs = [socket.socketpair() for _ in range(6)]
+        try:
+            for left, _right in pairs[:4]:
+                server.process_request(left, ("127.0.0.1", 0))
+            assert server._connections.full()
+            # A health probe arriving while the queue is full still gets
+            # its liveness answer (written inline by the accept path).
+            pairs[4][1].sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            server.process_request(pairs[4][0], ("127.0.0.1", 0))
+            pairs[4][1].settimeout(5)
+            raw = pairs[4][1].recv(65536)
+            assert b"200" in raw.split(b"\r\n")[0]
+            assert json.loads(raw.partition(b"\r\n\r\n")[2])["status"] == "ok"
+            # Readiness likewise answers inline (not-ready counts as an
+            # answer — the probe must never be silently dropped).
+            pairs[5][1].sendall(b"GET /readyz HTTP/1.1\r\nHost: x\r\n\r\n")
+            server.process_request(pairs[5][0], ("127.0.0.1", 0))
+            pairs[5][1].settimeout(5)
+            raw = pairs[5][1].recv(65536)
+            assert raw.split(b"\r\n")[0].split(b" ")[1] in (b"200", b"503")
+            assert server.admission_stats()["health_inline"] == 2
+            assert server.admission_stats()["sheds"] == 0
+            server.shutdown()
         finally:
             server.server_close()
             for left, right in pairs:

@@ -8,6 +8,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro._util import (
+    DegradationPolicy,
     Stopwatch,
     Timer,
     chunked,
@@ -167,3 +168,135 @@ class TestMeanOrZero:
 
     def test_mean(self):
         assert mean_or_zero([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+class _FakeClock:
+    """Injectable monotonic clock for deterministic policy tests."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDegradationPolicy:
+    def _policy(self, **overrides):
+        clock = _FakeClock()
+        defaults = dict(shed_threshold=4, window_s=10.0, recovery_s=5.0)
+        defaults.update(overrides)
+        return DegradationPolicy(clock=clock, **defaults), clock
+
+    def test_starts_normal(self):
+        policy, _ = self._policy()
+        assert policy.tier() == DegradationPolicy.TIER_NORMAL
+        assert not policy.is_degraded
+        assert policy.max_hops_cap() is None
+        assert policy.rerank_factor_for(8) == 8
+
+    def test_escalates_at_threshold(self):
+        policy, _ = self._policy()
+        for _ in range(3):
+            policy.record_shed()
+        assert policy.tier() == DegradationPolicy.TIER_NORMAL
+        policy.record_shed()  # 4th shed inside the window
+        assert policy.tier() == DegradationPolicy.TIER_DEGRADED
+
+    def test_escalates_to_critical_at_double_threshold(self):
+        policy, _ = self._policy()
+        for _ in range(8):
+            policy.record_shed()
+        assert policy.tier() == DegradationPolicy.TIER_CRITICAL
+
+    def test_degraded_downshifts_work(self):
+        policy, _ = self._policy()
+        for _ in range(4):
+            policy.record_shed()
+        assert policy.rerank_factor_for(8) == 4  # halved at tier 1
+        assert policy.rerank_factor_for(1) == 1  # never below the floor
+        assert policy.max_hops_cap() == 1
+
+    def test_critical_drops_rerank_to_floor(self):
+        policy, _ = self._policy()
+        for _ in range(8):
+            policy.record_shed()
+        assert policy.rerank_factor_for(8) == 1
+        assert policy.max_hops_cap() == 1
+
+    def test_sheds_outside_window_are_forgotten(self):
+        policy, clock = self._policy()
+        for _ in range(3):
+            policy.record_shed()
+        clock.advance(11.0)  # past window_s
+        policy.record_shed()  # only 1 shed in the live window
+        assert policy.tier() == DegradationPolicy.TIER_NORMAL
+
+    def test_recovery_is_one_tier_per_quiet_period(self):
+        policy, clock = self._policy()
+        for _ in range(8):
+            policy.record_shed()
+        assert policy.tier() == DegradationPolicy.TIER_CRITICAL
+        # Sheds age out of the window, but recovery is hysteretic: one
+        # step down per recovery_s of quiet, never straight to normal.
+        clock.advance(10.5)  # window empty, first quiet period elapsed
+        assert policy.tier() == DegradationPolicy.TIER_DEGRADED
+        assert policy.tier() == DegradationPolicy.TIER_DEGRADED  # holds
+        clock.advance(5.0)  # second full quiet period
+        assert policy.tier() == DegradationPolicy.TIER_NORMAL
+
+    def test_recovery_without_new_events(self):
+        """tier() itself evaluates pending transitions — recovery must
+        not require another shed to be observed."""
+        policy, clock = self._policy()
+        for _ in range(4):
+            policy.record_shed()
+        clock.advance(30.0)
+        assert policy.tier() == DegradationPolicy.TIER_NORMAL
+
+    def test_shed_during_recovery_resets_quiet_clock(self):
+        policy, clock = self._policy()
+        for _ in range(4):
+            policy.record_shed()
+        clock.advance(9.0)  # almost recovered...
+        policy.record_shed()  # ...dirtied: the quiet clock restarts here
+        clock.advance(2.0)  # original sheds aged out; 2s quiet < recovery_s
+        assert policy.tier() == DegradationPolicy.TIER_DEGRADED
+        clock.advance(3.5)  # 5.5s since the late shed >= recovery_s
+        assert policy.tier() == DegradationPolicy.TIER_NORMAL
+
+    def test_snapshot_shape(self):
+        policy, _ = self._policy()
+        policy.record_shed()
+        snap = policy.snapshot()
+        assert snap["tier"] == 0
+        assert snap["recent_sheds"] == 1
+        assert snap["shed_total"] == 1
+        assert snap["transitions"] == 0
+        assert snap["shed_threshold"] == 4
+        assert snap["window_s"] == 10.0
+        assert snap["recovery_s"] == 5.0
+
+    def test_transitions_counted_both_directions(self):
+        policy, clock = self._policy()
+        for _ in range(8):
+            policy.record_shed()
+        # Even a 30s silence steps down only ONE tier per evaluation
+        # period — the step itself consumes the quiet stretch.
+        clock.advance(30.0)
+        assert policy.tier() == DegradationPolicy.TIER_DEGRADED
+        clock.advance(5.0)
+        assert policy.tier() == DegradationPolicy.TIER_NORMAL
+        # 0->1 at the 4th shed, 1->2 at the 8th, then two step-downs.
+        assert policy.snapshot()["transitions"] == 4
+        assert policy.snapshot()["shed_total"] == 8
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(shed_threshold=0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(window_s=0.0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(recovery_s=-1.0)
